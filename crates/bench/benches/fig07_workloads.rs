@@ -1,0 +1,51 @@
+//! Fig. 7 (and Fig. 1) — the four headline systems across the three
+//! workload environments on the simulated 256-node cluster.
+//!
+//! Fig. 1 is the Google column of this experiment. Expected shape per the
+//! paper: 3Sigma outperforms PointRealEst and Prio on SLO miss rate and
+//! goodput in every environment while approximately matching (for
+//! HedgeFund/Mustang occasionally beating) PointPerfEst.
+
+use serde::Serialize;
+use threesigma::driver::SchedulerKind;
+use threesigma_bench::{
+    banner, e2e_config, print_header, print_row, run_system, sc256, write_json, MetricRow, Scale,
+};
+use threesigma_workload::{generate, Environment};
+
+#[derive(Serialize)]
+struct Output {
+    rows: Vec<MetricRow>,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Fig. 7 (incl. Fig. 1)",
+        "headline systems across Google / HedgeFund / Mustang workloads",
+        scale,
+    );
+    let mut rows = Vec::new();
+    print_header("workload");
+    for env in [Environment::Google, Environment::HedgeFund, Environment::Mustang] {
+        let config = e2e_config(env, scale, 42);
+        let trace = generate(&config);
+        // Measurement window scales with the trace: Mustang's multi-hour
+        // gangs need a proportionally longer completion window or every
+        // scheduler shares a large end-effect miss floor.
+        let mut exp = sc256(scale);
+        exp.engine.drain = Some((0.45 * config.duration).max(1800.0));
+        for kind in SchedulerKind::headline() {
+            let r = run_system(kind, &trace, &exp);
+            let row = MetricRow::new(kind.name(), env.name(), &r);
+            print_row(&row);
+            rows.push(row);
+        }
+        println!();
+    }
+    println!(
+        "(Fig. 1 = the Google rows' SLO-miss column; paper shape: 3Sigma ≈\n\
+         PointPerfEst ≪ Prio < PointRealEst on SLO miss)"
+    );
+    write_json("fig07_workloads", &Output { rows });
+}

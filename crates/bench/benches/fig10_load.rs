@@ -1,0 +1,38 @@
+//! Fig. 10 — sensitivity to offered load (E2E-LOAD-ℓ workloads).
+//!
+//! Sweeps offered load ℓ ∈ {1.0, 1.2, 1.4, 1.6} for the four headline
+//! systems. Expected shape: SLO miss rates grow with load for everyone;
+//! 3Sigma tracks PointPerfEst closely; all systems sacrifice BE goodput as
+//! load grows; the PointPerfEst–3Sigma BE-goodput gap widens with load.
+
+use serde::Serialize;
+use threesigma::driver::SchedulerKind;
+use threesigma_bench::{
+    banner, e2e_config, print_header, print_row, run_system, sc256, write_json, MetricRow, Scale,
+};
+use threesigma_workload::{generate, Environment};
+
+#[derive(Serialize)]
+struct Output {
+    rows: Vec<MetricRow>,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Fig. 10", "sensitivity to offered load (E2E-LOAD-l)", scale);
+    let exp = sc256(scale);
+    let mut rows = Vec::new();
+    print_header("load");
+    for load in [1.0, 1.2, 1.4, 1.6] {
+        let config = e2e_config(Environment::Google, scale, 42).with_load(load);
+        let trace = generate(&config);
+        for kind in SchedulerKind::headline() {
+            let r = run_system(kind, &trace, &exp);
+            let row = MetricRow::new(kind.name(), &format!("{load:.1}"), &r);
+            print_row(&row);
+            rows.push(row);
+        }
+        println!();
+    }
+    write_json("fig10_load", &Output { rows });
+}

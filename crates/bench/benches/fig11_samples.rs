@@ -1,0 +1,58 @@
+//! Fig. 11 — sensitivity to the number of observed samples per feature
+//! (E2E-SAMPLE-n workloads).
+//!
+//! Caps the predictor's visible history per feature value at n ∈
+//! {5, 10, 25, 50(, 75, 100)} and compares 3Sigma with PointRealEst;
+//! PointPerfEst and Prio do not use history and appear as flat references.
+//!
+//! Expected shape (paper §6.4): both history-driven systems improve
+//! sharply from 5 to 25 samples; by 25 samples 3Sigma converges to
+//! PointPerfEst; 3Sigma beats PointRealEst at every n.
+
+use serde::Serialize;
+use threesigma::driver::SchedulerKind;
+use threesigma_bench::{
+    banner, e2e_config, print_header, print_row, run_system, sc256, write_json, MetricRow, Scale,
+};
+use threesigma_workload::{generate, Environment};
+
+#[derive(Serialize)]
+struct Output {
+    rows: Vec<MetricRow>,
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Fig. 11", "sensitivity to observed samples per feature", scale);
+    let ns: Vec<usize> = match scale {
+        Scale::Quick => vec![5, 10, 25, 50],
+        Scale::Paper => vec![5, 10, 25, 50, 75, 100],
+    };
+    let config = e2e_config(Environment::Google, scale, 42);
+    let trace = generate(&config);
+    let mut rows = Vec::new();
+    print_header("samples");
+
+    // History-free references, run once.
+    let exp = sc256(scale);
+    for kind in [SchedulerKind::PointPerfEst, SchedulerKind::Prio] {
+        let r = run_system(kind, &trace, &exp);
+        let row = MetricRow::new(kind.name(), "any", &r);
+        print_row(&row);
+        rows.push(row);
+    }
+    println!();
+
+    for &n in &ns {
+        let mut exp = sc256(scale);
+        exp.predictor.sample_cap = Some(n);
+        for kind in [SchedulerKind::ThreeSigma, SchedulerKind::PointRealEst] {
+            let r = run_system(kind, &trace, &exp);
+            let row = MetricRow::new(kind.name(), &n.to_string(), &r);
+            print_row(&row);
+            rows.push(row);
+        }
+        println!();
+    }
+    write_json("fig11_samples", &Output { rows });
+}

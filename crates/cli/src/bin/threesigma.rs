@@ -1,0 +1,27 @@
+//! The `threesigma` binary: see `threesigma help`.
+
+use std::process::ExitCode;
+
+use threesigma_cli::{dispatch, Args, CliError};
+
+fn main() -> ExitCode {
+    let parsed = Args::parse(std::env::args().skip(1));
+    let result = match &parsed {
+        Ok(args) => dispatch(args),
+        Err(e) => Err(e.clone()),
+    };
+    match result {
+        Ok(text) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(CliError::MissingCommand) => {
+            eprintln!("{}", threesigma_cli::commands::USAGE);
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

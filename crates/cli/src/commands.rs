@@ -1,0 +1,333 @@
+//! CLI subcommand implementations.
+
+use threesigma::driver::{run, Experiment, SchedulerKind};
+use threesigma_predict::{AttributeSource, Predictor, PredictorConfig};
+use threesigma_workload::analysis::{
+    error_histogram, estimate_error_pct, fraction_off_by_factor, runtime_cdf,
+};
+use threesigma_workload::{generate, ArrivalTarget, Environment, Trace, WorkloadConfig};
+
+use crate::args::{Args, CliError};
+
+struct Attrs<'a>(&'a threesigma_cluster::Attributes);
+
+impl AttributeSource for Attrs<'_> {
+    fn get_attr(&self, key: &str) -> Option<&str> {
+        self.0.get(key)
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+threesigma — distribution-based cluster scheduling (EuroSys'18 reproduction)
+
+USAGE:
+  threesigma generate [--env E] [--hours H] [--load L | --jobs-per-hour R]
+                      [--slack S] [--seed N] [--pretrain N] --out FILE
+  threesigma run      (--trace FILE | --env E [--hours H] [--seed N])
+                      [--scheduler NAME] [--cycle SECS] [--rc] [--out FILE]
+  threesigma compare  (--trace FILE | --env E [--hours H] [--seed N])
+                      [--cycle SECS] [--ablations]
+  threesigma analyze  (--trace FILE | --env E [--jobs N] [--seed N])
+  threesigma help
+
+ENVIRONMENTS: google (default), hedgefund, mustang
+SCHEDULERS:   3sigma (default), 3sigma-nodist, 3sigma-nooe, 3sigma-noadapt,
+              point-perfect, point-real, point-padded, backfill, prio
+";
+
+fn parse_env(args: &Args) -> Result<Environment, CliError> {
+    match args.get_or("env", "google") {
+        "google" => Ok(Environment::Google),
+        "hedgefund" => Ok(Environment::HedgeFund),
+        "mustang" => Ok(Environment::Mustang),
+        other => Err(CliError::BadValue {
+            option: "env".into(),
+            value: other.into(),
+            expected: "google | hedgefund | mustang",
+        }),
+    }
+}
+
+fn parse_scheduler(name: &str) -> Result<SchedulerKind, CliError> {
+    match name {
+        "3sigma" => Ok(SchedulerKind::ThreeSigma),
+        "3sigma-nodist" => Ok(SchedulerKind::ThreeSigmaNoDist),
+        "3sigma-nooe" => Ok(SchedulerKind::ThreeSigmaNoOE),
+        "3sigma-noadapt" => Ok(SchedulerKind::ThreeSigmaNoAdapt),
+        "point-perfect" => Ok(SchedulerKind::PointPerfEst),
+        "point-real" => Ok(SchedulerKind::PointRealEst),
+        "point-padded" => Ok(SchedulerKind::PointPaddedEst),
+        "backfill" => Ok(SchedulerKind::Backfill),
+        "prio" => Ok(SchedulerKind::Prio),
+        other => Err(CliError::BadValue {
+            option: "scheduler".into(),
+            value: other.into(),
+            expected: "see `threesigma help`",
+        }),
+    }
+}
+
+fn workload_config(args: &Args) -> Result<WorkloadConfig, CliError> {
+    let env = parse_env(args)?;
+    let hours: f64 = args.parse_or("hours", 1.0)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let mut config = WorkloadConfig::e2e(env, seed).with_duration(hours * 3600.0);
+    if let Some(rate) = args.get("jobs-per-hour") {
+        let rate: f64 = rate.parse().map_err(|_| CliError::BadValue {
+            option: "jobs-per-hour".into(),
+            value: rate.into(),
+            expected: "a positive number",
+        })?;
+        config.arrival = ArrivalTarget::JobsPerHour(rate);
+    } else {
+        config = config.with_load(args.parse_or("load", 1.4)?);
+    }
+    if let Some(slack) = args.get("slack") {
+        let slack: f64 = slack.parse().map_err(|_| CliError::BadValue {
+            option: "slack".into(),
+            value: slack.into(),
+            expected: "a fraction, e.g. 0.6",
+        })?;
+        config = config.with_slack(slack);
+    }
+    config.pretrain_jobs = args.parse_or("pretrain", config.pretrain_jobs)?;
+    Ok(config)
+}
+
+fn load_or_generate(args: &Args) -> Result<Trace, CliError> {
+    match args.get("trace") {
+        Some(path) => Trace::load(path).map_err(|e| CliError::Io(e.to_string())),
+        None => Ok(generate(&workload_config(args)?)),
+    }
+}
+
+fn experiment(args: &Args) -> Result<Experiment, CliError> {
+    let mut exp = if args.switch("rc") {
+        Experiment::paper_rc256()
+    } else {
+        Experiment::paper_sc256()
+    };
+    exp = exp.with_cycle(args.parse_or("cycle", 10.0)?);
+    Ok(exp)
+}
+
+fn metrics_line(kind: SchedulerKind, m: &threesigma_cluster::Metrics) -> String {
+    format!(
+        "{:<16} miss={:>5.1}%  slo_gp={:>8.1}M-h  be_gp={:>8.1}M-h  be_lat={:>6.0}s  preempt={}",
+        kind.name(),
+        m.slo_miss_rate(),
+        m.slo_goodput_hours(),
+        m.be_goodput_hours(),
+        m.mean_be_latency().unwrap_or(f64::NAN),
+        m.preemptions,
+    )
+}
+
+/// `generate` — emit a trace JSON.
+pub fn cmd_generate(args: &Args) -> Result<String, CliError> {
+    let config = workload_config(args)?;
+    let out = args.require("out")?;
+    let trace = generate(&config);
+    trace.save(out).map_err(|e| CliError::Io(e.to_string()))?;
+    Ok(format!(
+        "wrote {} jobs (+{} pretraining) to {out} (offered load {:.2})",
+        trace.jobs.len(),
+        trace.pretrain.len(),
+        trace.offered_load(config.cluster_nodes, config.duration),
+    ))
+}
+
+/// `run` — one scheduler over one trace.
+pub fn cmd_run(args: &Args) -> Result<String, CliError> {
+    let trace = load_or_generate(args)?;
+    let kind = parse_scheduler(args.get_or("scheduler", "3sigma"))?;
+    let exp = experiment(args)?;
+    let result = run(kind, &trace, &exp).map_err(|e| CliError::Io(e.to_string()))?;
+    if let Some(out) = args.get("out") {
+        let json = serde_json::to_string_pretty(&result.metrics)
+            .map_err(|e| CliError::Io(e.to_string()))?;
+        std::fs::write(out, json).map_err(|e| CliError::Io(e.to_string()))?;
+    }
+    Ok(metrics_line(kind, &result.metrics))
+}
+
+/// `compare` — the headline systems (plus ablations with `--ablations`).
+pub fn cmd_compare(args: &Args) -> Result<String, CliError> {
+    let trace = load_or_generate(args)?;
+    let exp = experiment(args)?;
+    let mut kinds = SchedulerKind::headline().to_vec();
+    if args.switch("ablations") {
+        kinds.extend([
+            SchedulerKind::ThreeSigmaNoDist,
+            SchedulerKind::ThreeSigmaNoOE,
+            SchedulerKind::ThreeSigmaNoAdapt,
+            SchedulerKind::PointPaddedEst,
+            SchedulerKind::Backfill,
+        ]);
+    }
+    let mut out = String::new();
+    for kind in kinds {
+        let result = run(kind, &trace, &exp).map_err(|e| CliError::Io(e.to_string()))?;
+        out.push_str(&metrics_line(kind, &result.metrics));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// `analyze` — Fig. 2-style trace statistics.
+pub fn cmd_analyze(args: &Args) -> Result<String, CliError> {
+    let trace = match args.get("trace") {
+        Some(path) => Trace::load(path).map_err(|e| CliError::Io(e.to_string()))?,
+        None => {
+            let env = parse_env(args)?;
+            let jobs: usize = args.parse_or("jobs", 5000)?;
+            let seed: u64 = args.parse_or("seed", 42)?;
+            generate(&WorkloadConfig {
+                duration: 60.0,
+                pretrain_jobs: jobs,
+                ..WorkloadConfig::e2e(env, seed)
+            })
+        }
+    };
+    let jobs: Vec<_> = trace
+        .pretrain
+        .iter()
+        .chain(trace.jobs.iter())
+        .cloned()
+        .collect();
+    let mut out = format!("{} jobs\n", jobs.len());
+    let cdf = runtime_cdf(&jobs);
+    let at = |q: f64| cdf[(q * (cdf.len() - 1) as f64) as usize].0;
+    out.push_str(&format!(
+        "runtime percentiles: p10={:.0}s p50={:.0}s p90={:.0}s p99={:.0}s\n",
+        at(0.1),
+        at(0.5),
+        at(0.9),
+        at(0.99)
+    ));
+    // Prequential estimate-error profile.
+    let split = jobs.len() / 2;
+    let mut predictor = Predictor::new(PredictorConfig::default());
+    for j in &jobs[..split] {
+        predictor.observe(&Attrs(&j.attributes), j.duration);
+    }
+    let mut pairs = Vec::new();
+    let mut errors = Vec::new();
+    for j in &jobs[split..] {
+        if let Some(p) = predictor.predict_point(&Attrs(&j.attributes)) {
+            pairs.push((p, j.duration));
+            errors.push(estimate_error_pct(p, j.duration));
+        }
+        predictor.observe(&Attrs(&j.attributes), j.duration);
+    }
+    let hist = error_histogram(&errors);
+    out.push_str(&format!(
+        "estimates off by ≥2x: {:.1}%\nerror histogram:\n",
+        100.0 * fraction_off_by_factor(&pairs, 2.0)
+    ));
+    for (c, pct) in &hist.buckets {
+        out.push_str(&format!("  {c:>5}%  {pct:>5.1}%\n"));
+    }
+    out.push_str(&format!("   tail  {:>5.1}%\n", hist.tail_pct));
+    Ok(out)
+}
+
+/// Dispatches a parsed command line; returns the text to print.
+pub fn dispatch(args: &Args) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "generate" => cmd_generate(args),
+        "run" => cmd_run(args),
+        "compare" => cmd_compare(args),
+        "analyze" => cmd_analyze(args),
+        "help" => Ok(USAGE.to_owned()),
+        other => Err(CliError::UnknownCommand(other.to_owned())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("threesigma_cli_{name}_{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let args = Args::parse(["help"]).unwrap();
+        assert!(dispatch(&args).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let args = Args::parse(["frobnicate"]).unwrap();
+        assert!(matches!(
+            dispatch(&args).unwrap_err(),
+            CliError::UnknownCommand(_)
+        ));
+    }
+
+    #[test]
+    fn generate_then_run_roundtrip() {
+        let path = tmp("roundtrip");
+        let gen = Args::parse([
+            "generate",
+            "--hours",
+            "0.1",
+            "--pretrain",
+            "50",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let msg = dispatch(&gen).unwrap();
+        assert!(msg.contains("wrote"), "{msg}");
+
+        let run = Args::parse([
+            "run",
+            "--trace",
+            path.to_str().unwrap(),
+            "--scheduler",
+            "prio",
+            "--cycle",
+            "30",
+        ])
+        .unwrap();
+        let out = dispatch(&run).unwrap();
+        assert!(out.contains("Prio"), "{out}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn run_rejects_unknown_scheduler() {
+        let args = Args::parse(["run", "--env", "google", "--scheduler", "magic"]).unwrap();
+        assert!(matches!(
+            dispatch(&args).unwrap_err(),
+            CliError::BadValue { .. }
+        ));
+    }
+
+    #[test]
+    fn analyze_reports_error_profile() {
+        let args = Args::parse(["analyze", "--env", "google", "--jobs", "800"]).unwrap();
+        let out = dispatch(&args).unwrap();
+        assert!(out.contains("off by ≥2x"), "{out}");
+        assert!(out.contains("percentiles"), "{out}");
+    }
+
+    #[test]
+    fn bad_env_is_rejected() {
+        let args = Args::parse(["analyze", "--env", "mars"]).unwrap();
+        assert!(matches!(
+            dispatch(&args).unwrap_err(),
+            CliError::BadValue { .. }
+        ));
+    }
+
+    #[test]
+    fn missing_trace_file_is_io_error() {
+        let args = Args::parse(["run", "--trace", "/nonexistent/t.json"]).unwrap();
+        assert!(matches!(dispatch(&args).unwrap_err(), CliError::Io(_)));
+    }
+}

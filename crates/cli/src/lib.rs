@@ -1,0 +1,20 @@
+//! Command-line interface to the 3Sigma reproduction.
+//!
+//! The `threesigma` binary exposes the workflow a cluster operator or
+//! researcher needs without writing Rust:
+//!
+//! ```sh
+//! threesigma generate --env google --hours 2 --out trace.json
+//! threesigma run --trace trace.json --scheduler 3sigma
+//! threesigma compare --env google --hours 1
+//! threesigma analyze --env mustang --jobs 8000
+//! ```
+//!
+//! Argument parsing is hand-rolled over `std` to keep the dependency
+//! surface identical to the library crates.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{Args, CliError};
+pub use commands::dispatch;

@@ -1,0 +1,88 @@
+//! Smoke tests driving the compiled `threesigma` binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_threesigma"))
+}
+
+#[test]
+fn help_succeeds_and_mentions_subcommands() {
+    let out = bin().arg("help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for word in ["generate", "run", "compare", "analyze"] {
+        assert!(text.contains(word), "usage should mention {word}");
+    }
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = bin().output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn unknown_scheduler_fails_with_message() {
+    let out = bin()
+        .args(["run", "--env", "google", "--scheduler", "wizard", "--hours", "0.05"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("scheduler"));
+}
+
+#[test]
+fn generate_run_analyze_pipeline() {
+    let dir = std::env::temp_dir().join(format!("threesigma_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.json");
+    let metrics = dir.join("metrics.json");
+
+    let out = bin()
+        .args([
+            "generate",
+            "--env",
+            "google",
+            "--hours",
+            "0.1",
+            "--pretrain",
+            "100",
+            "--out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(trace.exists());
+
+    let out = bin()
+        .args([
+            "run",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--scheduler",
+            "3sigma",
+            "--cycle",
+            "30",
+            "--out",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("3Sigma"));
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();
+    assert!(json.get("outcomes").is_some());
+
+    let out = bin()
+        .args(["analyze", "--trace", trace.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("percentiles"));
+
+    let _ = std::fs::remove_dir_all(dir);
+}

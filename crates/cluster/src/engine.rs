@@ -1,0 +1,903 @@
+//! The discrete-event simulation engine.
+//!
+//! Drives a trace of [`JobSpec`]s against a pluggable [`Scheduler`]:
+//! arrivals and completions are events; every `cycle_interval` seconds the
+//! scheduler is shown the cluster state and returns placements, preemptions,
+//! and cancellations, which the engine validates and applies. Completion
+//! events carry an epoch so that preempting a job invalidates its stale
+//! finish event.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::job::{JobId, JobSpec};
+use crate::metrics::{JobOutcome, JobState, Metrics};
+use crate::spec::{ClusterSpec, PartitionId};
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Seconds between scheduling cycles (the paper uses 1–2 s; long sweeps
+    /// in the bench harness use coarser cycles).
+    pub cycle_interval: f64,
+    /// Extra simulated time after the last arrival before the run is cut
+    /// off and unfinished jobs are recorded as such. `None` derives
+    /// `max(4 × longest job, 3600 s)` from the trace.
+    pub drain: Option<f64>,
+    /// RNG seed for RC-fidelity noise (unused in the clean simulator).
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            cycle_interval: 2.0,
+            drain: None,
+            seed: 0x3516,
+        }
+    }
+}
+
+/// One gang placement: `allocation[i]` nodes taken from each partition;
+/// counts must sum to the job's `tasks`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// The pending job to start.
+    pub job: JobId,
+    /// Nodes per partition.
+    pub allocation: Vec<(PartitionId, u32)>,
+}
+
+/// What a scheduler returns from one cycle.
+#[derive(Debug, Clone, Default)]
+pub struct SchedulingDecision {
+    /// Pending jobs to start now.
+    pub placements: Vec<Placement>,
+    /// Running jobs to kill and requeue (work lost).
+    pub preemptions: Vec<JobId>,
+    /// Pending jobs to abandon permanently (e.g. SLO jobs judged hopeless).
+    pub cancellations: Vec<JobId>,
+}
+
+impl SchedulingDecision {
+    /// A decision that changes nothing.
+    pub fn noop() -> Self {
+        Self::default()
+    }
+}
+
+/// A running job as exposed to the scheduler.
+#[derive(Debug, Clone)]
+pub struct RunningJob<'a> {
+    /// The job's spec.
+    pub spec: &'a JobSpec,
+    /// When its current execution attempt started.
+    pub start_time: f64,
+    /// Its allocation.
+    pub allocation: &'a [(PartitionId, u32)],
+}
+
+impl RunningJob<'_> {
+    /// Elapsed execution time at `now`.
+    pub fn elapsed(&self, now: f64) -> f64 {
+        (now - self.start_time).max(0.0)
+    }
+}
+
+/// Read-only cluster state handed to the scheduler each cycle.
+///
+/// `pending` exposes full [`JobSpec`]s including the true `duration`;
+/// reading `duration` is *oracle* knowledge that only `PointPerfEst`-style
+/// baselines may use — honest schedulers must rely on attributes plus their
+/// own predictors, as the real system would.
+#[derive(Debug)]
+pub struct SimulationView<'a> {
+    /// Cluster topology.
+    pub cluster: &'a ClusterSpec,
+    /// Jobs awaiting placement, in arrival order.
+    pub pending: Vec<&'a JobSpec>,
+    /// Currently running jobs.
+    pub running: Vec<RunningJob<'a>>,
+    /// Free nodes per partition (indexed by `PartitionId`).
+    pub free: &'a [u32],
+    /// Current simulated time.
+    pub now: f64,
+}
+
+impl SimulationView<'_> {
+    /// Total free nodes.
+    pub fn total_free(&self) -> u32 {
+        self.free.iter().sum()
+    }
+}
+
+/// A scheduler driven by the engine.
+pub trait Scheduler {
+    /// Called when a job arrives (before the next cycle).
+    fn on_job_submitted(&mut self, _spec: &JobSpec, _now: f64) {}
+
+    /// Called when a job completes; `outcome.measured_runtime` is what a
+    /// cluster manager would log (and what a predictor should learn from).
+    fn on_job_completed(&mut self, _spec: &JobSpec, _outcome: &JobOutcome, _now: f64) {}
+
+    /// One scheduling cycle.
+    fn schedule(&mut self, view: &SimulationView<'_>, now: f64) -> SchedulingDecision;
+}
+
+/// Errors produced by invalid scheduler decisions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Decision referenced a job that is not pending (placement/cancel) or
+    /// not running (preemption).
+    BadJobReference {
+        /// The offending id.
+        job: JobId,
+        /// What the decision tried to do.
+        action: &'static str,
+    },
+    /// Allocation node counts do not sum to the job's `tasks`, or reference
+    /// an unknown partition.
+    BadAllocation {
+        /// The offending id.
+        job: JobId,
+    },
+    /// Placements exceed free capacity in a partition.
+    OverCapacity {
+        /// The saturated partition.
+        partition: PartitionId,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::BadJobReference { job, action } => {
+                write!(f, "decision {action} references job {job:?} in wrong state")
+            }
+            SimError::BadAllocation { job } => {
+                write!(f, "allocation for job {job:?} malformed")
+            }
+            SimError::OverCapacity { partition } => {
+                write!(f, "placements exceed capacity of partition {partition:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventKind {
+    Finish { job: usize, epoch: u32 },
+    Arrival { job: usize },
+    Cycle,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    /// Tie-break: finishes before arrivals before cycles at equal times, so
+    /// a cycle sees freed capacity and fresh arrivals.
+    class: u8,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then(other.class.cmp(&self.class))
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Debug)]
+struct Running {
+    idx: usize,
+    epoch: u32,
+    start: f64,
+    allocation: Vec<(PartitionId, u32)>,
+    measured_runtime: f64,
+    on_preferred: bool,
+}
+
+/// The discrete-event engine.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    cluster: ClusterSpec,
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Creates an engine over the given cluster.
+    pub fn new(cluster: ClusterSpec, config: EngineConfig) -> Self {
+        assert!(config.cycle_interval > 0.0, "cycle interval must be positive");
+        Self { cluster, config }
+    }
+
+    /// Runs `jobs` against `scheduler` until every job reaches a terminal
+    /// state or the drain horizon passes.
+    pub fn run(
+        &self,
+        jobs: &[JobSpec],
+        scheduler: &mut dyn Scheduler,
+    ) -> Result<Metrics, SimError> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let parts = self.cluster.num_partitions();
+        let mut free: Vec<u32> = self
+            .cluster
+            .partition_ids()
+            .map(|p| self.cluster.partition_size(p))
+            .collect();
+
+        let mut outcomes: Vec<JobOutcome> = jobs
+            .iter()
+            .map(|j| JobOutcome {
+                id: j.id,
+                kind: j.kind,
+                submit_time: j.submit_time,
+                tasks: j.tasks,
+                state: JobState::Pending,
+                start_time: None,
+                finish_time: None,
+                measured_runtime: None,
+                preemptions: 0,
+                on_preferred: None,
+            })
+            .collect();
+        let index_of: HashMap<JobId, usize> =
+            jobs.iter().enumerate().map(|(i, j)| (j.id, i)).collect();
+        assert_eq!(index_of.len(), jobs.len(), "duplicate job ids in trace");
+
+        let last_arrival = jobs.iter().map(|j| j.submit_time).fold(0.0, f64::max);
+        let longest = jobs.iter().map(|j| j.duration).fold(0.0, f64::max);
+        let drain = self
+            .config
+            .drain
+            .unwrap_or_else(|| (4.0 * longest).max(3600.0));
+        let horizon = last_arrival + drain;
+
+        let mut queue: BinaryHeap<Event> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let push = |q: &mut BinaryHeap<Event>, seq: &mut u64, time: f64, kind: EventKind| {
+            let class = match kind {
+                EventKind::Finish { .. } => 0,
+                EventKind::Arrival { .. } => 1,
+                EventKind::Cycle => 2,
+            };
+            *seq += 1;
+            q.push(Event {
+                time,
+                class,
+                seq: *seq,
+                kind,
+            });
+        };
+        for (i, j) in jobs.iter().enumerate() {
+            push(&mut queue, &mut seq, j.submit_time, EventKind::Arrival { job: i });
+        }
+        push(&mut queue, &mut seq, 0.0, EventKind::Cycle);
+
+        let mut pending: Vec<usize> = Vec::new();
+        let mut running: HashMap<JobId, Running> = HashMap::new();
+        let mut epochs: Vec<u32> = vec![0; jobs.len()];
+        let mut cycles = 0usize;
+        let mut preemption_count = 0usize;
+        let mut wasted = 0.0f64;
+        let mut now = 0.0f64;
+
+        while let Some(ev) = queue.pop() {
+            now = ev.time;
+            if now > horizon {
+                break;
+            }
+            match ev.kind {
+                EventKind::Arrival { job } => {
+                    pending.push(job);
+                    scheduler.on_job_submitted(&jobs[job], now);
+                }
+                EventKind::Finish { job, epoch } => {
+                    let id = jobs[job].id;
+                    let valid = running.get(&id).is_some_and(|r| r.epoch == epoch);
+                    if !valid {
+                        continue; // stale completion of a preempted attempt
+                    }
+                    let r = running.remove(&id).expect("checked above");
+                    for (p, n) in &r.allocation {
+                        free[p.index()] += n;
+                    }
+                    let o = &mut outcomes[job];
+                    o.state = JobState::Completed;
+                    o.start_time = Some(r.start);
+                    o.finish_time = Some(now);
+                    o.measured_runtime = Some(r.measured_runtime);
+                    o.on_preferred = Some(r.on_preferred);
+                    scheduler.on_job_completed(&jobs[job], &outcomes[job], now);
+                }
+                EventKind::Cycle => {
+                    cycles += 1;
+                    let decision = {
+                        // Deterministic view: running jobs sorted by id so
+                        // scheduler decisions (and float summation order)
+                        // never depend on hash-map iteration order.
+                        let mut running_view: Vec<RunningJob<'_>> = running
+                            .values()
+                            .map(|r| RunningJob {
+                                spec: &jobs[r.idx],
+                                start_time: r.start,
+                                allocation: &r.allocation,
+                            })
+                            .collect();
+                        running_view.sort_by_key(|r| r.spec.id);
+                        let view = SimulationView {
+                            cluster: &self.cluster,
+                            pending: pending.iter().map(|&i| &jobs[i]).collect(),
+                            running: running_view,
+                            free: &free,
+                            now,
+                        };
+                        scheduler.schedule(&view, now)
+                    };
+
+                    // 1. Cancellations.
+                    for id in &decision.cancellations {
+                        let idx = *index_of
+                            .get(id)
+                            .ok_or(SimError::BadJobReference { job: *id, action: "cancel" })?;
+                        let pos = pending.iter().position(|&i| i == idx).ok_or(
+                            SimError::BadJobReference { job: *id, action: "cancel" },
+                        )?;
+                        pending.remove(pos);
+                        outcomes[idx].state = JobState::Canceled;
+                    }
+
+                    // 2. Preemptions: free capacity, requeue the job.
+                    for id in &decision.preemptions {
+                        let r = running.remove(id).ok_or(SimError::BadJobReference {
+                            job: *id,
+                            action: "preempt",
+                        })?;
+                        for (p, n) in &r.allocation {
+                            free[p.index()] += n;
+                        }
+                        epochs[r.idx] += 1;
+                        outcomes[r.idx].preemptions += 1;
+                        outcomes[r.idx].state = JobState::Pending;
+                        let tasks: u32 = r.allocation.iter().map(|(_, n)| n).sum();
+                        wasted += (now - r.start).max(0.0) * tasks as f64;
+                        pending.push(r.idx);
+                        preemption_count += 1;
+                    }
+
+                    // 3. Placements.
+                    for pl in &decision.placements {
+                        let idx = *index_of.get(&pl.job).ok_or(SimError::BadJobReference {
+                            job: pl.job,
+                            action: "place",
+                        })?;
+                        let pos = pending.iter().position(|&i| i == idx).ok_or(
+                            SimError::BadJobReference { job: pl.job, action: "place" },
+                        )?;
+                        let spec = &jobs[idx];
+                        let total: u32 = pl.allocation.iter().map(|(_, n)| n).sum();
+                        if total != spec.tasks
+                            || pl.allocation.iter().any(|(p, _)| p.index() >= parts)
+                        {
+                            return Err(SimError::BadAllocation { job: pl.job });
+                        }
+                        for (p, n) in &pl.allocation {
+                            if *n > free[p.index()] {
+                                return Err(SimError::OverCapacity { partition: *p });
+                            }
+                        }
+                        pending.remove(pos);
+                        for (p, n) in &pl.allocation {
+                            free[p.index()] -= n;
+                        }
+                        let base = spec.runtime_on(&pl.allocation);
+                        let (start, runtime) = match self.cluster.rc_fidelity {
+                            None => (now, base),
+                            Some(fid) => {
+                                let z = standard_normal(&mut rng);
+                                let jitter =
+                                    (1.0 + fid.runtime_jitter_cov * z).max(0.3);
+                                (now + fid.placement_latency, base * jitter)
+                            }
+                        };
+                        let on_preferred = spec.preferred.as_ref().is_none_or(|pref| {
+                            pl.allocation
+                                .iter()
+                                .all(|(p, n)| *n == 0 || pref.contains(p))
+                        });
+                        epochs[idx] += 1;
+                        let epoch = epochs[idx];
+                        running.insert(
+                            pl.job,
+                            Running {
+                                idx,
+                                epoch,
+                                start,
+                                allocation: pl.allocation.clone(),
+                                measured_runtime: runtime,
+                                on_preferred,
+                            },
+                        );
+                        outcomes[idx].state = JobState::Running;
+                        outcomes[idx].start_time = Some(start);
+                        push(
+                            &mut queue,
+                            &mut seq,
+                            start + runtime,
+                            EventKind::Finish { job: idx, epoch },
+                        );
+                    }
+
+                    // Schedule the next cycle while there is anything left.
+                    let arrivals_remain = queue
+                        .iter()
+                        .any(|e| matches!(e.kind, EventKind::Arrival { .. }));
+                    if !pending.is_empty() || !running.is_empty() || arrivals_remain {
+                        push(
+                            &mut queue,
+                            &mut seq,
+                            now + self.config.cycle_interval,
+                            EventKind::Cycle,
+                        );
+                    }
+                }
+            }
+        }
+
+        Ok(Metrics {
+            outcomes,
+            end_time: now,
+            cycles,
+            preemptions: preemption_count,
+            wasted_machine_seconds: wasted,
+        })
+    }
+}
+
+/// Standard normal via Box–Muller (keeps the dependency surface to `rand`).
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0f64 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobKind;
+    use crate::spec::RcFidelity;
+
+    /// Greedy FIFO scheduler used to exercise the engine.
+    struct Fifo;
+
+    impl Scheduler for Fifo {
+        fn schedule(&mut self, view: &SimulationView<'_>, _now: f64) -> SchedulingDecision {
+            let mut free = view.free.to_vec();
+            let mut placements = Vec::new();
+            for job in &view.pending {
+                let mut remaining = job.tasks;
+                let mut alloc = Vec::new();
+                for (p, f) in free.iter_mut().enumerate() {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let take = remaining.min(*f);
+                    if take > 0 {
+                        alloc.push((PartitionId(p), take));
+                        remaining -= take;
+                        *f -= take;
+                    }
+                }
+                if remaining == 0 {
+                    placements.push(Placement {
+                        job: job.id,
+                        allocation: alloc,
+                    });
+                } else {
+                    // Roll back tentative take for this job.
+                    for (p, n) in alloc {
+                        free[p.index()] += n;
+                    }
+                }
+            }
+            SchedulingDecision {
+                placements,
+                ..SchedulingDecision::noop()
+            }
+        }
+    }
+
+    fn be(id: u64, submit: f64, tasks: u32, duration: f64) -> JobSpec {
+        JobSpec::new(id, submit, tasks, duration, JobKind::BestEffort)
+    }
+
+    #[test]
+    fn single_job_runs_to_completion() {
+        let engine = Engine::new(ClusterSpec::uniform(1, 4), EngineConfig::default());
+        let jobs = vec![be(1, 0.0, 2, 100.0)];
+        let m = engine.run(&jobs, &mut Fifo).unwrap();
+        assert_eq!(m.count(JobState::Completed), 1);
+        let o = &m.outcomes[0];
+        assert_eq!(o.measured_runtime, Some(100.0));
+        assert!(o.finish_time.unwrap() >= 100.0);
+    }
+
+    #[test]
+    fn jobs_queue_when_cluster_full() {
+        // 4-node cluster; two 4-node jobs must serialise.
+        let engine = Engine::new(ClusterSpec::uniform(1, 4), EngineConfig::default());
+        let jobs = vec![be(1, 0.0, 4, 50.0), be(2, 0.0, 4, 50.0)];
+        let m = engine.run(&jobs, &mut Fifo).unwrap();
+        assert_eq!(m.count(JobState::Completed), 2);
+        let f1 = m.outcomes[0].finish_time.unwrap();
+        let s2 = m.outcomes[1].start_time.unwrap();
+        assert!(s2 >= f1, "second job starts after first finishes");
+    }
+
+    #[test]
+    fn off_preferred_placement_runs_slower() {
+        let engine = Engine::new(ClusterSpec::uniform(2, 2), EngineConfig::default());
+        // Preferred partition 0 is fully used by job 1; job 2 prefers
+        // partition 0 but FIFO places it on partition 1 → 1.5× runtime.
+        let jobs = vec![
+            be(1, 0.0, 2, 1000.0),
+            be(2, 0.0, 2, 100.0).with_preference(vec![PartitionId(0)], 1.5),
+        ];
+        let m = engine.run(&jobs, &mut Fifo).unwrap();
+        let o2 = &m.outcomes[1];
+        assert_eq!(o2.measured_runtime, Some(150.0));
+        assert_eq!(o2.on_preferred, Some(false));
+    }
+
+    #[test]
+    fn deadline_bookkeeping() {
+        let engine = Engine::new(ClusterSpec::uniform(1, 1), EngineConfig::default());
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 1, 100.0, JobKind::Slo { deadline: 200.0 }),
+            JobSpec::new(2, 0.0, 1, 100.0, JobKind::Slo { deadline: 150.0 }),
+        ];
+        let m = engine.run(&jobs, &mut Fifo).unwrap();
+        // Job 1 completes ≈ t=102 (first cycle at t=2·k); job 2 serialised
+        // after it, finishing ≈ 204 > 150: one miss.
+        assert!((m.slo_miss_rate() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unplaceable_job_left_pending_at_horizon() {
+        // Job wants 8 nodes, cluster has 4: it can never be placed.
+        let engine = Engine::new(
+            ClusterSpec::uniform(1, 4),
+            EngineConfig {
+                drain: Some(100.0),
+                ..EngineConfig::default()
+            },
+        );
+        let jobs = vec![be(1, 0.0, 8, 10.0)];
+        let m = engine.run(&jobs, &mut Fifo).unwrap();
+        assert_eq!(m.count(JobState::Pending), 1);
+        assert_eq!(m.completion_rate(), 0.0);
+    }
+
+    #[test]
+    fn rc_fidelity_perturbs_runtime_deterministically() {
+        let cluster = ClusterSpec::uniform(1, 4).with_rc_fidelity(RcFidelity {
+            runtime_jitter_cov: 0.05,
+            placement_latency: 2.0,
+        });
+        let engine = Engine::new(cluster.clone(), EngineConfig::default());
+        let jobs = vec![be(1, 0.0, 2, 100.0)];
+        let m1 = engine.run(&jobs, &mut Fifo).unwrap();
+        let m2 = engine.run(&jobs, &mut Fifo).unwrap();
+        let r1 = m1.outcomes[0].measured_runtime.unwrap();
+        let r2 = m2.outcomes[0].measured_runtime.unwrap();
+        assert_eq!(r1, r2, "same seed → same jitter");
+        assert!((r1 - 100.0).abs() > 1e-9, "jitter applied");
+        assert!((r1 - 100.0).abs() < 30.0, "jitter bounded");
+        // Placement latency delays the start.
+        assert!(m1.outcomes[0].start_time.unwrap() >= 2.0);
+    }
+
+    #[test]
+    fn preemption_requeues_and_invalidates_finish() {
+        /// Places the first pending job, then preempts it at t≈10 once.
+        struct PreemptOnce {
+            preempted: bool,
+        }
+        impl Scheduler for PreemptOnce {
+            fn schedule(&mut self, view: &SimulationView<'_>, now: f64) -> SchedulingDecision {
+                let mut d = SchedulingDecision::noop();
+                if !self.preempted && now >= 10.0 && !view.running.is_empty() {
+                    d.preemptions.push(view.running[0].spec.id);
+                    self.preempted = true;
+                    return d;
+                }
+                if let Some(job) = view.pending.first() {
+                    if view.free[0] >= job.tasks {
+                        d.placements.push(Placement {
+                            job: job.id,
+                            allocation: vec![(PartitionId(0), job.tasks)],
+                        });
+                    }
+                }
+                d
+            }
+        }
+        let engine = Engine::new(ClusterSpec::uniform(1, 4), EngineConfig::default());
+        let jobs = vec![be(1, 0.0, 2, 50.0)];
+        let m = engine
+            .run(&jobs, &mut PreemptOnce { preempted: false })
+            .unwrap();
+        let o = &m.outcomes[0];
+        assert_eq!(o.preemptions, 1);
+        assert_eq!(o.state, JobState::Completed);
+        // Work was lost: completion happens after restart + full runtime.
+        assert!(o.finish_time.unwrap() > 60.0);
+        assert_eq!(m.preemptions, 1);
+        // Wasted work ≈ 10 s elapsed × 2 tasks.
+        assert!(
+            (m.wasted_machine_seconds - 20.0).abs() <= 4.0,
+            "wasted {}",
+            m.wasted_machine_seconds
+        );
+    }
+
+    #[test]
+    fn invalid_placement_is_an_error() {
+        struct Bad;
+        impl Scheduler for Bad {
+            fn schedule(&mut self, view: &SimulationView<'_>, _now: f64) -> SchedulingDecision {
+                let mut d = SchedulingDecision::noop();
+                if let Some(job) = view.pending.first() {
+                    d.placements.push(Placement {
+                        job: job.id,
+                        allocation: vec![(PartitionId(0), job.tasks + 5)],
+                    });
+                }
+                d
+            }
+        }
+        let engine = Engine::new(ClusterSpec::uniform(1, 4), EngineConfig::default());
+        let jobs = vec![be(1, 0.0, 1, 10.0)];
+        let err = engine.run(&jobs, &mut Bad).unwrap_err();
+        assert!(matches!(err, SimError::BadAllocation { .. }));
+    }
+
+    #[test]
+    fn over_capacity_is_an_error() {
+        struct Bad;
+        impl Scheduler for Bad {
+            fn schedule(&mut self, view: &SimulationView<'_>, _now: f64) -> SchedulingDecision {
+                let mut d = SchedulingDecision::noop();
+                for job in &view.pending {
+                    d.placements.push(Placement {
+                        job: job.id,
+                        allocation: vec![(PartitionId(0), job.tasks)],
+                    });
+                }
+                d
+            }
+        }
+        let engine = Engine::new(ClusterSpec::uniform(1, 4), EngineConfig::default());
+        let jobs = vec![be(1, 0.0, 3, 10.0), be(2, 0.0, 3, 10.0)];
+        let err = engine.run(&jobs, &mut Bad).unwrap_err();
+        assert_eq!(err, SimError::OverCapacity { partition: PartitionId(0) });
+    }
+
+    #[test]
+    fn cancellation_is_terminal() {
+        struct CancelAll;
+        impl Scheduler for CancelAll {
+            fn schedule(&mut self, view: &SimulationView<'_>, _now: f64) -> SchedulingDecision {
+                SchedulingDecision {
+                    cancellations: view.pending.iter().map(|j| j.id).collect(),
+                    ..SchedulingDecision::noop()
+                }
+            }
+        }
+        let engine = Engine::new(ClusterSpec::uniform(1, 4), EngineConfig::default());
+        let jobs = vec![JobSpec::new(1, 0.0, 1, 10.0, JobKind::Slo { deadline: 100.0 })];
+        let m = engine.run(&jobs, &mut CancelAll).unwrap();
+        assert_eq!(m.count(JobState::Canceled), 1);
+        assert_eq!(m.slo_miss_rate(), 100.0);
+    }
+
+    #[test]
+    fn gangs_span_partitions() {
+        // 3 racks × 2 nodes; a 5-node gang must span racks.
+        let engine = Engine::new(ClusterSpec::uniform(3, 2), EngineConfig::default());
+        let jobs = vec![be(1, 0.0, 5, 60.0)];
+        let m = engine.run(&jobs, &mut Fifo).unwrap();
+        assert_eq!(m.count(JobState::Completed), 1);
+    }
+
+    #[test]
+    fn drain_cutoff_freezes_states() {
+        // Long job + tiny drain: the run ends with the job still running.
+        let engine = Engine::new(
+            ClusterSpec::uniform(1, 4),
+            EngineConfig {
+                drain: Some(10.0),
+                ..EngineConfig::default()
+            },
+        );
+        let jobs = vec![be(1, 0.0, 1, 1e6)];
+        let m = engine.run(&jobs, &mut Fifo).unwrap();
+        assert_eq!(m.count(JobState::Running), 1);
+        assert_eq!(m.goodput_hours(), 0.0, "incomplete work is not goodput");
+        assert!(m.end_time <= 12.0 + 1e-9);
+    }
+
+    #[test]
+    fn same_time_finish_frees_capacity_for_same_cycle() {
+        // Job 2 arrives exactly when job 1 finishes; the cycle at that
+        // timestamp must see the freed capacity (event ordering contract).
+        let engine = Engine::new(
+            ClusterSpec::uniform(1, 1),
+            EngineConfig {
+                cycle_interval: 10.0,
+                ..EngineConfig::default()
+            },
+        );
+        // Job 1 placed at the t=0 cycle, runs 20 s → finishes exactly at a
+        // t=20 cycle boundary. Job 2 arrives at 20 too.
+        let jobs = vec![be(1, 0.0, 1, 20.0), be(2, 20.0, 1, 5.0)];
+        let m = engine.run(&jobs, &mut Fifo).unwrap();
+        assert_eq!(m.outcomes[1].start_time, Some(20.0));
+    }
+
+    #[test]
+    fn preempting_unknown_job_is_an_error() {
+        struct BadPreempt;
+        impl Scheduler for BadPreempt {
+            fn schedule(&mut self, _v: &SimulationView<'_>, _now: f64) -> SchedulingDecision {
+                SchedulingDecision {
+                    preemptions: vec![JobId(999)],
+                    ..SchedulingDecision::noop()
+                }
+            }
+        }
+        let engine = Engine::new(ClusterSpec::uniform(1, 1), EngineConfig::default());
+        let jobs = vec![be(1, 0.0, 1, 5.0)];
+        let err = engine.run(&jobs, &mut BadPreempt).unwrap_err();
+        assert!(matches!(err, SimError::BadJobReference { .. }));
+    }
+
+    #[test]
+    fn cancelling_running_job_is_an_error() {
+        struct CancelRunning;
+        impl Scheduler for CancelRunning {
+            fn schedule(&mut self, view: &SimulationView<'_>, _now: f64) -> SchedulingDecision {
+                let mut d = SchedulingDecision::noop();
+                if let Some(job) = view.pending.first() {
+                    d.placements.push(Placement {
+                        job: job.id,
+                        allocation: vec![(PartitionId(0), job.tasks)],
+                    });
+                }
+                if let Some(r) = view.running.first() {
+                    d.cancellations.push(r.spec.id);
+                }
+                d
+            }
+        }
+        let engine = Engine::new(ClusterSpec::uniform(1, 2), EngineConfig::default());
+        let jobs = vec![be(1, 0.0, 1, 50.0)];
+        let err = engine.run(&jobs, &mut CancelRunning).unwrap_err();
+        assert!(matches!(err, SimError::BadJobReference { action: "cancel", .. }));
+    }
+
+    #[test]
+    fn view_elapsed_tracks_simulation_time() {
+        struct CheckElapsed {
+            checked: bool,
+        }
+        impl Scheduler for CheckElapsed {
+            fn schedule(&mut self, view: &SimulationView<'_>, now: f64) -> SchedulingDecision {
+                let mut d = SchedulingDecision::noop();
+                if let Some(r) = view.running.first() {
+                    if now >= 10.0 && !self.checked {
+                        assert!((r.elapsed(now) - (now - r.start_time)).abs() < 1e-9);
+                        assert!(r.elapsed(now) >= 8.0);
+                        self.checked = true;
+                    }
+                    return d;
+                }
+                if let Some(job) = view.pending.first() {
+                    d.placements.push(Placement {
+                        job: job.id,
+                        allocation: vec![(PartitionId(0), job.tasks)],
+                    });
+                }
+                d
+            }
+        }
+        let engine = Engine::new(ClusterSpec::uniform(1, 1), EngineConfig::default());
+        let jobs = vec![be(1, 0.0, 1, 30.0)];
+        let mut s = CheckElapsed { checked: false };
+        engine.run(&jobs, &mut s).unwrap();
+        assert!(s.checked);
+    }
+
+    #[test]
+    fn duplicate_job_ids_panic() {
+        let engine = Engine::new(ClusterSpec::uniform(1, 1), EngineConfig::default());
+        let jobs = vec![be(7, 0.0, 1, 5.0), be(7, 1.0, 1, 5.0)];
+        let result = std::panic::catch_unwind(|| engine.run(&jobs, &mut Fifo));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn total_free_view_helper() {
+        struct Check;
+        impl Scheduler for Check {
+            fn schedule(&mut self, view: &SimulationView<'_>, _now: f64) -> SchedulingDecision {
+                assert_eq!(view.total_free(), view.free.iter().sum::<u32>());
+                SchedulingDecision::noop()
+            }
+        }
+        let engine = Engine::new(
+            ClusterSpec::uniform(2, 3),
+            EngineConfig {
+                drain: Some(5.0),
+                ..EngineConfig::default()
+            },
+        );
+        let jobs = vec![be(1, 0.0, 1, 5.0)];
+        engine.run(&jobs, &mut Check).unwrap();
+    }
+
+    #[test]
+    fn scheduler_callbacks_fire() {
+        #[derive(Default)]
+        struct Counting {
+            submitted: usize,
+            completed: usize,
+            observed_runtime: f64,
+        }
+        impl Scheduler for Counting {
+            fn on_job_submitted(&mut self, _spec: &JobSpec, _now: f64) {
+                self.submitted += 1;
+            }
+            fn on_job_completed(&mut self, _spec: &JobSpec, outcome: &JobOutcome, _now: f64) {
+                self.completed += 1;
+                self.observed_runtime = outcome.measured_runtime.unwrap();
+            }
+            fn schedule(&mut self, view: &SimulationView<'_>, _now: f64) -> SchedulingDecision {
+                let mut d = SchedulingDecision::noop();
+                for job in &view.pending {
+                    d.placements.push(Placement {
+                        job: job.id,
+                        allocation: vec![(PartitionId(0), job.tasks)],
+                    });
+                    break;
+                }
+                d
+            }
+        }
+        let engine = Engine::new(ClusterSpec::uniform(1, 4), EngineConfig::default());
+        let jobs = vec![be(1, 5.0, 1, 42.0)];
+        let mut s = Counting::default();
+        let m = engine.run(&jobs, &mut s).unwrap();
+        assert_eq!(s.submitted, 1);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.observed_runtime, 42.0);
+        assert_eq!(m.cycles > 0, true);
+    }
+}

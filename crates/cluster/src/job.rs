@@ -1,0 +1,280 @@
+//! Job model: what the cluster manager knows about a job.
+//!
+//! The *actual* runtime is carried in the spec (the trace knows it) but is
+//! hidden from schedulers by the engine — only `PointPerfEst`-style oracle
+//! schedulers are handed it explicitly by the experiment harness.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::PartitionId;
+
+/// Unique job identifier within a trace.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct JobId(pub u64);
+
+/// SLO (deadline) or latency-sensitive best-effort job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum JobKind {
+    /// Production job with a completion deadline (absolute time).
+    Slo {
+        /// Absolute deadline (seconds since trace start).
+        deadline: f64,
+    },
+    /// Latency-sensitive best-effort job (the sooner the better).
+    BestEffort,
+}
+
+impl JobKind {
+    /// True for SLO jobs.
+    pub fn is_slo(&self) -> bool {
+        matches!(self, JobKind::Slo { .. })
+    }
+
+    /// The deadline, if any.
+    pub fn deadline(&self) -> Option<f64> {
+        match self {
+            JobKind::Slo { deadline } => Some(*deadline),
+            JobKind::BestEffort => None,
+        }
+    }
+}
+
+/// Opaque job attributes (user, job name, priority, ...) — the features
+/// 3σPredict builds histories over. Order-preserving list of key/value
+/// pairs; keys are unique.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attributes(Vec<(String, String)>);
+
+impl Attributes {
+    /// Empty attribute set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds or replaces an attribute.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        let key = key.into();
+        let value = value.into();
+        match self.0.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => *v = value,
+            None => self.0.push((key, value)),
+        }
+    }
+
+    /// Builder-style [`set`](Self::set).
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// Looks up an attribute value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Iterates `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.0.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if no attributes are set.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// Full specification of one job in a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Unique id.
+    pub id: JobId,
+    /// Arrival time (seconds since trace start).
+    pub submit_time: f64,
+    /// Nodes required, gang-scheduled (the paper models Mapper-only jobs;
+    /// one task per node).
+    pub tasks: u32,
+    /// Actual runtime in seconds on *preferred* resources. Hidden from
+    /// schedulers; the engine uses it to generate completion events.
+    pub duration: f64,
+    /// SLO or best-effort.
+    pub kind: JobKind,
+    /// Preferred partitions (soft constraint). `None` — indifferent.
+    pub preferred: Option<Vec<PartitionId>>,
+    /// Runtime multiplier when any allocation is off-preferred (§5 uses
+    /// 1.5×). Ignored when `preferred` is `None`.
+    pub nonpreferred_slowdown: f64,
+    /// Relative weight of this job's utility (SLO jobs outweigh BE jobs).
+    pub utility_weight: f64,
+    /// Attributes used by 3σPredict for history grouping.
+    pub attributes: Attributes,
+}
+
+impl JobSpec {
+    /// Minimal valid job; customise via struct update or the setters.
+    pub fn new(id: u64, submit_time: f64, tasks: u32, duration: f64, kind: JobKind) -> Self {
+        assert!(tasks > 0, "a job needs at least one task");
+        assert!(duration > 0.0, "duration must be positive");
+        assert!(submit_time >= 0.0, "submit time must be non-negative");
+        Self {
+            id: JobId(id),
+            submit_time,
+            tasks,
+            duration,
+            kind,
+            preferred: None,
+            nonpreferred_slowdown: 1.0,
+            utility_weight: 1.0,
+            attributes: Attributes::new(),
+        }
+    }
+
+    /// Sets soft placement preference with the given off-preferred slowdown.
+    pub fn with_preference(mut self, preferred: Vec<PartitionId>, slowdown: f64) -> Self {
+        assert!(slowdown >= 1.0, "slowdown must be ≥ 1");
+        self.preferred = Some(preferred);
+        self.nonpreferred_slowdown = slowdown;
+        self
+    }
+
+    /// Sets the utility weight.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.utility_weight = weight;
+        self
+    }
+
+    /// Sets the attribute map.
+    pub fn with_attributes(mut self, attributes: Attributes) -> Self {
+        self.attributes = attributes;
+        self
+    }
+
+    /// Runtime if executed on the given allocation: `duration`, scaled by
+    /// the slowdown when any node is outside the preferred set.
+    pub fn runtime_on(&self, allocation: &[(PartitionId, u32)]) -> f64 {
+        match &self.preferred {
+            None => self.duration,
+            Some(pref) => {
+                let off = allocation
+                    .iter()
+                    .any(|(p, n)| *n > 0 && !pref.contains(p));
+                if off {
+                    self.duration * self.nonpreferred_slowdown
+                } else {
+                    self.duration
+                }
+            }
+        }
+    }
+
+    /// Deadline slack fraction `(deadline − submit − duration) / duration`,
+    /// if this is an SLO job (the workload knob of §5).
+    pub fn deadline_slack(&self) -> Option<f64> {
+        let deadline = self.kind.deadline()?;
+        Some((deadline - self.submit_time - self.duration) / self.duration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attributes_set_get_replace() {
+        let mut a = Attributes::new();
+        a.set("user", "alice");
+        a.set("job_name", "etl");
+        assert_eq!(a.get("user"), Some("alice"));
+        a.set("user", "bob");
+        assert_eq!(a.get("user"), Some("bob"));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn runtime_scales_off_preferred() {
+        let job = JobSpec::new(1, 0.0, 4, 100.0, JobKind::BestEffort)
+            .with_preference(vec![PartitionId(0), PartitionId(1)], 1.5);
+        let on = vec![(PartitionId(0), 2), (PartitionId(1), 2)];
+        let off = vec![(PartitionId(0), 2), (PartitionId(2), 2)];
+        assert_eq!(job.runtime_on(&on), 100.0);
+        assert_eq!(job.runtime_on(&off), 150.0);
+    }
+
+    #[test]
+    fn zero_count_allocations_do_not_trigger_slowdown() {
+        let job = JobSpec::new(1, 0.0, 2, 50.0, JobKind::BestEffort)
+            .with_preference(vec![PartitionId(0)], 2.0);
+        let alloc = vec![(PartitionId(0), 2), (PartitionId(1), 0)];
+        assert_eq!(job.runtime_on(&alloc), 50.0);
+    }
+
+    #[test]
+    fn indifferent_jobs_never_slow_down() {
+        let job = JobSpec::new(1, 0.0, 2, 50.0, JobKind::BestEffort);
+        assert_eq!(job.runtime_on(&[(PartitionId(7), 2)]), 50.0);
+    }
+
+    #[test]
+    fn deadline_slack_matches_definition() {
+        // slack 60%: deadline = submit + 1.6·runtime.
+        let job = JobSpec::new(1, 100.0, 1, 50.0, JobKind::Slo { deadline: 180.0 });
+        assert!((job.deadline_slack().unwrap() - 0.6).abs() < 1e-12);
+        let be = JobSpec::new(2, 0.0, 1, 50.0, JobKind::BestEffort);
+        assert_eq!(be.deadline_slack(), None);
+    }
+
+    #[test]
+    fn attributes_iterate_in_insertion_order() {
+        let a = Attributes::new()
+            .with("z", "1")
+            .with("a", "2")
+            .with("m", "3");
+        let keys: Vec<&str> = a.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["z", "a", "m"]);
+        assert!(!a.is_empty());
+        assert!(Attributes::new().is_empty());
+    }
+
+    #[test]
+    fn kind_helpers() {
+        let slo = JobKind::Slo { deadline: 42.0 };
+        assert!(slo.is_slo());
+        assert_eq!(slo.deadline(), Some(42.0));
+        assert!(!JobKind::BestEffort.is_slo());
+        assert_eq!(JobKind::BestEffort.deadline(), None);
+    }
+
+    #[test]
+    fn spec_json_roundtrip() {
+        let job = JobSpec::new(9, 5.0, 3, 120.0, JobKind::Slo { deadline: 500.0 })
+            .with_preference(vec![PartitionId(1), PartitionId(2)], 1.5)
+            .with_weight(10.0)
+            .with_attributes(Attributes::new().with("user", "u1"));
+        let json = serde_json::to_string(&job).unwrap();
+        let back: JobSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, job);
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown")]
+    fn sub_unit_slowdown_panics() {
+        let _ = JobSpec::new(1, 0.0, 1, 10.0, JobKind::BestEffort)
+            .with_preference(vec![PartitionId(0)], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "task")]
+    fn zero_tasks_panic() {
+        let _ = JobSpec::new(1, 0.0, 0, 10.0, JobKind::BestEffort);
+    }
+}

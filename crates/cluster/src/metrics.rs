@@ -1,0 +1,256 @@
+//! Per-job outcomes and the paper's success metrics (§5).
+
+use serde::{Deserialize, Serialize};
+
+use crate::job::{JobId, JobKind};
+
+/// Terminal (or final observed) state of a job after a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Never started before the simulation ended.
+    Pending,
+    /// Still running when the simulation ended.
+    Running,
+    /// Ran to completion.
+    Completed,
+    /// Explicitly cancelled by the scheduler.
+    Canceled,
+}
+
+/// Everything recorded about one job during a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// Job id.
+    pub id: JobId,
+    /// SLO/BE and deadline.
+    pub kind: JobKind,
+    /// Arrival time.
+    pub submit_time: f64,
+    /// Gang width (nodes held while running).
+    pub tasks: u32,
+    /// Final state.
+    pub state: JobState,
+    /// Start of the (last) successful execution attempt.
+    pub start_time: Option<f64>,
+    /// Completion time, if completed.
+    pub finish_time: Option<f64>,
+    /// Observed runtime of the completed execution (includes off-preferred
+    /// slowdown and any RC-fidelity jitter) — what 3σPredict gets to see.
+    pub measured_runtime: Option<f64>,
+    /// Times this job was preempted (work lost, job requeued).
+    pub preemptions: u32,
+    /// Whether the completed run was entirely on preferred partitions.
+    pub on_preferred: Option<bool>,
+}
+
+impl JobOutcome {
+    /// True for SLO jobs.
+    pub fn is_slo(&self) -> bool {
+        self.kind.is_slo()
+    }
+
+    /// An SLO job *met* its deadline iff it completed by the deadline.
+    /// `None` for best-effort jobs.
+    pub fn deadline_met(&self) -> Option<bool> {
+        let deadline = self.kind.deadline()?;
+        Some(matches!(self.state, JobState::Completed) && self.finish_time.unwrap() <= deadline)
+    }
+
+    /// Response time (completion − submission), if completed.
+    pub fn latency(&self) -> Option<f64> {
+        Some(self.finish_time? - self.submit_time)
+    }
+
+    /// Machine-seconds of completed work (`tasks × measured runtime`), zero
+    /// unless completed.
+    pub fn machine_seconds(&self) -> f64 {
+        match (self.state, self.measured_runtime) {
+            (JobState::Completed, Some(rt)) => self.tasks as f64 * rt,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Aggregated results of a simulation run.
+///
+/// Goodput counts *useful* completed work: SLO jobs contribute only when
+/// they met their deadline; best-effort jobs contribute whenever they
+/// completed. (The SLO miss rate alone does not represent BE work or late
+/// SLO work, which is why the paper reports goodput separately.)
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Per-job records, in trace order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Simulated time at which the run ended.
+    pub end_time: f64,
+    /// Scheduling cycles executed.
+    pub cycles: usize,
+    /// Total preemptions applied.
+    pub preemptions: usize,
+    /// Machine-seconds of work destroyed by kill-based preemption (elapsed
+    /// execution time × gang width of every killed attempt).
+    pub wasted_machine_seconds: f64,
+}
+
+impl Metrics {
+    /// Fraction (0–100) of SLO jobs that missed their deadline. Jobs that
+    /// never completed count as misses.
+    pub fn slo_miss_rate(&self) -> f64 {
+        let slo: Vec<_> = self.outcomes.iter().filter(|o| o.is_slo()).collect();
+        if slo.is_empty() {
+            return 0.0;
+        }
+        let missed = slo
+            .iter()
+            .filter(|o| o.deadline_met() == Some(false))
+            .count();
+        100.0 * missed as f64 / slo.len() as f64
+    }
+
+    /// Machine-hours of SLO work completed within deadline.
+    pub fn slo_goodput_hours(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .filter(|o| o.deadline_met() == Some(true))
+            .map(|o| o.machine_seconds())
+            .sum::<f64>()
+            / 3600.0
+    }
+
+    /// Machine-hours of completed best-effort work.
+    pub fn be_goodput_hours(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .filter(|o| !o.is_slo() && o.state == JobState::Completed)
+            .map(|o| o.machine_seconds())
+            .sum::<f64>()
+            / 3600.0
+    }
+
+    /// Total goodput (SLO-within-deadline + completed BE), machine-hours.
+    pub fn goodput_hours(&self) -> f64 {
+        self.slo_goodput_hours() + self.be_goodput_hours()
+    }
+
+    /// Mean response time of completed best-effort jobs, seconds.
+    /// `None` when no BE job completed.
+    pub fn mean_be_latency(&self) -> Option<f64> {
+        let lat: Vec<f64> = self
+            .outcomes
+            .iter()
+            .filter(|o| !o.is_slo() && o.state == JobState::Completed)
+            .filter_map(|o| o.latency())
+            .collect();
+        if lat.is_empty() {
+            return None;
+        }
+        Some(lat.iter().sum::<f64>() / lat.len() as f64)
+    }
+
+    /// Number of jobs in the given state.
+    pub fn count(&self, state: JobState) -> usize {
+        self.outcomes.iter().filter(|o| o.state == state).count()
+    }
+
+    /// Machine-hours of work destroyed by preemptions.
+    pub fn wasted_hours(&self) -> f64 {
+        self.wasted_machine_seconds / 3600.0
+    }
+
+    /// Completed fraction of all jobs (0–1).
+    pub fn completion_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.count(JobState::Completed) as f64 / self.outcomes.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: u64, kind: JobKind, state: JobState, finish: Option<f64>) -> JobOutcome {
+        JobOutcome {
+            id: JobId(id),
+            kind,
+            submit_time: 0.0,
+            tasks: 2,
+            state,
+            start_time: finish.map(|f| f - 10.0),
+            finish_time: finish,
+            measured_runtime: finish.map(|_| 10.0),
+            preemptions: 0,
+            on_preferred: Some(true),
+        }
+    }
+
+    #[test]
+    fn miss_rate_counts_unfinished_slo_jobs() {
+        let m = Metrics {
+            outcomes: vec![
+                outcome(1, JobKind::Slo { deadline: 100.0 }, JobState::Completed, Some(50.0)),
+                outcome(2, JobKind::Slo { deadline: 100.0 }, JobState::Completed, Some(150.0)),
+                outcome(3, JobKind::Slo { deadline: 100.0 }, JobState::Pending, None),
+                outcome(4, JobKind::BestEffort, JobState::Completed, Some(80.0)),
+            ],
+            ..Metrics::default()
+        };
+        assert!((m.slo_miss_rate() - 66.666).abs() < 0.01);
+    }
+
+    #[test]
+    fn goodput_splits_slo_and_be() {
+        let m = Metrics {
+            outcomes: vec![
+                // met deadline: counts (2 tasks × 10 s).
+                outcome(1, JobKind::Slo { deadline: 100.0 }, JobState::Completed, Some(50.0)),
+                // missed: excluded from goodput.
+                outcome(2, JobKind::Slo { deadline: 100.0 }, JobState::Completed, Some(150.0)),
+                outcome(3, JobKind::BestEffort, JobState::Completed, Some(80.0)),
+            ],
+            ..Metrics::default()
+        };
+        let unit = 2.0 * 10.0 / 3600.0;
+        assert!((m.slo_goodput_hours() - unit).abs() < 1e-12);
+        assert!((m.be_goodput_hours() - unit).abs() < 1e-12);
+        assert!((m.goodput_hours() - 2.0 * unit).abs() < 1e-12);
+    }
+
+    #[test]
+    fn be_latency_ignores_slo_and_incomplete() {
+        let m = Metrics {
+            outcomes: vec![
+                outcome(1, JobKind::BestEffort, JobState::Completed, Some(30.0)),
+                outcome(2, JobKind::BestEffort, JobState::Completed, Some(50.0)),
+                outcome(3, JobKind::BestEffort, JobState::Pending, None),
+                outcome(4, JobKind::Slo { deadline: 10.0 }, JobState::Completed, Some(5.0)),
+            ],
+            ..Metrics::default()
+        };
+        assert!((m.mean_be_latency().unwrap() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_are_calm() {
+        let m = Metrics::default();
+        assert_eq!(m.slo_miss_rate(), 0.0);
+        assert_eq!(m.goodput_hours(), 0.0);
+        assert_eq!(m.mean_be_latency(), None);
+        assert_eq!(m.completion_rate(), 0.0);
+    }
+
+    #[test]
+    fn canceled_slo_is_a_miss() {
+        let m = Metrics {
+            outcomes: vec![outcome(
+                1,
+                JobKind::Slo { deadline: 100.0 },
+                JobState::Canceled,
+                None,
+            )],
+            ..Metrics::default()
+        };
+        assert_eq!(m.slo_miss_rate(), 100.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Discrete working form of a runtime distribution.
+//!
+//! The scheduler reduces every [`RuntimeDistribution`] to a small set of
+//! `(runtime, probability)` mass points once per cycle. All of §3's math
+//! then becomes cheap sums: Eq. 1's expected utility is a weighted sum over
+//! the points, Eq. 3's expected resource consumption is the survival
+//! function of the point set, and Eq. 2's conditional update is a filter
+//! plus renormalisation. Off-preferred placement (×1.5 runtime) is a scale
+//! of the point abscissae.
+
+use threesigma_histogram::{Dist, RuntimeDistribution};
+
+/// A discrete runtime distribution: sorted `(runtime, probability)` points
+/// with probabilities summing to 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteDist {
+    points: Vec<(f64, f64)>,
+}
+
+impl DiscreteDist {
+    /// Discretises a [`RuntimeDistribution`] into at most `max_points`
+    /// mass points.
+    pub fn from_distribution(dist: &RuntimeDistribution, max_points: usize) -> Self {
+        let mut points = dist.mass_points(max_points.max(1));
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite runtimes"));
+        let d = Self { points };
+        debug_assert!(d.is_normalised());
+        d
+    }
+
+    /// A single point mass (how point-estimate schedulers see a job).
+    pub fn point(runtime: f64) -> Self {
+        Self {
+            points: vec![(runtime.max(0.0), 1.0)],
+        }
+    }
+
+    /// Builds directly from points (must be sorted; for tests/examples).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points are unsorted or probabilities do not sum to ~1.
+    pub fn from_points(points: Vec<(f64, f64)>) -> Self {
+        assert!(
+            points.windows(2).all(|w| w[0].0 <= w[1].0),
+            "points must be sorted by runtime"
+        );
+        let d = Self { points };
+        assert!(d.is_normalised(), "probabilities must sum to 1");
+        d
+    }
+
+    fn is_normalised(&self) -> bool {
+        let total: f64 = self.points.iter().map(|(_, p)| p).sum();
+        (total - 1.0).abs() < 1e-6
+    }
+
+    /// The mass points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Scales all runtimes by `factor` (off-preferred slowdown).
+    pub fn scale(&self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        Self {
+            points: self.points.iter().map(|(t, p)| (t * factor, *p)).collect(),
+        }
+    }
+
+    /// Conditions on the job having already run `elapsed` seconds (Eq. 2).
+    ///
+    /// If `elapsed` exceeds every supported runtime (the distribution is
+    /// exhausted — an under-estimate), the conditional collapses to a point
+    /// mass at `elapsed`; the caller layers exp-inc handling on top.
+    pub fn condition(&self, elapsed: f64) -> Self {
+        let kept: Vec<(f64, f64)> = self
+            .points
+            .iter()
+            .filter(|(t, _)| *t > elapsed)
+            .copied()
+            .collect();
+        let total: f64 = kept.iter().map(|(_, p)| p).sum();
+        if total <= 1e-12 {
+            return Self::point(elapsed);
+        }
+        Self {
+            points: kept.into_iter().map(|(t, p)| (t, p / total)).collect(),
+        }
+    }
+
+    /// `P(T > t)` — probability the job still holds resources after running
+    /// for `t` seconds (Eq. 3's `1 − CDF`).
+    pub fn survival(&self, t: f64) -> f64 {
+        self.points
+            .iter()
+            .filter(|(ti, _)| *ti > t)
+            .map(|(_, p)| p)
+            .sum()
+    }
+
+    /// `P(T ≤ t)`.
+    pub fn cdf(&self, t: f64) -> f64 {
+        1.0 - self.survival(t)
+    }
+
+    /// Expected runtime.
+    pub fn mean(&self) -> f64 {
+        self.points.iter().map(|(t, p)| t * p).sum()
+    }
+
+    /// Largest supported runtime (the under-estimate trigger of §4.2.1).
+    pub fn upper(&self) -> f64 {
+        self.points.last().map_or(0.0, |(t, _)| *t)
+    }
+
+    /// Smallest supported runtime.
+    pub fn lower(&self) -> f64 {
+        self.points.first().map_or(0.0, |(t, _)| *t)
+    }
+
+    /// True once `elapsed` exceeds every supported runtime.
+    pub fn is_exhausted_at(&self, elapsed: f64) -> bool {
+        elapsed >= self.upper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threesigma_histogram::Uniform;
+
+    fn uniform_0_10() -> DiscreteDist {
+        DiscreteDist::from_distribution(
+            &RuntimeDistribution::Uniform(Uniform::new(0.0, 10.0)),
+            40,
+        )
+    }
+
+    #[test]
+    fn from_distribution_preserves_mean() {
+        let d = uniform_0_10();
+        assert!((d.mean() - 5.0).abs() < 0.2, "mean {}", d.mean());
+        assert!(d.points().len() <= 40);
+    }
+
+    #[test]
+    fn survival_decreases_like_fig5() {
+        let d = uniform_0_10();
+        assert!((d.survival(0.0) - 1.0).abs() < 0.05);
+        assert!((d.survival(2.5) - 0.75).abs() < 0.05);
+        assert!((d.survival(5.0) - 0.5).abs() < 0.05);
+        assert!((d.survival(7.5) - 0.25).abs() < 0.05);
+        assert_eq!(d.survival(10.0), 0.0);
+    }
+
+    #[test]
+    fn scaling_stretches_time() {
+        let d = DiscreteDist::point(100.0).scale(1.5);
+        assert_eq!(d.mean(), 150.0);
+        assert_eq!(d.upper(), 150.0);
+        assert_eq!(d.survival(149.0), 1.0);
+        assert_eq!(d.survival(150.0), 0.0);
+    }
+
+    #[test]
+    fn conditioning_renormalises() {
+        let d = uniform_0_10().condition(5.0);
+        assert!((d.survival(7.5) - 0.5).abs() < 0.07, "{}", d.survival(7.5));
+        assert!(d.lower() > 5.0);
+        let total: f64 = d.points().iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhausted_condition_is_point_at_elapsed() {
+        let d = uniform_0_10();
+        assert!(d.is_exhausted_at(10.0));
+        let c = d.condition(12.0);
+        assert_eq!(c.points(), &[(12.0, 1.0)]);
+    }
+
+    #[test]
+    fn point_mass_cdf_is_a_step() {
+        let d = DiscreteDist::point(5.0);
+        assert_eq!(d.cdf(4.9), 0.0);
+        assert_eq!(d.cdf(5.0), 1.0);
+        assert!(!d.is_exhausted_at(4.9));
+        assert!(d.is_exhausted_at(5.0));
+    }
+
+    #[test]
+    fn conditioning_is_idempotent_past_elapsed() {
+        let d = uniform_0_10();
+        let once = d.condition(4.0);
+        let twice = once.condition(4.0);
+        assert_eq!(once.points().len(), twice.points().len());
+        for (a, b) in once.points().iter().zip(twice.points()) {
+            assert_eq!(a.0, b.0);
+            assert!((a.1 - b.1).abs() < 1e-12, "re-conditioning is a no-op");
+        }
+        // Conditioning further ahead only removes more mass.
+        let further = once.condition(6.0);
+        assert!(further.lower() >= 6.0);
+        assert!(further.points().len() <= once.points().len());
+    }
+
+    #[test]
+    fn condition_then_scale_commutes_with_scale_then_condition() {
+        let d = uniform_0_10();
+        let a = d.scale(1.5).condition(6.0);
+        let b = d.condition(4.0).scale(1.5);
+        // Same support and mass (scaling time by 1.5 maps elapsed 4 → 6).
+        assert!((a.lower() - b.lower()).abs() < 1e-9);
+        assert!((a.upper() - b.upper()).abs() < 1e-9);
+        assert!((a.mean() - b.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn survival_plus_cdf_is_one() {
+        let d = DiscreteDist::from_points(vec![(1.0, 0.25), (2.0, 0.25), (5.0, 0.5)]);
+        for t in [0.0, 1.0, 1.5, 2.0, 4.9, 5.0, 9.0] {
+            assert!((d.survival(t) + d.cdf(t) - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(d.lower(), 1.0);
+        assert_eq!(d.upper(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_points_panic() {
+        let _ = DiscreteDist::from_points(vec![(5.0, 0.5), (1.0, 0.5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum")]
+    fn unnormalised_points_panic() {
+        let _ = DiscreteDist::from_points(vec![(1.0, 0.5), (2.0, 0.2)]);
+    }
+}

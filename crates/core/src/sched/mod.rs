@@ -1,0 +1,11 @@
+//! Schedulers: 3σSched and the baselines of Table 1.
+//!
+//! [`threesigma::ThreeSigmaScheduler`] implements the MILP-based
+//! distribution scheduler; its [`threesigma::EstimateSource`] and
+//! [`threesigma::OverestimateMode`] knobs also yield the `PointPerfEst`,
+//! `PointRealEst`, and ablation configurations. [`prio::PrioScheduler`] is
+//! the runtime-unaware strict-priority baseline (Borg-like).
+
+pub mod backfill;
+pub mod prio;
+pub mod threesigma;

@@ -1,0 +1,244 @@
+//! Prio: the runtime-unaware strict-priority baseline (Table 1).
+//!
+//! Represents Borg-class production schedulers: SLO jobs take strict
+//! priority over best-effort jobs (earliest deadline first within SLO,
+//! FIFO within BE), placement is greedy preferred-racks-first, and running
+//! BE jobs are preempted whenever an SLO job cannot otherwise fit. No
+//! runtime information is consulted, so the scheduler can neither exploit
+//! deadline slack nor avoid unnecessary preemptions.
+
+use threesigma_cluster::{
+    JobId, JobSpec, PartitionId, Placement, Scheduler, SchedulingDecision, SimulationView,
+};
+
+/// The priority scheduler.
+#[derive(Debug, Default)]
+pub struct PrioScheduler;
+
+impl PrioScheduler {
+    /// Creates the scheduler.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+/// Greedy gang packing: preferred racks first (fullest-first within each
+/// tier). Returns `None` if the gang does not fit in `free`.
+fn pack(spec: &JobSpec, free: &[u32]) -> Option<Vec<(PartitionId, u32)>> {
+    let preferred = |p: usize| -> bool {
+        spec.preferred
+            .as_ref()
+            .is_none_or(|pref| pref.contains(&PartitionId(p)))
+    };
+    let mut racks: Vec<(usize, u32)> = free
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| **f > 0)
+        .map(|(p, f)| (p, *f))
+        .collect();
+    racks.sort_by(|a, b| {
+        preferred(b.0)
+            .cmp(&preferred(a.0))
+            .then(b.1.cmp(&a.1))
+    });
+    let mut remaining = spec.tasks;
+    let mut alloc = Vec::new();
+    for (p, f) in racks {
+        if remaining == 0 {
+            break;
+        }
+        let take = remaining.min(f);
+        alloc.push((PartitionId(p), take));
+        remaining -= take;
+    }
+    (remaining == 0).then_some(alloc)
+}
+
+impl Scheduler for PrioScheduler {
+    fn schedule(&mut self, view: &SimulationView<'_>, _now: f64) -> SchedulingDecision {
+        let mut decision = SchedulingDecision::noop();
+        let mut free = view.free.to_vec();
+
+        // Preemptable BE pool: youngest attempts first (least work lost).
+        let mut be_running: Vec<(JobId, f64, Vec<(PartitionId, u32)>)> = view
+            .running
+            .iter()
+            .filter(|r| !r.spec.kind.is_slo())
+            .map(|r| (r.spec.id, r.start_time, r.allocation.to_vec()))
+            .collect();
+        be_running.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+
+        // SLO first (EDF), then BE (FIFO).
+        let mut slo: Vec<&JobSpec> = view
+            .pending
+            .iter()
+            .copied()
+            .filter(|j| j.kind.is_slo())
+            .collect();
+        slo.sort_by(|a, b| {
+            a.kind
+                .deadline()
+                .partial_cmp(&b.kind.deadline())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut be: Vec<&JobSpec> = view
+            .pending
+            .iter()
+            .copied()
+            .filter(|j| !j.kind.is_slo())
+            .collect();
+        be.sort_by(|a, b| {
+            a.submit_time
+                .partial_cmp(&b.submit_time)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        for spec in slo {
+            if let Some(alloc) = pack(spec, &free) {
+                for (p, n) in &alloc {
+                    free[p.index()] -= n;
+                }
+                decision.placements.push(Placement {
+                    job: spec.id,
+                    allocation: alloc,
+                });
+                continue;
+            }
+            // Preempt BE jobs (youngest first) until the gang fits.
+            let total_free: u32 = free.iter().sum();
+            let mut reclaimable: u32 = be_running
+                .iter()
+                .map(|(_, _, a)| a.iter().map(|(_, n)| n).sum::<u32>())
+                .sum();
+            if total_free + reclaimable < spec.tasks {
+                continue; // cannot fit even with full preemption
+            }
+            let mut freed = free.clone();
+            while let Some((id, _, alloc)) = be_running.pop() {
+                for (p, n) in &alloc {
+                    freed[p.index()] += n;
+                }
+                reclaimable -= alloc.iter().map(|(_, n)| n).sum::<u32>();
+                decision.preemptions.push(id);
+                if freed.iter().sum::<u32>() >= spec.tasks {
+                    if let Some(a) = pack(spec, &freed) {
+                        for (p, n) in &a {
+                            freed[p.index()] -= n;
+                        }
+                        decision.placements.push(Placement {
+                            job: spec.id,
+                            allocation: a,
+                        });
+                        break;
+                    }
+                }
+            }
+            free = freed;
+            let _ = reclaimable;
+        }
+
+        for spec in be {
+            if let Some(alloc) = pack(spec, &free) {
+                for (p, n) in &alloc {
+                    free[p.index()] -= n;
+                }
+                decision.placements.push(Placement {
+                    job: spec.id,
+                    allocation: alloc,
+                });
+            }
+        }
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threesigma_cluster::{ClusterSpec, Engine, EngineConfig, JobKind, JobSpec};
+
+    fn engine(racks: usize, per_rack: u32) -> Engine {
+        Engine::new(
+            ClusterSpec::uniform(racks, per_rack),
+            EngineConfig {
+                cycle_interval: 2.0,
+                drain: Some(4.0 * 3600.0),
+                seed: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn slo_goes_before_earlier_be() {
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 2, 100.0, JobKind::BestEffort),
+            JobSpec::new(2, 0.0, 2, 100.0, JobKind::Slo { deadline: 5000.0 }),
+        ];
+        let m = engine(1, 2).run(&jobs, &mut PrioScheduler::new()).unwrap();
+        let be = &m.outcomes[0];
+        let slo = &m.outcomes[1];
+        assert!(slo.start_time.unwrap() < be.start_time.unwrap());
+    }
+
+    #[test]
+    fn edf_orders_slo_jobs() {
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 2, 100.0, JobKind::Slo { deadline: 9000.0 }),
+            JobSpec::new(2, 0.0, 2, 100.0, JobKind::Slo { deadline: 500.0 }),
+        ];
+        let m = engine(1, 2).run(&jobs, &mut PrioScheduler::new()).unwrap();
+        assert!(m.outcomes[1].start_time.unwrap() < m.outcomes[0].start_time.unwrap());
+        assert_eq!(m.slo_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn preempts_be_for_slo_even_with_ample_slack() {
+        // The signature Prio pathology: it preempts even though the SLO
+        // deadline has plenty of slack.
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 2, 300.0, JobKind::BestEffort),
+            JobSpec::new(2, 10.0, 2, 100.0, JobKind::Slo { deadline: 100_000.0 }),
+        ];
+        let m = engine(1, 2).run(&jobs, &mut PrioScheduler::new()).unwrap();
+        assert!(m.outcomes[0].preemptions >= 1, "{:?}", m.outcomes[0]);
+        assert_eq!(m.slo_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn prefers_preferred_racks() {
+        let jobs = vec![JobSpec::new(1, 0.0, 2, 100.0, JobKind::Slo { deadline: 5000.0 })
+            .with_preference(vec![PartitionId(1)], 1.5)];
+        let m = engine(2, 2).run(&jobs, &mut PrioScheduler::new()).unwrap();
+        assert_eq!(m.outcomes[0].on_preferred, Some(true));
+    }
+
+    #[test]
+    fn places_off_preferred_rather_than_waiting() {
+        // Preferred rack fully busy with an SLO job (not preemptable):
+        // Prio places the new SLO job off-preferred immediately.
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 2, 1000.0, JobKind::Slo { deadline: 2000.0 })
+                .with_preference(vec![PartitionId(0)], 1.5),
+            JobSpec::new(2, 10.0, 2, 100.0, JobKind::Slo { deadline: 3000.0 })
+                .with_preference(vec![PartitionId(0)], 1.5),
+        ];
+        let m = engine(2, 2).run(&jobs, &mut PrioScheduler::new()).unwrap();
+        let second = &m.outcomes[1];
+        assert_eq!(second.on_preferred, Some(false));
+        assert_eq!(second.measured_runtime, Some(150.0));
+        assert!(second.start_time.unwrap() < 100.0, "did not wait");
+    }
+
+    #[test]
+    fn be_jobs_fill_leftover_capacity() {
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 1, 100.0, JobKind::Slo { deadline: 5000.0 }),
+            JobSpec::new(2, 0.0, 1, 100.0, JobKind::BestEffort),
+        ];
+        let m = engine(1, 2).run(&jobs, &mut PrioScheduler::new()).unwrap();
+        // Both fit simultaneously.
+        let s1 = m.outcomes[0].start_time.unwrap();
+        let s2 = m.outcomes[1].start_time.unwrap();
+        assert!((s1 - s2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,1114 @@
+//! 3σSched: the distribution-based MILP scheduler (§4.3).
+//!
+//! Every cycle the scheduler
+//!
+//! 1. picks the most urgent pending jobs (bounded by `max_jobs_per_cycle`),
+//! 2. enumerates placement options per job — (equivalence set, start slot)
+//!    over a plan-ahead window — valuing each by expected utility (Eq. 1)
+//!    under the job's runtime distribution, with over-estimate handling
+//!    adjusting the utility curve (§4.2.2–4.2.3),
+//! 3. charges each option its expected resource consumption over time
+//!    (Eq. 3), conditioning running jobs' distributions on their elapsed
+//!    time (Eq. 2) with exponential-increment under-estimate handling
+//!    (§4.2.1),
+//! 4. compiles a MILP — binary indicators per option, demand rows, capacity
+//!    rows per (equivalence set, time slot), preemption indicators for
+//!    running best-effort jobs — and solves it with a warm start (the
+//!    status quo is always feasible) under a node/time budget,
+//! 5. turns slot-zero selections into concrete per-rack gang allocations.
+//!
+//! Capacity rows are kept per *equivalence set* (each distinct preferred
+//! rack set, plus the whole cluster) rather than per rack; the extraction
+//! step re-validates against true per-rack free capacity and leaves a job
+//! pending if its gang cannot actually be packed (a rare Hall-condition
+//! corner; see DESIGN.md).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use threesigma_cluster::{
+    JobId, JobSpec, PartitionId, Placement, Scheduler, SchedulingDecision, SimulationView,
+};
+use threesigma_histogram::RuntimeDistribution;
+use threesigma_milp::{Cmp, Model, Solver, SolverConfig, VarId};
+use threesigma_predict::{AttributeSource, Predictor, PredictorConfig};
+
+use crate::dist::DiscreteDist;
+use crate::utility::UtilityCurve;
+
+/// Where runtime estimates come from (Table 1).
+#[derive(Clone)]
+pub enum EstimateSource {
+    /// Full distributions from 3σPredict (the 3Sigma system).
+    Predicted,
+    /// Point estimates from 3σPredict (PointRealEst / 3SigmaNoDist).
+    PredictedPoint,
+    /// Point estimates padded by `k` standard deviations of the predicted
+    /// distribution — the conservative "stochastic scheduler" heuristic the
+    /// paper discusses among the mis-estimate mitigations (§2.2).
+    PredictedPadded {
+        /// Standard deviations of padding added to the point estimate.
+        sigmas: f64,
+    },
+    /// Oracle: the job's true runtime as a point (PointPerfEst).
+    OraclePoint,
+    /// Externally injected distributions keyed by job id (the §6.3
+    /// perturbation study); falls back to the oracle point when missing.
+    Injected(Arc<HashMap<JobId, RuntimeDistribution>>),
+}
+
+impl std::fmt::Debug for EstimateSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimateSource::Predicted => write!(f, "Predicted"),
+            EstimateSource::PredictedPoint => write!(f, "PredictedPoint"),
+            EstimateSource::PredictedPadded { sigmas } => {
+                write!(f, "PredictedPadded({sigmas}σ)")
+            }
+            EstimateSource::OraclePoint => write!(f, "OraclePoint"),
+            EstimateSource::Injected(m) => write!(f, "Injected({} jobs)", m.len()),
+        }
+    }
+}
+
+/// Over-estimate handling policy (§4.2.2–4.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverestimateMode {
+    /// Hard step utility (PointPerfEst / PointRealEst / 3SigmaNoOE).
+    Off,
+    /// Decaying utility tail for every SLO job (3SigmaNoAdapt).
+    Always,
+    /// Decaying tail only for jobs whose distribution says the deadline is
+    /// likely unreachable even from submission (3Sigma).
+    Adaptive,
+}
+
+/// 3σSched tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Start slots in the plan-ahead window (§4.3.6: "plan-ahead window
+    /// bounds the complexity").
+    pub plan_slots: usize,
+    /// Slot width in seconds.
+    pub slot_width: f64,
+    /// Pending jobs considered per cycle (urgency-ordered; the rest wait).
+    pub max_jobs_per_cycle: usize,
+    /// Branch-and-bound node budget per cycle.
+    pub solver_nodes: usize,
+    /// Solver wall-clock budget per cycle (the paper queries the best
+    /// solution within a fraction of the scheduling interval).
+    pub solver_time: Duration,
+    /// Over-estimate handling policy.
+    pub oe_mode: OverestimateMode,
+    /// Adaptive threshold: enable the decay tail when
+    /// `P(runtime ≤ deadline − submit) <` this.
+    pub oe_threshold: f64,
+    /// Decay span: utility reaches zero at
+    /// `deadline + span_factor · (deadline − submit)`.
+    pub oe_span_factor: f64,
+    /// Consider preempting running best-effort jobs.
+    pub preemption_enabled: bool,
+    /// Objective cost of preempting one BE job (in utility units).
+    pub preemption_cost: f64,
+    /// Best-effort utility decays to its floor over this many seconds.
+    pub be_horizon: f64,
+    /// Best-effort utility floor fraction (> 0 prevents starvation).
+    pub be_floor: f64,
+    /// Mass points per distribution per cycle.
+    pub mass_points: usize,
+    /// Cancel SLO jobs whose every option has zero expected utility.
+    pub cancel_hopeless: bool,
+    /// Scheduler cycle length hint (exp-inc under-estimate steps, §4.2.1).
+    pub cycle_hint: f64,
+    /// Record a [`PlanRecord`] per cycle (debugging/introspection; costs
+    /// memory proportional to cycles × planned jobs).
+    pub record_plans: bool,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        Self {
+            plan_slots: 8,
+            slot_width: 60.0,
+            max_jobs_per_cycle: 96,
+            solver_nodes: 150,
+            // Generous wall-clock budget: the deterministic node budget is
+            // the binding limit by default, so runs are exactly
+            // reproducible; tighten this (as the paper does, to a fraction
+            // of the cycle) when wall-clock matters more than replay.
+            solver_time: Duration::from_secs(2),
+            oe_mode: OverestimateMode::Adaptive,
+            oe_threshold: 0.15,
+            oe_span_factor: 1.0,
+            preemption_enabled: true,
+            preemption_cost: 1.5,
+            be_horizon: 4.0 * 3600.0,
+            be_floor: 0.02,
+            mass_points: 40,
+            cancel_hopeless: true,
+            cycle_hint: 2.0,
+            record_plans: false,
+        }
+    }
+}
+
+/// One planned assignment inside a [`PlanRecord`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedJob {
+    /// The job.
+    pub job: JobId,
+    /// Chosen start slot (0 = start now; >0 = deferred into the window).
+    pub slot: usize,
+    /// Absolute planned start time.
+    pub start: f64,
+    /// Expected utility of the chosen option (Eq. 1).
+    pub expected_utility: f64,
+    /// Whether the chosen option allows only the job's preferred racks.
+    pub preferred_space: bool,
+}
+
+/// A cycle's full plan: what the MILP decided, including deferrals that
+/// produce no immediate placement (re-planned next cycle, §4.3.1).
+#[derive(Debug, Clone, Default)]
+pub struct PlanRecord {
+    /// Simulated time of the cycle.
+    pub now: f64,
+    /// Jobs selected to start now.
+    pub started: Vec<PlannedJob>,
+    /// Jobs deliberately deferred to a later slot.
+    pub deferred: Vec<PlannedJob>,
+    /// Running jobs the plan preempts.
+    pub preempted: Vec<JobId>,
+    /// Pending jobs abandoned as hopeless.
+    pub cancelled: Vec<JobId>,
+    /// MILP objective of the chosen plan.
+    pub objective: f64,
+}
+
+/// Per-cycle timing record (the §6.5 scalability measurements).
+#[derive(Debug, Clone, Copy)]
+pub struct CycleTiming {
+    /// Pending jobs visible this cycle.
+    pub pending: usize,
+    /// Jobs actually compiled into the MILP.
+    pub considered: usize,
+    /// MILP columns.
+    pub milp_vars: usize,
+    /// MILP rows.
+    pub milp_rows: usize,
+    /// Whole-cycle latency (option generation + compile + solve + extract).
+    pub total: Duration,
+    /// Solver latency alone.
+    pub solver: Duration,
+    /// Branch-and-bound nodes expanded.
+    pub nodes: usize,
+}
+
+/// Exp-inc under-estimate state for one running attempt (§4.2.1).
+#[derive(Debug, Clone, Copy)]
+struct UnderEst {
+    increments: u32,
+    est_total_runtime: f64,
+}
+
+/// Adapter exposing cluster attributes to the predictor.
+struct Attrs<'a>(&'a threesigma_cluster::Attributes);
+
+impl AttributeSource for Attrs<'_> {
+    fn get_attr(&self, key: &str) -> Option<&str> {
+        self.0.get(key)
+    }
+}
+
+/// The 3σSched scheduler (and, via its config, all Table 1 baselines
+/// except `Prio`).
+pub struct ThreeSigmaScheduler {
+    config: SchedConfig,
+    source: EstimateSource,
+    predictor: Predictor,
+    /// Cached per-job base distributions (unscaled), built at submission.
+    dists: HashMap<JobId, DiscreteDist>,
+    /// Exp-inc state keyed by (job, attempt-start bits).
+    underest: HashMap<(JobId, u64), UnderEst>,
+    timings: Vec<CycleTiming>,
+    plans: Vec<PlanRecord>,
+}
+
+impl ThreeSigmaScheduler {
+    /// Creates a scheduler with the given estimate source.
+    pub fn new(
+        config: SchedConfig,
+        source: EstimateSource,
+        predictor_config: PredictorConfig,
+    ) -> Self {
+        Self {
+            config,
+            source,
+            predictor: Predictor::new(predictor_config),
+            dists: HashMap::new(),
+            underest: HashMap::new(),
+            timings: Vec::new(),
+            plans: Vec::new(),
+        }
+    }
+
+    /// Feeds completed history jobs to the predictor (the §5 pre-training
+    /// step). No-op for oracle/injected sources that don't use history.
+    pub fn pretrain(&mut self, history: &[JobSpec]) {
+        for job in history {
+            self.predictor.observe(&Attrs(&job.attributes), job.duration);
+        }
+    }
+
+    /// Per-cycle timing records collected so far.
+    pub fn timings(&self) -> &[CycleTiming] {
+        &self.timings
+    }
+
+    /// Per-cycle plan records (empty unless `record_plans` is set).
+    pub fn plans(&self) -> &[PlanRecord] {
+        &self.plans
+    }
+
+    /// The estimate distribution for a job, per the configured source.
+    fn estimate(&self, spec: &JobSpec) -> DiscreteDist {
+        let n = self.config.mass_points;
+        match &self.source {
+            EstimateSource::OraclePoint => DiscreteDist::point(spec.duration),
+            EstimateSource::Injected(map) => match map.get(&spec.id) {
+                Some(d) => DiscreteDist::from_distribution(d, n),
+                None => DiscreteDist::point(spec.duration),
+            },
+            EstimateSource::Predicted => match self.predictor.predict(&Attrs(&spec.attributes)) {
+                Some(p) => DiscreteDist::from_distribution(&p.distribution, n),
+                None => Self::cold_start_dist(spec),
+            },
+            EstimateSource::PredictedPoint => {
+                match self.predictor.predict_point(&Attrs(&spec.attributes)) {
+                    Some(point) => DiscreteDist::point(point),
+                    None => DiscreteDist::point(300.0),
+                }
+            }
+            EstimateSource::PredictedPadded { sigmas } => {
+                match self.predictor.predict(&Attrs(&spec.attributes)) {
+                    Some(p) => {
+                        let d = DiscreteDist::from_distribution(&p.distribution, n);
+                        let mean = d.mean();
+                        let var: f64 = d
+                            .points()
+                            .iter()
+                            .map(|(t, pr)| pr * (t - mean) * (t - mean))
+                            .sum();
+                        DiscreteDist::point(p.point + sigmas * var.sqrt())
+                    }
+                    None => DiscreteDist::point(300.0),
+                }
+            }
+        }
+    }
+
+    /// With zero history anywhere (cold start), assume a broad prior.
+    fn cold_start_dist(_spec: &JobSpec) -> DiscreteDist {
+        let prior =
+            RuntimeDistribution::LogNormal(threesigma_histogram::LogNormal::new(300f64.ln(), 1.0));
+        DiscreteDist::from_distribution(&prior, 16)
+    }
+
+    /// The utility curve for a job, applying over-estimate handling.
+    fn utility_curve(&self, spec: &JobSpec, dist: &DiscreteDist) -> UtilityCurve {
+        match spec.kind.deadline() {
+            None => UtilityCurve::BeLinear {
+                weight: spec.utility_weight,
+                submit: spec.submit_time,
+                horizon: self.config.be_horizon,
+                floor: self.config.be_floor,
+            },
+            Some(deadline) => {
+                let decay = match self.config.oe_mode {
+                    OverestimateMode::Off => false,
+                    OverestimateMode::Always => true,
+                    OverestimateMode::Adaptive => {
+                        // §4.2.3: time-to-deadline is a proxy upper bound on
+                        // the true runtime; if the distribution says the job
+                        // almost surely cannot fit that bound, the
+                        // distribution is likely skewed high.
+                        let bound = deadline - spec.submit_time;
+                        dist.cdf(bound) < self.config.oe_threshold
+                    }
+                };
+                if decay {
+                    // The decay must span the distribution's support, or a
+                    // fully over-estimated job would still see zero utility
+                    // everywhere (§4.2.2 wants non-zero utility even when
+                    // all completion times exceed the deadline).
+                    let span = (deadline - spec.submit_time)
+                        .max(dist.upper())
+                        .max(self.config.slot_width)
+                        * self.config.oe_span_factor;
+                    UtilityCurve::SloDecay {
+                        weight: spec.utility_weight,
+                        deadline,
+                        zero_at: deadline + span,
+                    }
+                } else {
+                    UtilityCurve::SloStep {
+                        weight: spec.utility_weight,
+                        deadline,
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn mask_of(parts: &[PartitionId]) -> u64 {
+    parts.iter().fold(0u64, |m, p| m | (1u64 << p.index()))
+}
+
+/// Start-slot times: slot 0 is "now"; later slots snap to absolute
+/// `slot_width` boundaries so a deferred plan (e.g. "start when the running
+/// job's distribution is exhausted") stays stable across scheduling cycles
+/// instead of drifting with the cycle clock.
+fn slot_times(now: f64, width: f64, slots: usize) -> Vec<f64> {
+    let mut ts = Vec::with_capacity(slots);
+    ts.push(now);
+    let base = (now / width).floor();
+    for k in 1..slots {
+        ts.push((base + k as f64) * width);
+    }
+    ts
+}
+
+/// A generated placement option awaiting MILP compilation.
+struct Option_ {
+    job_idx: usize,
+    var: VarId,
+    slot: usize,
+    allowed_mask: u64,
+    /// Scaled discrete distribution index (into per-job dists).
+    scaled: usize,
+}
+
+impl Scheduler for ThreeSigmaScheduler {
+    fn on_job_submitted(&mut self, spec: &JobSpec, _now: f64) {
+        let d = self.estimate(spec);
+        self.dists.insert(spec.id, d);
+    }
+
+    fn on_job_completed(
+        &mut self,
+        spec: &JobSpec,
+        outcome: &threesigma_cluster::JobOutcome,
+        _now: f64,
+    ) {
+        if let Some(rt) = outcome.measured_runtime {
+            self.predictor.observe(&Attrs(&spec.attributes), rt);
+        }
+        self.dists.remove(&spec.id);
+    }
+
+    fn schedule(&mut self, view: &SimulationView<'_>, now: f64) -> SchedulingDecision {
+        let cycle_start = Instant::now();
+        let cfg = self.config.clone();
+        let mut decision = SchedulingDecision::noop();
+
+        // ---- 1. Select the most urgent pending jobs. ----
+        let mut order: Vec<usize> = (0..view.pending.len()).collect();
+        let urgency = |spec: &JobSpec| match spec.kind.deadline() {
+            Some(d) => d,
+            None => spec.submit_time + 0.25 * cfg.be_horizon,
+        };
+        order.sort_by(|&a, &b| {
+            urgency(view.pending[a])
+                .partial_cmp(&urgency(view.pending[b]))
+                .expect("finite urgency")
+        });
+        order.truncate(cfg.max_jobs_per_cycle);
+        let considered: Vec<&JobSpec> = order.iter().map(|&i| view.pending[i]).collect();
+
+        // ---- 2. Per-job curves, scaled distributions, and options. ----
+        let full_mask = (0..view.cluster.num_partitions()).fold(0u64, |m, p| m | (1u64 << p));
+        let cap_of = |mask: u64| -> u32 {
+            view.cluster
+                .partition_ids()
+                .filter(|p| mask & (1 << p.index()) != 0)
+                .map(|p| view.cluster.partition_size(p))
+                .sum()
+        };
+
+        let mut model = Model::new();
+        let mut options: Vec<Option_> = Vec::new();
+        // Scaled dists per job, indexed by options.
+        let mut scaled_dists: Vec<DiscreteDist> = Vec::new();
+        // Distinct equivalence-set masks that need capacity rows.
+        let mut space_masks: Vec<u64> = vec![full_mask];
+        let mut job_vars: Vec<Vec<VarId>> = Vec::new();
+        let mut hopeless: Vec<JobId> = Vec::new();
+        let slots = slot_times(now, cfg.slot_width, cfg.plan_slots);
+
+        for (job_idx, spec) in considered.iter().enumerate() {
+            let base = self
+                .dists
+                .get(&spec.id)
+                .cloned()
+                .unwrap_or_else(|| self.estimate(spec));
+            let curve = self.utility_curve(spec, &base);
+
+            // Equivalence sets for this job: preferred racks (unscaled
+            // runtime) and the whole cluster (slowed runtime), or just the
+            // whole cluster for indifferent jobs.
+            let mut spaces: Vec<(u64, f64)> = Vec::new();
+            match &spec.preferred {
+                Some(pref) => {
+                    let pmask = mask_of(pref);
+                    spaces.push((pmask, 1.0));
+                    spaces.push((full_mask, spec.nonpreferred_slowdown));
+                    if !space_masks.contains(&pmask) {
+                        space_masks.push(pmask);
+                    }
+                }
+                None => spaces.push((full_mask, 1.0)),
+            }
+
+            let mut vars = Vec::new();
+            let mut best_utility = 0.0f64;
+            for (allowed_mask, scale) in spaces {
+                let scaled = if scale == 1.0 { base.clone() } else { base.scale(scale) };
+                scaled_dists.push(scaled);
+                let scaled_idx = scaled_dists.len() - 1;
+                for (slot, &start) in slots.iter().enumerate() {
+                    let eu = curve.expected(start, &scaled_dists[scaled_idx]);
+                    best_utility = best_utility.max(eu);
+                    if eu <= 1e-9 {
+                        continue; // §4.3.6: prune zero-value terms
+                    }
+                    let var = model.add_binary(eu);
+                    options.push(Option_ {
+                        job_idx,
+                        var,
+                        slot,
+                        allowed_mask,
+                        scaled: scaled_idx,
+                    });
+                    vars.push(var);
+                }
+            }
+            if vars.is_empty() {
+                if cfg.cancel_hopeless && spec.kind.is_slo() && best_utility <= 1e-9 {
+                    hopeless.push(spec.id);
+                }
+                job_vars.push(Vec::new());
+                continue;
+            }
+            // Demand: at most one option per job.
+            let terms: Vec<(VarId, f64)> = vars.iter().map(|v| (*v, 1.0)).collect();
+            model.add_constraint(&terms, Cmp::Le, 1.0);
+            model.add_sos1(&vars);
+            job_vars.push(vars);
+        }
+        decision.cancellations = hopeless;
+
+        // ---- 3. Running jobs: conditional consumption + preemption. ----
+        struct RunningInfo {
+            id: JobId,
+            nodes_by_part: Vec<u32>,
+            cond: DiscreteDist,
+            start: f64,
+            preempt_var: Option<VarId>,
+        }
+        let mut running_infos: Vec<RunningInfo> = Vec::new();
+        // Drop exp-inc state for attempts that are no longer running.
+        let live: std::collections::HashSet<(JobId, u64)> = view
+            .running
+            .iter()
+            .map(|r| (r.spec.id, r.start_time.to_bits()))
+            .collect();
+        self.underest.retain(|k, _| live.contains(k));
+
+        for r in &view.running {
+            let elapsed = r.elapsed(now);
+            let base = self
+                .dists
+                .get(&r.spec.id)
+                .cloned()
+                .unwrap_or_else(|| self.estimate(r.spec));
+            // Scale by the placement actually chosen for this attempt.
+            let off_pref = r.spec.preferred.as_ref().is_some_and(|pref| {
+                r.allocation.iter().any(|(p, n)| *n > 0 && !pref.contains(p))
+            });
+            let scaled = if off_pref {
+                base.scale(r.spec.nonpreferred_slowdown)
+            } else {
+                base
+            };
+            let cond = if scaled.is_exhausted_at(elapsed) {
+                // §4.2.1: exponential-increment under-estimate handling.
+                let key = (r.spec.id, r.start_time.to_bits());
+                let ue = self.underest.entry(key).or_insert(UnderEst {
+                    increments: 0,
+                    est_total_runtime: elapsed + cfg.cycle_hint,
+                });
+                while ue.est_total_runtime <= elapsed {
+                    ue.increments += 1;
+                    ue.est_total_runtime =
+                        elapsed + 2f64.powi(ue.increments as i32) * cfg.cycle_hint;
+                }
+                DiscreteDist::point(ue.est_total_runtime)
+            } else {
+                scaled.condition(elapsed)
+            };
+            let mut nodes_by_part = vec![0u32; view.cluster.num_partitions()];
+            for (p, n) in r.allocation {
+                nodes_by_part[p.index()] += n;
+            }
+            let preempt_var = if cfg.preemption_enabled && !r.spec.kind.is_slo() {
+                Some(model.add_binary(-cfg.preemption_cost * r.spec.utility_weight.max(1.0)))
+            } else {
+                None
+            };
+            running_infos.push(RunningInfo {
+                id: r.spec.id,
+                nodes_by_part,
+                cond,
+                start: r.start_time,
+                preempt_var,
+            });
+        }
+
+        // ---- 4. Capacity rows per (equivalence set, slot). ----
+        for &mask in &space_masks {
+            let cap = cap_of(mask) as f64;
+            for &t in &slots {
+                let mut terms: Vec<(VarId, f64)> = Vec::new();
+                for opt in &options {
+                    // An option consumes from set S iff its allowed racks
+                    // are contained in S.
+                    if opt.allowed_mask & !mask != 0 {
+                        continue;
+                    }
+                    let start = slots[opt.slot];
+                    if t < start {
+                        continue;
+                    }
+                    let spec = considered[opt.job_idx];
+                    let rc = scaled_dists[opt.scaled].survival(t - start);
+                    let coeff = spec.tasks as f64 * rc;
+                    if coeff > 1e-6 {
+                        terms.push((opt.var, coeff));
+                    }
+                }
+                // Running usage inside this set, creditable by preemption.
+                let mut used = 0.0;
+                for ri in &running_infos {
+                    let nodes_in: u32 = ri
+                        .nodes_by_part
+                        .iter()
+                        .enumerate()
+                        .filter(|(p, _)| mask & (1 << p) != 0)
+                        .map(|(_, n)| *n)
+                        .sum();
+                    if nodes_in == 0 {
+                        continue;
+                    }
+                    let surv = ri.cond.survival(t - ri.start);
+                    let usage = nodes_in as f64 * surv;
+                    if usage <= 1e-6 {
+                        continue;
+                    }
+                    used += usage;
+                    if let Some(pv) = ri.preempt_var {
+                        terms.push((pv, -usage));
+                    }
+                }
+                if !terms.is_empty() {
+                    model.add_constraint(&terms, Cmp::Le, cap - used);
+                }
+            }
+        }
+
+        // ---- 5. Solve (status-quo warm start is always feasible). ----
+        let solver = Solver::with_config(SolverConfig {
+            node_limit: cfg.solver_nodes,
+            time_limit: Some(cfg.solver_time),
+            gap_tolerance: 1e-4,
+            ..SolverConfig::default()
+        });
+        let warm = vec![0.0; model.num_vars()];
+        let solve_start = Instant::now();
+        let solution = solver.solve_with_warm_start(&model, Some(&warm));
+        let solver_elapsed = solve_start.elapsed();
+
+        let milp_vars = model.num_vars();
+        let milp_rows = model.num_constraints();
+        let nodes = solution.nodes;
+
+        if solution.has_solution() {
+            let x = &solution.values;
+            // Preemptions first (their capacity becomes available now).
+            let mut freed: Vec<u32> = vec![0; view.cluster.num_partitions()];
+            for ri in &running_infos {
+                if let Some(pv) = ri.preempt_var {
+                    if x[pv.index()] > 0.5 {
+                        decision.preemptions.push(ri.id);
+                        for (p, n) in ri.nodes_by_part.iter().enumerate() {
+                            freed[p] += n;
+                        }
+                    }
+                }
+            }
+            // Immediate (slot 0) placements, best utility first.
+            let mut free: Vec<u32> = view
+                .free
+                .iter()
+                .zip(&freed)
+                .map(|(f, e)| f + e)
+                .collect();
+            let mut chosen: Vec<&Option_> = options
+                .iter()
+                .filter(|o| o.slot == 0 && x[o.var.index()] > 0.5)
+                .collect();
+            chosen.sort_by(|a, b| {
+                let ua = model.objective_coeff(a.var);
+                let ub = model.objective_coeff(b.var);
+                ub.partial_cmp(&ua).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for opt in chosen {
+                let spec = considered[opt.job_idx];
+                if let Some(alloc) = pack_gang(spec.tasks, opt.allowed_mask, &free) {
+                    for (p, n) in &alloc {
+                        free[p.index()] -= n;
+                    }
+                    decision.placements.push(Placement {
+                        job: spec.id,
+                        allocation: alloc,
+                    });
+                } // else: Hall corner — job stays pending this cycle.
+            }
+
+            if cfg.record_plans {
+                let mut record = PlanRecord {
+                    now,
+                    preempted: decision.preemptions.clone(),
+                    cancelled: decision.cancellations.clone(),
+                    objective: solution.objective,
+                    ..PlanRecord::default()
+                };
+                let placed: std::collections::HashSet<JobId> =
+                    decision.placements.iter().map(|p| p.job).collect();
+                for opt in &options {
+                    if x[opt.var.index()] <= 0.5 {
+                        continue;
+                    }
+                    let spec = considered[opt.job_idx];
+                    let planned = PlannedJob {
+                        job: spec.id,
+                        slot: opt.slot,
+                        start: slots[opt.slot],
+                        expected_utility: model.objective_coeff(opt.var),
+                        preferred_space: opt.allowed_mask != full_mask,
+                    };
+                    if opt.slot == 0 && placed.contains(&spec.id) {
+                        record.started.push(planned);
+                    } else {
+                        record.deferred.push(planned);
+                    }
+                }
+                self.plans.push(record);
+            }
+        }
+
+        self.timings.push(CycleTiming {
+            pending: view.pending.len(),
+            considered: considered.len(),
+            milp_vars,
+            milp_rows,
+            total: cycle_start.elapsed(),
+            solver: solver_elapsed,
+            nodes,
+        });
+        decision
+    }
+}
+
+/// Greedily packs a gang of `tasks` nodes into the racks of `allowed_mask`,
+/// fullest-first. Returns `None` if the allowed racks cannot hold the gang.
+fn pack_gang(tasks: u32, allowed_mask: u64, free: &[u32]) -> Option<Vec<(PartitionId, u32)>> {
+    let mut racks: Vec<(usize, u32)> = free
+        .iter()
+        .enumerate()
+        .filter(|(p, f)| allowed_mask & (1 << p) != 0 && **f > 0)
+        .map(|(p, f)| (p, *f))
+        .collect();
+    racks.sort_by(|a, b| b.1.cmp(&a.1));
+    let mut remaining = tasks;
+    let mut alloc = Vec::new();
+    for (p, f) in racks {
+        if remaining == 0 {
+            break;
+        }
+        let take = remaining.min(f);
+        alloc.push((PartitionId(p), take));
+        remaining -= take;
+    }
+    (remaining == 0).then_some(alloc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threesigma_cluster::{ClusterSpec, Engine, EngineConfig, JobKind};
+
+    fn scheduler(source: EstimateSource) -> ThreeSigmaScheduler {
+        ThreeSigmaScheduler::new(SchedConfig::default(), source, PredictorConfig::default())
+    }
+
+    fn engine(racks: usize, per_rack: u32) -> Engine {
+        Engine::new(
+            ClusterSpec::uniform(racks, per_rack),
+            EngineConfig {
+                cycle_interval: 2.0,
+                drain: Some(4.0 * 3600.0),
+                seed: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn oracle_scheduler_completes_simple_jobs() {
+        let mut s = scheduler(EstimateSource::OraclePoint);
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 2, 100.0, JobKind::BestEffort),
+            JobSpec::new(2, 0.0, 2, 100.0, JobKind::BestEffort),
+        ];
+        let m = engine(1, 4).run(&jobs, &mut s).unwrap();
+        assert_eq!(m.completion_rate(), 1.0);
+        // Cluster fits both: they run concurrently.
+        let f1 = m.outcomes[0].finish_time.unwrap();
+        let f2 = m.outcomes[1].finish_time.unwrap();
+        assert!((f1 - f2).abs() < 5.0);
+    }
+
+    #[test]
+    fn meets_deadlines_it_can_meet() {
+        let mut s = scheduler(EstimateSource::OraclePoint);
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 4, 100.0, JobKind::Slo { deadline: 400.0 }),
+            JobSpec::new(2, 0.0, 4, 100.0, JobKind::Slo { deadline: 400.0 }),
+        ];
+        // One job at a time: both can still finish by t=400.
+        let m = engine(1, 4).run(&jobs, &mut s).unwrap();
+        assert_eq!(m.slo_miss_rate(), 0.0, "{:?}", m.outcomes);
+    }
+
+    #[test]
+    fn worked_example_scenario_one_prioritises_the_slo_job() {
+        // §2.3 / Fig. 5 scenario 1: single node, SLO deadline 15 min, both
+        // runtimes ~ U(0, 10) min. The distribution scheduler must run the
+        // SLO job first.
+        let dist = RuntimeDistribution::Uniform(threesigma_histogram::Uniform::new(0.0, 600.0));
+        let mut map = HashMap::new();
+        map.insert(JobId(1), dist.clone());
+        map.insert(JobId(2), dist);
+        let mut s = ThreeSigmaScheduler::new(
+            SchedConfig {
+                slot_width: 150.0,
+                plan_slots: 8,
+                ..SchedConfig::default()
+            },
+            EstimateSource::Injected(Arc::new(map)),
+            PredictorConfig::default(),
+        );
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 1, 300.0, JobKind::Slo { deadline: 900.0 }).with_weight(10.0),
+            JobSpec::new(2, 0.0, 1, 300.0, JobKind::BestEffort),
+        ];
+        let m = engine(1, 1).run(&jobs, &mut s).unwrap();
+        let slo_start = m.outcomes[0].start_time.unwrap();
+        let be_start = m.outcomes[1].start_time.unwrap();
+        assert!(
+            slo_start < be_start,
+            "SLO first: slo={slo_start} be={be_start}"
+        );
+        assert_eq!(m.slo_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn worked_example_scenario_two_lets_the_be_job_go_first() {
+        // Fig. 5 scenario 2: runtimes ~ U(2.5, 7.5) min; the SLO job is safe
+        // even if both hit worst case, so the BE job should start first.
+        let dist =
+            RuntimeDistribution::Uniform(threesigma_histogram::Uniform::new(150.0, 450.0));
+        let mut map = HashMap::new();
+        map.insert(JobId(1), dist.clone());
+        map.insert(JobId(2), dist);
+        let mut s = ThreeSigmaScheduler::new(
+            SchedConfig {
+                slot_width: 150.0,
+                plan_slots: 8,
+                ..SchedConfig::default()
+            },
+            EstimateSource::Injected(Arc::new(map)),
+            PredictorConfig::default(),
+        );
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 1, 300.0, JobKind::Slo { deadline: 900.0 }).with_weight(10.0),
+            JobSpec::new(2, 0.0, 1, 300.0, JobKind::BestEffort),
+        ];
+        let m = engine(1, 1).run(&jobs, &mut s).unwrap();
+        let slo = &m.outcomes[0];
+        let be = &m.outcomes[1];
+        assert!(
+            be.start_time.unwrap() < slo.start_time.unwrap(),
+            "BE first: be={:?} slo={:?}",
+            be.start_time,
+            slo.start_time
+        );
+        assert_eq!(m.slo_miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn prefers_preferred_racks() {
+        let mut s = scheduler(EstimateSource::OraclePoint);
+        let jobs = vec![JobSpec::new(1, 0.0, 2, 100.0, JobKind::Slo { deadline: 1000.0 })
+            .with_preference(vec![PartitionId(1)], 1.5)
+            .with_weight(10.0)];
+        let m = engine(2, 2).run(&jobs, &mut s).unwrap();
+        assert_eq!(m.outcomes[0].on_preferred, Some(true));
+        assert_eq!(m.outcomes[0].measured_runtime, Some(100.0));
+    }
+
+    #[test]
+    fn overestimated_job_is_rescued_by_adaptive_oe() {
+        // History says ~2000 s, the job actually runs 100 s, deadline in
+        // 400 s. Step utility would be ~0 (cancelled); adaptive OE keeps it
+        // alive and it completes in time.
+        let dist = RuntimeDistribution::from_samples(&[1900.0, 2000.0, 2100.0], 16).unwrap();
+        let mut map = HashMap::new();
+        map.insert(JobId(1), dist);
+        let mut s = ThreeSigmaScheduler::new(
+            SchedConfig::default(),
+            EstimateSource::Injected(Arc::new(map)),
+            PredictorConfig::default(),
+        );
+        let jobs = vec![JobSpec::new(1, 0.0, 1, 100.0, JobKind::Slo { deadline: 400.0 })
+            .with_weight(10.0)];
+        let m = engine(1, 2).run(&jobs, &mut s).unwrap();
+        assert_eq!(m.slo_miss_rate(), 0.0, "{:?}", m.outcomes[0]);
+    }
+
+    #[test]
+    fn overestimated_job_is_cancelled_without_oe() {
+        let dist = RuntimeDistribution::from_samples(&[1900.0, 2000.0, 2100.0], 16).unwrap();
+        let mut map = HashMap::new();
+        map.insert(JobId(1), dist);
+        let mut s = ThreeSigmaScheduler::new(
+            SchedConfig {
+                oe_mode: OverestimateMode::Off,
+                ..SchedConfig::default()
+            },
+            EstimateSource::Injected(Arc::new(map)),
+            PredictorConfig::default(),
+        );
+        let jobs = vec![JobSpec::new(1, 0.0, 1, 100.0, JobKind::Slo { deadline: 400.0 })
+            .with_weight(10.0)];
+        let m = engine(1, 2).run(&jobs, &mut s).unwrap();
+        assert_eq!(m.slo_miss_rate(), 100.0);
+        assert_eq!(m.count(threesigma_cluster::JobState::Canceled), 1);
+    }
+
+    #[test]
+    fn underestimated_job_does_not_wedge_the_schedule() {
+        // History says 50 s but the job runs 500 s; a second job queued
+        // behind it must still complete (exp-inc handling keeps updating
+        // the expected finish).
+        let dist = RuntimeDistribution::from_samples(&[45.0, 50.0, 55.0], 16).unwrap();
+        let mut map = HashMap::new();
+        map.insert(JobId(1), dist);
+        let mut s = ThreeSigmaScheduler::new(
+            SchedConfig::default(),
+            EstimateSource::Injected(Arc::new(map)),
+            PredictorConfig::default(),
+        );
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 2, 500.0, JobKind::BestEffort),
+            JobSpec::new(2, 10.0, 2, 50.0, JobKind::BestEffort),
+        ];
+        let m = engine(1, 2).run(&jobs, &mut s).unwrap();
+        assert_eq!(m.completion_rate(), 1.0, "{:?}", m.outcomes);
+    }
+
+    #[test]
+    fn preempts_be_for_urgent_slo() {
+        // BE job occupies the whole cluster for a long time; an SLO job
+        // arrives with a tight deadline — only preemption can meet it.
+        let mut s = scheduler(EstimateSource::OraclePoint);
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 2, 5000.0, JobKind::BestEffort),
+            JobSpec::new(2, 10.0, 2, 100.0, JobKind::Slo { deadline: 400.0 }).with_weight(10.0),
+        ];
+        let m = engine(1, 2).run(&jobs, &mut s).unwrap();
+        assert_eq!(m.slo_miss_rate(), 0.0, "{:?}", m.outcomes);
+        assert!(m.outcomes[0].preemptions >= 1, "BE was preempted");
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let mut s = scheduler(EstimateSource::OraclePoint);
+        let jobs = vec![JobSpec::new(1, 0.0, 1, 50.0, JobKind::BestEffort)];
+        let _ = engine(1, 2).run(&jobs, &mut s).unwrap();
+        assert!(!s.timings().is_empty());
+        let t = s.timings()[0];
+        assert!(t.total >= t.solver);
+    }
+
+    #[test]
+    fn plan_records_show_deferrals() {
+        // Fig. 5 scenario 2 (BE first, SLO deferred): the first cycle's
+        // plan must record the SLO job as deliberately deferred.
+        let dist =
+            RuntimeDistribution::Uniform(threesigma_histogram::Uniform::new(150.0, 450.0));
+        let mut map = HashMap::new();
+        map.insert(JobId(1), dist.clone());
+        map.insert(JobId(2), dist);
+        let mut s = ThreeSigmaScheduler::new(
+            SchedConfig {
+                slot_width: 150.0,
+                plan_slots: 8,
+                record_plans: true,
+                ..SchedConfig::default()
+            },
+            EstimateSource::Injected(Arc::new(map)),
+            PredictorConfig::default(),
+        );
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 1, 300.0, JobKind::Slo { deadline: 900.0 }).with_weight(10.0),
+            JobSpec::new(2, 0.0, 1, 300.0, JobKind::BestEffort),
+        ];
+        let _ = engine(1, 1).run(&jobs, &mut s).unwrap();
+        let first = &s.plans()[0];
+        assert_eq!(first.started.len(), 1);
+        assert_eq!(first.started[0].job, JobId(2), "BE starts now");
+        assert!(
+            first
+                .deferred
+                .iter()
+                .any(|p| p.job == JobId(1) && p.slot > 0),
+            "SLO deferred: {first:?}"
+        );
+        assert!(first.objective > 0.0);
+        // Recording off by default.
+        let plain = scheduler(EstimateSource::OraclePoint);
+        assert!(plain.plans().is_empty());
+    }
+
+    #[test]
+    fn slot_grid_is_stable_across_cycles() {
+        let a = slot_times(42.0, 150.0, 5);
+        assert_eq!(a[0], 42.0);
+        assert_eq!(&a[1..], &[150.0, 300.0, 450.0, 600.0]);
+        // Two cycles later, the deferred slots have not drifted.
+        let b = slot_times(44.0, 150.0, 5);
+        assert_eq!(&b[1..], &a[1..]);
+        // Slot 0 is always "now".
+        let c = slot_times(0.0, 60.0, 3);
+        assert_eq!(c, vec![0.0, 60.0, 120.0]);
+    }
+
+    #[test]
+    fn pack_gang_fullest_first() {
+        // free = [1, 4, 2]; allowed = all; gang of 5 → racks 1 then 2.
+        let alloc = pack_gang(5, 0b111, &[1, 4, 2]).unwrap();
+        assert_eq!(alloc[0], (PartitionId(1), 4));
+        assert_eq!(alloc[1], (PartitionId(2), 1));
+        // Gang of 8 overflows: None.
+        assert!(pack_gang(8, 0b111, &[1, 4, 2]).is_none());
+        // Mask restricts racks.
+        let only0 = pack_gang(1, 0b001, &[1, 4, 2]).unwrap();
+        assert_eq!(only0, vec![(PartitionId(0), 1)]);
+        assert!(pack_gang(2, 0b001, &[1, 4, 2]).is_none());
+    }
+
+    #[test]
+    fn padded_source_is_more_conservative_than_point() {
+        // Same history; the padded estimate must exceed the raw point.
+        let history: Vec<JobSpec> = (0..30)
+            .map(|i| {
+                let rt = if i % 2 == 0 { 50.0 } else { 150.0 };
+                JobSpec::new(1000 + i, i as f64, 1, rt, JobKind::BestEffort).with_attributes(
+                    threesigma_cluster::Attributes::new().with("user", "pat"),
+                )
+            })
+            .collect();
+        let probe = JobSpec::new(1, 0.0, 1, 100.0, JobKind::BestEffort).with_attributes(
+            threesigma_cluster::Attributes::new().with("user", "pat"),
+        );
+        let mut plain = scheduler(EstimateSource::PredictedPoint);
+        plain.pretrain(&history);
+        let mut padded = scheduler(EstimateSource::PredictedPadded { sigmas: 1.0 });
+        padded.pretrain(&history);
+        let p_plain = plain.estimate(&probe).mean();
+        let p_padded = padded.estimate(&probe).mean();
+        assert!(
+            p_padded > p_plain + 10.0,
+            "padded {p_padded} vs plain {p_plain}"
+        );
+    }
+
+    #[test]
+    fn preemption_disabled_is_respected() {
+        let mut s = ThreeSigmaScheduler::new(
+            SchedConfig {
+                preemption_enabled: false,
+                ..SchedConfig::default()
+            },
+            EstimateSource::OraclePoint,
+            PredictorConfig::default(),
+        );
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 2, 5000.0, JobKind::BestEffort),
+            JobSpec::new(2, 10.0, 2, 100.0, JobKind::Slo { deadline: 400.0 }).with_weight(10.0),
+        ];
+        let m = engine(1, 2).run(&jobs, &mut s).unwrap();
+        assert_eq!(m.preemptions, 0);
+        assert_eq!(m.slo_miss_rate(), 100.0, "without preemption the SLO job is stuck");
+    }
+
+    #[test]
+    fn be_jobs_are_never_cancelled() {
+        // Even a hopeless-looking BE job keeps its utility floor.
+        let mut s = scheduler(EstimateSource::OraclePoint);
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 2, 400.0, JobKind::BestEffort),
+            JobSpec::new(2, 0.0, 2, 400.0, JobKind::BestEffort),
+            JobSpec::new(3, 0.0, 2, 400.0, JobKind::BestEffort),
+        ];
+        let m = engine(1, 2).run(&jobs, &mut s).unwrap();
+        assert_eq!(m.count(threesigma_cluster::JobState::Canceled), 0);
+        assert_eq!(m.completion_rate(), 1.0);
+    }
+
+    #[test]
+    fn predicted_source_uses_pretraining() {
+        let mut s = scheduler(EstimateSource::Predicted);
+        let history: Vec<JobSpec> = (0..20)
+            .map(|i| {
+                JobSpec::new(1000 + i, i as f64, 1, 100.0, JobKind::BestEffort).with_attributes(
+                    threesigma_cluster::Attributes::new()
+                        .with("user", "alice")
+                        .with("job_name", "etl"),
+                )
+            })
+            .collect();
+        s.pretrain(&history);
+        let jobs = vec![JobSpec::new(1, 0.0, 1, 100.0, JobKind::Slo { deadline: 250.0 })
+            .with_weight(10.0)
+            .with_attributes(
+                threesigma_cluster::Attributes::new()
+                    .with("user", "alice")
+                    .with("job_name", "etl"),
+            )];
+        let m = engine(1, 2).run(&jobs, &mut s).unwrap();
+        assert_eq!(m.slo_miss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,438 @@
+//! Ben-Haim & Tom-Tov streaming histogram.
+//!
+//! Maintains at most `max_bins` (centroid, count) pairs over a stream of
+//! observations in constant memory. This is the sketch 3σPredict uses to keep
+//! a runtime histogram per feature value (the paper caps it at 80 bins), and
+//! the basis for the empirical [`RuntimeDistribution`] handed to 3σSched.
+//!
+//! [`RuntimeDistribution`]: crate::dist::RuntimeDistribution
+
+use serde::{Deserialize, Serialize};
+
+/// Default bin budget used by 3σPredict (the paper's maximum of 80 bins).
+pub const DEFAULT_MAX_BINS: usize = 80;
+
+/// One histogram bin: a centroid position and the mass merged into it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bin {
+    /// Centroid of the observations merged into this bin.
+    pub centroid: f64,
+    /// Number of observations merged into this bin.
+    pub count: f64,
+}
+
+/// A bounded-size histogram over a stream of `f64` observations.
+///
+/// Inserting is `O(max_bins)` (binary search + possible merge), and the
+/// structure never holds more than `max_bins` bins, so memory per feature
+/// value is constant — the scalability property §4.1 relies on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamingHistogram {
+    bins: Vec<Bin>,
+    max_bins: usize,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingHistogram {
+    /// Creates an empty histogram holding at most `max_bins` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_bins` is zero.
+    pub fn new(max_bins: usize) -> Self {
+        assert!(max_bins > 0, "histogram needs at least one bin");
+        Self {
+            bins: Vec::with_capacity(max_bins + 1),
+            max_bins,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Creates a histogram with the paper's default bin budget (80).
+    pub fn with_default_bins() -> Self {
+        Self::new(DEFAULT_MAX_BINS)
+    }
+
+    /// Number of observations inserted so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if no observation has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest observation seen, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (!self.is_empty()).then_some(self.min)
+    }
+
+    /// Largest observation seen, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (!self.is_empty()).then_some(self.max)
+    }
+
+    /// The current bins, sorted by centroid.
+    pub fn bins(&self) -> &[Bin] {
+        &self.bins
+    }
+
+    /// Mean of the inserted observations (exact for sums, since merging
+    /// preserves centroid×count mass).
+    pub fn mean(&self) -> Option<f64> {
+        if self.is_empty() {
+            return None;
+        }
+        let total: f64 = self.bins.iter().map(|b| b.count).sum();
+        let sum: f64 = self.bins.iter().map(|b| b.centroid * b.count).sum();
+        Some(sum / total)
+    }
+
+    /// Inserts one observation (Algorithm "Update" of Ben-Haim & Tom-Tov).
+    pub fn insert(&mut self, value: f64) {
+        debug_assert!(value.is_finite(), "histogram values must be finite");
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        match self
+            .bins
+            .binary_search_by(|b| b.centroid.partial_cmp(&value).expect("finite"))
+        {
+            Ok(i) => self.bins[i].count += 1.0,
+            Err(i) => {
+                self.bins.insert(
+                    i,
+                    Bin {
+                        centroid: value,
+                        count: 1.0,
+                    },
+                );
+                if self.bins.len() > self.max_bins {
+                    self.merge_closest();
+                }
+            }
+        }
+    }
+
+    /// Merges another histogram into this one (Algorithm "Merge").
+    pub fn merge(&mut self, other: &StreamingHistogram) {
+        if other.is_empty() {
+            return;
+        }
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for bin in &other.bins {
+            match self
+                .bins
+                .binary_search_by(|b| b.centroid.partial_cmp(&bin.centroid).expect("finite"))
+            {
+                Ok(i) => self.bins[i].count += bin.count,
+                Err(i) => self.bins.insert(i, *bin),
+            }
+        }
+        while self.bins.len() > self.max_bins {
+            self.merge_closest();
+        }
+    }
+
+    fn merge_closest(&mut self) {
+        let mut best = 0;
+        let mut best_gap = f64::INFINITY;
+        for i in 0..self.bins.len() - 1 {
+            let gap = self.bins[i + 1].centroid - self.bins[i].centroid;
+            if gap < best_gap {
+                best_gap = gap;
+                best = i;
+            }
+        }
+        let (a, b) = (self.bins[best], self.bins[best + 1]);
+        let count = a.count + b.count;
+        self.bins[best] = Bin {
+            centroid: (a.centroid * a.count + b.centroid * b.count) / count,
+            count,
+        };
+        self.bins.remove(best + 1);
+    }
+
+    /// Estimated number of observations `≤ value` (Algorithm "Sum").
+    ///
+    /// Within `[min, max]` the estimate interpolates between bins treating
+    /// each bin's mass as a trapezoid between adjacent centroids; outside
+    /// that range it clamps to `0` or `count`. Virtual zero-mass bins at the
+    /// exact observed `min` and `max` make the interpolation well-defined
+    /// over the full observed support.
+    pub fn sum(&self, value: f64) -> f64 {
+        if self.is_empty() || value < self.min {
+            return 0.0;
+        }
+        if value >= self.max {
+            return self.count as f64;
+        }
+        let lo = Bin {
+            centroid: self.min,
+            count: 0.0,
+        };
+        let hi = Bin {
+            centroid: self.max,
+            count: 0.0,
+        };
+        let chain = std::iter::once(lo)
+            .chain(self.bins.iter().copied())
+            .chain(std::iter::once(hi));
+        let mut acc = 0.0;
+        let mut prev: Option<Bin> = None;
+        for cur in chain {
+            if let Some(p) = prev {
+                if value < cur.centroid {
+                    let width = cur.centroid - p.centroid;
+                    let frac = if width > 0.0 {
+                        (value - p.centroid) / width
+                    } else {
+                        0.0
+                    };
+                    let mb = p.count + (cur.count - p.count) * frac;
+                    return acc + p.count / 2.0 + (p.count + mb) / 2.0 * frac;
+                }
+                acc += p.count;
+            }
+            prev = Some(cur);
+        }
+        self.count as f64
+    }
+
+    /// Estimated quantile: smallest `x` with `sum(x) ≥ q · count`.
+    ///
+    /// `q` is clamped to `[0, 1]`. Returns `None` if the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let (mut lo, mut hi) = (self.min, self.max);
+        if target <= 0.0 {
+            return Some(lo);
+        }
+        if target >= self.count as f64 {
+            return Some(hi);
+        }
+        // The interpolated `sum` is monotone, so bisection converges fast.
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if self.sum(mid) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo <= 1e-9 * (1.0 + hi.abs()) {
+                break;
+            }
+        }
+        Some(0.5 * (lo + hi))
+    }
+
+    /// Normalised `(value, probability)` mass points — one per bin.
+    ///
+    /// This is the discrete form the scheduler integrates against (Eq. 1).
+    pub fn mass_points(&self) -> Vec<(f64, f64)> {
+        let total: f64 = self.bins.iter().map(|b| b.count).sum();
+        if total <= 0.0 {
+            return Vec::new();
+        }
+        self.bins
+            .iter()
+            .map(|b| (b.centroid, b.count / total))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_empty() {
+        let h = StreamingHistogram::new(8);
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.sum(10.0), 0.0);
+    }
+
+    #[test]
+    fn exact_when_under_bin_budget() {
+        let mut h = StreamingHistogram::new(10);
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            h.insert(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.bins().len(), 5);
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(5.0));
+        assert!((h.mean().unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_values_share_a_bin() {
+        let mut h = StreamingHistogram::new(4);
+        for _ in 0..100 {
+            h.insert(7.0);
+        }
+        assert_eq!(h.bins().len(), 1);
+        assert_eq!(h.bins()[0].count, 100.0);
+        assert_eq!(h.quantile(0.5), Some(7.0));
+    }
+
+    #[test]
+    fn respects_bin_budget() {
+        let mut h = StreamingHistogram::new(8);
+        for i in 0..1000 {
+            h.insert(i as f64);
+        }
+        assert!(h.bins().len() <= 8);
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn mean_is_preserved_by_merging() {
+        let mut h = StreamingHistogram::new(4);
+        let vals: Vec<f64> = (0..200).map(|i| (i as f64).sqrt()).collect();
+        let exact: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+        for v in &vals {
+            h.insert(*v);
+        }
+        assert!((h.mean().unwrap() - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_is_monotone_and_bounded() {
+        let mut h = StreamingHistogram::new(16);
+        for i in 0..500 {
+            h.insert((i % 37) as f64 * 1.7);
+        }
+        let mut prev = -1.0;
+        for step in -10..80 {
+            let s = h.sum(step as f64);
+            assert!(s >= prev - 1e-9, "sum must be monotone");
+            assert!((0.0..=500.0 + 1e-9).contains(&s));
+            prev = s;
+        }
+        assert_eq!(h.sum(-1.0), 0.0);
+        assert_eq!(h.sum(1e9), 500.0);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let mut h = StreamingHistogram::new(32);
+        for i in 1..=1000 {
+            h.insert(i as f64);
+        }
+        let q50 = h.quantile(0.5).unwrap();
+        assert!((q50 - 500.0).abs() < 25.0, "median estimate {q50}");
+        let q0 = h.quantile(0.0).unwrap();
+        let q1 = h.quantile(1.0).unwrap();
+        assert_eq!(q0, 1.0);
+        assert_eq!(q1, 1000.0);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = StreamingHistogram::new(8);
+        let mut b = StreamingHistogram::new(8);
+        for i in 0..50 {
+            a.insert(i as f64);
+        }
+        for i in 50..100 {
+            b.insert(i as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 100);
+        assert_eq!(a.min(), Some(0.0));
+        assert_eq!(a.max(), Some(99.0));
+        assert!(a.bins().len() <= 8);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = StreamingHistogram::new(8);
+        a.insert(3.0);
+        let before = a.clone();
+        a.merge(&StreamingHistogram::new(8));
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.bins(), before.bins());
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_state() {
+        let mut h = StreamingHistogram::new(16);
+        for i in 0..200 {
+            h.insert((i * 7 % 53) as f64);
+        }
+        let json = serde_json::to_string(&h).unwrap();
+        let back: StreamingHistogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, h);
+        assert_eq!(back.count(), 200);
+    }
+
+    #[test]
+    fn sum_is_continuous_at_centroids() {
+        let mut h = StreamingHistogram::new(8);
+        for i in 0..300 {
+            h.insert((i % 17) as f64 * 3.0);
+        }
+        for b in h.bins().to_vec() {
+            let eps = 1e-6;
+            let below = h.sum(b.centroid - eps);
+            let above = h.sum(b.centroid + eps);
+            assert!(
+                (above - below).abs() < 1.0,
+                "jump at centroid {}: {below} → {above}",
+                b.centroid
+            );
+        }
+    }
+
+    #[test]
+    fn merge_order_does_not_change_count_or_extremes() {
+        let mut parts = Vec::new();
+        for p in 0..4 {
+            let mut h = StreamingHistogram::new(12);
+            for i in 0..100 {
+                h.insert((p * 100 + i) as f64);
+            }
+            parts.push(h);
+        }
+        let mut fwd = StreamingHistogram::new(12);
+        for p in &parts {
+            fwd.merge(p);
+        }
+        let mut rev = StreamingHistogram::new(12);
+        for p in parts.iter().rev() {
+            rev.merge(p);
+        }
+        assert_eq!(fwd.count(), rev.count());
+        assert_eq!(fwd.min(), rev.min());
+        assert_eq!(fwd.max(), rev.max());
+        let (mf, mr) = (fwd.mean().unwrap(), rev.mean().unwrap());
+        assert!((mf - mr).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mass_points_sum_to_one() {
+        let mut h = StreamingHistogram::new(8);
+        for i in 0..123 {
+            h.insert((i * i % 97) as f64);
+        }
+        let total: f64 = h.mass_points().iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,42 @@
+//! Mixed-integer linear programming for 3σSched.
+//!
+//! The paper compiles every scheduling cycle into a MILP and hands it to an
+//! external solver with a warm start and a time budget (§4.3.6). The Rust
+//! MILP ecosystem offers no mature pure-Rust solver, so this crate implements
+//! the required subset from scratch:
+//!
+//! * [`model`] — a sparse problem builder (continuous and binary variables,
+//!   `≤ / ≥ / =` rows, SOS1 groups for "at most one placement option").
+//! * [`simplex`] — a bounded-variable primal simplex with an explicit basis
+//!   inverse and a composite phase-1, sized for the dense-but-small LPs a
+//!   scheduling cycle produces (thousands of columns, hundreds of rows).
+//! * [`branch`] — best-bound branch-and-bound with SOS1-aware branching,
+//!   fix-and-repair rounding incumbents, warm-start seeding from the previous
+//!   cycle's schedule, and node/time budgets that return the best incumbent
+//!   found so far (the solver contract §4.3.6 relies on).
+//!
+//! The solver maximises by convention (scheduling maximises expected
+//! utility); minimisation is a caller-side negation.
+//!
+//! # Example
+//!
+//! ```
+//! use threesigma_milp::{Cmp, Model, Solver};
+//!
+//! // max 10a + 6b + 4c  s.t.  5a + 4b + 3c ≤ 10, a,b,c ∈ {0,1}
+//! let mut m = Model::new();
+//! let a = m.add_binary(10.0);
+//! let b = m.add_binary(6.0);
+//! let c = m.add_binary(4.0);
+//! m.add_constraint(&[(a, 5.0), (b, 4.0), (c, 3.0)], Cmp::Le, 10.0);
+//! let solution = Solver::new().solve(&m);
+//! assert!((solution.objective - 16.0).abs() < 1e-6); // a + b
+//! ```
+
+pub mod branch;
+pub mod model;
+pub mod simplex;
+
+pub use branch::{MipSolution, MipStatus, Solver, SolverConfig};
+pub use model::{Cmp, Model, VarId, VarKind};
+pub use simplex::{LpOutcome, LpSolution};

@@ -1,0 +1,381 @@
+//! Sparse MILP problem builder.
+//!
+//! 3σSched's MILP generator (§4.3.3) produces, per pending job, one binary
+//! indicator per placement option plus continuous per-partition allocation
+//! variables, a demand row tying them together, and shared capacity rows.
+//! This module is the neutral representation those pieces compile into.
+
+use std::fmt;
+
+/// Identifier of a variable within a [`Model`] (dense index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Dense column index of this variable.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Continuous or binary variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// Continuous within `[lower, upper]`.
+    Continuous,
+    /// Binary: integer restricted to `{0, 1}` (bounds may tighten further).
+    Binary,
+}
+
+/// Comparison sense of a linear constraint row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `expr ≤ rhs`.
+    Le,
+    /// `expr ≥ rhs`.
+    Ge,
+    /// `expr = rhs`.
+    Eq,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Variable {
+    pub kind: VarKind,
+    pub lower: f64,
+    pub upper: f64,
+    pub objective: f64,
+    pub name: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    /// Sparse `(column, coefficient)` terms, deduplicated and sorted.
+    pub terms: Vec<(usize, f64)>,
+    pub cmp: Cmp,
+    pub rhs: f64,
+}
+
+/// A MILP in build form: maximise `objective · x` subject to linear rows,
+/// variable bounds, integrality, and SOS1 groups.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) sos1: Vec<Vec<usize>>,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a continuous variable with bounds `[lower, upper]` and the given
+    /// objective coefficient. Returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lower > upper`, either bound is NaN, or `lower` is not
+    /// finite (the simplex rests non-basic variables on finite bounds; every
+    /// scheduling variable is naturally `≥ 0`).
+    pub fn add_continuous(&mut self, lower: f64, upper: f64, objective: f64) -> VarId {
+        assert!(!lower.is_nan() && !upper.is_nan(), "NaN bound");
+        assert!(lower <= upper, "lower {lower} > upper {upper}");
+        assert!(lower.is_finite(), "lower bound must be finite");
+        self.push(Variable {
+            kind: VarKind::Continuous,
+            lower,
+            upper,
+            objective,
+            name: None,
+        })
+    }
+
+    /// Adds a binary variable with the given objective coefficient.
+    pub fn add_binary(&mut self, objective: f64) -> VarId {
+        self.push(Variable {
+            kind: VarKind::Binary,
+            lower: 0.0,
+            upper: 1.0,
+            objective,
+            name: None,
+        })
+    }
+
+    fn push(&mut self, v: Variable) -> VarId {
+        self.vars.push(v);
+        VarId(self.vars.len() - 1)
+    }
+
+    /// Attaches a debug name to a variable (shows up in [`Model`] display).
+    pub fn set_name(&mut self, var: VarId, name: impl Into<String>) {
+        self.vars[var.0].name = Some(name.into());
+    }
+
+    /// Adds the linear row `Σ coeff·var  cmp  rhs`. Duplicate variable
+    /// entries are summed. Zero coefficients are dropped. Returns the row
+    /// index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN coefficients/rhs or out-of-model variable ids.
+    pub fn add_constraint(&mut self, terms: &[(VarId, f64)], cmp: Cmp, rhs: f64) -> usize {
+        assert!(!rhs.is_nan(), "NaN rhs");
+        let mut sparse: Vec<(usize, f64)> = Vec::with_capacity(terms.len());
+        for (v, c) in terms {
+            assert!(v.0 < self.vars.len(), "unknown variable {v:?}");
+            assert!(!c.is_nan(), "NaN coefficient");
+            sparse.push((v.0, *c));
+        }
+        sparse.sort_unstable_by_key(|(i, _)| *i);
+        // Merge duplicates, drop exact zeros (the "internal pruning" of
+        // generated expressions mentioned in §4.3.6).
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(sparse.len());
+        for (i, c) in sparse {
+            match merged.last_mut() {
+                Some((j, acc)) if *j == i => *acc += c,
+                _ => merged.push((i, c)),
+            }
+        }
+        merged.retain(|(_, c)| *c != 0.0);
+        self.constraints.push(Constraint {
+            terms: merged,
+            cmp,
+            rhs,
+        });
+        self.constraints.len() - 1
+    }
+
+    /// Declares an SOS1 group: at most one of `vars` may be non-zero in an
+    /// integral solution. 3σSched uses one group per job ("at most one
+    /// placement option", §4.3.3); branch-and-bound branches on the group
+    /// rather than single variables.
+    ///
+    /// Note this is a *branching hint* only — the caller still adds the
+    /// corresponding `Σ I ≤ 1` demand row (the hint does not imply the
+    /// constraint).
+    pub fn add_sos1(&mut self, vars: &[VarId]) {
+        for v in vars {
+            assert!(v.0 < self.vars.len(), "unknown variable {v:?}");
+        }
+        if vars.len() > 1 {
+            self.sos1.push(vars.iter().map(|v| v.0).collect());
+        }
+    }
+
+    /// Tightens a variable's bounds (used by branch-and-bound node fixing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new bounds are inverted.
+    pub fn set_bounds(&mut self, var: VarId, lower: f64, upper: f64) {
+        assert!(lower <= upper, "lower {lower} > upper {upper}");
+        self.vars[var.0].lower = lower;
+        self.vars[var.0].upper = upper;
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraint rows.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Ids of all binary variables.
+    pub fn binary_vars(&self) -> Vec<VarId> {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.kind == VarKind::Binary)
+            .map(|(i, _)| VarId(i))
+            .collect()
+    }
+
+    /// Objective coefficient of one variable.
+    pub fn objective_coeff(&self, var: VarId) -> f64 {
+        self.vars[var.0].objective
+    }
+
+    /// Objective value of an assignment (no feasibility check).
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.vars
+            .iter()
+            .zip(x)
+            .map(|(v, xi)| v.objective * xi)
+            .sum()
+    }
+
+    /// Checks whether `x` satisfies all rows, bounds, and integrality within
+    /// `tol`. Useful for tests and for vetting warm starts.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.vars.len() {
+            return false;
+        }
+        for (v, xi) in self.vars.iter().zip(x) {
+            if *xi < v.lower - tol || *xi > v.upper + tol {
+                return false;
+            }
+            if v.kind == VarKind::Binary && (xi - xi.round()).abs() > tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|(i, coef)| coef * x[*i]).sum();
+            let ok = match c.cmp {
+                Cmp::Le => lhs <= c.rhs + tol,
+                Cmp::Ge => lhs >= c.rhs - tol,
+                Cmp::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "max {}",
+            self.vars
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.objective != 0.0)
+                .map(|(i, v)| format!(
+                    "{:+}·{}",
+                    v.objective,
+                    v.name.clone().unwrap_or_else(|| format!("x{i}"))
+                ))
+                .collect::<Vec<_>>()
+                .join(" ")
+        )?;
+        for c in &self.constraints {
+            let lhs = c
+                .terms
+                .iter()
+                .map(|(i, coef)| {
+                    let name = self.vars[*i]
+                        .name
+                        .clone()
+                        .unwrap_or_else(|| format!("x{i}"));
+                    format!("{coef:+}·{name}")
+                })
+                .collect::<Vec<_>>()
+                .join(" ");
+            let op = match c.cmp {
+                Cmp::Le => "<=",
+                Cmp::Ge => ">=",
+                Cmp::Eq => "=",
+            };
+            writeln!(f, "  {lhs} {op} {}", c.rhs)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut m = Model::new();
+        let a = m.add_binary(1.0);
+        let b = m.add_continuous(0.0, 5.0, 2.0);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.binary_vars(), vec![a]);
+    }
+
+    #[test]
+    fn duplicate_terms_merge_and_zeros_drop() {
+        let mut m = Model::new();
+        let a = m.add_binary(0.0);
+        let b = m.add_binary(0.0);
+        m.add_constraint(&[(a, 1.0), (a, 2.0), (b, 0.0)], Cmp::Le, 4.0);
+        assert_eq!(m.constraints[0].terms, vec![(0, 3.0)]);
+    }
+
+    #[test]
+    fn feasibility_check_covers_bounds_rows_integrality() {
+        let mut m = Model::new();
+        let a = m.add_binary(1.0);
+        let b = m.add_continuous(0.0, 2.0, 1.0);
+        m.add_constraint(&[(a, 1.0), (b, 1.0)], Cmp::Le, 2.0);
+        assert!(m.is_feasible(&[1.0, 1.0], 1e-9));
+        assert!(!m.is_feasible(&[1.0, 1.5], 1e-9), "row violated");
+        assert!(!m.is_feasible(&[0.5, 0.5], 1e-9), "binary fractional");
+        assert!(!m.is_feasible(&[0.0, 3.0], 1e-9), "upper bound violated");
+        assert!(!m.is_feasible(&[0.0], 1e-9), "wrong arity");
+    }
+
+    #[test]
+    fn objective_value_is_a_dot_product() {
+        let mut m = Model::new();
+        m.add_binary(3.0);
+        m.add_continuous(0.0, 10.0, -1.0);
+        assert_eq!(m.objective_value(&[1.0, 4.0]), -1.0);
+    }
+
+    #[test]
+    fn singleton_sos1_is_ignored() {
+        let mut m = Model::new();
+        let a = m.add_binary(0.0);
+        m.add_sos1(&[a]);
+        assert!(m.sos1.is_empty());
+        let b = m.add_binary(0.0);
+        m.add_sos1(&[a, b]);
+        assert_eq!(m.sos1.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower")]
+    fn inverted_bounds_panic() {
+        let mut m = Model::new();
+        m.add_continuous(2.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn objective_coeff_accessor() {
+        let mut m = Model::new();
+        let a = m.add_binary(7.5);
+        let b = m.add_continuous(0.0, 1.0, -2.0);
+        assert_eq!(m.objective_coeff(a), 7.5);
+        assert_eq!(m.objective_coeff(b), -2.0);
+    }
+
+    #[test]
+    fn constraint_index_is_returned() {
+        let mut m = Model::new();
+        let a = m.add_binary(0.0);
+        assert_eq!(m.add_constraint(&[(a, 1.0)], Cmp::Le, 1.0), 0);
+        assert_eq!(m.add_constraint(&[(a, 2.0)], Cmp::Ge, 0.0), 1);
+        assert_eq!(m.num_constraints(), 2);
+    }
+
+    #[test]
+    fn set_bounds_tightens() {
+        let mut m = Model::new();
+        let a = m.add_binary(1.0);
+        m.set_bounds(a, 1.0, 1.0);
+        assert!(m.is_feasible(&[1.0], 1e-9));
+        assert!(!m.is_feasible(&[0.0], 1e-9));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut m = Model::new();
+        let a = m.add_binary(1.0);
+        m.set_name(a, "I_slo_0");
+        m.add_constraint(&[(a, 1.0)], Cmp::Le, 1.0);
+        let s = format!("{m}");
+        assert!(s.contains("I_slo_0"));
+        assert!(s.contains("<= 1"));
+    }
+}

@@ -1,0 +1,877 @@
+//! Bounded-variable primal simplex with an explicit basis inverse.
+//!
+//! Solves the LP relaxations branch-and-bound needs: maximise `c·x` subject
+//! to sparse rows and finite-or-infinite variable bounds. A composite
+//! phase-1 (minimise total bound infeasibility with dynamically recomputed
+//! costs) finds a feasible basis from the all-slack start; phase 2 then
+//! optimises the true objective. Dantzig pricing with a Bland's-rule
+//! fallback guards against cycling, and the basis inverse is refactorised
+//! periodically to bound drift.
+//!
+//! Scheduling-cycle LPs are small (hundreds of rows) but re-solved at every
+//! branch-and-bound node, so the implementation favours predictable `O(m²)`
+//! pivots and `O(nm)` pricing over sparse-factorisation sophistication.
+
+use crate::model::{Cmp, Model};
+
+/// Feasibility tolerance on bounds and rows.
+pub const FEAS_TOL: f64 = 1e-7;
+/// Reduced-cost optimality tolerance.
+pub const OPT_TOL: f64 = 1e-7;
+/// Smallest acceptable pivot magnitude.
+const PIVOT_TOL: f64 = 1e-9;
+/// Pivots between basis-inverse refactorisations.
+const REFACTOR_EVERY: usize = 100;
+
+/// Terminal status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpOutcome {
+    /// Optimal within tolerances.
+    Optimal,
+    /// No feasible point exists.
+    Infeasible,
+    /// Objective unbounded above.
+    Unbounded,
+    /// Iteration limit hit before convergence (solution is feasible but may
+    /// be suboptimal).
+    IterationLimit,
+}
+
+/// Result of an LP solve.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Terminal status.
+    pub outcome: LpOutcome,
+    /// Objective value of `values` (meaningful unless infeasible).
+    pub objective: f64,
+    /// One value per model variable (structural columns only).
+    pub values: Vec<f64>,
+    /// Simplex iterations performed across both phases.
+    pub iterations: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarState {
+    Basic(usize),
+    AtLower,
+    AtUpper,
+}
+
+struct Tableau {
+    /// Sparse columns, structural then slack: `(row, coefficient)`.
+    cols: Vec<Vec<(usize, f64)>>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    /// True (phase-2) objective per column.
+    cost: Vec<f64>,
+    rhs: Vec<f64>,
+    n_structural: usize,
+    m: usize,
+    state: Vec<VarState>,
+    /// Variable occupying each basis row.
+    basis: Vec<usize>,
+    /// Dense row-major basis inverse.
+    binv: Vec<f64>,
+    /// Current values of basic variables, by row.
+    xb: Vec<f64>,
+    /// Current values of nonbasic variables (their resting bound).
+    xn: Vec<f64>,
+    pivots_since_refactor: usize,
+    iterations: usize,
+}
+
+impl Tableau {
+    fn new(model: &Model, bounds: Option<&[(f64, f64)]>) -> Self {
+        let n = model.num_vars();
+        let m = model.num_constraints();
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n + m];
+        for (r, c) in model.constraints.iter().enumerate() {
+            for (j, coef) in &c.terms {
+                cols[*j].push((r, *coef));
+            }
+        }
+        let mut lower = Vec::with_capacity(n + m);
+        let mut upper = Vec::with_capacity(n + m);
+        let mut cost = Vec::with_capacity(n + m);
+        for (j, v) in model.vars.iter().enumerate() {
+            let (lo, hi) = match bounds {
+                Some(b) => b[j],
+                None => (v.lower, v.upper),
+            };
+            lower.push(lo);
+            upper.push(hi);
+            cost.push(v.objective);
+        }
+        let mut rhs = Vec::with_capacity(m);
+        for (r, c) in model.constraints.iter().enumerate() {
+            let slack = n + r;
+            cols[slack].push((r, 1.0));
+            let (lo, hi) = match c.cmp {
+                Cmp::Le => (0.0, f64::INFINITY),
+                Cmp::Ge => (f64::NEG_INFINITY, 0.0),
+                Cmp::Eq => (0.0, 0.0),
+            };
+            lower.push(lo);
+            upper.push(hi);
+            cost.push(0.0);
+            rhs.push(c.rhs);
+        }
+        // Nonbasic structural variables rest on a finite bound; slacks form
+        // the initial (identity) basis.
+        let mut state = Vec::with_capacity(n + m);
+        let mut xn = vec![0.0; n + m];
+        for j in 0..n {
+            if lower[j].is_finite() {
+                state.push(VarState::AtLower);
+                xn[j] = lower[j];
+            } else {
+                state.push(VarState::AtUpper);
+                xn[j] = upper[j];
+            }
+        }
+        let mut basis = Vec::with_capacity(m);
+        for r in 0..m {
+            state.push(VarState::Basic(r));
+            basis.push(n + r);
+        }
+        let mut t = Self {
+            cols,
+            lower,
+            upper,
+            cost,
+            rhs,
+            n_structural: n,
+            m,
+            state,
+            basis,
+            binv: identity(m),
+            xb: vec![0.0; m],
+            xn,
+            pivots_since_refactor: 0,
+            iterations: 0,
+        };
+        t.recompute_xb();
+        t
+    }
+
+    fn recompute_xb(&mut self) {
+        // x_B = Binv · (b − Σ_nonbasic A_j x_j).
+        let mut adjusted = self.rhs.clone();
+        for j in 0..self.cols.len() {
+            if matches!(self.state[j], VarState::Basic(_)) {
+                continue;
+            }
+            let xj = self.xn[j];
+            if xj != 0.0 {
+                for (r, coef) in &self.cols[j] {
+                    adjusted[*r] -= coef * xj;
+                }
+            }
+        }
+        for i in 0..self.m {
+            let mut acc = 0.0;
+            for (k, a) in adjusted.iter().enumerate() {
+                acc += self.binv[i * self.m + k] * a;
+            }
+            self.xb[i] = acc;
+        }
+    }
+
+    fn refactorize(&mut self) -> bool {
+        // Rebuild Binv by inverting the basis matrix with Gauss-Jordan.
+        let m = self.m;
+        let mut a = vec![0.0; m * m];
+        for (col_pos, &j) in self.basis.iter().enumerate() {
+            for (r, coef) in &self.cols[j] {
+                a[*r * m + col_pos] = *coef;
+            }
+        }
+        let mut inv = identity(m);
+        for col in 0..m {
+            // Partial pivoting.
+            let mut best = col;
+            let mut best_abs = a[col * m + col].abs();
+            for row in col + 1..m {
+                let v = a[row * m + col].abs();
+                if v > best_abs {
+                    best_abs = v;
+                    best = row;
+                }
+            }
+            if best_abs < PIVOT_TOL {
+                return false;
+            }
+            if best != col {
+                for k in 0..m {
+                    a.swap(col * m + k, best * m + k);
+                    inv.swap(col * m + k, best * m + k);
+                }
+            }
+            let piv = a[col * m + col];
+            for k in 0..m {
+                a[col * m + k] /= piv;
+                inv[col * m + k] /= piv;
+            }
+            for row in 0..m {
+                if row == col {
+                    continue;
+                }
+                let f = a[row * m + col];
+                if f != 0.0 {
+                    for k in 0..m {
+                        a[row * m + k] -= f * a[col * m + k];
+                        inv[row * m + k] -= f * inv[col * m + k];
+                    }
+                }
+            }
+        }
+        // inv now maps original row space through the permuted elimination;
+        // because we performed identical row ops on both, inv = B^{-1}.
+        self.binv = inv;
+        self.pivots_since_refactor = 0;
+        true
+    }
+
+    /// `w = Binv · A_j` for column `j`.
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        let mut w = vec![0.0; self.m];
+        for (r, coef) in &self.cols[j] {
+            for i in 0..self.m {
+                w[i] += self.binv[i * self.m + *r] * coef;
+            }
+        }
+        w
+    }
+
+    /// Dual values `y = c_B · Binv` for the given per-column costs.
+    fn duals(&self, cost: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.m];
+        for (i, &bj) in self.basis.iter().enumerate() {
+            let cb = cost[bj];
+            if cb != 0.0 {
+                for k in 0..self.m {
+                    y[k] += cb * self.binv[i * self.m + k];
+                }
+            }
+        }
+        y
+    }
+
+    fn reduced_cost(&self, j: usize, cost: &[f64], y: &[f64]) -> f64 {
+        let mut d = cost[j];
+        for (r, coef) in &self.cols[j] {
+            d -= y[*r] * coef;
+        }
+        d
+    }
+
+    /// Total bound infeasibility of the current basic solution.
+    fn infeasibility(&self) -> f64 {
+        let mut total = 0.0;
+        for (i, &j) in self.basis.iter().enumerate() {
+            let x = self.xb[i];
+            if x < self.lower[j] {
+                total += self.lower[j] - x;
+            } else if x > self.upper[j] {
+                total += x - self.upper[j];
+            }
+        }
+        total
+    }
+
+    /// Phase-1 costs: gradient of −(total infeasibility) w.r.t. basic vars.
+    fn phase1_cost(&self) -> Vec<f64> {
+        let mut c = vec![0.0; self.cols.len()];
+        for (i, &j) in self.basis.iter().enumerate() {
+            let x = self.xb[i];
+            if x < self.lower[j] - FEAS_TOL {
+                c[j] = 1.0;
+            } else if x > self.upper[j] + FEAS_TOL {
+                c[j] = -1.0;
+            }
+        }
+        c
+    }
+
+    /// One pricing-ratio-pivot step. Returns:
+    /// * `Ok(true)` — step taken,
+    /// * `Ok(false)` — no improving column (optimal for `cost`),
+    /// * `Err(())` — unbounded in the improving direction.
+    fn step(&mut self, cost: &[f64], bland: bool, phase1: bool) -> Result<bool, ()> {
+        let y = self.duals(cost);
+        // Pricing.
+        let mut entering: Option<(usize, f64, f64)> = None; // (col, |d|, sigma)
+        for j in 0..self.cols.len() {
+            let sigma = match self.state[j] {
+                VarState::Basic(_) => continue,
+                VarState::AtLower => 1.0,
+                VarState::AtUpper => -1.0,
+            };
+            // A fixed variable (equal bounds) can never move.
+            if self.upper[j] - self.lower[j] <= 0.0 {
+                continue;
+            }
+            let d = self.reduced_cost(j, cost, &y);
+            let improving = if sigma > 0.0 { d > OPT_TOL } else { d < -OPT_TOL };
+            if !improving {
+                continue;
+            }
+            let score = d.abs();
+            if bland {
+                entering = Some((j, score, sigma));
+                break;
+            }
+            if entering.map_or(true, |(_, s, _)| score > s) {
+                entering = Some((j, score, sigma));
+            }
+        }
+        let Some((q, _, sigma)) = entering else {
+            return Ok(false);
+        };
+
+        let w = self.ftran(q);
+        // Ratio test: the entering variable moves by t ≥ 0 in direction
+        // sigma; basic row i changes at rate delta_i = −sigma·w_i.
+        let own_range = self.upper[q] - self.lower[q];
+        let mut t_max = own_range; // entering may flip to its other bound
+        let mut leaving: Option<usize> = None;
+        for i in 0..self.m {
+            let delta = -sigma * w[i];
+            if delta.abs() <= PIVOT_TOL {
+                continue;
+            }
+            let j = self.basis[i];
+            let x = self.xb[i];
+            // The blocking bound is the nearest bound in the direction of
+            // travel that the variable has not already crossed; a variable
+            // that is currently infeasible blocks when it reaches
+            // feasibility (composite phase-1 rule).
+            let target = if delta > 0.0 {
+                if x < self.lower[j] - FEAS_TOL {
+                    self.lower[j]
+                } else {
+                    self.upper[j]
+                }
+            } else if x > self.upper[j] + FEAS_TOL {
+                self.upper[j]
+            } else {
+                self.lower[j]
+            };
+            if !target.is_finite() {
+                continue;
+            }
+            let ratio = ((target - x) / delta).max(0.0);
+            let better = match leaving {
+                None => ratio < t_max,
+                Some(cur) => {
+                    ratio < t_max - 1e-12
+                        || (ratio < t_max + 1e-12 && bland && j < self.basis[cur])
+                }
+            };
+            if better {
+                t_max = ratio;
+                leaving = Some(i);
+            }
+        }
+
+        if !t_max.is_finite() {
+            return if phase1 {
+                // Phase 1 is always bounded (infeasibility ≥ 0); numerical
+                // noise only — treat as no progress.
+                Ok(false)
+            } else {
+                Err(())
+            };
+        }
+
+        self.iterations += 1;
+        match leaving {
+            None => {
+                // Bound flip: entering jumps to its opposite bound.
+                let t = t_max;
+                for i in 0..self.m {
+                    self.xb[i] += -sigma * w[i] * t;
+                }
+                let new_state = match self.state[q] {
+                    VarState::AtLower => VarState::AtUpper,
+                    VarState::AtUpper => VarState::AtLower,
+                    VarState::Basic(_) => unreachable!("entering var is nonbasic"),
+                };
+                self.state[q] = new_state;
+                self.xn[q] = match new_state {
+                    VarState::AtLower => self.lower[q],
+                    VarState::AtUpper => self.upper[q],
+                    VarState::Basic(_) => unreachable!(),
+                };
+                Ok(true)
+            }
+            Some(r) => {
+                let t = t_max;
+                let entering_value = self.xn[q] + sigma * t;
+                for i in 0..self.m {
+                    self.xb[i] += -sigma * w[i] * t;
+                }
+                let leaving_var = self.basis[r];
+                // The leaving variable rests at whichever bound it hit.
+                let x_leave = self.xb[r];
+                let to_upper = (x_leave - self.upper[leaving_var]).abs()
+                    <= (x_leave - self.lower[leaving_var]).abs();
+                self.state[leaving_var] = if to_upper {
+                    VarState::AtUpper
+                } else {
+                    VarState::AtLower
+                };
+                self.xn[leaving_var] = if to_upper {
+                    self.upper[leaving_var]
+                } else {
+                    self.lower[leaving_var]
+                };
+                // Pivot: update Binv with the eta transformation.
+                let piv = w[r];
+                if piv.abs() < PIVOT_TOL {
+                    // Numerically hopeless pivot; refactorise and retry later.
+                    self.refactorize();
+                    self.recompute_xb();
+                    return Ok(true);
+                }
+                let m = self.m;
+                let pivot_row: Vec<f64> =
+                    (0..m).map(|k| self.binv[r * m + k] / piv).collect();
+                for i in 0..m {
+                    if i == r {
+                        continue;
+                    }
+                    let f = w[i];
+                    if f != 0.0 {
+                        for k in 0..m {
+                            self.binv[i * m + k] -= f * pivot_row[k];
+                        }
+                    }
+                }
+                self.binv[r * m..(r + 1) * m].copy_from_slice(&pivot_row);
+                self.basis[r] = q;
+                self.state[q] = VarState::Basic(r);
+                self.xb[r] = entering_value;
+                self.pivots_since_refactor += 1;
+                if self.pivots_since_refactor >= REFACTOR_EVERY {
+                    self.refactorize();
+                    self.recompute_xb();
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    fn extract(&self) -> Vec<f64> {
+        let mut x = vec![0.0; self.n_structural];
+        for (j, xj) in x.iter_mut().enumerate() {
+            *xj = match self.state[j] {
+                VarState::Basic(r) => self.xb[r],
+                _ => self.xn[j],
+            };
+        }
+        x
+    }
+}
+
+fn identity(m: usize) -> Vec<f64> {
+    let mut i = vec![0.0; m * m];
+    for k in 0..m {
+        i[k * m + k] = 1.0;
+    }
+    i
+}
+
+/// Solves the LP relaxation of `model` (integrality ignored).
+pub fn solve_lp(model: &Model) -> LpSolution {
+    solve_lp_with_bounds(model, None)
+}
+
+/// Solves the LP relaxation with per-variable bound overrides (used by
+/// branch-and-bound node fixing; `bounds[j]` replaces variable `j`'s bounds).
+pub fn solve_lp_with_bounds(model: &Model, bounds: Option<&[(f64, f64)]>) -> LpSolution {
+    if let Some(b) = bounds {
+        debug_assert_eq!(b.len(), model.num_vars());
+        if b.iter().any(|(lo, hi)| lo > hi) {
+            return LpSolution {
+                outcome: LpOutcome::Infeasible,
+                objective: f64::NEG_INFINITY,
+                values: Vec::new(),
+                iterations: 0,
+            };
+        }
+    }
+    let mut t = Tableau::new(model, bounds);
+    let iter_limit = 200 * (t.m + t.n_structural) + 2000;
+
+    // Phase 1: drive infeasibility to zero with dynamically recomputed costs.
+    let mut stall = 0usize;
+    let mut last_inf = f64::INFINITY;
+    while t.infeasibility() > FEAS_TOL {
+        if t.iterations >= iter_limit {
+            return LpSolution {
+                outcome: LpOutcome::IterationLimit,
+                objective: f64::NEG_INFINITY,
+                values: t.extract(),
+                iterations: t.iterations,
+            };
+        }
+        let c1 = t.phase1_cost();
+        let bland = stall > 2 * (t.m + 10);
+        match t.step(&c1, bland, true) {
+            Ok(true) => {
+                let inf = t.infeasibility();
+                if inf < last_inf - FEAS_TOL {
+                    stall = 0;
+                    last_inf = inf;
+                } else {
+                    stall += 1;
+                }
+            }
+            Ok(false) => {
+                return LpSolution {
+                    outcome: LpOutcome::Infeasible,
+                    objective: f64::NEG_INFINITY,
+                    values: Vec::new(),
+                    iterations: t.iterations,
+                };
+            }
+            Err(()) => unreachable!("phase 1 reported unbounded"),
+        }
+    }
+
+    // Phase 2: optimise the true objective from the feasible basis.
+    let cost = t.cost.clone();
+    let mut stall = 0usize;
+    let mut last_obj = f64::NEG_INFINITY;
+    loop {
+        if t.iterations >= iter_limit {
+            let values = t.extract();
+            let objective = model.objective_value(&values);
+            return LpSolution {
+                outcome: LpOutcome::IterationLimit,
+                objective,
+                values,
+                iterations: t.iterations,
+            };
+        }
+        let bland = stall > 2 * (t.m + 10);
+        match t.step(&cost, bland, false) {
+            Ok(true) => {
+                let obj = model.objective_value(&t.extract());
+                if obj > last_obj + OPT_TOL {
+                    stall = 0;
+                    last_obj = obj;
+                } else {
+                    stall += 1;
+                }
+                // Phase-1 invariant can be perturbed by numerical noise;
+                // re-enter phase 1 if feasibility degraded materially.
+                if t.infeasibility() > 1e3 * FEAS_TOL {
+                    t.refactorize();
+                    t.recompute_xb();
+                    if t.infeasibility() > 1e3 * FEAS_TOL {
+                        let c1 = t.phase1_cost();
+                        let _ = t.step(&c1, false, true);
+                    }
+                }
+            }
+            Ok(false) => {
+                let values = t.extract();
+                let objective = model.objective_value(&values);
+                return LpSolution {
+                    outcome: LpOutcome::Optimal,
+                    objective,
+                    values,
+                    iterations: t.iterations,
+                };
+            }
+            Err(()) => {
+                return LpSolution {
+                    outcome: LpOutcome::Unbounded,
+                    objective: f64::INFINITY,
+                    values: t.extract(),
+                    iterations: t.iterations,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, Model};
+
+    fn assert_near(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn one_var_hits_its_upper_bound() {
+        let mut m = Model::new();
+        m.add_continuous(0.0, 4.0, 2.0);
+        let s = solve_lp(&m);
+        assert_eq!(s.outcome, LpOutcome::Optimal);
+        assert_near(s.objective, 8.0);
+        assert_near(s.values[0], 4.0);
+    }
+
+    #[test]
+    fn classic_two_var_lp() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), obj 36.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, f64::INFINITY, 3.0);
+        let y = m.add_continuous(0.0, f64::INFINITY, 5.0);
+        m.add_constraint(&[(x, 1.0)], Cmp::Le, 4.0);
+        m.add_constraint(&[(y, 2.0)], Cmp::Le, 12.0);
+        m.add_constraint(&[(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+        let s = solve_lp(&m);
+        assert_eq!(s.outcome, LpOutcome::Optimal);
+        assert_near(s.objective, 36.0);
+        assert_near(s.values[0], 2.0);
+        assert_near(s.values[1], 6.0);
+    }
+
+    #[test]
+    fn equality_rows_force_phase_one() {
+        // max x + y s.t. x + y = 5, x − y = 1 → (3, 2), obj 5.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, f64::INFINITY, 1.0);
+        let y = m.add_continuous(0.0, f64::INFINITY, 1.0);
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Eq, 5.0);
+        m.add_constraint(&[(x, 1.0), (y, -1.0)], Cmp::Eq, 1.0);
+        let s = solve_lp(&m);
+        assert_eq!(s.outcome, LpOutcome::Optimal);
+        assert_near(s.values[0], 3.0);
+        assert_near(s.values[1], 2.0);
+    }
+
+    #[test]
+    fn ge_rows_are_respected() {
+        // min x + 2y ≡ max −x − 2y s.t. x + y ≥ 4, y ≥ 1 → (3, 1), obj −5.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, f64::INFINITY, -1.0);
+        let y = m.add_continuous(0.0, f64::INFINITY, -2.0);
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 4.0);
+        m.add_constraint(&[(y, 1.0)], Cmp::Ge, 1.0);
+        let s = solve_lp(&m);
+        assert_eq!(s.outcome, LpOutcome::Optimal);
+        assert_near(s.objective, -5.0);
+        assert_near(s.values[0], 3.0);
+        assert_near(s.values[1], 1.0);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 1.0, 1.0);
+        m.add_constraint(&[(x, 1.0)], Cmp::Ge, 2.0);
+        let s = solve_lp(&m);
+        assert_eq!(s.outcome, LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, f64::INFINITY, 1.0);
+        let y = m.add_continuous(0.0, f64::INFINITY, 1.0);
+        m.add_constraint(&[(x, 1.0), (y, -1.0)], Cmp::Le, 1.0);
+        let s = solve_lp(&m);
+        assert_eq!(s.outcome, LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_lower_bounds_work() {
+        // max x s.t. x ∈ [−5, −2] → −2.
+        let mut m = Model::new();
+        m.add_continuous(-5.0, -2.0, 1.0);
+        let s = solve_lp(&m);
+        assert_eq!(s.outcome, LpOutcome::Optimal);
+        assert_near(s.values[0], -2.0);
+    }
+
+    #[test]
+    fn nonzero_lower_bounds_feed_rows() {
+        // max y s.t. x + y ≤ 10, x ≥ 4 (as bound) → y = 6.
+        let mut m = Model::new();
+        let x = m.add_continuous(4.0, f64::INFINITY, 0.0);
+        let y = m.add_continuous(0.0, f64::INFINITY, 1.0);
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Le, 10.0);
+        let s = solve_lp(&m);
+        assert_eq!(s.outcome, LpOutcome::Optimal);
+        assert_near(s.objective, 6.0);
+    }
+
+    #[test]
+    fn bound_overrides_replace_model_bounds() {
+        let mut m = Model::new();
+        m.add_continuous(0.0, 10.0, 1.0);
+        let s = solve_lp_with_bounds(&m, Some(&[(0.0, 3.0)]));
+        assert_near(s.objective, 3.0);
+        let s = solve_lp_with_bounds(&m, Some(&[(5.0, 2.0)]));
+        assert_eq!(s.outcome, LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn degenerate_rows_terminate() {
+        // Several redundant rows through the same vertex.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, f64::INFINITY, 1.0);
+        let y = m.add_continuous(0.0, f64::INFINITY, 1.0);
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Le, 2.0);
+        m.add_constraint(&[(x, 2.0), (y, 2.0)], Cmp::Le, 4.0);
+        m.add_constraint(&[(x, 1.0)], Cmp::Le, 2.0);
+        m.add_constraint(&[(y, 1.0)], Cmp::Le, 2.0);
+        let s = solve_lp(&m);
+        assert_eq!(s.outcome, LpOutcome::Optimal);
+        assert_near(s.objective, 2.0);
+    }
+
+    #[test]
+    fn fractional_lp_relaxation_of_knapsack() {
+        // max 10a + 6b, 5a + 4b ≤ 7, binaries relaxed → a=1, b=0.5, obj 13.
+        let mut m = Model::new();
+        let a = m.add_binary(10.0);
+        let b = m.add_binary(6.0);
+        m.add_constraint(&[(a, 5.0), (b, 4.0)], Cmp::Le, 7.0);
+        let s = solve_lp(&m);
+        assert_eq!(s.outcome, LpOutcome::Optimal);
+        assert_near(s.objective, 13.0);
+        assert_near(s.values[0], 1.0);
+        assert_near(s.values[1], 0.5);
+    }
+
+    #[test]
+    fn fixed_variables_via_equal_bounds() {
+        // x fixed at 2 by bounds; maximize y with x + y ≤ 5 → y = 3.
+        let mut m = Model::new();
+        let _x = m.add_continuous(2.0, 2.0, 0.0);
+        let y = m.add_continuous(0.0, f64::INFINITY, 1.0);
+        m.add_constraint(&[(_x, 1.0), (y, 1.0)], Cmp::Le, 5.0);
+        let s = solve_lp(&m);
+        assert_eq!(s.outcome, LpOutcome::Optimal);
+        assert_near(s.values[0], 2.0);
+        assert_near(s.values[1], 3.0);
+    }
+
+    #[test]
+    fn empty_model_is_trivially_optimal() {
+        let m = Model::new();
+        let s = solve_lp(&m);
+        assert_eq!(s.outcome, LpOutcome::Optimal);
+        assert_eq!(s.objective, 0.0);
+        assert!(s.values.is_empty());
+    }
+
+    #[test]
+    fn rows_without_variables_are_constants() {
+        // 0 ≤ 1 is vacuous; 0 ≥ 1 is infeasible.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 1.0, 1.0);
+        m.add_constraint(&[(x, 0.0)], Cmp::Le, 1.0);
+        assert_eq!(solve_lp(&m).outcome, LpOutcome::Optimal);
+        let mut bad = Model::new();
+        let y = bad.add_continuous(0.0, 1.0, 1.0);
+        bad.add_constraint(&[(y, 0.0)], Cmp::Ge, 1.0);
+        assert_eq!(solve_lp(&bad).outcome, LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn redundant_equalities_are_consistent() {
+        // x + y = 4 twice, maximize x with x ≤ 3 → (3, 1).
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 3.0, 1.0);
+        let y = m.add_continuous(0.0, f64::INFINITY, 0.0);
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Eq, 4.0);
+        m.add_constraint(&[(x, 2.0), (y, 2.0)], Cmp::Eq, 8.0);
+        let s = solve_lp(&m);
+        assert_eq!(s.outcome, LpOutcome::Optimal);
+        assert_near(s.values[0], 3.0);
+        assert_near(s.values[1], 1.0);
+    }
+
+    #[test]
+    fn conflicting_equalities_are_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 10.0, 1.0);
+        m.add_constraint(&[(x, 1.0)], Cmp::Eq, 3.0);
+        m.add_constraint(&[(x, 1.0)], Cmp::Eq, 4.0);
+        assert_eq!(solve_lp(&m).outcome, LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn transportation_style_lp() {
+        // Two suppliers (cap 5, 7), two consumers (need 4, 6); minimise a
+        // cost matrix — classic demand/capacity structure of 3σSched's
+        // allocation subproblem.
+        let mut m = Model::new();
+        let costs = [[2.0, 3.0], [4.0, 1.0]];
+        let mut x = Vec::new();
+        for i in 0..2 {
+            for j in 0..2 {
+                x.push(m.add_continuous(0.0, f64::INFINITY, -costs[i][j]));
+            }
+        }
+        m.add_constraint(&[(x[0], 1.0), (x[1], 1.0)], Cmp::Le, 5.0);
+        m.add_constraint(&[(x[2], 1.0), (x[3], 1.0)], Cmp::Le, 7.0);
+        m.add_constraint(&[(x[0], 1.0), (x[2], 1.0)], Cmp::Eq, 4.0);
+        m.add_constraint(&[(x[1], 1.0), (x[3], 1.0)], Cmp::Eq, 6.0);
+        let s = solve_lp(&m);
+        assert_eq!(s.outcome, LpOutcome::Optimal);
+        // Optimal: x00 = 4 (cost 8), x11 = 6 (cost 6) → total −14.
+        assert_near(s.objective, -14.0);
+    }
+
+    #[test]
+    fn large_diagonal_problem_is_fast_and_exact() {
+        let mut m = Model::new();
+        let n = 120;
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.add_continuous(0.0, 1.0 + (i % 3) as f64, 1.0 + (i % 5) as f64))
+            .collect();
+        for (i, v) in vars.iter().enumerate() {
+            m.add_constraint(&[(*v, 1.0)], Cmp::Le, 0.5 + (i % 2) as f64);
+        }
+        let s = solve_lp(&m);
+        assert_eq!(s.outcome, LpOutcome::Optimal);
+        let expected: f64 = (0..n)
+            .map(|i| {
+                let ub = (1.0 + (i % 3) as f64).min(0.5 + (i % 2) as f64);
+                (1.0 + (i % 5) as f64) * ub
+            })
+            .sum();
+        assert!((s.objective - expected).abs() < 1e-5);
+    }
+
+    #[test]
+    fn solution_is_feasible_for_dense_random_problem() {
+        // Deterministic pseudo-random LP; asserts feasibility and that the
+        // reported objective matches the returned point.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..12)
+            .map(|_| m.add_continuous(0.0, 1.0 + 4.0 * next(), 2.0 * next() - 0.5))
+            .collect();
+        for _ in 0..8 {
+            let terms: Vec<_> = vars.iter().map(|v| (*v, next())).collect();
+            m.add_constraint(&terms, Cmp::Le, 2.0 + 3.0 * next());
+        }
+        let s = solve_lp(&m);
+        assert_eq!(s.outcome, LpOutcome::Optimal);
+        assert!(m.is_feasible(
+            &s.values
+                .iter()
+                .map(|v| v.max(0.0))
+                .collect::<Vec<_>>(),
+            1e-5
+        ));
+        assert_near(s.objective, m.objective_value(&s.values));
+    }
+}

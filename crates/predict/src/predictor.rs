@@ -1,0 +1,446 @@
+//! The predictor: expert selection across features.
+//!
+//! For a new job, every feature value the job matches contributes up to four
+//! experts. The expert with the lowest NMAE over its past predictions wins;
+//! its feature value's histogram becomes the job's distribution estimate and
+//! its point estimate is the JVuPredict-style point prediction (§4.1).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use threesigma_histogram::RuntimeDistribution;
+
+use crate::expert::{EstimatorKind, ValueState, ESTIMATORS};
+use crate::feature::{extract, AttributeSource, FeatureSet};
+
+/// Predictor tuning knobs.
+#[derive(Debug, Clone)]
+pub struct PredictorConfig {
+    /// Streaming-histogram bin budget (paper: 80).
+    pub max_bins: usize,
+    /// Window for the median / recent-average experts.
+    pub recent_window: usize,
+    /// Rolling-expert smoothing factor (paper: 0.6).
+    pub ewma_alpha: f64,
+    /// Optional cap on visible samples per feature value (Fig. 11 study).
+    pub sample_cap: Option<usize>,
+    /// Minimum scored predictions before an expert's NMAE is trusted.
+    pub min_expert_evals: u64,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        Self {
+            max_bins: 80,
+            recent_window: 10,
+            ewma_alpha: 0.6,
+            sample_cap: None,
+            min_expert_evals: 3,
+        }
+    }
+}
+
+/// A runtime prediction.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Estimated runtime distribution (the winning feature value's history).
+    pub distribution: RuntimeDistribution,
+    /// The winning expert's point estimate (JVuPredict's output).
+    pub point: f64,
+    /// Name of the winning feature.
+    pub feature: &'static str,
+    /// The winning estimator.
+    pub estimator: EstimatorKind,
+    /// Number of history samples behind the distribution.
+    pub history: u64,
+}
+
+/// 3σPredict: per-feature-value histories plus online expert selection.
+#[derive(Debug)]
+pub struct Predictor {
+    config: PredictorConfig,
+    features: FeatureSet,
+    /// State per `(feature index, feature value)`.
+    state: HashMap<(usize, String), ValueState>,
+}
+
+impl Predictor {
+    /// Predictor with the standard feature set.
+    pub fn new(config: PredictorConfig) -> Self {
+        Self::with_features(config, FeatureSet::standard())
+    }
+
+    /// Predictor with an explicit feature set.
+    pub fn with_features(config: PredictorConfig, features: FeatureSet) -> Self {
+        assert!(!features.is_empty(), "need at least one feature");
+        Self {
+            config,
+            features,
+            state: HashMap::new(),
+        }
+    }
+
+    /// Number of distinct feature values tracked (memory gauge).
+    pub fn tracked_values(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Records a completed job's measured runtime against all its features.
+    pub fn observe(&mut self, attrs: &impl AttributeSource, runtime: f64) {
+        if !(runtime.is_finite() && runtime > 0.0) {
+            return; // defensive: never poison history with bad samples
+        }
+        let cfg = &self.config;
+        for (fi, feature) in self.features.features.iter().enumerate() {
+            let Some(value) = extract(feature, attrs) else {
+                continue;
+            };
+            self.state
+                .entry((fi, value))
+                .or_insert_with(|| {
+                    ValueState::new(
+                        cfg.max_bins,
+                        cfg.recent_window,
+                        cfg.ewma_alpha,
+                        cfg.sample_cap,
+                    )
+                })
+                .observe(runtime);
+        }
+    }
+
+    /// Predicts the runtime distribution for a job with the given
+    /// attributes. `None` when no matching feature value has any history.
+    pub fn predict(&self, attrs: &impl AttributeSource) -> Option<Prediction> {
+        // Best scored expert: lowest trusted NMAE; tie-break on more history.
+        let mut best_scored: Option<(f64, u64, &ValueState, usize, EstimatorKind)> = None;
+        // Fallback: most history, preferring the median estimator.
+        let mut best_fallback: Option<(u64, &ValueState, usize, EstimatorKind)> = None;
+
+        for (fi, feature) in self.features.features.iter().enumerate() {
+            let Some(value) = extract(feature, attrs) else {
+                continue;
+            };
+            let Some(state) = self.state.get(&(fi, value)) else {
+                continue;
+            };
+            if state.count() == 0 {
+                continue;
+            }
+            for kind in ESTIMATORS {
+                if state.estimate(kind).is_none() {
+                    continue;
+                }
+                let score = state.score(kind);
+                match score.nmae() {
+                    Some(nmae) if score.evals >= self.config.min_expert_evals => {
+                        let better = match &best_scored {
+                            None => true,
+                            Some((b_nmae, b_hist, ..)) => {
+                                nmae < *b_nmae - 1e-12
+                                    || ((nmae - *b_nmae).abs() <= 1e-12
+                                        && state.count() > *b_hist)
+                            }
+                        };
+                        if better {
+                            best_scored = Some((nmae, state.count(), state, fi, kind));
+                        }
+                    }
+                    _ => {
+                        let pref = kind == EstimatorKind::RecentMedian;
+                        let better = match &best_fallback {
+                            None => true,
+                            Some((b_hist, _, _, b_kind)) => {
+                                state.count() > *b_hist
+                                    || (state.count() == *b_hist
+                                        && pref
+                                        && *b_kind != EstimatorKind::RecentMedian)
+                            }
+                        };
+                        if better {
+                            best_fallback = Some((state.count(), state, fi, kind));
+                        }
+                    }
+                }
+            }
+        }
+
+        let (state, fi, kind) = match (best_scored, best_fallback) {
+            (Some((_, _, s, fi, k)), _) => (s, fi, k),
+            (None, Some((_, s, fi, k))) => (s, fi, k),
+            (None, None) => return None,
+        };
+        let distribution = state.distribution()?;
+        let point = state.estimate(kind)?;
+        Some(Prediction {
+            distribution,
+            point,
+            feature: self.features.features[fi].name,
+            estimator: kind,
+            history: state.count(),
+        })
+    }
+
+    /// JVuPredict: just the winning expert's point estimate.
+    pub fn predict_point(&self, attrs: &impl AttributeSource) -> Option<f64> {
+        self.predict(attrs).map(|p| p.point)
+    }
+
+    /// Serialisable snapshot of the trained state (histories + scores).
+    ///
+    /// Restoring requires the same feature set and config; this is how a
+    /// long-lived deployment persists its history database across restarts.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            entries: self
+                .state
+                .iter()
+                .map(|((fi, value), state)| (*fi, value.clone(), state.clone()))
+                .collect(),
+        }
+    }
+
+    /// Restores a snapshot taken by [`snapshot`](Self::snapshot), replacing
+    /// any current state.
+    ///
+    /// Returns `Err` with the offending feature index when the snapshot
+    /// references features this predictor does not have.
+    pub fn restore(&mut self, snapshot: Snapshot) -> Result<(), usize> {
+        for (fi, _, _) in &snapshot.entries {
+            if *fi >= self.features.len() {
+                return Err(*fi);
+            }
+        }
+        self.state = snapshot
+            .entries
+            .into_iter()
+            .map(|(fi, value, state)| ((fi, value), state))
+            .collect();
+        Ok(())
+    }
+}
+
+/// Serialisable predictor state (see [`Predictor::snapshot`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// `(feature index, feature value, state)` triples.
+    entries: Vec<(usize, String, ValueState)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threesigma_histogram::Dist;
+
+    fn attrs(user: &str, name: &str) -> [(String, String); 4] {
+        [
+            ("user".to_owned(), user.to_owned()),
+            ("job_name".to_owned(), name.to_owned()),
+            ("priority".to_owned(), "5".to_owned()),
+            ("tasks".to_owned(), "4".to_owned()),
+        ]
+    }
+
+    #[test]
+    fn no_history_yields_none() {
+        let p = Predictor::new(PredictorConfig::default());
+        assert!(p.predict(&attrs("alice", "etl")).is_none());
+    }
+
+    #[test]
+    fn learns_a_constant_user() {
+        let mut p = Predictor::new(PredictorConfig::default());
+        for _ in 0..20 {
+            p.observe(&attrs("alice", "etl"), 120.0);
+        }
+        let pred = p.predict(&attrs("alice", "etl")).unwrap();
+        assert!((pred.point - 120.0).abs() < 1e-9);
+        assert!((pred.distribution.mean() - 120.0).abs() < 1e-9);
+        assert!(pred.history >= 20);
+    }
+
+    #[test]
+    fn global_fallback_covers_unseen_users() {
+        let mut p = Predictor::new(PredictorConfig::default());
+        for _ in 0..10 {
+            p.observe(&attrs("alice", "etl"), 100.0);
+        }
+        // Bob shares no attribute value with alice: only the global
+        // feature has history for him.
+        let bob = [
+            ("user".to_owned(), "bob".to_owned()),
+            ("job_name".to_owned(), "novel".to_owned()),
+            ("priority".to_owned(), "9".to_owned()),
+            ("tasks".to_owned(), "99".to_owned()),
+        ];
+        let pred = p.predict(&bob).unwrap();
+        assert_eq!(pred.feature, "global");
+        assert!((pred.point - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selects_the_predictive_feature() {
+        // job_name is noisy across users; user is perfectly predictive.
+        let mut p = Predictor::new(PredictorConfig::default());
+        for i in 0..30 {
+            p.observe(&attrs("alice", "shared"), 100.0);
+            p.observe(&attrs(&format!("other{}", i % 5), "shared"), 2000.0 + i as f64 * 37.0);
+        }
+        let pred = p.predict(&attrs("alice", "shared")).unwrap();
+        assert!(
+            (pred.point - 100.0).abs() < 1.0,
+            "picked alice-specific history, got {} via {}",
+            pred.point,
+            pred.feature
+        );
+        assert!(pred.feature.contains("user"));
+    }
+
+    #[test]
+    fn distribution_covers_multi_modal_history() {
+        let mut p = Predictor::new(PredictorConfig::default());
+        for i in 0..40 {
+            let rt = if i % 2 == 0 { 60.0 } else { 600.0 };
+            p.observe(&attrs("carol", "sweep"), rt);
+        }
+        let pred = p.predict(&attrs("carol", "sweep")).unwrap();
+        let d = &pred.distribution;
+        assert!(d.lower_bound() <= 60.0 + 1e-9);
+        assert!(d.upper_bound() >= 600.0 - 1e-9);
+        // Both modes carry mass (the histogram interpolation smears some
+        // mass between the modes, hence the generous band).
+        assert!(d.cdf(100.0) > 0.2 && d.cdf(100.0) < 0.8);
+    }
+
+    #[test]
+    fn adapts_when_runtimes_drift() {
+        let mut p = Predictor::new(PredictorConfig::default());
+        for _ in 0..30 {
+            p.observe(&attrs("dave", "etl"), 100.0);
+        }
+        for _ in 0..30 {
+            p.observe(&attrs("dave", "etl"), 1000.0);
+        }
+        let pred = p.predict(&attrs("dave", "etl")).unwrap();
+        // A recent-window expert should have won; estimate near new regime.
+        assert!(pred.point > 800.0, "point {} via {:?}", pred.point, pred.estimator);
+    }
+
+    #[test]
+    fn sample_cap_flows_through() {
+        let mut p = Predictor::new(PredictorConfig {
+            sample_cap: Some(5),
+            ..PredictorConfig::default()
+        });
+        for _ in 0..50 {
+            p.observe(&attrs("erin", "etl"), 500.0);
+        }
+        for _ in 0..5 {
+            p.observe(&attrs("erin", "etl"), 50.0);
+        }
+        let pred = p.predict(&attrs("erin", "etl")).unwrap();
+        assert_eq!(pred.history, 5);
+        assert!(pred.distribution.upper_bound() <= 50.0 + 1e-9);
+    }
+
+    #[test]
+    fn ignores_degenerate_runtimes() {
+        let mut p = Predictor::new(PredictorConfig::default());
+        p.observe(&attrs("f", "g"), f64::NAN);
+        p.observe(&attrs("f", "g"), -5.0);
+        p.observe(&attrs("f", "g"), 0.0);
+        assert!(p.predict(&attrs("f", "g")).is_none());
+    }
+
+    #[test]
+    fn predict_point_matches_prediction_point() {
+        let mut p = Predictor::new(PredictorConfig::default());
+        for i in 0..15 {
+            p.observe(&attrs("zoe", "job"), 60.0 + i as f64);
+        }
+        let full = p.predict(&attrs("zoe", "job")).unwrap();
+        let point = p.predict_point(&attrs("zoe", "job")).unwrap();
+        assert_eq!(full.point, point);
+    }
+
+    #[test]
+    fn untrusted_experts_fall_back_to_history_size() {
+        // Below min_expert_evals, the fallback (most history, preferring
+        // the median) is used rather than an unscored NMAE.
+        let mut p = Predictor::new(PredictorConfig {
+            min_expert_evals: 1000, // never trusted
+            ..PredictorConfig::default()
+        });
+        for _ in 0..10 {
+            p.observe(&attrs("kim", "x"), 80.0);
+        }
+        let pred = p.predict(&attrs("kim", "x")).unwrap();
+        assert_eq!(pred.estimator, EstimatorKind::RecentMedian);
+        assert!((pred.point - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expert_scores_prefer_recent_regime_after_shift() {
+        // After a regime change, the rolling/recent experts have lower
+        // NMAE than the long-run average and win selection.
+        let mut p = Predictor::new(PredictorConfig::default());
+        for _ in 0..50 {
+            p.observe(&attrs("lee", "y"), 100.0);
+        }
+        for _ in 0..50 {
+            p.observe(&attrs("lee", "y"), 1000.0);
+        }
+        let pred = p.predict(&attrs("lee", "y")).unwrap();
+        assert_ne!(pred.estimator, EstimatorKind::Average, "{pred:?}");
+    }
+
+    #[test]
+    fn single_observation_still_predicts() {
+        let mut p = Predictor::new(PredictorConfig::default());
+        p.observe(&attrs("solo", "once"), 77.0);
+        let pred = p.predict(&attrs("solo", "once")).unwrap();
+        assert!((pred.point - 77.0).abs() < 1e-9);
+        assert_eq!(pred.history, 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_predictions() {
+        let mut p = Predictor::new(PredictorConfig::default());
+        for i in 0..40 {
+            p.observe(&attrs("ana", "etl"), 100.0 + (i % 7) as f64);
+        }
+        let before = p.predict(&attrs("ana", "etl")).unwrap();
+        let snap = p.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let mut fresh = Predictor::new(PredictorConfig::default());
+        fresh
+            .restore(serde_json::from_str(&json).unwrap())
+            .unwrap();
+        let after = fresh.predict(&attrs("ana", "etl")).unwrap();
+        // JSON roundtrips can flip last-ulp ties between experts; the
+        // restored prediction must agree to float noise.
+        assert!((after.point - before.point).abs() < 1e-6);
+        assert_eq!(after.feature, before.feature);
+        assert_eq!(after.history, before.history);
+    }
+
+    #[test]
+    fn restore_rejects_foreign_features() {
+        let mut p = Predictor::new(PredictorConfig::default());
+        p.observe(&attrs("x", "y"), 10.0);
+        let mut snap = p.snapshot();
+        // Corrupt one entry with an out-of-range feature index.
+        snap.entries.push((999, "v".into(), snap.entries[0].2.clone()));
+        let mut fresh = Predictor::new(PredictorConfig::default());
+        assert_eq!(fresh.restore(snap), Err(999));
+    }
+
+    #[test]
+    fn tracked_values_grow_with_distinct_features() {
+        let mut p = Predictor::new(PredictorConfig::default());
+        p.observe(&attrs("a", "x"), 10.0);
+        let first = p.tracked_values();
+        p.observe(&attrs("b", "y"), 10.0);
+        assert!(p.tracked_values() > first);
+    }
+}

@@ -1,0 +1,345 @@
+//! Per-environment job-class mixtures.
+//!
+//! Substitutes for the three proprietary traces (§2.1, §5): each environment
+//! is a mixture of job classes with a per-(class, user) runtime scale and
+//! per-job noise whose magnitude controls how predictable the class is. The
+//! mixtures are tuned so the generated traces reproduce the published
+//! summary statistics:
+//!
+//! * **Google** — mostly moderately predictable batch/analytics classes plus
+//!   a highly regular periodic class; ≈ 8 % of runtime estimates end up off
+//!   by 2× or more.
+//! * **HedgeFund** — exploratory financial analytics: high per-job noise and
+//!   several bimodal classes (parameter sweeps that either converge quickly
+//!   or run long); fewest accurate estimates, both error tails heavy.
+//! * **Mustang** — HPC capacity computing: large production-simulation
+//!   classes with tiny noise (very accurate estimates) next to volatile
+//!   dev/test and experimental classes that produce a fat error tail
+//!   (≈ 23 % beyond +95 %).
+
+use serde::{Deserialize, Serialize};
+
+/// A second runtime mode: with probability `prob` the job's runtime is
+/// multiplied by `factor` (models sweep jobs that occasionally run long).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bimodal {
+    /// Runtime multiplier of the slow mode.
+    pub factor: f64,
+    /// Probability of the slow mode.
+    pub prob: f64,
+}
+
+/// One job class of an environment mixture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobClass {
+    /// Base program name (becomes the `job_name` attribute, with a variant
+    /// suffix per user).
+    pub name: &'static str,
+    /// Mixture weight (relative).
+    pub weight: f64,
+    /// Centre of the per-(class, user) runtime scale, `ln` seconds.
+    pub ln_runtime_mu: f64,
+    /// Spread of per-user scales around the centre (`ln` space).
+    pub scale_sigma: f64,
+    /// Per-job log-normal noise within a (class, user) subgroup — the knob
+    /// that controls estimate accuracy for this class.
+    pub noise_sigma: f64,
+    /// Optional slow second mode.
+    pub bimodal: Option<Bimodal>,
+    /// Gang width choices `(tasks, weight)`.
+    pub tasks: Vec<(u32, f64)>,
+    /// Number of distinct users submitting this class.
+    pub num_users: usize,
+    /// Scheduling priority attribute (0–9) recorded on the job.
+    pub priority: u8,
+}
+
+/// The three trace environments of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Environment {
+    /// Google 2011 cluster trace profile.
+    Google,
+    /// Quantitative hedge-fund analytics clusters (2016).
+    HedgeFund,
+    /// LANL Mustang HPC capacity cluster (2011–2016).
+    Mustang,
+}
+
+impl Environment {
+    /// Human-readable name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Environment::Google => "Google",
+            Environment::HedgeFund => "HedgeFund",
+            Environment::Mustang => "Mustang",
+        }
+    }
+
+    /// The class mixture for this environment.
+    pub fn classes(&self) -> Vec<JobClass> {
+        let ln = |secs: f64| secs.ln();
+        match self {
+            Environment::Google => vec![
+                JobClass {
+                    name: "batch_short",
+                    weight: 0.30,
+                    ln_runtime_mu: ln(90.0),
+                    scale_sigma: 0.4,
+                    noise_sigma: 0.30,
+                    bimodal: None,
+                    tasks: vec![(1, 0.4), (2, 0.3), (4, 0.2), (8, 0.1)],
+                    num_users: 40,
+                    priority: 2,
+                },
+                JobClass {
+                    name: "batch_med",
+                    weight: 0.25,
+                    ln_runtime_mu: ln(600.0),
+                    scale_sigma: 0.5,
+                    noise_sigma: 0.35,
+                    bimodal: None,
+                    tasks: vec![(2, 0.3), (4, 0.3), (8, 0.25), (16, 0.15)],
+                    num_users: 30,
+                    priority: 4,
+                },
+                JobClass {
+                    name: "analytics",
+                    weight: 0.15,
+                    ln_runtime_mu: ln(1800.0),
+                    scale_sigma: 0.6,
+                    noise_sigma: 0.45,
+                    bimodal: None,
+                    tasks: vec![(4, 0.3), (8, 0.3), (16, 0.25), (32, 0.15)],
+                    num_users: 20,
+                    priority: 4,
+                },
+                JobClass {
+                    name: "content_gen",
+                    weight: 0.10,
+                    ln_runtime_mu: ln(4000.0),
+                    scale_sigma: 0.4,
+                    noise_sigma: 0.25,
+                    bimodal: None,
+                    tasks: vec![(8, 0.4), (16, 0.3), (32, 0.3)],
+                    num_users: 8,
+                    priority: 8,
+                },
+                JobClass {
+                    name: "periodic",
+                    weight: 0.12,
+                    ln_runtime_mu: ln(300.0),
+                    scale_sigma: 0.3,
+                    noise_sigma: 0.08,
+                    bimodal: None,
+                    tasks: vec![(1, 0.5), (2, 0.3), (4, 0.2)],
+                    num_users: 10,
+                    priority: 8,
+                },
+                JobClass {
+                    name: "dev_test",
+                    weight: 0.08,
+                    ln_runtime_mu: ln(120.0),
+                    scale_sigma: 0.8,
+                    noise_sigma: 0.90,
+                    bimodal: Some(Bimodal {
+                        factor: 8.0,
+                        prob: 0.12,
+                    }),
+                    tasks: vec![(1, 0.6), (2, 0.25), (4, 0.15)],
+                    num_users: 25,
+                    priority: 1,
+                },
+            ],
+            Environment::HedgeFund => vec![
+                JobClass {
+                    name: "backtest",
+                    weight: 0.30,
+                    ln_runtime_mu: ln(240.0),
+                    scale_sigma: 0.7,
+                    noise_sigma: 0.55,
+                    bimodal: Some(Bimodal {
+                        factor: 5.0,
+                        prob: 0.10,
+                    }),
+                    tasks: vec![(1, 0.7), (2, 0.2), (4, 0.1)],
+                    num_users: 30,
+                    priority: 3,
+                },
+                JobClass {
+                    name: "pricing",
+                    weight: 0.20,
+                    ln_runtime_mu: ln(60.0),
+                    scale_sigma: 0.5,
+                    noise_sigma: 0.35,
+                    bimodal: None,
+                    tasks: vec![(1, 0.8), (2, 0.2)],
+                    num_users: 20,
+                    priority: 6,
+                },
+                JobClass {
+                    name: "risk_eod",
+                    weight: 0.15,
+                    ln_runtime_mu: ln(2400.0),
+                    scale_sigma: 0.4,
+                    noise_sigma: 0.35,
+                    bimodal: None,
+                    tasks: vec![(2, 0.4), (4, 0.4), (8, 0.2)],
+                    num_users: 8,
+                    priority: 9,
+                },
+                JobClass {
+                    name: "research",
+                    weight: 0.20,
+                    ln_runtime_mu: ln(600.0),
+                    scale_sigma: 1.0,
+                    noise_sigma: 0.85,
+                    bimodal: Some(Bimodal {
+                        factor: 8.0,
+                        prob: 0.14,
+                    }),
+                    tasks: vec![(1, 0.6), (2, 0.25), (4, 0.15)],
+                    num_users: 35,
+                    priority: 1,
+                },
+                JobClass {
+                    name: "dataload",
+                    weight: 0.15,
+                    ln_runtime_mu: ln(900.0),
+                    scale_sigma: 0.5,
+                    noise_sigma: 0.40,
+                    bimodal: Some(Bimodal {
+                        factor: 4.0,
+                        prob: 0.10,
+                    }),
+                    tasks: vec![(1, 0.5), (2, 0.3), (4, 0.2)],
+                    num_users: 10,
+                    priority: 7,
+                },
+            ],
+            Environment::Mustang => vec![
+                JobClass {
+                    name: "prod_sim_a",
+                    weight: 0.25,
+                    ln_runtime_mu: ln(1800.0),
+                    scale_sigma: 0.3,
+                    noise_sigma: 0.04,
+                    bimodal: None,
+                    tasks: vec![(8, 0.3), (16, 0.3), (32, 0.25), (64, 0.15)],
+                    num_users: 12,
+                    priority: 8,
+                },
+                JobClass {
+                    name: "prod_sim_b",
+                    weight: 0.20,
+                    ln_runtime_mu: ln(7200.0),
+                    scale_sigma: 0.35,
+                    noise_sigma: 0.05,
+                    bimodal: None,
+                    tasks: vec![(16, 0.3), (32, 0.4), (64, 0.3)],
+                    num_users: 10,
+                    priority: 8,
+                },
+                JobClass {
+                    name: "campaign",
+                    weight: 0.15,
+                    ln_runtime_mu: ln(14400.0),
+                    scale_sigma: 0.3,
+                    noise_sigma: 0.06,
+                    bimodal: None,
+                    tasks: vec![(32, 0.4), (64, 0.4), (128, 0.2)],
+                    num_users: 6,
+                    priority: 9,
+                },
+                JobClass {
+                    name: "analysis",
+                    weight: 0.15,
+                    ln_runtime_mu: ln(600.0),
+                    scale_sigma: 0.6,
+                    noise_sigma: 0.50,
+                    bimodal: None,
+                    tasks: vec![(1, 0.4), (2, 0.3), (4, 0.2), (8, 0.1)],
+                    num_users: 20,
+                    priority: 4,
+                },
+                JobClass {
+                    name: "devtest",
+                    weight: 0.15,
+                    ln_runtime_mu: ln(120.0),
+                    scale_sigma: 0.9,
+                    noise_sigma: 1.40,
+                    bimodal: Some(Bimodal {
+                        factor: 15.0,
+                        prob: 0.18,
+                    }),
+                    tasks: vec![(1, 0.5), (2, 0.3), (4, 0.2)],
+                    num_users: 25,
+                    priority: 1,
+                },
+                JobClass {
+                    name: "experimental",
+                    weight: 0.10,
+                    ln_runtime_mu: ln(3600.0),
+                    scale_sigma: 1.0,
+                    noise_sigma: 1.60,
+                    bimodal: Some(Bimodal {
+                        factor: 8.0,
+                        prob: 0.25,
+                    }),
+                    tasks: vec![(4, 0.4), (8, 0.3), (16, 0.3)],
+                    num_users: 15,
+                    priority: 2,
+                },
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_environment_has_a_valid_mixture() {
+        for env in [Environment::Google, Environment::HedgeFund, Environment::Mustang] {
+            let classes = env.classes();
+            assert!(!classes.is_empty());
+            let total: f64 = classes.iter().map(|c| c.weight).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{env:?} weights sum {total}");
+            for c in &classes {
+                assert!(c.noise_sigma >= 0.0);
+                assert!(c.num_users > 0);
+                assert!(!c.tasks.is_empty());
+                assert!(c.tasks.iter().all(|(n, w)| *n > 0 && *w > 0.0));
+                if let Some(b) = c.bimodal {
+                    assert!(b.factor > 1.0 && (0.0..1.0).contains(&b.prob));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mustang_has_both_very_stable_and_very_volatile_classes() {
+        let classes = Environment::Mustang.classes();
+        let stable_weight: f64 = classes
+            .iter()
+            .filter(|c| c.noise_sigma < 0.1)
+            .map(|c| c.weight)
+            .sum();
+        let volatile_weight: f64 = classes
+            .iter()
+            .filter(|c| c.noise_sigma > 1.0)
+            .map(|c| c.weight)
+            .sum();
+        assert!(stable_weight >= 0.5, "Mustang is mostly predictable");
+        assert!(volatile_weight >= 0.2, "but has a fat unpredictable tail");
+    }
+
+    #[test]
+    fn hedgefund_is_least_predictable_on_average() {
+        let avg = |e: Environment| {
+            let cs = e.classes();
+            cs.iter().map(|c| c.weight * c.noise_sigma).sum::<f64>()
+        };
+        assert!(avg(Environment::HedgeFund) > avg(Environment::Google));
+    }
+}

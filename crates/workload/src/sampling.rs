@@ -1,0 +1,180 @@
+//! Seeded sampling helpers used by the trace generator.
+//!
+//! Keeps the dependency surface to `rand` (no `rand_distr`): normals via
+//! Box–Muller, log-normals on top, weighted choice, and a two-phase
+//! hyperexponential for the paper's bursty arrival process (`c_a² = 4`, §5).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Standard normal sample (Box–Muller).
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0f64 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Log-normal sample `exp(N(mu, sigma))`.
+pub fn lognormal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Exponential sample with the given mean.
+pub fn exponential(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    -mean * u.ln()
+}
+
+/// Index drawn from `weights` proportionally.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or sums to a non-positive value.
+pub fn weighted_choice(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must have positive sum");
+    let mut x = rng.random::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Balanced two-phase hyperexponential inter-arrival sampler.
+///
+/// Produces inter-arrival times with mean `mean` and squared coefficient of
+/// variation `cov2 ≥ 1` (the paper uses `c_a² = 4`): a probabilistic mixture
+/// of a fast and a slow exponential with balanced loads
+/// (`p₁/λ₁ = p₂/λ₂`).
+#[derive(Debug, Clone, Copy)]
+pub struct HyperExp {
+    p1: f64,
+    mean1: f64,
+    mean2: f64,
+}
+
+impl HyperExp {
+    /// Creates a sampler with the given mean and squared CoV.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean ≤ 0` or `cov2 < 1` (a hyperexponential cannot be
+    /// less variable than an exponential).
+    pub fn new(mean: f64, cov2: f64) -> Self {
+        assert!(mean > 0.0, "mean must be positive");
+        assert!(cov2 >= 1.0, "hyperexponential needs cov² ≥ 1");
+        if cov2 == 1.0 {
+            return Self {
+                p1: 1.0,
+                mean1: mean,
+                mean2: mean,
+            };
+        }
+        // Balanced means: p1 = (1 + sqrt((c²−1)/(c²+1))) / 2, and phase
+        // means m_i = mean / (2 p_i).
+        let r = ((cov2 - 1.0) / (cov2 + 1.0)).sqrt();
+        let p1 = 0.5 * (1.0 + r);
+        let p2 = 1.0 - p1;
+        Self {
+            p1,
+            mean1: mean / (2.0 * p1),
+            mean2: mean / (2.0 * p2),
+        }
+    }
+
+    /// Draws one inter-arrival time.
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        if rng.random::<f64>() < self.p1 {
+            exponential(rng, self.mean1)
+        } else {
+            exponential(rng, self.mean2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn standard_normal_has_unit_moments() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..50_000).map(|_| standard_normal(&mut r)).collect();
+        let (mean, var) = moments(&samples);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_is_exp_mu() {
+        let mut r = rng();
+        let mut samples: Vec<f64> = (0..20_001).map(|_| lognormal(&mut r, 3.0, 0.8)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((median / 3.0f64.exp() - 1.0).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..50_000).map(|_| exponential(&mut r, 7.0)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 7.0).abs() < 0.2);
+        // Exponential: var = mean².
+        assert!((var / 49.0 - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut r = rng();
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[weighted_choice(&mut r, &[1.0, 2.0, 7.0])] += 1;
+        }
+        assert!((counts[0] as f64 / 30_000.0 - 0.1).abs() < 0.02);
+        assert!((counts[2] as f64 / 30_000.0 - 0.7).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn empty_weights_panic() {
+        let mut r = rng();
+        let _ = weighted_choice(&mut r, &[]);
+    }
+
+    #[test]
+    fn hyperexp_matches_target_mean_and_cov() {
+        let mut r = rng();
+        let h = HyperExp::new(10.0, 4.0);
+        let samples: Vec<f64> = (0..200_000).map(|_| h.sample(&mut r)).collect();
+        let (mean, var) = moments(&samples);
+        let cov2 = var / (mean * mean);
+        assert!((mean - 10.0).abs() < 0.3, "mean {mean}");
+        assert!((cov2 - 4.0).abs() < 0.4, "cov² {cov2}");
+    }
+
+    #[test]
+    fn hyperexp_with_cov_one_is_exponential() {
+        let mut r = rng();
+        let h = HyperExp::new(5.0, 1.0);
+        let samples: Vec<f64> = (0..50_000).map(|_| h.sample(&mut r)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 5.0).abs() < 0.2);
+        assert!((var / 25.0 - 1.0).abs() < 0.1);
+    }
+}

@@ -1,0 +1,80 @@
+//! Capacity planning with the 3Sigma simulator.
+//!
+//! A downstream use the paper's introduction motivates: given a production
+//! workload with deadlines, how small a cluster can run it while keeping
+//! the SLO miss rate near its floor? This example replays the same workload
+//! against shrinking clusters under 3Sigma and under the runtime-unaware
+//! priority scheduler — distribution-based scheduling sustains the SLO
+//! target on fewer machines (i.e. buys real capacity).
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use threesigma_repro::cluster::ClusterSpec;
+use threesigma_repro::core::driver::{run, Experiment, SchedulerKind};
+use threesigma_repro::workload::{generate, Environment, WorkloadConfig};
+
+fn main() {
+    // A fixed 90-minute workload sized for a 256-node cluster at load 1.3.
+    let config = WorkloadConfig::e2e(Environment::Google, 7)
+        .with_duration(1.5 * 3600.0)
+        .with_load(1.3);
+    let trace = generate(&config);
+    println!(
+        "workload: {} jobs, {:.0} machine-hours submitted\n",
+        trace.jobs.len(),
+        trace.offered_load(256, 1.5 * 3600.0) * 256.0 * 1.5
+    );
+
+    let miss = |kind: SchedulerKind, nodes_per_rack: u32| -> f64 {
+        let mut exp = Experiment::paper_sc256().with_cycle(15.0);
+        exp.cluster = ClusterSpec::uniform(8, nodes_per_rack);
+        exp.engine.drain = Some(3600.0);
+        run(kind, &trace, &exp)
+            .expect("simulation runs")
+            .metrics
+            .slo_miss_rate()
+    };
+
+    // Each system's own 320-node miss rate is its floor (some late long
+    // jobs are structurally doomed by the measurement window); capacity is
+    // adequate while a smaller cluster stays within +5 points of the floor.
+    let systems = [SchedulerKind::ThreeSigma, SchedulerKind::Prio];
+    let baseline: Vec<f64> = systems.iter().map(|&k| miss(k, 40)).collect();
+    println!(
+        "{:>12} {:>14} {:>14}   (SLO miss %; floor: {:.1}% / {:.1}%)",
+        "nodes", "3Sigma", "Prio", baseline[0], baseline[1]
+    );
+
+    let mut smallest = [None::<u32>; 2];
+    for nodes_per_rack in [40u32, 34, 30, 26, 22, 18] {
+        let nodes = nodes_per_rack * 8;
+        let mut row = format!("{nodes:>12}");
+        for (i, &kind) in systems.iter().enumerate() {
+            let m = miss(kind, nodes_per_rack);
+            row.push_str(&format!(" {m:>13.1}%"));
+            if m <= baseline[i] + 5.0 {
+                smallest[i] = Some(smallest[i].map_or(nodes, |s: u32| s.min(nodes)));
+            }
+        }
+        println!("{row}");
+    }
+
+    println!();
+    match (smallest[0], smallest[1]) {
+        (Some(a), Some(b)) if a < b => println!(
+            "3Sigma absorbs the workload down to {a} nodes; the priority\n\
+             scheduler degrades below {b} — runtime distributions bought {} machines.",
+            b - a
+        ),
+        (Some(a), Some(b)) => println!(
+            "3Sigma holds its floor down to {a} nodes, Prio down to {b}."
+        ),
+        (Some(a), None) => println!(
+            "Only 3Sigma stays near its floor (down to {a} nodes); the priority\n\
+             scheduler degrades everywhere."
+        ),
+        _ => println!("Both systems degrade at every size; raise the tolerance."),
+    }
+}

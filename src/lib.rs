@@ -1,0 +1,13 @@
+//! Facade crate for the 3Sigma reproduction workspace.
+//!
+//! Re-exports the public API of every workspace crate so that the
+//! repository-level examples and integration tests have a single import
+//! root. Library users should depend on the individual crates
+//! (`threesigma`, `threesigma-predict`, ...) directly.
+
+pub use threesigma as core;
+pub use threesigma_cluster as cluster;
+pub use threesigma_histogram as histogram;
+pub use threesigma_milp as milp;
+pub use threesigma_predict as predict;
+pub use threesigma_workload as workload;
