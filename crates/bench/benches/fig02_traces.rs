@@ -39,14 +39,22 @@ struct EnvStats {
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Fig. 2", "trace analyses (runtime CDF, CoV, estimate error)", scale);
+    banner(
+        "Fig. 2",
+        "trace analyses (runtime CDF, CoV, estimate error)",
+        scale,
+    );
     let samples = match scale {
         Scale::Quick => 6000,
         Scale::Paper => 30000,
     };
 
     let mut all = Vec::new();
-    for env in [Environment::Google, Environment::HedgeFund, Environment::Mustang] {
+    for env in [
+        Environment::Google,
+        Environment::HedgeFund,
+        Environment::Mustang,
+    ] {
         // Arrival times are irrelevant here; use the (untimed) history
         // stream as the analysed job population.
         let config = WorkloadConfig {
@@ -98,11 +106,20 @@ fn main() {
         for (name, v) in &percentiles {
             println!("    {name:<4} {v:>10.0}");
         }
-        println!("(b) user groups with CoV > 1     : {:>5.1} %", user_gt1 * 100.0);
-        println!("(c) resource groups with CoV > 1 : {:>5.1} %", res_gt1 * 100.0);
+        println!(
+            "(b) user groups with CoV > 1     : {:>5.1} %",
+            user_gt1 * 100.0
+        );
+        println!(
+            "(c) resource groups with CoV > 1 : {:>5.1} %",
+            res_gt1 * 100.0
+        );
         println!("(d) estimate-error histogram (% of jobs):");
         for (c, pct) in &hist.buckets {
-            println!("    {c:>5}%  {pct:>5.1}  {}", "#".repeat(pct.round() as usize));
+            println!(
+                "    {c:>5}%  {pct:>5.1}  {}",
+                "#".repeat(pct.round() as usize)
+            );
         }
         println!(
             "     tail  {:>5.1}  {}",

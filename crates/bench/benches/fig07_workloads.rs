@@ -27,7 +27,11 @@ fn main() {
     );
     let mut rows = Vec::new();
     print_header("workload");
-    for env in [Environment::Google, Environment::HedgeFund, Environment::Mustang] {
+    for env in [
+        Environment::Google,
+        Environment::HedgeFund,
+        Environment::Mustang,
+    ] {
         let config = e2e_config(env, scale, 42);
         let trace = generate(&config);
         // Measurement window scales with the trace: Mustang's multi-hour

@@ -26,7 +26,11 @@ struct Output {
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Fig. 8", "ablations vs deadline slack (DEADLINE-n workloads)", scale);
+    banner(
+        "Fig. 8",
+        "ablations vs deadline slack (DEADLINE-n workloads)",
+        scale,
+    );
     let slacks: Vec<f64> = match scale {
         Scale::Quick => vec![0.2, 0.6, 1.0, 1.4, 1.8],
         Scale::Paper => vec![0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8],

@@ -76,7 +76,11 @@ struct Point9 {
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Fig. 9", "artificial distribution shift × width sweep", scale);
+    banner(
+        "Fig. 9",
+        "artificial distribution shift × width sweep",
+        scale,
+    );
     // The paper uses the 2-hour E2E variant for this study.
     let mut config = e2e_config(Environment::Google, scale, 42);
     config.duration = config.duration.min(2.0 * 3600.0);
@@ -106,7 +110,7 @@ fn main() {
                 "{:<8} {:<9} {:>10.1} {:>14.1} {:>8.2}/{:.2}/{:.2}",
                 format!("{}%", shift * 100.0),
                 label,
-                m.slo_miss_rate(),
+                m.slo_miss_pct(),
                 m.slo_goodput_hours(),
                 profile[0],
                 profile[1],
@@ -115,7 +119,7 @@ fn main() {
             out.push(Point9 {
                 shift_pct: shift * 100.0,
                 cov_label: label.to_owned(),
-                slo_miss_pct: m.slo_miss_rate(),
+                slo_miss_pct: m.slo_miss_pct(),
                 slo_goodput_mh: m.slo_goodput_hours(),
                 shift_profile: profile,
             });
@@ -127,7 +131,7 @@ fn main() {
     let oracle = run_system(SchedulerKind::PointPerfEst, &trace, &exp);
     println!(
         "reference PointPerfEst: SLO miss {:.1} %, SLO goodput {:.1} M-h",
-        oracle.metrics.slo_miss_rate(),
+        oracle.metrics.slo_miss_pct(),
         oracle.metrics.slo_goodput_hours()
     );
     write_json("fig09_perturb", &out);

@@ -23,7 +23,11 @@ struct Output {
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Fig. 11", "sensitivity to observed samples per feature", scale);
+    banner(
+        "Fig. 11",
+        "sensitivity to observed samples per feature",
+        scale,
+    );
     let ns: Vec<usize> = match scale {
         Scale::Quick => vec![5, 10, 25, 50],
         Scale::Paper => vec![5, 10, 25, 50, 75, 100],

@@ -35,11 +35,7 @@ const RACKS: usize = 8;
 /// Rescales gang sizes so the offered load hits the target (the paper sets
 /// load 0.95 independently of the submission rate).
 fn rescale_load(trace: &mut Trace, duration: f64, target: f64) {
-    let work: f64 = trace
-        .jobs
-        .iter()
-        .map(|j| j.tasks as f64 * j.duration)
-        .sum();
+    let work: f64 = trace.jobs.iter().map(|j| j.tasks as f64 * j.duration).sum();
     let factor = target * NODES as f64 * duration / work;
     for j in &mut trace.jobs {
         let t = (j.tasks as f64 * factor).round() as u32;
@@ -64,12 +60,23 @@ struct Row {
     solver_mean_ms: f64,
     solver_p95_ms: f64,
     solver_max_ms: f64,
+    // Per-stage breakdown of the cycle (means): option generation, MILP
+    // compilation, and solution extraction; the solver is above.
+    generate_mean_ms: f64,
+    compile_mean_ms: f64,
+    extract_mean_ms: f64,
     cycles: usize,
 }
 
 fn stats(timings: &[CycleTiming]) -> (Vec<f64>, Vec<f64>) {
-    let mut cyc: Vec<f64> = timings.iter().map(|t| t.total.as_secs_f64() * 1e3).collect();
-    let mut sol: Vec<f64> = timings.iter().map(|t| t.solver.as_secs_f64() * 1e3).collect();
+    let mut cyc: Vec<f64> = timings
+        .iter()
+        .map(|t| t.total.as_secs_f64() * 1e3)
+        .collect();
+    let mut sol: Vec<f64> = timings
+        .iter()
+        .map(|t| t.solver.as_secs_f64() * 1e3)
+        .collect();
     cyc.sort_by(|a, b| a.partial_cmp(b).unwrap());
     sol.sort_by(|a, b| a.partial_cmp(b).unwrap());
     (cyc, sol)
@@ -77,7 +84,11 @@ fn stats(timings: &[CycleTiming]) -> (Vec<f64>, Vec<f64>) {
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Fig. 12", "scheduler scalability at 12,584 nodes (SCALABILITY-n)", scale);
+    banner(
+        "Fig. 12",
+        "scheduler scalability at 12,584 nodes (SCALABILITY-n)",
+        scale,
+    );
     let duration = match scale {
         Scale::Quick => 0.4 * 3600.0,
         Scale::Paper => 5.0 * 3600.0,
@@ -144,8 +155,16 @@ fn main() {
             let r = run_system(kind, &trace, &exp);
             let (cyc, sol) = stats(&r.timings);
             let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+            let stage_mean = |f: &dyn Fn(&CycleTiming) -> f64| {
+                let v: Vec<f64> = r.timings.iter().map(f).collect();
+                mean(&v)
+            };
+            let gen_ms = stage_mean(&|t| t.generate.as_secs_f64() * 1e3);
+            let com_ms = stage_mean(&|t| t.compile.as_secs_f64() * 1e3);
+            let ext_ms = stage_mean(&|t| t.extract.as_secs_f64() * 1e3);
             println!(
-                "{:<8} {:<14} {:>7.1}/{:>5.1}/{:>6.1} {:>9.1}/{:>5.1}/{:>6.1}",
+                "{:<8} {:<14} {:>7.1}/{:>5.1}/{:>6.1} {:>9.1}/{:>5.1}/{:>6.1}   \
+                 (gen {:.1} + compile {:.1} + extract {:.1} ms)",
                 rate,
                 label,
                 mean(&cyc),
@@ -154,6 +173,9 @@ fn main() {
                 mean(&sol),
                 percentile(&sol, 0.95),
                 sol.last().copied().unwrap_or(0.0),
+                gen_ms,
+                com_ms,
+                ext_ms,
             );
             rows.push(Row {
                 jobs_per_hour: rate,
@@ -164,6 +186,9 @@ fn main() {
                 solver_mean_ms: mean(&sol),
                 solver_p95_ms: percentile(&sol, 0.95),
                 solver_max_ms: sol.last().copied().unwrap_or(0.0),
+                generate_mean_ms: gen_ms,
+                compile_mean_ms: com_ms,
+                extract_mean_ms: ext_ms,
                 cycles: cyc.len(),
             });
         }

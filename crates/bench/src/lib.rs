@@ -125,7 +125,7 @@ impl MetricRow {
         Self {
             system: system.to_owned(),
             label: label.to_owned(),
-            slo_miss_pct: m.slo_miss_rate(),
+            slo_miss_pct: m.slo_miss_pct(),
             slo_goodput_mh: m.slo_goodput_hours(),
             be_goodput_mh: m.be_goodput_hours(),
             goodput_mh: m.goodput_hours(),
@@ -224,7 +224,7 @@ mod tests {
         let r = run_system(SchedulerKind::Prio, &trace, &exp);
         let row = MetricRow::new("Prio", "test", &r);
         assert_eq!(row.system, "Prio");
-        assert!((row.slo_miss_pct - r.metrics.slo_miss_rate()).abs() < 1e-12);
+        assert!((row.slo_miss_pct - r.metrics.slo_miss_pct()).abs() < 1e-12);
         assert!((row.goodput_mh - r.metrics.goodput_hours()).abs() < 1e-12);
         assert!(row.wasted_mh >= 0.0);
     }

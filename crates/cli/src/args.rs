@@ -155,7 +155,10 @@ mod tests {
     #[test]
     fn required_option_errors_when_missing() {
         let a = Args::parse(["run"]).unwrap();
-        assert_eq!(a.require("trace").unwrap_err(), CliError::MissingOption("trace"));
+        assert_eq!(
+            a.require("trace").unwrap_err(),
+            CliError::MissingOption("trace")
+        );
     }
 
     #[test]

@@ -116,7 +116,7 @@ fn metrics_line(kind: SchedulerKind, m: &threesigma_cluster::Metrics) -> String 
     format!(
         "{:<16} miss={:>5.1}%  slo_gp={:>8.1}M-h  be_gp={:>8.1}M-h  be_lat={:>6.0}s  preempt={}",
         kind.name(),
-        m.slo_miss_rate(),
+        m.slo_miss_pct(),
         m.slo_goodput_hours(),
         m.be_goodput_hours(),
         m.mean_be_latency().unwrap_or(f64::NAN),

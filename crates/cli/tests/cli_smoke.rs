@@ -26,7 +26,15 @@ fn no_arguments_prints_usage_and_fails() {
 #[test]
 fn unknown_scheduler_fails_with_message() {
     let out = bin()
-        .args(["run", "--env", "google", "--scheduler", "wizard", "--hours", "0.05"])
+        .args([
+            "run",
+            "--env",
+            "google",
+            "--scheduler",
+            "wizard",
+            "--hours",
+            "0.05",
+        ])
         .output()
         .expect("binary runs");
     assert!(!out.status.success());
@@ -54,7 +62,11 @@ fn generate_run_analyze_pipeline() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(trace.exists());
 
     let out = bin()
@@ -71,7 +83,11 @@ fn generate_run_analyze_pipeline() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("3Sigma"));
     let json: serde_json::Value =
         serde_json::from_str(&std::fs::read_to_string(&metrics).unwrap()).unwrap();

@@ -9,9 +9,7 @@ use serde::{Deserialize, Serialize};
 use crate::spec::PartitionId;
 
 /// Unique job identifier within a trace.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct JobId(pub u64);
 
 /// SLO (deadline) or latency-sensitive best-effort job.
@@ -164,9 +162,7 @@ impl JobSpec {
         match &self.preferred {
             None => self.duration,
             Some(pref) => {
-                let off = allocation
-                    .iter()
-                    .any(|(p, n)| *n > 0 && !pref.contains(p));
+                let off = allocation.iter().any(|(p, n)| *n > 0 && !pref.contains(p));
                 if off {
                     self.duration * self.nonpreferred_slowdown
                 } else {

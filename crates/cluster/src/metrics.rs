@@ -93,9 +93,10 @@ pub struct Metrics {
 }
 
 impl Metrics {
-    /// Fraction (0–100) of SLO jobs that missed their deadline. Jobs that
-    /// never completed count as misses.
-    pub fn slo_miss_rate(&self) -> f64 {
+    /// **Percentage (0–100)** of SLO jobs that missed their deadline. Jobs
+    /// that never completed count as misses. (Named `_pct` to distinguish it
+    /// from the 0–1 fractions like [`Self::completion_rate`].)
+    pub fn slo_miss_pct(&self) -> f64 {
         let slo: Vec<_> = self.outcomes.iter().filter(|o| o.is_slo()).collect();
         if slo.is_empty() {
             return 0.0;
@@ -107,7 +108,8 @@ impl Metrics {
         100.0 * missed as f64 / slo.len() as f64
     }
 
-    /// Machine-hours of SLO work completed within deadline.
+    /// Machine-hours of SLO work completed within deadline (unit:
+    /// machine-hours = gang width × measured runtime / 3600).
     pub fn slo_goodput_hours(&self) -> f64 {
         self.outcomes
             .iter()
@@ -117,7 +119,7 @@ impl Metrics {
             / 3600.0
     }
 
-    /// Machine-hours of completed best-effort work.
+    /// Machine-hours of completed best-effort work (unit: machine-hours).
     pub fn be_goodput_hours(&self) -> f64 {
         self.outcomes
             .iter()
@@ -127,13 +129,13 @@ impl Metrics {
             / 3600.0
     }
 
-    /// Total goodput (SLO-within-deadline + completed BE), machine-hours.
+    /// Total goodput (SLO-within-deadline + completed BE), in machine-hours.
     pub fn goodput_hours(&self) -> f64 {
         self.slo_goodput_hours() + self.be_goodput_hours()
     }
 
-    /// Mean response time of completed best-effort jobs, seconds.
-    /// `None` when no BE job completed.
+    /// Mean response time (completion − submission) of completed
+    /// best-effort jobs, in seconds. `None` when no BE job completed.
     pub fn mean_be_latency(&self) -> Option<f64> {
         let lat: Vec<f64> = self
             .outcomes
@@ -147,17 +149,17 @@ impl Metrics {
         Some(lat.iter().sum::<f64>() / lat.len() as f64)
     }
 
-    /// Number of jobs in the given state.
+    /// Number of jobs whose final state matches `state` (a plain count).
     pub fn count(&self, state: JobState) -> usize {
         self.outcomes.iter().filter(|o| o.state == state).count()
     }
 
-    /// Machine-hours of work destroyed by preemptions.
+    /// Machine-hours of work destroyed by preemptions (unit: machine-hours).
     pub fn wasted_hours(&self) -> f64 {
         self.wasted_machine_seconds / 3600.0
     }
 
-    /// Completed fraction of all jobs (0–1).
+    /// **Fraction (0–1)** of all jobs that ran to completion.
     pub fn completion_rate(&self) -> f64 {
         if self.outcomes.is_empty() {
             return 0.0;
@@ -189,14 +191,24 @@ mod tests {
     fn miss_rate_counts_unfinished_slo_jobs() {
         let m = Metrics {
             outcomes: vec![
-                outcome(1, JobKind::Slo { deadline: 100.0 }, JobState::Completed, Some(50.0)),
-                outcome(2, JobKind::Slo { deadline: 100.0 }, JobState::Completed, Some(150.0)),
+                outcome(
+                    1,
+                    JobKind::Slo { deadline: 100.0 },
+                    JobState::Completed,
+                    Some(50.0),
+                ),
+                outcome(
+                    2,
+                    JobKind::Slo { deadline: 100.0 },
+                    JobState::Completed,
+                    Some(150.0),
+                ),
                 outcome(3, JobKind::Slo { deadline: 100.0 }, JobState::Pending, None),
                 outcome(4, JobKind::BestEffort, JobState::Completed, Some(80.0)),
             ],
             ..Metrics::default()
         };
-        assert!((m.slo_miss_rate() - 66.666).abs() < 0.01);
+        assert!((m.slo_miss_pct() - 66.666).abs() < 0.01);
     }
 
     #[test]
@@ -204,9 +216,19 @@ mod tests {
         let m = Metrics {
             outcomes: vec![
                 // met deadline: counts (2 tasks × 10 s).
-                outcome(1, JobKind::Slo { deadline: 100.0 }, JobState::Completed, Some(50.0)),
+                outcome(
+                    1,
+                    JobKind::Slo { deadline: 100.0 },
+                    JobState::Completed,
+                    Some(50.0),
+                ),
                 // missed: excluded from goodput.
-                outcome(2, JobKind::Slo { deadline: 100.0 }, JobState::Completed, Some(150.0)),
+                outcome(
+                    2,
+                    JobKind::Slo { deadline: 100.0 },
+                    JobState::Completed,
+                    Some(150.0),
+                ),
                 outcome(3, JobKind::BestEffort, JobState::Completed, Some(80.0)),
             ],
             ..Metrics::default()
@@ -224,7 +246,12 @@ mod tests {
                 outcome(1, JobKind::BestEffort, JobState::Completed, Some(30.0)),
                 outcome(2, JobKind::BestEffort, JobState::Completed, Some(50.0)),
                 outcome(3, JobKind::BestEffort, JobState::Pending, None),
-                outcome(4, JobKind::Slo { deadline: 10.0 }, JobState::Completed, Some(5.0)),
+                outcome(
+                    4,
+                    JobKind::Slo { deadline: 10.0 },
+                    JobState::Completed,
+                    Some(5.0),
+                ),
             ],
             ..Metrics::default()
         };
@@ -234,7 +261,7 @@ mod tests {
     #[test]
     fn empty_metrics_are_calm() {
         let m = Metrics::default();
-        assert_eq!(m.slo_miss_rate(), 0.0);
+        assert_eq!(m.slo_miss_pct(), 0.0);
         assert_eq!(m.goodput_hours(), 0.0);
         assert_eq!(m.mean_be_latency(), None);
         assert_eq!(m.completion_rate(), 0.0);
@@ -251,6 +278,6 @@ mod tests {
             )],
             ..Metrics::default()
         };
-        assert_eq!(m.slo_miss_rate(), 100.0);
+        assert_eq!(m.slo_miss_pct(), 100.0);
     }
 }

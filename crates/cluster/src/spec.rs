@@ -3,9 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a resource partition (rack / equivalence set).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct PartitionId(pub usize);
 
 impl PartitionId {

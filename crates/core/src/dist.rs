@@ -7,32 +7,88 @@
 //! function of the point set, and Eq. 2's conditional update is a filter
 //! plus renormalisation. Off-preferred placement (×1.5 runtime) is a scale
 //! of the point abscissae.
+//!
+//! Survival queries are the capacity-row hot path (one per option per time
+//! slot per equivalence set, every cycle), so construction precomputes a
+//! suffix-sum table over the sorted points: [`DiscreteDist::survival`] is
+//! then a binary search plus a table lookup instead of a full scan. The
+//! table stores *forward* partial sums (`suffix[k]` is `p[k] + p[k+1] + …`
+//! accumulated left-to-right), which makes the lookup bit-for-bit identical
+//! to the linear filter-and-sum it replaces; [`DiscreteDist::survival_linear`]
+//! keeps that reference implementation alive for the property tests.
 
 use threesigma_histogram::{Dist, RuntimeDistribution};
 
+/// Instrumentation: counts mass-point entries examined by survival queries.
+///
+/// [`DiscreteDist::survival_linear`] charges one op per point;
+/// [`DiscreteDist::survival`] charges one op per binary-search probe plus
+/// one for the table lookup. The `micro_latency` bench uses the counter to
+/// demonstrate the scan-op reduction of the precomputed table; the counter
+/// has no effect on results.
+pub mod scan_ops {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static OPS: AtomicU64 = AtomicU64::new(0);
+
+    pub(crate) fn add(n: u64) {
+        OPS.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Resets the global counter to zero.
+    pub fn reset() {
+        OPS.store(0, Ordering::Relaxed);
+    }
+
+    /// Current counter value (entries examined since the last reset).
+    pub fn get() -> u64 {
+        OPS.load(Ordering::Relaxed)
+    }
+}
+
 /// A discrete runtime distribution: sorted `(runtime, probability)` points
-/// with probabilities summing to 1.
+/// with probabilities summing to 1, plus a precomputed survival table.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiscreteDist {
     points: Vec<(f64, f64)>,
+    /// `suffix[k] = p[k] + p[k+1] + … + p[n-1]` (forward accumulation);
+    /// `suffix[n]` is the empty sum. `survival(t)` is
+    /// `suffix[partition_point(t)]`.
+    suffix: Vec<f64>,
 }
 
 impl DiscreteDist {
+    /// Builds from sorted points, precomputing the survival table.
+    ///
+    /// Each `suffix[k]` is accumulated left-to-right over `points[k..]`, in
+    /// the same order as the linear scan it replaces, so lookups agree
+    /// exactly (not just approximately) with [`Self::survival_linear`].
+    /// The O(n²) construction is amortised across cycles by the scheduler's
+    /// estimate cache (n ≤ the configured `mass_points`, typically 40).
+    fn with_points(points: Vec<(f64, f64)>) -> Self {
+        let n = points.len();
+        // Every entry — including the empty tail at k = n — uses the same
+        // sum expression as the linear scan, so even the empty-sum zero has
+        // the same sign bit (`Iterator::sum` for floats starts from -0.0).
+        let suffix = (0..=n)
+            .map(|k| points[k..].iter().map(|(_, p)| p).sum())
+            .collect();
+        Self { points, suffix }
+    }
+
     /// Discretises a [`RuntimeDistribution`] into at most `max_points`
     /// mass points.
     pub fn from_distribution(dist: &RuntimeDistribution, max_points: usize) -> Self {
         let mut points = dist.mass_points(max_points.max(1));
         points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite runtimes"));
-        let d = Self { points };
+        let d = Self::with_points(points);
         debug_assert!(d.is_normalised());
         d
     }
 
     /// A single point mass (how point-estimate schedulers see a job).
     pub fn point(runtime: f64) -> Self {
-        Self {
-            points: vec![(runtime.max(0.0), 1.0)],
-        }
+        Self::with_points(vec![(runtime.max(0.0), 1.0)])
     }
 
     /// Builds directly from points (must be sorted; for tests/examples).
@@ -45,7 +101,7 @@ impl DiscreteDist {
             points.windows(2).all(|w| w[0].0 <= w[1].0),
             "points must be sorted by runtime"
         );
-        let d = Self { points };
+        let d = Self::with_points(points);
         assert!(d.is_normalised(), "probabilities must sum to 1");
         d
     }
@@ -61,10 +117,13 @@ impl DiscreteDist {
     }
 
     /// Scales all runtimes by `factor` (off-preferred slowdown).
+    ///
+    /// Probabilities are unchanged, so the survival table carries over.
     pub fn scale(&self, factor: f64) -> Self {
         assert!(factor > 0.0, "scale factor must be positive");
         Self {
             points: self.points.iter().map(|(t, p)| (t * factor, *p)).collect(),
+            suffix: self.suffix.clone(),
         }
     }
 
@@ -84,14 +143,28 @@ impl DiscreteDist {
         if total <= 1e-12 {
             return Self::point(elapsed);
         }
-        Self {
-            points: kept.into_iter().map(|(t, p)| (t, p / total)).collect(),
-        }
+        Self::with_points(kept.into_iter().map(|(t, p)| (t, p / total)).collect())
     }
 
     /// `P(T > t)` — probability the job still holds resources after running
     /// for `t` seconds (Eq. 3's `1 − CDF`).
+    ///
+    /// O(log n): binary search for the first point past `t`, then a suffix
+    /// table lookup. Agrees exactly with [`Self::survival_linear`].
     pub fn survival(&self, t: f64) -> f64 {
+        let mut probes = 0u64;
+        let k = self.points.partition_point(|&(ti, _)| {
+            probes += 1;
+            ti <= t
+        });
+        scan_ops::add(probes + 1);
+        self.suffix[k]
+    }
+
+    /// Reference O(n) survival: the filter-and-sum scan the suffix table
+    /// replaced. Kept public so property tests can assert exact agreement.
+    pub fn survival_linear(&self, t: f64) -> f64 {
+        scan_ops::add(self.points.len() as u64);
         self.points
             .iter()
             .filter(|(ti, _)| *ti > t)
@@ -107,6 +180,15 @@ impl DiscreteDist {
     /// Expected runtime.
     pub fn mean(&self) -> f64 {
         self.points.iter().map(|(t, p)| t * p).sum()
+    }
+
+    /// Variance of the runtime (second central moment of the mass points).
+    pub fn variance(&self) -> f64 {
+        let mean = self.mean();
+        self.points
+            .iter()
+            .map(|(t, p)| p * (t - mean) * (t - mean))
+            .sum()
     }
 
     /// Largest supported runtime (the under-estimate trigger of §4.2.1).
@@ -131,10 +213,7 @@ mod tests {
     use threesigma_histogram::Uniform;
 
     fn uniform_0_10() -> DiscreteDist {
-        DiscreteDist::from_distribution(
-            &RuntimeDistribution::Uniform(Uniform::new(0.0, 10.0)),
-            40,
-        )
+        DiscreteDist::from_distribution(&RuntimeDistribution::Uniform(Uniform::new(0.0, 10.0)), 40)
     }
 
     #[test]
@@ -152,6 +231,61 @@ mod tests {
         assert!((d.survival(5.0) - 0.5).abs() < 0.05);
         assert!((d.survival(7.5) - 0.25).abs() < 0.05);
         assert_eq!(d.survival(10.0), 0.0);
+    }
+
+    #[test]
+    fn survival_table_matches_linear_scan_exactly() {
+        // Bitwise agreement, including at and around every support point.
+        let samples: Vec<f64> = (0..500).map(|i| 50.0 + (i % 97) as f64 * 13.0).collect();
+        let rd = RuntimeDistribution::from_samples(&samples, 80).unwrap();
+        for d in [
+            uniform_0_10(),
+            DiscreteDist::from_distribution(&rd, 40),
+            DiscreteDist::point(5.0),
+            DiscreteDist::from_points(vec![(1.0, 0.25), (1.0, 0.25), (2.0, 0.5)]),
+        ] {
+            let mut probes: Vec<f64> = vec![-1.0, 0.0, f64::INFINITY];
+            for &(t, _) in d.points() {
+                probes.extend([t - 1e-9, t, t + 1e-9, t / 2.0, t * 2.0]);
+            }
+            for t in probes {
+                assert_eq!(
+                    d.survival(t).to_bits(),
+                    d.survival_linear(t).to_bits(),
+                    "survival({t}) diverges"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn survival_table_survives_scale_and_condition() {
+        let d = uniform_0_10();
+        for dd in [d.scale(1.5), d.condition(4.0), d.scale(2.0).condition(3.0)] {
+            for t in [0.0, 3.0, 4.5, 6.0, 11.0, 25.0] {
+                assert_eq!(dd.survival(t).to_bits(), dd.survival_linear(t).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn binary_search_survival_uses_fewer_scan_ops() {
+        let d = uniform_0_10();
+        assert!(d.points().len() >= 16, "need a non-trivial point count");
+        scan_ops::reset();
+        for t in [1.0, 3.0, 5.0, 7.0, 9.0] {
+            let _ = d.survival_linear(t);
+        }
+        let linear = scan_ops::get();
+        scan_ops::reset();
+        for t in [1.0, 3.0, 5.0, 7.0, 9.0] {
+            let _ = d.survival(t);
+        }
+        let indexed = scan_ops::get();
+        assert!(
+            indexed * 2 <= linear,
+            "expected ≥2× fewer ops: indexed={indexed} linear={linear}"
+        );
     }
 
     #[test]
@@ -224,6 +358,14 @@ mod tests {
         }
         assert_eq!(d.lower(), 1.0);
         assert_eq!(d.upper(), 5.0);
+    }
+
+    #[test]
+    fn variance_of_symmetric_two_point_mass() {
+        let d = DiscreteDist::from_points(vec![(50.0, 0.5), (150.0, 0.5)]);
+        assert_eq!(d.mean(), 100.0);
+        assert_eq!(d.variance(), 2500.0);
+        assert_eq!(DiscreteDist::point(42.0).variance(), 0.0);
     }
 
     #[test]

@@ -217,7 +217,10 @@ pub fn run_with_source(
 
 /// Convenience: an injected-distribution source from a prebuilt map.
 pub fn injected(
-    map: std::collections::HashMap<threesigma_cluster::JobId, threesigma_histogram::RuntimeDistribution>,
+    map: std::collections::HashMap<
+        threesigma_cluster::JobId,
+        threesigma_histogram::RuntimeDistribution,
+    >,
 ) -> EstimateSource {
     EstimateSource::Injected(Arc::new(map))
 }

@@ -36,18 +36,19 @@
 //! let experiment = Experiment::paper_sc256();
 //! let result = threesigma::driver::run(SchedulerKind::ThreeSigma, &trace, &experiment)
 //!     .expect("simulation runs");
-//! println!("SLO miss rate: {:.1}%", result.metrics.slo_miss_rate());
+//! println!("SLO miss rate: {:.1}%", result.metrics.slo_miss_pct());
 //! ```
 
 pub mod dist;
-pub mod paper;
 pub mod driver;
+pub mod paper;
 pub mod sched;
 pub mod utility;
 
 pub use dist::DiscreteDist;
 pub use driver::{run, run_with_source, Experiment, RunResult, SchedulerKind};
 pub use sched::backfill::{BackfillScheduler, PointSource};
+pub use sched::options::{EstimateCache, RackMask};
 pub use sched::prio::PrioScheduler;
 pub use sched::threesigma::{
     CycleTiming, EstimateSource, OverestimateMode, PlanRecord, PlannedJob, SchedConfig,

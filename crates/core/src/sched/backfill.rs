@@ -63,7 +63,8 @@ impl BackfillScheduler {
     /// Feeds completed history jobs to the predictor.
     pub fn pretrain(&mut self, history: &[JobSpec]) {
         for job in history {
-            self.predictor.observe(&Attrs(&job.attributes), job.duration);
+            self.predictor
+                .observe(&Attrs(&job.attributes), job.duration);
         }
     }
 
@@ -252,7 +253,15 @@ mod tests {
         // start on the free node.
         let jobs = vec![
             JobSpec::new(1, 0.0, 1, 100.0, JobKind::BestEffort),
-            JobSpec::new(2, 5.0, 2, 50.0, JobKind::Slo { deadline: 100_000.0 }),
+            JobSpec::new(
+                2,
+                5.0,
+                2,
+                50.0,
+                JobKind::Slo {
+                    deadline: 100_000.0,
+                },
+            ),
             JobSpec::new(3, 6.0, 1, 30.0, JobKind::BestEffort),
         ];
         let m = engine(1, 2).run(&jobs, &mut oracle()).unwrap();
@@ -271,7 +280,15 @@ mod tests {
         // it must NOT backfill ahead of the blocked head.
         let jobs = vec![
             JobSpec::new(1, 0.0, 1, 100.0, JobKind::BestEffort),
-            JobSpec::new(2, 5.0, 2, 50.0, JobKind::Slo { deadline: 100_000.0 }),
+            JobSpec::new(
+                2,
+                5.0,
+                2,
+                50.0,
+                JobKind::Slo {
+                    deadline: 100_000.0,
+                },
+            ),
             JobSpec::new(3, 6.0, 1, 300.0, JobKind::BestEffort),
         ];
         let m = engine(1, 2).run(&jobs, &mut oracle()).unwrap();
@@ -290,9 +307,8 @@ mod tests {
         let mut s = BackfillScheduler::new(PointSource::Predicted, PredictorConfig::default());
         let history: Vec<JobSpec> = (0..20)
             .map(|i| {
-                JobSpec::new(100 + i, i as f64, 1, 50.0, JobKind::BestEffort).with_attributes(
-                    threesigma_cluster::Attributes::new().with("user", "bf"),
-                )
+                JobSpec::new(100 + i, i as f64, 1, 50.0, JobKind::BestEffort)
+                    .with_attributes(threesigma_cluster::Attributes::new().with("user", "bf"))
             })
             .collect();
         s.pretrain(&history);
@@ -310,15 +326,23 @@ mod tests {
         let jobs: Vec<JobSpec> = (0..12)
             .map(|i| {
                 let kind = if i % 2 == 0 {
-                    JobKind::Slo { deadline: i as f64 * 10.0 + 2000.0 }
+                    JobKind::Slo {
+                        deadline: i as f64 * 10.0 + 2000.0,
+                    }
                 } else {
                     JobKind::BestEffort
                 };
-                JobSpec::new(i as u64 + 1, i as f64 * 10.0, 1 + (i as u32 % 3), 60.0, kind)
+                JobSpec::new(
+                    i as u64 + 1,
+                    i as f64 * 10.0,
+                    1 + (i as u32 % 3),
+                    60.0,
+                    kind,
+                )
             })
             .collect();
         let m = engine(2, 3).run(&jobs, &mut oracle()).unwrap();
         assert_eq!(m.completion_rate(), 1.0);
-        assert_eq!(m.slo_miss_rate(), 0.0);
+        assert_eq!(m.slo_miss_pct(), 0.0);
     }
 }

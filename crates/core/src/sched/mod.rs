@@ -7,5 +7,6 @@
 //! the runtime-unaware strict-priority baseline (Borg-like).
 
 pub mod backfill;
+pub mod options;
 pub mod prio;
 pub mod threesigma;

@@ -1,0 +1,562 @@
+//! Scheduling-cycle hot path: rack masks, the cross-cycle estimate cache,
+//! parallel placement-option generation, and (mask, slot) bucketing.
+//!
+//! Every cycle, 3σSched enumerates placement options — (equivalence set,
+//! start slot) pairs — for each considered job, then charges each option
+//! its expected resource consumption in one capacity row per (equivalence
+//! set, time slot). This module keeps that path cheap:
+//!
+//! * [`RackMask`] is a fixed-width partition bitmask (128 racks) replacing
+//!   the raw `u64` masks that silently wrapped at 64 partitions.
+//! * [`EstimateCache`] holds each job's discretised base distribution and
+//!   its slowdown-scaled variants across cycles, re-estimating *pending*
+//!   jobs only when the predictor has learned something new (an epoch
+//!   counter bumped per observation) and pinning estimates for running
+//!   attempts so Eq. 2's conditioning always renormalises the same prior.
+//! * [`generate`] fans per-job option valuation (Eq. 1 over every
+//!   (space, slot) pair) out over `std::thread::scope` threads; the output
+//!   is ordered by job index, so results are bit-identical to a sequential
+//!   pass and simulations stay exactly reproducible.
+//! * [`OptionBuckets`] groups compiled options by (mask, slot) once, so
+//!   each capacity row visits only the options that can actually consume
+//!   from its equivalence set and have started by its slot — instead of
+//!   scanning every option for every (set, slot) pair.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use threesigma_cluster::{JobId, PartitionId};
+use threesigma_milp::VarId;
+
+use crate::dist::DiscreteDist;
+use crate::utility::UtilityCurve;
+
+/// A set of rack partitions as a fixed-width (128-bit) bitmask.
+///
+/// The seed implementation used raw `u64` masks; `1u64 << p.index()` is a
+/// masked shift in release builds, so rack 64 silently aliased rack 0 on
+/// clusters with more than 64 partitions. `RackMask` widens the mask and
+/// panics with a clear message beyond its capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RackMask(u128);
+
+impl RackMask {
+    /// The empty set.
+    pub const EMPTY: RackMask = RackMask(0);
+    /// Maximum number of partitions representable.
+    pub const MAX_RACKS: usize = 128;
+
+    /// The singleton set `{index}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is beyond [`Self::MAX_RACKS`].
+    pub fn single(index: usize) -> Self {
+        assert!(
+            index < Self::MAX_RACKS,
+            "rack index {index} exceeds RackMask capacity of {} partitions",
+            Self::MAX_RACKS
+        );
+        RackMask(1u128 << index)
+    }
+
+    /// The set of the given partitions.
+    pub fn of(parts: &[PartitionId]) -> Self {
+        parts
+            .iter()
+            .fold(Self::EMPTY, |m, p| m.with(Self::single(p.index())))
+    }
+
+    /// The full set `{0, …, n-1}`.
+    pub fn all(n: usize) -> Self {
+        assert!(
+            n <= Self::MAX_RACKS,
+            "cluster has {n} partitions but RackMask supports at most {}",
+            Self::MAX_RACKS
+        );
+        if n == Self::MAX_RACKS {
+            RackMask(u128::MAX)
+        } else {
+            RackMask((1u128 << n) - 1)
+        }
+    }
+
+    /// Union with another mask.
+    pub fn with(self, other: RackMask) -> Self {
+        RackMask(self.0 | other.0)
+    }
+
+    /// True if partition `index` is in the set.
+    pub fn contains(self, index: usize) -> bool {
+        index < Self::MAX_RACKS && self.0 & (1u128 << index) != 0
+    }
+
+    /// True if every partition of `self` is also in `other`.
+    pub fn is_subset_of(self, other: RackMask) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Cached estimate state for one job.
+struct CacheEntry {
+    /// Unscaled discretised distribution.
+    base: Arc<DiscreteDist>,
+    /// Slowdown-scaled variants, keyed by the scale factor's bit pattern.
+    scaled: HashMap<u64, Arc<DiscreteDist>>,
+    /// History epoch `base` was estimated at.
+    epoch: u64,
+    /// Pinned while the job's current attempt is running: the conditional
+    /// consumption (Eq. 2) must renormalise a stable prior, and §4.2.1's
+    /// exp-inc handling assumes the distribution under it does not move.
+    pinned: bool,
+}
+
+/// Cross-cycle cache of per-job discretised runtime distributions.
+///
+/// Replaces the per-cycle `clone()`/`scale()` churn of rebuilding every
+/// considered job's distribution each cycle. Invalidation rules:
+///
+/// * [`EstimateCache::bump_epoch`] marks that the predictor learned from a
+///   completion; *pending* jobs are lazily re-estimated on next access, so
+///   a job frozen with a poor submission-time estimate sharpens as history
+///   accumulates (the seed froze estimates at submission forever).
+/// * [`EstimateCache::pin`] freezes a job's estimate for the duration of a
+///   running attempt.
+/// * [`EstimateCache::invalidate`] drops a job's entry outright
+///   (completion, preemption, cancellation).
+pub struct EstimateCache {
+    entries: HashMap<JobId, CacheEntry>,
+    epoch: u64,
+}
+
+impl Default for EstimateCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EstimateCache {
+    /// An empty cache at epoch zero.
+    pub fn new() -> Self {
+        Self {
+            entries: HashMap::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Records that the estimation history changed (e.g. the predictor
+    /// observed a completed runtime). Unpinned entries become stale.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Current history epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The job's base distribution; `estimate` is invoked only when the
+    /// entry is missing or stale (unpinned and older than the current
+    /// epoch).
+    pub fn base(
+        &mut self,
+        job: JobId,
+        estimate: impl FnOnce() -> DiscreteDist,
+    ) -> Arc<DiscreteDist> {
+        let epoch = self.epoch;
+        match self.entries.get_mut(&job) {
+            Some(e) if e.pinned || e.epoch == epoch => e.base.clone(),
+            Some(e) => {
+                e.base = Arc::new(estimate());
+                e.epoch = epoch;
+                e.scaled.clear();
+                e.base.clone()
+            }
+            None => {
+                let base = Arc::new(estimate());
+                self.entries.insert(
+                    job,
+                    CacheEntry {
+                        base: base.clone(),
+                        scaled: HashMap::new(),
+                        epoch,
+                        pinned: false,
+                    },
+                );
+                base
+            }
+        }
+    }
+
+    /// The job's distribution scaled by `scale`, cached per scale factor.
+    /// Must be called after [`Self::base`] in the same cycle (the entry
+    /// must exist and be fresh).
+    pub fn scaled(&mut self, job: JobId, scale: f64) -> Arc<DiscreteDist> {
+        let e = self
+            .entries
+            .get_mut(&job)
+            .expect("scaled() requires a prior base() call for the job");
+        if scale == 1.0 {
+            return e.base.clone();
+        }
+        e.scaled
+            .entry(scale.to_bits())
+            .or_insert_with(|| Arc::new(e.base.scale(scale)))
+            .clone()
+    }
+
+    /// Pins the job's current estimate (attempt started running).
+    pub fn pin(&mut self, job: JobId) {
+        if let Some(e) = self.entries.get_mut(&job) {
+            e.pinned = true;
+        }
+    }
+
+    /// Drops the job's entry (completed, preempted, or cancelled). A
+    /// preempted job re-enters the pending queue and is re-estimated from
+    /// the *current* history on next access.
+    pub fn invalidate(&mut self, job: JobId) {
+        self.entries.remove(&job);
+    }
+
+    /// Number of cached jobs (for tests/introspection).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if the job's entry is pinned (for tests/introspection).
+    pub fn is_pinned(&self, job: JobId) -> bool {
+        self.entries.get(&job).is_some_and(|e| e.pinned)
+    }
+}
+
+/// Per-job input to option generation, prepared sequentially (the estimate
+/// cache and predictor are not shared across threads).
+pub(crate) struct GenInput {
+    /// Candidate equivalence sets with their (already scaled) runtime
+    /// distributions: preferred racks at 1×, whole cluster at the job's
+    /// slowdown — or just the whole cluster for indifferent jobs.
+    pub spaces: Vec<(RackMask, Arc<DiscreteDist>)>,
+    /// The job's utility curve (over-estimate handling already applied).
+    pub curve: UtilityCurve,
+}
+
+/// One placement option valued by Eq. 1, before MILP compilation. The
+/// owning job is implied by the option's position in [`generate`]'s output.
+pub(crate) struct GenOption {
+    /// Start-slot index within the plan-ahead window.
+    pub slot: usize,
+    /// Equivalence set the option may run in.
+    pub mask: RackMask,
+    /// Scaled distribution used for consumption (Eq. 3).
+    pub dist: Arc<DiscreteDist>,
+    /// Expected utility (Eq. 1) of this option.
+    pub utility: f64,
+}
+
+/// All options generated for one job.
+pub(crate) struct JobOptions {
+    /// Options with positive expected utility, in (space, slot) order.
+    pub options: Vec<GenOption>,
+    /// Best expected utility over *all* (space, slot) pairs, including
+    /// pruned ones — drives hopeless-job cancellation.
+    pub best_utility: f64,
+}
+
+fn generate_one(input: &GenInput, slots: &[f64]) -> JobOptions {
+    let mut options = Vec::new();
+    let mut best_utility = 0.0f64;
+    for (mask, dist) in &input.spaces {
+        for (slot, &start) in slots.iter().enumerate() {
+            let eu = input.curve.expected(start, dist);
+            best_utility = best_utility.max(eu);
+            if eu <= 1e-9 {
+                continue; // §4.3.6: prune zero-value terms
+            }
+            options.push(GenOption {
+                slot,
+                mask: *mask,
+                dist: dist.clone(),
+                utility: eu,
+            });
+        }
+    }
+    JobOptions {
+        options,
+        best_utility,
+    }
+}
+
+/// Values every (space, slot) option for every job, in parallel.
+///
+/// Work is split into contiguous chunks over scoped threads; the result is
+/// reassembled in job order, and per-job valuation is pure floating-point
+/// math, so the output is identical to a sequential pass regardless of
+/// thread count — simulations remain exactly reproducible.
+pub(crate) fn generate(inputs: &[GenInput], slots: &[f64]) -> Vec<JobOptions> {
+    let n = inputs.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    // Below this many jobs the spawn overhead outweighs the fan-out.
+    if threads <= 1 || n < 16 {
+        return inputs.iter().map(|g| generate_one(g, slots)).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Vec<JobOptions>> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = inputs
+            .chunks(chunk)
+            .map(|ch| {
+                s.spawn(move || {
+                    ch.iter()
+                        .map(|g| generate_one(g, slots))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        out.extend(
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("option generation thread panicked")),
+        );
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// A generated option compiled into the MILP (has a binary variable).
+pub(crate) struct CompiledOption {
+    /// Index into the cycle's considered-job list.
+    pub job_idx: usize,
+    /// The option's binary indicator in the MILP.
+    pub var: VarId,
+    /// Start-slot index.
+    pub slot: usize,
+    /// Equivalence set.
+    pub mask: RackMask,
+    /// Scaled distribution for consumption rows.
+    pub dist: Arc<DiscreteDist>,
+    /// Gang width (tasks) as a float coefficient base.
+    pub tasks: f64,
+}
+
+/// Options indexed by (equivalence-set mask, start slot), built once per
+/// cycle so each capacity row iterates only the options that can consume
+/// from its set and have started by its slot.
+pub(crate) struct OptionBuckets {
+    masks: Vec<RackMask>,
+    /// `buckets[mask_id][slot]` → indices into the compiled-option vec.
+    buckets: Vec<Vec<Vec<usize>>>,
+}
+
+impl OptionBuckets {
+    /// Groups `options` by (mask, slot).
+    pub fn build(options: &[CompiledOption], num_slots: usize) -> Self {
+        let mut masks: Vec<RackMask> = Vec::new();
+        let mut buckets: Vec<Vec<Vec<usize>>> = Vec::new();
+        for (i, opt) in options.iter().enumerate() {
+            let mid = match masks.iter().position(|&m| m == opt.mask) {
+                Some(m) => m,
+                None => {
+                    masks.push(opt.mask);
+                    buckets.push(vec![Vec::new(); num_slots]);
+                    masks.len() - 1
+                }
+            };
+            buckets[mid][opt.slot].push(i);
+        }
+        Self { masks, buckets }
+    }
+
+    /// Visits every option whose equivalence set is contained in `space`
+    /// and whose start slot is at most `slot` — exactly the options a
+    /// capacity row for (`space`, `slot`) must charge.
+    pub fn for_each_contained(&self, space: RackMask, slot: usize, mut f: impl FnMut(usize)) {
+        for (mid, mask) in self.masks.iter().enumerate() {
+            if !mask.is_subset_of(space) {
+                continue;
+            }
+            for bucket in self.buckets[mid].iter().take(slot + 1) {
+                for &oi in bucket {
+                    f(oi);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rack_mask_handles_more_than_64_racks() {
+        let m = RackMask::single(64);
+        assert!(m.contains(64));
+        assert!(!m.contains(0), "rack 64 must not alias rack 0");
+        let all = RackMask::all(65);
+        assert!(all.contains(64));
+        assert!(m.is_subset_of(all));
+        assert!(!all.is_subset_of(m));
+        let full = RackMask::all(128);
+        assert!(full.contains(127));
+        assert!(RackMask::all(65).is_subset_of(full));
+    }
+
+    #[test]
+    fn rack_mask_set_algebra() {
+        let a = RackMask::of(&[PartitionId(0), PartitionId(3)]);
+        assert!(a.contains(0) && a.contains(3) && !a.contains(1));
+        assert!(RackMask::EMPTY.is_empty());
+        assert!(RackMask::EMPTY.is_subset_of(a));
+        let b = a.with(RackMask::single(7));
+        assert!(a.is_subset_of(b) && !b.is_subset_of(a));
+        assert!(!a.contains(200), "out-of-range membership is just false");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds RackMask capacity")]
+    fn rack_mask_overflow_panics_clearly() {
+        let _ = RackMask::single(128);
+    }
+
+    #[test]
+    fn estimate_cache_reestimates_only_on_epoch_change() {
+        let mut cache = EstimateCache::new();
+        let mut calls = 0;
+        let job = JobId(1);
+        for _ in 0..3 {
+            let _ = cache.base(job, || {
+                calls += 1;
+                DiscreteDist::point(100.0)
+            });
+        }
+        assert_eq!(calls, 1, "fresh entry is reused");
+        cache.bump_epoch();
+        let d = cache.base(job, || {
+            calls += 1;
+            DiscreteDist::point(50.0)
+        });
+        assert_eq!(calls, 2, "stale entry is re-estimated");
+        assert_eq!(d.mean(), 50.0);
+    }
+
+    #[test]
+    fn estimate_cache_pins_running_attempts() {
+        let mut cache = EstimateCache::new();
+        let job = JobId(7);
+        let _ = cache.base(job, || DiscreteDist::point(100.0));
+        cache.pin(job);
+        assert!(cache.is_pinned(job));
+        cache.bump_epoch();
+        let d = cache.base(job, || unreachable!("pinned entries never re-estimate"));
+        assert_eq!(d.mean(), 100.0);
+        // Preemption invalidates; the next access re-estimates fresh.
+        cache.invalidate(job);
+        assert!(!cache.is_pinned(job));
+        let d = cache.base(job, || DiscreteDist::point(25.0));
+        assert_eq!(d.mean(), 25.0);
+    }
+
+    #[test]
+    fn estimate_cache_scales_once_per_factor() {
+        let mut cache = EstimateCache::new();
+        let job = JobId(3);
+        let _ = cache.base(job, || DiscreteDist::point(100.0));
+        let a = cache.scaled(job, 1.5);
+        let b = cache.scaled(job, 1.5);
+        assert!(Arc::ptr_eq(&a, &b), "same Arc, no re-scale");
+        assert_eq!(a.mean(), 150.0);
+        let unit = cache.scaled(job, 1.0);
+        assert_eq!(unit.mean(), 100.0);
+        // Re-estimation clears stale scaled variants.
+        cache.bump_epoch();
+        let _ = cache.base(job, || DiscreteDist::point(10.0));
+        assert_eq!(cache.scaled(job, 1.5).mean(), 15.0);
+    }
+
+    #[test]
+    fn parallel_generation_matches_sequential() {
+        let slots = [0.0, 60.0, 120.0, 180.0];
+        let inputs: Vec<GenInput> = (0..64)
+            .map(|i| GenInput {
+                spaces: vec![
+                    (
+                        RackMask::single(i % 3),
+                        Arc::new(DiscreteDist::point(50.0 + i as f64)),
+                    ),
+                    (
+                        RackMask::all(8),
+                        Arc::new(DiscreteDist::point((50.0 + i as f64) * 1.5)),
+                    ),
+                ],
+                curve: UtilityCurve::SloStep {
+                    weight: 10.0,
+                    deadline: 200.0 + i as f64,
+                },
+            })
+            .collect();
+        let par = generate(&inputs, &slots);
+        let seq: Vec<JobOptions> = inputs.iter().map(|g| generate_one(g, &slots)).collect();
+        assert_eq!(par.len(), seq.len());
+        for (p, s) in par.iter().zip(&seq) {
+            assert_eq!(p.best_utility.to_bits(), s.best_utility.to_bits());
+            assert_eq!(p.options.len(), s.options.len());
+            for (po, so) in p.options.iter().zip(&s.options) {
+                assert_eq!(po.slot, so.slot);
+                assert_eq!(po.mask, so.mask);
+                assert_eq!(po.utility.to_bits(), so.utility.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_visit_exactly_contained_started_options() {
+        let d = Arc::new(DiscreteDist::point(10.0));
+        let mut model = threesigma_milp::Model::new();
+        let mut mk = |job_idx, slot, mask| CompiledOption {
+            job_idx,
+            var: model.add_binary(0.0),
+            slot,
+            mask,
+            dist: d.clone(),
+            tasks: 1.0,
+        };
+        let a = RackMask::of(&[PartitionId(0)]);
+        let b = RackMask::of(&[PartitionId(1)]);
+        let full = RackMask::all(2);
+        let options = vec![
+            mk(0, 0, a),
+            mk(0, 1, full),
+            mk(1, 0, b),
+            mk(1, 2, a),
+            mk(2, 1, b),
+        ];
+        let buckets = OptionBuckets::build(&options, 3);
+        let collect = |space, slot| {
+            let mut got = Vec::new();
+            buckets.for_each_contained(space, slot, |oi| got.push(oi));
+            got.sort_unstable();
+            got
+        };
+        // Space {0}: only mask-a options, started by the slot.
+        assert_eq!(collect(a, 0), vec![0]);
+        assert_eq!(collect(a, 2), vec![0, 3]);
+        // Space {1}: only mask-b options.
+        assert_eq!(collect(b, 1), vec![2, 4]);
+        // Full cluster: everything started by the slot.
+        assert_eq!(collect(full, 0), vec![0, 2]);
+        assert_eq!(collect(full, 2), vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -11,6 +11,9 @@ use threesigma_cluster::{
     JobId, JobSpec, PartitionId, Placement, Scheduler, SchedulingDecision, SimulationView,
 };
 
+/// A preemptable running BE attempt: (job, start time, allocation).
+type BeAttempt = (JobId, f64, Vec<(PartitionId, u32)>);
+
 /// The priority scheduler.
 #[derive(Debug, Default)]
 pub struct PrioScheduler;
@@ -36,11 +39,7 @@ fn pack(spec: &JobSpec, free: &[u32]) -> Option<Vec<(PartitionId, u32)>> {
         .filter(|(_, f)| **f > 0)
         .map(|(p, f)| (p, *f))
         .collect();
-    racks.sort_by(|a, b| {
-        preferred(b.0)
-            .cmp(&preferred(a.0))
-            .then(b.1.cmp(&a.1))
-    });
+    racks.sort_by(|a, b| preferred(b.0).cmp(&preferred(a.0)).then(b.1.cmp(&a.1)));
     let mut remaining = spec.tasks;
     let mut alloc = Vec::new();
     for (p, f) in racks {
@@ -60,7 +59,7 @@ impl Scheduler for PrioScheduler {
         let mut free = view.free.to_vec();
 
         // Preemptable BE pool: youngest attempts first (least work lost).
-        let mut be_running: Vec<(JobId, f64, Vec<(PartitionId, u32)>)> = view
+        let mut be_running: Vec<BeAttempt> = view
             .running
             .iter()
             .filter(|r| !r.spec.kind.is_slo())
@@ -188,7 +187,7 @@ mod tests {
         ];
         let m = engine(1, 2).run(&jobs, &mut PrioScheduler::new()).unwrap();
         assert!(m.outcomes[1].start_time.unwrap() < m.outcomes[0].start_time.unwrap());
-        assert_eq!(m.slo_miss_rate(), 0.0);
+        assert_eq!(m.slo_miss_pct(), 0.0);
     }
 
     #[test]
@@ -197,17 +196,27 @@ mod tests {
         // deadline has plenty of slack.
         let jobs = vec![
             JobSpec::new(1, 0.0, 2, 300.0, JobKind::BestEffort),
-            JobSpec::new(2, 10.0, 2, 100.0, JobKind::Slo { deadline: 100_000.0 }),
+            JobSpec::new(
+                2,
+                10.0,
+                2,
+                100.0,
+                JobKind::Slo {
+                    deadline: 100_000.0,
+                },
+            ),
         ];
         let m = engine(1, 2).run(&jobs, &mut PrioScheduler::new()).unwrap();
         assert!(m.outcomes[0].preemptions >= 1, "{:?}", m.outcomes[0]);
-        assert_eq!(m.slo_miss_rate(), 0.0);
+        assert_eq!(m.slo_miss_pct(), 0.0);
     }
 
     #[test]
     fn prefers_preferred_racks() {
-        let jobs = vec![JobSpec::new(1, 0.0, 2, 100.0, JobKind::Slo { deadline: 5000.0 })
-            .with_preference(vec![PartitionId(1)], 1.5)];
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 2, 100.0, JobKind::Slo { deadline: 5000.0 })
+                .with_preference(vec![PartitionId(1)], 1.5),
+        ];
         let m = engine(2, 2).run(&jobs, &mut PrioScheduler::new()).unwrap();
         assert_eq!(m.outcomes[0].on_preferred, Some(true));
     }

@@ -6,15 +6,19 @@
 //! 2. enumerates placement options per job — (equivalence set, start slot)
 //!    over a plan-ahead window — valuing each by expected utility (Eq. 1)
 //!    under the job's runtime distribution, with over-estimate handling
-//!    adjusting the utility curve (§4.2.2–4.2.3),
+//!    adjusting the utility curve (§4.2.2–4.2.3); distributions come from
+//!    the cross-cycle [`EstimateCache`] (pending jobs are re-estimated when
+//!    the predictor learns, running attempts stay pinned) and valuation is
+//!    fanned out across threads ([`options::generate`]),
 //! 3. charges each option its expected resource consumption over time
 //!    (Eq. 3), conditioning running jobs' distributions on their elapsed
 //!    time (Eq. 2) with exponential-increment under-estimate handling
 //!    (§4.2.1),
 //! 4. compiles a MILP — binary indicators per option, demand rows, capacity
-//!    rows per (equivalence set, time slot), preemption indicators for
-//!    running best-effort jobs — and solves it with a warm start (the
-//!    status quo is always feasible) under a node/time budget,
+//!    rows per (equivalence set, time slot) fed from the per-(mask, slot)
+//!    [`options::OptionBuckets`] index, preemption indicators for running
+//!    best-effort jobs — and solves it with a warm start (the status quo is
+//!    always feasible) under a node/time budget,
 //! 5. turns slot-zero selections into concrete per-rack gang allocations.
 //!
 //! Capacity rows are kept per *equivalence set* (each distinct preferred
@@ -35,6 +39,9 @@ use threesigma_milp::{Cmp, Model, Solver, SolverConfig, VarId};
 use threesigma_predict::{AttributeSource, Predictor, PredictorConfig};
 
 use crate::dist::DiscreteDist;
+use crate::sched::options::{
+    self, CompiledOption, EstimateCache, GenInput, OptionBuckets, RackMask,
+};
 use crate::utility::UtilityCurve;
 
 /// Where runtime estimates come from (Table 1).
@@ -186,7 +193,9 @@ pub struct PlanRecord {
     pub objective: f64,
 }
 
-/// Per-cycle timing record (the §6.5 scalability measurements).
+/// Per-cycle timing record (the §6.5 scalability measurements), with a
+/// per-stage latency breakdown. The stages are disjoint, so
+/// `generate + compile + solver + extract ≤ total`.
 #[derive(Debug, Clone, Copy)]
 pub struct CycleTiming {
     /// Pending jobs visible this cycle.
@@ -199,8 +208,17 @@ pub struct CycleTiming {
     pub milp_rows: usize,
     /// Whole-cycle latency (option generation + compile + solve + extract).
     pub total: Duration,
+    /// Option-generation latency: job selection, estimate-cache refresh,
+    /// and parallel Eq. 1 valuation of every (space, slot) option.
+    pub generate: Duration,
+    /// MILP compilation latency: demand rows, running-job conditioning
+    /// (Eq. 2), and bucketed capacity rows (Eq. 3).
+    pub compile: Duration,
     /// Solver latency alone.
     pub solver: Duration,
+    /// Extraction latency: preemptions, slot-zero gang packing, plan
+    /// records, and estimate-cache bookkeeping.
+    pub extract: Duration,
     /// Branch-and-bound nodes expanded.
     pub nodes: usize,
 }
@@ -227,8 +245,9 @@ pub struct ThreeSigmaScheduler {
     config: SchedConfig,
     source: EstimateSource,
     predictor: Predictor,
-    /// Cached per-job base distributions (unscaled), built at submission.
-    dists: HashMap<JobId, DiscreteDist>,
+    /// Cross-cycle cache of per-job discretised distributions (base and
+    /// slowdown-scaled), epoch-invalidated as the predictor learns.
+    cache: EstimateCache,
     /// Exp-inc state keyed by (job, attempt-start bits).
     underest: HashMap<(JobId, u64), UnderEst>,
     timings: Vec<CycleTiming>,
@@ -246,7 +265,7 @@ impl ThreeSigmaScheduler {
             config,
             source,
             predictor: Predictor::new(predictor_config),
-            dists: HashMap::new(),
+            cache: EstimateCache::new(),
             underest: HashMap::new(),
             timings: Vec::new(),
             plans: Vec::new(),
@@ -257,7 +276,8 @@ impl ThreeSigmaScheduler {
     /// step). No-op for oracle/injected sources that don't use history.
     pub fn pretrain(&mut self, history: &[JobSpec]) {
         for job in history {
-            self.predictor.observe(&Attrs(&job.attributes), job.duration);
+            self.predictor
+                .observe(&Attrs(&job.attributes), job.duration);
         }
     }
 
@@ -271,99 +291,107 @@ impl ThreeSigmaScheduler {
         &self.plans
     }
 
-    /// The estimate distribution for a job, per the configured source.
+    /// The estimate distribution for a job, per the configured source
+    /// (uncached; the scheduling cycle goes through the [`EstimateCache`]).
+    #[cfg(test)]
     fn estimate(&self, spec: &JobSpec) -> DiscreteDist {
-        let n = self.config.mass_points;
-        match &self.source {
-            EstimateSource::OraclePoint => DiscreteDist::point(spec.duration),
-            EstimateSource::Injected(map) => match map.get(&spec.id) {
-                Some(d) => DiscreteDist::from_distribution(d, n),
-                None => DiscreteDist::point(spec.duration),
-            },
-            EstimateSource::Predicted => match self.predictor.predict(&Attrs(&spec.attributes)) {
-                Some(p) => DiscreteDist::from_distribution(&p.distribution, n),
-                None => Self::cold_start_dist(spec),
-            },
-            EstimateSource::PredictedPoint => {
-                match self.predictor.predict_point(&Attrs(&spec.attributes)) {
-                    Some(point) => DiscreteDist::point(point),
-                    None => DiscreteDist::point(300.0),
-                }
-            }
-            EstimateSource::PredictedPadded { sigmas } => {
-                match self.predictor.predict(&Attrs(&spec.attributes)) {
-                    Some(p) => {
-                        let d = DiscreteDist::from_distribution(&p.distribution, n);
-                        let mean = d.mean();
-                        let var: f64 = d
-                            .points()
-                            .iter()
-                            .map(|(t, pr)| pr * (t - mean) * (t - mean))
-                            .sum();
-                        DiscreteDist::point(p.point + sigmas * var.sqrt())
-                    }
-                    None => DiscreteDist::point(300.0),
-                }
-            }
-        }
+        estimate_dist(&self.source, &self.predictor, self.config.mass_points, spec)
     }
+}
 
-    /// With zero history anywhere (cold start), assume a broad prior.
-    fn cold_start_dist(_spec: &JobSpec) -> DiscreteDist {
-        let prior =
-            RuntimeDistribution::LogNormal(threesigma_histogram::LogNormal::new(300f64.ln(), 1.0));
-        DiscreteDist::from_distribution(&prior, 16)
-    }
-
-    /// The utility curve for a job, applying over-estimate handling.
-    fn utility_curve(&self, spec: &JobSpec, dist: &DiscreteDist) -> UtilityCurve {
-        match spec.kind.deadline() {
-            None => UtilityCurve::BeLinear {
-                weight: spec.utility_weight,
-                submit: spec.submit_time,
-                horizon: self.config.be_horizon,
-                floor: self.config.be_floor,
-            },
-            Some(deadline) => {
-                let decay = match self.config.oe_mode {
-                    OverestimateMode::Off => false,
-                    OverestimateMode::Always => true,
-                    OverestimateMode::Adaptive => {
-                        // §4.2.3: time-to-deadline is a proxy upper bound on
-                        // the true runtime; if the distribution says the job
-                        // almost surely cannot fit that bound, the
-                        // distribution is likely skewed high.
-                        let bound = deadline - spec.submit_time;
-                        dist.cdf(bound) < self.config.oe_threshold
-                    }
-                };
-                if decay {
-                    // The decay must span the distribution's support, or a
-                    // fully over-estimated job would still see zero utility
-                    // everywhere (§4.2.2 wants non-zero utility even when
-                    // all completion times exceed the deadline).
-                    let span = (deadline - spec.submit_time)
-                        .max(dist.upper())
-                        .max(self.config.slot_width)
-                        * self.config.oe_span_factor;
-                    UtilityCurve::SloDecay {
-                        weight: spec.utility_weight,
-                        deadline,
-                        zero_at: deadline + span,
-                    }
-                } else {
-                    UtilityCurve::SloStep {
-                        weight: spec.utility_weight,
-                        deadline,
-                    }
+/// Computes a job's estimate distribution from the configured source.
+///
+/// Free function (rather than a method) so the scheduling cycle can call it
+/// from inside [`EstimateCache::base`] closures while the cache itself is
+/// mutably borrowed.
+fn estimate_dist(
+    source: &EstimateSource,
+    predictor: &Predictor,
+    mass_points: usize,
+    spec: &JobSpec,
+) -> DiscreteDist {
+    let n = mass_points;
+    match source {
+        EstimateSource::OraclePoint => DiscreteDist::point(spec.duration),
+        EstimateSource::Injected(map) => match map.get(&spec.id) {
+            Some(d) => DiscreteDist::from_distribution(d, n),
+            None => DiscreteDist::point(spec.duration),
+        },
+        EstimateSource::Predicted => match predictor.predict(&Attrs(&spec.attributes)) {
+            Some(p) => DiscreteDist::from_distribution(&p.distribution, n),
+            None => cold_start_dist(spec),
+        },
+        EstimateSource::PredictedPoint => match predictor.predict_point(&Attrs(&spec.attributes)) {
+            Some(point) => DiscreteDist::point(point),
+            None => DiscreteDist::point(300.0),
+        },
+        EstimateSource::PredictedPadded { sigmas } => {
+            match predictor.predict(&Attrs(&spec.attributes)) {
+                Some(p) => {
+                    // Pad around the discretised distribution's own mean:
+                    // the base and the variance must come from the same
+                    // estimator. (Padding the point expert's estimate with
+                    // the distribution expert's σ mixed two estimators.)
+                    let d = DiscreteDist::from_distribution(&p.distribution, n);
+                    DiscreteDist::point(d.mean() + sigmas * d.variance().sqrt())
                 }
+                None => DiscreteDist::point(300.0),
             }
         }
     }
 }
 
-fn mask_of(parts: &[PartitionId]) -> u64 {
-    parts.iter().fold(0u64, |m, p| m | (1u64 << p.index()))
+/// With zero history anywhere (cold start), assume a broad prior.
+fn cold_start_dist(_spec: &JobSpec) -> DiscreteDist {
+    let prior =
+        RuntimeDistribution::LogNormal(threesigma_histogram::LogNormal::new(300f64.ln(), 1.0));
+    DiscreteDist::from_distribution(&prior, 16)
+}
+
+/// The utility curve for a job, applying over-estimate handling.
+fn utility_curve(cfg: &SchedConfig, spec: &JobSpec, dist: &DiscreteDist) -> UtilityCurve {
+    match spec.kind.deadline() {
+        None => UtilityCurve::BeLinear {
+            weight: spec.utility_weight,
+            submit: spec.submit_time,
+            horizon: cfg.be_horizon,
+            floor: cfg.be_floor,
+        },
+        Some(deadline) => {
+            let decay = match cfg.oe_mode {
+                OverestimateMode::Off => false,
+                OverestimateMode::Always => true,
+                OverestimateMode::Adaptive => {
+                    // §4.2.3: time-to-deadline is a proxy upper bound on
+                    // the true runtime; if the distribution says the job
+                    // almost surely cannot fit that bound, the
+                    // distribution is likely skewed high.
+                    let bound = deadline - spec.submit_time;
+                    dist.cdf(bound) < cfg.oe_threshold
+                }
+            };
+            if decay {
+                // The decay must span the distribution's support, or a
+                // fully over-estimated job would still see zero utility
+                // everywhere (§4.2.2 wants non-zero utility even when
+                // all completion times exceed the deadline).
+                let span = (deadline - spec.submit_time)
+                    .max(dist.upper())
+                    .max(cfg.slot_width)
+                    * cfg.oe_span_factor;
+                UtilityCurve::SloDecay {
+                    weight: spec.utility_weight,
+                    deadline,
+                    zero_at: deadline + span,
+                }
+            } else {
+                UtilityCurve::SloStep {
+                    weight: spec.utility_weight,
+                    deadline,
+                }
+            }
+        }
+    }
 }
 
 /// Start-slot times: slot 0 is "now"; later slots snap to absolute
@@ -380,20 +408,12 @@ fn slot_times(now: f64, width: f64, slots: usize) -> Vec<f64> {
     ts
 }
 
-/// A generated placement option awaiting MILP compilation.
-struct Option_ {
-    job_idx: usize,
-    var: VarId,
-    slot: usize,
-    allowed_mask: u64,
-    /// Scaled discrete distribution index (into per-job dists).
-    scaled: usize,
-}
-
 impl Scheduler for ThreeSigmaScheduler {
     fn on_job_submitted(&mut self, spec: &JobSpec, _now: f64) {
-        let d = self.estimate(spec);
-        self.dists.insert(spec.id, d);
+        let d = estimate_dist(&self.source, &self.predictor, self.config.mass_points, spec);
+        // Seed the cache; the entry is lazily refreshed every time the
+        // history epoch moves while the job is still pending.
+        let _ = self.cache.base(spec.id, || d);
     }
 
     fn on_job_completed(
@@ -404,16 +424,29 @@ impl Scheduler for ThreeSigmaScheduler {
     ) {
         if let Some(rt) = outcome.measured_runtime {
             self.predictor.observe(&Attrs(&spec.attributes), rt);
+            // The predictor learned: pending jobs' estimates are stale.
+            self.cache.bump_epoch();
         }
-        self.dists.remove(&spec.id);
+        self.cache.invalidate(spec.id);
     }
 
     fn schedule(&mut self, view: &SimulationView<'_>, now: f64) -> SchedulingDecision {
         let cycle_start = Instant::now();
         let cfg = self.config.clone();
         let mut decision = SchedulingDecision::noop();
+        let Self {
+            cache,
+            source,
+            predictor,
+            underest,
+            timings,
+            plans,
+            ..
+        } = self;
 
-        // ---- 1. Select the most urgent pending jobs. ----
+        // ---- Stage 1: generate. Select the most urgent pending jobs,
+        // refresh cached estimates, and value every (space, slot) option
+        // in parallel. ----
         let mut order: Vec<usize> = (0..view.pending.len()).collect();
         let urgency = |spec: &JobSpec| match spec.kind.deadline() {
             Some(d) => d,
@@ -427,89 +460,71 @@ impl Scheduler for ThreeSigmaScheduler {
         order.truncate(cfg.max_jobs_per_cycle);
         let considered: Vec<&JobSpec> = order.iter().map(|&i| view.pending[i]).collect();
 
-        // ---- 2. Per-job curves, scaled distributions, and options. ----
-        let full_mask = (0..view.cluster.num_partitions()).fold(0u64, |m, p| m | (1u64 << p));
-        let cap_of = |mask: u64| -> u32 {
-            view.cluster
-                .partition_ids()
-                .filter(|p| mask & (1 << p.index()) != 0)
-                .map(|p| view.cluster.partition_size(p))
-                .sum()
-        };
-
-        let mut model = Model::new();
-        let mut options: Vec<Option_> = Vec::new();
-        // Scaled dists per job, indexed by options.
-        let mut scaled_dists: Vec<DiscreteDist> = Vec::new();
-        // Distinct equivalence-set masks that need capacity rows.
-        let mut space_masks: Vec<u64> = vec![full_mask];
-        let mut job_vars: Vec<Vec<VarId>> = Vec::new();
-        let mut hopeless: Vec<JobId> = Vec::new();
+        let full_mask = RackMask::all(view.cluster.num_partitions());
         let slots = slot_times(now, cfg.slot_width, cfg.plan_slots);
 
-        for (job_idx, spec) in considered.iter().enumerate() {
-            let base = self
-                .dists
-                .get(&spec.id)
-                .cloned()
-                .unwrap_or_else(|| self.estimate(spec));
-            let curve = self.utility_curve(spec, &base);
-
+        // Distinct equivalence-set masks that need capacity rows.
+        let mut space_masks: Vec<RackMask> = vec![full_mask];
+        let mut gen_inputs: Vec<GenInput> = Vec::with_capacity(considered.len());
+        for spec in &considered {
+            let base = cache.base(spec.id, || {
+                estimate_dist(source, predictor, cfg.mass_points, spec)
+            });
+            let curve = utility_curve(&cfg, spec, &base);
             // Equivalence sets for this job: preferred racks (unscaled
             // runtime) and the whole cluster (slowed runtime), or just the
             // whole cluster for indifferent jobs.
-            let mut spaces: Vec<(u64, f64)> = Vec::new();
+            let mut spaces = Vec::new();
             match &spec.preferred {
                 Some(pref) => {
-                    let pmask = mask_of(pref);
-                    spaces.push((pmask, 1.0));
-                    spaces.push((full_mask, spec.nonpreferred_slowdown));
+                    let pmask = RackMask::of(pref);
+                    spaces.push((pmask, cache.scaled(spec.id, 1.0)));
+                    spaces.push((full_mask, cache.scaled(spec.id, spec.nonpreferred_slowdown)));
                     if !space_masks.contains(&pmask) {
                         space_masks.push(pmask);
                     }
                 }
-                None => spaces.push((full_mask, 1.0)),
+                None => spaces.push((full_mask, cache.scaled(spec.id, 1.0))),
             }
+            gen_inputs.push(GenInput { spaces, curve });
+        }
+        let job_options = options::generate(&gen_inputs, &slots);
+        let generate_elapsed = cycle_start.elapsed();
 
-            let mut vars = Vec::new();
-            let mut best_utility = 0.0f64;
-            for (allowed_mask, scale) in spaces {
-                let scaled = if scale == 1.0 { base.clone() } else { base.scale(scale) };
-                scaled_dists.push(scaled);
-                let scaled_idx = scaled_dists.len() - 1;
-                for (slot, &start) in slots.iter().enumerate() {
-                    let eu = curve.expected(start, &scaled_dists[scaled_idx]);
-                    best_utility = best_utility.max(eu);
-                    if eu <= 1e-9 {
-                        continue; // §4.3.6: prune zero-value terms
-                    }
-                    let var = model.add_binary(eu);
-                    options.push(Option_ {
-                        job_idx,
-                        var,
-                        slot,
-                        allowed_mask,
-                        scaled: scaled_idx,
-                    });
-                    vars.push(var);
-                }
+        // ---- Stage 2: compile the MILP. ----
+        let compile_start = Instant::now();
+        let mut model = Model::new();
+        let mut compiled: Vec<CompiledOption> = Vec::new();
+        let mut hopeless: Vec<JobId> = Vec::new();
+        for (job_idx, jo) in job_options.iter().enumerate() {
+            let spec = considered[job_idx];
+            let mut vars = Vec::with_capacity(jo.options.len());
+            for o in &jo.options {
+                let var = model.add_binary(o.utility);
+                compiled.push(CompiledOption {
+                    job_idx,
+                    var,
+                    slot: o.slot,
+                    mask: o.mask,
+                    dist: o.dist.clone(),
+                    tasks: spec.tasks as f64,
+                });
+                vars.push(var);
             }
             if vars.is_empty() {
-                if cfg.cancel_hopeless && spec.kind.is_slo() && best_utility <= 1e-9 {
+                if cfg.cancel_hopeless && spec.kind.is_slo() && jo.best_utility <= 1e-9 {
                     hopeless.push(spec.id);
                 }
-                job_vars.push(Vec::new());
                 continue;
             }
             // Demand: at most one option per job.
             let terms: Vec<(VarId, f64)> = vars.iter().map(|v| (*v, 1.0)).collect();
             model.add_constraint(&terms, Cmp::Le, 1.0);
             model.add_sos1(&vars);
-            job_vars.push(vars);
         }
         decision.cancellations = hopeless;
 
-        // ---- 3. Running jobs: conditional consumption + preemption. ----
+        // Running jobs: conditional consumption + preemption.
         struct RunningInfo {
             id: JobId,
             nodes_by_part: Vec<u32>,
@@ -524,28 +539,31 @@ impl Scheduler for ThreeSigmaScheduler {
             .iter()
             .map(|r| (r.spec.id, r.start_time.to_bits()))
             .collect();
-        self.underest.retain(|k, _| live.contains(k));
+        underest.retain(|k, _| live.contains(k));
 
         for r in &view.running {
             let elapsed = r.elapsed(now);
-            let base = self
-                .dists
-                .get(&r.spec.id)
-                .cloned()
-                .unwrap_or_else(|| self.estimate(r.spec));
+            let base = cache.base(r.spec.id, || {
+                estimate_dist(source, predictor, cfg.mass_points, r.spec)
+            });
+            // A running attempt's estimate stays pinned: Eq. 2 must keep
+            // renormalising the prior the plan was built on.
+            cache.pin(r.spec.id);
             // Scale by the placement actually chosen for this attempt.
             let off_pref = r.spec.preferred.as_ref().is_some_and(|pref| {
-                r.allocation.iter().any(|(p, n)| *n > 0 && !pref.contains(p))
+                r.allocation
+                    .iter()
+                    .any(|(p, n)| *n > 0 && !pref.contains(p))
             });
             let scaled = if off_pref {
-                base.scale(r.spec.nonpreferred_slowdown)
+                cache.scaled(r.spec.id, r.spec.nonpreferred_slowdown)
             } else {
                 base
             };
             let cond = if scaled.is_exhausted_at(elapsed) {
                 // §4.2.1: exponential-increment under-estimate handling.
                 let key = (r.spec.id, r.start_time.to_bits());
-                let ue = self.underest.entry(key).or_insert(UnderEst {
+                let ue = underest.entry(key).or_insert(UnderEst {
                     increments: 0,
                     est_total_runtime: elapsed + cfg.cycle_hint,
                 });
@@ -576,28 +594,29 @@ impl Scheduler for ThreeSigmaScheduler {
             });
         }
 
-        // ---- 4. Capacity rows per (equivalence set, slot). ----
+        // Capacity rows per (equivalence set, slot). The (mask, slot)
+        // buckets hand each row exactly the options contained in its set
+        // that have started by its slot — no full-option scan per row.
+        let buckets = OptionBuckets::build(&compiled, slots.len());
+        let cap_of = |mask: RackMask| -> u32 {
+            view.cluster
+                .partition_ids()
+                .filter(|p| mask.contains(p.index()))
+                .map(|p| view.cluster.partition_size(p))
+                .sum()
+        };
         for &mask in &space_masks {
             let cap = cap_of(mask) as f64;
-            for &t in &slots {
+            for (si, &t) in slots.iter().enumerate() {
                 let mut terms: Vec<(VarId, f64)> = Vec::new();
-                for opt in &options {
-                    // An option consumes from set S iff its allowed racks
-                    // are contained in S.
-                    if opt.allowed_mask & !mask != 0 {
-                        continue;
-                    }
-                    let start = slots[opt.slot];
-                    if t < start {
-                        continue;
-                    }
-                    let spec = considered[opt.job_idx];
-                    let rc = scaled_dists[opt.scaled].survival(t - start);
-                    let coeff = spec.tasks as f64 * rc;
+                buckets.for_each_contained(mask, si, |oi| {
+                    let opt = &compiled[oi];
+                    let rc = opt.dist.survival(t - slots[opt.slot]);
+                    let coeff = opt.tasks * rc;
                     if coeff > 1e-6 {
                         terms.push((opt.var, coeff));
                     }
-                }
+                });
                 // Running usage inside this set, creditable by preemption.
                 let mut used = 0.0;
                 for ri in &running_infos {
@@ -605,7 +624,7 @@ impl Scheduler for ThreeSigmaScheduler {
                         .nodes_by_part
                         .iter()
                         .enumerate()
-                        .filter(|(p, _)| mask & (1 << p) != 0)
+                        .filter(|(p, _)| mask.contains(*p))
                         .map(|(_, n)| *n)
                         .sum();
                     if nodes_in == 0 {
@@ -626,8 +645,9 @@ impl Scheduler for ThreeSigmaScheduler {
                 }
             }
         }
+        let compile_elapsed = compile_start.elapsed();
 
-        // ---- 5. Solve (status-quo warm start is always feasible). ----
+        // ---- Stage 3: solve (status-quo warm start is always feasible). ----
         let solver = Solver::with_config(SolverConfig {
             node_limit: cfg.solver_nodes,
             time_limit: Some(cfg.solver_time),
@@ -643,6 +663,8 @@ impl Scheduler for ThreeSigmaScheduler {
         let milp_rows = model.num_constraints();
         let nodes = solution.nodes;
 
+        // ---- Stage 4: extract placements and update cache state. ----
+        let extract_start = Instant::now();
         if solution.has_solution() {
             let x = &solution.values;
             // Preemptions first (their capacity becomes available now).
@@ -658,13 +680,8 @@ impl Scheduler for ThreeSigmaScheduler {
                 }
             }
             // Immediate (slot 0) placements, best utility first.
-            let mut free: Vec<u32> = view
-                .free
-                .iter()
-                .zip(&freed)
-                .map(|(f, e)| f + e)
-                .collect();
-            let mut chosen: Vec<&Option_> = options
+            let mut free: Vec<u32> = view.free.iter().zip(&freed).map(|(f, e)| f + e).collect();
+            let mut chosen: Vec<&CompiledOption> = compiled
                 .iter()
                 .filter(|o| o.slot == 0 && x[o.var.index()] > 0.5)
                 .collect();
@@ -675,7 +692,7 @@ impl Scheduler for ThreeSigmaScheduler {
             });
             for opt in chosen {
                 let spec = considered[opt.job_idx];
-                if let Some(alloc) = pack_gang(spec.tasks, opt.allowed_mask, &free) {
+                if let Some(alloc) = pack_gang(spec.tasks, opt.mask, &free) {
                     for (p, n) in &alloc {
                         free[p.index()] -= n;
                     }
@@ -696,7 +713,7 @@ impl Scheduler for ThreeSigmaScheduler {
                 };
                 let placed: std::collections::HashSet<JobId> =
                     decision.placements.iter().map(|p| p.job).collect();
-                for opt in &options {
+                for opt in &compiled {
                     if x[opt.var.index()] <= 0.5 {
                         continue;
                     }
@@ -706,7 +723,7 @@ impl Scheduler for ThreeSigmaScheduler {
                         slot: opt.slot,
                         start: slots[opt.slot],
                         expected_utility: model.objective_coeff(opt.var),
-                        preferred_space: opt.allowed_mask != full_mask,
+                        preferred_space: opt.mask != full_mask,
                     };
                     if opt.slot == 0 && placed.contains(&spec.id) {
                         record.started.push(planned);
@@ -714,33 +731,49 @@ impl Scheduler for ThreeSigmaScheduler {
                         record.deferred.push(planned);
                     }
                 }
-                self.plans.push(record);
+                plans.push(record);
             }
         }
+        // Cache bookkeeping: cancelled jobs are terminal, preempted jobs
+        // re-enter pending and should be re-estimated from fresh history,
+        // and newly placed attempts pin their estimate.
+        for id in &decision.cancellations {
+            cache.invalidate(*id);
+        }
+        for id in &decision.preemptions {
+            cache.invalidate(*id);
+        }
+        for p in &decision.placements {
+            cache.pin(p.job);
+        }
+        let extract_elapsed = extract_start.elapsed();
 
-        self.timings.push(CycleTiming {
+        timings.push(CycleTiming {
             pending: view.pending.len(),
             considered: considered.len(),
             milp_vars,
             milp_rows,
             total: cycle_start.elapsed(),
+            generate: generate_elapsed,
+            compile: compile_elapsed,
             solver: solver_elapsed,
+            extract: extract_elapsed,
             nodes,
         });
         decision
     }
 }
 
-/// Greedily packs a gang of `tasks` nodes into the racks of `allowed_mask`,
+/// Greedily packs a gang of `tasks` nodes into the racks of `allowed`,
 /// fullest-first. Returns `None` if the allowed racks cannot hold the gang.
-fn pack_gang(tasks: u32, allowed_mask: u64, free: &[u32]) -> Option<Vec<(PartitionId, u32)>> {
+fn pack_gang(tasks: u32, allowed: RackMask, free: &[u32]) -> Option<Vec<(PartitionId, u32)>> {
     let mut racks: Vec<(usize, u32)> = free
         .iter()
         .enumerate()
-        .filter(|(p, f)| allowed_mask & (1 << p) != 0 && **f > 0)
+        .filter(|(p, f)| allowed.contains(*p) && **f > 0)
         .map(|(p, f)| (p, *f))
         .collect();
-    racks.sort_by(|a, b| b.1.cmp(&a.1));
+    racks.sort_by_key(|r| std::cmp::Reverse(r.1));
     let mut remaining = tasks;
     let mut alloc = Vec::new();
     for (p, f) in racks {
@@ -798,7 +831,7 @@ mod tests {
         ];
         // One job at a time: both can still finish by t=400.
         let m = engine(1, 4).run(&jobs, &mut s).unwrap();
-        assert_eq!(m.slo_miss_rate(), 0.0, "{:?}", m.outcomes);
+        assert_eq!(m.slo_miss_pct(), 0.0, "{:?}", m.outcomes);
     }
 
     #[test]
@@ -830,15 +863,14 @@ mod tests {
             slo_start < be_start,
             "SLO first: slo={slo_start} be={be_start}"
         );
-        assert_eq!(m.slo_miss_rate(), 0.0);
+        assert_eq!(m.slo_miss_pct(), 0.0);
     }
 
     #[test]
     fn worked_example_scenario_two_lets_the_be_job_go_first() {
         // Fig. 5 scenario 2: runtimes ~ U(2.5, 7.5) min; the SLO job is safe
         // even if both hit worst case, so the BE job should start first.
-        let dist =
-            RuntimeDistribution::Uniform(threesigma_histogram::Uniform::new(150.0, 450.0));
+        let dist = RuntimeDistribution::Uniform(threesigma_histogram::Uniform::new(150.0, 450.0));
         let mut map = HashMap::new();
         map.insert(JobId(1), dist.clone());
         map.insert(JobId(2), dist);
@@ -864,18 +896,39 @@ mod tests {
             be.start_time,
             slo.start_time
         );
-        assert_eq!(m.slo_miss_rate(), 0.0);
+        assert_eq!(m.slo_miss_pct(), 0.0);
     }
 
     #[test]
     fn prefers_preferred_racks() {
         let mut s = scheduler(EstimateSource::OraclePoint);
-        let jobs = vec![JobSpec::new(1, 0.0, 2, 100.0, JobKind::Slo { deadline: 1000.0 })
-            .with_preference(vec![PartitionId(1)], 1.5)
-            .with_weight(10.0)];
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 2, 100.0, JobKind::Slo { deadline: 1000.0 })
+                .with_preference(vec![PartitionId(1)], 1.5)
+                .with_weight(10.0),
+        ];
         let m = engine(2, 2).run(&jobs, &mut s).unwrap();
         assert_eq!(m.outcomes[0].on_preferred, Some(true));
         assert_eq!(m.outcomes[0].measured_runtime, Some(100.0));
+    }
+
+    #[test]
+    fn sixty_five_rack_cluster_schedules_on_high_racks() {
+        // Regression: the seed's u64 masks wrapped at 64 partitions
+        // (`1u64 << 64` is a masked shift in release builds, so rack 64
+        // aliased rack 0). A job preferring rack 64 must run there,
+        // unscaled, on a 65-rack cluster.
+        let mut s = scheduler(EstimateSource::OraclePoint);
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 2, 100.0, JobKind::Slo { deadline: 1000.0 })
+                .with_preference(vec![PartitionId(64)], 1.5)
+                .with_weight(10.0),
+            JobSpec::new(2, 0.0, 4, 100.0, JobKind::BestEffort),
+        ];
+        let m = engine(65, 2).run(&jobs, &mut s).unwrap();
+        assert_eq!(m.outcomes[0].on_preferred, Some(true));
+        assert_eq!(m.outcomes[0].measured_runtime, Some(100.0));
+        assert_eq!(m.completion_rate(), 1.0);
     }
 
     #[test]
@@ -891,10 +944,11 @@ mod tests {
             EstimateSource::Injected(Arc::new(map)),
             PredictorConfig::default(),
         );
-        let jobs = vec![JobSpec::new(1, 0.0, 1, 100.0, JobKind::Slo { deadline: 400.0 })
-            .with_weight(10.0)];
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 1, 100.0, JobKind::Slo { deadline: 400.0 }).with_weight(10.0),
+        ];
         let m = engine(1, 2).run(&jobs, &mut s).unwrap();
-        assert_eq!(m.slo_miss_rate(), 0.0, "{:?}", m.outcomes[0]);
+        assert_eq!(m.slo_miss_pct(), 0.0, "{:?}", m.outcomes[0]);
     }
 
     #[test]
@@ -910,10 +964,11 @@ mod tests {
             EstimateSource::Injected(Arc::new(map)),
             PredictorConfig::default(),
         );
-        let jobs = vec![JobSpec::new(1, 0.0, 1, 100.0, JobKind::Slo { deadline: 400.0 })
-            .with_weight(10.0)];
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 1, 100.0, JobKind::Slo { deadline: 400.0 }).with_weight(10.0),
+        ];
         let m = engine(1, 2).run(&jobs, &mut s).unwrap();
-        assert_eq!(m.slo_miss_rate(), 100.0);
+        assert_eq!(m.slo_miss_pct(), 100.0);
         assert_eq!(m.count(threesigma_cluster::JobState::Canceled), 1);
     }
 
@@ -939,6 +994,53 @@ mod tests {
     }
 
     #[test]
+    fn pending_job_is_reestimated_after_history_sharpens() {
+        // Stale-estimate regression: the seed froze a job's distribution at
+        // submission. Here history says ~2000 s; job 1 (same attributes)
+        // actually runs 60 s while job 2 waits behind it with a 400 s
+        // deadline. Frozen at submission, job 2's step utility is zero at
+        // every slot forever — it would never be placed. Re-estimating
+        // pending jobs once the history epoch moves lets job 1's completion
+        // sharpen job 2's distribution, so it is placed and meets its
+        // deadline.
+        let attrs = || {
+            threesigma_cluster::Attributes::new()
+                .with("user", "u")
+                .with("job_name", "j")
+        };
+        let history: Vec<JobSpec> = (0..3)
+            .map(|i| {
+                JobSpec::new(100 + i, 0.0, 1, 2000.0, JobKind::BestEffort).with_attributes(attrs())
+            })
+            .collect();
+        let mut s = ThreeSigmaScheduler::new(
+            SchedConfig {
+                oe_mode: OverestimateMode::Off,
+                cancel_hopeless: false,
+                ..SchedConfig::default()
+            },
+            EstimateSource::Predicted,
+            PredictorConfig::default(),
+        );
+        s.pretrain(&history);
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 1, 60.0, JobKind::BestEffort).with_attributes(attrs()),
+            JobSpec::new(2, 5.0, 1, 60.0, JobKind::Slo { deadline: 400.0 })
+                .with_weight(10.0)
+                .with_attributes(attrs()),
+        ];
+        let m = engine(1, 1).run(&jobs, &mut s).unwrap();
+        assert_eq!(m.slo_miss_pct(), 0.0, "{:?}", m.outcomes);
+        let finish1 = m.outcomes[0].finish_time.unwrap();
+        let start2 = m.outcomes[1].start_time.unwrap();
+        assert!(
+            start2 >= finish1,
+            "job 2 placed only after the completion at {finish1} sharpened its estimate \
+             (started {start2})"
+        );
+    }
+
+    #[test]
     fn preempts_be_for_urgent_slo() {
         // BE job occupies the whole cluster for a long time; an SLO job
         // arrives with a tight deadline — only preemption can meet it.
@@ -948,7 +1050,7 @@ mod tests {
             JobSpec::new(2, 10.0, 2, 100.0, JobKind::Slo { deadline: 400.0 }).with_weight(10.0),
         ];
         let m = engine(1, 2).run(&jobs, &mut s).unwrap();
-        assert_eq!(m.slo_miss_rate(), 0.0, "{:?}", m.outcomes);
+        assert_eq!(m.slo_miss_pct(), 0.0, "{:?}", m.outcomes);
         assert!(m.outcomes[0].preemptions >= 1, "BE was preempted");
     }
 
@@ -960,14 +1062,23 @@ mod tests {
         assert!(!s.timings().is_empty());
         let t = s.timings()[0];
         assert!(t.total >= t.solver);
+        // The stage breakdown covers disjoint intervals of the cycle.
+        let staged = t.generate + t.compile + t.solver + t.extract;
+        assert!(
+            t.total >= staged,
+            "total {:?} < sum of stages {:?}",
+            t.total,
+            staged
+        );
+        assert!(t.generate > Duration::ZERO);
+        assert!(t.compile > Duration::ZERO);
     }
 
     #[test]
     fn plan_records_show_deferrals() {
         // Fig. 5 scenario 2 (BE first, SLO deferred): the first cycle's
         // plan must record the SLO job as deliberately deferred.
-        let dist =
-            RuntimeDistribution::Uniform(threesigma_histogram::Uniform::new(150.0, 450.0));
+        let dist = RuntimeDistribution::Uniform(threesigma_histogram::Uniform::new(150.0, 450.0));
         let mut map = HashMap::new();
         map.insert(JobId(1), dist.clone());
         map.insert(JobId(2), dist);
@@ -1018,31 +1129,39 @@ mod tests {
     #[test]
     fn pack_gang_fullest_first() {
         // free = [1, 4, 2]; allowed = all; gang of 5 → racks 1 then 2.
-        let alloc = pack_gang(5, 0b111, &[1, 4, 2]).unwrap();
+        let all = RackMask::all(3);
+        let alloc = pack_gang(5, all, &[1, 4, 2]).unwrap();
         assert_eq!(alloc[0], (PartitionId(1), 4));
         assert_eq!(alloc[1], (PartitionId(2), 1));
         // Gang of 8 overflows: None.
-        assert!(pack_gang(8, 0b111, &[1, 4, 2]).is_none());
+        assert!(pack_gang(8, all, &[1, 4, 2]).is_none());
         // Mask restricts racks.
-        let only0 = pack_gang(1, 0b001, &[1, 4, 2]).unwrap();
-        assert_eq!(only0, vec![(PartitionId(0), 1)]);
-        assert!(pack_gang(2, 0b001, &[1, 4, 2]).is_none());
+        let only0 = RackMask::of(&[PartitionId(0)]);
+        let alloc0 = pack_gang(1, only0, &[1, 4, 2]).unwrap();
+        assert_eq!(alloc0, vec![(PartitionId(0), 1)]);
+        assert!(pack_gang(2, only0, &[1, 4, 2]).is_none());
+    }
+
+    fn bimodal_history() -> Vec<JobSpec> {
+        (0..30)
+            .map(|i| {
+                let rt = if i % 2 == 0 { 50.0 } else { 150.0 };
+                JobSpec::new(1000 + i, i as f64, 1, rt, JobKind::BestEffort)
+                    .with_attributes(threesigma_cluster::Attributes::new().with("user", "pat"))
+            })
+            .collect()
+    }
+
+    fn pat_probe() -> JobSpec {
+        JobSpec::new(1, 0.0, 1, 100.0, JobKind::BestEffort)
+            .with_attributes(threesigma_cluster::Attributes::new().with("user", "pat"))
     }
 
     #[test]
     fn padded_source_is_more_conservative_than_point() {
         // Same history; the padded estimate must exceed the raw point.
-        let history: Vec<JobSpec> = (0..30)
-            .map(|i| {
-                let rt = if i % 2 == 0 { 50.0 } else { 150.0 };
-                JobSpec::new(1000 + i, i as f64, 1, rt, JobKind::BestEffort).with_attributes(
-                    threesigma_cluster::Attributes::new().with("user", "pat"),
-                )
-            })
-            .collect();
-        let probe = JobSpec::new(1, 0.0, 1, 100.0, JobKind::BestEffort).with_attributes(
-            threesigma_cluster::Attributes::new().with("user", "pat"),
-        );
+        let history = bimodal_history();
+        let probe = pat_probe();
         let mut plain = scheduler(EstimateSource::PredictedPoint);
         plain.pretrain(&history);
         let mut padded = scheduler(EstimateSource::PredictedPadded { sigmas: 1.0 });
@@ -1052,6 +1171,35 @@ mod tests {
         assert!(
             p_padded > p_plain + 10.0,
             "padded {p_padded} vs plain {p_plain}"
+        );
+    }
+
+    #[test]
+    fn padded_source_pads_around_its_own_distribution_mean() {
+        // The padding base and the variance must come from the same
+        // estimator: at 0σ the padded estimate degenerates to the
+        // distribution's mean, and it grows linearly in σ around that base.
+        let history = bimodal_history();
+        let probe = pat_probe();
+        let est = |sigmas: f64| {
+            let mut s = scheduler(EstimateSource::PredictedPadded { sigmas });
+            s.pretrain(&history);
+            s.estimate(&probe).mean()
+        };
+        let e0 = est(0.0);
+        let e1 = est(1.0);
+        let e2 = est(2.0);
+        let mut dist_sched = scheduler(EstimateSource::Predicted);
+        dist_sched.pretrain(&history);
+        let dist_mean = dist_sched.estimate(&probe).mean();
+        assert!(
+            (e0 - dist_mean).abs() < 1e-9,
+            "0σ padding is the distribution mean: {e0} vs {dist_mean}"
+        );
+        assert!(e1 > e0, "padding is positive: {e1} vs {e0}");
+        assert!(
+            ((e2 - e1) - (e1 - e0)).abs() < 1e-6,
+            "linear in σ around one base: {e0} {e1} {e2}"
         );
     }
 
@@ -1071,7 +1219,11 @@ mod tests {
         ];
         let m = engine(1, 2).run(&jobs, &mut s).unwrap();
         assert_eq!(m.preemptions, 0);
-        assert_eq!(m.slo_miss_rate(), 100.0, "without preemption the SLO job is stuck");
+        assert_eq!(
+            m.slo_miss_pct(),
+            100.0,
+            "without preemption the SLO job is stuck"
+        );
     }
 
     #[test]
@@ -1101,14 +1253,16 @@ mod tests {
             })
             .collect();
         s.pretrain(&history);
-        let jobs = vec![JobSpec::new(1, 0.0, 1, 100.0, JobKind::Slo { deadline: 250.0 })
-            .with_weight(10.0)
-            .with_attributes(
-                threesigma_cluster::Attributes::new()
-                    .with("user", "alice")
-                    .with("job_name", "etl"),
-            )];
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 1, 100.0, JobKind::Slo { deadline: 250.0 })
+                .with_weight(10.0)
+                .with_attributes(
+                    threesigma_cluster::Attributes::new()
+                        .with("user", "alice")
+                        .with("job_name", "etl"),
+                ),
+        ];
         let m = engine(1, 2).run(&jobs, &mut s).unwrap();
-        assert_eq!(m.slo_miss_rate(), 0.0);
+        assert_eq!(m.slo_miss_pct(), 0.0);
     }
 }

@@ -207,9 +207,21 @@ mod tests {
     fn expected_utility_never_exceeds_weight() {
         let d = uniform(1.0, 100.0);
         for curve in [
-            UtilityCurve::SloStep { weight: 7.0, deadline: 50.0 },
-            UtilityCurve::SloDecay { weight: 7.0, deadline: 50.0, zero_at: 200.0 },
-            UtilityCurve::BeLinear { weight: 7.0, submit: 0.0, horizon: 100.0, floor: 0.1 },
+            UtilityCurve::SloStep {
+                weight: 7.0,
+                deadline: 50.0,
+            },
+            UtilityCurve::SloDecay {
+                weight: 7.0,
+                deadline: 50.0,
+                zero_at: 200.0,
+            },
+            UtilityCurve::BeLinear {
+                weight: 7.0,
+                submit: 0.0,
+                horizon: 100.0,
+                floor: 0.1,
+            },
         ] {
             for start in [0.0, 25.0, 80.0, 500.0] {
                 let e = curve.expected(start, &d);
@@ -221,7 +233,12 @@ mod tests {
     #[test]
     fn be_expected_utility_decreases_with_start() {
         let d = uniform(10.0, 50.0);
-        let u = UtilityCurve::BeLinear { weight: 1.0, submit: 0.0, horizon: 1000.0, floor: 0.02 };
+        let u = UtilityCurve::BeLinear {
+            weight: 1.0,
+            submit: 0.0,
+            horizon: 1000.0,
+            floor: 0.02,
+        };
         let mut prev = f64::INFINITY;
         for start in [0.0, 100.0, 400.0, 900.0, 2000.0] {
             let e = u.expected(start, &d);
@@ -235,8 +252,15 @@ mod tests {
     #[test]
     fn decay_curve_dominates_step_curve() {
         let d = uniform(1.0, 300.0);
-        let step = UtilityCurve::SloStep { weight: 5.0, deadline: 100.0 };
-        let decay = UtilityCurve::SloDecay { weight: 5.0, deadline: 100.0, zero_at: 500.0 };
+        let step = UtilityCurve::SloStep {
+            weight: 5.0,
+            deadline: 100.0,
+        };
+        let decay = UtilityCurve::SloDecay {
+            weight: 5.0,
+            deadline: 100.0,
+            zero_at: 500.0,
+        };
         for start in [0.0, 50.0, 150.0, 300.0] {
             assert!(decay.expected(start, &d) >= step.expected(start, &d) - 1e-12);
         }

@@ -193,7 +193,7 @@ impl Dist for RuntimeDistribution {
                     pts
                 }
             }
-            _ => self.quantile_grid(max_points.min(DEFAULT_MASS_POINTS).max(1)),
+            _ => self.quantile_grid(max_points.clamp(1, DEFAULT_MASS_POINTS)),
         }
     }
 }
@@ -336,7 +336,13 @@ mod tests {
         // Scenario 1 of Fig. 5: U(0, 10); survival at 2.5-step boundaries is
         // 1.0, 0.75, 0.5, 0.25, 0.
         let d = uniform(0.0, 10.0);
-        for (t, s) in [(0.0, 1.0), (2.5, 0.75), (5.0, 0.5), (7.5, 0.25), (10.0, 0.0)] {
+        for (t, s) in [
+            (0.0, 1.0),
+            (2.5, 0.75),
+            (5.0, 0.5),
+            (7.5, 0.25),
+            (10.0, 0.0),
+        ] {
             assert!((d.survival(t) - s).abs() < 1e-12, "t={t}");
         }
     }

@@ -289,8 +289,7 @@ impl Solver {
                     // SOS1 branching if the variable belongs to a group with
                     // several fractional members; variable dichotomy
                     // otherwise.
-                    let children =
-                        self.branch_children(model, &lp.values, branch_var, tol, &node);
+                    let children = self.branch_children(model, &lp.values, branch_var, tol, &node);
                     for changes in children {
                         let child = Node {
                             bound: lp.objective,
@@ -314,7 +313,13 @@ impl Solver {
             (None, true) => MipStatus::Infeasible,
             (None, false) => MipStatus::NoSolution,
         };
-        self.finish(status, incumbent, best_remaining.min(best_bound), nodes, lp_iterations)
+        self.finish(
+            status,
+            incumbent,
+            best_remaining.min(best_bound),
+            nodes,
+            lp_iterations,
+        )
     }
 
     fn finish(
@@ -577,7 +582,9 @@ mod tests {
         // Tight budget still yields a feasible (possibly optimal) solution
         // thanks to the rounding heuristic.
         let mut m = Model::new();
-        let vars: Vec<_> = (0..12).map(|i| m.add_binary(1.0 + (i % 5) as f64)).collect();
+        let vars: Vec<_> = (0..12)
+            .map(|i| m.add_binary(1.0 + (i % 5) as f64))
+            .collect();
         let terms: Vec<_> = vars
             .iter()
             .enumerate()
@@ -691,7 +698,10 @@ mod tests {
     fn equality_constrained_binaries() {
         // Exactly two of four must be picked; maximise their value.
         let mut m = Model::new();
-        let vars: Vec<_> = [4.0, 1.0, 3.0, 2.0].iter().map(|&u| m.add_binary(u)).collect();
+        let vars: Vec<_> = [4.0, 1.0, 3.0, 2.0]
+            .iter()
+            .map(|&u| m.add_binary(u))
+            .collect();
         let terms: Vec<_> = vars.iter().map(|v| (*v, 1.0)).collect();
         m.add_constraint(&terms, Cmp::Eq, 2.0);
         let s = Solver::new().solve(&m);

@@ -12,6 +12,9 @@
 //! branch-and-bound node, so the implementation favours predictable `O(m²)`
 //! pivots and `O(nm)` pricing over sparse-factorisation sophistication.
 
+// Dense kernel loops index several parallel arrays at once; the indexed
+// form is clearer than zipped iterators here.
+#![allow(clippy::needless_range_loop)]
 use crate::model::{Cmp, Model};
 
 /// Feasibility tolerance on bounds and rows.
@@ -312,7 +315,11 @@ impl Tableau {
                 continue;
             }
             let d = self.reduced_cost(j, cost, &y);
-            let improving = if sigma > 0.0 { d > OPT_TOL } else { d < -OPT_TOL };
+            let improving = if sigma > 0.0 {
+                d > OPT_TOL
+            } else {
+                d < -OPT_TOL
+            };
             if !improving {
                 continue;
             }
@@ -321,7 +328,7 @@ impl Tableau {
                 entering = Some((j, score, sigma));
                 break;
             }
-            if entering.map_or(true, |(_, s, _)| score > s) {
+            if entering.is_none_or(|(_, s, _)| score > s) {
                 entering = Some((j, score, sigma));
             }
         }
@@ -364,8 +371,7 @@ impl Tableau {
             let better = match leaving {
                 None => ratio < t_max,
                 Some(cur) => {
-                    ratio < t_max - 1e-12
-                        || (ratio < t_max + 1e-12 && bland && j < self.basis[cur])
+                    ratio < t_max - 1e-12 || (ratio < t_max + 1e-12 && bland && j < self.basis[cur])
                 }
             };
             if better {
@@ -435,8 +441,7 @@ impl Tableau {
                     return Ok(true);
                 }
                 let m = self.m;
-                let pivot_row: Vec<f64> =
-                    (0..m).map(|k| self.binv[r * m + k] / piv).collect();
+                let pivot_row: Vec<f64> = (0..m).map(|k| self.binv[r * m + k] / piv).collect();
                 for i in 0..m {
                     if i == r {
                         continue;
@@ -866,10 +871,7 @@ mod tests {
         let s = solve_lp(&m);
         assert_eq!(s.outcome, LpOutcome::Optimal);
         assert!(m.is_feasible(
-            &s.values
-                .iter()
-                .map(|v| v.max(0.0))
-                .collect::<Vec<_>>(),
+            &s.values.iter().map(|v| v.max(0.0)).collect::<Vec<_>>(),
             1e-5
         ));
         assert_near(s.objective, m.objective_value(&s.values));

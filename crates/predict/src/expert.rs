@@ -99,7 +99,12 @@ pub struct ValueState {
 
 impl ValueState {
     /// Creates empty state.
-    pub fn new(max_bins: usize, recent_window: usize, ewma_alpha: f64, sample_cap: Option<usize>) -> Self {
+    pub fn new(
+        max_bins: usize,
+        recent_window: usize,
+        ewma_alpha: f64,
+        sample_cap: Option<usize>,
+    ) -> Self {
         assert!(recent_window >= 1, "recent window must hold a sample");
         Self {
             hist: StreamingHistogram::new(max_bins),

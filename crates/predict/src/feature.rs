@@ -166,10 +166,7 @@ mod tests {
     fn standard_set_has_global_fallback_and_no_class() {
         let fs = FeatureSet::standard();
         assert!(fs.features.iter().any(|f| f.keys.is_empty()));
-        assert!(fs
-            .features
-            .iter()
-            .all(|f| !f.keys.contains(&"class")));
+        assert!(fs.features.iter().all(|f| !f.keys.contains(&"class")));
         assert!(!fs.is_empty());
     }
 }

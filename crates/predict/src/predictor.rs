@@ -138,8 +138,7 @@ impl Predictor {
                             None => true,
                             Some((b_nmae, b_hist, ..)) => {
                                 nmae < *b_nmae - 1e-12
-                                    || ((nmae - *b_nmae).abs() <= 1e-12
-                                        && state.count() > *b_hist)
+                                    || ((nmae - *b_nmae).abs() <= 1e-12 && state.count() > *b_hist)
                             }
                         };
                         if better {
@@ -284,7 +283,10 @@ mod tests {
         let mut p = Predictor::new(PredictorConfig::default());
         for i in 0..30 {
             p.observe(&attrs("alice", "shared"), 100.0);
-            p.observe(&attrs(&format!("other{}", i % 5), "shared"), 2000.0 + i as f64 * 37.0);
+            p.observe(
+                &attrs(&format!("other{}", i % 5), "shared"),
+                2000.0 + i as f64 * 37.0,
+            );
         }
         let pred = p.predict(&attrs("alice", "shared")).unwrap();
         assert!(
@@ -323,7 +325,12 @@ mod tests {
         }
         let pred = p.predict(&attrs("dave", "etl")).unwrap();
         // A recent-window expert should have won; estimate near new regime.
-        assert!(pred.point > 800.0, "point {} via {:?}", pred.point, pred.estimator);
+        assert!(
+            pred.point > 800.0,
+            "point {} via {:?}",
+            pred.point,
+            pred.estimator
+        );
     }
 
     #[test]
@@ -413,9 +420,7 @@ mod tests {
         let snap = p.snapshot();
         let json = serde_json::to_string(&snap).unwrap();
         let mut fresh = Predictor::new(PredictorConfig::default());
-        fresh
-            .restore(serde_json::from_str(&json).unwrap())
-            .unwrap();
+        fresh.restore(serde_json::from_str(&json).unwrap()).unwrap();
         let after = fresh.predict(&attrs("ana", "etl")).unwrap();
         // JSON roundtrips can flip last-ulp ties between experts; the
         // restored prediction must agree to float noise.
@@ -430,7 +435,8 @@ mod tests {
         p.observe(&attrs("x", "y"), 10.0);
         let mut snap = p.snapshot();
         // Corrupt one entry with an out-of-range feature index.
-        snap.entries.push((999, "v".into(), snap.entries[0].2.clone()));
+        snap.entries
+            .push((999, "v".into(), snap.entries[0].2.clone()));
         let mut fresh = Predictor::new(PredictorConfig::default());
         assert_eq!(fresh.restore(snap), Err(999));
     }

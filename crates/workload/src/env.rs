@@ -300,7 +300,11 @@ mod tests {
 
     #[test]
     fn every_environment_has_a_valid_mixture() {
-        for env in [Environment::Google, Environment::HedgeFund, Environment::Mustang] {
+        for env in [
+            Environment::Google,
+            Environment::HedgeFund,
+            Environment::Mustang,
+        ] {
             let classes = env.classes();
             assert!(!classes.is_empty());
             let total: f64 = classes.iter().map(|c| c.weight).sum();

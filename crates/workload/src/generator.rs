@@ -113,11 +113,7 @@ pub struct Trace {
 impl Trace {
     /// Offered load: submitted machine-time over cluster space-time.
     pub fn offered_load(&self, cluster_nodes: u32, duration: f64) -> f64 {
-        let work: f64 = self
-            .jobs
-            .iter()
-            .map(|j| j.tasks as f64 * j.duration)
-            .sum();
+        let work: f64 = self.jobs.iter().map(|j| j.tasks as f64 * j.duration).sum();
         work / (cluster_nodes as f64 * duration)
     }
 
@@ -174,8 +170,7 @@ impl BodySampler {
         let mut group_offsets = vec![0];
         for (ci, class) in classes.iter().enumerate() {
             for u in 0..class.num_users {
-                let scale =
-                    (class.ln_runtime_mu + class.scale_sigma * standard_normal(rng)).exp();
+                let scale = (class.ln_runtime_mu + class.scale_sigma * standard_normal(rng)).exp();
                 groups.push(UserGroup {
                     class_idx: ci,
                     user: format!("{}_u{}", class.name, u),
@@ -284,8 +279,14 @@ pub fn generate(config: &WorkloadConfig) -> Trace {
     let mut pretrain = Vec::with_capacity(config.pretrain_jobs);
     for i in 0..config.pretrain_jobs {
         let body = sampler.sample(&mut rng);
-        let job = JobSpec::new(next_id, i as f64, body.tasks, body.duration, JobKind::BestEffort)
-            .with_attributes(body.attributes);
+        let job = JobSpec::new(
+            next_id,
+            i as f64,
+            body.tasks,
+            body.duration,
+            JobKind::BestEffort,
+        )
+        .with_attributes(body.attributes);
         pretrain.push(job);
         next_id += 1;
     }

@@ -34,7 +34,7 @@ fn main() {
         run(kind, &trace, &exp)
             .expect("simulation runs")
             .metrics
-            .slo_miss_rate()
+            .slo_miss_pct()
     };
 
     // Each system's own 320-node miss rate is its floor (some late long
@@ -68,9 +68,9 @@ fn main() {
              scheduler degrades below {b} — runtime distributions bought {} machines.",
             b - a
         ),
-        (Some(a), Some(b)) => println!(
-            "3Sigma holds its floor down to {a} nodes, Prio down to {b}."
-        ),
+        (Some(a), Some(b)) => {
+            println!("3Sigma holds its floor down to {a} nodes, Prio down to {b}.")
+        }
         (Some(a), None) => println!(
             "Only 3Sigma stays near its floor (down to {a} nodes); the priority\n\
              scheduler degrades everywhere."

@@ -28,7 +28,11 @@ impl AttributeSource for Attrs<'_> {
 }
 
 fn main() {
-    for env in [Environment::Google, Environment::HedgeFund, Environment::Mustang] {
+    for env in [
+        Environment::Google,
+        Environment::HedgeFund,
+        Environment::Mustang,
+    ] {
         let config = WorkloadConfig {
             duration: 3.0 * 3600.0,
             pretrain_jobs: 4000,
@@ -70,9 +74,17 @@ fn main() {
         let hist = error_histogram(&errors);
         println!("estimate-error histogram (Fig. 2d):");
         for (center, pct) in &hist.buckets {
-            println!("  {center:>5}%  {:>5.1}%  {}", pct, "#".repeat((*pct).round() as usize));
+            println!(
+                "  {center:>5}%  {:>5.1}%  {}",
+                pct,
+                "#".repeat((*pct).round() as usize)
+            );
         }
-        println!("   tail  {:>5.1}%  {}", hist.tail_pct, "#".repeat(hist.tail_pct.round() as usize));
+        println!(
+            "   tail  {:>5.1}%  {}",
+            hist.tail_pct,
+            "#".repeat(hist.tail_pct.round() as usize)
+        );
 
         let mut top: Vec<_> = winners.into_iter().collect();
         top.sort_by_key(|(_, n)| std::cmp::Reverse(*n));

@@ -26,8 +26,11 @@ fn main() {
     let result = run(SchedulerKind::ThreeSigma, &trace, &experiment).expect("simulation runs");
 
     let m = &result.metrics;
-    println!("SLO miss rate     : {:>6.1} %", m.slo_miss_rate());
-    println!("goodput           : {:>6.1} machine-hours", m.goodput_hours());
+    println!("SLO miss rate     : {:>6.1} %", m.slo_miss_pct());
+    println!(
+        "goodput           : {:>6.1} machine-hours",
+        m.goodput_hours()
+    );
     println!(
         "  SLO / BE        : {:>6.1} / {:.1}",
         m.slo_goodput_hours(),

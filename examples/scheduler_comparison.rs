@@ -52,7 +52,7 @@ fn main() {
         println!(
             "{:<14} {:>10.1} {:>14.1} {:>14.1} {:>12.0} {:>12}",
             kind.name(),
-            m.slo_miss_rate(),
+            m.slo_miss_pct(),
             m.slo_goodput_hours(),
             m.be_goodput_hours(),
             m.mean_be_latency().unwrap_or(f64::NAN),

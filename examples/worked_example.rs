@@ -22,9 +22,7 @@ use std::sync::Arc;
 use threesigma_repro::cluster::{
     ClusterSpec, Engine, EngineConfig, JobId, JobKind, JobSpec, Metrics,
 };
-use threesigma_repro::core::sched::threesigma::{
-    EstimateSource, SchedConfig, ThreeSigmaScheduler,
-};
+use threesigma_repro::core::sched::threesigma::{EstimateSource, SchedConfig, ThreeSigmaScheduler};
 use threesigma_repro::core::{DiscreteDist, UtilityCurve};
 use threesigma_repro::histogram::{RuntimeDistribution, Uniform};
 use threesigma_repro::predict::PredictorConfig;
@@ -63,8 +61,16 @@ fn run_scenario(name: &str, lo_min: f64, hi_min: f64) -> Metrics {
     );
     // Both actually run for exactly 5 minutes (the shared mean).
     let jobs = vec![
-        JobSpec::new(1, 0.0, 1, 5.0 * MIN, JobKind::Slo { deadline: 15.0 * MIN })
-            .with_weight(10.0),
+        JobSpec::new(
+            1,
+            0.0,
+            1,
+            5.0 * MIN,
+            JobKind::Slo {
+                deadline: 15.0 * MIN,
+            },
+        )
+        .with_weight(10.0),
         JobSpec::new(2, 0.0, 1, 5.0 * MIN, JobKind::BestEffort),
     ];
     let engine = Engine::new(
@@ -80,13 +86,21 @@ fn run_scenario(name: &str, lo_min: f64, hi_min: f64) -> Metrics {
     let be = &metrics.outcomes[1];
     println!(
         "schedule chosen : {} first (SLO start {:.0}s, BE start {:.0}s)",
-        if slo.start_time < be.start_time { "SLO" } else { "BE" },
+        if slo.start_time < be.start_time {
+            "SLO"
+        } else {
+            "BE"
+        },
         slo.start_time.unwrap(),
         be.start_time.unwrap(),
     );
     println!(
         "SLO deadline    : {} (finished at {:.0}s, deadline 900s)",
-        if slo.deadline_met() == Some(true) { "met" } else { "MISSED" },
+        if slo.deadline_met() == Some(true) {
+            "met"
+        } else {
+            "MISSED"
+        },
         slo.finish_time.unwrap(),
     );
     println!("BE latency      : {:.0}s", be.latency().unwrap());

@@ -86,16 +86,16 @@ fn oracle_beats_or_matches_realistic_point_estimates() {
     let realist = run(SchedulerKind::PointRealEst, &trace, &exp).unwrap();
     let threesigma = run(SchedulerKind::ThreeSigma, &trace, &exp).unwrap();
     assert!(
-        oracle.metrics.slo_miss_rate() <= realist.metrics.slo_miss_rate() + 5.0,
+        oracle.metrics.slo_miss_pct() <= realist.metrics.slo_miss_pct() + 5.0,
         "oracle {:.1}% vs realist {:.1}%",
-        oracle.metrics.slo_miss_rate(),
-        realist.metrics.slo_miss_rate()
+        oracle.metrics.slo_miss_pct(),
+        realist.metrics.slo_miss_pct()
     );
     assert!(
-        threesigma.metrics.slo_miss_rate() <= realist.metrics.slo_miss_rate() + 5.0,
+        threesigma.metrics.slo_miss_pct() <= realist.metrics.slo_miss_pct() + 5.0,
         "3sigma {:.1}% vs realist {:.1}%",
-        threesigma.metrics.slo_miss_rate(),
-        realist.metrics.slo_miss_rate()
+        threesigma.metrics.slo_miss_pct(),
+        realist.metrics.slo_miss_pct()
     );
 }
 
@@ -109,7 +109,7 @@ fn rc_and_sc_clusters_agree_broadly() {
         ..quick_exp()
     };
     let rc = run(SchedulerKind::PointPerfEst, &trace, &rc_exp).unwrap();
-    let delta = (sc.metrics.slo_miss_rate() - rc.metrics.slo_miss_rate()).abs();
+    let delta = (sc.metrics.slo_miss_pct() - rc.metrics.slo_miss_pct()).abs();
     assert!(delta < 25.0, "SC/RC miss-rate delta {delta:.1} too large");
     assert!(rc.metrics.completion_rate() > 0.4);
 }
@@ -161,10 +161,10 @@ fn injected_distributions_flow_through_driver() {
     // Near-perfect information: should be in oracle territory.
     let oracle = run(SchedulerKind::PointPerfEst, &trace, &quick_exp()).unwrap();
     assert!(
-        r.metrics.slo_miss_rate() <= oracle.metrics.slo_miss_rate() + 10.0,
+        r.metrics.slo_miss_pct() <= oracle.metrics.slo_miss_pct() + 10.0,
         "injected {:.1}% vs oracle {:.1}%",
-        r.metrics.slo_miss_rate(),
-        oracle.metrics.slo_miss_rate()
+        r.metrics.slo_miss_pct(),
+        oracle.metrics.slo_miss_pct()
     );
 }
 

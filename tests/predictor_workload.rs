@@ -46,7 +46,11 @@ fn replay(env: Environment, seed: u64) -> Vec<(f64, f64)> {
 #[test]
 fn most_estimates_are_good_but_a_real_tail_exists() {
     // §2.1: 77–92 % of estimates within a factor of two; 8–23 % beyond.
-    for env in [Environment::Google, Environment::HedgeFund, Environment::Mustang] {
+    for env in [
+        Environment::Google,
+        Environment::HedgeFund,
+        Environment::Mustang,
+    ] {
         let pairs = replay(env, 11);
         assert!(pairs.len() > 50, "{env:?}: enough predictions");
         let off2 = fraction_off_by_factor(&pairs, 2.0);
@@ -87,7 +91,11 @@ fn mustang_has_many_very_accurate_estimates() {
 #[test]
 fn runtimes_are_heavy_tailed_in_all_environments() {
     // Fig. 2(a): orders of magnitude between median and the tail.
-    for env in [Environment::Google, Environment::HedgeFund, Environment::Mustang] {
+    for env in [
+        Environment::Google,
+        Environment::HedgeFund,
+        Environment::Mustang,
+    ] {
         let trace = generate(&WorkloadConfig {
             duration: 60.0,
             pretrain_jobs: 4000,

@@ -188,6 +188,45 @@ proptest! {
         prop_assert!(m.goodput_hours() <= 4.0 * m.end_time / 3600.0 + 1e-9);
     }
 
+    /// The precomputed suffix-sum survival table agrees *bitwise* with the
+    /// linear filter-and-sum scan it replaced — for raw, scaled, and
+    /// conditioned distributions, at support points (both sides of each
+    /// step) and at arbitrary query times.
+    #[test]
+    fn survival_table_matches_linear_scan(
+        samples in prop::collection::vec(1.0f64..1e4, 2..200),
+        queries in prop::collection::vec(-10.0f64..2e4, 1..20),
+        factor in 1.0f64..3.0,
+        elapsed_frac in 0.0f64..1.1,
+    ) {
+        let dist = RuntimeDistribution::from_samples(&samples, 40).unwrap();
+        let base = DiscreteDist::from_distribution(&dist, 40);
+        let dists = [
+            base.clone(),
+            base.scale(factor),
+            base.condition(base.upper() * elapsed_frac),
+        ];
+        for d in &dists {
+            let mut probes = queries.clone();
+            for &(t, _) in d.points() {
+                probes.extend([t, t - f64::EPSILON * t, t + f64::EPSILON * t]);
+            }
+            for t in probes {
+                prop_assert_eq!(
+                    d.survival(t).to_bits(),
+                    d.survival_linear(t).to_bits(),
+                    "survival({}) diverges from the linear scan", t
+                );
+                let cdf = d.cdf(t);
+                prop_assert_eq!(
+                    cdf.to_bits(),
+                    (1.0 - d.survival_linear(t)).to_bits(),
+                    "cdf({}) diverges from the linear scan", t
+                );
+            }
+        }
+    }
+
     /// Scaling a distribution scales its mean and survival support.
     #[test]
     fn scaling_is_linear(

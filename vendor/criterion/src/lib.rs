@@ -1,0 +1,192 @@
+//! Vendored minimal `criterion` — a wall-clock micro-benchmark harness.
+//!
+//! Offline replacement for the subset of the criterion API the workspace's
+//! `micro_latency` bench uses: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] (with `sample_size`/`measurement_time`),
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. It reports median / min / max ns-per-iteration from `sample_size`
+//! timed samples, after auto-calibrating the per-sample iteration count.
+//! There is no statistical regression analysis or HTML report.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's traditional name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the calibrated number of iterations and records the
+    /// total elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, mut f: F, config: Config) {
+    // Calibrate: grow the iteration count until one sample takes long
+    // enough to time reliably, or the per-sample budget is hit.
+    let budget =
+        config.measurement_time.max(Duration::from_millis(100)) / config.sample_size as u32;
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= budget.min(Duration::from_millis(20)) || iters >= 1 << 30 {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size.max(1) {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = samples_ns[samples_ns.len() / 2];
+    let min = samples_ns[0];
+    let max = *samples_ns.last().expect("non-empty");
+    println!(
+        "{id:<40} time: [{} {} {}]  ({} iters/sample, {} samples)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max),
+        iters,
+        samples_ns.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Benchmark registry/runner (minimal stand-in for criterion's `Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, f, self.config);
+        self
+    }
+
+    /// Starts a named group with locally overridable settings.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            config: self.config,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration overrides.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{id}", self.name), f, self.config);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($f:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($f(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_a_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

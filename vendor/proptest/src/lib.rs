@@ -1,0 +1,249 @@
+//! Vendored minimal `proptest` — deterministic randomized property testing.
+//!
+//! Offline replacement for the subset of the proptest API this workspace
+//! uses: the [`proptest!`] macro, range strategies over `f64`/integers,
+//! `prop::collection::vec`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, by design:
+//! * no shrinking — a failing case panics with the assertion message (the
+//!   sampled inputs are printed by the failure itself where the assertion
+//!   message includes them);
+//! * cases are seeded deterministically from the test's module path and
+//!   name, so failures are reproducible run-to-run;
+//! * the case count comes from `PROPTEST_CASES` (default 32).
+
+use std::ops::Range;
+
+/// Deterministic generator for property tests (xoshiro256++ seeded by
+/// FNV-1a of the test name).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates a generator seeded from a test identifier.
+    pub fn new(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        let mut sm = h;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        Self {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Number of cases per property (env `PROPTEST_CASES`, default 32).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32)
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128 - self.start as i128).max(1) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies (subset: [`collection::vec`]).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Sizes accepted by [`vec`]: an exact length or a half-open range.
+    pub trait IntoSizeRange {
+        /// Converts to a half-open `[lo, hi)` length range.
+        fn into_size_range(self) -> Range<usize>;
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_size_range(self) -> Range<usize> {
+            self..self + 1
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn into_size_range(self) -> Range<usize> {
+            self
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with lengths drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// Creates a `Vec` strategy from an element strategy and a size range.
+    pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let size = size.into_size_range();
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Each property runs [`cases()`] times with a deterministic per-test seed.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($p:pat_param in $s:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __cases = $crate::cases();
+                let mut __rng =
+                    $crate::TestRng::new(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cases {
+                    let _ = __case;
+                    $(let $p = $crate::Strategy::sample(&($s), &mut __rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (panics with the message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::new("bounds");
+        for _ in 0..1000 {
+            let f = crate::Strategy::sample(&(1.5f64..9.5), &mut rng);
+            assert!((1.5..9.5).contains(&f));
+            let u = crate::Strategy::sample(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&u));
+            let v = crate::Strategy::sample(&prop::collection::vec(0.0f64..1.0, 2..5), &mut rng);
+            assert!((2..5).contains(&v.len()));
+            let exact = crate::Strategy::sample(&prop::collection::vec(0u32..9, 3), &mut rng);
+            assert_eq!(exact.len(), 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = crate::TestRng::new("x");
+        let mut b = crate::TestRng::new("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #[test]
+        fn macro_compiles_and_runs(
+            mut values in prop::collection::vec(0.0f64..10.0, 1..20),
+            k in 1u64..5,
+        ) {
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert!(!values.is_empty());
+            prop_assert!((1..5).contains(&k));
+            prop_assert_eq!(values.len(), values.len());
+        }
+    }
+}

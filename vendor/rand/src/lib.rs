@@ -1,0 +1,164 @@
+//! Vendored minimal `rand` — the subset of the rand 0.10 API used by this
+//! workspace, implemented over a xoshiro256++ generator.
+//!
+//! The build environment has no network access to a crates.io mirror, so the
+//! workspace vendors the handful of external crates it needs as small path
+//! crates. This one provides:
+//!
+//! * [`rngs::StdRng`] — a deterministic, seedable generator,
+//! * [`SeedableRng::seed_from_u64`] — the only constructor the workspace uses,
+//! * [`RngExt::random`] for `u64`, `u32`, `usize`, `f64`, and `bool`.
+//!
+//! The generator is xoshiro256++ seeded via splitmix64 — statistically strong
+//! enough for simulation workloads and fully deterministic across platforms.
+//! It is intentionally **not** a cryptographic RNG.
+
+/// Core trait: a source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next random 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (subset: `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed (expanded via splitmix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+mod sample {
+    /// Types that can be drawn uniformly from an RNG. Sealed: only the
+    /// primitive impls below exist.
+    pub trait Uniform: Sized {
+        fn draw<R: super::RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl Uniform for u64 {
+        fn draw<R: super::RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Uniform for u32 {
+        fn draw<R: super::RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+
+    impl Uniform for usize {
+        fn draw<R: super::RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Uniform for bool {
+        fn draw<R: super::RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision (the standard mapping).
+    impl Uniform for f64 {
+        fn draw<R: super::RngCore + ?Sized>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// Extension methods available on every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Draws a uniformly distributed value of type `T`.
+    ///
+    /// `f64` is uniform in `[0, 1)`; integer types cover their full range.
+    fn random<T: sample::Uniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Named generators (subset: [`rngs::StdRng`]).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn f64_in_unit_interval_with_sane_mean() {
+        let mut r = StdRng::seed_from_u64(42);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn u64_hits_high_bits() {
+        let mut r = StdRng::seed_from_u64(1);
+        assert!((0..64).any(|_| r.random::<u64>() > u64::MAX / 2));
+    }
+}

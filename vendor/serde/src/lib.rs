@@ -1,0 +1,540 @@
+//! Vendored minimal `serde` — value-tree serialization for the workspace.
+//!
+//! The build environment cannot reach a crates.io mirror, so the workspace
+//! vendors the external crates it needs. This crate replaces `serde` with a
+//! deliberately small design: instead of the full serde data model
+//! (`Serializer`/`Deserializer` visitors), types convert to and from a JSON
+//! [`Value`] tree. The `serde_json` path crate then renders/parses that tree
+//! as text. Derived impls (`#[derive(Serialize, Deserialize)]`, via the
+//! `derive` feature and the vendored `serde_derive` proc-macro) produce the
+//! same JSON shapes as real serde's defaults:
+//!
+//! * named structs → objects, fields in declaration order,
+//! * newtype structs → the inner value (transparent),
+//! * tuple structs → arrays; unit structs → null,
+//! * unit enum variants → `"Name"`,
+//! * newtype variants → `{"Name": inner}`,
+//! * struct variants → `{"Name": {..}}`; tuple variants → `{"Name": [..]}`.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// An ordered string-keyed map (preserves insertion order, like
+/// `serde_json`'s `preserve_order` feature).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a key/value pair (appends; callers never insert duplicates).
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        self.entries.push((key.into(), value));
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// A JSON value tree — the serialization data model of this vendored serde.
+///
+/// Integers keep their own variants so `u64`/`i64` round-trip exactly
+/// (JSON text of a 64-bit id must not go through `f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer (exact u64).
+    UInt(u64),
+    /// Negative integer (exact i64).
+    Int(i64),
+    /// Floating-point number (may be non-finite in memory).
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object.
+    Object(Map),
+}
+
+impl Value {
+    /// Object field lookup; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Numeric view of the value, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::UInt(u) => Some(*u as f64),
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Exact unsigned view, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// Exact signed view, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::UInt(u) if *u <= i64::MAX as u64 => Some(*u as i64),
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object view.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Types convertible into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` to a value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+// ---- primitive impls --------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::custom(format!("expected bool, got {}", value.kind())))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let u = value.as_u64().ok_or_else(|| {
+                    Error::custom(format!(
+                        "expected unsigned integer, got {}",
+                        value.kind()
+                    ))
+                })?;
+                <$t>::try_from(u)
+                    .map_err(|_| Error::custom(format!("integer {u} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::UInt(v as u64)
+                } else {
+                    Value::Int(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let i = value.as_i64().ok_or_else(|| {
+                    Error::custom(format!("expected integer, got {}", value.kind()))
+                })?;
+                <$t>::try_from(i)
+                    .map_err(|_| Error::custom(format!("integer {i} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, got {}", value.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        f64::deserialize(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom(format!("expected string, got {}", value.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+/// `&'static str` deserialization leaks the parsed string. Only used for
+/// static catalog data (e.g. job-class names), which is parsed a bounded
+/// number of times per process.
+impl Deserialize for &'static str {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let s = String::deserialize(value)?;
+        Ok(Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, got {}", value.kind())))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Vec::<T>::deserialize(value).map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::deserialize(value)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {n}")))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let arr = value.as_array().ok_or_else(|| {
+                    Error::custom(format!("expected tuple array, got {}", value.kind()))
+                })?;
+                let expect = [$($idx),+].len();
+                if arr.len() != expect {
+                    return Err(Error::custom(format!(
+                        "expected tuple of {expect}, got {}",
+                        arr.len()
+                    )));
+                }
+                Ok(($($name::deserialize(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+// ---- support for derived impls ---------------------------------------------
+
+/// Helpers the derive macro expands to. Not part of the public API surface.
+#[doc(hidden)]
+pub mod __private {
+    use super::{Deserialize, Error, Map, Value};
+
+    /// Deserializes one named struct field; a missing key is treated as
+    /// `null` (so `Option` fields tolerate omission, everything else reports
+    /// a missing-field error).
+    pub fn field<T: Deserialize>(obj: &Map, key: &str, ty: &str) -> Result<T, Error> {
+        match obj.get(key) {
+            Some(v) => T::deserialize(v).map_err(|e| Error::custom(format!("{ty}.{key}: {e}"))),
+            None => T::deserialize(&Value::Null)
+                .map_err(|_| Error::custom(format!("{ty}: missing field `{key}`"))),
+        }
+    }
+
+    /// Deserializes one positional element of a tuple struct/variant.
+    pub fn element<T: Deserialize>(arr: &[Value], idx: usize, ty: &str) -> Result<T, Error> {
+        let v = arr
+            .get(idx)
+            .ok_or_else(|| Error::custom(format!("{ty}: missing element {idx}")))?;
+        T::deserialize(v).map_err(|e| Error::custom(format!("{ty}[{idx}]: {e}")))
+    }
+
+    /// The object payload of an externally-tagged enum variant.
+    pub fn variant_payload<'v>(value: &'v Value, ty: &str) -> Result<(&'v str, &'v Value), Error> {
+        match value {
+            Value::String(name) => Ok((name, &Value::Null)),
+            Value::Object(m) if m.len() == 1 => {
+                let (name, payload) = m.iter().next().expect("len checked");
+                Ok((name, payload))
+            }
+            other => Err(Error::custom(format!(
+                "{ty}: expected variant string or single-key object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trips_exactly() {
+        let big: u64 = u64::MAX - 1;
+        let v = big.serialize();
+        assert_eq!(u64::deserialize(&v).unwrap(), big);
+    }
+
+    #[test]
+    fn option_none_is_null_and_tolerates_missing() {
+        let none: Option<f64> = None;
+        assert!(none.serialize().is_null());
+        let m = Map::new();
+        let back: Option<f64> = __private::field(&m, "missing", "T").unwrap();
+        assert_eq!(back, None);
+        let err = __private::field::<f64>(&m, "missing", "T").unwrap_err();
+        assert!(err.to_string().contains("missing field"));
+    }
+
+    #[test]
+    fn tuples_and_arrays_round_trip() {
+        let t = (1usize, "x".to_string(), 2.5f64);
+        let back: (usize, String, f64) = Deserialize::deserialize(&t.serialize()).unwrap();
+        assert_eq!(back, t);
+        let a = [1.0f64, 2.0, 3.0];
+        let back: [f64; 3] = Deserialize::deserialize(&a.serialize()).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn negative_integers_keep_sign() {
+        let v = (-5i64).serialize();
+        assert_eq!(i64::deserialize(&v).unwrap(), -5);
+        assert!(u64::deserialize(&v).is_err());
+    }
+}

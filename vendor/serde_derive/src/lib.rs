@@ -1,0 +1,435 @@
+//! Vendored minimal `serde_derive` — `#[derive(Serialize, Deserialize)]`.
+//!
+//! Written against the raw `proc_macro` API (no `syn`/`quote`, which are not
+//! available offline). Supports the shapes this workspace actually derives:
+//! non-generic structs (named, tuple/newtype, unit) and non-generic enums
+//! (unit, newtype, tuple, and struct variants), producing the same JSON
+//! encodings as real serde's defaults. Field `#[serde(...)]` attributes are
+//! not supported (the workspace uses none).
+
+#![allow(clippy::write_with_newline)]
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skips leading `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Splits a token sequence on commas at angle-bracket depth 0 (commas inside
+/// `(..)`/`[..]`/`{..}` are invisible because those are single groups).
+fn split_top_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth: i64 = 0;
+    for t in tokens {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parses the fields inside a brace group: returns field names in order.
+fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for chunk in split_top_commas(group.into_iter().collect()) {
+        let mut i = 0;
+        skip_attrs_and_vis(&chunk, &mut i);
+        match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            None => continue, // trailing comma
+            other => return Err(format!("unexpected token in field position: {other:?}")),
+        }
+    }
+    Ok(names)
+}
+
+/// Counts the fields of a tuple struct/variant paren group.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    split_top_commas(group.into_iter().collect())
+        .into_iter()
+        .filter(|chunk| {
+            let mut i = 0;
+            skip_attrs_and_vis(chunk, &mut i);
+            i < chunk.len()
+        })
+        .count()
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_commas(group.into_iter().collect()) {
+        let mut i = 0;
+        skip_attrs_and_vis(&chunk, &mut i);
+        let name = match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => continue, // trailing comma
+            other => return Err(format!("unexpected token in variant position: {other:?}")),
+        };
+        i += 1;
+        let fields = match chunk.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => Err(format!("expected `struct` or `enum`, got `{other}`")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---- Serialize --------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let body = serialize_fields_expr(fields, &|idx, _| format!("&self.{idx}"), &|n| {
+                format!("&self.{n}")
+            });
+            let _ = write!(
+                out,
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} => ::serde::Value::String({vn:?}.to_string()),\n"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::serialize(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn}({}) => {{\n\
+                                 let mut __m = ::serde::Map::new();\n\
+                                 __m.insert({vn:?}, {payload});\n\
+                                 ::serde::Value::Object(__m)\n\
+                             }}\n",
+                            binds.join(", ")
+                        );
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let mut inner = String::from("let mut __inner = ::serde::Map::new();\n");
+                        for f in fs {
+                            let _ = write!(
+                                inner,
+                                "__inner.insert({f:?}, ::serde::Serialize::serialize({f}));\n"
+                            );
+                        }
+                        let _ = write!(
+                            arms,
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                                 {inner}\
+                                 let mut __m = ::serde::Map::new();\n\
+                                 __m.insert({vn:?}, ::serde::Value::Object(__inner));\n\
+                                 ::serde::Value::Object(__m)\n\
+                             }}\n"
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            );
+        }
+    }
+    out
+}
+
+/// Expression serializing a set of fields, given accessors for tuple index /
+/// field name.
+fn serialize_fields_expr(
+    fields: &Fields,
+    tuple_access: &dyn Fn(usize, usize) -> String,
+    named_access: &dyn Fn(&str) -> String,
+) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Tuple(1) => format!("::serde::Serialize::serialize({})", tuple_access(0, 1)),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::serialize({})", tuple_access(k, *n)))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Named(fs) => {
+            let mut s = String::from("{ let mut __m = ::serde::Map::new();\n");
+            for f in fs {
+                let _ = write!(
+                    s,
+                    "__m.insert({f:?}, ::serde::Serialize::serialize({}));\n",
+                    named_access(f)
+                );
+            }
+            s.push_str("::serde::Value::Object(__m) }");
+            s
+        }
+    }
+}
+
+// ---- Deserialize ------------------------------------------------------------
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::__private::element(__a, {k}, {name:?})?"))
+                        .collect();
+                    format!(
+                        "let __a = __v.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(concat!({name:?}, \": expected array\")))?;\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        elems.join(", ")
+                    )
+                }
+                Fields::Named(fs) => {
+                    let inits: Vec<String> = fs
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::__private::field(__o, {f:?}, {name:?})?"))
+                        .collect();
+                    format!(
+                        "let __o = __v.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(concat!({name:?}, \": expected object\")))?;\n\
+                         ::std::result::Result::Ok({name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+            };
+            let _ = write!(
+                out,
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                let ctx = format!("{name}::{vn}");
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ =
+                            write!(arms, "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n");
+                    }
+                    Fields::Tuple(1) => {
+                        let _ = write!(
+                            arms,
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::deserialize(__payload)?)),\n"
+                        );
+                    }
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::__private::element(__a, {k}, {ctx:?})?"))
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{vn:?} => {{\n\
+                                 let __a = __payload.as_array().ok_or_else(|| \
+                                     ::serde::Error::custom(concat!({ctx:?}, \": expected array\")))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n\
+                             }}\n",
+                            elems.join(", ")
+                        );
+                    }
+                    Fields::Named(fs) => {
+                        let inits: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!("{f}: ::serde::__private::field(__o, {f:?}, {ctx:?})?")
+                            })
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{vn:?} => {{\n\
+                                 let __o = __payload.as_object().ok_or_else(|| \
+                                     ::serde::Error::custom(concat!({ctx:?}, \": expected object\")))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                             }}\n",
+                            inits.join(", ")
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let (__name, __payload) = ::serde::__private::variant_payload(__v, {name:?})?;\n\
+                         let _ = __payload;\n\
+                         match __name {{\n\
+                             {arms}\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"{name}: unknown variant `{{__other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            );
+        }
+    }
+    out
+}
+
+/// Derives `serde::Serialize` (value-tree flavour; see the vendored `serde`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour; see the vendored
+/// `serde`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(e) => compile_error(&e),
+    }
+}
