@@ -33,6 +33,9 @@ pub enum CliError {
     },
     /// Underlying I/O failure.
     Io(String),
+    /// A check-style subcommand (e.g. `simtest`) found a failure; the
+    /// message carries everything needed to reproduce it.
+    Failed(String),
 }
 
 impl fmt::Display for CliError {
@@ -49,6 +52,7 @@ impl fmt::Display for CliError {
                 expected,
             } => write!(f, "--{option} {value}: expected {expected}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Failed(msg) => write!(f, "{msg}"),
         }
     }
 }

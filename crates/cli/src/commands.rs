@@ -29,11 +29,18 @@ USAGE:
   threesigma compare  (--trace FILE | --env E [--hours H] [--seed N])
                       [--cycle SECS] [--ablations]
   threesigma analyze  (--trace FILE | --env E [--jobs N] [--seed N])
+  threesigma simtest  [--seed N | --iters K [--start-seed S]]
   threesigma help
 
 ENVIRONMENTS: google (default), hedgefund, mustang
 SCHEDULERS:   3sigma (default), 3sigma-nodist, 3sigma-nooe, 3sigma-noadapt,
               point-perfect, point-real, point-padded, backfill, prio
+
+SIMTEST: deterministic invariant-checked simulation campaigns.
+  --seed N     replay one seed and print the full byte-stable report
+  --iters K    smoke-run K fresh seeds (default start 1, or --start-seed S)
+  (no flags)   run the checked-in regression corpus
+  Any failure exits non-zero and echoes `FAILING SEED: N` for replay.
 ";
 
 fn parse_env(args: &Args) -> Result<Environment, CliError> {
@@ -233,6 +240,54 @@ pub fn cmd_analyze(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `simtest` — deterministic invariant-checked simulation campaigns.
+///
+/// Three modes: `--seed N` replays one seed and prints the full report;
+/// `--iters K [--start-seed S]` smoke-runs K fresh seeds; with no flags the
+/// checked-in corpus is run. Failures return [`CliError::Failed`] echoing
+/// `FAILING SEED: N` so any failure replays from one integer.
+pub fn cmd_simtest(args: &Args) -> Result<String, CliError> {
+    if let Some(raw) = args.get("seed") {
+        let seed: u64 = raw.parse().map_err(|_| CliError::BadValue {
+            option: "seed".into(),
+            value: raw.into(),
+            expected: "a u64 seed",
+        })?;
+        let report = threesigma_simtest::run_seed(seed);
+        let rendered = report.render();
+        return if report.passed() {
+            Ok(rendered)
+        } else {
+            Err(CliError::Failed(format!(
+                "FAILING SEED: {seed}\n{rendered}"
+            )))
+        };
+    }
+    let seeds: Vec<u64> = if args.get("iters").is_some() {
+        let iters: u64 = args.parse_or("iters", 10)?;
+        let start: u64 = args.parse_or("start-seed", 1)?;
+        (start..start.saturating_add(iters)).collect()
+    } else {
+        threesigma_simtest::corpus_seeds()
+    };
+    let mut out = String::new();
+    for seed in seeds {
+        let report = threesigma_simtest::run_seed(seed);
+        if !report.passed() {
+            return Err(CliError::Failed(format!(
+                "FAILING SEED: {seed}\nreplay with: threesigma simtest --seed {seed}\n{}",
+                report.render()
+            )));
+        }
+        out.push_str(&format!(
+            "seed {seed:>4} {:<16} jobs={:<3} faults={} PASS\n",
+            report.profile, report.jobs, report.faults
+        ));
+    }
+    out.push_str("all seeds passed\n");
+    Ok(out)
+}
+
 /// Dispatches a parsed command line; returns the text to print.
 pub fn dispatch(args: &Args) -> Result<String, CliError> {
     match args.command.as_str() {
@@ -240,6 +295,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "run" => cmd_run(args),
         "compare" => cmd_compare(args),
         "analyze" => cmd_analyze(args),
+        "simtest" => cmd_simtest(args),
         "help" => Ok(USAGE.to_owned()),
         other => Err(CliError::UnknownCommand(other.to_owned())),
     }
@@ -314,6 +370,15 @@ mod tests {
         let out = dispatch(&args).unwrap();
         assert!(out.contains("off by ≥2x"), "{out}");
         assert!(out.contains("percentiles"), "{out}");
+    }
+
+    #[test]
+    fn simtest_rejects_bad_seed() {
+        let args = Args::parse(["simtest", "--seed", "banana"]).unwrap();
+        assert!(matches!(
+            dispatch(&args).unwrap_err(),
+            CliError::BadValue { .. }
+        ));
     }
 
     #[test]

@@ -102,3 +102,23 @@ fn generate_run_analyze_pipeline() {
 
     let _ = std::fs::remove_dir_all(dir);
 }
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; covered in release by the CI simtest job"
+)]
+fn simtest_replay_is_byte_identical() {
+    let run = || {
+        bin()
+            .args(["simtest", "--seed", "3"])
+            .output()
+            .expect("binary runs")
+    };
+    let (a, b) = (run(), run());
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    assert_eq!(a.stdout, b.stdout, "simtest replay must be byte-identical");
+    let text = String::from_utf8_lossy(&a.stdout);
+    assert!(text.contains("digest "), "{text}");
+    assert!(text.contains("verdict PASS"), "{text}");
+}

@@ -29,6 +29,8 @@ pub struct EngineConfig {
     pub drain: Option<f64>,
     /// RNG seed for RC-fidelity noise (unused in the clean simulator).
     pub seed: u64,
+    /// Scripted capacity faults injected during the run (empty = none).
+    pub faults: Vec<FaultEvent>,
 }
 
 impl Default for EngineConfig {
@@ -37,6 +39,59 @@ impl Default for EngineConfig {
             cycle_interval: 2.0,
             drain: None,
             seed: 0x3516,
+            faults: Vec::new(),
+        }
+    }
+}
+
+/// A scripted capacity fault (see [`EngineConfig::faults`]).
+///
+/// Faults model nodes failing and recovering underneath the scheduler.
+/// Nodes taken down while busy are *owed*: the loss is applied as soon as
+/// running jobs release capacity in that partition, so running gangs are
+/// never killed by a fault (the scheduler simply sees less free capacity).
+/// Capacity a scheduling decision reclaims by preemption is fully
+/// spendable by that same decision's placements — the owed debt settles
+/// only from capacity still free after the decision applies, since the
+/// scheduler cannot observe `owed` through [`SimulationView`]. The engine
+/// maintains `free + allocated + offline == capacity` per partition at all
+/// times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// `nodes` of `partition` fail at time `at`.
+    PartitionDown {
+        /// Injection time (simulated seconds).
+        at: f64,
+        /// Affected partition.
+        partition: PartitionId,
+        /// Number of nodes lost.
+        nodes: u32,
+    },
+    /// `nodes` of `partition` recover at time `at`. Restoring more nodes
+    /// than are currently offline (or owed) is clamped, not an error.
+    PartitionUp {
+        /// Injection time (simulated seconds).
+        at: f64,
+        /// Affected partition.
+        partition: PartitionId,
+        /// Number of nodes restored.
+        nodes: u32,
+    },
+}
+
+impl FaultEvent {
+    /// The fault's injection time.
+    pub fn at(&self) -> f64 {
+        match self {
+            FaultEvent::PartitionDown { at, .. } | FaultEvent::PartitionUp { at, .. } => *at,
+        }
+    }
+
+    /// The fault's target partition.
+    pub fn partition(&self) -> PartitionId {
+        match self {
+            FaultEvent::PartitionDown { partition, .. }
+            | FaultEvent::PartitionUp { partition, .. } => *partition,
         }
     }
 }
@@ -169,9 +224,70 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// One running attempt as reported in an [`EngineSnapshot`] (ground truth,
+/// not the scheduler-facing view).
+#[derive(Debug)]
+pub struct SnapshotRunning<'a> {
+    /// Trace index of the job.
+    pub idx: usize,
+    /// Start time of the current attempt.
+    pub start: f64,
+    /// Nodes held per partition.
+    pub allocation: &'a [(PartitionId, u32)],
+}
+
+/// Ground-truth engine state handed to a [`CycleObserver`] after every
+/// scheduling cycle's decision has been validated and applied.
+///
+/// Unlike [`SimulationView`] (what the scheduler is shown *before* its
+/// decision), a snapshot exposes the engine's own bookkeeping — per-job
+/// terminal states, fault-offline capacity, and the applied decision — so
+/// an external harness can check conservation invariants against the
+/// simulator rather than against the component under test.
+#[derive(Debug)]
+pub struct EngineSnapshot<'a> {
+    /// Simulated time of the cycle.
+    pub now: f64,
+    /// 1-based cycle count so far.
+    pub cycles: usize,
+    /// Raw partition capacities (constant over the run).
+    pub capacity: &'a [u32],
+    /// Free nodes per partition.
+    pub free: &'a [u32],
+    /// Nodes currently offline due to injected faults, per partition.
+    pub offline: &'a [u32],
+    /// Nodes owed to faults (loss deferred until running jobs release
+    /// capacity), per partition.
+    pub owed: &'a [u32],
+    /// Live per-job records in trace order; `state` is current engine truth
+    /// (jobs that have not arrived yet are still `Pending` — compare
+    /// `submit_time` with `now`).
+    pub outcomes: &'a [JobOutcome],
+    /// Trace indices of jobs currently queued for placement.
+    pub pending: &'a [usize],
+    /// Currently running attempts, sorted by trace index.
+    pub running: Vec<SnapshotRunning<'a>>,
+    /// The scheduling decision that was just applied.
+    pub decision: &'a SchedulingDecision,
+}
+
+/// Per-cycle observer of engine ground truth (the simulation-test hook).
+pub trait CycleObserver {
+    /// Called after each cycle's decision has been validated and applied.
+    fn on_cycle(&mut self, snapshot: &EngineSnapshot<'_>);
+}
+
+/// Observer that ignores every snapshot (used by [`Engine::run`]).
+struct NoopObserver;
+
+impl CycleObserver for NoopObserver {
+    fn on_cycle(&mut self, _snapshot: &EngineSnapshot<'_>) {}
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventKind {
     Finish { job: usize, epoch: u32 },
+    Fault { fault: usize },
     Arrival { job: usize },
     Cycle,
 }
@@ -223,11 +339,28 @@ pub struct Engine {
 
 impl Engine {
     /// Creates an engine over the given cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cycle interval is not positive or a configured fault
+    /// references an unknown partition or a non-finite/negative time.
     pub fn new(cluster: ClusterSpec, config: EngineConfig) -> Self {
         assert!(
             config.cycle_interval > 0.0,
             "cycle interval must be positive"
         );
+        for f in &config.faults {
+            assert!(
+                f.partition().index() < cluster.num_partitions(),
+                "fault references unknown partition {:?}",
+                f.partition()
+            );
+            assert!(
+                f.at().is_finite() && f.at() >= 0.0,
+                "fault time {} must be finite and non-negative",
+                f.at()
+            );
+        }
         Self { cluster, config }
     }
 
@@ -238,13 +371,47 @@ impl Engine {
         jobs: &[JobSpec],
         scheduler: &mut dyn Scheduler,
     ) -> Result<Metrics, SimError> {
+        self.run_observed(jobs, scheduler, &mut NoopObserver)
+    }
+
+    /// Like [`Engine::run`], but hands `observer` an [`EngineSnapshot`] of
+    /// engine ground truth after every scheduling cycle.
+    pub fn run_observed(
+        &self,
+        jobs: &[JobSpec],
+        scheduler: &mut dyn Scheduler,
+        observer: &mut dyn CycleObserver,
+    ) -> Result<Metrics, SimError> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let parts = self.cluster.num_partitions();
-        let mut free: Vec<u32> = self
+        let capacity: Vec<u32> = self
             .cluster
             .partition_ids()
             .map(|p| self.cluster.partition_size(p))
             .collect();
+        let mut free = capacity.clone();
+        // Fault accounting: `offline[p]` nodes are down; `owed[p]` nodes are
+        // scheduled to go down as soon as running jobs release them. The
+        // invariant `free + allocated + offline == capacity` holds per
+        // partition throughout the run.
+        let mut offline: Vec<u32> = vec![0; parts];
+        let mut owed: Vec<u32> = vec![0; parts];
+        // Moves released nodes back to `free`, paying down owed fault
+        // capacity first.
+        fn release(
+            free: &mut [u32],
+            offline: &mut [u32],
+            owed: &mut [u32],
+            allocation: &[(PartitionId, u32)],
+        ) {
+            for (p, n) in allocation {
+                let pi = p.index();
+                let seized = (*n).min(owed[pi]);
+                owed[pi] -= seized;
+                offline[pi] += seized;
+                free[pi] += n - seized;
+            }
+        }
 
         let mut outcomes: Vec<JobOutcome> = jobs
             .iter()
@@ -278,8 +445,9 @@ impl Engine {
         let push = |q: &mut BinaryHeap<Event>, seq: &mut u64, time: f64, kind: EventKind| {
             let class = match kind {
                 EventKind::Finish { .. } => 0,
-                EventKind::Arrival { .. } => 1,
-                EventKind::Cycle => 2,
+                EventKind::Fault { .. } => 1,
+                EventKind::Arrival { .. } => 2,
+                EventKind::Cycle => 3,
             };
             *seq += 1;
             q.push(Event {
@@ -296,6 +464,9 @@ impl Engine {
                 j.submit_time,
                 EventKind::Arrival { job: i },
             );
+        }
+        for (i, f) in self.config.faults.iter().enumerate() {
+            push(&mut queue, &mut seq, f.at(), EventKind::Fault { fault: i });
         }
         push(&mut queue, &mut seq, 0.0, EventKind::Cycle);
 
@@ -324,9 +495,7 @@ impl Engine {
                         continue; // stale completion of a preempted attempt
                     }
                     let r = running.remove(&id).expect("checked above");
-                    for (p, n) in &r.allocation {
-                        free[p.index()] += n;
-                    }
+                    release(&mut free, &mut offline, &mut owed, &r.allocation);
                     let o = &mut outcomes[job];
                     o.state = JobState::Completed;
                     o.start_time = Some(r.start);
@@ -335,6 +504,29 @@ impl Engine {
                     o.on_preferred = Some(r.on_preferred);
                     scheduler.on_job_completed(&jobs[job], &outcomes[job], now);
                 }
+                EventKind::Fault { fault } => match self.config.faults[fault] {
+                    FaultEvent::PartitionDown {
+                        partition, nodes, ..
+                    } => {
+                        let pi = partition.index();
+                        let taken = nodes.min(free[pi]);
+                        free[pi] -= taken;
+                        offline[pi] += taken;
+                        owed[pi] += nodes - taken;
+                    }
+                    FaultEvent::PartitionUp {
+                        partition, nodes, ..
+                    } => {
+                        let pi = partition.index();
+                        // Cancel still-owed losses first, then bring offline
+                        // nodes back; restores beyond that are clamped.
+                        let cancelled = nodes.min(owed[pi]);
+                        owed[pi] -= cancelled;
+                        let restored = (nodes - cancelled).min(offline[pi]);
+                        offline[pi] -= restored;
+                        free[pi] += restored;
+                    }
+                },
                 EventKind::Cycle => {
                     cycles += 1;
                     let decision = {
@@ -377,6 +569,13 @@ impl Engine {
                     }
 
                     // 2. Preemptions: free capacity, requeue the job.
+                    //
+                    // Reclaimed capacity is fully spendable by this same
+                    // decision's placements: `SimulationView` cannot expose
+                    // `owed`, so schedulers (and the feasibility oracle)
+                    // necessarily assume preempted nodes are reusable.
+                    // Outstanding fault debt is settled from whatever is
+                    // still free *after* the decision is applied.
                     for id in &decision.preemptions {
                         let r = running.remove(id).ok_or(SimError::BadJobReference {
                             job: *id,
@@ -457,6 +656,40 @@ impl Engine {
                             start + runtime,
                             EventKind::Finish { job: idx, epoch },
                         );
+                    }
+
+                    // Settle outstanding fault debt from post-decision free
+                    // capacity (preemptions above released nodes without
+                    // paying it down).
+                    for pi in 0..parts {
+                        let seized = owed[pi].min(free[pi]);
+                        owed[pi] -= seized;
+                        offline[pi] += seized;
+                        free[pi] -= seized;
+                    }
+
+                    {
+                        let mut snapshot_running: Vec<SnapshotRunning<'_>> = running
+                            .values()
+                            .map(|r| SnapshotRunning {
+                                idx: r.idx,
+                                start: r.start,
+                                allocation: &r.allocation,
+                            })
+                            .collect();
+                        snapshot_running.sort_by_key(|r| r.idx);
+                        observer.on_cycle(&EngineSnapshot {
+                            now,
+                            cycles,
+                            capacity: &capacity,
+                            free: &free,
+                            offline: &offline,
+                            owed: &owed,
+                            outcomes: &outcomes,
+                            pending: &pending,
+                            running: snapshot_running,
+                            decision: &decision,
+                        });
                     }
 
                     // Schedule the next cycle while there is anything left.
@@ -892,6 +1125,240 @@ mod tests {
         );
         let jobs = vec![be(1, 0.0, 1, 5.0)];
         engine.run(&jobs, &mut Check).unwrap();
+    }
+
+    #[test]
+    fn fault_takes_free_capacity_and_restores_it() {
+        // 4 nodes; 3 go down at t=5 and come back at t=30. A 4-node job
+        // arriving at t=10 cannot start until the recovery.
+        let engine = Engine::new(
+            ClusterSpec::uniform(1, 4),
+            EngineConfig {
+                faults: vec![
+                    FaultEvent::PartitionDown {
+                        at: 5.0,
+                        partition: PartitionId(0),
+                        nodes: 3,
+                    },
+                    FaultEvent::PartitionUp {
+                        at: 30.0,
+                        partition: PartitionId(0),
+                        nodes: 3,
+                    },
+                ],
+                ..EngineConfig::default()
+            },
+        );
+        let jobs = vec![be(1, 10.0, 4, 20.0)];
+        let m = engine.run(&jobs, &mut Fifo).unwrap();
+        let o = &m.outcomes[0];
+        assert_eq!(o.state, JobState::Completed);
+        assert!(
+            o.start_time.unwrap() >= 30.0,
+            "started at {:?} despite 3 nodes down",
+            o.start_time
+        );
+    }
+
+    #[test]
+    fn fault_on_busy_partition_defers_until_jobs_release() {
+        // Both nodes busy until t=50; the t=10 down-fault must not kill the
+        // running gang, but the released capacity is owed to the fault, so
+        // the second job can never start (drain cuts the run off).
+        let engine = Engine::new(
+            ClusterSpec::uniform(1, 2),
+            EngineConfig {
+                drain: Some(200.0),
+                faults: vec![FaultEvent::PartitionDown {
+                    at: 10.0,
+                    partition: PartitionId(0),
+                    nodes: 2,
+                }],
+                ..EngineConfig::default()
+            },
+        );
+        let jobs = vec![be(1, 0.0, 2, 50.0), be(2, 20.0, 2, 5.0)];
+        let m = engine.run(&jobs, &mut Fifo).unwrap();
+        assert_eq!(
+            m.outcomes[0].state,
+            JobState::Completed,
+            "fault kills no gang"
+        );
+        assert_eq!(
+            m.outcomes[1].state,
+            JobState::Pending,
+            "capacity owed to fault"
+        );
+    }
+
+    #[test]
+    fn preempted_capacity_is_spendable_before_fault_debt_settles() {
+        // 2 nodes, all busy; a down-fault at t=5 leaves the partition owing
+        // both nodes. At t=10 the scheduler preempts the running gang and
+        // places a new one into the reclaimed nodes in the same decision —
+        // legal, because `owed` is invisible through SimulationView. The
+        // debt settles only once the new gang releases.
+        struct Swap;
+        impl Scheduler for Swap {
+            fn schedule(&mut self, view: &SimulationView<'_>, _now: f64) -> SchedulingDecision {
+                let mut d = SchedulingDecision::noop();
+                let wants = view.pending.iter().find(|j| j.id == JobId(2));
+                let victim = view.running.iter().find(|r| r.spec.id == JobId(1));
+                if let (Some(job), Some(victim)) = (wants, victim) {
+                    d.preemptions.push(victim.spec.id);
+                    d.placements.push(Placement {
+                        job: job.id,
+                        allocation: vec![(PartitionId(0), job.tasks)],
+                    });
+                } else if let Some(job) = view.pending.iter().find(|j| j.id == JobId(1)) {
+                    if view.free[0] >= job.tasks {
+                        d.placements.push(Placement {
+                            job: job.id,
+                            allocation: vec![(PartitionId(0), job.tasks)],
+                        });
+                    }
+                }
+                d
+            }
+        }
+        let engine = Engine::new(
+            ClusterSpec::uniform(1, 2),
+            EngineConfig {
+                drain: Some(200.0),
+                faults: vec![FaultEvent::PartitionDown {
+                    at: 5.0,
+                    partition: PartitionId(0),
+                    nodes: 2,
+                }],
+                ..EngineConfig::default()
+            },
+        );
+        let jobs = vec![be(1, 0.0, 2, 500.0), be(2, 10.0, 2, 5.0)];
+        let m = engine.run(&jobs, &mut Swap).unwrap();
+        assert_eq!(
+            m.outcomes[1].state,
+            JobState::Completed,
+            "{:?}",
+            m.outcomes[1]
+        );
+        assert_eq!(m.outcomes[0].preemptions, 1);
+        // After job 2 released, the owed nodes went offline: job 1 (now
+        // pending again) can never restart.
+        assert_eq!(m.outcomes[0].state, JobState::Pending);
+    }
+
+    #[test]
+    fn overlapping_restore_is_clamped() {
+        // Restoring more nodes than ever went down must not mint capacity.
+        let engine = Engine::new(
+            ClusterSpec::uniform(1, 2),
+            EngineConfig {
+                drain: Some(100.0),
+                faults: vec![
+                    FaultEvent::PartitionDown {
+                        at: 1.0,
+                        partition: PartitionId(0),
+                        nodes: 1,
+                    },
+                    FaultEvent::PartitionUp {
+                        at: 2.0,
+                        partition: PartitionId(0),
+                        nodes: 5,
+                    },
+                ],
+                ..EngineConfig::default()
+            },
+        );
+        struct CheckFree;
+        impl Scheduler for CheckFree {
+            fn schedule(&mut self, view: &SimulationView<'_>, _now: f64) -> SchedulingDecision {
+                assert!(view.free[0] <= 2, "free {} exceeds capacity", view.free[0]);
+                SchedulingDecision::noop()
+            }
+        }
+        let jobs = vec![be(1, 50.0, 4, 10.0)]; // unplaceable; keeps cycles alive
+        engine.run(&jobs, &mut CheckFree).unwrap();
+    }
+
+    #[test]
+    fn fault_on_unknown_partition_panics() {
+        let result = std::panic::catch_unwind(|| {
+            Engine::new(
+                ClusterSpec::uniform(1, 2),
+                EngineConfig {
+                    faults: vec![FaultEvent::PartitionDown {
+                        at: 0.0,
+                        partition: PartitionId(9),
+                        nodes: 1,
+                    }],
+                    ..EngineConfig::default()
+                },
+            )
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn observer_sees_conserved_capacity_under_faults() {
+        struct Conservation {
+            cycles_seen: usize,
+            last_now: f64,
+        }
+        impl CycleObserver for Conservation {
+            fn on_cycle(&mut self, s: &EngineSnapshot<'_>) {
+                assert!(s.now >= self.last_now, "clock went backwards");
+                self.last_now = s.now;
+                self.cycles_seen += 1;
+                let mut allocated = vec![0u32; s.capacity.len()];
+                for r in &s.running {
+                    for (p, n) in r.allocation {
+                        allocated[p.index()] += n;
+                    }
+                }
+                for (p, &alloc) in allocated.iter().enumerate() {
+                    assert_eq!(
+                        s.free[p] + alloc + s.offline[p],
+                        s.capacity[p],
+                        "partition {p} capacity leak at t={}",
+                        s.now
+                    );
+                }
+            }
+        }
+        let engine = Engine::new(
+            ClusterSpec::uniform(2, 3),
+            EngineConfig {
+                drain: Some(300.0),
+                faults: vec![
+                    FaultEvent::PartitionDown {
+                        at: 6.0,
+                        partition: PartitionId(0),
+                        nodes: 2,
+                    },
+                    FaultEvent::PartitionUp {
+                        at: 60.0,
+                        partition: PartitionId(0),
+                        nodes: 2,
+                    },
+                ],
+                ..EngineConfig::default()
+            },
+        );
+        let jobs = vec![
+            be(1, 0.0, 4, 40.0),
+            be(2, 5.0, 3, 20.0),
+            be(3, 30.0, 2, 10.0),
+        ];
+        let mut obs = Conservation {
+            cycles_seen: 0,
+            last_now: 0.0,
+        };
+        engine.run_observed(&jobs, &mut Fifo, &mut obs).unwrap();
+        assert!(
+            obs.cycles_seen > 5,
+            "observer saw {} cycles",
+            obs.cycles_seen
+        );
     }
 
     #[test]

@@ -117,6 +117,7 @@ impl Experiment {
             cycle_interval: 10.0,
             drain: None,
             seed: 0x5C256,
+            ..EngineConfig::default()
         };
         let sched = SchedConfig {
             cycle_hint: engine.cycle_interval,

@@ -48,6 +48,7 @@ pub mod utility;
 pub use dist::DiscreteDist;
 pub use driver::{run, run_with_source, Experiment, RunResult, SchedulerKind};
 pub use sched::backfill::{BackfillScheduler, PointSource};
+pub use sched::feasibility::{check_decision, FeasibilityViolation};
 pub use sched::options::{EstimateCache, RackMask};
 pub use sched::prio::PrioScheduler;
 pub use sched::threesigma::{

@@ -1,0 +1,371 @@
+//! Feasibility introspection on extracted scheduling decisions.
+//!
+//! The MILP's capacity rows guarantee feasibility of the *model*; this
+//! module re-checks the *extracted* [`SchedulingDecision`] against the raw
+//! per-partition capacity of the [`SimulationView`] it was derived from, so
+//! extraction bugs (bad gang packing, double placement, phantom
+//! preemptions) surface as structured violations instead of engine errors
+//! deep inside a simulation. The simulation-test harness runs this check
+//! on every cycle of every scheduler.
+
+use std::collections::HashSet;
+
+use threesigma_cluster::{JobId, SchedulingDecision, SimulationView};
+
+/// One way a decision can be inconsistent with the view it came from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FeasibilityViolation {
+    /// A placement references a job that is not pending.
+    UnknownPlacement {
+        /// Offending job.
+        job: JobId,
+    },
+    /// The same job is placed more than once.
+    DuplicatePlacement {
+        /// Offending job.
+        job: JobId,
+    },
+    /// Allocation node counts do not sum to the job's gang width.
+    AllocationMismatch {
+        /// Offending job.
+        job: JobId,
+        /// Sum of the allocation's node counts.
+        allocated: u32,
+        /// The job's gang width.
+        tasks: u32,
+    },
+    /// An allocation references a partition outside the cluster.
+    UnknownPartition {
+        /// Offending job.
+        job: JobId,
+        /// Out-of-range partition index.
+        partition: usize,
+    },
+    /// A preemption references a job that is not running.
+    UnknownPreemption {
+        /// Offending job.
+        job: JobId,
+    },
+    /// The same job is preempted more than once.
+    DuplicatePreemption {
+        /// Offending job.
+        job: JobId,
+    },
+    /// A cancellation references a job that is not pending.
+    UnknownCancellation {
+        /// Offending job.
+        job: JobId,
+    },
+    /// A job is both cancelled and placed in the same decision.
+    CancelledAndPlaced {
+        /// Offending job.
+        job: JobId,
+    },
+    /// Placements commit more nodes to a partition than free capacity plus
+    /// capacity reclaimed by this decision's preemptions.
+    RowOverCommit {
+        /// Saturated partition index.
+        partition: usize,
+        /// Nodes the placements commit.
+        committed: u32,
+        /// Nodes actually available (free + preempted).
+        available: u32,
+    },
+}
+
+impl std::fmt::Display for FeasibilityViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownPlacement { job } => write!(f, "placement of non-pending job {job:?}"),
+            Self::DuplicatePlacement { job } => write!(f, "job {job:?} placed twice"),
+            Self::AllocationMismatch {
+                job,
+                allocated,
+                tasks,
+            } => write!(
+                f,
+                "job {job:?} allocated {allocated} nodes for a {tasks}-task gang"
+            ),
+            Self::UnknownPartition { job, partition } => {
+                write!(f, "job {job:?} allocated on unknown partition {partition}")
+            }
+            Self::UnknownPreemption { job } => write!(f, "preemption of non-running job {job:?}"),
+            Self::DuplicatePreemption { job } => write!(f, "job {job:?} preempted twice"),
+            Self::UnknownCancellation { job } => {
+                write!(f, "cancellation of non-pending job {job:?}")
+            }
+            Self::CancelledAndPlaced { job } => {
+                write!(f, "job {job:?} both cancelled and placed")
+            }
+            Self::RowOverCommit {
+                partition,
+                committed,
+                available,
+            } => write!(
+                f,
+                "partition {partition} over-committed: {committed} placed, {available} available"
+            ),
+        }
+    }
+}
+
+/// Checks an extracted `decision` against the raw capacity rows of the
+/// `view` it was derived from. Returns every violation found (empty =
+/// feasible). A feasible decision is exactly one the engine will apply
+/// without returning a [`threesigma_cluster::SimError`].
+pub fn check_decision(
+    view: &SimulationView<'_>,
+    decision: &SchedulingDecision,
+) -> Vec<FeasibilityViolation> {
+    let mut violations = Vec::new();
+    let parts = view.free.len();
+    let pending: HashSet<JobId> = view.pending.iter().map(|j| j.id).collect();
+    let running: HashSet<JobId> = view.running.iter().map(|r| r.spec.id).collect();
+
+    // Preemptions: must reference distinct running jobs; they reclaim their
+    // allocations for this cycle's placements.
+    let mut available: Vec<u32> = view.free.to_vec();
+    let mut preempted: HashSet<JobId> = HashSet::new();
+    for id in &decision.preemptions {
+        if !running.contains(id) {
+            violations.push(FeasibilityViolation::UnknownPreemption { job: *id });
+            continue;
+        }
+        if !preempted.insert(*id) {
+            violations.push(FeasibilityViolation::DuplicatePreemption { job: *id });
+            continue;
+        }
+        let r = view
+            .running
+            .iter()
+            .find(|r| r.spec.id == *id)
+            .expect("id is in the running set");
+        for (p, n) in r.allocation {
+            if p.index() < parts {
+                available[p.index()] += n;
+            }
+        }
+    }
+
+    // Cancellations: distinct pending jobs, not simultaneously placed.
+    let mut cancelled: HashSet<JobId> = HashSet::new();
+    for id in &decision.cancellations {
+        if !pending.contains(id) || !cancelled.insert(*id) {
+            violations.push(FeasibilityViolation::UnknownCancellation { job: *id });
+        }
+    }
+
+    // Placements: distinct pending jobs with exact gang-width allocations
+    // on known partitions, within the reclaimed capacity rows.
+    let mut placed: HashSet<JobId> = HashSet::new();
+    let mut committed: Vec<u32> = vec![0; parts];
+    for pl in &decision.placements {
+        if !pending.contains(&pl.job) {
+            violations.push(FeasibilityViolation::UnknownPlacement { job: pl.job });
+            continue;
+        }
+        if !placed.insert(pl.job) {
+            violations.push(FeasibilityViolation::DuplicatePlacement { job: pl.job });
+            continue;
+        }
+        if cancelled.contains(&pl.job) {
+            violations.push(FeasibilityViolation::CancelledAndPlaced { job: pl.job });
+        }
+        let spec = view
+            .pending
+            .iter()
+            .find(|j| j.id == pl.job)
+            .expect("id is in the pending set");
+        let mut allocated = 0u32;
+        let mut bad_partition = false;
+        for (p, n) in &pl.allocation {
+            allocated += n;
+            if p.index() >= parts {
+                violations.push(FeasibilityViolation::UnknownPartition {
+                    job: pl.job,
+                    partition: p.index(),
+                });
+                bad_partition = true;
+            } else {
+                committed[p.index()] += n;
+            }
+        }
+        if allocated != spec.tasks && !bad_partition {
+            violations.push(FeasibilityViolation::AllocationMismatch {
+                job: pl.job,
+                allocated,
+                tasks: spec.tasks,
+            });
+        }
+    }
+    for p in 0..parts {
+        if committed[p] > available[p] {
+            violations.push(FeasibilityViolation::RowOverCommit {
+                partition: p,
+                committed: committed[p],
+                available: available[p],
+            });
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threesigma_cluster::{
+        ClusterSpec, JobKind, JobSpec, PartitionId, Placement, RunningJob, SchedulingDecision,
+    };
+
+    fn view<'a>(
+        cluster: &'a ClusterSpec,
+        pending: &'a [JobSpec],
+        running: &'a [(JobSpec, Vec<(PartitionId, u32)>)],
+        free: &'a [u32],
+    ) -> SimulationView<'a> {
+        SimulationView {
+            cluster,
+            pending: pending.iter().collect(),
+            running: running
+                .iter()
+                .map(|(spec, alloc)| RunningJob {
+                    spec,
+                    start_time: 0.0,
+                    allocation: alloc,
+                })
+                .collect(),
+            free,
+            now: 0.0,
+        }
+    }
+
+    fn be(id: u64, tasks: u32) -> JobSpec {
+        JobSpec::new(id, 0.0, tasks, 100.0, JobKind::BestEffort)
+    }
+
+    #[test]
+    fn clean_decision_has_no_violations() {
+        let cluster = ClusterSpec::uniform(2, 4);
+        let pending = vec![be(1, 3)];
+        let free = vec![4, 4];
+        let v = view(&cluster, &pending, &[], &free);
+        let d = SchedulingDecision {
+            placements: vec![Placement {
+                job: threesigma_cluster::JobId(1),
+                allocation: vec![(PartitionId(0), 2), (PartitionId(1), 1)],
+            }],
+            ..SchedulingDecision::noop()
+        };
+        assert!(check_decision(&v, &d).is_empty());
+    }
+
+    #[test]
+    fn overcommit_is_flagged_per_row() {
+        let cluster = ClusterSpec::uniform(1, 4);
+        let pending = vec![be(1, 3), be(2, 3)];
+        let free = vec![4];
+        let v = view(&cluster, &pending, &[], &free);
+        let d = SchedulingDecision {
+            placements: vec![
+                Placement {
+                    job: threesigma_cluster::JobId(1),
+                    allocation: vec![(PartitionId(0), 3)],
+                },
+                Placement {
+                    job: threesigma_cluster::JobId(2),
+                    allocation: vec![(PartitionId(0), 3)],
+                },
+            ],
+            ..SchedulingDecision::noop()
+        };
+        let violations = check_decision(&v, &d);
+        assert_eq!(
+            violations,
+            vec![FeasibilityViolation::RowOverCommit {
+                partition: 0,
+                committed: 6,
+                available: 4
+            }]
+        );
+    }
+
+    #[test]
+    fn preempted_capacity_is_reclaimable() {
+        let cluster = ClusterSpec::uniform(1, 4);
+        let pending = vec![be(2, 4)];
+        let running = vec![(be(1, 2), vec![(PartitionId(0), 2)])];
+        let free = vec![2];
+        let v = view(&cluster, &pending, &running, &free);
+        let d = SchedulingDecision {
+            placements: vec![Placement {
+                job: threesigma_cluster::JobId(2),
+                allocation: vec![(PartitionId(0), 4)],
+            }],
+            preemptions: vec![threesigma_cluster::JobId(1)],
+            ..SchedulingDecision::noop()
+        };
+        assert!(check_decision(&v, &d).is_empty());
+    }
+
+    #[test]
+    fn structural_violations_are_reported() {
+        let cluster = ClusterSpec::uniform(1, 4);
+        let pending = vec![be(1, 2)];
+        let free = vec![4];
+        let v = view(&cluster, &pending, &[], &free);
+        let id = threesigma_cluster::JobId(1);
+        let ghost = threesigma_cluster::JobId(99);
+        let d = SchedulingDecision {
+            placements: vec![
+                Placement {
+                    job: id,
+                    allocation: vec![(PartitionId(0), 1)], // 1 ≠ 2 tasks
+                },
+                Placement {
+                    job: id,
+                    allocation: vec![(PartitionId(0), 2)],
+                },
+                Placement {
+                    job: ghost,
+                    allocation: vec![(PartitionId(0), 1)],
+                },
+            ],
+            preemptions: vec![ghost],
+            cancellations: vec![ghost],
+        };
+        let violations = check_decision(&v, &d);
+        assert!(
+            violations.contains(&FeasibilityViolation::AllocationMismatch {
+                job: id,
+                allocated: 1,
+                tasks: 2
+            })
+        );
+        assert!(violations.contains(&FeasibilityViolation::DuplicatePlacement { job: id }));
+        assert!(violations.contains(&FeasibilityViolation::UnknownPlacement { job: ghost }));
+        assert!(violations.contains(&FeasibilityViolation::UnknownPreemption { job: ghost }));
+        assert!(violations.contains(&FeasibilityViolation::UnknownCancellation { job: ghost }));
+    }
+
+    #[test]
+    fn unknown_partition_is_reported() {
+        let cluster = ClusterSpec::uniform(1, 4);
+        let pending = vec![be(1, 1)];
+        let free = vec![4];
+        let v = view(&cluster, &pending, &[], &free);
+        let d = SchedulingDecision {
+            placements: vec![Placement {
+                job: threesigma_cluster::JobId(1),
+                allocation: vec![(PartitionId(7), 1)],
+            }],
+            ..SchedulingDecision::noop()
+        };
+        let violations = check_decision(&v, &d);
+        assert!(
+            violations.contains(&FeasibilityViolation::UnknownPartition {
+                job: threesigma_cluster::JobId(1),
+                partition: 7
+            })
+        );
+    }
+}

@@ -432,6 +432,75 @@ mod tests {
     }
 
     #[test]
+    fn rack_mask_word_boundary_widths() {
+        // The u64 seed masks wrapped at exactly these widths; pin down the
+        // boundary behaviour at 63 / 64 / 65 / 127 / 128 racks.
+        for n in [63usize, 64, 65, 127, 128] {
+            let all = RackMask::all(n);
+            assert!(all.contains(n - 1), "all({n}) must contain rack {}", n - 1);
+            assert!(!all.contains(n), "all({n}) must exclude rack {n}");
+            assert!(!all.is_empty());
+            // Membership count is exactly n: each singleton up to n is a
+            // subset, the one just past n is not.
+            assert!(RackMask::single(n - 1).is_subset_of(all));
+            if n < RackMask::MAX_RACKS {
+                assert!(!RackMask::single(n).is_subset_of(all));
+            }
+        }
+        // Widths one apart differ in exactly the boundary rack.
+        assert!(!RackMask::all(63).contains(63));
+        assert!(RackMask::all(64).contains(63));
+        assert!(
+            !RackMask::all(64).contains(64),
+            "no aliasing at the u64 edge"
+        );
+        assert!(RackMask::all(65).contains(64));
+        assert!(RackMask::all(128).contains(127));
+        assert!(RackMask::all(63).is_subset_of(RackMask::all(64)));
+        assert!(RackMask::all(127).is_subset_of(RackMask::all(128)));
+        assert!(!RackMask::all(128).is_subset_of(RackMask::all(127)));
+    }
+
+    #[test]
+    #[should_panic(expected = "RackMask supports at most")]
+    fn rack_mask_all_past_capacity_panics() {
+        let _ = RackMask::all(129);
+    }
+
+    #[test]
+    fn estimate_cache_coalesces_multiple_epoch_bumps() {
+        // Invalidation is lazy: three completions between accesses cost one
+        // re-estimation, not three, and the counter is monotone.
+        let mut cache = EstimateCache::new();
+        let job = JobId(11);
+        let mut calls = 0;
+        let _ = cache.base(job, || {
+            calls += 1;
+            DiscreteDist::point(100.0)
+        });
+        assert_eq!(cache.epoch(), 0);
+        cache.bump_epoch();
+        cache.bump_epoch();
+        cache.bump_epoch();
+        assert_eq!(cache.epoch(), 3);
+        let _ = cache.base(job, || {
+            calls += 1;
+            DiscreteDist::point(80.0)
+        });
+        let _ = cache.base(job, || {
+            calls += 1;
+            DiscreteDist::point(60.0)
+        });
+        assert_eq!(calls, 2, "three bumps coalesce into one re-estimation");
+        // A job first seen after bumps is already at the current epoch.
+        let other = JobId(12);
+        let _ = cache.base(other, || DiscreteDist::point(10.0));
+        let d = cache.base(other, || unreachable!("fresh entry must be reused"));
+        assert_eq!(d.mean(), 10.0);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
     fn estimate_cache_reestimates_only_on_epoch_change() {
         let mut cache = EstimateCache::new();
         let mut calls = 0;

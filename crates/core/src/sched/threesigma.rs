@@ -803,6 +803,7 @@ mod tests {
                 cycle_interval: 2.0,
                 drain: Some(4.0 * 3600.0),
                 seed: 1,
+                ..EngineConfig::default()
             },
         )
     }

@@ -1,0 +1,334 @@
+//! The campaign driver: one seed in, one byte-stable report out.
+//!
+//! [`run_seed`] expands the seed into a [`Scenario`], runs it through all
+//! three schedulers (3σSched, priority, backfill) under the full invariant
+//! battery, then applies the cross-scheduler differential checks. The
+//! rendered report is deterministic down to the byte — its FNV digest is
+//! printed so replay divergence is visible at a glance.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use threesigma::{
+    BackfillScheduler, EstimateSource, PointSource, PrioScheduler, SchedConfig, ThreeSigmaScheduler,
+};
+use threesigma_cluster::{
+    ClusterSpec, Engine, EngineConfig, JobOutcome, JobState, Metrics, Scheduler,
+};
+use threesigma_predict::PredictorConfig;
+
+use crate::fnv1a;
+use crate::invariants::{CheckedScheduler, FeasibilityLog, InvariantChecker};
+use crate::scenario::Scenario;
+
+/// One scheduler's verdict for one seed.
+#[derive(Debug)]
+pub struct SchedulerReport {
+    /// Scheduler name (`threesigma` / `prio` / `backfill`).
+    pub scheduler: &'static str,
+    /// Checks performed per invariant.
+    pub counts: BTreeMap<&'static str, u64>,
+    /// Invariant violations (empty = pass).
+    pub violations: Vec<String>,
+    /// End-of-run metrics, if the run finished without a [`SimError`].
+    ///
+    /// [`SimError`]: threesigma_cluster::SimError
+    pub metrics: Option<Metrics>,
+}
+
+impl SchedulerReport {
+    /// No violations and the run finished.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty() && self.metrics.is_some()
+    }
+}
+
+/// Everything one seed produced.
+#[derive(Debug)]
+pub struct SeedReport {
+    /// The seed.
+    pub seed: u64,
+    /// Stress profile name.
+    pub profile: &'static str,
+    /// Trace size.
+    pub jobs: usize,
+    /// Fault-script size.
+    pub faults: usize,
+    /// Per-scheduler results.
+    pub schedulers: Vec<SchedulerReport>,
+    /// Cross-scheduler differential violations.
+    pub differential: Vec<String>,
+}
+
+impl SeedReport {
+    /// True when every scheduler and every differential check passed.
+    pub fn passed(&self) -> bool {
+        self.schedulers.iter().all(SchedulerReport::passed) && self.differential.is_empty()
+    }
+
+    /// Renders the byte-stable report (ends with its own FNV digest line).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "seed {} profile={} jobs={} faults={}\n",
+            self.seed, self.profile, self.jobs, self.faults
+        ));
+        for s in &self.schedulers {
+            let m = match &s.metrics {
+                Some(m) => format!(
+                    "cycles={} completed={} canceled={} preemptions={} miss_pct={:.4} goodput_h={:.6}",
+                    m.cycles,
+                    m.count(JobState::Completed),
+                    m.count(JobState::Canceled),
+                    m.preemptions,
+                    m.slo_miss_pct(),
+                    m.goodput_hours(),
+                ),
+                None => "run failed (SimError)".to_string(),
+            };
+            out.push_str(&format!("  [{:<10}] {}\n", s.scheduler, m));
+            let checks: u64 = s.counts.values().sum();
+            out.push_str(&format!(
+                "  [{:<10}] invariant checks={checks} violations={}\n",
+                s.scheduler,
+                s.violations.len()
+            ));
+            for v in &s.violations {
+                out.push_str(&format!("  [{:<10}] VIOLATION {v}\n", s.scheduler));
+            }
+        }
+        out.push_str(&format!(
+            "  differential violations={}\n",
+            self.differential.len()
+        ));
+        for v in &self.differential {
+            out.push_str(&format!("  DIFFERENTIAL {v}\n"));
+        }
+        out.push_str(&format!(
+            "verdict {}\n",
+            if self.passed() { "PASS" } else { "FAIL" }
+        ));
+        out.push_str(&format!("digest {:016x}\n", fnv1a(out.as_bytes())));
+        out
+    }
+}
+
+/// Runs one scheduler over a scenario under the full invariant battery.
+fn run_one(
+    scenario: &Scenario,
+    name: &'static str,
+    scheduler: &mut dyn Scheduler,
+) -> SchedulerReport {
+    let engine = Engine::new(
+        ClusterSpec::uniform(scenario.racks, scenario.nodes_per_rack),
+        EngineConfig {
+            cycle_interval: scenario.cycle_interval,
+            drain: Some(scenario.drain),
+            seed: scenario.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            faults: scenario.faults.clone(),
+        },
+    );
+    let mut checker = InvariantChecker::new(&scenario.jobs);
+    let log = Rc::new(RefCell::new(FeasibilityLog::default()));
+    let mut checked = CheckedScheduler::new(DynScheduler(scheduler), log.clone());
+    let result = engine.run_observed(&scenario.jobs, &mut checked, &mut checker);
+
+    let (metrics, sim_error) = match result {
+        Ok(m) => {
+            checker.check_final_metrics(&m, scenario.total_nodes());
+            (Some(m), None)
+        }
+        Err(e) => (None, Some(e)),
+    };
+    let mut violations = checker.violations().to_vec();
+    let mut counts = checker.counts().clone();
+    {
+        let log = log.borrow();
+        *counts.get_mut("decision-feasibility").unwrap() += log.checks;
+        violations.extend(log.violations.iter().cloned());
+    }
+    if let Some(e) = sim_error {
+        violations.push(format!("[engine] SimError: {e:?}"));
+    }
+    SchedulerReport {
+        scheduler: name,
+        counts,
+        violations,
+        metrics,
+    }
+}
+
+/// `&mut dyn Scheduler` adapter so one `run_one` serves all three schedulers.
+struct DynScheduler<'a>(&'a mut dyn Scheduler);
+
+impl Scheduler for DynScheduler<'_> {
+    fn on_job_submitted(&mut self, spec: &threesigma_cluster::JobSpec, now: f64) {
+        self.0.on_job_submitted(spec, now);
+    }
+    fn on_job_completed(
+        &mut self,
+        spec: &threesigma_cluster::JobSpec,
+        outcome: &JobOutcome,
+        now: f64,
+    ) {
+        self.0.on_job_completed(spec, outcome, now);
+    }
+    fn schedule(
+        &mut self,
+        view: &threesigma_cluster::SimulationView<'_>,
+        now: f64,
+    ) -> threesigma_cluster::SchedulingDecision {
+        self.0.schedule(view, now)
+    }
+}
+
+/// The 3σSched instance for a scenario: injected estimates when the profile
+/// scripted them, oracle points otherwise.
+fn three_sigma_for(scenario: &Scenario) -> ThreeSigmaScheduler {
+    let source = if scenario.estimates.is_empty() {
+        EstimateSource::OraclePoint
+    } else {
+        EstimateSource::Injected(Arc::new(scenario.estimates.clone()))
+    };
+    ThreeSigmaScheduler::new(
+        SchedConfig {
+            cycle_hint: scenario.cycle_interval,
+            ..SchedConfig::default()
+        },
+        source,
+        PredictorConfig::default(),
+    )
+}
+
+/// Cross-scheduler shared-safety checks over completed runs: every
+/// scheduler must account for the same trace (same job ids, one outcome per
+/// job) and no run may have errored.
+fn differential_safety(reports: &[SchedulerReport], trace_len: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for r in reports {
+        match &r.metrics {
+            None => out.push(format!(
+                "{}: run errored; differential oracle void",
+                r.scheduler
+            )),
+            Some(m) if m.outcomes.len() != trace_len => out.push(format!(
+                "{}: {} outcomes for a {}-job trace",
+                r.scheduler,
+                m.outcomes.len(),
+                trace_len
+            )),
+            Some(_) => {}
+        }
+    }
+    if out.is_empty() {
+        let ids: Vec<Vec<u64>> = reports
+            .iter()
+            .map(|r| {
+                r.metrics
+                    .as_ref()
+                    .unwrap()
+                    .outcomes
+                    .iter()
+                    .map(|o| o.id.0)
+                    .collect()
+            })
+            .collect();
+        for (r, i) in reports.iter().zip(&ids).skip(1) {
+            if *i != ids[0] {
+                out.push(format!(
+                    "{}: outcome job-id order diverges from {}",
+                    r.scheduler, reports[0].scheduler
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Dominance oracle: on the contention-free trace with perfect point
+/// estimates, 3σSched must meet every SLO that backfill meets. Returns one
+/// violation string per dominated deadline.
+pub fn dominance_violations(seed: u64) -> Vec<String> {
+    let scenario = Scenario::no_contention(seed);
+    let mut ts = three_sigma_for(&scenario);
+    let mut bf = BackfillScheduler::new(PointSource::Oracle, PredictorConfig::default());
+    let ts_report = run_one(&scenario, "threesigma", &mut ts);
+    let bf_report = run_one(&scenario, "backfill", &mut bf);
+    let mut out: Vec<String> = ts_report
+        .violations
+        .iter()
+        .chain(&bf_report.violations)
+        .map(|v| format!("dominance-trace invariant: {v}"))
+        .collect();
+    let (Some(ts_m), Some(bf_m)) = (&ts_report.metrics, &bf_report.metrics) else {
+        out.push("dominance trace: a run errored".into());
+        return out;
+    };
+    for (t, b) in ts_m.outcomes.iter().zip(&bf_m.outcomes) {
+        if b.deadline_met() == Some(true) && t.deadline_met() != Some(true) {
+            out.push(format!(
+                "seed {seed}: 3sigma missed SLO job {:?} that backfill met (no contention, perfect estimates)",
+                t.id
+            ));
+        }
+    }
+    out
+}
+
+/// Runs the full campaign for one seed (see module docs).
+pub fn run_seed(seed: u64) -> SeedReport {
+    let scenario = Scenario::generate(seed);
+    let mut ts = three_sigma_for(&scenario);
+    let mut prio = PrioScheduler::new();
+    let mut bf = BackfillScheduler::new(PointSource::Oracle, PredictorConfig::default());
+    let schedulers = vec![
+        run_one(&scenario, "threesigma", &mut ts),
+        run_one(&scenario, "prio", &mut prio),
+        run_one(&scenario, "backfill", &mut bf),
+    ];
+    let mut differential = differential_safety(&schedulers, scenario.jobs.len());
+    differential.extend(dominance_violations(seed));
+    SeedReport {
+        seed,
+        profile: scenario.profile.name(),
+        jobs: scenario.jobs.len(),
+        faults: scenario.faults.len(),
+        schedulers,
+        differential,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_byte_identical_across_runs() {
+        let a = run_seed(3).render();
+        let b = run_seed(3).render();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_profile_runs_all_invariants() {
+        for seed in 0..5u64 {
+            let r = run_seed(seed);
+            assert!(r.passed(), "seed {seed}:\n{}", r.render());
+            for s in &r.schedulers {
+                for (name, n) in &s.counts {
+                    assert!(*n > 0, "seed {seed}: {} never checked {name}", s.scheduler);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_oracle_is_clean_on_crafted_traces() {
+        for seed in [1u64, 9, 23] {
+            let v = dominance_violations(seed);
+            assert!(v.is_empty(), "{v:?}");
+        }
+    }
+}

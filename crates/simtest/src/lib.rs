@@ -1,0 +1,84 @@
+//! Deterministic simulation-test harness for the 3Sigma reproduction.
+//!
+//! FoundationDB-style scenario testing: a single `u64` seed expands into a
+//! randomized stress campaign — bursty arrivals, heavy-tailed true
+//! runtimes, adversarial mis-estimates, preemption storms, partition
+//! capacity loss/restore — that drives [`threesigma_cluster::Engine`]
+//! through every scheduler while a battery of invariants is checked after
+//! *every* scheduling cycle (see [`invariants::INVARIANTS`]). Any failure
+//! replays exactly from the seed printed with it:
+//!
+//! ```sh
+//! cargo run --release -p threesigma-cli -- simtest --seed 17
+//! ```
+//!
+//! The harness has three layers:
+//!
+//! * [`scenario`] — seeded generation of job traces, fault scripts, and
+//!   adversarial estimate maps ([`Scenario::generate`]), plus the crafted
+//!   contention-free trace used for the differential dominance oracle.
+//! * [`invariants`] — the invariant registry: an engine-side
+//!   [`invariants::InvariantChecker`] (a
+//!   [`threesigma_cluster::CycleObserver`]) checking ground-truth state
+//!   each cycle, and a [`invariants::CheckedScheduler`] wrapper that
+//!   re-validates every extracted decision against the raw capacity rows
+//!   via [`threesigma::check_decision`].
+//! * [`harness`] — [`run_seed`] runs one seed's scenario through
+//!   `threesigma`, `prio`, and `backfill`, merges per-scheduler reports,
+//!   applies cross-scheduler differential checks (shared safety plus the
+//!   no-contention dominance case), and renders a byte-stable report whose
+//!   FNV digest makes replay divergence visible at a glance.
+//!
+//! Everything is deterministic: no wall clock, no thread scheduling in the
+//! checked path, and `HashMap` iteration never feeds an assertion. The
+//! checked-in seed corpus ([`corpus_seeds`]) is the regression suite CI
+//! runs on every push.
+
+pub mod harness;
+pub mod invariants;
+pub mod scenario;
+
+pub use harness::{dominance_violations, run_seed, SchedulerReport, SeedReport};
+pub use invariants::{CheckedScheduler, FeasibilityLog, InvariantChecker, INVARIANTS};
+pub use scenario::{Profile, Scenario};
+
+/// The checked-in regression seed corpus (`corpus/seeds.txt`), one seed per
+/// line with `#` comments. Every seed here must pass [`run_seed`]; CI runs
+/// the full list plus a fresh-seed smoke campaign.
+pub fn corpus_seeds() -> Vec<u64> {
+    include_str!("../corpus/seeds.txt")
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or("").trim())
+        .filter(|l| !l.is_empty())
+        .map(|l| l.parse().expect("corpus/seeds.txt holds one u64 per line"))
+        .collect()
+}
+
+/// FNV-1a over a byte string (the report digest primitive).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_at_least_twenty_seeds() {
+        let seeds = corpus_seeds();
+        assert!(seeds.len() >= 20, "corpus holds {} seeds", seeds.len());
+        let unique: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(unique.len(), seeds.len(), "corpus seeds must be distinct");
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+    }
+}

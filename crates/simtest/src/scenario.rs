@@ -1,0 +1,377 @@
+//! Seeded scenario generation: the stress regimes of the campaign.
+//!
+//! A [`Scenario`] is everything one simulation run needs — cluster shape,
+//! job trace, fault script, and (for the adversarial profile) an injected
+//! estimate map — derived deterministically from a single `u64` seed via
+//! the same xoshiro `StdRng` the engine uses. The five [`Profile`]s target
+//! the regimes the paper's mis-estimation handling exists for: burstiness,
+//! heavy-tailed runtimes, adversarial over/under-estimates, preemption
+//! churn, and capacity loss underneath the scheduler.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use threesigma_cluster::{FaultEvent, JobId, JobKind, JobSpec, PartitionId};
+use threesigma_histogram::RuntimeDistribution;
+
+/// The stress regime a scenario exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Synchronized arrival bursts that spike queue depth.
+    Bursty,
+    /// Pareto-tailed true runtimes (a few jobs dominate machine-time).
+    HeavyTail,
+    /// Injected point estimates off by up to 8× in either direction.
+    Adversarial,
+    /// Long best-effort background plus waves of tight-deadline SLO jobs,
+    /// forcing preemption churn and requeues.
+    PreemptionStorm,
+    /// Partition capacity loss and restore while jobs are running.
+    PartitionFaults,
+}
+
+/// All profiles, in the order seeds cycle through them.
+pub const PROFILES: [Profile; 5] = [
+    Profile::Bursty,
+    Profile::HeavyTail,
+    Profile::Adversarial,
+    Profile::PreemptionStorm,
+    Profile::PartitionFaults,
+];
+
+impl Profile {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Bursty => "bursty",
+            Profile::HeavyTail => "heavy-tail",
+            Profile::Adversarial => "adversarial",
+            Profile::PreemptionStorm => "preemption-storm",
+            Profile::PartitionFaults => "partition-faults",
+        }
+    }
+}
+
+/// One fully-specified simulation scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The generating seed.
+    pub seed: u64,
+    /// Stress regime.
+    pub profile: Profile,
+    /// Rack count.
+    pub racks: usize,
+    /// Nodes per rack.
+    pub nodes_per_rack: u32,
+    /// Scheduling-cycle interval in seconds.
+    pub cycle_interval: f64,
+    /// Drain horizon after the last arrival.
+    pub drain: f64,
+    /// The job trace, in submission order.
+    pub jobs: Vec<JobSpec>,
+    /// Scripted capacity faults.
+    pub faults: Vec<FaultEvent>,
+    /// Adversarial estimates injected into 3σSched (empty = oracle points).
+    pub estimates: HashMap<JobId, RuntimeDistribution>,
+}
+
+impl Scenario {
+    /// Total cluster nodes.
+    pub fn total_nodes(&self) -> u32 {
+        self.racks as u32 * self.nodes_per_rack
+    }
+
+    /// Expands `seed` into a scenario. The profile rotates with the seed so
+    /// a contiguous seed range covers every regime.
+    pub fn generate(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5ce9_a51c_0ffe_e000);
+        let profile = PROFILES[(seed % PROFILES.len() as u64) as usize];
+        let racks = 2 + (rng.random::<u32>() % 3) as usize; // 2..=4
+        let nodes_per_rack = 4 + rng.random::<u32>() % 5; // 4..=8
+        let total = racks as u32 * nodes_per_rack;
+        let cycle_interval = 5.0;
+        let mut jobs = Vec::new();
+        let mut faults = Vec::new();
+        let mut estimates = HashMap::new();
+        match profile {
+            Profile::Bursty => {
+                let bursts = 3 + rng.random::<u32>() % 3;
+                let mut id = 1u64;
+                for b in 0..bursts {
+                    let at = b as f64 * (40.0 + uniform(&mut rng, 0.0, 40.0));
+                    let width = 6 + rng.random::<u32>() % 8;
+                    for _ in 0..width {
+                        jobs.push(random_job(&mut rng, id, at, total, 20.0, 180.0, 1.0, 2.0));
+                        id += 1;
+                    }
+                }
+            }
+            Profile::HeavyTail => {
+                let n = 35 + rng.random::<u32>() % 15;
+                let alpha = uniform(&mut rng, 0.9, 1.6);
+                let mut at = 0.0;
+                for id in 1..=n as u64 {
+                    at += uniform(&mut rng, 1.0, 15.0);
+                    // Pareto via inverse transform, capped so the drain
+                    // horizon stays bounded.
+                    let u = rng.random::<f64>().max(1e-9);
+                    let runtime = (12.0 * u.powf(-1.0 / alpha)).min(2500.0);
+                    let mut job = random_job(&mut rng, id, at, total, runtime, runtime, 1.5, 3.0);
+                    job.duration = runtime;
+                    jobs.push(job);
+                }
+            }
+            Profile::Adversarial => {
+                let n = 30 + rng.random::<u32>() % 15;
+                let mut at = 0.0;
+                for id in 1..=n as u64 {
+                    at += uniform(&mut rng, 2.0, 12.0);
+                    let job = random_job(&mut rng, id, at, total, 30.0, 300.0, 1.0, 2.5);
+                    // Mis-estimate by a log-uniform factor in [1/8, 8].
+                    let factor = 2f64.powf(uniform(&mut rng, -3.0, 3.0));
+                    estimates.insert(
+                        job.id,
+                        RuntimeDistribution::point((job.duration * factor).max(1.0)),
+                    );
+                    jobs.push(job);
+                }
+            }
+            Profile::PreemptionStorm => {
+                let mut id = 1u64;
+                // Background: enough long best-effort gangs to fill the
+                // cluster early.
+                let background = 1 + total / 3;
+                for _ in 0..background {
+                    let tasks = 1 + rng.random::<u32>() % 4;
+                    jobs.push(JobSpec::new(
+                        id,
+                        uniform(&mut rng, 0.0, 10.0),
+                        tasks.min(total),
+                        uniform(&mut rng, 300.0, 700.0),
+                        JobKind::BestEffort,
+                    ));
+                    id += 1;
+                }
+                // Storm: waves of tight-deadline SLO jobs.
+                let waves = 3 + rng.random::<u32>() % 3;
+                for w in 0..waves {
+                    let at = 30.0 + w as f64 * uniform(&mut rng, 30.0, 60.0);
+                    for _ in 0..(4 + rng.random::<u32>() % 5) {
+                        let tasks = (1 + rng.random::<u32>() % 4).min(total);
+                        let runtime = uniform(&mut rng, 20.0, 90.0);
+                        let slack = uniform(&mut rng, 0.2, 0.6);
+                        jobs.push(
+                            JobSpec::new(
+                                id,
+                                at,
+                                tasks,
+                                runtime,
+                                JobKind::Slo {
+                                    deadline: at + runtime * (1.0 + slack),
+                                },
+                            )
+                            .with_weight(8.0),
+                        );
+                        id += 1;
+                    }
+                }
+            }
+            Profile::PartitionFaults => {
+                let n = 30 + rng.random::<u32>() % 15;
+                let mut at = 0.0;
+                for id in 1..=n as u64 {
+                    at += uniform(&mut rng, 2.0, 12.0);
+                    jobs.push(random_job(&mut rng, id, at, total, 40.0, 250.0, 1.2, 2.5));
+                }
+                let hits = 1 + rng.random::<u32>() % 3;
+                for _ in 0..hits {
+                    let partition = PartitionId((rng.random::<u32>() as usize) % racks);
+                    let nodes = 1 + rng.random::<u32>() % nodes_per_rack;
+                    let down_at = uniform(&mut rng, 30.0, 200.0);
+                    faults.push(FaultEvent::PartitionDown {
+                        at: down_at,
+                        partition,
+                        nodes,
+                    });
+                    // Most outages recover; some last to the end of the run.
+                    if rng.random::<f64>() < 0.8 {
+                        faults.push(FaultEvent::PartitionUp {
+                            at: down_at + uniform(&mut rng, 60.0, 300.0),
+                            partition,
+                            nodes,
+                        });
+                    }
+                }
+            }
+        }
+        Scenario {
+            seed,
+            profile,
+            racks,
+            nodes_per_rack,
+            cycle_interval,
+            drain: 1800.0,
+            jobs,
+            faults,
+            estimates,
+        }
+    }
+
+    /// The crafted contention-free trace behind the dominance oracle: with
+    /// perfect point estimates and no resource contention, 3σSched must not
+    /// miss SLOs that backfill meets. Demand never exceeds half the
+    /// cluster and every deadline leaves ≥ 4× runtime of slack plus a
+    /// cycle-quantization cushion.
+    pub fn no_contention(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x00d0_51ab_1e00_0000);
+        let racks = 2usize;
+        let nodes_per_rack = 8u32;
+        let mut jobs = Vec::new();
+        let mut at = 0.0;
+        for id in 1..=8u64 {
+            at += uniform(&mut rng, 45.0, 90.0);
+            let tasks = 1 + rng.random::<u32>() % 4;
+            let runtime = uniform(&mut rng, 30.0, 120.0);
+            jobs.push(JobSpec::new(
+                id,
+                at,
+                tasks,
+                runtime,
+                JobKind::Slo {
+                    deadline: at + 4.0 * runtime + 120.0,
+                },
+            ));
+        }
+        for id in 9..=10u64 {
+            at += uniform(&mut rng, 10.0, 30.0);
+            jobs.push(JobSpec::new(
+                id,
+                at,
+                1 + rng.random::<u32>() % 2,
+                uniform(&mut rng, 20.0, 60.0),
+                JobKind::BestEffort,
+            ));
+        }
+        Scenario {
+            seed,
+            profile: Profile::Bursty, // unused label; trace is crafted
+            racks,
+            nodes_per_rack,
+            cycle_interval: 5.0,
+            drain: 1800.0,
+            jobs,
+            faults: Vec::new(),
+            estimates: HashMap::new(),
+        }
+    }
+}
+
+/// Uniform draw in `[lo, hi)`.
+fn uniform(rng: &mut StdRng, lo: f64, hi: f64) -> f64 {
+    lo + rng.random::<f64>() * (hi - lo)
+}
+
+/// A random job: mixed SLO/BE, sized for the cluster, with occasional rack
+/// preference (slowdown 1.5× off-preferred).
+#[allow(clippy::too_many_arguments)]
+fn random_job(
+    rng: &mut StdRng,
+    id: u64,
+    submit: f64,
+    total_nodes: u32,
+    min_runtime: f64,
+    max_runtime: f64,
+    min_slack: f64,
+    max_slack: f64,
+) -> JobSpec {
+    let tasks = (1 + rng.random::<u32>() % (total_nodes / 3).max(1)).min(total_nodes);
+    let runtime = if max_runtime > min_runtime {
+        uniform(rng, min_runtime, max_runtime)
+    } else {
+        min_runtime
+    };
+    let kind = if rng.random::<f64>() < 0.5 {
+        JobKind::Slo {
+            deadline: submit + runtime * (1.0 + uniform(rng, min_slack, max_slack)),
+        }
+    } else {
+        JobKind::BestEffort
+    };
+    let mut job = JobSpec::new(id, submit, tasks, runtime, kind);
+    if rng.random::<f64>() < 0.3 {
+        job = job.with_preference(vec![PartitionId(0)], 1.5);
+    }
+    if job.kind.is_slo() {
+        job = job.with_weight(uniform(rng, 4.0, 10.0));
+    }
+    job
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in [0u64, 1, 2, 3, 4, 17, 12345] {
+            let a = Scenario::generate(seed);
+            let b = Scenario::generate(seed);
+            assert_eq!(a.profile, b.profile);
+            assert_eq!(a.jobs.len(), b.jobs.len());
+            for (x, y) in a.jobs.iter().zip(&b.jobs) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.submit_time, y.submit_time);
+                assert_eq!(x.duration, y.duration);
+                assert_eq!(x.tasks, y.tasks);
+            }
+            assert_eq!(a.faults, b.faults);
+        }
+    }
+
+    #[test]
+    fn profiles_rotate_with_seed() {
+        let names: Vec<&str> = (0..5)
+            .map(|s| Scenario::generate(s).profile.name())
+            .collect();
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), 5, "five consecutive seeds → five profiles");
+    }
+
+    #[test]
+    fn jobs_fit_the_cluster() {
+        for seed in 0..25u64 {
+            let s = Scenario::generate(seed);
+            assert!(!s.jobs.is_empty());
+            for j in &s.jobs {
+                assert!(j.tasks >= 1 && j.tasks <= s.total_nodes(), "seed {seed}");
+                assert!(j.duration > 0.0 && j.duration.is_finite());
+                assert!(j.submit_time >= 0.0);
+            }
+            for f in &s.faults {
+                assert!(f.partition().index() < s.racks);
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_profile_injects_estimates() {
+        // Profile index 2 = adversarial.
+        let s = Scenario::generate(2);
+        assert_eq!(s.profile, Profile::Adversarial);
+        assert_eq!(s.estimates.len(), s.jobs.len());
+    }
+
+    #[test]
+    fn no_contention_trace_is_underloaded() {
+        let s = Scenario::no_contention(7);
+        let total = s.total_nodes();
+        for j in &s.jobs {
+            assert!(j.tasks <= total / 2);
+            if let JobKind::Slo { deadline } = j.kind {
+                assert!(deadline >= j.submit_time + 4.0 * j.duration);
+            }
+        }
+    }
+}

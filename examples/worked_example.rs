@@ -79,6 +79,7 @@ fn run_scenario(name: &str, lo_min: f64, hi_min: f64) -> Metrics {
             cycle_interval: 2.0,
             drain: Some(3600.0),
             seed: 7,
+            ..EngineConfig::default()
         },
     );
     let metrics = engine.run(&jobs, &mut scheduler).expect("runs");

@@ -160,7 +160,7 @@ proptest! {
         }
         let engine = Engine::new(
             ClusterSpec::uniform(2, 2),
-            EngineConfig { cycle_interval: 5.0, drain: Some(4000.0), seed },
+            EngineConfig { cycle_interval: 5.0, drain: Some(4000.0), seed, ..EngineConfig::default() },
         );
         let mut sched = ThreeSigmaScheduler::new(
             SchedConfig::default(),
