@@ -8,9 +8,11 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use threesigma::driver::{run, run_observed, CycleTraceWriter, Experiment, SchedulerKind};
 use threesigma::{DiscreteDist, UtilityCurve};
 use threesigma_histogram::{RuntimeDistribution, StreamingHistogram};
 use threesigma_milp::{Cmp, Model, Solver, SolverConfig};
+use threesigma_obs::Recorder;
 use threesigma_predict::{AttributeSource, Predictor, PredictorConfig};
 use threesigma_workload::{generate, Environment, WorkloadConfig};
 
@@ -174,11 +176,46 @@ fn bench_scan_ops(_c: &mut Criterion) {
     report_scan_op_reduction();
 }
 
+/// Observability overhead: the same end-to-end 3σSched run with the
+/// recorder disabled (the default path — handles exist but every update is
+/// one branch) vs enabled (atomics + per-cycle flush + trace line
+/// formatting). The acceptance budget is ≤2% overhead enabled-vs-disabled.
+fn bench_recorder_overhead(c: &mut Criterion) {
+    let config = WorkloadConfig::e2e(Environment::Google, 3).with_duration(180.0);
+    let trace = generate(&config);
+    let exp = Experiment::paper_sc256().with_cycle(10.0);
+    let mut group = c.benchmark_group("recorder");
+    group
+        .sample_size(40)
+        .measurement_time(Duration::from_secs(20));
+    group.bench_function("e2e_run_recorder_disabled", |b| {
+        b.iter(|| black_box(run(SchedulerKind::ThreeSigma, &trace, &exp).unwrap()))
+    });
+    group.bench_function("e2e_run_recorder_enabled", |b| {
+        b.iter(|| {
+            let recorder = Recorder::enabled();
+            let mut writer = CycleTraceWriter::new();
+            black_box(
+                run_observed(
+                    SchedulerKind::ThreeSigma,
+                    &trace,
+                    &exp,
+                    &recorder,
+                    &mut writer,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_predictor,
     bench_distribution_math,
     bench_scan_ops,
-    bench_milp
+    bench_milp,
+    bench_recorder_overhead
 );
 criterion_main!(benches);

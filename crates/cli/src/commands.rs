@@ -1,6 +1,7 @@
 //! CLI subcommand implementations.
 
-use threesigma::driver::{run, Experiment, SchedulerKind};
+use threesigma::driver::{run, run_observed, CycleTraceWriter, Experiment, SchedulerKind};
+use threesigma_obs::{parse_prometheus, Recorder};
 use threesigma_predict::{AttributeSource, Predictor, PredictorConfig};
 use threesigma_workload::analysis::{
     error_histogram, estimate_error_pct, fraction_off_by_factor, runtime_cdf,
@@ -30,6 +31,9 @@ USAGE:
                       [--cycle SECS] [--ablations]
   threesigma analyze  (--trace FILE | --env E [--jobs N] [--seed N])
   threesigma simtest  [--seed N | --iters K [--start-seed S]]
+  threesigma metrics  (--trace FILE | --env E [--hours H] [--seed N])
+                      [--scheduler NAME] [--cycle SECS] [--rc]
+                      [--json FILE] [--trace-out FILE]
   threesigma help
 
 ENVIRONMENTS: google (default), hedgefund, mustang
@@ -41,6 +45,11 @@ SIMTEST: deterministic invariant-checked simulation campaigns.
   --iters K    smoke-run K fresh seeds (default start 1, or --start-seed S)
   (no flags)   run the checked-in regression corpus
   Any failure exits non-zero and echoes `FAILING SEED: N` for replay.
+
+METRICS: run one instrumented simulation and export its counters.
+  Prints a Prometheus-style text exposition to stdout.
+  --json FILE       also write the byte-stable JSON metrics dump
+  --trace-out FILE  also write the per-cycle trace (one JSON line per cycle)
 ";
 
 fn parse_env(args: &Args) -> Result<Environment, CliError> {
@@ -288,6 +297,42 @@ pub fn cmd_simtest(args: &Args) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `metrics` — one instrumented run, exported three ways.
+///
+/// Runs the requested scheduler with an enabled [`Recorder`] and a
+/// [`CycleTraceWriter`], then prints the Prometheus-style text exposition.
+/// `--json FILE` additionally writes the byte-stable JSON dump (wall-clock
+/// timers excluded, so the same trace + seed reproduces the file
+/// byte-for-byte); `--trace-out FILE` writes the per-cycle JSON-lines trace.
+pub fn cmd_metrics(args: &Args) -> Result<String, CliError> {
+    let trace = load_or_generate(args)?;
+    let kind = parse_scheduler(args.get_or("scheduler", "3sigma"))?;
+    let exp = experiment(args)?;
+    let recorder = Recorder::enabled();
+    let mut writer = CycleTraceWriter::new();
+    let result = run_observed(kind, &trace, &exp, &recorder, &mut writer)
+        .map_err(|e| CliError::Io(e.to_string()))?;
+    let snapshot = recorder.snapshot();
+    let text = snapshot.to_prometheus();
+    // Self-check: the exposition we emit must round-trip through our own
+    // parser (the same check CI applies to the simtest artifact).
+    parse_prometheus(&text)
+        .map_err(|e| CliError::Failed(format!("internal error: exposition does not parse: {e}")))?;
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, snapshot.to_stable_json()).map_err(|e| CliError::Io(e.to_string()))?;
+    }
+    if let Some(path) = args.get("trace-out") {
+        std::fs::write(path, writer.to_jsonl()).map_err(|e| CliError::Io(e.to_string()))?;
+    }
+    let mut out = text;
+    out.push_str(&format!(
+        "# cycles traced: {}\n# {}\n",
+        writer.lines().len(),
+        metrics_line(kind, &result.metrics).trim_end(),
+    ));
+    Ok(out)
+}
+
 /// Dispatches a parsed command line; returns the text to print.
 pub fn dispatch(args: &Args) -> Result<String, CliError> {
     match args.command.as_str() {
@@ -296,6 +341,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "compare" => cmd_compare(args),
         "analyze" => cmd_analyze(args),
         "simtest" => cmd_simtest(args),
+        "metrics" => cmd_metrics(args),
         "help" => Ok(USAGE.to_owned()),
         other => Err(CliError::UnknownCommand(other.to_owned())),
     }
@@ -388,6 +434,66 @@ mod tests {
             dispatch(&args).unwrap_err(),
             CliError::BadValue { .. }
         ));
+    }
+
+    #[test]
+    fn metrics_emits_parseable_prometheus_text() {
+        let args = Args::parse([
+            "metrics", "--env", "google", "--hours", "0.05", "--seed", "7", "--cycle", "30",
+        ])
+        .unwrap();
+        let out = dispatch(&args).unwrap();
+        let parsed = parse_prometheus(&out).unwrap();
+        assert!(
+            parsed.iter().any(|s| s.name == "engine_cycles_total"),
+            "{out}"
+        );
+        assert!(
+            parsed
+                .iter()
+                .any(|s| s.name == "sched_options_enumerated_total"),
+            "{out}"
+        );
+        assert!(out.contains("# cycles traced:"), "{out}");
+    }
+
+    #[test]
+    fn metrics_json_dump_is_byte_stable_for_a_fixed_seed() {
+        let json_a = tmp("metrics_a");
+        let json_b = tmp("metrics_b");
+        let trace_out = tmp("metrics_trace");
+        let invoke = |json: &std::path::Path, trace: Option<&std::path::Path>| {
+            let json = json.to_str().unwrap().to_owned();
+            let mut argv = vec![
+                "metrics".to_owned(),
+                "--env".into(),
+                "google".into(),
+                "--hours".into(),
+                "0.05".into(),
+                "--seed".into(),
+                "42".into(),
+                "--cycle".into(),
+                "30".into(),
+                "--json".into(),
+                json,
+            ];
+            if let Some(t) = trace {
+                argv.push("--trace-out".into());
+                argv.push(t.to_str().unwrap().to_owned());
+            }
+            dispatch(&Args::parse(argv).unwrap()).unwrap()
+        };
+        invoke(&json_a, Some(&trace_out));
+        invoke(&json_b, None);
+        let a = std::fs::read(&json_a).unwrap();
+        let b = std::fs::read(&json_b).unwrap();
+        assert_eq!(a, b, "stable JSON dump must be byte-identical per seed");
+        let trace = std::fs::read_to_string(&trace_out).unwrap();
+        let first = trace.lines().next().expect("at least one cycle");
+        assert!(first.starts_with("{\"cycle\":"), "{first}");
+        for p in [&json_a, &json_b, &trace_out] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

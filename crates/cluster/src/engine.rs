@@ -12,6 +12,7 @@ use std::collections::{BinaryHeap, HashMap};
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use threesigma_obs::{Counter, Gauge, Recorder};
 
 use crate::job::{JobId, JobSpec};
 use crate::metrics::{JobOutcome, JobState, Metrics};
@@ -204,6 +205,19 @@ pub enum SimError {
         /// The saturated partition.
         partition: PartitionId,
     },
+    /// The trace contains two jobs with the same id.
+    DuplicateJobId {
+        /// The repeated id.
+        job: JobId,
+    },
+    /// A job spec is unusable: non-finite/negative submit time or
+    /// duration, or a zero-task gang.
+    MalformedJobSpec {
+        /// The offending id.
+        job: JobId,
+        /// What is wrong with it.
+        reason: &'static str,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -217,6 +231,12 @@ impl std::fmt::Display for SimError {
             }
             SimError::OverCapacity { partition } => {
                 write!(f, "placements exceed capacity of partition {partition:?}")
+            }
+            SimError::DuplicateJobId { job } => {
+                write!(f, "trace contains job {job:?} more than once")
+            }
+            SimError::MalformedJobSpec { job, reason } => {
+                write!(f, "job {job:?} has a malformed spec: {reason}")
             }
         }
     }
@@ -269,6 +289,64 @@ pub struct EngineSnapshot<'a> {
     pub running: Vec<SnapshotRunning<'a>>,
     /// The scheduling decision that was just applied.
     pub decision: &'a SchedulingDecision,
+}
+
+/// Per-cycle summary numbers derived from an [`EngineSnapshot`] — the
+/// shape consumed by simtest invariants and per-cycle trace files.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleStats {
+    /// Simulated time of the cycle.
+    pub now: f64,
+    /// 1-based cycle count.
+    pub cycle: usize,
+    /// Jobs queued for placement after the decision applied.
+    pub queue_depth: usize,
+    /// Jobs running after the decision applied.
+    pub running: usize,
+    /// Free nodes across all partitions.
+    pub free_nodes: u32,
+    /// Nodes offline due to injected faults.
+    pub offline_nodes: u32,
+    /// Nodes owed to faults (loss deferred until jobs release them).
+    pub fault_debt_nodes: u32,
+    /// Raw cluster capacity (constant over the run).
+    pub capacity_nodes: u32,
+    /// Allocated fraction of raw capacity, in `[0, 1]`.
+    pub utilization: f64,
+    /// Placements in this cycle's decision.
+    pub placements: usize,
+    /// Preemptions in this cycle's decision.
+    pub preemptions: usize,
+    /// Cancellations in this cycle's decision.
+    pub cancellations: usize,
+}
+
+impl EngineSnapshot<'_> {
+    /// Summarises the snapshot into per-cycle observability numbers.
+    pub fn cycle_stats(&self) -> CycleStats {
+        let capacity_nodes: u32 = self.capacity.iter().sum();
+        let free_nodes: u32 = self.free.iter().sum();
+        let offline_nodes: u32 = self.offline.iter().sum();
+        let allocated = capacity_nodes - free_nodes - offline_nodes;
+        CycleStats {
+            now: self.now,
+            cycle: self.cycles,
+            queue_depth: self.pending.len(),
+            running: self.running.len(),
+            free_nodes,
+            offline_nodes,
+            fault_debt_nodes: self.owed.iter().sum(),
+            capacity_nodes,
+            utilization: if capacity_nodes == 0 {
+                0.0
+            } else {
+                f64::from(allocated) / f64::from(capacity_nodes)
+            },
+            placements: self.decision.placements.len(),
+            preemptions: self.decision.preemptions.len(),
+            cancellations: self.decision.cancellations.len(),
+        }
+    }
 }
 
 /// Per-cycle observer of engine ground truth (the simulation-test hook).
@@ -335,6 +413,58 @@ struct Running {
 pub struct Engine {
     cluster: ClusterSpec,
     config: EngineConfig,
+    recorder: Recorder,
+}
+
+/// Engine metric handles, registered once per run so the per-cycle path
+/// only touches atomics.
+struct EngineMetrics {
+    cycles: Counter,
+    preemptions: Counter,
+    placements: Counter,
+    cancellations: Counter,
+    queue_depth: Gauge,
+    running_jobs: Gauge,
+    free_nodes: Gauge,
+    offline_nodes: Gauge,
+    fault_debt_nodes: Gauge,
+    utilization: Gauge,
+}
+
+impl EngineMetrics {
+    fn register(rec: &Recorder) -> Self {
+        Self {
+            cycles: rec.counter("engine_cycles_total", "Scheduling cycles executed"),
+            preemptions: rec.counter("engine_preemptions_total", "Tasks preempted mid-run"),
+            placements: rec.counter("engine_placements_total", "Job placements applied"),
+            cancellations: rec.counter("engine_cancellations_total", "Jobs cancelled by decision"),
+            queue_depth: rec.gauge("engine_queue_depth", "Pending jobs after the last cycle"),
+            running_jobs: rec.gauge("engine_running_jobs", "Running jobs after the last cycle"),
+            free_nodes: rec.gauge("engine_free_nodes", "Free nodes across all partitions"),
+            offline_nodes: rec.gauge("engine_offline_nodes", "Nodes offline due to faults"),
+            fault_debt_nodes: rec.gauge(
+                "engine_fault_debt_nodes",
+                "Nodes owed to faults, pending release",
+            ),
+            utilization: rec.gauge(
+                "engine_utilization",
+                "Allocated fraction of raw cluster capacity",
+            ),
+        }
+    }
+
+    fn record(&self, stats: &CycleStats) {
+        self.cycles.set_total(stats.cycle as u64);
+        self.preemptions.add(stats.preemptions as u64);
+        self.placements.add(stats.placements as u64);
+        self.cancellations.add(stats.cancellations as u64);
+        self.queue_depth.set(stats.queue_depth as f64);
+        self.running_jobs.set(stats.running as f64);
+        self.free_nodes.set(f64::from(stats.free_nodes));
+        self.offline_nodes.set(f64::from(stats.offline_nodes));
+        self.fault_debt_nodes.set(f64::from(stats.fault_debt_nodes));
+        self.utilization.set(stats.utilization);
+    }
 }
 
 impl Engine {
@@ -361,7 +491,20 @@ impl Engine {
                 f.at()
             );
         }
-        Self { cluster, config }
+        Self {
+            cluster,
+            config,
+            recorder: Recorder::disabled(),
+        }
+    }
+
+    /// Attaches a metrics recorder; per-cycle counters and gauges are
+    /// published through it during [`Engine::run`]. The default recorder is
+    /// disabled and records nothing.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Runs `jobs` against `scheduler` until every job reaches a terminal
@@ -383,6 +526,7 @@ impl Engine {
         observer: &mut dyn CycleObserver,
     ) -> Result<Metrics, SimError> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let metrics = EngineMetrics::register(&self.recorder);
         let parts = self.cluster.num_partitions();
         let capacity: Vec<u32> = self
             .cluster
@@ -428,9 +572,24 @@ impl Engine {
                 on_preferred: None,
             })
             .collect();
-        let index_of: HashMap<JobId, usize> =
-            jobs.iter().enumerate().map(|(i, j)| (j.id, i)).collect();
-        assert_eq!(index_of.len(), jobs.len(), "duplicate job ids in trace");
+        let mut index_of: HashMap<JobId, usize> = HashMap::with_capacity(jobs.len());
+        for (i, j) in jobs.iter().enumerate() {
+            if index_of.insert(j.id, i).is_some() {
+                return Err(SimError::DuplicateJobId { job: j.id });
+            }
+            let reason = if !j.submit_time.is_finite() || j.submit_time < 0.0 {
+                Some("submit time must be finite and non-negative")
+            } else if !j.duration.is_finite() || j.duration < 0.0 {
+                Some("duration must be finite and non-negative")
+            } else if j.tasks == 0 {
+                Some("task count must be positive")
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
+                return Err(SimError::MalformedJobSpec { job: j.id, reason });
+            }
+        }
 
         let last_arrival = jobs.iter().map(|j| j.submit_time).fold(0.0, f64::max);
         let longest = jobs.iter().map(|j| j.duration).fold(0.0, f64::max);
@@ -678,7 +837,7 @@ impl Engine {
                             })
                             .collect();
                         snapshot_running.sort_by_key(|r| r.idx);
-                        observer.on_cycle(&EngineSnapshot {
+                        let snapshot = EngineSnapshot {
                             now,
                             cycles,
                             capacity: &capacity,
@@ -689,7 +848,9 @@ impl Engine {
                             pending: &pending,
                             running: snapshot_running,
                             decision: &decision,
-                        });
+                        };
+                        metrics.record(&snapshot.cycle_stats());
+                        observer.on_cycle(&snapshot);
                     }
 
                     // Schedule the next cycle while there is anything left.
@@ -1100,11 +1261,51 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_job_ids_panic() {
+    fn duplicate_job_ids_are_a_typed_error() {
         let engine = Engine::new(ClusterSpec::uniform(1, 1), EngineConfig::default());
         let jobs = vec![be(7, 0.0, 1, 5.0), be(7, 1.0, 1, 5.0)];
-        let result = std::panic::catch_unwind(|| engine.run(&jobs, &mut Fifo));
-        assert!(result.is_err());
+        let err = engine.run(&jobs, &mut Fifo).unwrap_err();
+        assert_eq!(err, SimError::DuplicateJobId { job: JobId(7) });
+    }
+
+    #[test]
+    fn malformed_job_specs_are_a_typed_error() {
+        let engine = Engine::new(ClusterSpec::uniform(1, 1), EngineConfig::default());
+
+        let mut nan_submit = be(1, 0.0, 1, 5.0);
+        nan_submit.submit_time = f64::NAN;
+        let mut negative_duration = be(2, 0.0, 1, 5.0);
+        negative_duration.duration = -1.0;
+        let mut infinite_duration = be(3, 0.0, 1, 5.0);
+        infinite_duration.duration = f64::INFINITY;
+        let mut zero_tasks = be(4, 0.0, 1, 5.0);
+        zero_tasks.tasks = 0;
+
+        for bad in [nan_submit, negative_duration, infinite_duration, zero_tasks] {
+            let id = bad.id;
+            let err = engine.run(&[bad], &mut Fifo).unwrap_err();
+            assert!(
+                matches!(err, SimError::MalformedJobSpec { job, .. } if job == id),
+                "expected MalformedJobSpec for {id:?}, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn recorder_publishes_per_cycle_counters_and_gauges() {
+        let recorder = Recorder::enabled();
+        let engine = Engine::new(ClusterSpec::uniform(1, 2), EngineConfig::default())
+            .with_recorder(recorder.clone());
+        let jobs = vec![be(1, 0.0, 1, 5.0), be(2, 0.0, 1, 5.0)];
+        let metrics = engine.run(&jobs, &mut Fifo).unwrap();
+        let snap = recorder.snapshot();
+        assert_eq!(
+            snap.counter("engine_cycles_total"),
+            Some(metrics.cycles as u64)
+        );
+        assert_eq!(snap.counter("engine_placements_total"), Some(2));
+        assert_eq!(snap.gauge("engine_queue_depth"), Some(0.0));
+        assert_eq!(snap.gauge("engine_running_jobs"), Some(0.0));
     }
 
     #[test]

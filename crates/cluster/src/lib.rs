@@ -26,8 +26,8 @@ pub mod metrics;
 pub mod spec;
 
 pub use engine::{
-    CycleObserver, Engine, EngineConfig, EngineSnapshot, FaultEvent, Placement, RunningJob,
-    Scheduler, SchedulingDecision, SimError, SimulationView, SnapshotRunning,
+    CycleObserver, CycleStats, Engine, EngineConfig, EngineSnapshot, FaultEvent, Placement,
+    RunningJob, Scheduler, SchedulingDecision, SimError, SimulationView, SnapshotRunning,
 };
 pub use job::{Attributes, JobId, JobKind, JobSpec};
 pub use metrics::{JobOutcome, JobState, Metrics};

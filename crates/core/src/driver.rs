@@ -7,13 +7,16 @@
 
 use std::sync::Arc;
 
-use threesigma_cluster::{ClusterSpec, Engine, EngineConfig, Metrics, RcFidelity, SimError};
+use threesigma_cluster::{
+    ClusterSpec, CycleObserver, Engine, EngineConfig, EngineSnapshot, Metrics, RcFidelity, SimError,
+};
+use threesigma_obs::Recorder;
 use threesigma_predict::PredictorConfig;
 use threesigma_workload::Trace;
 
 use crate::sched::prio::PrioScheduler;
 use crate::sched::threesigma::{
-    CycleTiming, EstimateSource, OverestimateMode, SchedConfig, ThreeSigmaScheduler,
+    CycleTiming, EstimateSource, OverestimateMode, SchedConfig, SchedStats, ThreeSigmaScheduler,
 };
 
 /// The scheduling systems compared in the paper (Table 1 + §6.2 ablations).
@@ -154,13 +157,94 @@ pub struct RunResult {
     pub metrics: Metrics,
     /// Per-cycle scheduler timings (empty for Prio).
     pub timings: Vec<CycleTiming>,
+    /// Cumulative deterministic scheduler counters (None for the
+    /// non-MILP baselines, which keep no such bookkeeping).
+    pub stats: Option<SchedStats>,
+}
+
+/// A [`CycleObserver`] that renders one JSON line per scheduling cycle —
+/// the per-run trace file format consumed by the simtest reports and the
+/// Fig. 12 tooling. Lines are hand-formatted from [`CycleStats`]'s
+/// numeric fields, so the output is byte-stable for a fixed seed.
+///
+/// [`CycleStats`]: threesigma_cluster::CycleStats
+#[derive(Debug, Clone, Default)]
+pub struct CycleTraceWriter {
+    lines: Vec<String>,
+}
+
+impl CycleTraceWriter {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The collected JSON lines, one per cycle.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// The whole trace as JSON-lines text (trailing newline included when
+    /// non-empty).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl CycleObserver for CycleTraceWriter {
+    fn on_cycle(&mut self, snapshot: &EngineSnapshot<'_>) {
+        let s = snapshot.cycle_stats();
+        self.lines.push(format!(
+            "{{\"cycle\":{},\"now\":{},\"queue_depth\":{},\"running\":{},\"free_nodes\":{},\
+             \"offline_nodes\":{},\"fault_debt_nodes\":{},\"capacity_nodes\":{},\
+             \"utilization\":{},\"placements\":{},\"preemptions\":{},\"cancellations\":{}}}",
+            s.cycle,
+            s.now,
+            s.queue_depth,
+            s.running,
+            s.free_nodes,
+            s.offline_nodes,
+            s.fault_debt_nodes,
+            s.capacity_nodes,
+            s.utilization,
+            s.placements,
+            s.preemptions,
+            s.cancellations,
+        ));
+    }
+}
+
+struct NoopObserver;
+
+impl CycleObserver for NoopObserver {
+    fn on_cycle(&mut self, _snapshot: &EngineSnapshot<'_>) {}
 }
 
 /// Runs one system over a trace.
 pub fn run(kind: SchedulerKind, trace: &Trace, exp: &Experiment) -> Result<RunResult, SimError> {
+    run_observed(kind, trace, exp, &Recorder::disabled(), &mut NoopObserver)
+}
+
+/// Like [`run`], but publishes per-cycle engine and scheduler metrics
+/// through `recorder` and hands `observer` an [`EngineSnapshot`] after
+/// every cycle — the instrumented path behind `threesigma metrics` and the
+/// simtest counter-consistency invariant.
+pub fn run_observed(
+    kind: SchedulerKind,
+    trace: &Trace,
+    exp: &Experiment,
+    recorder: &Recorder,
+    observer: &mut dyn CycleObserver,
+) -> Result<RunResult, SimError> {
     match kind.milp_config() {
         None => {
-            let engine = Engine::new(exp.cluster.clone(), exp.engine.clone());
+            let engine = Engine::new(exp.cluster.clone(), exp.engine.clone())
+                .with_recorder(recorder.clone());
             let metrics = match kind {
                 SchedulerKind::Backfill => {
                     let mut sched = crate::sched::backfill::BackfillScheduler::new(
@@ -168,19 +252,22 @@ pub fn run(kind: SchedulerKind, trace: &Trace, exp: &Experiment) -> Result<RunRe
                         exp.predictor.clone(),
                     );
                     sched.pretrain(&trace.pretrain);
-                    engine.run(&trace.jobs, &mut sched)?
+                    engine.run_observed(&trace.jobs, &mut sched, observer)?
                 }
                 _ => {
                     let mut sched = PrioScheduler::new();
-                    engine.run(&trace.jobs, &mut sched)?
+                    engine.run_observed(&trace.jobs, &mut sched, observer)?
                 }
             };
             Ok(RunResult {
                 metrics,
                 timings: Vec::new(),
+                stats: None,
             })
         }
-        Some((source, oe_mode)) => run_with_source(source, oe_mode, trace, exp),
+        Some((source, oe_mode)) => {
+            run_with_source_observed(source, oe_mode, trace, exp, recorder, observer)
+        }
     }
 }
 
@@ -193,6 +280,25 @@ pub fn run_with_source(
     trace: &Trace,
     exp: &Experiment,
 ) -> Result<RunResult, SimError> {
+    run_with_source_observed(
+        source,
+        oe_mode,
+        trace,
+        exp,
+        &Recorder::disabled(),
+        &mut NoopObserver,
+    )
+}
+
+/// [`run_with_source`] with metrics and cycle observation attached.
+pub fn run_with_source_observed(
+    source: EstimateSource,
+    oe_mode: OverestimateMode,
+    trace: &Trace,
+    exp: &Experiment,
+    recorder: &Recorder,
+    observer: &mut dyn CycleObserver,
+) -> Result<RunResult, SimError> {
     let sched_config = SchedConfig {
         oe_mode,
         cycle_hint: exp.engine.cycle_interval,
@@ -204,15 +310,18 @@ pub fn run_with_source(
             | EstimateSource::PredictedPoint
             | EstimateSource::PredictedPadded { .. }
     );
-    let mut sched = ThreeSigmaScheduler::new(sched_config, source, exp.predictor.clone());
+    let mut sched = ThreeSigmaScheduler::new(sched_config, source, exp.predictor.clone())
+        .with_recorder(recorder);
     if needs_history {
         sched.pretrain(&trace.pretrain);
     }
-    let engine = Engine::new(exp.cluster.clone(), exp.engine.clone());
-    let metrics = engine.run(&trace.jobs, &mut sched)?;
+    let engine =
+        Engine::new(exp.cluster.clone(), exp.engine.clone()).with_recorder(recorder.clone());
+    let metrics = engine.run_observed(&trace.jobs, &mut sched, observer)?;
     Ok(RunResult {
         metrics,
         timings: sched.timings().to_vec(),
+        stats: Some(sched.stats()),
     })
 }
 
@@ -272,6 +381,66 @@ mod tests {
         // Bit-identical replay: every per-job outcome matches exactly.
         assert_eq!(a.metrics.outcomes, b.metrics.outcomes);
         assert_eq!(a.metrics.preemptions, b.metrics.preemptions);
+    }
+
+    #[test]
+    fn observed_run_publishes_metrics_and_a_byte_stable_trace() {
+        let trace = tiny_trace();
+        let exp = Experiment::paper_sc256().with_cycle(20.0);
+
+        let recorder = Recorder::enabled();
+        let mut writer = CycleTraceWriter::new();
+        let r = run_observed(
+            SchedulerKind::ThreeSigma,
+            &trace,
+            &exp,
+            &recorder,
+            &mut writer,
+        )
+        .unwrap();
+        let stats = r.stats.expect("MILP kinds report stats");
+        assert!(stats.cycles > 0);
+        assert!(stats.options_enumerated >= stats.options_pruned + stats.options_placed);
+
+        // Engine and scheduler metrics land in the same registry.
+        let snap = recorder.snapshot();
+        assert_eq!(
+            snap.counter("engine_cycles_total"),
+            Some(r.metrics.cycles as u64)
+        );
+        assert_eq!(snap.counter("sched_cycles_total"), Some(stats.cycles));
+
+        // One trace line per cycle, and the whole run replays byte-stable.
+        assert_eq!(writer.lines().len(), r.metrics.cycles);
+        assert!(writer.lines()[0].starts_with("{\"cycle\":1,"));
+        let rec2 = Recorder::enabled();
+        let mut writer2 = CycleTraceWriter::new();
+        let r2 =
+            run_observed(SchedulerKind::ThreeSigma, &trace, &exp, &rec2, &mut writer2).unwrap();
+        assert_eq!(writer.to_jsonl(), writer2.to_jsonl());
+        assert_eq!(
+            recorder.snapshot().to_stable_json(),
+            rec2.snapshot().to_stable_json()
+        );
+        assert_eq!(r.metrics.outcomes, r2.metrics.outcomes);
+
+        // The unobserved path produces identical simulation results: the
+        // observability layer must not perturb decisions.
+        let plain = run(SchedulerKind::ThreeSigma, &trace, &exp).unwrap();
+        assert_eq!(plain.metrics.outcomes, r.metrics.outcomes);
+
+        // Baselines run through the same path without scheduler stats.
+        let mut w3 = CycleTraceWriter::new();
+        let prio = run_observed(
+            SchedulerKind::Prio,
+            &trace,
+            &exp,
+            &Recorder::enabled(),
+            &mut w3,
+        )
+        .unwrap();
+        assert!(prio.stats.is_none());
+        assert!(!w3.lines().is_empty());
     }
 
     #[test]

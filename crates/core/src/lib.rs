@@ -46,13 +46,16 @@ pub mod sched;
 pub mod utility;
 
 pub use dist::DiscreteDist;
-pub use driver::{run, run_with_source, Experiment, RunResult, SchedulerKind};
+pub use driver::{
+    run, run_observed, run_with_source, run_with_source_observed, CycleTraceWriter, Experiment,
+    RunResult, SchedulerKind,
+};
 pub use sched::backfill::{BackfillScheduler, PointSource};
 pub use sched::feasibility::{check_decision, FeasibilityViolation};
-pub use sched::options::{EstimateCache, RackMask};
+pub use sched::options::{CacheStats, EstimateCache, RackMask};
 pub use sched::prio::PrioScheduler;
 pub use sched::threesigma::{
-    CycleTiming, EstimateSource, OverestimateMode, PlanRecord, PlannedJob, SchedConfig,
+    CycleTiming, EstimateSource, OverestimateMode, PlanRecord, PlannedJob, SchedConfig, SchedStats,
     ThreeSigmaScheduler,
 };
 pub use utility::UtilityCurve;

@@ -132,6 +132,24 @@ struct CacheEntry {
 pub struct EstimateCache {
     entries: HashMap<JobId, CacheEntry>,
     epoch: u64,
+    hits: u64,
+    misses: u64,
+    lookups: u64,
+}
+
+/// Deterministic hit/miss counters for the [`EstimateCache`].
+///
+/// `lookups` is maintained independently of `hits` and `misses` so the
+/// simtest counter-consistency invariant (`hits + misses == lookups`) checks
+/// real bookkeeping rather than an identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Accesses served from a cached entry (base or scaled variant).
+    pub hits: u64,
+    /// Accesses that had to (re-)estimate or (re-)scale a distribution.
+    pub misses: u64,
+    /// Total accesses.
+    pub lookups: u64,
 }
 
 impl Default for EstimateCache {
@@ -146,6 +164,18 @@ impl EstimateCache {
         Self {
             entries: HashMap::new(),
             epoch: 0,
+            hits: 0,
+            misses: 0,
+            lookups: 0,
+        }
+    }
+
+    /// Cumulative hit/miss counters over the cache's lifetime.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            lookups: self.lookups,
         }
     }
 
@@ -169,15 +199,21 @@ impl EstimateCache {
         estimate: impl FnOnce() -> DiscreteDist,
     ) -> Arc<DiscreteDist> {
         let epoch = self.epoch;
+        self.lookups += 1;
         match self.entries.get_mut(&job) {
-            Some(e) if e.pinned || e.epoch == epoch => e.base.clone(),
+            Some(e) if e.pinned || e.epoch == epoch => {
+                self.hits += 1;
+                e.base.clone()
+            }
             Some(e) => {
+                self.misses += 1;
                 e.base = Arc::new(estimate());
                 e.epoch = epoch;
                 e.scaled.clear();
                 e.base.clone()
             }
             None => {
+                self.misses += 1;
                 let base = Arc::new(estimate());
                 self.entries.insert(
                     job,
@@ -194,20 +230,34 @@ impl EstimateCache {
     }
 
     /// The job's distribution scaled by `scale`, cached per scale factor.
-    /// Must be called after [`Self::base`] in the same cycle (the entry
-    /// must exist and be fresh).
-    pub fn scaled(&mut self, job: JobId, scale: f64) -> Arc<DiscreteDist> {
-        let e = self
-            .entries
-            .get_mut(&job)
-            .expect("scaled() requires a prior base() call for the job");
+    /// Expects a prior [`Self::base`] call in the same cycle; returns
+    /// `None` if the job has no cached entry, so a bookkeeping slip
+    /// degrades the caller's decision instead of panicking mid-cycle.
+    pub fn scaled(&mut self, job: JobId, scale: f64) -> Option<Arc<DiscreteDist>> {
+        self.lookups += 1;
+        let Some(e) = self.entries.get_mut(&job) else {
+            self.misses += 1;
+            return None;
+        };
         if scale == 1.0 {
-            return e.base.clone();
+            self.hits += 1;
+            return Some(e.base.clone());
         }
-        e.scaled
+        let mut rescaled = false;
+        let d = e
+            .scaled
             .entry(scale.to_bits())
-            .or_insert_with(|| Arc::new(e.base.scale(scale)))
-            .clone()
+            .or_insert_with(|| {
+                rescaled = true;
+                Arc::new(e.base.scale(scale))
+            })
+            .clone();
+        if rescaled {
+            self.misses += 1;
+        } else {
+            self.hits += 1;
+        }
+        Some(d)
     }
 
     /// Pins the job's current estimate (attempt started running).
@@ -271,16 +321,27 @@ pub(crate) struct JobOptions {
     /// Best expected utility over *all* (space, slot) pairs, including
     /// pruned ones — drives hopeless-job cancellation.
     pub best_utility: f64,
+    /// Total (space, slot) pairs valued, including pruned ones.
+    pub enumerated: usize,
+    /// Pairs dropped by the §4.3.6 zero-value prune.
+    pub pruned: usize,
 }
 
 fn generate_one(input: &GenInput, slots: &[f64]) -> JobOptions {
     let mut options = Vec::new();
     let mut best_utility = 0.0f64;
+    let mut enumerated = 0usize;
+    let mut pruned = 0usize;
     for (mask, dist) in &input.spaces {
         for (slot, &start) in slots.iter().enumerate() {
+            enumerated += 1;
             let eu = input.curve.expected(start, dist);
+            // A non-finite expected utility (NaN deadline, inf weight)
+            // must never reach the MILP objective; treat it as zero-value.
+            let eu = if eu.is_finite() { eu } else { 0.0 };
             best_utility = best_utility.max(eu);
             if eu <= 1e-9 {
+                pruned += 1;
                 continue; // §4.3.6: prune zero-value terms
             }
             options.push(GenOption {
@@ -294,6 +355,8 @@ fn generate_one(input: &GenInput, slots: &[f64]) -> JobOptions {
     JobOptions {
         options,
         best_utility,
+        enumerated,
+        pruned,
     }
 }
 
@@ -543,16 +606,47 @@ mod tests {
         let mut cache = EstimateCache::new();
         let job = JobId(3);
         let _ = cache.base(job, || DiscreteDist::point(100.0));
-        let a = cache.scaled(job, 1.5);
-        let b = cache.scaled(job, 1.5);
+        let a = cache.scaled(job, 1.5).unwrap();
+        let b = cache.scaled(job, 1.5).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "same Arc, no re-scale");
         assert_eq!(a.mean(), 150.0);
-        let unit = cache.scaled(job, 1.0);
+        let unit = cache.scaled(job, 1.0).unwrap();
         assert_eq!(unit.mean(), 100.0);
         // Re-estimation clears stale scaled variants.
         cache.bump_epoch();
         let _ = cache.base(job, || DiscreteDist::point(10.0));
-        assert_eq!(cache.scaled(job, 1.5).mean(), 15.0);
+        assert_eq!(cache.scaled(job, 1.5).unwrap().mean(), 15.0);
+    }
+
+    #[test]
+    fn estimate_cache_scaled_without_base_degrades_gracefully() {
+        // Regression: `scaled()` used to panic when the base entry was
+        // missing; a bookkeeping slip must degrade the decision, not kill
+        // the engine.
+        let mut cache = EstimateCache::new();
+        assert!(cache.scaled(JobId(99), 1.5).is_none());
+        assert!(cache.scaled(JobId(99), 1.0).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.lookups, 2);
+    }
+
+    #[test]
+    fn estimate_cache_counts_hits_and_misses() {
+        let mut cache = EstimateCache::new();
+        let job = JobId(5);
+        let _ = cache.base(job, || DiscreteDist::point(100.0)); // miss
+        let _ = cache.base(job, || unreachable!()); // hit
+        let _ = cache.scaled(job, 2.0); // miss (first scale)
+        let _ = cache.scaled(job, 2.0); // hit
+        let _ = cache.scaled(job, 1.0); // hit (base reuse)
+        cache.bump_epoch();
+        let _ = cache.base(job, || DiscreteDist::point(50.0)); // miss (stale)
+        let s = cache.stats();
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.lookups, 6);
+        assert_eq!(s.hits + s.misses, s.lookups);
     }
 
     #[test]
@@ -582,6 +676,10 @@ mod tests {
         for (p, s) in par.iter().zip(&seq) {
             assert_eq!(p.best_utility.to_bits(), s.best_utility.to_bits());
             assert_eq!(p.options.len(), s.options.len());
+            assert_eq!(p.enumerated, s.enumerated);
+            assert_eq!(p.pruned, s.pruned);
+            assert_eq!(p.enumerated, 8, "2 spaces × 4 slots");
+            assert_eq!(p.options.len() + p.pruned, p.enumerated);
             for (po, so) in p.options.iter().zip(&s.options) {
                 assert_eq!(po.slot, so.slot);
                 assert_eq!(po.mask, so.mask);

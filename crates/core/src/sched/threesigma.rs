@@ -36,11 +36,12 @@ use threesigma_cluster::{
 };
 use threesigma_histogram::RuntimeDistribution;
 use threesigma_milp::{Cmp, Model, Solver, SolverConfig, VarId};
-use threesigma_predict::{AttributeSource, Predictor, PredictorConfig};
+use threesigma_obs::{Counter, Gauge, Histogram, Recorder};
+use threesigma_predict::{AttributeSource, EstimatorKind, Predictor, PredictorConfig};
 
 use crate::dist::DiscreteDist;
 use crate::sched::options::{
-    self, CompiledOption, EstimateCache, GenInput, OptionBuckets, RackMask,
+    self, CacheStats, CompiledOption, EstimateCache, GenInput, OptionBuckets, RackMask,
 };
 use crate::utility::UtilityCurve;
 
@@ -230,12 +231,199 @@ struct UnderEst {
     est_total_runtime: f64,
 }
 
+/// §4.2.1 exponential-increment step with saturating arithmetic.
+///
+/// Advances the attempt's estimated total runtime to `elapsed + 2^t · hint`
+/// until it exceeds `elapsed`. The `2^t` factor is computed in `u64` with
+/// `checked_shl` and capped once `t` reaches 64, so a long-outlived
+/// under-estimate can never push the factor to `inf` (which previously
+/// produced a `point(inf)` distribution and NaN survival terms in the
+/// MILP). If `hint` is so small it is absorbed by `elapsed` in floating
+/// point, the estimate still makes forward progress instead of looping.
+fn exp_inc(ue: &mut UnderEst, elapsed: f64, hint: f64) -> f64 {
+    while ue.est_total_runtime <= elapsed {
+        ue.increments = ue.increments.saturating_add(1);
+        let factor = 1u64
+            .checked_shl(ue.increments)
+            .map_or(u64::MAX as f64, |f| f as f64);
+        ue.est_total_runtime = (elapsed + factor * hint).min(f64::MAX);
+        if ue.increments >= 64 {
+            // The doubling factor has saturated; guarantee progress even
+            // when `factor * hint` underflows against `elapsed`.
+            if ue.est_total_runtime <= elapsed {
+                ue.est_total_runtime = (elapsed * 2.0).min(f64::MAX).max(elapsed + 1.0);
+            }
+            break;
+        }
+    }
+    ue.est_total_runtime
+}
+
 /// Adapter exposing cluster attributes to the predictor.
 struct Attrs<'a>(&'a threesigma_cluster::Attributes);
 
 impl AttributeSource for Attrs<'_> {
     fn get_attr(&self, key: &str) -> Option<&str> {
         self.0.get(key)
+    }
+}
+
+/// Deterministic cumulative scheduler counters, kept as plain integers on
+/// the hot path and mirrored into the metrics [`Recorder`] once per cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Scheduling cycles executed.
+    pub cycles: u64,
+    /// (space, slot) options valued by Eq. 1, including pruned ones.
+    pub options_enumerated: u64,
+    /// Options dropped by the §4.3.6 zero-value prune.
+    pub options_pruned: u64,
+    /// Options that became concrete placements.
+    pub options_placed: u64,
+    /// Estimate-cache stats (base and scaled lookups).
+    pub cache: CacheStats,
+    /// Branch-and-bound nodes expanded across all cycles.
+    pub milp_nodes: u64,
+    /// Simplex pivots (LP iterations) across all cycles.
+    pub milp_pivots: u64,
+    /// Times the solver created or improved an incumbent.
+    pub milp_incumbent_updates: u64,
+    /// Cycles whose solve ended on the wall-clock budget.
+    pub solver_timeouts: u64,
+    /// Cycles where the accepted plan is the warm-started status quo (the
+    /// search never improved on the seed incumbent).
+    pub warm_start_reuses: u64,
+    /// Times the predictor's chosen (feature, estimator) expert changed
+    /// between consecutive submission-time predictions.
+    pub expert_switches: u64,
+}
+
+/// Metric handles registered against the attached [`Recorder`]; kept
+/// alongside the scheduler so the per-cycle flush only touches atomics.
+struct SchedMetrics {
+    cycles: Counter,
+    options_enumerated: Counter,
+    options_pruned: Counter,
+    options_placed: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_lookups: Counter,
+    milp_nodes: Counter,
+    milp_pivots: Counter,
+    incumbent_updates: Counter,
+    solver_timeouts: Counter,
+    warm_start_reuses: Counter,
+    expert_switches: Counter,
+    predict_tracked_values: Gauge,
+    predict_observations: Counter,
+    predict_bin_merges: Counter,
+    predict_best_nmae: Gauge,
+    generate_seconds: Histogram,
+    compile_seconds: Histogram,
+    solve_seconds: Histogram,
+    extract_seconds: Histogram,
+    cycle_seconds: Histogram,
+}
+
+impl SchedMetrics {
+    fn register(rec: &Recorder) -> Self {
+        Self {
+            cycles: rec.counter("sched_cycles_total", "Scheduling cycles executed"),
+            options_enumerated: rec.counter(
+                "sched_options_enumerated_total",
+                "(space, slot) options valued by Eq. 1, including pruned",
+            ),
+            options_pruned: rec.counter(
+                "sched_options_pruned_total",
+                "Options dropped by the zero-value prune",
+            ),
+            options_placed: rec.counter(
+                "sched_options_placed_total",
+                "Options that became concrete placements",
+            ),
+            cache_hits: rec.counter("sched_cache_hits_total", "Estimate-cache hits"),
+            cache_misses: rec.counter("sched_cache_misses_total", "Estimate-cache misses"),
+            cache_lookups: rec.counter("sched_cache_lookups_total", "Estimate-cache lookups"),
+            milp_nodes: rec.counter("sched_milp_nodes_total", "Branch-and-bound nodes expanded"),
+            milp_pivots: rec.counter("sched_milp_pivots_total", "Simplex pivots (LP iterations)"),
+            incumbent_updates: rec.counter(
+                "sched_milp_incumbent_updates_total",
+                "Times the solver created or improved an incumbent",
+            ),
+            solver_timeouts: rec.counter(
+                "sched_solver_timeouts_total",
+                "Cycles whose solve ended on the wall-clock budget",
+            ),
+            warm_start_reuses: rec.counter(
+                "sched_warm_start_reuse_total",
+                "Cycles where the plan is the warm-started status quo",
+            ),
+            expert_switches: rec.counter(
+                "sched_expert_switches_total",
+                "Predictor (feature, estimator) expert changes between predictions",
+            ),
+            predict_tracked_values: rec.gauge(
+                "predict_tracked_values",
+                "Attribute values with per-value runtime history",
+            ),
+            predict_observations: rec.counter(
+                "predict_observations_total",
+                "Runtime observations folded into the predictor",
+            ),
+            predict_bin_merges: rec.counter(
+                "predict_bin_merges_total",
+                "Streaming-histogram bin merges across all tracked values",
+            ),
+            predict_best_nmae: rec.gauge(
+                "predict_best_nmae",
+                "Best (lowest) per-feature NMAE currently achieved",
+            ),
+            generate_seconds: rec.timer(
+                "sched_generate_seconds",
+                "Option-generation stage latency per cycle",
+            ),
+            compile_seconds: rec.timer(
+                "sched_compile_seconds",
+                "MILP compilation stage latency per cycle",
+            ),
+            solve_seconds: rec.timer("sched_solve_seconds", "MILP solver latency per cycle"),
+            extract_seconds: rec.timer(
+                "sched_extract_seconds",
+                "Placement extraction stage latency per cycle",
+            ),
+            cycle_seconds: rec.timer("sched_cycle_seconds", "Whole scheduling cycle latency"),
+        }
+    }
+
+    fn flush(&self, stats: &SchedStats, predictor: &Predictor, timing: &CycleTiming) {
+        self.cycles.set_total(stats.cycles);
+        self.options_enumerated.set_total(stats.options_enumerated);
+        self.options_pruned.set_total(stats.options_pruned);
+        self.options_placed.set_total(stats.options_placed);
+        self.cache_hits.set_total(stats.cache.hits);
+        self.cache_misses.set_total(stats.cache.misses);
+        self.cache_lookups.set_total(stats.cache.lookups);
+        self.milp_nodes.set_total(stats.milp_nodes);
+        self.milp_pivots.set_total(stats.milp_pivots);
+        self.incumbent_updates
+            .set_total(stats.milp_incumbent_updates);
+        self.solver_timeouts.set_total(stats.solver_timeouts);
+        self.warm_start_reuses.set_total(stats.warm_start_reuses);
+        self.expert_switches.set_total(stats.expert_switches);
+        // O(1): the full `predictor.stats()` scan over every tracked
+        // feature value is far too slow to run once per cycle.
+        let ps = predictor.quick_stats();
+        self.predict_tracked_values.set(ps.tracked_values as f64);
+        self.predict_observations.set_total(ps.observations);
+        self.predict_bin_merges.set_total(ps.bin_merges);
+        if let Some(best) = ps.best_nmae {
+            self.predict_best_nmae.set(best);
+        }
+        self.generate_seconds.observe_duration(timing.generate);
+        self.compile_seconds.observe_duration(timing.compile);
+        self.solve_seconds.observe_duration(timing.solver);
+        self.extract_seconds.observe_duration(timing.extract);
+        self.cycle_seconds.observe_duration(timing.total);
     }
 }
 
@@ -252,6 +440,13 @@ pub struct ThreeSigmaScheduler {
     underest: HashMap<(JobId, u64), UnderEst>,
     timings: Vec<CycleTiming>,
     plans: Vec<PlanRecord>,
+    /// Cumulative deterministic counters (excluding cache stats, which
+    /// live on the cache itself).
+    totals: SchedStats,
+    /// Last (feature, estimator) expert the predictor chose.
+    last_expert: Option<(&'static str, EstimatorKind)>,
+    /// Registered metric handles when a recorder is attached.
+    obs: Option<SchedMetrics>,
 }
 
 impl ThreeSigmaScheduler {
@@ -269,6 +464,30 @@ impl ThreeSigmaScheduler {
             underest: HashMap::new(),
             timings: Vec::new(),
             plans: Vec::new(),
+            totals: SchedStats::default(),
+            last_expert: None,
+            obs: None,
+        }
+    }
+
+    /// Attaches a metrics recorder; cumulative counters and stage timers
+    /// are published through it at the end of every scheduling cycle.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: &Recorder) -> Self {
+        // A disabled recorder registers nothing: the per-cycle flush (which
+        // also aggregates predictor stats) is skipped entirely, keeping the
+        // default path free of observability overhead.
+        if recorder.is_enabled() {
+            self.obs = Some(SchedMetrics::register(recorder));
+        }
+        self
+    }
+
+    /// Cumulative deterministic scheduler counters.
+    pub fn stats(&self) -> SchedStats {
+        SchedStats {
+            cache: self.cache.stats(),
+            ..self.totals
         }
     }
 
@@ -414,6 +633,23 @@ impl Scheduler for ThreeSigmaScheduler {
         // Seed the cache; the entry is lazily refreshed every time the
         // history epoch moves while the job is still pending.
         let _ = self.cache.base(spec.id, || d);
+        // Track which (feature, estimator) expert the predictor currently
+        // trusts; a change between consecutive predictions is an expert
+        // switch (estimator-competition churn, §4.1).
+        if matches!(
+            self.source,
+            EstimateSource::Predicted
+                | EstimateSource::PredictedPoint
+                | EstimateSource::PredictedPadded { .. }
+        ) {
+            if let Some(p) = self.predictor.predict(&Attrs(&spec.attributes)) {
+                let expert = (p.feature, p.estimator);
+                if self.last_expert.is_some_and(|prev| prev != expert) {
+                    self.totals.expert_switches += 1;
+                }
+                self.last_expert = Some(expert);
+            }
+        }
     }
 
     fn on_job_completed(
@@ -441,8 +677,11 @@ impl Scheduler for ThreeSigmaScheduler {
             underest,
             timings,
             plans,
+            totals,
+            obs,
             ..
         } = self;
+        totals.cycles += 1;
 
         // ---- Stage 1: generate. Select the most urgent pending jobs,
         // refresh cached estimates, and value every (space, slot) option
@@ -452,11 +691,10 @@ impl Scheduler for ThreeSigmaScheduler {
             Some(d) => d,
             None => spec.submit_time + 0.25 * cfg.be_horizon,
         };
-        order.sort_by(|&a, &b| {
-            urgency(view.pending[a])
-                .partial_cmp(&urgency(view.pending[b]))
-                .expect("finite urgency")
-        });
+        // `total_cmp` keeps the sort well-defined even for a NaN deadline
+        // (NaN orders last); the previous `partial_cmp().expect(...)` killed
+        // the whole engine on one malformed job.
+        order.sort_by(|&a, &b| urgency(view.pending[a]).total_cmp(&urgency(view.pending[b])));
         order.truncate(cfg.max_jobs_per_cycle);
         let considered: Vec<&JobSpec> = order.iter().map(|&i| view.pending[i]).collect();
 
@@ -474,21 +712,35 @@ impl Scheduler for ThreeSigmaScheduler {
             // Equivalence sets for this job: preferred racks (unscaled
             // runtime) and the whole cluster (slowed runtime), or just the
             // whole cluster for indifferent jobs.
+            // The base() call above guarantees an entry, so scaled() cannot
+            // miss; if bookkeeping ever slips, fall back to the unscaled
+            // base — a degraded valuation, not a panic.
             let mut spaces = Vec::new();
             match &spec.preferred {
                 Some(pref) => {
                     let pmask = RackMask::of(pref);
-                    spaces.push((pmask, cache.scaled(spec.id, 1.0)));
-                    spaces.push((full_mask, cache.scaled(spec.id, spec.nonpreferred_slowdown)));
+                    let unit = cache.scaled(spec.id, 1.0).unwrap_or_else(|| base.clone());
+                    let slowed = cache
+                        .scaled(spec.id, spec.nonpreferred_slowdown)
+                        .unwrap_or_else(|| base.clone());
+                    spaces.push((pmask, unit));
+                    spaces.push((full_mask, slowed));
                     if !space_masks.contains(&pmask) {
                         space_masks.push(pmask);
                     }
                 }
-                None => spaces.push((full_mask, cache.scaled(spec.id, 1.0))),
+                None => {
+                    let unit = cache.scaled(spec.id, 1.0).unwrap_or_else(|| base.clone());
+                    spaces.push((full_mask, unit));
+                }
             }
             gen_inputs.push(GenInput { spaces, curve });
         }
         let job_options = options::generate(&gen_inputs, &slots);
+        for jo in &job_options {
+            totals.options_enumerated += jo.enumerated as u64;
+            totals.options_pruned += jo.pruned as u64;
+        }
         let generate_elapsed = cycle_start.elapsed();
 
         // ---- Stage 2: compile the MILP. ----
@@ -556,7 +808,9 @@ impl Scheduler for ThreeSigmaScheduler {
                     .any(|(p, n)| *n > 0 && !pref.contains(p))
             });
             let scaled = if off_pref {
-                cache.scaled(r.spec.id, r.spec.nonpreferred_slowdown)
+                cache
+                    .scaled(r.spec.id, r.spec.nonpreferred_slowdown)
+                    .unwrap_or_else(|| base.clone())
             } else {
                 base
             };
@@ -567,12 +821,7 @@ impl Scheduler for ThreeSigmaScheduler {
                     increments: 0,
                     est_total_runtime: elapsed + cfg.cycle_hint,
                 });
-                while ue.est_total_runtime <= elapsed {
-                    ue.increments += 1;
-                    ue.est_total_runtime =
-                        elapsed + 2f64.powi(ue.increments as i32) * cfg.cycle_hint;
-                }
-                DiscreteDist::point(ue.est_total_runtime)
+                DiscreteDist::point(exp_inc(ue, elapsed, cfg.cycle_hint))
             } else {
                 scaled.condition(elapsed)
             };
@@ -662,6 +911,14 @@ impl Scheduler for ThreeSigmaScheduler {
         let milp_vars = model.num_vars();
         let milp_rows = model.num_constraints();
         let nodes = solution.nodes;
+        totals.milp_nodes += solution.nodes as u64;
+        totals.milp_pivots += solution.lp_iterations as u64;
+        totals.milp_incumbent_updates += solution.incumbent_updates as u64;
+        totals.solver_timeouts += u64::from(solution.timed_out);
+        // Exactly one incumbent event means the warm-start seed was never
+        // improved on: the accepted plan is the status quo.
+        totals.warm_start_reuses +=
+            u64::from(solution.has_solution() && solution.incumbent_updates == 1);
 
         // ---- Stage 4: extract placements and update cache state. ----
         let extract_start = Instant::now();
@@ -747,8 +1004,9 @@ impl Scheduler for ThreeSigmaScheduler {
             cache.pin(p.job);
         }
         let extract_elapsed = extract_start.elapsed();
+        totals.options_placed += decision.placements.len() as u64;
 
-        timings.push(CycleTiming {
+        let timing = CycleTiming {
             pending: view.pending.len(),
             considered: considered.len(),
             milp_vars,
@@ -759,7 +1017,15 @@ impl Scheduler for ThreeSigmaScheduler {
             solver: solver_elapsed,
             extract: extract_elapsed,
             nodes,
-        });
+        };
+        if let Some(obs) = obs {
+            let stats = SchedStats {
+                cache: cache.stats(),
+                ..*totals
+            };
+            obs.flush(&stats, predictor, &timing);
+        }
+        timings.push(timing);
         decision
     }
 }
@@ -1239,6 +1505,145 @@ mod tests {
         let m = engine(1, 2).run(&jobs, &mut s).unwrap();
         assert_eq!(m.count(threesigma_cluster::JobState::Canceled), 0);
         assert_eq!(m.completion_rate(), 1.0);
+    }
+
+    #[test]
+    fn exp_inc_saturates_past_sixty_three_doublings() {
+        // Drive the doubling count far past 63: the 2^t factor must
+        // saturate instead of overflowing to inf (which produced a
+        // `point(inf)` distribution and NaN survival terms downstream).
+        let mut ue = UnderEst {
+            increments: 0,
+            est_total_runtime: 0.0,
+        };
+        // hint so small relative to elapsed's float granularity that even
+        // 2^63 · hint is absorbed — the doubling count must run all the
+        // way to the cap and still make finite forward progress.
+        let est = exp_inc(&mut ue, 1e30, 1e-6);
+        assert!(ue.increments >= 64, "t = {}", ue.increments);
+        assert!(est.is_finite(), "estimate must stay finite, got {est}");
+        assert!(est > 1e30, "estimate must exceed elapsed, got {est}");
+
+        // Repeated invocations with growing elapsed keep making finite
+        // forward progress; the increment counter saturates, never wraps.
+        let mut elapsed = est;
+        for _ in 0..10 {
+            let next = exp_inc(&mut ue, elapsed, 1e-6);
+            assert!(next.is_finite() && next > elapsed);
+            elapsed = next;
+        }
+
+        // The pre-saturation regime still doubles exactly as §4.2.1 asks.
+        let mut small = UnderEst {
+            increments: 0,
+            est_total_runtime: 0.0,
+        };
+        let est = exp_inc(&mut small, 100.0, 10.0);
+        assert_eq!(small.increments, 1);
+        assert_eq!(est, 100.0 + 2.0 * 10.0);
+        let est = exp_inc(&mut small, 130.0, 10.0);
+        assert_eq!(small.increments, 2);
+        assert_eq!(est, 130.0 + 4.0 * 10.0);
+    }
+
+    #[test]
+    fn underestimated_job_survives_saturated_doubling_in_simulation() {
+        // End-to-end: a grossly under-estimated job (history ~1 s, actual
+        // 5000 s) with a tiny cycle hint accumulates many exp-inc steps;
+        // the run must complete rather than wedge or panic on overflow.
+        let dist = RuntimeDistribution::from_samples(&[0.9, 1.0, 1.1], 16).unwrap();
+        let mut map = HashMap::new();
+        map.insert(JobId(1), dist);
+        let mut s = ThreeSigmaScheduler::new(
+            SchedConfig {
+                cycle_hint: 1e-3,
+                ..SchedConfig::default()
+            },
+            EstimateSource::Injected(Arc::new(map)),
+            PredictorConfig::default(),
+        );
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 2, 5000.0, JobKind::BestEffort),
+            JobSpec::new(2, 10.0, 2, 50.0, JobKind::BestEffort),
+        ];
+        let m = engine(1, 2).run(&jobs, &mut s).unwrap();
+        assert_eq!(m.completion_rate(), 1.0, "{:?}", m.outcomes);
+    }
+
+    #[test]
+    fn nan_deadline_does_not_panic_the_urgency_sort() {
+        // Regression: the urgency sort used `partial_cmp().expect(...)`,
+        // so a single NaN deadline killed the engine. With `total_cmp` the
+        // malformed job just sorts last and the healthy jobs schedule.
+        let mut s = scheduler(EstimateSource::OraclePoint);
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 1, 50.0, JobKind::Slo { deadline: f64::NAN }),
+            JobSpec::new(2, 0.0, 1, 50.0, JobKind::Slo { deadline: 400.0 }).with_weight(10.0),
+            JobSpec::new(3, 0.0, 1, 50.0, JobKind::BestEffort),
+        ];
+        let m = engine(1, 2).run(&jobs, &mut s).unwrap();
+        assert_eq!(m.outcomes[1].state, threesigma_cluster::JobState::Completed);
+        assert_eq!(m.outcomes[2].state, threesigma_cluster::JobState::Completed);
+    }
+
+    #[test]
+    fn stats_and_recorder_stay_consistent() {
+        let recorder = Recorder::enabled();
+        let mut s = scheduler(EstimateSource::OraclePoint).with_recorder(&recorder);
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 2, 100.0, JobKind::BestEffort),
+            JobSpec::new(2, 0.0, 2, 100.0, JobKind::Slo { deadline: 600.0 }).with_weight(5.0),
+        ];
+        let m = engine(1, 4).run(&jobs, &mut s).unwrap();
+        assert_eq!(m.completion_rate(), 1.0);
+
+        let stats = s.stats();
+        assert!(stats.cycles > 0);
+        assert!(stats.options_enumerated >= stats.options_pruned + stats.options_placed);
+        assert_eq!(stats.cache.hits + stats.cache.misses, stats.cache.lookups);
+        assert_eq!(stats.options_placed, 2);
+
+        // The recorder mirrors the deterministic totals exactly.
+        let snap = recorder.snapshot();
+        assert_eq!(snap.counter("sched_cycles_total"), Some(stats.cycles));
+        assert_eq!(
+            snap.counter("sched_options_enumerated_total"),
+            Some(stats.options_enumerated)
+        );
+        assert_eq!(
+            snap.counter("sched_cache_lookups_total"),
+            Some(stats.cache.lookups)
+        );
+        assert_eq!(
+            snap.counter("sched_milp_nodes_total"),
+            Some(stats.milp_nodes)
+        );
+    }
+
+    #[test]
+    fn expert_switches_are_counted_between_predictions() {
+        // Jobs alternate between carrying only a `user` attribute and only
+        // a `job_name` attribute, so consecutive predictions must come from
+        // different *features* — a guaranteed expert switch.
+        let mk = |key: &str, val: &str, rt: f64, id: u64, t: f64| {
+            JobSpec::new(id, t, 1, rt, JobKind::BestEffort)
+                .with_attributes(threesigma_cluster::Attributes::new().with(key, val))
+        };
+        let mut history = Vec::new();
+        for i in 0..20 {
+            history.push(mk("user", "alice", 100.0, 1000 + i, i as f64));
+            history.push(mk("job_name", "etl", 200.0, 2000 + i, i as f64));
+        }
+        let mut s = scheduler(EstimateSource::Predicted);
+        s.pretrain(&history);
+        let jobs = vec![
+            mk("user", "alice", 100.0, 1, 0.0),
+            mk("job_name", "etl", 200.0, 2, 1.0),
+            mk("user", "alice", 100.0, 3, 2.0),
+        ];
+        let m = engine(1, 4).run(&jobs, &mut s).unwrap();
+        assert!(m.completion_rate() > 0.0);
+        assert!(s.stats().expert_switches >= 2, "stats: {:?}", s.stats());
     }
 
     #[test]

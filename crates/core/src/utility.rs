@@ -67,9 +67,18 @@ impl UtilityCurve {
                 if completion <= deadline {
                     weight
                 } else if completion >= zero_at || zero_at <= deadline {
+                    // A degenerate decay window (zero_at ≤ deadline, e.g.
+                    // zero step height or span 0) acts like the hard step:
+                    // the slope is never evaluated, so it cannot divide by
+                    // zero or go negative.
                     0.0
                 } else {
-                    weight * (zero_at - completion) / (zero_at - deadline)
+                    // Both differences are positive here; the clamp keeps
+                    // the fraction in [0, 1] even at float extremes (e.g.
+                    // a huge zero_at where the ratio rounds past 1), so no
+                    // NaN or negative utility can reach the MILP objective.
+                    let frac = ((zero_at - completion) / (zero_at - deadline)).clamp(0.0, 1.0);
+                    weight * frac
                 }
             }
             UtilityCurve::BeLinear {
@@ -263,6 +272,97 @@ mod tests {
         };
         for start in [0.0, 50.0, 150.0, 300.0] {
             assert!(decay.expected(start, &d) >= step.expected(start, &d) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_step_height_and_zero_span_are_well_defined() {
+        // Step height 0: utility is identically zero, never NaN (the slope
+        // would be 0/positive or, with span 0, 0/0 if evaluated naively).
+        let flat = UtilityCurve::SloDecay {
+            weight: 0.0,
+            deadline: 100.0,
+            zero_at: 100.0,
+        };
+        for c in [0.0, 100.0, 100.5, 1e9] {
+            let v = flat.value(c);
+            assert_eq!(v, 0.0, "value({c}) = {v}");
+            assert!(!v.is_nan());
+        }
+        // Decay window starting exactly at the deadline (zero span, nonzero
+        // weight): behaves as a step with no NaN at the boundary.
+        let step_like = UtilityCurve::SloDecay {
+            weight: 5.0,
+            deadline: 100.0,
+            zero_at: 100.0,
+        };
+        assert_eq!(step_like.value(100.0), 5.0);
+        assert_eq!(step_like.value(100.0 + f64::EPSILON * 200.0), 0.0);
+        let d = DiscreteDist::point(50.0);
+        assert!(step_like.expected(0.0, &d).is_finite());
+        assert!(flat.expected(0.0, &d) == 0.0);
+    }
+
+    mod decay_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // §4.2.2 safety envelope: for any decay curve (including zero
+            // weight and zero span) utility is finite, within [0, weight],
+            // and monotone non-increasing in completion time — in
+            // particular past the deadline, where the slope lives.
+            #[test]
+            fn decay_utility_is_monotone_and_bounded(
+                weight in 0.0f64..100.0,
+                deadline in 0.0f64..1e6,
+                span in 0.0f64..1e6,
+                mut completions in prop::collection::vec(0.0f64..4e6, 2..32),
+            ) {
+                let u = UtilityCurve::SloDecay {
+                    weight,
+                    deadline,
+                    zero_at: deadline + span,
+                };
+                completions.sort_by(f64::total_cmp);
+                let mut prev = f64::INFINITY;
+                for &c in &completions {
+                    let v = u.value(c);
+                    prop_assert!(v.is_finite(), "value({c}) = {v}");
+                    prop_assert!(v >= 0.0, "negative utility {v} at {c}");
+                    prop_assert!(v <= weight, "utility {v} above weight {weight}");
+                    prop_assert!(
+                        v <= prev,
+                        "not non-increasing: value({c}) = {v} after {prev}"
+                    );
+                    prev = v;
+                }
+            }
+
+            // Eq. 1 under the decay curve inherits the envelope: finite
+            // and within [0, weight] for any start and mass points.
+            #[test]
+            fn decay_expected_utility_stays_in_envelope(
+                weight in 0.0f64..100.0,
+                deadline in 0.0f64..1e5,
+                span in 0.0f64..1e5,
+                start in 0.0f64..1e6,
+                lo in 0.1f64..1e3,
+                width in 0.0f64..1e3,
+            ) {
+                let u = UtilityCurve::SloDecay {
+                    weight,
+                    deadline,
+                    zero_at: deadline + span,
+                };
+                let d = DiscreteDist::from_distribution(
+                    &RuntimeDistribution::Uniform(Uniform::new(lo, lo + width.max(1e-6))),
+                    16,
+                );
+                let e = u.expected(start, &d);
+                prop_assert!(e.is_finite(), "expected({start}) = {e}");
+                prop_assert!((0.0..=weight * (1.0 + 1e-12)).contains(&e), "{e}");
+            }
         }
     }
 

@@ -33,6 +33,9 @@ pub struct StreamingHistogram {
     count: u64,
     min: f64,
     max: f64,
+    /// Times two bins were collapsed to stay within `max_bins` —
+    /// observability for how lossy this sketch has been.
+    merges: u64,
 }
 
 impl StreamingHistogram {
@@ -49,6 +52,7 @@ impl StreamingHistogram {
             count: 0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            merges: 0,
         }
     }
 
@@ -80,6 +84,13 @@ impl StreamingHistogram {
     /// The current bins, sorted by centroid.
     pub fn bins(&self) -> &[Bin] {
         &self.bins
+    }
+
+    /// Times two bins were collapsed to respect the bin budget. A high
+    /// merge count relative to [`count`](Self::count) means the sketch has
+    /// been compressing aggressively and quantiles are coarser.
+    pub fn merge_count(&self) -> u64 {
+        self.merges
     }
 
     /// Mean of the inserted observations (exact for sums, since merging
@@ -125,6 +136,7 @@ impl StreamingHistogram {
             return;
         }
         self.count += other.count;
+        self.merges += other.merges;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
         for bin in &other.bins {
@@ -142,6 +154,7 @@ impl StreamingHistogram {
     }
 
     fn merge_closest(&mut self) {
+        self.merges += 1;
         let mut best = 0;
         let mut best_gap = f64::INFINITY;
         for i in 0..self.bins.len() - 1 {
@@ -342,6 +355,28 @@ mod tests {
         let q1 = h.quantile(1.0).unwrap();
         assert_eq!(q0, 1.0);
         assert_eq!(q1, 1000.0);
+    }
+
+    #[test]
+    fn merge_count_tracks_compression() {
+        let mut h = StreamingHistogram::new(4);
+        for i in 0..4 {
+            h.insert(i as f64);
+        }
+        assert_eq!(h.merge_count(), 0);
+        for i in 4..20 {
+            h.insert(i as f64);
+        }
+        // Every insert past the budget costs exactly one merge.
+        assert_eq!(h.merge_count(), 16);
+
+        let mut a = StreamingHistogram::new(4);
+        for i in 0..10 {
+            a.insert(i as f64);
+        }
+        let before = a.merge_count();
+        a.merge(&h);
+        assert!(a.merge_count() >= before + h.merge_count());
     }
 
     #[test]

@@ -45,6 +45,11 @@ pub struct MipSolution {
     pub nodes: usize,
     /// Total simplex iterations across all LP solves.
     pub lp_iterations: usize,
+    /// Times the incumbent was created or improved (warm-start seed,
+    /// integral node, or round-and-repair heuristic).
+    pub incumbent_updates: usize,
+    /// True when the wall-clock budget ended the search.
+    pub timed_out: bool,
 }
 
 impl MipSolution {
@@ -159,6 +164,8 @@ impl Solver {
             .collect();
         let tol = self.config.integrality_tol;
         let mut lp_iterations = 0usize;
+        let mut incumbent_updates = 0usize;
+        let mut timed_out = false;
 
         let mut incumbent: Option<(f64, Vec<f64>)> = None;
 
@@ -169,6 +176,7 @@ impl Solver {
                     self.fix_and_solve(model, &base, &binaries, w, &mut lp_iterations)
                 {
                     incumbent = Some((obj, x));
+                    incumbent_updates += 1;
                 }
             }
         }
@@ -185,6 +193,8 @@ impl Solver {
                     best_bound: f64::NEG_INFINITY,
                     nodes: 0,
                     lp_iterations,
+                    incumbent_updates,
+                    timed_out: false,
                 };
             }
             LpOutcome::Unbounded => {
@@ -195,6 +205,8 @@ impl Solver {
                     best_bound: f64::INFINITY,
                     nodes: 0,
                     lp_iterations,
+                    incumbent_updates,
+                    timed_out: false,
                 };
             }
             LpOutcome::Optimal | LpOutcome::IterationLimit => {}
@@ -229,10 +241,16 @@ impl Solver {
                         best_bound,
                         nodes,
                         lp_iterations,
+                        incumbent_updates,
+                        false,
                     );
                 }
             }
             if out_of_budget(nodes, started) {
+                timed_out = self
+                    .config
+                    .time_limit
+                    .is_some_and(|l| started.elapsed() >= l);
                 heap.push(node);
                 break;
             }
@@ -251,6 +269,8 @@ impl Solver {
                         best_bound: f64::INFINITY,
                         nodes,
                         lp_iterations,
+                        incumbent_updates,
+                        timed_out: false,
                     };
                 }
                 LpOutcome::Optimal | LpOutcome::IterationLimit => {}
@@ -268,6 +288,7 @@ impl Solver {
                     let obj = lp.objective;
                     if incumbent.as_ref().is_none_or(|(o, _)| obj > *o) {
                         incumbent = Some((obj, lp.values.clone()));
+                        incumbent_updates += 1;
                     }
                 }
                 Some(branch_var) => {
@@ -283,6 +304,7 @@ impl Solver {
                         ) {
                             if incumbent.as_ref().is_none_or(|(o, _)| obj > *o) {
                                 incumbent = Some((obj, x));
+                                incumbent_updates += 1;
                             }
                         }
                     }
@@ -319,9 +341,12 @@ impl Solver {
             best_remaining.min(best_bound),
             nodes,
             lp_iterations,
+            incumbent_updates,
+            timed_out,
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         &self,
         status: MipStatus,
@@ -329,6 +354,8 @@ impl Solver {
         best_bound: f64,
         nodes: usize,
         lp_iterations: usize,
+        incumbent_updates: usize,
+        timed_out: bool,
     ) -> MipSolution {
         match incumbent {
             Some((objective, mut values)) => {
@@ -345,6 +372,8 @@ impl Solver {
                     best_bound,
                     nodes,
                     lp_iterations,
+                    incumbent_updates,
+                    timed_out,
                 }
             }
             None => MipSolution {
@@ -354,6 +383,8 @@ impl Solver {
                 best_bound,
                 nodes,
                 lp_iterations,
+                incumbent_updates,
+                timed_out,
             },
         }
     }
@@ -672,6 +703,28 @@ mod tests {
         let s = Solver::new().solve_with_warm_start(&m, Some(&warm));
         assert_eq!(s.status, MipStatus::Optimal);
         assert_near(s.objective, 3.0);
+    }
+
+    #[test]
+    fn incumbent_updates_and_timeout_are_reported() {
+        let mut m = Model::new();
+        let a = m.add_binary(10.0);
+        let b = m.add_binary(6.0);
+        m.add_constraint(&[(a, 5.0), (b, 4.0)], Cmp::Le, 7.0);
+        let s = Solver::new().solve(&m);
+        assert_eq!(s.status, MipStatus::Optimal);
+        assert!(s.incumbent_updates >= 1);
+        assert!(!s.timed_out);
+
+        // A zero wall-clock budget must be reported as a timeout hit.
+        let cfg = SolverConfig {
+            time_limit: Some(Duration::from_millis(0)),
+            ..SolverConfig::default()
+        };
+        let warm = vec![0.0, 1.0];
+        let s = Solver::with_config(cfg).solve_with_warm_start(&m, Some(&warm));
+        assert!(s.timed_out);
+        assert!(s.incumbent_updates >= 1); // warm-start seed counted
     }
 
     #[test]

@@ -176,6 +176,21 @@ impl ValueState {
         self.scores[kind.index()]
     }
 
+    /// Histogram bin merges performed by this value's sketch (how lossy
+    /// the constant-memory compression has been).
+    pub fn bin_merges(&self) -> u64 {
+        self.hist.merge_count()
+    }
+
+    /// Lowest NMAE among this value's scored experts, `None` when no
+    /// expert has been evaluated yet.
+    pub fn best_nmae(&self) -> Option<f64> {
+        self.scores
+            .iter()
+            .filter_map(Score::nmae)
+            .min_by(|a, b| a.partial_cmp(b).expect("NMAE is finite"))
+    }
+
     /// Scores all estimators against `runtime`, then folds it into history.
     pub fn observe(&mut self, runtime: f64) {
         debug_assert!(runtime > 0.0 && runtime.is_finite());

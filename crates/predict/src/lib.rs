@@ -41,4 +41,6 @@ pub mod predictor;
 
 pub use expert::{EstimatorKind, ValueState, ESTIMATORS};
 pub use feature::{extract, AttributeSource, Feature, FeatureSet};
-pub use predictor::{Prediction, Predictor, PredictorConfig};
+pub use predictor::{
+    FeatureStats, Prediction, Predictor, PredictorConfig, PredictorStats, QuickStats,
+};

@@ -62,6 +62,13 @@ pub struct Predictor {
     features: FeatureSet,
     /// State per `(feature index, feature value)`.
     state: HashMap<(usize, String), ValueState>,
+    /// Running totals maintained by [`observe`](Self::observe) so
+    /// [`quick_stats`](Self::quick_stats) is O(1); [`stats`](Self::stats)
+    /// recomputes the same sums exactly by scanning.
+    observations: u64,
+    bin_merges: u64,
+    /// Lowest scored-expert NMAE seen so far (historical minimum).
+    best_nmae_seen: Option<f64>,
 }
 
 impl Predictor {
@@ -77,6 +84,9 @@ impl Predictor {
             config,
             features,
             state: HashMap::new(),
+            observations: 0,
+            bin_merges: 0,
+            best_nmae_seen: None,
         }
     }
 
@@ -95,17 +105,23 @@ impl Predictor {
             let Some(value) = extract(feature, attrs) else {
                 continue;
             };
-            self.state
-                .entry((fi, value))
-                .or_insert_with(|| {
-                    ValueState::new(
-                        cfg.max_bins,
-                        cfg.recent_window,
-                        cfg.ewma_alpha,
-                        cfg.sample_cap,
-                    )
-                })
-                .observe(runtime);
+            let state = self.state.entry((fi, value)).or_insert_with(|| {
+                ValueState::new(
+                    cfg.max_bins,
+                    cfg.recent_window,
+                    cfg.ewma_alpha,
+                    cfg.sample_cap,
+                )
+            });
+            let (count_before, merges_before) = (state.count(), state.bin_merges());
+            state.observe(runtime);
+            // Count deltas rather than inserts: a sample cap keeps
+            // `count()` flat, and one insert can trigger several merges.
+            self.observations += state.count().saturating_sub(count_before);
+            self.bin_merges += state.bin_merges().saturating_sub(merges_before);
+            if let Some(n) = state.best_nmae() {
+                self.best_nmae_seen = Some(self.best_nmae_seen.map_or(n, |cur| cur.min(n)));
+            }
         }
     }
 
@@ -185,6 +201,58 @@ impl Predictor {
         self.predict(attrs).map(|p| p.point)
     }
 
+    /// Aggregate telemetry over the predictor's state: per-feature history
+    /// sizes, sketch compression (bin merges), and the best expert NMAE.
+    ///
+    /// Every aggregate is order-independent (sums and minima), so the
+    /// result is deterministic despite the hash-map backing store.
+    pub fn stats(&self) -> PredictorStats {
+        let mut per_feature: Vec<FeatureStats> = self
+            .features
+            .features
+            .iter()
+            .map(|f| FeatureStats {
+                feature: f.name,
+                values: 0,
+                observations: 0,
+                bin_merges: 0,
+                best_nmae: None,
+            })
+            .collect();
+        for ((fi, _), state) in &self.state {
+            let fs = &mut per_feature[*fi];
+            fs.values += 1;
+            fs.observations += state.count();
+            fs.bin_merges += state.bin_merges();
+            if let Some(n) = state.best_nmae() {
+                fs.best_nmae = Some(fs.best_nmae.map_or(n, |cur| cur.min(n)));
+            }
+        }
+        PredictorStats {
+            tracked_values: self.state.len(),
+            observations: per_feature.iter().map(|f| f.observations).sum(),
+            bin_merges: per_feature.iter().map(|f| f.bin_merges).sum(),
+            per_feature,
+        }
+    }
+
+    /// O(1) aggregate telemetry from the running totals maintained by
+    /// [`observe`](Self::observe) — the per-scheduling-cycle metrics flush
+    /// uses this instead of [`stats`](Self::stats), whose full scan over
+    /// every tracked feature value is too slow for a hot path.
+    ///
+    /// `observations` and `bin_merges` agree exactly with [`stats`];
+    /// `best_nmae` is the *historical* minimum (lowest scored-expert NMAE
+    /// seen so far), whereas [`stats`] reports the current minimum.
+    pub fn quick_stats(&self) -> QuickStats {
+        QuickStats {
+            tracked_values: self.state.len(),
+            observations: self.observations,
+            bin_merges: self.bin_merges,
+            best_nmae: self.best_nmae_seen,
+        }
+    }
+
     /// Serialisable snapshot of the trained state (histories + scores).
     ///
     /// Restoring requires the same feature set and config; this is how a
@@ -215,6 +283,15 @@ impl Predictor {
             .into_iter()
             .map(|(fi, value, state)| ((fi, value), state))
             .collect();
+        // Rebuild the running totals from the restored state (one-off scan;
+        // the historical-best NMAE restarts from the current minimum).
+        self.observations = self.state.values().map(ValueState::count).sum();
+        self.bin_merges = self.state.values().map(ValueState::bin_merges).sum();
+        self.best_nmae_seen = self
+            .state
+            .values()
+            .filter_map(ValueState::best_nmae)
+            .min_by(f64::total_cmp);
         Ok(())
     }
 }
@@ -224,6 +301,49 @@ impl Predictor {
 pub struct Snapshot {
     /// `(feature index, feature value, state)` triples.
     entries: Vec<(usize, String, ValueState)>,
+}
+
+/// Telemetry for one feature (see [`Predictor::stats`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureStats {
+    /// Feature name.
+    pub feature: &'static str,
+    /// Distinct values tracked for this feature.
+    pub values: usize,
+    /// Total runtimes folded into this feature's histories.
+    pub observations: u64,
+    /// Histogram bin merges across this feature's sketches.
+    pub bin_merges: u64,
+    /// Lowest scored-expert NMAE across this feature's values, `None`
+    /// before any expert evaluation.
+    pub best_nmae: Option<f64>,
+}
+
+/// O(1) aggregate telemetry (see [`Predictor::quick_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuickStats {
+    /// Distinct `(feature, value)` pairs tracked (memory gauge).
+    pub tracked_values: usize,
+    /// Total observations across all feature values.
+    pub observations: u64,
+    /// Total histogram bin merges across all sketches.
+    pub bin_merges: u64,
+    /// Lowest scored-expert NMAE seen so far, `None` before any expert
+    /// evaluation.
+    pub best_nmae: Option<f64>,
+}
+
+/// Aggregate predictor telemetry (see [`Predictor::stats`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictorStats {
+    /// Distinct `(feature, value)` pairs tracked (memory gauge).
+    pub tracked_values: usize,
+    /// Total observations across all feature values.
+    pub observations: u64,
+    /// Total histogram bin merges across all sketches.
+    pub bin_merges: u64,
+    /// Per-feature breakdown, in feature-set order.
+    pub per_feature: Vec<FeatureStats>,
 }
 
 #[cfg(test)]
@@ -439,6 +559,83 @@ mod tests {
             .push((999, "v".into(), snap.entries[0].2.clone()));
         let mut fresh = Predictor::new(PredictorConfig::default());
         assert_eq!(fresh.restore(snap), Err(999));
+    }
+
+    #[test]
+    fn stats_aggregate_history_and_scores() {
+        let mut p = Predictor::new(PredictorConfig::default());
+        let empty = p.stats();
+        assert_eq!(empty.observations, 0);
+        assert!(empty.per_feature.iter().all(|f| f.best_nmae.is_none()));
+
+        for i in 0..200 {
+            p.observe(&attrs("ana", "etl"), 100.0 + (i % 90) as f64);
+        }
+        let stats = p.stats();
+        assert_eq!(stats.tracked_values, p.tracked_values());
+        assert!(stats.observations >= 200);
+        // 200 distinct-ish values through an 80-bin sketch must compress.
+        assert!(stats.bin_merges > 0);
+        let user = stats
+            .per_feature
+            .iter()
+            .find(|f| f.feature == "user")
+            .unwrap();
+        assert_eq!(user.values, 1);
+        assert_eq!(user.observations, 200);
+        assert!(user.best_nmae.is_some());
+        // Aggregates must be reproducible despite the hash-map store.
+        assert_eq!(p.stats(), stats);
+    }
+
+    #[test]
+    fn quick_stats_match_full_stats() {
+        let mut p = Predictor::new(PredictorConfig::default());
+        assert_eq!(p.quick_stats().observations, 0);
+        for i in 0..200 {
+            p.observe(&attrs("ana", "etl"), 100.0 + (i % 90) as f64);
+            p.observe(&attrs("bo", "ml"), 40.0 + (i % 13) as f64);
+        }
+        let quick = p.quick_stats();
+        let full = p.stats();
+        assert_eq!(quick.tracked_values, full.tracked_values);
+        assert_eq!(quick.observations, full.observations);
+        assert_eq!(quick.bin_merges, full.bin_merges);
+        // The historical minimum can only be at or below the current one.
+        let current = full
+            .per_feature
+            .iter()
+            .filter_map(|f| f.best_nmae)
+            .min_by(f64::total_cmp);
+        assert!(quick.best_nmae.is_some());
+        assert!(quick.best_nmae <= current || current.is_none());
+    }
+
+    #[test]
+    fn quick_stats_match_full_stats_under_a_sample_cap() {
+        let mut p = Predictor::new(PredictorConfig {
+            sample_cap: Some(5),
+            ..PredictorConfig::default()
+        });
+        for _ in 0..50 {
+            p.observe(&attrs("erin", "etl"), 500.0);
+        }
+        assert_eq!(p.quick_stats().observations, p.stats().observations);
+        assert_eq!(p.quick_stats().bin_merges, p.stats().bin_merges);
+    }
+
+    #[test]
+    fn restore_rebuilds_quick_stats() {
+        let mut p = Predictor::new(PredictorConfig::default());
+        for i in 0..60 {
+            p.observe(&attrs("ana", "etl"), 100.0 + (i % 31) as f64);
+        }
+        let snap = p.snapshot();
+        let mut fresh = Predictor::new(PredictorConfig::default());
+        fresh.restore(snap).unwrap();
+        assert_eq!(fresh.quick_stats().observations, p.stats().observations);
+        assert_eq!(fresh.quick_stats().bin_merges, p.stats().bin_merges);
+        assert_eq!(fresh.quick_stats().tracked_values, p.tracked_values());
     }
 
     #[test]

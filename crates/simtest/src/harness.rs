@@ -17,6 +17,7 @@ use threesigma::{
 use threesigma_cluster::{
     ClusterSpec, Engine, EngineConfig, JobOutcome, JobState, Metrics, Scheduler,
 };
+use threesigma_obs::Recorder;
 use threesigma_predict::PredictorConfig;
 
 use crate::fnv1a;
@@ -120,6 +121,7 @@ fn run_one(
     scenario: &Scenario,
     name: &'static str,
     scheduler: &mut dyn Scheduler,
+    recorder: &Recorder,
 ) -> SchedulerReport {
     let engine = Engine::new(
         ClusterSpec::uniform(scenario.racks, scenario.nodes_per_rack),
@@ -129,8 +131,9 @@ fn run_one(
             seed: scenario.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
             faults: scenario.faults.clone(),
         },
-    );
-    let mut checker = InvariantChecker::new(&scenario.jobs);
+    )
+    .with_recorder(recorder.clone());
+    let mut checker = InvariantChecker::new(&scenario.jobs).with_recorder(recorder);
     let log = Rc::new(RefCell::new(FeasibilityLog::default()));
     let mut checked = CheckedScheduler::new(DynScheduler(scheduler), log.clone());
     let result = engine.run_observed(&scenario.jobs, &mut checked, &mut checker);
@@ -252,10 +255,12 @@ fn differential_safety(reports: &[SchedulerReport], trace_len: usize) -> Vec<Str
 /// violation string per dominated deadline.
 pub fn dominance_violations(seed: u64) -> Vec<String> {
     let scenario = Scenario::no_contention(seed);
-    let mut ts = three_sigma_for(&scenario);
+    let ts_rec = Recorder::enabled();
+    let bf_rec = Recorder::enabled();
+    let mut ts = three_sigma_for(&scenario).with_recorder(&ts_rec);
     let mut bf = BackfillScheduler::new(PointSource::Oracle, PredictorConfig::default());
-    let ts_report = run_one(&scenario, "threesigma", &mut ts);
-    let bf_report = run_one(&scenario, "backfill", &mut bf);
+    let ts_report = run_one(&scenario, "threesigma", &mut ts, &ts_rec);
+    let bf_report = run_one(&scenario, "backfill", &mut bf, &bf_rec);
     let mut out: Vec<String> = ts_report
         .violations
         .iter()
@@ -280,13 +285,16 @@ pub fn dominance_violations(seed: u64) -> Vec<String> {
 /// Runs the full campaign for one seed (see module docs).
 pub fn run_seed(seed: u64) -> SeedReport {
     let scenario = Scenario::generate(seed);
-    let mut ts = three_sigma_for(&scenario);
+    let ts_rec = Recorder::enabled();
+    let prio_rec = Recorder::enabled();
+    let bf_rec = Recorder::enabled();
+    let mut ts = three_sigma_for(&scenario).with_recorder(&ts_rec);
     let mut prio = PrioScheduler::new();
     let mut bf = BackfillScheduler::new(PointSource::Oracle, PredictorConfig::default());
     let schedulers = vec![
-        run_one(&scenario, "threesigma", &mut ts),
-        run_one(&scenario, "prio", &mut prio),
-        run_one(&scenario, "backfill", &mut bf),
+        run_one(&scenario, "threesigma", &mut ts, &ts_rec),
+        run_one(&scenario, "prio", &mut prio, &prio_rec),
+        run_one(&scenario, "backfill", &mut bf, &bf_rec),
     ];
     let mut differential = differential_safety(&schedulers, scenario.jobs.len());
     differential.extend(dominance_violations(seed));
@@ -322,6 +330,20 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn threesigma_counters_tick_under_the_harness() {
+        let scenario = Scenario::generate(1);
+        let rec = Recorder::enabled();
+        let mut ts = three_sigma_for(&scenario).with_recorder(&rec);
+        let report = run_one(&scenario, "threesigma", &mut ts, &rec);
+        assert!(report.passed(), "{:?}", report.violations);
+        assert!(report.counts["counter-consistency"] > 0);
+        let snap = rec.snapshot();
+        assert!(snap.counter("engine_cycles_total").unwrap_or(0) > 0);
+        assert!(snap.counter("sched_options_enumerated_total").unwrap_or(0) > 0);
+        assert!(snap.counter("sched_cache_lookups_total").unwrap_or(0) > 0);
     }
 
     #[test]

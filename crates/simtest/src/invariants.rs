@@ -24,11 +24,13 @@ use threesigma_cluster::{
     CycleObserver, EngineSnapshot, JobOutcome, JobSpec, JobState, Metrics, Scheduler,
     SchedulingDecision, SimulationView,
 };
+use threesigma_obs::{Counter, Recorder};
 
 /// Names of every invariant checked per cycle, in report order.
-pub const INVARIANTS: [&str; 9] = [
+pub const INVARIANTS: [&str; 10] = [
     "capacity-conservation",
     "clock-monotonic",
+    "counter-consistency",
     "decision-feasibility",
     "dist-consistency",
     "elapsed-sane",
@@ -53,6 +55,38 @@ pub struct InvariantChecker {
     last_cycles: usize,
     /// `(state, start, finish)` at the previous cycle, for immutability.
     prev: Vec<(JobState, Option<f64>, Option<f64>)>,
+    /// Observability counters under test, when a recorder is attached.
+    probe: Option<CounterProbe>,
+}
+
+/// Resolved handles to the published counters the `counter-consistency`
+/// invariant cross-checks. Registration is idempotent, so resolving here
+/// shares storage with the engine/scheduler handles regardless of order;
+/// counters a scheduler never publishes (prio, backfill) read 0 and the
+/// inequalities hold vacuously.
+struct CounterProbe {
+    engine_cycles: Counter,
+    enumerated: Counter,
+    pruned: Counter,
+    placed: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_lookups: Counter,
+}
+
+impl CounterProbe {
+    fn resolve(recorder: &Recorder) -> Self {
+        let c = |name| recorder.counter(name, "simtest counter-consistency probe");
+        Self {
+            engine_cycles: c("engine_cycles_total"),
+            enumerated: c("sched_options_enumerated_total"),
+            pruned: c("sched_options_pruned_total"),
+            placed: c("sched_options_placed_total"),
+            cache_hits: c("sched_cache_hits_total"),
+            cache_misses: c("sched_cache_misses_total"),
+            cache_lookups: c("sched_cache_lookups_total"),
+        }
+    }
 }
 
 impl InvariantChecker {
@@ -76,7 +110,17 @@ impl InvariantChecker {
             last_now: f64::NEG_INFINITY,
             last_cycles: 0,
             prev: vec![(JobState::Pending, None, None); jobs.len()],
+            probe: None,
         }
+    }
+
+    /// Attaches the recorder whose published counters the
+    /// `counter-consistency` invariant audits every cycle. Without one the
+    /// invariant still ticks but passes vacuously.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: &Recorder) -> Self {
+        self.probe = Some(CounterProbe::resolve(recorder));
+        self
     }
 
     /// Checks-performed counter per invariant (every invariant ticks every
@@ -303,6 +347,41 @@ impl CycleObserver for InvariantChecker {
             format!("t={now}: DiscreteDist survival/cdf inconsistency on an in-play job")
         });
 
+        // counter-consistency: the published observability counters must
+        // agree with themselves and with engine ground truth — options
+        // enumerated covers everything placed or pruned, cache lookups
+        // split exactly into hits and misses, and the engine's cycle
+        // counter tracks the snapshot. Counters a scheduler never publishes
+        // read 0, so the checks hold vacuously for prio/backfill.
+        let (counter_ok, detail) = match &self.probe {
+            Some(p) => {
+                let (enumerated, pruned, placed) =
+                    (p.enumerated.get(), p.pruned.get(), p.placed.get());
+                let (hits, misses, lookups) = (
+                    p.cache_hits.get(),
+                    p.cache_misses.get(),
+                    p.cache_lookups.get(),
+                );
+                let cycles = p.engine_cycles.get();
+                let ok = enumerated >= pruned.saturating_add(placed)
+                    && hits.saturating_add(misses) == lookups
+                    && cycles as usize == s.cycles;
+                (
+                    ok,
+                    format!(
+                        "enumerated={enumerated} pruned={pruned} placed={placed} \
+                         hits={hits} misses={misses} lookups={lookups} \
+                         engine_cycles={cycles} snapshot_cycles={}",
+                        s.cycles
+                    ),
+                )
+            }
+            None => (true, String::new()),
+        };
+        self.check("counter-consistency", counter_ok, || {
+            format!("t={now}: published counters inconsistent: {detail}")
+        });
+
         // decision-feasibility is checked by CheckedScheduler before the
         // engine applies the decision; tick the counter here so the
         // registry reports one check per cycle from this vantage too (the
@@ -426,8 +505,10 @@ mod tests {
     #[test]
     fn clean_run_checks_every_invariant_with_no_violations() {
         let trace = jobs();
-        let engine = Engine::new(ClusterSpec::uniform(2, 2), EngineConfig::default());
-        let mut checker = InvariantChecker::new(&trace);
+        let recorder = Recorder::enabled();
+        let engine = Engine::new(ClusterSpec::uniform(2, 2), EngineConfig::default())
+            .with_recorder(recorder.clone());
+        let mut checker = InvariantChecker::new(&trace).with_recorder(&recorder);
         let log = Rc::new(RefCell::new(FeasibilityLog::default()));
         let mut sched = CheckedScheduler::new(Fifo, log.clone());
         let m = engine
