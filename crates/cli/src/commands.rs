@@ -1,6 +1,7 @@
 //! CLI subcommand implementations.
 
 use threesigma::driver::{run, run_observed, CycleTraceWriter, Experiment, SchedulerKind};
+use threesigma::CycleBudget;
 use threesigma_obs::{parse_prometheus, Recorder};
 use threesigma_predict::{AttributeSource, Predictor, PredictorConfig};
 use threesigma_workload::analysis::{
@@ -27,10 +28,12 @@ USAGE:
                       [--slack S] [--seed N] [--pretrain N] --out FILE
   threesigma run      (--trace FILE | --env E [--hours H] [--seed N])
                       [--scheduler NAME] [--cycle SECS] [--rc] [--out FILE]
+                      [--cycle-budget-ms MS] [--max-retries N]
   threesigma compare  (--trace FILE | --env E [--hours H] [--seed N])
                       [--cycle SECS] [--ablations]
   threesigma analyze  (--trace FILE | --env E [--jobs N] [--seed N])
   threesigma simtest  [--seed N | --iters K [--start-seed S]]
+                      [--cycle-budget-ms MS] [--max-retries N]
   threesigma metrics  (--trace FILE | --env E [--hours H] [--seed N])
                       [--scheduler NAME] [--cycle SECS] [--rc]
                       [--json FILE] [--trace-out FILE]
@@ -45,6 +48,13 @@ SIMTEST: deterministic invariant-checked simulation campaigns.
   --iters K    smoke-run K fresh seeds (default start 1, or --start-seed S)
   (no flags)   run the checked-in regression corpus
   Any failure exits non-zero and echoes `FAILING SEED: N` for replay.
+
+ROBUSTNESS: degradation governor and kill/retry knobs (run + simtest).
+  --cycle-budget-ms MS  per-cycle wall-clock budget for the 3σSched
+                        degradation governor (nondeterministic; simtest
+                        scenarios default to deterministic work units)
+  --max-retries N       retry budget for fault-killed jobs before they are
+                        cancelled and counted
 
 METRICS: run one instrumented simulation and export its counters.
   Prints a Prometheus-style text exposition to stdout.
@@ -125,6 +135,21 @@ fn experiment(args: &Args) -> Result<Experiment, CliError> {
         Experiment::paper_sc256()
     };
     exp = exp.with_cycle(args.parse_or("cycle", 10.0)?);
+    if let Some(raw) = args.get("cycle-budget-ms") {
+        let ms: f64 = raw
+            .parse()
+            .ok()
+            .filter(|ms: &f64| ms.is_finite() && *ms > 0.0)
+            .ok_or_else(|| CliError::BadValue {
+                option: "cycle-budget-ms".into(),
+                value: raw.into(),
+                expected: "a positive number of milliseconds",
+            })?;
+        exp.sched.cycle_budget = CycleBudget::WallClockMs(ms);
+    }
+    if args.get("max-retries").is_some() {
+        exp.engine.retry.max_retries = args.parse_or("max-retries", 0u32)?;
+    }
     Ok(exp)
 }
 
@@ -256,13 +281,29 @@ pub fn cmd_analyze(args: &Args) -> Result<String, CliError> {
 /// checked-in corpus is run. Failures return [`CliError::Failed`] echoing
 /// `FAILING SEED: N` so any failure replays from one integer.
 pub fn cmd_simtest(args: &Args) -> Result<String, CliError> {
+    let mut overrides = threesigma_simtest::SeedOverrides::default();
+    if args.get("max-retries").is_some() {
+        overrides.max_retries = Some(args.parse_or("max-retries", 0u32)?);
+    }
+    if let Some(raw) = args.get("cycle-budget-ms") {
+        let ms: f64 = raw
+            .parse()
+            .ok()
+            .filter(|ms: &f64| ms.is_finite() && *ms > 0.0)
+            .ok_or_else(|| CliError::BadValue {
+                option: "cycle-budget-ms".into(),
+                value: raw.into(),
+                expected: "a positive number of milliseconds",
+            })?;
+        overrides.cycle_budget_ms = Some(ms);
+    }
     if let Some(raw) = args.get("seed") {
         let seed: u64 = raw.parse().map_err(|_| CliError::BadValue {
             option: "seed".into(),
             value: raw.into(),
             expected: "a u64 seed",
         })?;
-        let report = threesigma_simtest::run_seed(seed);
+        let report = threesigma_simtest::run_seed_with(seed, overrides);
         let rendered = report.render();
         return if report.passed() {
             Ok(rendered)
@@ -281,7 +322,7 @@ pub fn cmd_simtest(args: &Args) -> Result<String, CliError> {
     };
     let mut out = String::new();
     for seed in seeds {
-        let report = threesigma_simtest::run_seed(seed);
+        let report = threesigma_simtest::run_seed_with(seed, overrides);
         if !report.passed() {
             return Err(CliError::Failed(format!(
                 "FAILING SEED: {seed}\nreplay with: threesigma simtest --seed {seed}\n{}",
@@ -309,7 +350,7 @@ pub fn cmd_metrics(args: &Args) -> Result<String, CliError> {
     let kind = parse_scheduler(args.get_or("scheduler", "3sigma"))?;
     let exp = experiment(args)?;
     let recorder = Recorder::enabled();
-    let mut writer = CycleTraceWriter::new();
+    let mut writer = CycleTraceWriter::new().with_recorder(&recorder);
     let result = run_observed(kind, &trace, &exp, &recorder, &mut writer)
         .map_err(|e| CliError::Io(e.to_string()))?;
     let snapshot = recorder.snapshot();

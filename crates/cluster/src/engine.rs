@@ -14,7 +14,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use threesigma_obs::{Counter, Gauge, Recorder};
 
-use crate::job::{JobId, JobSpec};
+use crate::job::{JobId, JobSpec, RetryPolicy};
 use crate::metrics::{JobOutcome, JobState, Metrics};
 use crate::spec::{ClusterSpec, PartitionId};
 
@@ -32,6 +32,9 @@ pub struct EngineConfig {
     pub seed: u64,
     /// Scripted capacity faults injected during the run (empty = none).
     pub faults: Vec<FaultEvent>,
+    /// Retry policy applied to jobs killed by [`FaultEvent::NodeCrash`] or
+    /// [`FaultEvent::TaskKill`].
+    pub retry: RetryPolicy,
 }
 
 impl Default for EngineConfig {
@@ -41,25 +44,35 @@ impl Default for EngineConfig {
             drain: None,
             seed: 0x3516,
             faults: Vec::new(),
+            retry: RetryPolicy::default(),
         }
     }
 }
 
-/// A scripted capacity fault (see [`EngineConfig::faults`]).
+/// A scripted fault (see [`EngineConfig::faults`]).
 ///
 /// Faults model nodes failing and recovering underneath the scheduler.
-/// Nodes taken down while busy are *owed*: the loss is applied as soon as
-/// running jobs release capacity in that partition, so running gangs are
-/// never killed by a fault (the scheduler simply sees less free capacity).
-/// Capacity a scheduling decision reclaims by preemption is fully
-/// spendable by that same decision's placements — the owed debt settles
-/// only from capacity still free after the decision applies, since the
-/// scheduler cannot observe `owed` through [`SimulationView`]. The engine
-/// maintains `free + allocated + offline == capacity` per partition at all
-/// times.
+/// [`PartitionDown`](FaultEvent::PartitionDown) is *graceful* drain: nodes
+/// taken down while busy are *owed*, the loss applied as soon as running
+/// jobs release capacity in that partition, so running gangs are never
+/// killed (the scheduler simply sees less free capacity). Capacity a
+/// scheduling decision reclaims by preemption is fully spendable by that
+/// same decision's placements — the owed debt settles only from capacity
+/// still free after the decision applies, since the scheduler cannot
+/// observe `owed` through [`SimulationView`]. The engine maintains
+/// `free + allocated + offline == capacity` per partition at all times.
+///
+/// [`NodeCrash`](FaultEvent::NodeCrash) and
+/// [`TaskKill`](FaultEvent::TaskKill) are *abrupt*: they kill running gangs
+/// mid-flight. Killed jobs re-enter the pending queue under the engine's
+/// [`RetryPolicy`] (exponential backoff, bounded retry budget, then
+/// cancellation), and the scheduler is told via
+/// [`Scheduler::on_job_killed`] so predictors can record the truncated run
+/// as a censored observation rather than a completion.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FaultEvent {
-    /// `nodes` of `partition` fail at time `at`.
+    /// `nodes` of `partition` drain gracefully at time `at` (busy nodes are
+    /// owed; no gang is killed).
     PartitionDown {
         /// Injection time (simulated seconds).
         at: f64,
@@ -78,21 +91,54 @@ pub enum FaultEvent {
         /// Number of nodes restored.
         nodes: u32,
     },
+    /// `nodes` of `partition` crash *abruptly* at time `at`: free nodes are
+    /// taken offline first, then running gangs holding nodes on the
+    /// partition are killed (smallest job id first) until the crash is
+    /// covered. Killed jobs follow the retry state machine. Recovery is via
+    /// [`PartitionUp`](FaultEvent::PartitionUp).
+    NodeCrash {
+        /// Injection time (simulated seconds).
+        at: f64,
+        /// Affected partition.
+        partition: PartitionId,
+        /// Number of nodes crashing.
+        nodes: u32,
+    },
+    /// The single running job `job` is killed at time `at` (a task-level
+    /// failure: the gang dies, its nodes stay healthy and return to the
+    /// free pool). A no-op if the job is not running at `at`.
+    TaskKill {
+        /// Injection time (simulated seconds).
+        at: f64,
+        /// The job to kill.
+        job: JobId,
+    },
 }
 
 impl FaultEvent {
     /// The fault's injection time.
+    ///
+    /// Exhaustive on purpose: adding a fault variant must be a compile
+    /// error here, not a silently wrong default.
     pub fn at(&self) -> f64 {
         match self {
-            FaultEvent::PartitionDown { at, .. } | FaultEvent::PartitionUp { at, .. } => *at,
+            FaultEvent::PartitionDown { at, .. } => *at,
+            FaultEvent::PartitionUp { at, .. } => *at,
+            FaultEvent::NodeCrash { at, .. } => *at,
+            FaultEvent::TaskKill { at, .. } => *at,
         }
     }
 
-    /// The fault's target partition.
-    pub fn partition(&self) -> PartitionId {
+    /// The fault's target partition; `None` for job-targeted faults.
+    ///
+    /// Exhaustive on purpose: adding a fault variant must be a compile
+    /// error here, not a silently wrong default.
+    pub fn partition(&self) -> Option<PartitionId> {
         match self {
-            FaultEvent::PartitionDown { partition, .. }
-            | FaultEvent::PartitionUp { partition, .. } => *partition,
+            FaultEvent::PartitionDown { partition, .. } => Some(*partition),
+            FaultEvent::PartitionUp { partition, .. } => Some(*partition),
+            FaultEvent::NodeCrash { partition, .. } => Some(*partition),
+            FaultEvent::TaskKill { .. } => None,
         }
     }
 }
@@ -178,6 +224,14 @@ pub trait Scheduler {
     /// Called when a job completes; `outcome.measured_runtime` is what a
     /// cluster manager would log (and what a predictor should learn from).
     fn on_job_completed(&mut self, _spec: &JobSpec, _outcome: &JobOutcome, _now: f64) {}
+
+    /// Called when a fault kills a running job mid-flight. `elapsed` is the
+    /// execution time the attempt had accumulated — a *lower bound* on the
+    /// true runtime (a censored observation), never a completed sample;
+    /// feeding it to a predictor as a completion would poison its
+    /// histories. `will_retry` is false when the retry budget is exhausted
+    /// and the job has been cancelled.
+    fn on_job_killed(&mut self, _spec: &JobSpec, _elapsed: f64, _will_retry: bool, _now: f64) {}
 
     /// One scheduling cycle.
     fn schedule(&mut self, view: &SimulationView<'_>, now: f64) -> SchedulingDecision;
@@ -480,11 +534,12 @@ impl Engine {
             "cycle interval must be positive"
         );
         for f in &config.faults {
-            assert!(
-                f.partition().index() < cluster.num_partitions(),
-                "fault references unknown partition {:?}",
-                f.partition()
-            );
+            if let Some(p) = f.partition() {
+                assert!(
+                    p.index() < cluster.num_partitions(),
+                    "fault references unknown partition {p:?}"
+                );
+            }
             assert!(
                 f.at().is_finite() && f.at() >= 0.0,
                 "fault time {} must be finite and non-negative",
@@ -557,6 +612,49 @@ impl Engine {
             }
         }
 
+        /// Bookkeeping shared by the fault-kill paths: releases the dead
+        /// gang, invalidates its finish event, charges the lost work, and
+        /// either requeues the job under retry backoff or cancels it once
+        /// the retry budget is exhausted. The scheduler hears about the
+        /// kill through its censored-observation callback.
+        #[allow(clippy::too_many_arguments)]
+        fn kill_attempt(
+            r: Running,
+            now: f64,
+            jobs: &[JobSpec],
+            retry: &RetryPolicy,
+            free: &mut [u32],
+            offline: &mut [u32],
+            owed: &mut [u32],
+            epochs: &mut [u32],
+            outcomes: &mut [JobOutcome],
+            pending: &mut Vec<usize>,
+            retry_at: &mut HashMap<usize, f64>,
+            wasted: &mut f64,
+            kill_count: &mut usize,
+            retry_cancellations: &mut usize,
+            scheduler: &mut dyn Scheduler,
+        ) {
+            release(free, offline, owed, &r.allocation);
+            epochs[r.idx] += 1;
+            let tasks: u32 = r.allocation.iter().map(|(_, n)| n).sum();
+            let elapsed = (now - r.start).max(0.0);
+            *wasted += elapsed * f64::from(tasks);
+            *kill_count += 1;
+            let o = &mut outcomes[r.idx];
+            o.kills += 1;
+            let will_retry = o.kills <= retry.max_retries;
+            if will_retry {
+                o.state = JobState::Pending;
+                retry_at.insert(r.idx, now + retry.delay_for(o.kills));
+                pending.push(r.idx);
+            } else {
+                o.state = JobState::Canceled;
+                *retry_cancellations += 1;
+            }
+            scheduler.on_job_killed(&jobs[r.idx], elapsed, will_retry, now);
+        }
+
         let mut outcomes: Vec<JobOutcome> = jobs
             .iter()
             .map(|j| JobOutcome {
@@ -569,6 +667,7 @@ impl Engine {
                 finish_time: None,
                 measured_runtime: None,
                 preemptions: 0,
+                kills: 0,
                 on_preferred: None,
             })
             .collect();
@@ -632,8 +731,15 @@ impl Engine {
         let mut pending: Vec<usize> = Vec::new();
         let mut running: HashMap<JobId, Running> = HashMap::new();
         let mut epochs: Vec<u32> = vec![0; jobs.len()];
+        // Killed jobs awaiting retry: trace index → earliest time the job
+        // may be offered for placement again. The job stays in `pending`
+        // (conservation: arrived == pending + running + terminal) but is
+        // withheld from the scheduler's view until the backoff elapses.
+        let mut retry_at: HashMap<usize, f64> = HashMap::new();
         let mut cycles = 0usize;
         let mut preemption_count = 0usize;
+        let mut kill_count = 0usize;
+        let mut retry_cancellations = 0usize;
         let mut wasted = 0.0f64;
         let mut now = 0.0f64;
 
@@ -651,9 +757,11 @@ impl Engine {
                     let id = jobs[job].id;
                     let valid = running.get(&id).is_some_and(|r| r.epoch == epoch);
                     if !valid {
-                        continue; // stale completion of a preempted attempt
+                        continue; // stale completion of a preempted/killed attempt
                     }
-                    let r = running.remove(&id).expect("checked above");
+                    let Some(r) = running.remove(&id) else {
+                        continue;
+                    };
                     release(&mut free, &mut offline, &mut owed, &r.allocation);
                     let o = &mut outcomes[job];
                     o.state = JobState::Completed;
@@ -685,6 +793,82 @@ impl Engine {
                         offline[pi] -= restored;
                         free[pi] += restored;
                     }
+                    FaultEvent::NodeCrash {
+                        partition, nodes, ..
+                    } => {
+                        let pi = partition.index();
+                        // Free nodes absorb the crash first.
+                        let taken = nodes.min(free[pi]);
+                        free[pi] -= taken;
+                        offline[pi] += taken;
+                        let mut remaining = nodes - taken;
+                        // Then running gangs holding nodes on the crashed
+                        // partition die, smallest job id first
+                        // (deterministic), until the crash is covered.
+                        let mut victims: Vec<JobId> = running
+                            .iter()
+                            .filter(|(_, r)| {
+                                r.allocation.iter().any(|(p, n)| p.index() == pi && *n > 0)
+                            })
+                            .map(|(id, _)| *id)
+                            .collect();
+                        victims.sort_unstable();
+                        for id in victims {
+                            if remaining == 0 {
+                                break;
+                            }
+                            let Some(r) = running.remove(&id) else {
+                                continue;
+                            };
+                            kill_attempt(
+                                r,
+                                now,
+                                jobs,
+                                &self.config.retry,
+                                &mut free,
+                                &mut offline,
+                                &mut owed,
+                                &mut epochs,
+                                &mut outcomes,
+                                &mut pending,
+                                &mut retry_at,
+                                &mut wasted,
+                                &mut kill_count,
+                                &mut retry_cancellations,
+                                scheduler,
+                            );
+                            let seized = remaining.min(free[pi]);
+                            free[pi] -= seized;
+                            offline[pi] += seized;
+                            remaining -= seized;
+                        }
+                        // Anything still uncovered (capacity already owed
+                        // or offline) becomes debt, as with PartitionDown.
+                        owed[pi] += remaining;
+                    }
+                    FaultEvent::TaskKill { job, .. } => {
+                        // Task-level failure: the gang dies but its nodes
+                        // stay healthy. A no-op unless the job is running.
+                        if let Some(r) = running.remove(&job) {
+                            kill_attempt(
+                                r,
+                                now,
+                                jobs,
+                                &self.config.retry,
+                                &mut free,
+                                &mut offline,
+                                &mut owed,
+                                &mut epochs,
+                                &mut outcomes,
+                                &mut pending,
+                                &mut retry_at,
+                                &mut wasted,
+                                &mut kill_count,
+                                &mut retry_cancellations,
+                                scheduler,
+                            );
+                        }
+                    }
                 },
                 EventKind::Cycle => {
                     cycles += 1;
@@ -703,7 +887,13 @@ impl Engine {
                         running_view.sort_by_key(|r| r.spec.id);
                         let view = SimulationView {
                             cluster: &self.cluster,
-                            pending: pending.iter().map(|&i| &jobs[i]).collect(),
+                            // Jobs backing off after a kill are withheld
+                            // from the scheduler until their retry time.
+                            pending: pending
+                                .iter()
+                                .filter(|&&i| retry_at.get(&i).is_none_or(|&t| t <= now))
+                                .map(|&i| &jobs[i])
+                                .collect(),
                             running: running_view,
                             free: &free,
                             now,
@@ -724,6 +914,7 @@ impl Engine {
                             },
                         )?;
                         pending.remove(pos);
+                        retry_at.remove(&idx);
                         outcomes[idx].state = JobState::Canceled;
                     }
 
@@ -777,6 +968,7 @@ impl Engine {
                             }
                         }
                         pending.remove(pos);
+                        retry_at.remove(&idx);
                         for (p, n) in &pl.allocation {
                             free[p.index()] -= n;
                         }
@@ -874,6 +1066,8 @@ impl Engine {
             end_time: now,
             cycles,
             preemptions: preemption_count,
+            kills: kill_count,
+            retry_cancellations,
             wasted_machine_seconds: wasted,
         })
     }
@@ -1560,6 +1754,187 @@ mod tests {
             "observer saw {} cycles",
             obs.cycles_seen
         );
+    }
+
+    #[test]
+    fn node_crash_kills_running_gang_and_job_retries() {
+        // 4 nodes, job 1 holds 2. A 3-node crash at t=10 absorbs the 2 free
+        // nodes and must kill the gang for the third. Recovery at t=20
+        // restores capacity; the job retries (after its 5 s backoff) and
+        // completes on the second attempt.
+        let engine = Engine::new(
+            ClusterSpec::uniform(1, 4),
+            EngineConfig {
+                faults: vec![
+                    FaultEvent::NodeCrash {
+                        at: 10.0,
+                        partition: PartitionId(0),
+                        nodes: 3,
+                    },
+                    FaultEvent::PartitionUp {
+                        at: 20.0,
+                        partition: PartitionId(0),
+                        nodes: 3,
+                    },
+                ],
+                ..EngineConfig::default()
+            },
+        );
+        let jobs = vec![be(1, 0.0, 2, 50.0)];
+        let m = engine.run(&jobs, &mut Fifo).unwrap();
+        let o = &m.outcomes[0];
+        assert_eq!(o.state, JobState::Completed, "{o:?}");
+        assert_eq!(o.kills, 1);
+        assert_eq!(m.kills, 1);
+        assert_eq!(m.retry_cancellations, 0);
+        assert_eq!(o.start_time, Some(20.0), "retry starts after recovery");
+        // Work lost to the kill: 10 s elapsed × 2 tasks.
+        assert!((m.wasted_machine_seconds - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_crash_prefers_free_nodes() {
+        // Crash of 2 nodes with 2 free: no gang dies.
+        let engine = Engine::new(
+            ClusterSpec::uniform(1, 4),
+            EngineConfig {
+                faults: vec![FaultEvent::NodeCrash {
+                    at: 10.0,
+                    partition: PartitionId(0),
+                    nodes: 2,
+                }],
+                ..EngineConfig::default()
+            },
+        );
+        let jobs = vec![be(1, 0.0, 2, 50.0)];
+        let m = engine.run(&jobs, &mut Fifo).unwrap();
+        assert_eq!(m.kills, 0);
+        assert_eq!(m.outcomes[0].state, JobState::Completed);
+        assert_eq!(m.outcomes[0].kills, 0);
+    }
+
+    #[test]
+    fn task_kill_requeues_under_backoff() {
+        // Kill at t=10 with a 5 s backoff: the job is withheld from the
+        // scheduler until t=15 even though capacity is free the whole time,
+        // so the retry starts at the t=16 cycle.
+        let engine = Engine::new(
+            ClusterSpec::uniform(1, 4),
+            EngineConfig {
+                faults: vec![FaultEvent::TaskKill {
+                    at: 10.0,
+                    job: JobId(1),
+                }],
+                ..EngineConfig::default()
+            },
+        );
+        let jobs = vec![be(1, 0.0, 2, 50.0)];
+        let m = engine.run(&jobs, &mut Fifo).unwrap();
+        let o = &m.outcomes[0];
+        assert_eq!(o.state, JobState::Completed);
+        assert_eq!(o.kills, 1);
+        assert_eq!(o.start_time, Some(16.0), "backoff gates the retry");
+        assert!((m.wasted_machine_seconds - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_cancels_the_job() {
+        let engine = Engine::new(
+            ClusterSpec::uniform(1, 4),
+            EngineConfig {
+                faults: vec![
+                    FaultEvent::TaskKill {
+                        at: 10.0,
+                        job: JobId(1),
+                    },
+                    FaultEvent::TaskKill {
+                        at: 40.0,
+                        job: JobId(1),
+                    },
+                ],
+                retry: RetryPolicy {
+                    max_retries: 1,
+                    ..RetryPolicy::default()
+                },
+                ..EngineConfig::default()
+            },
+        );
+        let jobs = vec![be(1, 0.0, 2, 100.0)];
+        let m = engine.run(&jobs, &mut Fifo).unwrap();
+        let o = &m.outcomes[0];
+        assert_eq!(o.state, JobState::Canceled, "{o:?}");
+        assert_eq!(o.kills, 2);
+        assert_eq!(m.kills, 2);
+        assert_eq!(m.retry_cancellations, 1);
+    }
+
+    #[test]
+    fn kill_callback_reports_censored_elapsed() {
+        #[derive(Default)]
+        struct Observed {
+            kills: Vec<(f64, bool)>,
+            completions: usize,
+        }
+        impl Scheduler for Observed {
+            fn on_job_killed(&mut self, _s: &JobSpec, elapsed: f64, will_retry: bool, _now: f64) {
+                self.kills.push((elapsed, will_retry));
+            }
+            fn on_job_completed(&mut self, _s: &JobSpec, _o: &JobOutcome, _now: f64) {
+                self.completions += 1;
+            }
+            fn schedule(&mut self, view: &SimulationView<'_>, _now: f64) -> SchedulingDecision {
+                let mut d = SchedulingDecision::noop();
+                if let Some(job) = view.pending.first() {
+                    if view.free[0] >= job.tasks {
+                        d.placements.push(Placement {
+                            job: job.id,
+                            allocation: vec![(PartitionId(0), job.tasks)],
+                        });
+                    }
+                }
+                d
+            }
+        }
+        let engine = Engine::new(
+            ClusterSpec::uniform(1, 4),
+            EngineConfig {
+                faults: vec![FaultEvent::TaskKill {
+                    at: 10.0,
+                    job: JobId(1),
+                }],
+                ..EngineConfig::default()
+            },
+        );
+        let jobs = vec![be(1, 0.0, 2, 50.0)];
+        let mut s = Observed::default();
+        engine.run(&jobs, &mut s).unwrap();
+        assert_eq!(s.kills.len(), 1);
+        let (elapsed, will_retry) = s.kills[0];
+        assert!(
+            (elapsed - 10.0).abs() < 1e-9,
+            "censored elapsed is the truncated runtime, got {elapsed}"
+        );
+        assert!(elapsed < 50.0, "a censored sample is a lower bound");
+        assert!(will_retry);
+        assert_eq!(s.completions, 1, "the retry still completes");
+    }
+
+    #[test]
+    fn task_kill_on_idle_job_is_a_noop() {
+        let engine = Engine::new(
+            ClusterSpec::uniform(1, 4),
+            EngineConfig {
+                faults: vec![FaultEvent::TaskKill {
+                    at: 2.5,
+                    job: JobId(9),
+                }],
+                ..EngineConfig::default()
+            },
+        );
+        let jobs = vec![be(1, 0.0, 2, 20.0)];
+        let m = engine.run(&jobs, &mut Fifo).unwrap();
+        assert_eq!(m.kills, 0);
+        assert_eq!(m.outcomes[0].state, JobState::Completed);
     }
 
     #[test]

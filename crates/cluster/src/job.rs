@@ -91,6 +91,50 @@ impl Attributes {
     }
 }
 
+/// Retry policy for jobs killed mid-flight by faults.
+///
+/// A killed job re-enters the pending queue after an exponential backoff
+/// (`backoff_base · 2^(attempt−1)`, saturating at `backoff_cap` — the same
+/// saturating-doubling shape as the §4.2.1 exp-inc fix, so repeated kills
+/// can neither overflow nor collapse the delay). After `max_retries` killed
+/// attempts have been retried, the next kill cancels the job permanently
+/// and it is counted as a retry cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Kills tolerated before the job is cancelled (0 = cancel on the
+    /// first kill).
+    pub max_retries: u32,
+    /// Backoff before the first retry, in seconds.
+    pub backoff_base: f64,
+    /// Saturation cap on the backoff, in seconds.
+    pub backoff_cap: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            backoff_base: 5.0,
+            backoff_cap: 300.0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff delay before retry number `attempt` (1-based; `0` means "no
+    /// kill yet" and gets no delay). Monotone non-decreasing in `attempt`
+    /// and saturating at [`Self::backoff_cap`].
+    pub fn delay_for(&self, attempt: u32) -> f64 {
+        if attempt == 0 {
+            return 0.0;
+        }
+        // Saturating doubling: 2^(attempt-1) clamps to u64::MAX rather than
+        // wrapping, so the min() below always lands on the cap.
+        let factor = 1u64.checked_shl(attempt - 1).unwrap_or(u64::MAX) as f64;
+        (self.backoff_base * factor).min(self.backoff_cap)
+    }
+}
+
 /// Full specification of one job in a trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobSpec {
@@ -272,5 +316,64 @@ mod tests {
     #[should_panic(expected = "task")]
     fn zero_tasks_panic() {
         let _ = JobSpec::new(1, 0.0, 0, 10.0, JobKind::BestEffort);
+    }
+
+    mod backoff_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // Safety envelope of the retry state machine: for any policy,
+            // the backoff is finite, non-negative, monotone non-decreasing
+            // in the attempt number, and saturates exactly at the cap —
+            // even for attempt counts far past where 2^(attempt-1) would
+            // overflow.
+            #[test]
+            fn backoff_is_monotone_and_saturating(
+                base in 0.0f64..1e4,
+                cap_factor in 1.0f64..1e6,
+                attempts in prop::collection::vec(0u32..10_000, 2..32),
+            ) {
+                let policy = RetryPolicy {
+                    max_retries: 3,
+                    backoff_base: base,
+                    backoff_cap: base * cap_factor,
+                };
+                let mut sorted = attempts;
+                sorted.sort_unstable();
+                let mut prev = 0.0f64;
+                for &a in &sorted {
+                    let d = policy.delay_for(a);
+                    prop_assert!(d.is_finite(), "delay_for({a}) = {d}");
+                    prop_assert!(d >= 0.0);
+                    prop_assert!(
+                        d <= policy.backoff_cap,
+                        "delay {d} above cap {}",
+                        policy.backoff_cap
+                    );
+                    prop_assert!(d >= prev, "backoff shrank: {prev} → {d} at attempt {a}");
+                    prev = d;
+                }
+                // Far past the doubling range the delay IS the cap.
+                prop_assert_eq!(policy.delay_for(100), policy.backoff_cap.min(
+                    if policy.backoff_base > 0.0 { policy.backoff_cap } else { 0.0 }
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn retry_backoff_doubles_then_saturates() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            backoff_base: 5.0,
+            backoff_cap: 30.0,
+        };
+        assert_eq!(p.delay_for(0), 0.0);
+        assert_eq!(p.delay_for(1), 5.0);
+        assert_eq!(p.delay_for(2), 10.0);
+        assert_eq!(p.delay_for(3), 20.0);
+        assert_eq!(p.delay_for(4), 30.0, "saturates at the cap");
+        assert_eq!(p.delay_for(1000), 30.0, "huge attempts cannot overflow");
     }
 }

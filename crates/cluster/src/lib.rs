@@ -29,6 +29,6 @@ pub use engine::{
     CycleObserver, CycleStats, Engine, EngineConfig, EngineSnapshot, FaultEvent, Placement,
     RunningJob, Scheduler, SchedulingDecision, SimError, SimulationView, SnapshotRunning,
 };
-pub use job::{Attributes, JobId, JobKind, JobSpec};
+pub use job::{Attributes, JobId, JobKind, JobSpec, RetryPolicy};
 pub use metrics::{JobOutcome, JobState, Metrics};
 pub use spec::{ClusterSpec, PartitionId, RcFidelity};

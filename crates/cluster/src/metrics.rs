@@ -39,6 +39,10 @@ pub struct JobOutcome {
     pub measured_runtime: Option<f64>,
     /// Times this job was preempted (work lost, job requeued).
     pub preemptions: u32,
+    /// Times a fault killed a running attempt of this job (each kill either
+    /// requeued the job under retry backoff or, once the retry budget was
+    /// exhausted, cancelled it).
+    pub kills: u32,
     /// Whether the completed run was entirely on preferred partitions.
     pub on_preferred: Option<bool>,
 }
@@ -53,7 +57,10 @@ impl JobOutcome {
     /// `None` for best-effort jobs.
     pub fn deadline_met(&self) -> Option<bool> {
         let deadline = self.kind.deadline()?;
-        Some(matches!(self.state, JobState::Completed) && self.finish_time.unwrap() <= deadline)
+        Some(
+            matches!(self.state, JobState::Completed)
+                && self.finish_time.is_some_and(|t| t <= deadline),
+        )
     }
 
     /// Response time (completion − submission), if completed.
@@ -87,8 +94,12 @@ pub struct Metrics {
     pub cycles: usize,
     /// Total preemptions applied.
     pub preemptions: usize,
-    /// Machine-seconds of work destroyed by kill-based preemption (elapsed
-    /// execution time × gang width of every killed attempt).
+    /// Running attempts killed by faults (`NodeCrash`/`TaskKill`).
+    pub kills: usize,
+    /// Jobs cancelled because a kill exhausted their retry budget.
+    pub retry_cancellations: usize,
+    /// Machine-seconds of work destroyed by kill-based preemption or fault
+    /// kills (elapsed execution time × gang width of every killed attempt).
     pub wasted_machine_seconds: f64,
 }
 
@@ -183,6 +194,7 @@ mod tests {
             finish_time: finish,
             measured_runtime: finish.map(|_| 10.0),
             preemptions: 0,
+            kills: 0,
             on_preferred: Some(true),
         }
     }

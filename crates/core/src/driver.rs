@@ -171,12 +171,32 @@ pub struct RunResult {
 #[derive(Debug, Clone, Default)]
 pub struct CycleTraceWriter {
     lines: Vec<String>,
+    /// Resolved `sched_degradation_level` gauge when a recorder is
+    /// attached; the scheduler flushes its metrics inside `schedule()`,
+    /// before the engine calls `on_cycle`, so the gauge is current.
+    level: Option<threesigma_obs::Gauge>,
 }
 
 impl CycleTraceWriter {
     /// An empty trace.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Includes the scheduler's degradation-governor level in each trace
+    /// line, read from `recorder`'s `sched_degradation_level` gauge
+    /// (registration is idempotent, so this shares storage with the
+    /// scheduler's own handle). Without a recorder — or for baselines that
+    /// never publish the gauge — the field reads 0.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: &threesigma_obs::Recorder) -> Self {
+        if recorder.is_enabled() {
+            self.level = Some(recorder.gauge(
+                "sched_degradation_level",
+                "Current degradation-ladder level (0 = full MILP, 2 = backfill)",
+            ));
+        }
+        self
     }
 
     /// The collected JSON lines, one per cycle.
@@ -199,10 +219,12 @@ impl CycleTraceWriter {
 impl CycleObserver for CycleTraceWriter {
     fn on_cycle(&mut self, snapshot: &EngineSnapshot<'_>) {
         let s = snapshot.cycle_stats();
+        let level = self.level.as_ref().map_or(0.0, |g| g.get()) as u8;
         self.lines.push(format!(
             "{{\"cycle\":{},\"now\":{},\"queue_depth\":{},\"running\":{},\"free_nodes\":{},\
              \"offline_nodes\":{},\"fault_debt_nodes\":{},\"capacity_nodes\":{},\
-             \"utilization\":{},\"placements\":{},\"preemptions\":{},\"cancellations\":{}}}",
+             \"utilization\":{},\"placements\":{},\"preemptions\":{},\"cancellations\":{},\
+             \"degradation_level\":{}}}",
             s.cycle,
             s.now,
             s.queue_depth,
@@ -215,6 +237,7 @@ impl CycleObserver for CycleTraceWriter {
             s.placements,
             s.preemptions,
             s.cancellations,
+            level,
         ));
     }
 }
@@ -389,7 +412,7 @@ mod tests {
         let exp = Experiment::paper_sc256().with_cycle(20.0);
 
         let recorder = Recorder::enabled();
-        let mut writer = CycleTraceWriter::new();
+        let mut writer = CycleTraceWriter::new().with_recorder(&recorder);
         let r = run_observed(
             SchedulerKind::ThreeSigma,
             &trace,
@@ -413,8 +436,13 @@ mod tests {
         // One trace line per cycle, and the whole run replays byte-stable.
         assert_eq!(writer.lines().len(), r.metrics.cycles);
         assert!(writer.lines()[0].starts_with("{\"cycle\":1,"));
+        // Unbudgeted run: the governor stays at level 0 on every line.
+        assert!(writer
+            .lines()
+            .iter()
+            .all(|l| l.ends_with("\"degradation_level\":0}")));
         let rec2 = Recorder::enabled();
-        let mut writer2 = CycleTraceWriter::new();
+        let mut writer2 = CycleTraceWriter::new().with_recorder(&rec2);
         let r2 =
             run_observed(SchedulerKind::ThreeSigma, &trace, &exp, &rec2, &mut writer2).unwrap();
         assert_eq!(writer.to_jsonl(), writer2.to_jsonl());

@@ -55,7 +55,7 @@ pub use sched::feasibility::{check_decision, FeasibilityViolation};
 pub use sched::options::{CacheStats, EstimateCache, RackMask};
 pub use sched::prio::PrioScheduler;
 pub use sched::threesigma::{
-    CycleTiming, EstimateSource, OverestimateMode, PlanRecord, PlannedJob, SchedConfig, SchedStats,
-    ThreeSigmaScheduler,
+    CycleBudget, CycleTiming, EstimateSource, OverestimateMode, PlanRecord, PlannedJob,
+    SchedConfig, SchedStats, ThreeSigmaScheduler,
 };
 pub use utility::UtilityCurve;

@@ -125,43 +125,92 @@ impl Scheduler for BackfillScheduler {
     }
 
     fn schedule(&mut self, view: &SimulationView<'_>, now: f64) -> SchedulingDecision {
-        let mut decision = SchedulingDecision::noop();
-        let mut free = view.free.to_vec();
+        let estimates = &self.estimates;
+        let default = self.default_estimate;
+        backfill_plan(view, now, |spec| {
+            estimates.get(&spec.id).copied().unwrap_or(default)
+        })
+    }
+}
 
-        // Priority order: SLO by deadline, then BE by submission.
-        let mut queue: Vec<&JobSpec> = view.pending.clone();
-        queue.sort_by(|a, b| {
-            let key = |s: &JobSpec| match s.kind.deadline() {
-                Some(d) => (0, d),
-                None => (1, s.submit_time),
-            };
-            key(a)
-                .partial_cmp(&key(b))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+/// One EASY-backfill placement pass over `view`, with runtime point
+/// estimates supplied by `estimate` (seconds on preferred resources).
+///
+/// This is the whole of [`BackfillScheduler::schedule`] as a free
+/// function so other schedulers can reuse it — 3σSched's degradation
+/// governor falls back to it at level 2, where a cycle must place jobs
+/// without paying for option enumeration or the MILP.
+pub fn backfill_plan(
+    view: &SimulationView<'_>,
+    now: f64,
+    mut estimate: impl FnMut(&JobSpec) -> f64,
+) -> SchedulingDecision {
+    let mut decision = SchedulingDecision::noop();
+    let mut free = view.free.to_vec();
 
-        // Estimated completion times of running jobs, soonest first.
-        let mut completions: Vec<(f64, Vec<(PartitionId, u32)>)> = view
-            .running
-            .iter()
-            .map(|r| {
-                let est = self
-                    .estimates
-                    .get(&r.spec.id)
-                    .copied()
-                    .unwrap_or(self.default_estimate);
-                // If the estimate is already exceeded, assume one more
-                // cycle (the engine replans constantly anyway).
-                let finish = (r.start_time + est).max(now + 1.0);
-                (finish, r.allocation.to_vec())
-            })
-            .collect();
-        completions.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    // Priority order: SLO by deadline, then BE by submission.
+    let mut queue: Vec<&JobSpec> = view.pending.clone();
+    queue.sort_by(|a, b| {
+        let key = |s: &JobSpec| match s.kind.deadline() {
+            Some(d) => (0, d),
+            None => (1, s.submit_time),
+        };
+        key(a)
+            .partial_cmp(&key(b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
-        let mut iter = queue.into_iter();
-        // Phase 1: start queue-head jobs while they fit.
-        let mut blocked: Option<(&JobSpec, f64)> = None; // (head, shadow time)
-        for spec in iter.by_ref() {
+    // Estimated completion times of running jobs, soonest first.
+    let mut completions: Vec<(f64, Vec<(PartitionId, u32)>)> = view
+        .running
+        .iter()
+        .map(|r| {
+            let est = estimate(r.spec);
+            // If the estimate is already exceeded, assume one more
+            // cycle (the engine replans constantly anyway).
+            let finish = (r.start_time + est).max(now + 1.0);
+            (finish, r.allocation.to_vec())
+        })
+        .collect();
+    completions.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut iter = queue.into_iter();
+    // Phase 1: start queue-head jobs while they fit.
+    let mut blocked: Option<(&JobSpec, f64)> = None; // (head, shadow time)
+    for spec in iter.by_ref() {
+        if let Some(alloc) = pack(spec, &free) {
+            for (p, n) in &alloc {
+                free[p.index()] -= n;
+            }
+            decision.placements.push(Placement {
+                job: spec.id,
+                allocation: alloc,
+            });
+            continue;
+        }
+        // Head blocked: compute its shadow time — when enough nodes
+        // free up (by estimates) for it to start.
+        let mut avail: u32 = free.iter().sum();
+        let mut shadow = f64::INFINITY;
+        for (finish, alloc) in &completions {
+            avail += alloc.iter().map(|(_, n)| n).sum::<u32>();
+            if avail >= spec.tasks {
+                shadow = *finish;
+                break;
+            }
+        }
+        blocked = Some((spec, shadow));
+        break;
+    }
+
+    // Phase 2: backfill — remaining jobs may start now only if their
+    // estimate says they finish before the head's shadow time.
+    if let Some((_head, shadow)) = blocked {
+        for spec in iter {
+            let est = estimate(spec);
+            if now + est > shadow {
+                continue;
+            }
             if let Some(alloc) = pack(spec, &free) {
                 for (p, n) in &alloc {
                     free[p.index()] -= n;
@@ -170,48 +219,10 @@ impl Scheduler for BackfillScheduler {
                     job: spec.id,
                     allocation: alloc,
                 });
-                continue;
-            }
-            // Head blocked: compute its shadow time — when enough nodes
-            // free up (by estimates) for it to start.
-            let mut avail: u32 = free.iter().sum();
-            let mut shadow = f64::INFINITY;
-            for (finish, alloc) in &completions {
-                avail += alloc.iter().map(|(_, n)| n).sum::<u32>();
-                if avail >= spec.tasks {
-                    shadow = *finish;
-                    break;
-                }
-            }
-            blocked = Some((spec, shadow));
-            break;
-        }
-
-        // Phase 2: backfill — remaining jobs may start now only if their
-        // estimate says they finish before the head's shadow time.
-        if let Some((_head, shadow)) = blocked {
-            for spec in iter {
-                let est = self
-                    .estimates
-                    .get(&spec.id)
-                    .copied()
-                    .unwrap_or(self.default_estimate);
-                if now + est > shadow {
-                    continue;
-                }
-                if let Some(alloc) = pack(spec, &free) {
-                    for (p, n) in &alloc {
-                        free[p.index()] -= n;
-                    }
-                    decision.placements.push(Placement {
-                        job: spec.id,
-                        allocation: alloc,
-                    });
-                }
             }
         }
-        decision
     }
+    decision
 }
 
 #[cfg(test)]

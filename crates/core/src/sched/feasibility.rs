@@ -120,26 +120,20 @@ pub fn check_decision(
     let mut violations = Vec::new();
     let parts = view.free.len();
     let pending: HashSet<JobId> = view.pending.iter().map(|j| j.id).collect();
-    let running: HashSet<JobId> = view.running.iter().map(|r| r.spec.id).collect();
 
     // Preemptions: must reference distinct running jobs; they reclaim their
     // allocations for this cycle's placements.
     let mut available: Vec<u32> = view.free.to_vec();
     let mut preempted: HashSet<JobId> = HashSet::new();
     for id in &decision.preemptions {
-        if !running.contains(id) {
+        let Some(r) = view.running.iter().find(|r| r.spec.id == *id) else {
             violations.push(FeasibilityViolation::UnknownPreemption { job: *id });
             continue;
-        }
+        };
         if !preempted.insert(*id) {
             violations.push(FeasibilityViolation::DuplicatePreemption { job: *id });
             continue;
         }
-        let r = view
-            .running
-            .iter()
-            .find(|r| r.spec.id == *id)
-            .expect("id is in the running set");
         for (p, n) in r.allocation {
             if p.index() < parts {
                 available[p.index()] += n;
@@ -160,10 +154,10 @@ pub fn check_decision(
     let mut placed: HashSet<JobId> = HashSet::new();
     let mut committed: Vec<u32> = vec![0; parts];
     for pl in &decision.placements {
-        if !pending.contains(&pl.job) {
+        let Some(spec) = view.pending.iter().find(|j| j.id == pl.job) else {
             violations.push(FeasibilityViolation::UnknownPlacement { job: pl.job });
             continue;
-        }
+        };
         if !placed.insert(pl.job) {
             violations.push(FeasibilityViolation::DuplicatePlacement { job: pl.job });
             continue;
@@ -171,11 +165,6 @@ pub fn check_decision(
         if cancelled.contains(&pl.job) {
             violations.push(FeasibilityViolation::CancelledAndPlaced { job: pl.job });
         }
-        let spec = view
-            .pending
-            .iter()
-            .find(|j| j.id == pl.job)
-            .expect("id is in the pending set");
         let mut allocated = 0u32;
         let mut bad_partition = false;
         for (p, n) in &pl.allocation {

@@ -327,7 +327,7 @@ pub(crate) struct JobOptions {
     pub pruned: usize,
 }
 
-fn generate_one(input: &GenInput, slots: &[f64]) -> JobOptions {
+fn generate_one(input: &GenInput, slots: &[f64], max_options: Option<usize>) -> JobOptions {
     let mut options = Vec::new();
     let mut best_utility = 0.0f64;
     let mut enumerated = 0usize;
@@ -352,6 +352,34 @@ fn generate_one(input: &GenInput, slots: &[f64]) -> JobOptions {
             });
         }
     }
+    // Aggressive §4.3.6 prune (degraded cycles): keep only the job's top-k
+    // options by expected utility, ties broken by original (space, slot)
+    // order so the result is deterministic; survivors keep that order.
+    if let Some(k) = max_options {
+        if options.len() > k {
+            let mut idx: Vec<usize> = (0..options.len()).collect();
+            idx.sort_by(|&a, &b| {
+                options[b]
+                    .utility
+                    .total_cmp(&options[a].utility)
+                    .then(a.cmp(&b))
+            });
+            idx.truncate(k);
+            idx.sort_unstable();
+            pruned += options.len() - k;
+            let mut keep = idx.into_iter();
+            let mut next = keep.next();
+            let mut i = 0;
+            options.retain(|_| {
+                let kept = next == Some(i);
+                if kept {
+                    next = keep.next();
+                }
+                i += 1;
+                kept
+            });
+        }
+    }
     JobOptions {
         options,
         best_utility,
@@ -366,7 +394,11 @@ fn generate_one(input: &GenInput, slots: &[f64]) -> JobOptions {
 /// reassembled in job order, and per-job valuation is pure floating-point
 /// math, so the output is identical to a sequential pass regardless of
 /// thread count — simulations remain exactly reproducible.
-pub(crate) fn generate(inputs: &[GenInput], slots: &[f64]) -> Vec<JobOptions> {
+pub(crate) fn generate(
+    inputs: &[GenInput],
+    slots: &[f64],
+    max_options: Option<usize>,
+) -> Vec<JobOptions> {
     let n = inputs.len();
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -374,7 +406,10 @@ pub(crate) fn generate(inputs: &[GenInput], slots: &[f64]) -> Vec<JobOptions> {
         .min(n);
     // Below this many jobs the spawn overhead outweighs the fan-out.
     if threads <= 1 || n < 16 {
-        return inputs.iter().map(|g| generate_one(g, slots)).collect();
+        return inputs
+            .iter()
+            .map(|g| generate_one(g, slots, max_options))
+            .collect();
     }
     let chunk = n.div_ceil(threads);
     let mut out: Vec<Vec<JobOptions>> = Vec::with_capacity(threads);
@@ -384,7 +419,7 @@ pub(crate) fn generate(inputs: &[GenInput], slots: &[f64]) -> Vec<JobOptions> {
             .map(|ch| {
                 s.spawn(move || {
                     ch.iter()
-                        .map(|g| generate_one(g, slots))
+                        .map(|g| generate_one(g, slots, max_options))
                         .collect::<Vec<_>>()
                 })
             })
@@ -670,8 +705,11 @@ mod tests {
                 },
             })
             .collect();
-        let par = generate(&inputs, &slots);
-        let seq: Vec<JobOptions> = inputs.iter().map(|g| generate_one(g, &slots)).collect();
+        let par = generate(&inputs, &slots, None);
+        let seq: Vec<JobOptions> = inputs
+            .iter()
+            .map(|g| generate_one(g, &slots, None))
+            .collect();
         assert_eq!(par.len(), seq.len());
         for (p, s) in par.iter().zip(&seq) {
             assert_eq!(p.best_utility.to_bits(), s.best_utility.to_bits());
@@ -685,6 +723,50 @@ mod tests {
                 assert_eq!(po.mask, so.mask);
                 assert_eq!(po.utility.to_bits(), so.utility.to_bits());
             }
+        }
+    }
+
+    #[test]
+    fn aggressive_prune_keeps_the_top_k_options_deterministically() {
+        let slots = [0.0, 60.0, 120.0, 180.0];
+        let input = GenInput {
+            spaces: vec![
+                (RackMask::single(0), Arc::new(DiscreteDist::point(50.0))),
+                (RackMask::all(4), Arc::new(DiscreteDist::point(75.0))),
+            ],
+            curve: UtilityCurve::SloStep {
+                weight: 10.0,
+                deadline: 500.0,
+            },
+        };
+        let full = generate_one(&input, &slots, None);
+        let capped = generate_one(&input, &slots, Some(3));
+        assert!(full.options.len() > 3, "test needs something to prune");
+        assert_eq!(capped.options.len(), 3);
+        // Same enumeration count — the cap prunes, it does not skip work.
+        assert_eq!(capped.enumerated, full.enumerated);
+        assert_eq!(capped.options.len() + capped.pruned, capped.enumerated);
+        assert_eq!(capped.best_utility.to_bits(), full.best_utility.to_bits());
+        // The survivors are exactly the top-3 utilities of the full set,
+        // still in (space, slot) order.
+        let mut best: Vec<u64> = full.options.iter().map(|o| o.utility.to_bits()).collect();
+        best.sort_by(|a, b| f64::from_bits(*b).total_cmp(&f64::from_bits(*a)));
+        best.truncate(3);
+        for o in &capped.options {
+            assert!(best.contains(&o.utility.to_bits()));
+        }
+        for w in capped.options.windows(2) {
+            assert!(
+                w[0].mask != w[1].mask || w[0].slot < w[1].slot,
+                "survivors keep (space, slot) order"
+            );
+        }
+        // Re-running is bit-identical (deterministic tie-breaks).
+        let again = generate_one(&input, &slots, Some(3));
+        assert_eq!(again.options.len(), capped.options.len());
+        for (a, b) in again.options.iter().zip(&capped.options) {
+            assert_eq!(a.utility.to_bits(), b.utility.to_bits());
+            assert_eq!(a.slot, b.slot);
         }
     }
 

@@ -92,6 +92,30 @@ pub enum OverestimateMode {
     Adaptive,
 }
 
+/// Per-cycle cost budget driving the degradation governor.
+///
+/// Production clusters overrun their scheduling-cycle budget under load;
+/// rather than let one slow MILP stall the cycle clock, the governor
+/// watches each cycle's cost against this budget and walks a degradation
+/// ladder (see [`SchedConfig::cycle_budget`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CycleBudget {
+    /// No budget: every cycle runs the full plan-ahead MILP and the
+    /// governor never engages (the default — keeps default-config runs
+    /// bit-identical to pre-governor behaviour).
+    Unlimited,
+    /// Wall-clock budget per cycle, in milliseconds (the production knob,
+    /// exposed as `--cycle-budget-ms`). Inherently nondeterministic:
+    /// level transitions follow real latency, so replay of a budgeted run
+    /// is not byte-stable.
+    WallClockMs(f64),
+    /// Deterministic work-unit budget: (space, slot) options valued by
+    /// Eq. 1 plus branch-and-bound nodes expanded, per cycle. A machine-
+    /// independent stand-in for wall-clock that the simtest harness uses
+    /// so byte-stable replay survives governor activity.
+    WorkUnits(u64),
+}
+
 /// 3σSched tuning knobs.
 #[derive(Debug, Clone)]
 pub struct SchedConfig {
@@ -132,6 +156,16 @@ pub struct SchedConfig {
     /// Record a [`PlanRecord`] per cycle (debugging/introspection; costs
     /// memory proportional to cycles × planned jobs).
     pub record_plans: bool,
+    /// Per-cycle cost budget for the degradation governor. When a cycle
+    /// overruns it, the next cycle runs one level further down the ladder:
+    /// level 0 = full plan-ahead MILP, level 1 = shrunken window plus
+    /// aggressive §4.3.6 option pruning (caps derived from the budget),
+    /// level 2 = skip the MILP entirely and run the EASY-backfill placer.
+    pub cycle_budget: CycleBudget,
+    /// Consecutive on-budget cycles required before the governor steps the
+    /// ladder back *down* one level (hysteresis, so a load spike straddling
+    /// the budget doesn't flap between levels every cycle).
+    pub budget_hysteresis: u32,
 }
 
 impl Default for SchedConfig {
@@ -157,6 +191,8 @@ impl Default for SchedConfig {
             cancel_hopeless: true,
             cycle_hint: 2.0,
             record_plans: false,
+            cycle_budget: CycleBudget::Unlimited,
+            budget_hysteresis: 3,
         }
     }
 }
@@ -222,6 +258,13 @@ pub struct CycleTiming {
     pub extract: Duration,
     /// Branch-and-bound nodes expanded.
     pub nodes: usize,
+    /// Degradation-ladder level this cycle ran at (0 = full MILP,
+    /// 1 = shrunken window, 2 = backfill fallback).
+    pub level: u8,
+    /// Deterministic cycle cost in work units (options valued + solver
+    /// nodes expanded) — what [`CycleBudget::WorkUnits`] is charged
+    /// against.
+    pub cost_units: u64,
 }
 
 /// Exp-inc under-estimate state for one running attempt (§4.2.1).
@@ -296,6 +339,15 @@ pub struct SchedStats {
     /// Times the predictor's chosen (feature, estimator) expert changed
     /// between consecutive submission-time predictions.
     pub expert_switches: u64,
+    /// Current degradation-ladder level (0 = full MILP; not cumulative,
+    /// but kept here so the obs flush carries it with the counters).
+    pub degradation_level: u64,
+    /// Times the governor stepped the ladder up (degrading) by one level.
+    pub governor_step_ups: u64,
+    /// Times the governor stepped the ladder back down by one level.
+    pub governor_step_downs: u64,
+    /// Cycles whose cost exceeded the configured [`CycleBudget`].
+    pub budget_overruns: u64,
 }
 
 /// Metric handles registered against the attached [`Recorder`]; kept
@@ -314,7 +366,13 @@ struct SchedMetrics {
     solver_timeouts: Counter,
     warm_start_reuses: Counter,
     expert_switches: Counter,
+    degradation_level: Gauge,
+    cycle_cost_units: Gauge,
+    governor_step_ups: Counter,
+    governor_step_downs: Counter,
+    budget_overruns: Counter,
     predict_tracked_values: Gauge,
+    predict_censored: Counter,
     predict_observations: Counter,
     predict_bin_merges: Counter,
     predict_best_nmae: Gauge,
@@ -361,6 +419,30 @@ impl SchedMetrics {
             expert_switches: rec.counter(
                 "sched_expert_switches_total",
                 "Predictor (feature, estimator) expert changes between predictions",
+            ),
+            degradation_level: rec.gauge(
+                "sched_degradation_level",
+                "Current degradation-ladder level (0 = full MILP, 2 = backfill)",
+            ),
+            cycle_cost_units: rec.gauge(
+                "sched_cycle_cost_units",
+                "Last cycle's deterministic cost (options valued + solver nodes)",
+            ),
+            governor_step_ups: rec.counter(
+                "sched_governor_step_ups_total",
+                "Governor degradations (ladder stepped up one level)",
+            ),
+            governor_step_downs: rec.counter(
+                "sched_governor_step_downs_total",
+                "Governor recoveries (ladder stepped down one level)",
+            ),
+            budget_overruns: rec.counter(
+                "sched_budget_overruns_total",
+                "Cycles whose cost exceeded the configured budget",
+            ),
+            predict_censored: rec.counter(
+                "predict_censored_observations_total",
+                "Killed/failed runs recorded as censored lower bounds only",
             ),
             predict_tracked_values: rec.gauge(
                 "predict_tracked_values",
@@ -410,12 +492,19 @@ impl SchedMetrics {
         self.solver_timeouts.set_total(stats.solver_timeouts);
         self.warm_start_reuses.set_total(stats.warm_start_reuses);
         self.expert_switches.set_total(stats.expert_switches);
+        self.degradation_level.set(stats.degradation_level as f64);
+        self.cycle_cost_units.set(timing.cost_units as f64);
+        self.governor_step_ups.set_total(stats.governor_step_ups);
+        self.governor_step_downs
+            .set_total(stats.governor_step_downs);
+        self.budget_overruns.set_total(stats.budget_overruns);
         // O(1): the full `predictor.stats()` scan over every tracked
         // feature value is far too slow to run once per cycle.
         let ps = predictor.quick_stats();
         self.predict_tracked_values.set(ps.tracked_values as f64);
         self.predict_observations.set_total(ps.observations);
         self.predict_bin_merges.set_total(ps.bin_merges);
+        self.predict_censored.set_total(ps.censored);
         if let Some(best) = ps.best_nmae {
             self.predict_best_nmae.set(best);
         }
@@ -424,6 +513,93 @@ impl SchedMetrics {
         self.solve_seconds.observe_duration(timing.solver);
         self.extract_seconds.observe_duration(timing.extract);
         self.cycle_seconds.observe_duration(timing.total);
+    }
+}
+
+/// Hysteresis state of the degradation governor.
+#[derive(Debug, Clone, Copy, Default)]
+struct Governor {
+    /// Current ladder level (0 = full MILP, 1 = shrunken window,
+    /// 2 = backfill fallback).
+    level: u8,
+    /// Consecutive on-budget cycles since the last transition.
+    streak: u32,
+    /// Previous cycle's cost as (work units, wall clock); `None` before
+    /// the first cycle, so the first cycle is never judged.
+    last_cost: Option<(u64, Duration)>,
+}
+
+/// Judges the previous cycle against the budget and moves the ladder by at
+/// most one level. Called at the top of every cycle, *before* any work, so
+/// a cycle runs entirely at one level and transitions are visible in the
+/// cycle trace as ±1 steps.
+fn governor_step(cfg: &SchedConfig, gov: &mut Governor, totals: &mut SchedStats) -> u8 {
+    let over = match (cfg.cycle_budget, gov.last_cost) {
+        (CycleBudget::Unlimited, _) | (_, None) => None,
+        (CycleBudget::WallClockMs(ms), Some((_, wall))) => Some(wall.as_secs_f64() * 1e3 > ms),
+        (CycleBudget::WorkUnits(units), Some((cost, _))) => Some(cost > units),
+    };
+    match over {
+        None => {}
+        Some(true) => {
+            totals.budget_overruns += 1;
+            gov.streak = 0;
+            if gov.level < 2 {
+                gov.level += 1;
+                totals.governor_step_ups += 1;
+            }
+        }
+        Some(false) => {
+            gov.streak += 1;
+            if gov.level > 0 && gov.streak >= cfg.budget_hysteresis.max(1) {
+                gov.level -= 1;
+                totals.governor_step_downs += 1;
+                gov.streak = 0;
+            }
+        }
+    }
+    totals.degradation_level = gov.level as u64;
+    gov.level
+}
+
+/// The level-1 caps on MILP work, derived from the configured budget.
+struct Level1Caps {
+    plan_slots: usize,
+    max_jobs: usize,
+    solver_nodes: usize,
+    solver_time: Duration,
+    /// Aggressive §4.3.6 prune: keep at most this many options per job.
+    max_options: usize,
+}
+
+/// Shrinks the plan-ahead MILP so a level-1 cycle provably (for
+/// [`CycleBudget::WorkUnits`]) or heuristically (wall clock) fits the
+/// budget. For a work-unit budget `b`: enumeration is capped at
+/// `max_jobs · 2 spaces · plan_slots ≤ b/2` and solver nodes at `b/8`, so
+/// the total cycle cost stays ≤ 5b/8 with slack for rounding.
+fn level1_caps(cfg: &SchedConfig) -> Level1Caps {
+    let plan_slots = cfg.plan_slots.clamp(2, 4);
+    match cfg.cycle_budget {
+        CycleBudget::WorkUnits(b) => {
+            let per_job = 2 * plan_slots as u64;
+            let max_jobs = ((b / 2) / per_job.max(1)).max(1) as usize;
+            Level1Caps {
+                plan_slots,
+                max_jobs: max_jobs.min(cfg.max_jobs_per_cycle),
+                solver_nodes: ((b / 8).max(1) as usize).min(cfg.solver_nodes),
+                solver_time: cfg.solver_time,
+                max_options: plan_slots,
+            }
+        }
+        // Wall-clock (or, defensively, unlimited) budgets have no exact
+        // unit conversion: quarter the work and halve the solver clock.
+        CycleBudget::WallClockMs(_) | CycleBudget::Unlimited => Level1Caps {
+            plan_slots,
+            max_jobs: (cfg.max_jobs_per_cycle / 4).max(1),
+            solver_nodes: (cfg.solver_nodes / 4).max(1),
+            solver_time: cfg.solver_time / 2,
+            max_options: plan_slots,
+        },
     }
 }
 
@@ -445,6 +621,8 @@ pub struct ThreeSigmaScheduler {
     totals: SchedStats,
     /// Last (feature, estimator) expert the predictor chose.
     last_expert: Option<(&'static str, EstimatorKind)>,
+    /// Degradation-governor state (level, hysteresis streak, last cost).
+    governor: Governor,
     /// Registered metric handles when a recorder is attached.
     obs: Option<SchedMetrics>,
 }
@@ -466,8 +644,14 @@ impl ThreeSigmaScheduler {
             plans: Vec::new(),
             totals: SchedStats::default(),
             last_expert: None,
+            governor: Governor::default(),
             obs: None,
         }
+    }
+
+    /// Current degradation-ladder level (0 = full MILP, 2 = backfill).
+    pub fn degradation_level(&self) -> u8 {
+        self.governor.level
     }
 
     /// Attaches a metrics recorder; cumulative counters and stage timers
@@ -666,9 +850,25 @@ impl Scheduler for ThreeSigmaScheduler {
         self.cache.invalidate(spec.id);
     }
 
+    fn on_job_killed(&mut self, spec: &JobSpec, elapsed: f64, _will_retry: bool, _now: f64) {
+        // A killed run's elapsed time is a *censored* lower bound on the
+        // true runtime — it must never enter the per-feature histograms as
+        // a completion (that would bias every history short, since long
+        // jobs are exactly the ones most likely to be killed). No epoch
+        // bump either: the histories did not change.
+        self.predictor
+            .observe_censored(&Attrs(&spec.attributes), elapsed);
+        // The attempt is dead; drop its pinned estimate so a retry is
+        // re-estimated from current history.
+        self.cache.invalidate(spec.id);
+    }
+
     fn schedule(&mut self, view: &SimulationView<'_>, now: f64) -> SchedulingDecision {
         let cycle_start = Instant::now();
         let cfg = self.config.clone();
+        // Judge the previous cycle against the budget and settle this
+        // cycle's ladder level before doing any work.
+        let level = governor_step(&cfg, &mut self.governor, &mut self.totals);
         let mut decision = SchedulingDecision::noop();
         let Self {
             cache,
@@ -678,10 +878,66 @@ impl Scheduler for ThreeSigmaScheduler {
             timings,
             plans,
             totals,
+            governor,
             obs,
             ..
         } = self;
         totals.cycles += 1;
+
+        // ---- Level 2: emergency fallback. Skip option generation and the
+        // MILP entirely; run the EASY-backfill placer on cached point
+        // estimates. Cost ≈ 0 work units, so hysteresis can step back. ----
+        if level == 2 {
+            let plan = crate::sched::backfill::backfill_plan(view, now, |spec| {
+                cache
+                    .base(spec.id, || {
+                        estimate_dist(source, predictor, cfg.mass_points, spec)
+                    })
+                    .mean()
+            });
+            decision.placements = plan.placements;
+            for p in &decision.placements {
+                cache.pin(p.job);
+            }
+            totals.options_placed += decision.placements.len() as u64;
+            let timing = CycleTiming {
+                pending: view.pending.len(),
+                considered: 0,
+                milp_vars: 0,
+                milp_rows: 0,
+                total: cycle_start.elapsed(),
+                generate: Duration::ZERO,
+                compile: Duration::ZERO,
+                solver: Duration::ZERO,
+                extract: Duration::ZERO,
+                nodes: 0,
+                level,
+                cost_units: 0,
+            };
+            governor.last_cost = Some((timing.cost_units, timing.total));
+            if let Some(obs) = obs {
+                let stats = SchedStats {
+                    cache: cache.stats(),
+                    ..*totals
+                };
+                obs.flush(&stats, predictor, &timing);
+            }
+            timings.push(timing);
+            return decision;
+        }
+
+        // Level 1 shrinks the plan-ahead window and caps MILP work to fit
+        // the budget; level 0 runs the configured full plan.
+        let caps = if level >= 1 {
+            Some(level1_caps(&cfg))
+        } else {
+            None
+        };
+        let plan_slots = caps.as_ref().map_or(cfg.plan_slots, |c| c.plan_slots);
+        let max_jobs = caps.as_ref().map_or(cfg.max_jobs_per_cycle, |c| c.max_jobs);
+        let solver_nodes = caps.as_ref().map_or(cfg.solver_nodes, |c| c.solver_nodes);
+        let solver_time = caps.as_ref().map_or(cfg.solver_time, |c| c.solver_time);
+        let max_options = caps.as_ref().map(|c| c.max_options);
 
         // ---- Stage 1: generate. Select the most urgent pending jobs,
         // refresh cached estimates, and value every (space, slot) option
@@ -695,11 +951,11 @@ impl Scheduler for ThreeSigmaScheduler {
         // (NaN orders last); the previous `partial_cmp().expect(...)` killed
         // the whole engine on one malformed job.
         order.sort_by(|&a, &b| urgency(view.pending[a]).total_cmp(&urgency(view.pending[b])));
-        order.truncate(cfg.max_jobs_per_cycle);
+        order.truncate(max_jobs);
         let considered: Vec<&JobSpec> = order.iter().map(|&i| view.pending[i]).collect();
 
         let full_mask = RackMask::all(view.cluster.num_partitions());
-        let slots = slot_times(now, cfg.slot_width, cfg.plan_slots);
+        let slots = slot_times(now, cfg.slot_width, plan_slots);
 
         // Distinct equivalence-set masks that need capacity rows.
         let mut space_masks: Vec<RackMask> = vec![full_mask];
@@ -736,7 +992,7 @@ impl Scheduler for ThreeSigmaScheduler {
             }
             gen_inputs.push(GenInput { spaces, curve });
         }
-        let job_options = options::generate(&gen_inputs, &slots);
+        let job_options = options::generate(&gen_inputs, &slots, max_options);
         for jo in &job_options {
             totals.options_enumerated += jo.enumerated as u64;
             totals.options_pruned += jo.pruned as u64;
@@ -898,8 +1154,8 @@ impl Scheduler for ThreeSigmaScheduler {
 
         // ---- Stage 3: solve (status-quo warm start is always feasible). ----
         let solver = Solver::with_config(SolverConfig {
-            node_limit: cfg.solver_nodes,
-            time_limit: Some(cfg.solver_time),
+            node_limit: solver_nodes,
+            time_limit: Some(solver_time),
             gap_tolerance: 1e-4,
             ..SolverConfig::default()
         });
@@ -1006,6 +1262,13 @@ impl Scheduler for ThreeSigmaScheduler {
         let extract_elapsed = extract_start.elapsed();
         totals.options_placed += decision.placements.len() as u64;
 
+        // Deterministic cycle cost: every (space, slot) pair valued by
+        // Eq. 1 plus every branch-and-bound node expanded.
+        let cost_units = job_options
+            .iter()
+            .map(|jo| jo.enumerated as u64)
+            .sum::<u64>()
+            + nodes as u64;
         let timing = CycleTiming {
             pending: view.pending.len(),
             considered: considered.len(),
@@ -1017,7 +1280,10 @@ impl Scheduler for ThreeSigmaScheduler {
             solver: solver_elapsed,
             extract: extract_elapsed,
             nodes,
+            level,
+            cost_units,
         };
+        governor.last_cost = Some((timing.cost_units, timing.total));
         if let Some(obs) = obs {
             let stats = SchedStats {
                 cache: cache.stats(),
@@ -1670,5 +1936,182 @@ mod tests {
         ];
         let m = engine(1, 2).run(&jobs, &mut s).unwrap();
         assert_eq!(m.slo_miss_pct(), 0.0);
+    }
+
+    #[test]
+    fn unlimited_budget_never_engages_the_governor() {
+        let mut s = scheduler(EstimateSource::OraclePoint);
+        let jobs: Vec<JobSpec> = (0..30)
+            .map(|i| JobSpec::new(i + 1, i as f64, 1, 50.0, JobKind::BestEffort))
+            .collect();
+        let m = engine(1, 2).run(&jobs, &mut s).unwrap();
+        assert_eq!(m.completion_rate(), 1.0);
+        let stats = s.stats();
+        assert_eq!(stats.budget_overruns, 0);
+        assert_eq!(stats.governor_step_ups, 0);
+        assert_eq!(stats.degradation_level, 0);
+        assert!(s.timings().iter().all(|t| t.level == 0));
+    }
+
+    #[test]
+    fn governor_degrades_under_overload_and_recovers() {
+        // 2 nodes, 24 pending single-task jobs at t=0: level-0 cycles value
+        // 24 jobs × 8 slots = 192 options (> 100), so the governor must
+        // step up; level-1 caps derived from budget 100 keep the cost
+        // under it, so after three on-budget cycles it steps back down.
+        let budget = 100u64;
+        let mut s = ThreeSigmaScheduler::new(
+            SchedConfig {
+                cycle_budget: CycleBudget::WorkUnits(budget),
+                ..SchedConfig::default()
+            },
+            EstimateSource::OraclePoint,
+            PredictorConfig::default(),
+        );
+        let jobs: Vec<JobSpec> = (0..24)
+            .map(|i| JobSpec::new(i + 1, 0.0, 1, 60.0, JobKind::BestEffort))
+            .collect();
+        let m = engine(1, 2).run(&jobs, &mut s).unwrap();
+        assert_eq!(m.completion_rate(), 1.0, "degraded cycles still place");
+        let stats = s.stats();
+        assert!(stats.budget_overruns >= 1, "stats: {stats:?}");
+        assert!(stats.governor_step_ups >= 1);
+        assert!(stats.governor_step_downs >= 1, "hysteresis recovery ran");
+        // The queue drains long before the run ends, so the final level
+        // is back at 0.
+        assert_eq!(s.degradation_level(), 0);
+        for (i, t) in s.timings().iter().enumerate() {
+            assert!(t.level <= 2);
+            if i > 0 {
+                let prev = s.timings()[i - 1].level;
+                assert!(
+                    t.level.abs_diff(prev) <= 1,
+                    "level moved {prev} → {} in one cycle",
+                    t.level
+                );
+            }
+            // The governor's contract: degraded cycles fit the budget.
+            if t.level >= 1 {
+                assert!(
+                    t.cost_units <= budget,
+                    "level-{} cycle cost {} > budget {budget}",
+                    t.level,
+                    t.cost_units
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn level_two_places_jobs_through_backfill() {
+        // Budget 0: every non-trivial cycle overruns, so the ladder climbs
+        // to level 2, where the MILP is skipped and the backfill placer
+        // still starts jobs (cost 0 then satisfies the budget, so the
+        // governor oscillates near the top — never above ±1 per cycle).
+        let mut s = ThreeSigmaScheduler::new(
+            SchedConfig {
+                cycle_budget: CycleBudget::WorkUnits(0),
+                ..SchedConfig::default()
+            },
+            EstimateSource::OraclePoint,
+            PredictorConfig::default(),
+        );
+        let jobs: Vec<JobSpec> = (0..10)
+            .map(|i| JobSpec::new(i + 1, i as f64 * 3.0, 1, 40.0, JobKind::BestEffort))
+            .collect();
+        let m = engine(1, 2).run(&jobs, &mut s).unwrap();
+        assert_eq!(m.completion_rate(), 1.0, "backfill fallback still works");
+        let reached_two = s.timings().iter().any(|t| t.level == 2);
+        assert!(reached_two, "ladder reached the backfill level");
+        for t in s.timings() {
+            if t.level == 2 {
+                assert_eq!(t.milp_vars, 0, "level 2 skips the MILP");
+                assert_eq!(t.cost_units, 0);
+            }
+        }
+        assert!(s.stats().budget_overruns >= 2);
+    }
+
+    #[test]
+    fn killed_jobs_are_censored_not_observed() {
+        let mut s = scheduler(EstimateSource::Predicted);
+        let history: Vec<JobSpec> = (0..20)
+            .map(|i| {
+                JobSpec::new(1000 + i, i as f64, 1, 100.0, JobKind::BestEffort)
+                    .with_attributes(threesigma_cluster::Attributes::new().with("user", "alice"))
+            })
+            .collect();
+        s.pretrain(&history);
+        let obs_before = s.predictor.quick_stats().observations;
+        let spec = JobSpec::new(1, 0.0, 1, 100.0, JobKind::BestEffort)
+            .with_attributes(threesigma_cluster::Attributes::new().with("user", "alice"));
+        s.on_job_submitted(&spec, 0.0);
+
+        // The engine reports a kill 30 s into the attempt.
+        s.on_job_killed(&spec, 30.0, true, 30.0);
+
+        let qs = s.predictor.quick_stats();
+        assert_eq!(qs.censored, 1, "kill recorded as a censored lower bound");
+        assert_eq!(
+            qs.observations, obs_before,
+            "the truncated runtime never reached the histograms"
+        );
+        // The dead attempt's cached estimate was dropped, so the retry
+        // re-estimates from (unchanged) history.
+        let d = s.cache.base(spec.id, || DiscreteDist::point(999.0));
+        assert!(
+            (d.mean() - 999.0).abs() < 1e-9,
+            "cache entry was invalidated"
+        );
+    }
+
+    #[test]
+    fn engine_kills_reach_the_scheduler_as_censored_observations() {
+        use threesigma_cluster::FaultEvent;
+        let mut s = scheduler(EstimateSource::Predicted);
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 2, 200.0, JobKind::BestEffort),
+            JobSpec::new(2, 5.0, 1, 50.0, JobKind::BestEffort),
+        ];
+        let eng = Engine::new(
+            ClusterSpec::uniform(1, 4),
+            EngineConfig {
+                cycle_interval: 2.0,
+                drain: Some(4.0 * 3600.0),
+                seed: 1,
+                faults: vec![FaultEvent::TaskKill {
+                    at: 20.0,
+                    job: JobId(1),
+                }],
+                ..EngineConfig::default()
+            },
+        );
+        let m = eng.run(&jobs, &mut s).unwrap();
+        assert_eq!(m.kills, 1);
+        assert_eq!(s.predictor.quick_stats().censored, 1);
+        // The killed job retried and completed; its *completed* runtime is
+        // a legitimate observation, the truncated one is not.
+        assert_eq!(m.completion_rate(), 1.0);
+    }
+
+    #[test]
+    fn scaled_estimate_miss_degrades_to_the_base_distribution() {
+        // Satellite: the `EstimateCache::scaled → None` fallback path. A
+        // cache with no entry for the job returns `None` from `scaled`;
+        // the cycle must fall back to the unscaled base instead of
+        // panicking — observable as a completed run even when the cache
+        // is invalidated between submission and the first cycle.
+        let mut s = scheduler(EstimateSource::OraclePoint);
+        let spec = JobSpec::new(1, 0.0, 1, 50.0, JobKind::BestEffort)
+            .with_preference(vec![PartitionId(0)], 1.5);
+        s.on_job_submitted(&spec, 0.0);
+        // Simulate bookkeeping slippage: drop the entry `scaled` relies on.
+        s.cache.invalidate(spec.id);
+        assert!(
+            s.cache.scaled(spec.id, 1.5).is_none(),
+            "precondition: the scaled lookup misses"
+        );
+        let m = engine(2, 2).run(&[spec], &mut s).unwrap();
+        assert_eq!(m.completion_rate(), 1.0);
     }
 }

@@ -67,6 +67,9 @@ pub struct Predictor {
     /// recomputes the same sums exactly by scanning.
     observations: u64,
     bin_merges: u64,
+    /// Truncated (killed/failed) runs recorded as censored lower bounds —
+    /// counted for telemetry, never folded into the histories.
+    censored: u64,
     /// Lowest scored-expert NMAE seen so far (historical minimum).
     best_nmae_seen: Option<f64>,
 }
@@ -86,6 +89,7 @@ impl Predictor {
             state: HashMap::new(),
             observations: 0,
             bin_merges: 0,
+            censored: 0,
             best_nmae_seen: None,
         }
     }
@@ -123,6 +127,31 @@ impl Predictor {
                 self.best_nmae_seen = Some(self.best_nmae_seen.map_or(n, |cur| cur.min(n)));
             }
         }
+    }
+
+    /// Records a *censored* observation: a run that was killed after
+    /// `elapsed` seconds, so the true runtime is only known to be ≥
+    /// `elapsed`.
+    ///
+    /// Censored samples must never enter the per-feature histograms or the
+    /// expert NMAE scores — folding a truncated runtime in as if it were a
+    /// completion would bias every history toward shorter runtimes (the
+    /// jobs most likely to be killed are exactly the long ones). The full
+    /// Kaplan–Meier-style reweighting the stochastic-scheduling literature
+    /// uses needs the whole history per value; until that lands, the
+    /// lower bound is recorded for telemetry only so runs can prove no
+    /// truncated runtime leaked into the histories.
+    pub fn observe_censored(&mut self, _attrs: &impl AttributeSource, elapsed: f64) {
+        if !(elapsed.is_finite() && elapsed >= 0.0) {
+            return; // same defensive posture as `observe`
+        }
+        self.censored += 1;
+    }
+
+    /// Censored (killed/failed) runs recorded so far. These are *not*
+    /// included in [`quick_stats`](Self::quick_stats)' `observations`.
+    pub fn censored_observations(&self) -> u64 {
+        self.censored
     }
 
     /// Predicts the runtime distribution for a job with the given
@@ -249,6 +278,7 @@ impl Predictor {
             tracked_values: self.state.len(),
             observations: self.observations,
             bin_merges: self.bin_merges,
+            censored: self.censored,
             best_nmae: self.best_nmae_seen,
         }
     }
@@ -328,6 +358,9 @@ pub struct QuickStats {
     pub observations: u64,
     /// Total histogram bin merges across all sketches.
     pub bin_merges: u64,
+    /// Censored (killed/failed) runs recorded as lower bounds only — never
+    /// folded into the histories, so disjoint from `observations`.
+    pub censored: u64,
     /// Lowest scored-expert NMAE seen so far, `None` before any expert
     /// evaluation.
     pub best_nmae: Option<f64>,
@@ -609,6 +642,31 @@ mod tests {
             .min_by(f64::total_cmp);
         assert!(quick.best_nmae.is_some());
         assert!(quick.best_nmae <= current || current.is_none());
+    }
+
+    #[test]
+    fn censored_observations_never_touch_the_histories() {
+        let mut p = Predictor::new(PredictorConfig::default());
+        for i in 0..30 {
+            p.observe(&attrs("ana", "etl"), 100.0 + (i % 7) as f64);
+        }
+        let before = p.predict(&attrs("ana", "etl")).unwrap();
+        let stats_before = p.stats();
+
+        // A run killed after 12 s: lower bound only.
+        p.observe_censored(&attrs("ana", "etl"), 12.0);
+        p.observe_censored(&attrs("ana", "etl"), f64::NAN); // ignored
+        p.observe_censored(&attrs("ana", "etl"), -3.0); // ignored
+
+        assert_eq!(p.censored_observations(), 1);
+        assert_eq!(p.quick_stats().censored, 1);
+        // Histories, predictions, and expert scores are bit-identical:
+        // the truncated runtime was not folded in as a completion.
+        assert_eq!(p.stats(), stats_before);
+        let after = p.predict(&attrs("ana", "etl")).unwrap();
+        assert_eq!(after.point, before.point);
+        assert_eq!(after.history, before.history);
+        assert_eq!(p.quick_stats().observations, stats_before.observations);
     }
 
     #[test]

@@ -12,7 +12,8 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use threesigma::{
-    BackfillScheduler, EstimateSource, PointSource, PrioScheduler, SchedConfig, ThreeSigmaScheduler,
+    BackfillScheduler, CycleBudget, EstimateSource, PointSource, PrioScheduler, SchedConfig,
+    ThreeSigmaScheduler,
 };
 use threesigma_cluster::{
     ClusterSpec, Engine, EngineConfig, JobOutcome, JobState, Metrics, Scheduler,
@@ -130,10 +131,14 @@ fn run_one(
             drain: Some(scenario.drain),
             seed: scenario.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
             faults: scenario.faults.clone(),
+            retry: scenario.retry,
         },
     )
     .with_recorder(recorder.clone());
-    let mut checker = InvariantChecker::new(&scenario.jobs).with_recorder(recorder);
+    let mut checker = InvariantChecker::new(&scenario.jobs)
+        .with_recorder(recorder)
+        .with_retry(scenario.retry)
+        .with_budget(scenario.cycle_budget);
     let log = Rc::new(RefCell::new(FeasibilityLog::default()));
     let mut checked = CheckedScheduler::new(DynScheduler(scheduler), log.clone());
     let result = engine.run_observed(&scenario.jobs, &mut checked, &mut checker);
@@ -178,6 +183,15 @@ impl Scheduler for DynScheduler<'_> {
     ) {
         self.0.on_job_completed(spec, outcome, now);
     }
+    fn on_job_killed(
+        &mut self,
+        spec: &threesigma_cluster::JobSpec,
+        elapsed: f64,
+        will_retry: bool,
+        now: f64,
+    ) {
+        self.0.on_job_killed(spec, elapsed, will_retry, now);
+    }
     fn schedule(
         &mut self,
         view: &threesigma_cluster::SimulationView<'_>,
@@ -187,22 +201,53 @@ impl Scheduler for DynScheduler<'_> {
     }
 }
 
+/// Command-line overrides applied on top of a generated scenario
+/// (`threesigma simtest --max-retries N --cycle-budget-ms MS`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeedOverrides {
+    /// Replaces the scenario's kill-retry budget.
+    pub max_retries: Option<u32>,
+    /// Imposes a *wall-clock* cycle budget on 3σSched instead of the
+    /// scenario's deterministic work-unit budget. Wall-clock budgets are
+    /// inherently nondeterministic, so reports under this override are not
+    /// byte-stable and the work-unit governor acceptance checks are skipped.
+    pub cycle_budget_ms: Option<f64>,
+}
+
+impl SeedOverrides {
+    fn is_default(&self) -> bool {
+        self.max_retries.is_none() && self.cycle_budget_ms.is_none()
+    }
+}
+
 /// The 3σSched instance for a scenario: injected estimates when the profile
-/// scripted them, oracle points otherwise.
-fn three_sigma_for(scenario: &Scenario) -> ThreeSigmaScheduler {
+/// scripted them, oracle points otherwise. `wall_budget_ms` (from
+/// `--cycle-budget-ms`) takes precedence over the scenario's deterministic
+/// work-unit budget.
+fn three_sigma_for_with(scenario: &Scenario, wall_budget_ms: Option<f64>) -> ThreeSigmaScheduler {
     let source = if scenario.estimates.is_empty() {
         EstimateSource::OraclePoint
     } else {
         EstimateSource::Injected(Arc::new(scenario.estimates.clone()))
     };
+    let cycle_budget = match (wall_budget_ms, scenario.cycle_budget) {
+        (Some(ms), _) => CycleBudget::WallClockMs(ms),
+        (None, Some(units)) => CycleBudget::WorkUnits(units),
+        (None, None) => CycleBudget::Unlimited,
+    };
     ThreeSigmaScheduler::new(
         SchedConfig {
             cycle_hint: scenario.cycle_interval,
+            cycle_budget,
             ..SchedConfig::default()
         },
         source,
         PredictorConfig::default(),
     )
+}
+
+fn three_sigma_for(scenario: &Scenario) -> ThreeSigmaScheduler {
+    three_sigma_for_with(scenario, None)
 }
 
 /// Cross-scheduler shared-safety checks over completed runs: every
@@ -284,15 +329,51 @@ pub fn dominance_violations(seed: u64) -> Vec<String> {
 
 /// Runs the full campaign for one seed (see module docs).
 pub fn run_seed(seed: u64) -> SeedReport {
-    let scenario = Scenario::generate(seed);
+    run_seed_with(seed, SeedOverrides::default())
+}
+
+/// [`run_seed`] with command-line overrides applied on top of the generated
+/// scenario. With default overrides this is exactly `run_seed`.
+pub fn run_seed_with(seed: u64, overrides: SeedOverrides) -> SeedReport {
+    let mut scenario = Scenario::generate(seed);
+    if let Some(max_retries) = overrides.max_retries {
+        scenario.retry.max_retries = max_retries;
+    }
+    if overrides.cycle_budget_ms.is_some() {
+        // A wall-clock budget replaces the deterministic work-unit budget;
+        // dropping it here disarms the work-unit cost bound in
+        // `governor-sanity` (which would not hold under wall-clock caps).
+        scenario.cycle_budget = None;
+    }
     let ts_rec = Recorder::enabled();
     let prio_rec = Recorder::enabled();
     let bf_rec = Recorder::enabled();
-    let mut ts = three_sigma_for(&scenario).with_recorder(&ts_rec);
+    let mut ts = three_sigma_for_with(&scenario, overrides.cycle_budget_ms).with_recorder(&ts_rec);
     let mut prio = PrioScheduler::new();
     let mut bf = BackfillScheduler::new(PointSource::Oracle, PredictorConfig::default());
+    let mut ts_report = run_one(&scenario, "threesigma", &mut ts, &ts_rec);
+    // Governor acceptance on budgeted profiles: the run must have tripped
+    // the budget at least once (the profile is built to overload the
+    // cycle), and the degradation ladder must have stepped all the way
+    // back to level 0 by the time the backlog drained. Skipped under
+    // command-line overrides, which change what the budget means.
+    if scenario.cycle_budget.is_some() && overrides.is_default() {
+        let snap = ts_rec.snapshot();
+        let overruns = snap.counter("sched_budget_overruns_total").unwrap_or(0);
+        let level = snap.gauge("sched_degradation_level").unwrap_or(0.0);
+        if overruns == 0 {
+            ts_report.violations.push(
+                "[governor-sanity] budgeted profile never overran its cycle budget".to_string(),
+            );
+        }
+        if level != 0.0 {
+            ts_report.violations.push(format!(
+                "[governor-sanity] governor still degraded (level {level}) after the run drained"
+            ));
+        }
+    }
     let schedulers = vec![
-        run_one(&scenario, "threesigma", &mut ts, &ts_rec),
+        ts_report,
         run_one(&scenario, "prio", &mut prio, &prio_rec),
         run_one(&scenario, "backfill", &mut bf, &bf_rec),
     ];
@@ -321,7 +402,7 @@ mod tests {
 
     #[test]
     fn every_profile_runs_all_invariants() {
-        for seed in 0..5u64 {
+        for seed in 0..7u64 {
             let r = run_seed(seed);
             assert!(r.passed(), "seed {seed}:\n{}", r.render());
             for s in &r.schedulers {
@@ -344,6 +425,55 @@ mod tests {
         assert!(snap.counter("engine_cycles_total").unwrap_or(0) > 0);
         assert!(snap.counter("sched_options_enumerated_total").unwrap_or(0) > 0);
         assert!(snap.counter("sched_cache_lookups_total").unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn node_crashes_profile_kills_retries_and_censors() {
+        let scenario = Scenario::generate(5);
+        assert_eq!(scenario.profile.name(), "node-crashes");
+        let rec = Recorder::enabled();
+        let mut ts = three_sigma_for(&scenario).with_recorder(&rec);
+        let report = run_one(&scenario, "threesigma", &mut ts, &rec);
+        assert!(report.passed(), "{:?}", report.violations);
+        let m = report.metrics.unwrap();
+        assert!(m.kills > 0, "fault script never killed a running attempt");
+        // No killed job is lost: every traced job still reaches a terminal
+        // state once the run drains.
+        assert_eq!(
+            m.count(JobState::Completed) + m.count(JobState::Canceled),
+            scenario.jobs.len(),
+            "a job was lost under kill/retry"
+        );
+        // Every kill reached the predictor as a censored observation — the
+        // truncated runtimes were never fed to the histograms as completions.
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.counter("predict_censored_observations_total"),
+            Some(m.kills as u64)
+        );
+    }
+
+    #[test]
+    fn overload_profile_engages_the_governor_and_recovers() {
+        let scenario = Scenario::generate(6);
+        assert_eq!(scenario.profile.name(), "overload");
+        let budget = scenario.cycle_budget.expect("overload sets a budget");
+        let rec = Recorder::enabled();
+        let mut ts = three_sigma_for(&scenario).with_recorder(&rec);
+        let report = run_one(&scenario, "threesigma", &mut ts, &rec);
+        assert!(report.passed(), "{:?}", report.violations);
+        let snap = rec.snapshot();
+        assert!(
+            snap.counter("sched_budget_overruns_total").unwrap_or(0) >= 1,
+            "overload profile never tripped the {budget}-unit budget"
+        );
+        assert!(snap.counter("sched_governor_step_ups_total").unwrap_or(0) >= 1);
+        assert!(snap.counter("sched_governor_step_downs_total").unwrap_or(0) >= 1);
+        assert_eq!(
+            snap.gauge("sched_degradation_level"),
+            Some(0.0),
+            "governor failed to recover to full fidelity after the drain"
+        );
     }
 
     #[test]

@@ -21,22 +21,24 @@ use std::rc::Rc;
 
 use threesigma::{check_decision, DiscreteDist};
 use threesigma_cluster::{
-    CycleObserver, EngineSnapshot, JobOutcome, JobSpec, JobState, Metrics, Scheduler,
+    CycleObserver, EngineSnapshot, JobOutcome, JobSpec, JobState, Metrics, RetryPolicy, Scheduler,
     SchedulingDecision, SimulationView,
 };
-use threesigma_obs::{Counter, Recorder};
+use threesigma_obs::{Counter, Gauge, Recorder};
 
 /// Names of every invariant checked per cycle, in report order.
-pub const INVARIANTS: [&str; 10] = [
+pub const INVARIANTS: [&str; 12] = [
     "capacity-conservation",
     "clock-monotonic",
     "counter-consistency",
     "decision-feasibility",
     "dist-consistency",
     "elapsed-sane",
+    "governor-sanity",
     "job-conservation",
     "metrics-sanity",
     "no-oversubscription",
+    "retry-accounting",
     "terminal-immutability",
 ];
 
@@ -55,8 +57,17 @@ pub struct InvariantChecker {
     last_cycles: usize,
     /// `(state, start, finish)` at the previous cycle, for immutability.
     prev: Vec<(JobState, Option<f64>, Option<f64>)>,
+    /// Per-job kill count at the previous cycle, for retry accounting.
+    prev_kills: Vec<u32>,
     /// Observability counters under test, when a recorder is attached.
     probe: Option<CounterProbe>,
+    /// Retry policy of the run, when known — tightens `retry-accounting`.
+    retry: Option<RetryPolicy>,
+    /// Per-cycle work-unit budget of the run, when the scenario set one —
+    /// arms the cost-bound half of `governor-sanity`.
+    budget: Option<u64>,
+    /// Degradation level at the previous cycle (from the published gauge).
+    last_level: Option<f64>,
 }
 
 /// Resolved handles to the published counters the `counter-consistency`
@@ -72,11 +83,17 @@ struct CounterProbe {
     cache_hits: Counter,
     cache_misses: Counter,
     cache_lookups: Counter,
+    /// Degradation-governor level gauge (`governor-sanity`). Reads 0 for
+    /// schedulers without a governor.
+    level: Gauge,
+    /// Work-unit cost of the last cycle (`governor-sanity` budget bound).
+    cost: Gauge,
 }
 
 impl CounterProbe {
     fn resolve(recorder: &Recorder) -> Self {
         let c = |name| recorder.counter(name, "simtest counter-consistency probe");
+        let g = |name| recorder.gauge(name, "simtest governor-sanity probe");
         Self {
             engine_cycles: c("engine_cycles_total"),
             enumerated: c("sched_options_enumerated_total"),
@@ -85,6 +102,8 @@ impl CounterProbe {
             cache_hits: c("sched_cache_hits_total"),
             cache_misses: c("sched_cache_misses_total"),
             cache_lookups: c("sched_cache_lookups_total"),
+            level: g("sched_degradation_level"),
+            cost: g("sched_cycle_cost_units"),
         }
     }
 }
@@ -110,7 +129,11 @@ impl InvariantChecker {
             last_now: f64::NEG_INFINITY,
             last_cycles: 0,
             prev: vec![(JobState::Pending, None, None); jobs.len()],
+            prev_kills: vec![0; jobs.len()],
             probe: None,
+            retry: None,
+            budget: None,
+            last_level: None,
         }
     }
 
@@ -120,6 +143,24 @@ impl InvariantChecker {
     #[must_use]
     pub fn with_recorder(mut self, recorder: &Recorder) -> Self {
         self.probe = Some(CounterProbe::resolve(recorder));
+        self
+    }
+
+    /// Declares the retry policy the engine runs under, tightening
+    /// `retry-accounting`: no outcome may ever exceed `max_retries + 1`
+    /// kills, and end-of-run cancellation counts must match exactly.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Declares the per-cycle work-unit budget the scheduler runs under,
+    /// arming the cost bound of `governor-sanity`: once degraded (level ≥ 1)
+    /// the published cycle cost must stay within the budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Option<u64>) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -162,6 +203,27 @@ impl InvariantChecker {
                 metrics.goodput_hours(),
                 metrics.wasted_hours(),
                 budget_hours
+            )
+        });
+
+        // retry-accounting (end of run): the aggregate kill counter is
+        // exactly the sum of per-job kills, and every retry-budget
+        // cancellation is backed by a job whose kills exceeded the budget.
+        let outcome_kills: u64 = metrics.outcomes.iter().map(|o| u64::from(o.kills)).sum();
+        let mut retry_ok =
+            metrics.kills as u64 == outcome_kills && metrics.retry_cancellations <= metrics.kills;
+        if let Some(retry) = self.retry {
+            let exhausted = metrics
+                .outcomes
+                .iter()
+                .filter(|o| o.kills > retry.max_retries)
+                .count();
+            retry_ok &= metrics.retry_cancellations == exhausted;
+        }
+        self.check("retry-accounting", retry_ok, || {
+            format!(
+                "final retry accounting inconsistent: kills={} sum(outcome.kills)={outcome_kills} retry_cancellations={}",
+                metrics.kills, metrics.retry_cancellations
             )
         });
     }
@@ -289,12 +351,65 @@ impl CycleObserver for InvariantChecker {
             format!("t={now}: a terminal job changed state or timestamps")
         });
 
+        // retry-accounting: per-job kill counts only ever grow, and (when
+        // the run's retry policy is declared) never exceed the retry budget
+        // of `max_retries + 1` killed attempts. Together with
+        // job-conservation above this is the "killed job is never lost"
+        // guarantee: a killed job re-pends (and stays accounted) or is
+        // cancelled (terminal), never vanishes.
+        let kill_cap = self.retry.map(|r| r.max_retries + 1);
+        let mut retry_ok = true;
+        for (i, o) in s.outcomes.iter().enumerate() {
+            retry_ok &= o.kills >= self.prev_kills[i];
+            if let Some(cap) = kill_cap {
+                retry_ok &= o.kills <= cap;
+            }
+            self.prev_kills[i] = o.kills;
+        }
+        self.check("retry-accounting", retry_ok, || {
+            format!("t={now}: a job's kill count shrank or exceeded the retry budget {kill_cap:?}")
+        });
+
+        // governor-sanity: the published degradation level is an integer in
+        // {0, 1, 2}, moves at most one step per cycle, and — once degraded —
+        // the published cycle cost respects the declared work-unit budget.
+        // Schedulers without a governor never touch the gauge, so it reads a
+        // constant 0 and the checks hold vacuously.
+        let (governor_ok, detail) = match &self.probe {
+            Some(p) => {
+                let level = p.level.get();
+                let cost = p.cost.get();
+                let prev = self.last_level;
+                let mut ok = level.fract() == 0.0 && (0.0..=2.0).contains(&level);
+                if let Some(last) = prev {
+                    ok &= (level - last).abs() <= 1.0;
+                }
+                if let (Some(budget), true) = (self.budget, level >= 1.0) {
+                    ok &= cost <= budget as f64;
+                }
+                self.last_level = Some(level);
+                (
+                    ok,
+                    format!(
+                        "level={level} (prev {prev:?}) cost={cost} budget={:?}",
+                        self.budget
+                    ),
+                )
+            }
+            None => (true, String::new()),
+        };
+        self.check("governor-sanity", governor_ok, || {
+            format!("t={now}: degradation governor misbehaved: {detail}")
+        });
+
         // metrics-sanity: aggregate metrics stay in-unit mid-run too.
         let live = Metrics {
             outcomes: s.outcomes.to_vec(),
             end_time: now,
             cycles: s.cycles,
             preemptions: 0,
+            kills: 0,
+            retry_cancellations: 0,
             wasted_machine_seconds: 0.0,
         };
         let total_nodes: u32 = s.capacity.iter().sum();
@@ -422,6 +537,10 @@ impl<S: Scheduler> Scheduler for CheckedScheduler<S> {
 
     fn on_job_completed(&mut self, spec: &JobSpec, outcome: &JobOutcome, now: f64) {
         self.inner.on_job_completed(spec, outcome, now);
+    }
+
+    fn on_job_killed(&mut self, spec: &JobSpec, elapsed: f64, will_retry: bool, now: f64) {
+        self.inner.on_job_killed(spec, elapsed, will_retry, now);
     }
 
     fn schedule(&mut self, view: &SimulationView<'_>, now: f64) -> SchedulingDecision {

@@ -3,7 +3,8 @@
 //! FoundationDB-style scenario testing: a single `u64` seed expands into a
 //! randomized stress campaign — bursty arrivals, heavy-tailed true
 //! runtimes, adversarial mis-estimates, preemption storms, partition
-//! capacity loss/restore — that drives [`threesigma_cluster::Engine`]
+//! capacity loss/restore, node crashes with kill/retry, and sustained
+//! overload under a cycle budget — that drives [`threesigma_cluster::Engine`]
 //! through every scheduler while a battery of invariants is checked after
 //! *every* scheduling cycle (see [`invariants::INVARIANTS`]). Any failure
 //! replays exactly from the seed printed with it:
@@ -38,7 +39,9 @@ pub mod harness;
 pub mod invariants;
 pub mod scenario;
 
-pub use harness::{dominance_violations, run_seed, SchedulerReport, SeedReport};
+pub use harness::{
+    dominance_violations, run_seed, run_seed_with, SchedulerReport, SeedOverrides, SeedReport,
+};
 pub use invariants::{CheckedScheduler, FeasibilityLog, InvariantChecker, INVARIANTS};
 pub use scenario::{Profile, Scenario};
 

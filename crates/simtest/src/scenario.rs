@@ -1,19 +1,22 @@
 //! Seeded scenario generation: the stress regimes of the campaign.
 //!
 //! A [`Scenario`] is everything one simulation run needs — cluster shape,
-//! job trace, fault script, and (for the adversarial profile) an injected
-//! estimate map — derived deterministically from a single `u64` seed via
-//! the same xoshiro `StdRng` the engine uses. The five [`Profile`]s target
-//! the regimes the paper's mis-estimation handling exists for: burstiness,
-//! heavy-tailed runtimes, adversarial over/under-estimates, preemption
-//! churn, and capacity loss underneath the scheduler.
+//! job trace, fault script, retry policy, optional cycle budget, and (for
+//! the adversarial profile) an injected estimate map — derived
+//! deterministically from a single `u64` seed via the same xoshiro
+//! `StdRng` the engine uses. The seven [`Profile`]s target the regimes the
+//! paper's mis-estimation handling exists for: burstiness, heavy-tailed
+//! runtimes, adversarial over/under-estimates, preemption churn, capacity
+//! loss underneath the scheduler, abrupt node crashes with job retries,
+//! and sustained overload that forces the degradation governor up its
+//! ladder.
 
 use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
-use threesigma_cluster::{FaultEvent, JobId, JobKind, JobSpec, PartitionId};
+use threesigma_cluster::{FaultEvent, JobId, JobKind, JobSpec, PartitionId, RetryPolicy};
 use threesigma_histogram::RuntimeDistribution;
 
 /// The stress regime a scenario exercises.
@@ -30,15 +33,24 @@ pub enum Profile {
     PreemptionStorm,
     /// Partition capacity loss and restore while jobs are running.
     PartitionFaults,
+    /// Abrupt node crashes and targeted task kills: running gangs die
+    /// mid-flight and cycle through the retry state machine.
+    NodeCrashes,
+    /// Arrival rate sized to exceed the per-cycle work-unit budget, forcing
+    /// the degradation governor up the ladder (and back down as the
+    /// backlog drains).
+    Overload,
 }
 
 /// All profiles, in the order seeds cycle through them.
-pub const PROFILES: [Profile; 5] = [
+pub const PROFILES: [Profile; 7] = [
     Profile::Bursty,
     Profile::HeavyTail,
     Profile::Adversarial,
     Profile::PreemptionStorm,
     Profile::PartitionFaults,
+    Profile::NodeCrashes,
+    Profile::Overload,
 ];
 
 impl Profile {
@@ -50,6 +62,8 @@ impl Profile {
             Profile::Adversarial => "adversarial",
             Profile::PreemptionStorm => "preemption-storm",
             Profile::PartitionFaults => "partition-faults",
+            Profile::NodeCrashes => "node-crashes",
+            Profile::Overload => "overload",
         }
     }
 }
@@ -73,6 +87,11 @@ pub struct Scenario {
     pub jobs: Vec<JobSpec>,
     /// Scripted capacity faults.
     pub faults: Vec<FaultEvent>,
+    /// Retry policy for jobs killed by `NodeCrash`/`TaskKill` faults.
+    pub retry: RetryPolicy,
+    /// Deterministic per-cycle work-unit budget for the 3σSched degradation
+    /// governor (`None` = unlimited, the governor never engages).
+    pub cycle_budget: Option<u64>,
     /// Adversarial estimates injected into 3σSched (empty = oracle points).
     pub estimates: HashMap<JobId, RuntimeDistribution>,
 }
@@ -88,13 +107,21 @@ impl Scenario {
     pub fn generate(seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5ce9_a51c_0ffe_e000);
         let profile = PROFILES[(seed % PROFILES.len() as u64) as usize];
-        let racks = 2 + (rng.random::<u32>() % 3) as usize; // 2..=4
-        let nodes_per_rack = 4 + rng.random::<u32>() % 5; // 4..=8
+        let mut racks = 2 + (rng.random::<u32>() % 3) as usize; // 2..=4
+        let mut nodes_per_rack = 4 + rng.random::<u32>() % 5; // 4..=8
+        if profile == Profile::Overload {
+            // A small cluster keeps the backlog (and with it the per-cycle
+            // option-enumeration cost) high for hundreds of seconds.
+            racks = 2;
+            nodes_per_rack = 4;
+        }
         let total = racks as u32 * nodes_per_rack;
         let cycle_interval = 5.0;
         let mut jobs = Vec::new();
         let mut faults = Vec::new();
         let mut estimates = HashMap::new();
+        let mut retry = RetryPolicy::default();
+        let mut cycle_budget = None;
         match profile {
             Profile::Bursty => {
                 let bursts = 3 + rng.random::<u32>() % 3;
@@ -205,6 +232,103 @@ impl Scenario {
                     }
                 }
             }
+            Profile::NodeCrashes => {
+                // Lightly loaded on purpose: this regime stresses kill /
+                // retry / censoring semantics, not contention, and the
+                // aimed TaskKills below assume jobs start within a cycle
+                // or two of submission (small gangs, ~50% utilization).
+                let n = 18 + rng.random::<u32>() % 8;
+                let mut at = 0.0;
+                for id in 1..=n as u64 {
+                    at += uniform(&mut rng, 15.0, 30.0);
+                    let tasks = 1 + rng.random::<u32>() % 2;
+                    let runtime = uniform(&mut rng, 40.0, 120.0);
+                    let kind = if rng.random::<f64>() < 0.4 {
+                        JobKind::Slo {
+                            deadline: at + runtime * uniform(&mut rng, 3.0, 6.0),
+                        }
+                    } else {
+                        JobKind::BestEffort
+                    };
+                    jobs.push(JobSpec::new(id, at, tasks, runtime, kind));
+                }
+                // Abrupt crashes: free nodes absorb what they can, then
+                // running gangs on the partition die and enter retry.
+                let crashes = 2 + rng.random::<u32>() % 3;
+                for _ in 0..crashes {
+                    let partition = PartitionId((rng.random::<u32>() as usize) % racks);
+                    let nodes = 1 + rng.random::<u32>() % (nodes_per_rack / 2).max(1);
+                    let crash_at = uniform(&mut rng, 30.0, 250.0);
+                    faults.push(FaultEvent::NodeCrash {
+                        at: crash_at,
+                        partition,
+                        nodes,
+                    });
+                    // Crashed nodes usually come back (recovery reuses the
+                    // graceful restore path).
+                    if rng.random::<f64>() < 0.7 {
+                        faults.push(FaultEvent::PartitionUp {
+                            at: crash_at + uniform(&mut rng, 60.0, 240.0),
+                            partition,
+                            nodes,
+                        });
+                    }
+                }
+                // Targeted task-level failures, aimed inside the victim's
+                // expected execution window (jobs start within a cycle or
+                // two of submission on this lightly-loaded cluster). Kills
+                // of jobs that are not running at `at` are engine no-ops,
+                // which is fine — queueing delay only shifts the window.
+                // Victims come from the front of the trace so the retried
+                // attempt still completes well inside the drain horizon.
+                let kills = 3 + rng.random::<u32>() % 4;
+                for _ in 0..kills {
+                    let idx = (rng.random::<u64>() % (n as u64 * 2 / 3).max(1)) as usize;
+                    let frac = uniform(&mut rng, 0.3, 0.7);
+                    faults.push(FaultEvent::TaskKill {
+                        at: jobs[idx].submit_time
+                            + 2.0 * cycle_interval
+                            + frac * jobs[idx].duration,
+                        job: jobs[idx].id,
+                    });
+                }
+                // Short saturating backoff so retries (and retry-budget
+                // exhaustion) happen well inside the drain horizon.
+                retry = RetryPolicy {
+                    max_retries: 2,
+                    backoff_base: 4.0,
+                    backoff_cap: 64.0,
+                };
+            }
+            Profile::Overload => {
+                // A steady torrent of small jobs on the shrunken cluster:
+                // queue depth quickly exceeds what the MILP path can value
+                // within the budget below, then drains in a long tail of
+                // cheap cycles so hysteresis can step the governor back to
+                // level 0.
+                let n = 80 + rng.random::<u32>() % 30;
+                let mut at = 0.0;
+                for id in 1..=n as u64 {
+                    at += uniform(&mut rng, 0.5, 1.5);
+                    let tasks = 1 + rng.random::<u32>() % 2;
+                    let runtime = uniform(&mut rng, 15.0, 60.0);
+                    let kind = if rng.random::<f64>() < 0.4 {
+                        JobKind::Slo {
+                            // Generous slack: misses here should come from
+                            // backlog, not from an impossible deadline.
+                            deadline: at + runtime * uniform(&mut rng, 8.0, 16.0),
+                        }
+                    } else {
+                        JobKind::BestEffort
+                    };
+                    jobs.push(JobSpec::new(id, at, tasks, runtime, kind));
+                }
+                // Work units = options valued + branch-and-bound nodes per
+                // cycle; level 0 with a deep queue enumerates well over
+                // this, while the level-1 caps derived from it provably
+                // fit (see `sched::threesigma`).
+                cycle_budget = Some(250);
+            }
         }
         Scenario {
             seed,
@@ -215,6 +339,8 @@ impl Scenario {
             drain: 1800.0,
             jobs,
             faults,
+            retry,
+            cycle_budget,
             estimates,
         }
     }
@@ -263,6 +389,8 @@ impl Scenario {
             drain: 1800.0,
             jobs,
             faults: Vec::new(),
+            retry: RetryPolicy::default(),
+            cycle_budget: None,
             estimates: HashMap::new(),
         }
     }
@@ -332,16 +460,16 @@ mod tests {
 
     #[test]
     fn profiles_rotate_with_seed() {
-        let names: Vec<&str> = (0..5)
+        let names: Vec<&str> = (0..7)
             .map(|s| Scenario::generate(s).profile.name())
             .collect();
         let unique: std::collections::HashSet<_> = names.iter().collect();
-        assert_eq!(unique.len(), 5, "five consecutive seeds → five profiles");
+        assert_eq!(unique.len(), 7, "seven consecutive seeds → seven profiles");
     }
 
     #[test]
     fn jobs_fit_the_cluster() {
-        for seed in 0..25u64 {
+        for seed in 0..28u64 {
             let s = Scenario::generate(seed);
             assert!(!s.jobs.is_empty());
             for j in &s.jobs {
@@ -350,8 +478,50 @@ mod tests {
                 assert!(j.submit_time >= 0.0);
             }
             for f in &s.faults {
-                assert!(f.partition().index() < s.racks);
+                if let Some(p) = f.partition() {
+                    assert!(p.index() < s.racks);
+                }
             }
+        }
+    }
+
+    #[test]
+    fn node_crashes_profile_scripts_kills() {
+        // Profile index 5 = node-crashes.
+        let s = Scenario::generate(5);
+        assert_eq!(s.profile, Profile::NodeCrashes);
+        assert!(s
+            .faults
+            .iter()
+            .any(|f| matches!(f, FaultEvent::NodeCrash { .. })));
+        assert!(s
+            .faults
+            .iter()
+            .any(|f| matches!(f, FaultEvent::TaskKill { .. })));
+        assert!(s.retry.max_retries > 0, "kills must be retryable");
+        // Kill targets reference jobs that exist in the trace.
+        let n = s.jobs.len() as u64;
+        for f in &s.faults {
+            if let FaultEvent::TaskKill { job, .. } = f {
+                assert!(job.0 >= 1 && job.0 <= n);
+            }
+        }
+    }
+
+    #[test]
+    fn overload_profile_sets_a_cycle_budget() {
+        // Profile index 6 = overload.
+        let s = Scenario::generate(6);
+        assert_eq!(s.profile, Profile::Overload);
+        let budget = s.cycle_budget.expect("overload runs under a budget");
+        // Deep enough backlog that level-0 enumeration alone (≥ 8 valued
+        // options per pending job) must overshoot the budget.
+        assert!(s.jobs.len() as u64 * 8 > 2 * budget);
+        // Small cluster so the backlog actually builds up.
+        assert!(s.total_nodes() <= 8);
+        // Arrivals are monotone (engine submission order).
+        for w in s.jobs.windows(2) {
+            assert!(w[0].submit_time <= w[1].submit_time);
         }
     }
 
