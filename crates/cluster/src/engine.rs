@@ -8,7 +8,7 @@
 //! finish event.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -445,8 +445,7 @@ impl Ord for Event {
         // Reversed: BinaryHeap is a max-heap, we need earliest-first.
         other
             .time
-            .partial_cmp(&self.time)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.time)
             .then(other.class.cmp(&self.class))
             .then(other.seq.cmp(&self.seq))
     }
@@ -729,7 +728,9 @@ impl Engine {
         push(&mut queue, &mut seq, 0.0, EventKind::Cycle);
 
         let mut pending: Vec<usize> = Vec::new();
-        let mut running: HashMap<JobId, Running> = HashMap::new();
+        // Ordered map: fault handling and view/snapshot building iterate
+        // this, and iteration order must be stable (JobId-sorted).
+        let mut running: BTreeMap<JobId, Running> = BTreeMap::new();
         let mut epochs: Vec<u32> = vec![0; jobs.len()];
         // Killed jobs awaiting retry: trace index → earliest time the job
         // may be offered for placement again. The job stays in `pending`

@@ -155,9 +155,8 @@ pub fn backfill_plan(
             Some(d) => (0, d),
             None => (1, s.submit_time),
         };
-        key(a)
-            .partial_cmp(&key(b))
-            .unwrap_or(std::cmp::Ordering::Equal)
+        let (ka, kb) = (key(a), key(b));
+        ka.0.cmp(&kb.0).then(ka.1.total_cmp(&kb.1))
     });
 
     // Estimated completion times of running jobs, soonest first.
@@ -172,7 +171,7 @@ pub fn backfill_plan(
             (finish, r.allocation.to_vec())
         })
         .collect();
-    completions.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    completions.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     let mut iter = queue.into_iter();
     // Phase 1: start queue-head jobs while they fit.

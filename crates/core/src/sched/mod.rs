@@ -7,6 +7,7 @@
 //! the runtime-unaware strict-priority baseline (Borg-like).
 
 pub mod backfill;
+pub mod clock;
 pub mod feasibility;
 pub mod options;
 pub mod prio;

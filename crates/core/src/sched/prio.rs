@@ -65,7 +65,7 @@ impl Scheduler for PrioScheduler {
             .filter(|r| !r.spec.kind.is_slo())
             .map(|r| (r.spec.id, r.start_time, r.allocation.to_vec()))
             .collect();
-        be_running.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        be_running.sort_by(|a, b| b.1.total_cmp(&a.1));
 
         // SLO first (EDF), then BE (FIFO).
         let mut slo: Vec<&JobSpec> = view
@@ -75,10 +75,11 @@ impl Scheduler for PrioScheduler {
             .filter(|j| j.kind.is_slo())
             .collect();
         slo.sort_by(|a, b| {
-            a.kind
-                .deadline()
-                .partial_cmp(&b.kind.deadline())
-                .unwrap_or(std::cmp::Ordering::Equal)
+            // Every job here passed is_slo(), so deadline() is Some; a job
+            // with a NaN deadline still gets a stable slot via total_cmp.
+            let da = a.kind.deadline().unwrap_or(f64::INFINITY);
+            let db = b.kind.deadline().unwrap_or(f64::INFINITY);
+            da.total_cmp(&db)
         });
         let mut be: Vec<&JobSpec> = view
             .pending
@@ -86,11 +87,7 @@ impl Scheduler for PrioScheduler {
             .copied()
             .filter(|j| !j.kind.is_slo())
             .collect();
-        be.sort_by(|a, b| {
-            a.submit_time
-                .partial_cmp(&b.submit_time)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        be.sort_by(|a, b| a.submit_time.total_cmp(&b.submit_time));
 
         for spec in slo {
             if let Some(alloc) = pack(spec, &free) {

@@ -27,9 +27,11 @@
 //! pending if its gang cannot actually be packed (a rare Hall-condition
 //! corner; see DESIGN.md).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use super::clock::Stopwatch;
 
 use threesigma_cluster::{
     JobId, JobSpec, PartitionId, Placement, Scheduler, SchedulingDecision, SimulationView,
@@ -612,8 +614,9 @@ pub struct ThreeSigmaScheduler {
     /// Cross-cycle cache of per-job discretised distributions (base and
     /// slowdown-scaled), epoch-invalidated as the predictor learns.
     cache: EstimateCache,
-    /// Exp-inc state keyed by (job, attempt-start bits).
-    underest: HashMap<(JobId, u64), UnderEst>,
+    /// Exp-inc state keyed by (job, attempt-start bits). Ordered map: the
+    /// retain sweep below iterates it, and iteration order must be stable.
+    underest: BTreeMap<(JobId, u64), UnderEst>,
     timings: Vec<CycleTiming>,
     plans: Vec<PlanRecord>,
     /// Cumulative deterministic counters (excluding cache stats, which
@@ -639,7 +642,7 @@ impl ThreeSigmaScheduler {
             source,
             predictor: Predictor::new(predictor_config),
             cache: EstimateCache::new(),
-            underest: HashMap::new(),
+            underest: BTreeMap::new(),
             timings: Vec::new(),
             plans: Vec::new(),
             totals: SchedStats::default(),
@@ -864,7 +867,7 @@ impl Scheduler for ThreeSigmaScheduler {
     }
 
     fn schedule(&mut self, view: &SimulationView<'_>, now: f64) -> SchedulingDecision {
-        let cycle_start = Instant::now();
+        let cycle_start = Stopwatch::start();
         let cfg = self.config.clone();
         // Judge the previous cycle against the budget and settle this
         // cycle's ladder level before doing any work.
@@ -1000,7 +1003,7 @@ impl Scheduler for ThreeSigmaScheduler {
         let generate_elapsed = cycle_start.elapsed();
 
         // ---- Stage 2: compile the MILP. ----
-        let compile_start = Instant::now();
+        let compile_start = Stopwatch::start();
         let mut model = Model::new();
         let mut compiled: Vec<CompiledOption> = Vec::new();
         let mut hopeless: Vec<JobId> = Vec::new();
@@ -1160,7 +1163,7 @@ impl Scheduler for ThreeSigmaScheduler {
             ..SolverConfig::default()
         });
         let warm = vec![0.0; model.num_vars()];
-        let solve_start = Instant::now();
+        let solve_start = Stopwatch::start();
         let solution = solver.solve_with_warm_start(&model, Some(&warm));
         let solver_elapsed = solve_start.elapsed();
 
@@ -1177,7 +1180,7 @@ impl Scheduler for ThreeSigmaScheduler {
             u64::from(solution.has_solution() && solution.incumbent_updates == 1);
 
         // ---- Stage 4: extract placements and update cache state. ----
-        let extract_start = Instant::now();
+        let extract_start = Stopwatch::start();
         if solution.has_solution() {
             let x = &solution.values;
             // Preemptions first (their capacity becomes available now).
@@ -1201,7 +1204,7 @@ impl Scheduler for ThreeSigmaScheduler {
             chosen.sort_by(|a, b| {
                 let ua = model.objective_coeff(a.var);
                 let ub = model.objective_coeff(b.var);
-                ub.partial_cmp(&ua).unwrap_or(std::cmp::Ordering::Equal)
+                ub.total_cmp(&ua)
             });
             for opt in chosen {
                 let spec = considered[opt.job_idx];

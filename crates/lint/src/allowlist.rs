@@ -1,0 +1,135 @@
+//! The checked-in panic allowlist: audited hot-path sites the panic rule
+//! accepts. Entries are keyed by (rule, file, enclosing fn, pattern
+//! substring) rather than line numbers so they survive unrelated edits; an
+//! entry that no longer matches any real site is a *stale-entry* error, so
+//! the list can only shrink as sites are fixed.
+
+use crate::Violation;
+
+/// One allowlist line.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Rule name (`panic`).
+    pub rule: String,
+    /// Workspace-relative file path (suffix match).
+    pub file: String,
+    /// Enclosing function name (exact match).
+    pub func: String,
+    /// Substring of the violation's pattern (`unwrap()`, `expect(`, `buf[`).
+    pub pattern: String,
+    /// 1-based line in the allowlist file, for stale-entry reporting.
+    pub line: usize,
+}
+
+impl std::fmt::Display for Entry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} | {} | {} | {}",
+            self.rule, self.file, self.func, self.pattern
+        )
+    }
+}
+
+/// Parses the allowlist text: one `rule | file | fn | pattern` entry per
+/// line, `#` comments and blank lines ignored.
+pub fn parse(src: &str) -> Result<Vec<Entry>, String> {
+    let mut entries = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split('|').map(str::trim).collect();
+        if parts.len() != 4 || parts.iter().any(|p| p.is_empty()) {
+            return Err(format!(
+                "allowlist line {}: expected `rule | file | fn | pattern`, got `{line}`",
+                idx + 1
+            ));
+        }
+        entries.push(Entry {
+            rule: parts[0].to_string(),
+            file: parts[1].to_string(),
+            func: parts[2].to_string(),
+            pattern: parts[3].to_string(),
+            line: idx + 1,
+        });
+    }
+    Ok(entries)
+}
+
+fn matches(entry: &Entry, v: &Violation) -> bool {
+    v.rule == entry.rule
+        && (v.file == entry.file || v.file.ends_with(&entry.file))
+        && v.func == entry.func
+        && v.pattern.contains(&entry.pattern)
+}
+
+/// Filters allowlisted violations out; returns the surviving violations and
+/// any entries that matched nothing (stale).
+pub fn apply(entries: &[Entry], violations: Vec<Violation>) -> (Vec<Violation>, Vec<Entry>) {
+    let mut used = vec![false; entries.len()];
+    let mut kept = Vec::new();
+    for v in violations {
+        let mut allowlisted = false;
+        for (i, e) in entries.iter().enumerate() {
+            if matches(e, &v) {
+                used[i] = true;
+                allowlisted = true;
+            }
+        }
+        if !allowlisted {
+            kept.push(v);
+        }
+    }
+    let stale = entries
+        .iter()
+        .zip(&used)
+        .filter(|(_, u)| !**u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    (kept, stale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(file: &str, func: &str, pattern: &str) -> Violation {
+        Violation {
+            rule: "panic",
+            file: file.to_string(),
+            line: 10,
+            func: func.to_string(),
+            pattern: pattern.to_string(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parse_accepts_comments_and_rejects_malformed() {
+        let src = "# header\n\npanic | a/b.rs | f | unwrap()\n";
+        let entries = parse(src).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].func, "f");
+        assert!(parse("panic | missing | fields").is_err());
+    }
+
+    #[test]
+    fn apply_filters_and_reports_stale() {
+        let entries = parse(
+            "panic | sched/options.rs | generate | expect(\n\
+             panic | sched/options.rs | gone_fn | unwrap()\n",
+        )
+        .unwrap();
+        let violations = vec![
+            v("crates/core/src/sched/options.rs", "generate", "expect("),
+            v("crates/core/src/sched/options.rs", "other", "unwrap()"),
+        ];
+        let (kept, stale) = apply(&entries, violations);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].func, "other");
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].func, "gone_fn");
+    }
+}

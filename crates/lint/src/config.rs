@@ -1,0 +1,92 @@
+//! Lint scopes: which directories each rule family applies to.
+//!
+//! Paths are workspace-relative prefixes. A file is "in scope" when its
+//! workspace-relative path starts with one of the prefixes; `tests/`,
+//! `benches/`, `examples/`, and `fixtures/` path components are always
+//! excluded, as is `#[cfg(test)]`/`#[test]` code (handled at the AST layer).
+
+/// Decision-path scopes: code whose iteration order, clock reads, or float
+/// comparisons feed scheduling decisions and simtest digests. The
+/// hash-iteration, time-source, and float-ordering rules apply here.
+pub const DECISION_SCOPES: &[&str] = &[
+    "crates/core/src/sched",
+    "crates/cluster/src",
+    "crates/milp/src",
+    "crates/predict/src",
+    "crates/simtest/src",
+];
+
+/// Hot-path scopes: code that must degrade through typed errors rather than
+/// panic (the AST-aware replacement for the old CI grep). The panic-safety
+/// rule applies here.
+pub const HOT_PATH_SCOPES: &[&str] = &["crates/cluster/src", "crates/core/src/sched"];
+
+/// The only modules allowed to read wall-clock time (`Instant::now`). Both
+/// wrap the clock behind a `Stopwatch` so budget checks stay greppable and
+/// mockable; `milp` gets its own copy because it is a zero-dependency leaf.
+pub const CLOCK_ALLOWLIST: &[&str] =
+    &["crates/core/src/sched/clock.rs", "crates/milp/src/clock.rs"];
+
+/// Justification comment that clears a hash-iteration finding when placed on
+/// the offending line or the line directly above it.
+pub const JUSTIFICATION: &str = "lint: sorted";
+
+/// A leaf crate's dependency contract, checked from its `Cargo.toml`.
+pub struct LeafContract {
+    /// Workspace-relative manifest path.
+    pub manifest: &'static str,
+    /// The complete set of allowed `[dependencies]` keys.
+    pub allowed: &'static [&'static str],
+}
+
+/// Leaf crates must stay obs-free and dependency-clean so they can be reused
+/// (and reasoned about) in isolation.
+pub const LEAF_CONTRACTS: &[LeafContract] = &[
+    LeafContract {
+        manifest: "crates/histogram/Cargo.toml",
+        allowed: &["serde"],
+    },
+    LeafContract {
+        manifest: "crates/milp/Cargo.toml",
+        allowed: &[],
+    },
+    LeafContract {
+        manifest: "crates/obs/Cargo.toml",
+        allowed: &[],
+    },
+];
+
+/// Workspace-relative path of the checked-in panic allowlist.
+pub const PANIC_ALLOWLIST_PATH: &str = "crates/lint/panic_allowlist.txt";
+
+/// True when `rel` (workspace-relative, `/`-separated) falls under any of
+/// the scope prefixes and is not test/bench/example/fixture support code.
+pub fn in_scope(rel: &str, scopes: &[&str]) -> bool {
+    if rel
+        .split('/')
+        .any(|c| matches!(c, "tests" | "benches" | "examples" | "fixtures"))
+    {
+        return false;
+    }
+    scopes.iter().any(|s| rel.starts_with(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_matching() {
+        assert!(in_scope("crates/cluster/src/engine.rs", DECISION_SCOPES));
+        assert!(in_scope(
+            "crates/core/src/sched/threesigma.rs",
+            DECISION_SCOPES
+        ));
+        assert!(!in_scope("crates/core/src/dist.rs", DECISION_SCOPES));
+        assert!(!in_scope("crates/cluster/tests/sim.rs", DECISION_SCOPES));
+        assert!(!in_scope(
+            "crates/lint/tests/fixtures/bad_hash_iter.rs",
+            DECISION_SCOPES
+        ));
+    }
+}

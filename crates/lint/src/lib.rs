@@ -1,0 +1,175 @@
+//! `threesigma-lint`: AST-based determinism, panic-safety, float-ordering,
+//! and layering lints for the workspace.
+//!
+//! The binary (`cargo run -p threesigma-lint -- check`) parses every
+//! non-test source file under `crates/*/src` with the vendored `syn`,
+//! flattens fn bodies into token vectors, and pattern-matches the invariants
+//! grep cannot see (receiver types, test context, enclosing functions):
+//!
+//! * **hash-iter** — no `HashMap`/`HashSet` iteration in decision-path
+//!   crates unless justified with `// lint: sorted`.
+//! * **time-source** — no `Instant::now`/`SystemTime` outside the clock
+//!   modules.
+//! * **thread-rng** — no OS-seeded RNG anywhere.
+//! * **panic** — no `unwrap`/`expect`/`panic!`-family/slice-indexing in
+//!   hot-path code, modulo the checked-in allowlist.
+//! * **float-ord** — no `partial_cmp` in decision-path comparisons.
+//! * **layering** — leaf crates keep their dependency contracts.
+//!
+//! See `DESIGN.md` ("Static analysis") for rule rationale and the escape
+//! hatches.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod allowlist;
+pub mod config;
+pub mod rules;
+pub mod scan;
+
+/// One finding: a rule, a source location, and the matched pattern (the
+/// allowlist key).
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule name (`hash-iter`, `time-source`, `thread-rng`, `panic`,
+    /// `float-ord`, `layering`).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Enclosing function, or `<file>`/`<manifest>` for item-level hits.
+    pub func: String,
+    /// The matched pattern text (allowlist matching key).
+    pub pattern: String,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}:{} (fn {}): {}",
+            self.rule, self.file, self.line, self.func, self.message
+        )
+    }
+}
+
+/// Outcome of a full workspace check.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations that survived the allowlist, sorted by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// Allowlist entries that matched no site (treated as failures).
+    pub stale_allowlist: Vec<allowlist::Entry>,
+    /// Number of source files parsed.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when there is nothing to report.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.stale_allowlist.is_empty()
+    }
+}
+
+/// Runs every rule over one parsed file, applying the scope config.
+pub fn check_file(parsed: &scan::ParsedFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if config::in_scope(&parsed.rel, config::DECISION_SCOPES) {
+        out.extend(rules::hash_iter(parsed));
+        out.extend(rules::time_source(parsed));
+        out.extend(rules::float_ordering(parsed));
+    }
+    if config::in_scope(&parsed.rel, config::HOT_PATH_SCOPES) {
+        out.extend(rules::panic_safety(parsed));
+    }
+    if config::in_scope(&parsed.rel, &["crates/"]) {
+        out.extend(rules::os_seeded_rng(parsed));
+    }
+    out
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    let mut entries: Vec<PathBuf> = entries
+        .map(|e| e.map(|e| e.path()))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if path.is_dir() {
+            if matches!(name.as_str(), "tests" | "benches" | "examples" | "fixtures") {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Checks the whole workspace rooted at `root`. `Err` means the check could
+/// not run (I/O or parse failure — exit code 2 territory), not that
+/// violations were found.
+pub fn check_workspace(root: &Path) -> Result<Report, String> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("read_dir {}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut files = Vec::new();
+    for crate_dir in &crate_dirs {
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            collect_rs_files(&src, &mut files)?;
+        }
+    }
+
+    let mut report = Report::default();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let parsed = scan::parse_source(&rel, &src).map_err(|e| format!("parse {rel}: {e}"))?;
+        report.files_scanned += 1;
+        report.violations.extend(check_file(&parsed));
+    }
+
+    for contract in config::LEAF_CONTRACTS {
+        let path = root.join(contract.manifest);
+        let src =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        report
+            .violations
+            .extend(rules::layering(contract.manifest, &src, contract.allowed));
+    }
+
+    let allowlist_path = root.join(config::PANIC_ALLOWLIST_PATH);
+    let entries = match std::fs::read_to_string(&allowlist_path) {
+        Ok(src) => allowlist::parse(&src)?,
+        Err(_) => Vec::new(), // missing allowlist = empty allowlist
+    };
+    let (kept, stale) = allowlist::apply(&entries, std::mem::take(&mut report.violations));
+    report.violations = kept;
+    report.stale_allowlist = stale;
+
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}

@@ -1,0 +1,86 @@
+//! CLI for the workspace linter: `cargo run -p threesigma-lint -- check`.
+//!
+//! Exit codes: 0 clean, 1 violations (or stale allowlist entries), 2 the
+//! check itself failed (usage, I/O, or parse error).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn workspace_root(override_path: Option<&str>) -> PathBuf {
+    match override_path {
+        Some(p) => PathBuf::from(p),
+        // crates/lint → workspace root is two levels up; this works both for
+        // `cargo run -p threesigma-lint` (any cwd) and a copied binary.
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from(".")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root_override = None;
+    let mut command = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => root_override = Some(p.as_str()),
+                    None => {
+                        eprintln!("--root requires a path");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "check" if command.is_none() => command = Some("check"),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: threesigma-lint check [--root <workspace>]");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    if command != Some("check") {
+        eprintln!("usage: threesigma-lint check [--root <workspace>]");
+        return ExitCode::from(2);
+    }
+
+    let root = workspace_root(root_override);
+    match threesigma_lint::check_workspace(&root) {
+        Ok(report) => {
+            if report.clean() {
+                println!(
+                    "threesigma-lint: {} files scanned, no violations",
+                    report.files_scanned
+                );
+                ExitCode::SUCCESS
+            } else {
+                for v in &report.violations {
+                    println!("{v}");
+                }
+                for e in &report.stale_allowlist {
+                    println!(
+                        "[stale-allowlist] crates/lint/panic_allowlist.txt:{}: entry `{e}` \
+                         matches no site; remove it",
+                        e.line
+                    );
+                }
+                println!(
+                    "threesigma-lint: {} violation(s), {} stale allowlist entr(ies) across {} files",
+                    report.violations.len(),
+                    report.stale_allowlist.len(),
+                    report.files_scanned
+                );
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("threesigma-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Fixture suite: each rule must trip on its known-bad snippet and stay
+//! silent on the idiomatic rewrite, scope filtering must hold, and the
+//! shipped workspace (including its allowlist) must check clean.
+
+use std::path::Path;
+
+use threesigma_lint::{allowlist, check_file, check_workspace, rules, scan};
+
+fn parse(rel: &str, src: &str) -> scan::ParsedFile {
+    scan::parse_source(rel, src).expect("fixture must parse")
+}
+
+fn patterns(violations: &[threesigma_lint::Violation]) -> Vec<&str> {
+    violations.iter().map(|v| v.pattern.as_str()).collect()
+}
+
+#[test]
+fn hash_iter_trips_on_bad_fixture() {
+    let p = parse(
+        "crates/core/src/sched/fx.rs",
+        include_str!("fixtures/hash_iter_bad.rs"),
+    );
+    let found = rules::hash_iter(&p);
+    assert_eq!(found.len(), 3, "{found:?}");
+    assert!(found.iter().all(|v| v.rule == "hash-iter"));
+    let pats = patterns(&found);
+    assert!(pats.contains(&"running.values()"), "{pats:?}");
+    assert!(pats.contains(&"for .. in live"), "{pats:?}");
+    assert!(pats.contains(&"seen.retain()"), "{pats:?}");
+    assert!(found.iter().all(|v| v.func == "decide"));
+}
+
+#[test]
+fn hash_iter_passes_good_fixture() {
+    let p = parse(
+        "crates/core/src/sched/fx.rs",
+        include_str!("fixtures/hash_iter_good.rs"),
+    );
+    let found = rules::hash_iter(&p);
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn time_source_trips_on_bad_fixture() {
+    let p = parse(
+        "crates/core/src/sched/fx.rs",
+        include_str!("fixtures/time_source_bad.rs"),
+    );
+    let found = rules::time_source(&p);
+    let pats = patterns(&found);
+    assert!(pats.contains(&"Instant::now"), "{pats:?}");
+    assert!(pats.contains(&"SystemTime"), "{pats:?}");
+}
+
+#[test]
+fn time_source_passes_good_fixture_and_clock_module() {
+    let p = parse(
+        "crates/core/src/sched/fx.rs",
+        include_str!("fixtures/time_source_good.rs"),
+    );
+    assert!(rules::time_source(&p).is_empty());
+    // The bad fixture parsed *as* the sanctioned clock module is exempt.
+    let clock = parse(
+        "crates/core/src/sched/clock.rs",
+        include_str!("fixtures/time_source_bad.rs"),
+    );
+    assert!(rules::time_source(&clock).is_empty());
+}
+
+#[test]
+fn thread_rng_trips_on_bad_fixture_only() {
+    let bad = parse(
+        "crates/predict/src/fx.rs",
+        include_str!("fixtures/thread_rng_bad.rs"),
+    );
+    let found = rules::os_seeded_rng(&bad);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].rule, "thread-rng");
+    let good = parse(
+        "crates/predict/src/fx.rs",
+        include_str!("fixtures/thread_rng_good.rs"),
+    );
+    assert!(rules::os_seeded_rng(&good).is_empty());
+}
+
+#[test]
+fn panic_rule_trips_on_every_bad_construct() {
+    let p = parse(
+        "crates/cluster/src/fx.rs",
+        include_str!("fixtures/panic_bad.rs"),
+    );
+    let found = rules::panic_safety(&p);
+    assert_eq!(found.len(), 4, "{found:?}");
+    let pats = patterns(&found);
+    assert!(pats.contains(&"unwrap()"), "{pats:?}");
+    assert!(pats.contains(&"expect("), "{pats:?}");
+    assert!(pats.contains(&"panic!"), "{pats:?}");
+    assert!(pats.contains(&"xs["), "{pats:?}");
+}
+
+#[test]
+fn panic_rule_passes_good_fixture_including_test_code() {
+    let p = parse(
+        "crates/cluster/src/fx.rs",
+        include_str!("fixtures/panic_good.rs"),
+    );
+    let found = rules::panic_safety(&p);
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn float_ord_trips_on_bad_fixture_only() {
+    let bad = parse(
+        "crates/core/src/sched/fx.rs",
+        include_str!("fixtures/float_ord_bad.rs"),
+    );
+    let found = rules::float_ordering(&bad);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].rule, "float-ord");
+    let good = parse(
+        "crates/core/src/sched/fx.rs",
+        include_str!("fixtures/float_ord_good.rs"),
+    );
+    assert!(rules::float_ordering(&good).is_empty());
+}
+
+#[test]
+fn layering_trips_on_contract_violations_only() {
+    let found = rules::layering(
+        "crates/histogram/Cargo.toml",
+        include_str!("fixtures/layering_bad.toml"),
+        &["serde"],
+    );
+    assert_eq!(found.len(), 2, "{found:?}");
+    let pats = patterns(&found);
+    assert!(pats.contains(&"rand"), "{pats:?}");
+    assert!(pats.contains(&"threesigma-obs"), "{pats:?}");
+    // dev-dependencies are outside the contract's scope.
+    let good = rules::layering(
+        "crates/histogram/Cargo.toml",
+        include_str!("fixtures/layering_good.toml"),
+        &["serde"],
+    );
+    assert!(good.is_empty(), "{good:?}");
+}
+
+#[test]
+fn scope_config_limits_where_rules_run() {
+    // The panic fixture only counts in hot-path scopes: flagged when it
+    // lives under crates/cluster/src, ignored under crates/obs/src.
+    let src = include_str!("fixtures/panic_bad.rs");
+    let hot = check_file(&parse("crates/cluster/src/fx.rs", src));
+    assert!(hot.iter().any(|v| v.rule == "panic"), "{hot:?}");
+    let leaf = check_file(&parse("crates/obs/src/fx.rs", src));
+    assert!(leaf.iter().all(|v| v.rule != "panic"), "{leaf:?}");
+}
+
+#[test]
+fn allowlist_suppresses_matches_and_reports_stale_entries() {
+    let p = parse(
+        "crates/cluster/src/fx.rs",
+        include_str!("fixtures/panic_bad.rs"),
+    );
+    let entries = allowlist::parse(
+        "panic | crates/cluster/src/fx.rs | extract | unwrap()\n\
+         panic | crates/cluster/src/fx.rs | extract | xs[\n\
+         panic | crates/cluster/src/fx.rs | deleted_fn | unwrap()\n",
+    )
+    .expect("allowlist parses");
+    let (kept, stale) = allowlist::apply(&entries, rules::panic_safety(&p));
+    let pats = patterns(&kept);
+    assert_eq!(pats, vec!["expect(", "panic!"], "{kept:?}");
+    assert_eq!(stale.len(), 1, "{stale:?}");
+    assert_eq!(stale[0].func, "deleted_fn");
+}
+
+#[test]
+fn shipped_workspace_checks_clean_with_no_stale_allowlist() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let report = check_workspace(&root).expect("workspace check runs");
+    assert!(report.files_scanned > 40, "{} files", report.files_scanned);
+    assert!(
+        report.stale_allowlist.is_empty(),
+        "stale allowlist entries: {:?}",
+        report.stale_allowlist
+    );
+    assert!(
+        report.violations.is_empty(),
+        "workspace violations:\n{}",
+        report
+            .violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.clean());
+}

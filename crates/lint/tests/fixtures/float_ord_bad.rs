@@ -1,0 +1,5 @@
+//! Known-bad: NaN-unstable ordering feeding a scheduling choice.
+pub fn pick(mut xs: Vec<(u64, f64)>) -> Option<u64> {
+    xs.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    xs.first().map(|(id, _)| *id)
+}

@@ -1,0 +1,5 @@
+//! Known-good: total ordering over the float key.
+pub fn pick(mut xs: Vec<(u64, f64)>) -> Option<u64> {
+    xs.sort_by(|a, b| a.1.total_cmp(&b.1));
+    xs.first().map(|(id, _)| *id)
+}

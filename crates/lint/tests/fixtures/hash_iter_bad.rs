@@ -1,0 +1,22 @@
+//! Known-bad: nondeterministic iteration over hash containers in
+//! decision-path code — a field, a parameter, and a local binding.
+use std::collections::{HashMap, HashSet};
+
+pub struct Sched {
+    pub running: HashMap<u64, f64>,
+}
+
+impl Sched {
+    pub fn decide(&self, live: &HashSet<u64>) -> f64 {
+        let mut total = 0.0;
+        for v in self.running.values() {
+            total += v;
+        }
+        for id in live {
+            total += *id as f64;
+        }
+        let mut seen: HashSet<u64> = HashSet::new();
+        seen.retain(|_| true);
+        total
+    }
+}

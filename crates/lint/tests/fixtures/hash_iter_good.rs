@@ -1,0 +1,22 @@
+//! Known-good: ordered containers, collect-and-sort over a hash map with a
+//! justification comment, and lookups (not iteration) on hash receivers.
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Sched {
+    pub running: BTreeMap<u64, f64>,
+}
+
+impl Sched {
+    pub fn decide(&self, weights: &HashMap<u64, f64>) -> f64 {
+        let mut total = 0.0;
+        for v in self.running.values() {
+            total += v;
+        }
+        let mut ids: Vec<u64> = weights.keys().copied().collect(); // lint: sorted — sorted below
+        ids.sort_unstable();
+        for id in ids {
+            total += weights.get(&id).copied().unwrap_or(0.0);
+        }
+        total
+    }
+}

@@ -1,0 +1,9 @@
+//! Known-bad: every panicking construct the rule must catch.
+pub fn extract(xs: &[f64], i: usize) -> f64 {
+    let first = xs.first().unwrap();
+    let second = xs.get(1).expect("second element");
+    if i > xs.len() {
+        panic!("index out of range");
+    }
+    first + second + xs[i]
+}

@@ -1,0 +1,22 @@
+//! Known-good: the hot path degrades through Option/defaults; array
+//! literals and `unwrap_or` must not be mistaken for panics, and test code
+//! is exempt.
+pub fn extract(xs: &[f64], i: usize) -> Option<f64> {
+    let ws = [0.25, 0.75];
+    let first = xs.first()?;
+    let second = xs.get(1)?;
+    let blend: f64 = ws.iter().sum();
+    Some(first + second + blend + xs.get(i).copied().unwrap_or(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let xs = vec![1.0, 2.0];
+        assert_eq!(extract(&xs, 1).unwrap(), 1.0 + 2.0 + 1.0 + 2.0);
+        assert_eq!(xs[0], 1.0);
+    }
+}

@@ -1,0 +1,5 @@
+//! Known-bad: OS-seeded RNG, unreplayable by construction.
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

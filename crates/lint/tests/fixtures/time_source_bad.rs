@@ -1,0 +1,8 @@
+//! Known-bad: direct wall-clock reads in decision-path code.
+use std::time::{Instant, SystemTime};
+
+pub fn cycle_budget_exceeded() -> bool {
+    let start = Instant::now();
+    let _wall = SystemTime::now();
+    start.elapsed().as_millis() > 5
+}

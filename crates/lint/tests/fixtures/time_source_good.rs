@@ -1,0 +1,7 @@
+//! Known-good: timing routed through the sanctioned clock module.
+use crate::clock::Stopwatch;
+
+pub fn cycle_budget_exceeded() -> bool {
+    let sw = Stopwatch::start();
+    sw.elapsed().as_millis() > 5
+}

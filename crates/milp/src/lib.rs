@@ -34,6 +34,7 @@
 //! ```
 
 pub mod branch;
+pub mod clock;
 pub mod model;
 pub mod simplex;
 

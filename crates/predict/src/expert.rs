@@ -155,7 +155,7 @@ impl ValueState {
                 if v.is_empty() {
                     return None;
                 }
-                v.sort_by(|a, b| a.partial_cmp(b).expect("finite runtimes"));
+                v.sort_by(f64::total_cmp);
                 Some(if v.len() % 2 == 1 {
                     v[v.len() / 2]
                 } else {
@@ -188,7 +188,7 @@ impl ValueState {
         self.scores
             .iter()
             .filter_map(Score::nmae)
-            .min_by(|a, b| a.partial_cmp(b).expect("NMAE is finite"))
+            .min_by(f64::total_cmp)
     }
 
     /// Scores all estimators against `runtime`, then folds it into history.

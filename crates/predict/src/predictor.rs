@@ -5,7 +5,7 @@
 //! its feature value's histogram becomes the job's distribution estimate and
 //! its point estimate is the JVuPredict-style point prediction (§4.1).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use threesigma_histogram::RuntimeDistribution;
@@ -61,7 +61,9 @@ pub struct Predictor {
     config: PredictorConfig,
     features: FeatureSet,
     /// State per `(feature index, feature value)`.
-    state: HashMap<(usize, String), ValueState>,
+    /// Ordered map: `stats`/`snapshot`/`restore` iterate it, and both
+    /// expert scoring and snapshot bytes must not depend on hash order.
+    state: BTreeMap<(usize, String), ValueState>,
     /// Running totals maintained by [`observe`](Self::observe) so
     /// [`quick_stats`](Self::quick_stats) is O(1); [`stats`](Self::stats)
     /// recomputes the same sums exactly by scanning.
@@ -86,7 +88,7 @@ impl Predictor {
         Self {
             config,
             features,
-            state: HashMap::new(),
+            state: BTreeMap::new(),
             observations: 0,
             bin_merges: 0,
             censored: 0,

@@ -23,3 +23,24 @@ fn every_corpus_seed_passes() {
         );
     }
 }
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; run in release or via the simtest CLI"
+)]
+fn every_corpus_seed_is_deterministic_across_runs() {
+    // Two full in-process runs of the same seed must render byte-identical
+    // reports (the render ends in its own FNV digest, so equal strings mean
+    // equal digests). This is the guard the determinism lints exist to
+    // protect: any HashMap-order or wall-clock leak into a decision path
+    // shows up here as a digest mismatch.
+    for seed in corpus_seeds() {
+        let first = run_seed(seed).render();
+        let second = run_seed(seed).render();
+        assert_eq!(
+            first, second,
+            "SEED {seed} DIVERGED between two in-process runs\nfirst:\n{first}\nsecond:\n{second}"
+        );
+    }
+}

@@ -1,0 +1,825 @@
+//! Vendored minimal `proc-macro2` — a standalone Rust lexer.
+//!
+//! Implements the subset of the real crate's API that `syn` (also vendored)
+//! and `threesigma-lint` use: `TokenStream: FromStr` lexing Rust source into
+//! the four-variant [`TokenTree`] tree, with delimiter-matched [`Group`]s and
+//! line/column [`Span`]s. Fidelity notes:
+//!
+//! * Spans carry only start line/column (1-based line, 0-based column) — no
+//!   source map, no join/resolution semantics.
+//! * Comments are stripped, like the real lexer, but are additionally
+//!   collected on the side and exposed through [`lex_comments`] so the lint
+//!   can find `// lint: sorted` justification comments. Doc comments are
+//!   *not* converted into `#[doc]` attributes; they are treated as plain
+//!   comments (the lint has no use for doc text).
+//! * [`TokenStream::trees`] is an extension (the real crate only exposes
+//!   iteration); the lint's pattern matchers want slice access.
+//! * Literal carries its raw text only ([`Literal::to_string`]); there are
+//!   no typed constructors.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A region of source code: 1-based line, 0-based UTF-8 column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based source line of the token's first character.
+    pub line: usize,
+    /// 0-based column (in chars) of the token's first character.
+    pub column: usize,
+}
+
+impl Span {
+    /// A span pointing at nothing in particular (line 0).
+    pub fn call_site() -> Self {
+        Span { line: 0, column: 0 }
+    }
+}
+
+/// Delimiter of a [`Group`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delimiter {
+    /// `( ... )`
+    Parenthesis,
+    /// `{ ... }`
+    Brace,
+    /// `[ ... ]`
+    Bracket,
+    /// Invisible delimiters (never produced by this lexer).
+    None,
+}
+
+/// Whether a punctuation character is immediately followed by another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Spacing {
+    /// Followed by whitespace or a non-punct token (`+ x`).
+    Alone,
+    /// Glued to the next punct (`+=`, `::`).
+    Joint,
+}
+
+/// A delimited token sequence.
+#[derive(Debug, Clone)]
+pub struct Group {
+    delimiter: Delimiter,
+    stream: TokenStream,
+    span: Span,
+}
+
+impl Group {
+    /// Creates a group from parts.
+    pub fn new(delimiter: Delimiter, stream: TokenStream) -> Self {
+        Group {
+            delimiter,
+            stream,
+            span: Span::call_site(),
+        }
+    }
+
+    /// The group's delimiter kind.
+    pub fn delimiter(&self) -> Delimiter {
+        self.delimiter
+    }
+
+    /// The tokens between the delimiters.
+    pub fn stream(&self) -> TokenStream {
+        self.stream.clone()
+    }
+
+    /// Slice access to the inner tokens (extension; avoids a clone).
+    pub fn trees(&self) -> &[TokenTree] {
+        self.stream.trees()
+    }
+
+    /// Span of the opening delimiter.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+/// A word: identifier or keyword.
+#[derive(Debug, Clone)]
+pub struct Ident {
+    sym: String,
+    span: Span,
+}
+
+impl Ident {
+    /// Creates an identifier with a call-site span.
+    pub fn new(sym: &str, span: Span) -> Self {
+        Ident {
+            sym: sym.to_string(),
+            span,
+        }
+    }
+
+    /// The identifier's span.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Ident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.sym)
+    }
+}
+
+impl PartialEq<str> for Ident {
+    fn eq(&self, other: &str) -> bool {
+        self.sym == other
+    }
+}
+
+impl PartialEq<&str> for Ident {
+    fn eq(&self, other: &&str) -> bool {
+        self.sym == *other
+    }
+}
+
+/// A single punctuation character.
+#[derive(Debug, Clone)]
+pub struct Punct {
+    ch: char,
+    spacing: Spacing,
+    span: Span,
+}
+
+impl Punct {
+    /// The character.
+    pub fn as_char(&self) -> char {
+        self.ch
+    }
+
+    /// Whether the next token is a glued punct.
+    pub fn spacing(&self) -> Spacing {
+        self.spacing
+    }
+
+    /// The punct's span.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+/// A literal: number, string, char, or byte string, kept as raw text.
+#[derive(Debug, Clone)]
+pub struct Literal {
+    repr: String,
+    span: Span,
+}
+
+impl Literal {
+    /// The literal's span.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.repr)
+    }
+}
+
+/// A single token or delimited subtree.
+#[derive(Debug, Clone)]
+pub enum TokenTree {
+    /// A delimited sequence.
+    Group(Group),
+    /// A word.
+    Ident(Ident),
+    /// A punctuation character.
+    Punct(Punct),
+    /// A literal.
+    Literal(Literal),
+}
+
+impl TokenTree {
+    /// The token's span (a group's opening delimiter).
+    pub fn span(&self) -> Span {
+        match self {
+            TokenTree::Group(g) => g.span(),
+            TokenTree::Ident(i) => i.span(),
+            TokenTree::Punct(p) => p.span(),
+            TokenTree::Literal(l) => l.span(),
+        }
+    }
+}
+
+/// A sequence of [`TokenTree`]s.
+#[derive(Debug, Clone, Default)]
+pub struct TokenStream {
+    trees: Vec<TokenTree>,
+}
+
+impl TokenStream {
+    /// The empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when the stream holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Slice access to the top-level tokens (extension; see module docs).
+    pub fn trees(&self) -> &[TokenTree] {
+        &self.trees
+    }
+}
+
+impl From<Vec<TokenTree>> for TokenStream {
+    fn from(trees: Vec<TokenTree>) -> Self {
+        TokenStream { trees }
+    }
+}
+
+impl IntoIterator for TokenStream {
+    type Item = TokenTree;
+    type IntoIter = std::vec::IntoIter<TokenTree>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.trees.into_iter()
+    }
+}
+
+impl fmt::Display for TokenStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.trees.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            match t {
+                TokenTree::Group(g) => {
+                    let (open, close) = match g.delimiter() {
+                        Delimiter::Parenthesis => ("(", ")"),
+                        Delimiter::Brace => ("{", "}"),
+                        Delimiter::Bracket => ("[", "]"),
+                        Delimiter::None => ("", ""),
+                    };
+                    write!(f, "{open}{}{close}", g.stream())?;
+                }
+                TokenTree::Ident(id) => write!(f, "{id}")?,
+                TokenTree::Punct(p) => write!(f, "{}", p.as_char())?,
+                TokenTree::Literal(l) => write!(f, "{l}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Lexing failure: unbalanced delimiter or unterminated literal/comment.
+#[derive(Debug, Clone)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Line the failure was detected on.
+    pub line: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+impl FromStr for TokenStream {
+    type Err = LexError;
+
+    fn from_str(src: &str) -> Result<Self, LexError> {
+        let mut lexer = Lexer::new(src);
+        let trees = lexer.lex_until(None)?;
+        Ok(TokenStream { trees })
+    }
+}
+
+/// A comment stripped during lexing, with the line it started on.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line of the `//` or `/*`.
+    pub line: usize,
+    /// Comment text including the leading `//` or `/* ... */` markers.
+    pub text: String,
+}
+
+/// Lexes `src` and returns only its comments (extension; the lint scans
+/// these for `// lint: sorted` justification markers). Lexing errors yield
+/// an empty list — the caller will surface them via `TokenStream::from_str`.
+pub fn lex_comments(src: &str) -> Vec<Comment> {
+    let mut lexer = Lexer::new(src);
+    match lexer.lex_until(None) {
+        Ok(_) => lexer.comments,
+        Err(_) => Vec::new(),
+    }
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    column: usize,
+    comments: Vec<Comment>,
+}
+
+const PUNCT_CHARS: &str = "~!@#$%^&*-=+|;:,<.>/?'";
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        // Strip a shebang line (`#!...` not followed by `[`) like rustc.
+        let src = if src.starts_with("#!") && !src[2..].trim_start().starts_with('[') {
+            src.split_once('\n').map_or("", |(_, rest)| rest)
+        } else {
+            src
+        };
+        Lexer {
+            chars: src.chars().peekable(),
+            line: 1,
+            column: 0,
+            comments: Vec::new(),
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            column: self.column,
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 0;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.chars.clone();
+        it.next();
+        it.next()
+    }
+
+    fn err(&self, message: &str) -> LexError {
+        LexError {
+            message: message.to_string(),
+            line: self.line,
+        }
+    }
+
+    /// Lexes until the closing delimiter `until` (or end of input when
+    /// `None`), consuming the closer.
+    fn lex_until(&mut self, until: Option<char>) -> Result<Vec<TokenTree>, LexError> {
+        let mut out = Vec::new();
+        loop {
+            // Skip whitespace and comments.
+            loop {
+                match self.peek() {
+                    Some(c) if c.is_whitespace() => {
+                        self.bump();
+                    }
+                    Some('/') if self.peek2() == Some('/') => self.line_comment(),
+                    Some('/') if self.peek2() == Some('*') => self.block_comment()?,
+                    _ => break,
+                }
+            }
+            let span = self.span();
+            let Some(c) = self.peek() else {
+                return match until {
+                    None => Ok(out),
+                    Some(close) => {
+                        Err(self.err(&format!("expected `{close}` before end of input")))
+                    }
+                };
+            };
+            if let Some(close) = until {
+                if c == close {
+                    self.bump();
+                    return Ok(out);
+                }
+            }
+            match c {
+                '(' | '[' | '{' => {
+                    self.bump();
+                    let (delim, close) = match c {
+                        '(' => (Delimiter::Parenthesis, ')'),
+                        '[' => (Delimiter::Bracket, ']'),
+                        _ => (Delimiter::Brace, '}'),
+                    };
+                    let inner = self.lex_until(Some(close))?;
+                    out.push(TokenTree::Group(Group {
+                        delimiter: delim,
+                        stream: TokenStream { trees: inner },
+                        span,
+                    }));
+                }
+                ')' | ']' | '}' => {
+                    return Err(self.err(&format!("unexpected closing `{c}`")));
+                }
+                '"' => out.push(self.string_literal(span, String::new())?),
+                '\'' => self.quote_tokens(span, &mut out)?,
+                c if c.is_ascii_digit() => out.push(self.number(span)),
+                c if c == '_' || c.is_alphabetic() => {
+                    let word = self.word();
+                    // String-ish prefixes: b"..", r"..", br#".."#, c"..".
+                    if matches!(word.as_str(), "b" | "r" | "br" | "c" | "cr")
+                        && matches!(self.peek(), Some('"') | Some('#'))
+                        && (word.contains('r') || self.peek() == Some('"'))
+                    {
+                        if word.contains('r') {
+                            out.push(self.raw_string(span, word)?);
+                        } else {
+                            self.bump(); // opening quote
+                            out.push(self.string_literal(span, word)?);
+                        }
+                    } else {
+                        out.push(TokenTree::Ident(Ident { sym: word, span }));
+                    }
+                }
+                c if PUNCT_CHARS.contains(c) => {
+                    self.bump();
+                    let joint = matches!(self.peek(), Some(n) if PUNCT_CHARS.contains(n) && n != '\'')
+                        // `//` and `/*` after a punct start a comment, not a
+                        // glued punct.
+                        && !(self.peek() == Some('/')
+                            && matches!(self.peek2(), Some('/') | Some('*')));
+                    out.push(TokenTree::Punct(Punct {
+                        ch: c,
+                        spacing: if joint {
+                            Spacing::Joint
+                        } else {
+                            Spacing::Alone
+                        },
+                        span,
+                    }));
+                }
+                other => {
+                    return Err(self.err(&format!("unexpected character `{other}`")));
+                }
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self) -> Result<(), LexError> {
+        let line = self.line;
+        let mut text = String::new();
+        // Consume `/*`.
+        text.push(self.bump().unwrap_or_default());
+        text.push(self.bump().unwrap_or_default());
+        let mut depth = 1usize;
+        while depth > 0 {
+            match self.bump() {
+                Some('*') if self.peek() == Some('/') => {
+                    text.push('*');
+                    text.push(self.bump().unwrap_or_default());
+                    depth -= 1;
+                }
+                Some('/') if self.peek() == Some('*') => {
+                    text.push('/');
+                    text.push(self.bump().unwrap_or_default());
+                    depth += 1;
+                }
+                Some(c) => text.push(c),
+                None => return Err(self.err("unterminated block comment")),
+            }
+        }
+        self.comments.push(Comment { line, text });
+        Ok(())
+    }
+
+    fn word(&mut self) -> String {
+        let mut w = String::new();
+        while let Some(c) = self.peek() {
+            if c == '_' || c.is_alphanumeric() {
+                w.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        w
+    }
+
+    /// A `"`-delimited string; the opening quote is already consumed and
+    /// `prefix` holds any `b`/`c` prefix.
+    fn string_literal(&mut self, span: Span, prefix: String) -> Result<TokenTree, LexError> {
+        if self.peek() == Some('"') && prefix.is_empty() {
+            self.bump();
+        }
+        let mut repr = prefix;
+        repr.push('"');
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    repr.push('"');
+                    break;
+                }
+                Some('\\') => {
+                    repr.push('\\');
+                    match self.bump() {
+                        Some(e) => repr.push(e),
+                        None => return Err(self.err("unterminated string escape")),
+                    }
+                }
+                Some(c) => repr.push(c),
+                None => return Err(self.err("unterminated string literal")),
+            }
+        }
+        // Suffixes (`"..."suffix`) — rare; consume trailing word chars.
+        repr.push_str(&self.word());
+        Ok(TokenTree::Literal(Literal { repr, span }))
+    }
+
+    /// A raw string `r"..."` / `r#"..."#` (or `br`/`cr`); the prefix word is
+    /// already consumed.
+    fn raw_string(&mut self, span: Span, prefix: String) -> Result<TokenTree, LexError> {
+        let mut repr = prefix;
+        let mut hashes = 0usize;
+        while self.peek() == Some('#') {
+            hashes += 1;
+            repr.push('#');
+            self.bump();
+        }
+        if self.peek() != Some('"') {
+            // `r#ident` raw identifier, not a raw string; the symbol is the
+            // word after the hashes.
+            let word = self.word();
+            return Ok(TokenTree::Ident(Ident { sym: word, span }));
+        }
+        self.bump();
+        repr.push('"');
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    let mut trailing = 0usize;
+                    while trailing < hashes && self.peek() == Some('#') {
+                        trailing += 1;
+                        self.bump();
+                    }
+                    repr.push('"');
+                    for _ in 0..trailing {
+                        repr.push('#');
+                    }
+                    if trailing == hashes {
+                        break;
+                    }
+                }
+                Some(c) => repr.push(c),
+                None => return Err(self.err("unterminated raw string")),
+            }
+        }
+        Ok(TokenTree::Literal(Literal { repr, span }))
+    }
+
+    /// A `'` token: either a char literal (`'a'`, `'\n'`) or a lifetime
+    /// (`'static`), distinguished by lookahead like the real lexer. Pushes
+    /// one token for a char literal, two (joint `'` punct + ident) for a
+    /// lifetime.
+    fn quote_tokens(&mut self, span: Span, out: &mut Vec<TokenTree>) -> Result<(), LexError> {
+        self.bump(); // consume '
+        match self.peek() {
+            // Escape → definitely a char literal.
+            Some('\\') => {
+                let mut repr = String::from("'");
+                repr.push(self.bump().unwrap_or_default());
+                match self.bump() {
+                    Some(e) => repr.push(e),
+                    None => return Err(self.err("unterminated char escape")),
+                }
+                // `\u{...}` escapes carry a group of hex digits.
+                if repr.ends_with('u') && self.peek() == Some('{') {
+                    while let Some(c) = self.bump() {
+                        repr.push(c);
+                        if c == '}' {
+                            break;
+                        }
+                    }
+                }
+                match self.bump() {
+                    Some('\'') => {
+                        repr.push('\'');
+                        out.push(TokenTree::Literal(Literal { repr, span }));
+                        Ok(())
+                    }
+                    _ => Err(self.err("unterminated char literal")),
+                }
+            }
+            Some(c) if c == '_' || c.is_alphabetic() => {
+                // `'x'` is a char; `'xyz` (no closing quote) is a lifetime.
+                if self.peek2() == Some('\'') {
+                    let mut repr = String::from("'");
+                    repr.push(self.bump().unwrap_or_default());
+                    self.bump();
+                    repr.push('\'');
+                    out.push(TokenTree::Literal(Literal { repr, span }));
+                } else {
+                    let word = self.word();
+                    out.push(TokenTree::Punct(Punct {
+                        ch: '\'',
+                        spacing: Spacing::Joint,
+                        span,
+                    }));
+                    out.push(TokenTree::Ident(Ident { sym: word, span }));
+                }
+                Ok(())
+            }
+            Some(c) => {
+                // Any other single char between quotes: `'+'`, `' '`.
+                let mut repr = String::from("'");
+                repr.push(c);
+                self.bump();
+                match self.bump() {
+                    Some('\'') => {
+                        repr.push('\'');
+                        out.push(TokenTree::Literal(Literal { repr, span }));
+                        Ok(())
+                    }
+                    _ => Err(self.err("unterminated char literal")),
+                }
+            }
+            None => Err(self.err("dangling quote at end of input")),
+        }
+    }
+
+    fn number(&mut self, span: Span) -> TokenTree {
+        let mut repr = String::new();
+        // Integer part (also covers 0x/0b/0o bodies and type suffixes).
+        while let Some(c) = self.peek() {
+            if c == '_' || c.is_alphanumeric() {
+                repr.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fraction: a `.` followed by a digit (not `..` or `.method()`).
+        if self.peek() == Some('.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            repr.push('.');
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c == '_' || c.is_alphanumeric() {
+                    repr.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        // Exponent sign: `1e-3` — the `e` was consumed above; a dangling
+        // sign means we are mid-exponent.
+        if (repr.ends_with('e') || repr.ends_with('E'))
+            && matches!(self.peek(), Some('+') | Some('-'))
+        {
+            repr.push(self.bump().unwrap_or_default());
+            while let Some(c) = self.peek() {
+                if c == '_' || c.is_alphanumeric() {
+                    repr.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        TokenTree::Literal(Literal { repr, span })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(src: &str) -> Vec<TokenTree> {
+        src.parse::<TokenStream>().unwrap().trees().to_vec()
+    }
+
+    #[test]
+    fn lexes_idents_puncts_and_groups() {
+        let ts = lex("fn main() { let x = a.b(1, 2); }");
+        assert!(matches!(&ts[0], TokenTree::Ident(i) if *i == "fn"));
+        assert!(matches!(&ts[1], TokenTree::Ident(i) if *i == "main"));
+        assert!(matches!(&ts[2], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis));
+        let TokenTree::Group(body) = &ts[3] else {
+            panic!("expected body group");
+        };
+        assert_eq!(body.delimiter(), Delimiter::Brace);
+        assert!(body.trees().len() > 5);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_produce_false_tokens() {
+        let ts = lex("let s = \"HashMap::iter() // not code\"; // HashMap\nlet t = 1;");
+        let idents: Vec<String> = ts
+            .iter()
+            .filter_map(|t| match t {
+                TokenTree::Ident(i) => Some(i.to_string()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec!["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn comments_are_collected_with_lines() {
+        let src = "let a = 1; // lint: sorted\n/* block\ncomment */ let b = 2;";
+        let comments = lex_comments(src);
+        assert_eq!(comments.len(), 2);
+        assert_eq!(comments[0].line, 1);
+        assert!(comments[0].text.contains("lint: sorted"));
+        assert_eq!(comments[1].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let ts = lex("a /* x /* y */ z */ b");
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let ts = lex("let c: char = 'a'; fn f<'a>(x: &'a str) {}");
+        // `'a'` must lex as a literal, `'a` as lifetime tokens.
+        let lits: Vec<String> = ts
+            .iter()
+            .filter_map(|t| match t {
+                TokenTree::Literal(l) => Some(l.to_string()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lits, vec!["'a'"]);
+    }
+
+    #[test]
+    fn raw_strings_and_floats() {
+        let ts = lex(r##"let s = r#"quote " inside"#; let f = 1.5e-3;"##);
+        let lits: Vec<String> = ts
+            .iter()
+            .filter_map(|t| match t {
+                TokenTree::Literal(l) => Some(l.to_string()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lits.len(), 2);
+        assert!(lits[0].contains("quote"));
+        assert_eq!(lits[1], "1.5e-3");
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let ts = lex("a\nb\n  c");
+        let spans: Vec<(usize, usize)> = ts
+            .iter()
+            .map(|t| (t.span().line, t.span().column))
+            .collect();
+        assert_eq!(spans, vec![(1, 0), (2, 0), (3, 2)]);
+    }
+
+    #[test]
+    fn method_call_after_float_free_int() {
+        // `1.max(2)` — the `.` is a method call, not a fraction.
+        let ts = lex("let x = 1.max(2);");
+        assert!(ts
+            .iter()
+            .any(|t| matches!(t, TokenTree::Ident(i) if *i == "max")));
+    }
+
+    #[test]
+    fn unbalanced_delimiters_error() {
+        assert!("fn f( {".parse::<TokenStream>().is_err());
+        assert!("}".parse::<TokenStream>().is_err());
+    }
+
+    #[test]
+    fn range_is_not_a_fraction() {
+        let ts = lex("for i in 0..10 {}");
+        let lits: Vec<String> = ts
+            .iter()
+            .filter_map(|t| match t {
+                TokenTree::Literal(l) => Some(l.to_string()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lits, vec!["0", "10"]);
+    }
+}

@@ -1,0 +1,50 @@
+//! Vendored minimal `quote`.
+//!
+//! The real crate interpolates `#var` bindings; this subset only supports
+//! literal token text — [`quote!`] stringifies its input and re-lexes it via
+//! `proc_macro2::TokenStream::from_str`. That is all the lint's tests need
+//! (building small token streams to feed pattern matchers). Interpolation
+//! syntax (`#ident`, `#(...)*`) is NOT supported and will simply lex `#` as
+//! a punct.
+
+pub use proc_macro2;
+
+/// Builds a [`proc_macro2::TokenStream`] from literal tokens.
+///
+/// Panics if the tokens do not re-lex, which cannot happen for input that
+/// parsed as Rust tokens in the first place.
+#[macro_export]
+macro_rules! quote {
+    ($($tt:tt)*) => {
+        stringify!($($tt)*)
+            .parse::<$crate::proc_macro2::TokenStream>()
+            .expect("quote! input re-lexes")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use proc_macro2::{TokenStream, TokenTree};
+
+    #[test]
+    fn quote_round_trips_tokens() {
+        let ts: TokenStream = quote! {
+            fn f() { map.iter().count() }
+        };
+        let idents: Vec<String> = ts
+            .trees()
+            .iter()
+            .filter_map(|t| match t {
+                TokenTree::Ident(i) => Some(i.to_string()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn quote_empty_is_empty() {
+        let ts: TokenStream = quote! {};
+        assert!(ts.is_empty());
+    }
+}

@@ -1,0 +1,798 @@
+//! Vendored minimal `syn` — an item-level parser for Rust source.
+//!
+//! [`parse_file`] lexes a file with the vendored `proc-macro2` and groups the
+//! token stream into a tree of [`Item`]s: functions (with attributes and body
+//! token groups), modules (recursed), impl/trait blocks (nested items),
+//! structs and enums (field token groups), and a `Verbatim` catch-all for
+//! everything else (`use`, `const`, `static`, `type`, macros). Expressions
+//! inside fn bodies are deliberately **not** parsed into a syntax tree — the
+//! consumer (`threesigma-lint`) pattern-matches over raw token trees, which
+//! is both simpler and more robust for lint-style scanning.
+//!
+//! Known limitation, acceptable for this workspace: const-generic braces in
+//! signatures (`fn f<const N: usize>() -> [u8; { N + 1 }]`) would be
+//! misparsed as the fn body; no such signature exists in the repo and the
+//! fixture tests pin the supported grammar.
+
+use proc_macro2::{Delimiter, Group, Span, TokenStream, TokenTree};
+
+/// Parse failure: the lexer rejected the source or an item was malformed.
+#[derive(Debug, Clone)]
+pub struct Error {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line the failure was detected on (0 when unknown).
+    pub line: usize,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// An outer (`#[...]`) or inner (`#![...]`) attribute.
+#[derive(Debug, Clone)]
+pub struct Attribute {
+    /// First path segment inside the brackets (`test`, `cfg`, `derive`).
+    pub path: String,
+    /// Every token between the brackets, rendered as text (`cfg ( test )`).
+    pub text: String,
+    /// Span of the `#`.
+    pub span: Span,
+}
+
+impl Attribute {
+    /// True for `#[cfg(test)]` and `#[cfg(any(test, ...))]`-style attributes.
+    pub fn is_cfg_test(&self) -> bool {
+        self.path == "cfg"
+            && self
+                .text
+                .split(|c: char| !c.is_alphanumeric() && c != '_')
+                .any(|w| w == "test")
+    }
+
+    /// True for `#[test]` and path-suffixed variants like `#[tokio::test]`.
+    pub fn is_test(&self) -> bool {
+        self.path == "test"
+            || self
+                .text
+                .rsplit(|c: char| !c.is_alphanumeric() && c != '_')
+                .find(|w| !w.is_empty())
+                == Some("test")
+    }
+}
+
+/// A free or associated function with its body as a raw token group.
+#[derive(Debug, Clone)]
+pub struct ItemFn {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// The function's name.
+    pub name: String,
+    /// Tokens between the name and the body brace (generics, params, return
+    /// type, where clause).
+    pub signature: Vec<TokenTree>,
+    /// The `{ ... }` body; `None` for bodiless trait/extern declarations.
+    pub body: Option<Group>,
+    /// Span of the `fn` keyword.
+    pub span: Span,
+}
+
+/// A `mod` item; `content` is `None` for out-of-line `mod foo;`.
+#[derive(Debug, Clone)]
+pub struct ItemMod {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// The module's name.
+    pub name: String,
+    /// Parsed items for inline modules, `None` for `mod foo;`.
+    pub content: Option<Vec<Item>>,
+    /// Span of the `mod` keyword.
+    pub span: Span,
+}
+
+/// An `impl` block with its associated items parsed recursively.
+#[derive(Debug, Clone)]
+pub struct ItemImpl {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// Header tokens between `impl` and the brace, rendered as text
+    /// (`Ord for Node`).
+    pub header: String,
+    /// Associated items (functions, consts as Verbatim).
+    pub items: Vec<Item>,
+    /// Span of the `impl` keyword.
+    pub span: Span,
+}
+
+/// A `trait` block; default methods appear as `Item::Fn` with bodies.
+#[derive(Debug, Clone)]
+pub struct ItemTrait {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// The trait's name.
+    pub name: String,
+    /// Associated items.
+    pub items: Vec<Item>,
+    /// Span of the `trait` keyword.
+    pub span: Span,
+}
+
+/// A `struct` or `union` definition.
+#[derive(Debug, Clone)]
+pub struct ItemStruct {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// The type's name.
+    pub name: String,
+    /// Field tokens: brace group for named fields, paren group for tuple
+    /// structs, `None` for unit structs.
+    pub fields: Option<Group>,
+    /// Span of the `struct` keyword.
+    pub span: Span,
+}
+
+/// An `enum` definition.
+#[derive(Debug, Clone)]
+pub struct ItemEnum {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// The enum's name.
+    pub name: String,
+    /// The variant brace group.
+    pub variants: Group,
+    /// Span of the `enum` keyword.
+    pub span: Span,
+}
+
+/// Any item this parser does not model structurally, with its raw tokens
+/// preserved so consumers can still scan them (`const` initializers, `use`
+/// trees, macro invocations).
+#[derive(Debug, Clone)]
+pub struct ItemVerbatim {
+    /// Outer attributes.
+    pub attrs: Vec<Attribute>,
+    /// The item's raw tokens, including any trailing `;`.
+    pub tokens: Vec<TokenTree>,
+    /// Span of the first token.
+    pub span: Span,
+}
+
+/// A parsed top-level or associated item.
+#[derive(Debug, Clone)]
+pub enum Item {
+    /// A function.
+    Fn(ItemFn),
+    /// A module.
+    Mod(ItemMod),
+    /// An impl block.
+    Impl(ItemImpl),
+    /// A trait definition.
+    Trait(ItemTrait),
+    /// A struct or union.
+    Struct(ItemStruct),
+    /// An enum.
+    Enum(ItemEnum),
+    /// Anything else, tokens preserved.
+    Verbatim(ItemVerbatim),
+}
+
+/// A parsed source file.
+#[derive(Debug, Clone)]
+pub struct File {
+    /// Inner (`#![...]`) attributes at the top of the file.
+    pub attrs: Vec<Attribute>,
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// Parses an entire source file into items.
+pub fn parse_file(src: &str) -> Result<File, Error> {
+    let stream: TokenStream = src.parse().map_err(|e: proc_macro2::LexError| Error {
+        message: e.message,
+        line: e.line,
+    })?;
+    let tokens = stream.trees();
+    let mut pos = 0usize;
+    let mut attrs = Vec::new();
+    // Inner attributes: `#` `!` `[...]`.
+    while pos + 2 < tokens.len() + 1 {
+        match (&tokens[pos], tokens.get(pos + 1), tokens.get(pos + 2)) {
+            (TokenTree::Punct(p), Some(TokenTree::Punct(bang)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#'
+                    && bang.as_char() == '!'
+                    && g.delimiter() == Delimiter::Bracket =>
+            {
+                attrs.push(attribute_from_group(g, p.span()));
+                pos += 3;
+            }
+            _ => break,
+        }
+    }
+    let items = parse_items(&tokens[pos..])?;
+    Ok(File { attrs, items })
+}
+
+fn attribute_from_group(g: &Group, span: Span) -> Attribute {
+    let path = g
+        .trees()
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Ident(i) => Some(i.to_string()),
+            _ => None,
+        })
+        .unwrap_or_default();
+    Attribute {
+        path,
+        text: g.stream().to_string(),
+        span,
+    }
+}
+
+fn ident_text(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Parses a flat token slice into items until exhausted.
+fn parse_items(tokens: &[TokenTree]) -> Result<Vec<Item>, Error> {
+    let mut items = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        let (item, next) = parse_item(tokens, pos)?;
+        items.push(item);
+        debug_assert!(next > pos, "parser must make progress");
+        pos = next;
+    }
+    Ok(items)
+}
+
+/// Parses one item starting at `pos`; returns the item and the index after it.
+fn parse_item(tokens: &[TokenTree], mut pos: usize) -> Result<(Item, usize), Error> {
+    let start = pos;
+    let span = tokens[pos].span();
+
+    // Outer attributes.
+    let mut attrs = Vec::new();
+    while let (TokenTree::Punct(p), Some(TokenTree::Group(g))) = (&tokens[pos], tokens.get(pos + 1))
+    {
+        if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket {
+            attrs.push(attribute_from_group(g, p.span()));
+            pos += 2;
+            if pos >= tokens.len() {
+                return Err(Error {
+                    message: "attribute with no item".to_string(),
+                    line: span.line,
+                });
+            }
+        } else {
+            break;
+        }
+    }
+
+    // Visibility and fn-qualifier keywords.
+    loop {
+        let Some(word) = tokens.get(pos).and_then(ident_text) else {
+            break;
+        };
+        match word.as_str() {
+            "pub" => {
+                pos += 1;
+                // `pub(crate)` / `pub(in path)`.
+                if matches!(tokens.get(pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    pos += 1;
+                }
+            }
+            "default" | "unsafe" | "async" => pos += 1,
+            "extern" => {
+                pos += 1;
+                // Optional ABI string: `extern "C"`.
+                if matches!(tokens.get(pos), Some(TokenTree::Literal(_))) {
+                    pos += 1;
+                }
+            }
+            "const" => {
+                // Qualifier only when followed by `fn`/`unsafe`/`extern`/
+                // `async`; otherwise this is a `const NAME: T = ...;` item.
+                match tokens.get(pos + 1).and_then(ident_text).as_deref() {
+                    Some("fn") | Some("unsafe") | Some("extern") | Some("async") => pos += 1,
+                    _ => break,
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let Some(keyword) = tokens.get(pos).and_then(ident_text) else {
+        // Not keyword-led (e.g. stray tokens): consume as verbatim.
+        return verbatim_item(tokens, start, pos, attrs, span);
+    };
+
+    match keyword.as_str() {
+        "fn" => {
+            let fn_span = tokens[pos].span();
+            pos += 1;
+            let name = tokens.get(pos).and_then(ident_text).ok_or_else(|| Error {
+                message: "fn with no name".to_string(),
+                line: fn_span.line,
+            })?;
+            pos += 1;
+            let sig_start = pos;
+            // Scan to the body brace or a `;` (bodiless declaration). Any
+            // top-level brace group here is the body — see module docs for
+            // the const-generic caveat.
+            while pos < tokens.len() {
+                match &tokens[pos] {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                        let body = g.clone();
+                        let signature = tokens[sig_start..pos].to_vec();
+                        return Ok((
+                            Item::Fn(ItemFn {
+                                attrs,
+                                name,
+                                signature,
+                                body: Some(body),
+                                span: fn_span,
+                            }),
+                            pos + 1,
+                        ));
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ';' => {
+                        let signature = tokens[sig_start..pos].to_vec();
+                        return Ok((
+                            Item::Fn(ItemFn {
+                                attrs,
+                                name,
+                                signature,
+                                body: None,
+                                span: fn_span,
+                            }),
+                            pos + 1,
+                        ));
+                    }
+                    _ => pos += 1,
+                }
+            }
+            Err(Error {
+                message: format!("fn `{name}` has no body or `;`"),
+                line: fn_span.line,
+            })
+        }
+        "mod" => {
+            let mod_span = tokens[pos].span();
+            pos += 1;
+            let name = tokens.get(pos).and_then(ident_text).ok_or_else(|| Error {
+                message: "mod with no name".to_string(),
+                line: mod_span.line,
+            })?;
+            pos += 1;
+            match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let content = parse_items(g.trees())?;
+                    Ok((
+                        Item::Mod(ItemMod {
+                            attrs,
+                            name,
+                            content: Some(content),
+                            span: mod_span,
+                        }),
+                        pos + 1,
+                    ))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((
+                    Item::Mod(ItemMod {
+                        attrs,
+                        name,
+                        content: None,
+                        span: mod_span,
+                    }),
+                    pos + 1,
+                )),
+                _ => Err(Error {
+                    message: format!("mod `{name}` has no body or `;`"),
+                    line: mod_span.line,
+                }),
+            }
+        }
+        "impl" => {
+            let impl_span = tokens[pos].span();
+            pos += 1;
+            let header_start = pos;
+            while pos < tokens.len() {
+                match &tokens[pos] {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                        let header =
+                            TokenStream::from(tokens[header_start..pos].to_vec()).to_string();
+                        let items = parse_items(g.trees())?;
+                        return Ok((
+                            Item::Impl(ItemImpl {
+                                attrs,
+                                header,
+                                items,
+                                span: impl_span,
+                            }),
+                            pos + 1,
+                        ));
+                    }
+                    _ => pos += 1,
+                }
+            }
+            Err(Error {
+                message: "impl with no body".to_string(),
+                line: impl_span.line,
+            })
+        }
+        "trait" | "auto" => {
+            let trait_span = tokens[pos].span();
+            if keyword == "auto" {
+                pos += 1; // `auto trait`
+            }
+            pos += 1;
+            let name = tokens.get(pos).and_then(ident_text).ok_or_else(|| Error {
+                message: "trait with no name".to_string(),
+                line: trait_span.line,
+            })?;
+            pos += 1;
+            while pos < tokens.len() {
+                match &tokens[pos] {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                        let items = parse_items(g.trees())?;
+                        return Ok((
+                            Item::Trait(ItemTrait {
+                                attrs,
+                                name,
+                                items,
+                                span: trait_span,
+                            }),
+                            pos + 1,
+                        ));
+                    }
+                    _ => pos += 1,
+                }
+            }
+            Err(Error {
+                message: format!("trait `{name}` has no body"),
+                line: trait_span.line,
+            })
+        }
+        "struct" | "union" => {
+            let struct_span = tokens[pos].span();
+            pos += 1;
+            let name = tokens.get(pos).and_then(ident_text).ok_or_else(|| Error {
+                message: "struct with no name".to_string(),
+                line: struct_span.line,
+            })?;
+            pos += 1;
+            // Scan past generics/where to brace fields, tuple parens + `;`,
+            // or a bare `;` (unit struct).
+            while pos < tokens.len() {
+                match &tokens[pos] {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                        return Ok((
+                            Item::Struct(ItemStruct {
+                                attrs,
+                                name,
+                                fields: Some(g.clone()),
+                                span: struct_span,
+                            }),
+                            pos + 1,
+                        ));
+                    }
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                        let fields = Some(g.clone());
+                        pos += 1;
+                        // Consume tokens (where clause) through the `;`.
+                        while pos < tokens.len() {
+                            if matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ';') {
+                                pos += 1;
+                                break;
+                            }
+                            pos += 1;
+                        }
+                        return Ok((
+                            Item::Struct(ItemStruct {
+                                attrs,
+                                name,
+                                fields,
+                                span: struct_span,
+                            }),
+                            pos,
+                        ));
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ';' => {
+                        return Ok((
+                            Item::Struct(ItemStruct {
+                                attrs,
+                                name,
+                                fields: None,
+                                span: struct_span,
+                            }),
+                            pos + 1,
+                        ));
+                    }
+                    _ => pos += 1,
+                }
+            }
+            Err(Error {
+                message: format!("struct `{name}` has no fields or `;`"),
+                line: struct_span.line,
+            })
+        }
+        "enum" => {
+            let enum_span = tokens[pos].span();
+            pos += 1;
+            let name = tokens.get(pos).and_then(ident_text).ok_or_else(|| Error {
+                message: "enum with no name".to_string(),
+                line: enum_span.line,
+            })?;
+            pos += 1;
+            while pos < tokens.len() {
+                match &tokens[pos] {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                        return Ok((
+                            Item::Enum(ItemEnum {
+                                attrs,
+                                name,
+                                variants: g.clone(),
+                                span: enum_span,
+                            }),
+                            pos + 1,
+                        ));
+                    }
+                    _ => pos += 1,
+                }
+            }
+            Err(Error {
+                message: format!("enum `{name}` has no body"),
+                line: enum_span.line,
+            })
+        }
+        "macro_rules" => {
+            // `macro_rules ! name { ... }`.
+            pos += 1;
+            while pos < tokens.len() {
+                if matches!(&tokens[pos], TokenTree::Group(g) if g.delimiter() == Delimiter::Brace)
+                {
+                    pos += 1;
+                    break;
+                }
+                pos += 1;
+            }
+            verbatim_item(tokens, start, pos, attrs, span)
+        }
+        // `use`, `const`, `static`, `type`, `extern crate`: statement-style
+        // items ending at the first top-level `;`.
+        "use" | "const" | "static" | "type" | "crate" => {
+            while pos < tokens.len() {
+                if matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == ';') {
+                    pos += 1;
+                    break;
+                }
+                pos += 1;
+            }
+            verbatim_item(tokens, start, pos, attrs, span)
+        }
+        _ => {
+            // Macro invocation (`lazy_static! { ... }`) or unknown grammar:
+            // consume to the first top-level brace group or `;`.
+            while pos < tokens.len() {
+                match &tokens[pos] {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                        pos += 1;
+                        break;
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ';' => {
+                        pos += 1;
+                        break;
+                    }
+                    _ => pos += 1,
+                }
+            }
+            verbatim_item(tokens, start, pos, attrs, span)
+        }
+    }
+}
+
+fn verbatim_item(
+    tokens: &[TokenTree],
+    start: usize,
+    mut end: usize,
+    attrs: Vec<Attribute>,
+    span: Span,
+) -> Result<(Item, usize), Error> {
+    if end <= start {
+        end = start + 1; // guarantee progress on degenerate input
+    }
+    Ok((
+        Item::Verbatim(ItemVerbatim {
+            attrs,
+            tokens: tokens[start..end.min(tokens.len())].to_vec(),
+            span,
+        }),
+        end,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(items: &[Item]) -> Vec<String> {
+        items
+            .iter()
+            .map(|i| match i {
+                Item::Fn(f) => format!("fn {}", f.name),
+                Item::Mod(m) => format!("mod {}", m.name),
+                Item::Impl(im) => format!("impl {}", im.header),
+                Item::Trait(t) => format!("trait {}", t.name),
+                Item::Struct(s) => format!("struct {}", s.name),
+                Item::Enum(e) => format!("enum {}", e.name),
+                Item::Verbatim(_) => "verbatim".to_string(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parses_mixed_items() {
+        let src = r#"
+            //! module docs are plain comments here
+            use std::collections::HashMap;
+
+            pub struct S { pub field: HashMap<u64, f64> }
+            pub struct Unit;
+            pub struct Tuple(u8, u16);
+
+            enum E { A, B(u8) }
+
+            pub fn free(x: u64) -> u64 { x + 1 }
+
+            impl S {
+                pub fn method(&self) -> usize { self.field.len() }
+            }
+
+            trait T {
+                fn required(&self);
+                fn defaulted(&self) -> u8 { 0 }
+            }
+
+            mod inner {
+                pub fn nested() {}
+            }
+
+            const LIMIT: usize = 10;
+        "#;
+        let file = parse_file(src).unwrap();
+        let got = names(&file.items);
+        assert_eq!(
+            got,
+            vec![
+                "verbatim",
+                "struct S",
+                "struct Unit",
+                "struct Tuple",
+                "enum E",
+                "fn free",
+                "impl S",
+                "trait T",
+                "mod inner",
+                "verbatim",
+            ]
+        );
+        let Item::Impl(im) = &file.items[6] else {
+            panic!()
+        };
+        assert_eq!(names(&im.items), vec!["fn method"]);
+        let Item::Trait(t) = &file.items[7] else {
+            panic!()
+        };
+        let Item::Fn(req) = &t.items[0] else { panic!() };
+        assert!(req.body.is_none());
+        let Item::Fn(def) = &t.items[1] else { panic!() };
+        assert!(def.body.is_some());
+        let Item::Mod(m) = &file.items[8] else {
+            panic!()
+        };
+        assert_eq!(names(m.content.as_ref().unwrap()), vec!["fn nested"]);
+    }
+
+    #[test]
+    fn attrs_and_test_detection() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn works() { assert_eq!(1, 1); }
+            }
+
+            #[derive(Debug, Clone)]
+            pub struct S;
+        "#;
+        let file = parse_file(src).unwrap();
+        let Item::Mod(m) = &file.items[0] else {
+            panic!()
+        };
+        assert!(m.attrs[0].is_cfg_test());
+        let Item::Fn(f) = &m.content.as_ref().unwrap()[0] else {
+            panic!()
+        };
+        assert!(f.attrs[0].is_test());
+        let Item::Struct(s) = &file.items[1] else {
+            panic!()
+        };
+        assert!(!s.attrs[0].is_cfg_test());
+        assert!(!s.attrs[0].is_test());
+    }
+
+    #[test]
+    fn fn_qualifiers_and_generics() {
+        let src = r#"
+            pub(crate) const fn quiet() -> u8 { 0 }
+            pub async unsafe fn wild<'a, T: Clone>(x: &'a T) -> T where T: Send { x.clone() }
+            extern "C" fn ccall() {}
+            impl<'a, T> Wrapper<'a, T> where T: Ord {
+                fn get(&self) -> &T { &self.0 }
+            }
+        "#;
+        let file = parse_file(src).unwrap();
+        let got = names(&file.items);
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[0], "fn quiet");
+        assert_eq!(got[1], "fn wild");
+        assert_eq!(got[2], "fn ccall");
+        assert!(got[3].starts_with("impl"));
+    }
+
+    #[test]
+    fn fn_body_tokens_are_reachable() {
+        let src = "fn f() { let m = std::collections::HashMap::new(); m.iter().count() }";
+        let file = parse_file(src).unwrap();
+        let Item::Fn(f) = &file.items[0] else {
+            panic!()
+        };
+        let body = f.body.as_ref().unwrap();
+        let text = body.stream().to_string();
+        assert!(text.contains("HashMap"));
+        assert!(text.contains("iter"));
+    }
+
+    #[test]
+    fn macro_invocation_and_macro_rules_are_verbatim() {
+        let src = r#"
+            macro_rules! m { () => {}; }
+            thread_local! { static X: u8 = 0; }
+            fn after() {}
+        "#;
+        let file = parse_file(src).unwrap();
+        let got = names(&file.items);
+        assert_eq!(got, vec!["verbatim", "verbatim", "fn after"]);
+    }
+
+    #[test]
+    fn inner_attributes_collected() {
+        let src = "#![allow(dead_code)]\nfn f() {}";
+        let file = parse_file(src).unwrap();
+        assert_eq!(file.attrs.len(), 1);
+        assert_eq!(file.attrs[0].path, "allow");
+        assert_eq!(names(&file.items), vec!["fn f"]);
+    }
+
+    #[test]
+    fn spans_survive_into_items() {
+        let src = "fn a() {}\n\nfn b() {}\n";
+        let file = parse_file(src).unwrap();
+        let Item::Fn(a) = &file.items[0] else {
+            panic!()
+        };
+        let Item::Fn(b) = &file.items[1] else {
+            panic!()
+        };
+        assert_eq!(a.span.line, 1);
+        assert_eq!(b.span.line, 3);
+    }
+}
