@@ -28,12 +28,12 @@ USAGE:
                       [--slack S] [--seed N] [--pretrain N] --out FILE
   threesigma run      (--trace FILE | --env E [--hours H] [--seed N])
                       [--scheduler NAME] [--cycle SECS] [--rc] [--out FILE]
-                      [--cycle-budget-ms MS] [--max-retries N]
+                      [--cycle-budget-ms MS] [--max-retries N] [--shards N]
   threesigma compare  (--trace FILE | --env E [--hours H] [--seed N])
                       [--cycle SECS] [--ablations]
   threesigma analyze  (--trace FILE | --env E [--jobs N] [--seed N])
   threesigma simtest  [--seed N | --iters K [--start-seed S]]
-                      [--cycle-budget-ms MS] [--max-retries N]
+                      [--cycle-budget-ms MS] [--max-retries N] [--shards N]
   threesigma metrics  (--trace FILE | --env E [--hours H] [--seed N])
                       [--scheduler NAME] [--cycle SECS] [--rc]
                       [--json FILE] [--trace-out FILE]
@@ -55,6 +55,9 @@ ROBUSTNESS: degradation governor and kill/retry knobs (run + simtest).
                         scenarios default to deterministic work units)
   --max-retries N       retry budget for fault-killed jobs before they are
                         cancelled and counted
+  --shards N            worker shards for 3σSched's decide stage; also widens
+                        the representable cluster to N x 128 racks. Results
+                        are byte-identical at every shard count.
 
 METRICS: run one instrumented simulation and export its counters.
   Prints a Prometheus-style text exposition to stdout.
@@ -149,6 +152,17 @@ fn experiment(args: &Args) -> Result<Experiment, CliError> {
     }
     if args.get("max-retries").is_some() {
         exp.engine.retry.max_retries = args.parse_or("max-retries", 0u32)?;
+    }
+    if let Some(raw) = args.get("shards") {
+        exp.sched.shards = raw
+            .parse()
+            .ok()
+            .filter(|n: &usize| *n >= 1)
+            .ok_or_else(|| CliError::BadValue {
+                option: "shards".into(),
+                value: raw.into(),
+                expected: "a worker count >= 1",
+            })?;
     }
     Ok(exp)
 }
@@ -296,6 +310,18 @@ pub fn cmd_simtest(args: &Args) -> Result<String, CliError> {
                 expected: "a positive number of milliseconds",
             })?;
         overrides.cycle_budget_ms = Some(ms);
+    }
+    if let Some(raw) = args.get("shards") {
+        let shards: usize = raw
+            .parse()
+            .ok()
+            .filter(|n: &usize| *n >= 1)
+            .ok_or_else(|| CliError::BadValue {
+                option: "shards".into(),
+                value: raw.into(),
+                expected: "a worker count >= 1",
+            })?;
+        overrides.shards = Some(shards);
     }
     if let Some(raw) = args.get("seed") {
         let seed: u64 = raw.parse().map_err(|_| CliError::BadValue {
@@ -466,6 +492,18 @@ mod tests {
             dispatch(&args).unwrap_err(),
             CliError::BadValue { .. }
         ));
+    }
+
+    #[test]
+    fn shards_must_be_a_positive_count() {
+        for argv in [
+            ["simtest", "--seed", "1", "--shards", "0"],
+            ["run", "--env", "google", "--shards", "woof"],
+        ] {
+            let args = Args::parse(argv).unwrap();
+            let err = dispatch(&args).unwrap_err();
+            assert!(matches!(err, CliError::BadValue { .. }), "{argv:?}: {err}");
+        }
     }
 
     #[test]

@@ -235,6 +235,15 @@ pub trait Scheduler {
 
     /// One scheduling cycle.
     fn schedule(&mut self, view: &SimulationView<'_>, now: f64) -> SchedulingDecision;
+
+    /// Largest cluster (in partitions) this scheduler can represent, or
+    /// `None` for no limit. The engine rejects over-limit cluster specs at
+    /// ingest with [`SimError::ClusterTooLarge`] instead of letting a
+    /// scheduler silently truncate or panic on out-of-range partitions
+    /// (e.g. the 128-rack `RackMask` ceiling).
+    fn max_partitions(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Errors produced by invalid scheduler decisions.
@@ -272,6 +281,14 @@ pub enum SimError {
         /// What is wrong with it.
         reason: &'static str,
     },
+    /// The cluster spec has more partitions than the scheduler can
+    /// represent (see [`Scheduler::max_partitions`]).
+    ClusterTooLarge {
+        /// Partitions in the cluster spec.
+        partitions: usize,
+        /// The scheduler's representable maximum.
+        max: usize,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -291,6 +308,13 @@ impl std::fmt::Display for SimError {
             }
             SimError::MalformedJobSpec { job, reason } => {
                 write!(f, "job {job:?} has a malformed spec: {reason}")
+            }
+            SimError::ClusterTooLarge { partitions, max } => {
+                write!(
+                    f,
+                    "cluster has {partitions} partitions but the scheduler \
+                     represents at most {max} (raise --shards to widen it)"
+                )
             }
         }
     }
@@ -654,40 +678,255 @@ impl Engine {
             scheduler.on_job_killed(&jobs[r.idx], elapsed, will_retry, now);
         }
 
-        let mut outcomes: Vec<JobOutcome> = jobs
-            .iter()
-            .map(|j| JobOutcome {
-                id: j.id,
-                kind: j.kind,
-                submit_time: j.submit_time,
-                tasks: j.tasks,
-                state: JobState::Pending,
-                start_time: None,
-                finish_time: None,
-                measured_runtime: None,
-                preemptions: 0,
-                kills: 0,
-                on_preferred: None,
-            })
-            .collect();
-        let mut index_of: HashMap<JobId, usize> = HashMap::with_capacity(jobs.len());
-        for (i, j) in jobs.iter().enumerate() {
-            if index_of.insert(j.id, i).is_some() {
-                return Err(SimError::DuplicateJobId { job: j.id });
+        /// Ingest stage: validates the trace and the cluster against the
+        /// scheduler's representable size and builds the outcome table plus
+        /// the id → trace-index map. Every typed rejection that does not
+        /// depend on a decision happens here, before any event is processed.
+        fn ingest(
+            jobs: &[JobSpec],
+            parts: usize,
+            scheduler: &dyn Scheduler,
+        ) -> Result<(Vec<JobOutcome>, HashMap<JobId, usize>), SimError> {
+            if let Some(max) = scheduler.max_partitions() {
+                if parts > max {
+                    return Err(SimError::ClusterTooLarge {
+                        partitions: parts,
+                        max,
+                    });
+                }
             }
-            let reason = if !j.submit_time.is_finite() || j.submit_time < 0.0 {
-                Some("submit time must be finite and non-negative")
-            } else if !j.duration.is_finite() || j.duration < 0.0 {
-                Some("duration must be finite and non-negative")
-            } else if j.tasks == 0 {
-                Some("task count must be positive")
-            } else {
-                None
-            };
-            if let Some(reason) = reason {
-                return Err(SimError::MalformedJobSpec { job: j.id, reason });
+            let outcomes: Vec<JobOutcome> = jobs
+                .iter()
+                .map(|j| JobOutcome {
+                    id: j.id,
+                    kind: j.kind,
+                    submit_time: j.submit_time,
+                    tasks: j.tasks,
+                    state: JobState::Pending,
+                    start_time: None,
+                    finish_time: None,
+                    measured_runtime: None,
+                    preemptions: 0,
+                    kills: 0,
+                    on_preferred: None,
+                })
+                .collect();
+            let mut index_of: HashMap<JobId, usize> = HashMap::with_capacity(jobs.len());
+            for (i, j) in jobs.iter().enumerate() {
+                if index_of.insert(j.id, i).is_some() {
+                    return Err(SimError::DuplicateJobId { job: j.id });
+                }
+                let reason = if !j.submit_time.is_finite() || j.submit_time < 0.0 {
+                    Some("submit time must be finite and non-negative")
+                } else if !j.duration.is_finite() || j.duration < 0.0 {
+                    Some("duration must be finite and non-negative")
+                } else if j.tasks == 0 {
+                    Some("task count must be positive")
+                } else {
+                    None
+                };
+                if let Some(reason) = reason {
+                    return Err(SimError::MalformedJobSpec { job: j.id, reason });
+                }
             }
+            Ok((outcomes, index_of))
         }
+
+        /// Decide stage: builds the deterministic scheduler-facing view
+        /// (running jobs sorted by id, backoff-gated pending set) and asks
+        /// the scheduler for a decision. Reads engine state, mutates none.
+        #[allow(clippy::too_many_arguments)]
+        fn decide(
+            cluster: &ClusterSpec,
+            jobs: &[JobSpec],
+            pending: &[usize],
+            retry_at: &HashMap<usize, f64>,
+            running: &BTreeMap<JobId, Running>,
+            free: &[u32],
+            now: f64,
+            scheduler: &mut dyn Scheduler,
+        ) -> SchedulingDecision {
+            // Deterministic view: running jobs sorted by id so scheduler
+            // decisions (and float summation order) never depend on
+            // hash-map iteration order.
+            let mut running_view: Vec<RunningJob<'_>> = running
+                .values()
+                .map(|r| RunningJob {
+                    spec: &jobs[r.idx],
+                    start_time: r.start,
+                    allocation: &r.allocation,
+                })
+                .collect();
+            running_view.sort_by_key(|r| r.spec.id);
+            // Retry eligibility tolerates the float drift that repeated
+            // `now + cycle_interval` additions accumulate in the cycle
+            // clock: a backoff expiring exactly on a cycle boundary must
+            // re-pend on that cycle, not one cycle late because the tick
+            // sits a few ulps below the retry time.
+            let eps = RETRY_TICK_TOLERANCE * now.abs().max(1.0);
+            let view = SimulationView {
+                cluster,
+                // Jobs backing off after a kill are withheld from the
+                // scheduler until their retry time.
+                pending: pending
+                    .iter()
+                    .filter(|&&i| retry_at.get(&i).is_none_or(|&t| t <= now + eps))
+                    .map(|&i| &jobs[i])
+                    .collect(),
+                running: running_view,
+                free,
+                now,
+            };
+            scheduler.schedule(&view, now)
+        }
+
+        /// Commit stage: validates and applies a decision — cancellations,
+        /// then preemptions, then placements — and settles outstanding
+        /// fault debt from post-decision free capacity.
+        #[allow(clippy::too_many_arguments)]
+        fn commit(
+            decision: &SchedulingDecision,
+            now: f64,
+            jobs: &[JobSpec],
+            cluster: &ClusterSpec,
+            index_of: &HashMap<JobId, usize>,
+            rng: &mut StdRng,
+            free: &mut [u32],
+            offline: &mut [u32],
+            owed: &mut [u32],
+            epochs: &mut [u32],
+            outcomes: &mut [JobOutcome],
+            pending: &mut Vec<usize>,
+            retry_at: &mut HashMap<usize, f64>,
+            running: &mut BTreeMap<JobId, Running>,
+            queue: &mut BinaryHeap<Event>,
+            seq: &mut u64,
+            wasted: &mut f64,
+            preemption_count: &mut usize,
+        ) -> Result<(), SimError> {
+            let parts = free.len();
+            // 1. Cancellations.
+            for id in &decision.cancellations {
+                let idx = *index_of.get(id).ok_or(SimError::BadJobReference {
+                    job: *id,
+                    action: "cancel",
+                })?;
+                let pos =
+                    pending
+                        .iter()
+                        .position(|&i| i == idx)
+                        .ok_or(SimError::BadJobReference {
+                            job: *id,
+                            action: "cancel",
+                        })?;
+                pending.remove(pos);
+                retry_at.remove(&idx);
+                outcomes[idx].state = JobState::Canceled;
+            }
+
+            // 2. Preemptions: free capacity, requeue the job.
+            //
+            // Reclaimed capacity is fully spendable by this same decision's
+            // placements: `SimulationView` cannot expose `owed`, so
+            // schedulers (and the feasibility oracle) necessarily assume
+            // preempted nodes are reusable. Outstanding fault debt is
+            // settled from whatever is still free *after* the decision is
+            // applied.
+            for id in &decision.preemptions {
+                let r = running.remove(id).ok_or(SimError::BadJobReference {
+                    job: *id,
+                    action: "preempt",
+                })?;
+                for (p, n) in &r.allocation {
+                    free[p.index()] += n;
+                }
+                epochs[r.idx] += 1;
+                outcomes[r.idx].preemptions += 1;
+                outcomes[r.idx].state = JobState::Pending;
+                let tasks: u32 = r.allocation.iter().map(|(_, n)| n).sum();
+                *wasted += (now - r.start).max(0.0) * tasks as f64;
+                pending.push(r.idx);
+                *preemption_count += 1;
+            }
+
+            // 3. Placements.
+            for pl in &decision.placements {
+                let idx = *index_of.get(&pl.job).ok_or(SimError::BadJobReference {
+                    job: pl.job,
+                    action: "place",
+                })?;
+                let pos =
+                    pending
+                        .iter()
+                        .position(|&i| i == idx)
+                        .ok_or(SimError::BadJobReference {
+                            job: pl.job,
+                            action: "place",
+                        })?;
+                let spec = &jobs[idx];
+                let total: u32 = pl.allocation.iter().map(|(_, n)| n).sum();
+                if total != spec.tasks || pl.allocation.iter().any(|(p, _)| p.index() >= parts) {
+                    return Err(SimError::BadAllocation { job: pl.job });
+                }
+                for (p, n) in &pl.allocation {
+                    if *n > free[p.index()] {
+                        return Err(SimError::OverCapacity { partition: *p });
+                    }
+                }
+                pending.remove(pos);
+                retry_at.remove(&idx);
+                for (p, n) in &pl.allocation {
+                    free[p.index()] -= n;
+                }
+                let base = spec.runtime_on(&pl.allocation);
+                let (start, runtime) = match cluster.rc_fidelity {
+                    None => (now, base),
+                    Some(fid) => {
+                        let z = standard_normal(rng);
+                        let jitter = (1.0 + fid.runtime_jitter_cov * z).max(0.3);
+                        (now + fid.placement_latency, base * jitter)
+                    }
+                };
+                let on_preferred = spec.preferred.as_ref().is_none_or(|pref| {
+                    pl.allocation
+                        .iter()
+                        .all(|(p, n)| *n == 0 || pref.contains(p))
+                });
+                epochs[idx] += 1;
+                let epoch = epochs[idx];
+                running.insert(
+                    pl.job,
+                    Running {
+                        idx,
+                        epoch,
+                        start,
+                        allocation: pl.allocation.clone(),
+                        measured_runtime: runtime,
+                        on_preferred,
+                    },
+                );
+                outcomes[idx].state = JobState::Running;
+                outcomes[idx].start_time = Some(start);
+                push_event(
+                    queue,
+                    seq,
+                    start + runtime,
+                    EventKind::Finish { job: idx, epoch },
+                );
+            }
+
+            // Settle outstanding fault debt from post-decision free capacity
+            // (preemptions above released nodes without paying it down).
+            for pi in 0..parts {
+                let seized = owed[pi].min(free[pi]);
+                owed[pi] -= seized;
+                offline[pi] += seized;
+                free[pi] -= seized;
+            }
+            Ok(())
+        }
+
+        let (mut outcomes, index_of) = ingest(jobs, parts, scheduler)?;
 
         let last_arrival = jobs.iter().map(|j| j.submit_time).fold(0.0, f64::max);
         let longest = jobs.iter().map(|j| j.duration).fold(0.0, f64::max);
@@ -699,23 +938,8 @@ impl Engine {
 
         let mut queue: BinaryHeap<Event> = BinaryHeap::new();
         let mut seq = 0u64;
-        let push = |q: &mut BinaryHeap<Event>, seq: &mut u64, time: f64, kind: EventKind| {
-            let class = match kind {
-                EventKind::Finish { .. } => 0,
-                EventKind::Fault { .. } => 1,
-                EventKind::Arrival { .. } => 2,
-                EventKind::Cycle => 3,
-            };
-            *seq += 1;
-            q.push(Event {
-                time,
-                class,
-                seq: *seq,
-                kind,
-            });
-        };
         for (i, j) in jobs.iter().enumerate() {
-            push(
+            push_event(
                 &mut queue,
                 &mut seq,
                 j.submit_time,
@@ -723,9 +947,9 @@ impl Engine {
             );
         }
         for (i, f) in self.config.faults.iter().enumerate() {
-            push(&mut queue, &mut seq, f.at(), EventKind::Fault { fault: i });
+            push_event(&mut queue, &mut seq, f.at(), EventKind::Fault { fault: i });
         }
-        push(&mut queue, &mut seq, 0.0, EventKind::Cycle);
+        push_event(&mut queue, &mut seq, 0.0, EventKind::Cycle);
 
         let mut pending: Vec<usize> = Vec::new();
         // Ordered map: fault handling and view/snapshot building iterate
@@ -873,152 +1097,36 @@ impl Engine {
                 },
                 EventKind::Cycle => {
                     cycles += 1;
-                    let decision = {
-                        // Deterministic view: running jobs sorted by id so
-                        // scheduler decisions (and float summation order)
-                        // never depend on hash-map iteration order.
-                        let mut running_view: Vec<RunningJob<'_>> = running
-                            .values()
-                            .map(|r| RunningJob {
-                                spec: &jobs[r.idx],
-                                start_time: r.start,
-                                allocation: &r.allocation,
-                            })
-                            .collect();
-                        running_view.sort_by_key(|r| r.spec.id);
-                        let view = SimulationView {
-                            cluster: &self.cluster,
-                            // Jobs backing off after a kill are withheld
-                            // from the scheduler until their retry time.
-                            pending: pending
-                                .iter()
-                                .filter(|&&i| retry_at.get(&i).is_none_or(|&t| t <= now))
-                                .map(|&i| &jobs[i])
-                                .collect(),
-                            running: running_view,
-                            free: &free,
-                            now,
-                        };
-                        scheduler.schedule(&view, now)
-                    };
-
-                    // 1. Cancellations.
-                    for id in &decision.cancellations {
-                        let idx = *index_of.get(id).ok_or(SimError::BadJobReference {
-                            job: *id,
-                            action: "cancel",
-                        })?;
-                        let pos = pending.iter().position(|&i| i == idx).ok_or(
-                            SimError::BadJobReference {
-                                job: *id,
-                                action: "cancel",
-                            },
-                        )?;
-                        pending.remove(pos);
-                        retry_at.remove(&idx);
-                        outcomes[idx].state = JobState::Canceled;
-                    }
-
-                    // 2. Preemptions: free capacity, requeue the job.
-                    //
-                    // Reclaimed capacity is fully spendable by this same
-                    // decision's placements: `SimulationView` cannot expose
-                    // `owed`, so schedulers (and the feasibility oracle)
-                    // necessarily assume preempted nodes are reusable.
-                    // Outstanding fault debt is settled from whatever is
-                    // still free *after* the decision is applied.
-                    for id in &decision.preemptions {
-                        let r = running.remove(id).ok_or(SimError::BadJobReference {
-                            job: *id,
-                            action: "preempt",
-                        })?;
-                        for (p, n) in &r.allocation {
-                            free[p.index()] += n;
-                        }
-                        epochs[r.idx] += 1;
-                        outcomes[r.idx].preemptions += 1;
-                        outcomes[r.idx].state = JobState::Pending;
-                        let tasks: u32 = r.allocation.iter().map(|(_, n)| n).sum();
-                        wasted += (now - r.start).max(0.0) * tasks as f64;
-                        pending.push(r.idx);
-                        preemption_count += 1;
-                    }
-
-                    // 3. Placements.
-                    for pl in &decision.placements {
-                        let idx = *index_of.get(&pl.job).ok_or(SimError::BadJobReference {
-                            job: pl.job,
-                            action: "place",
-                        })?;
-                        let pos = pending.iter().position(|&i| i == idx).ok_or(
-                            SimError::BadJobReference {
-                                job: pl.job,
-                                action: "place",
-                            },
-                        )?;
-                        let spec = &jobs[idx];
-                        let total: u32 = pl.allocation.iter().map(|(_, n)| n).sum();
-                        if total != spec.tasks
-                            || pl.allocation.iter().any(|(p, _)| p.index() >= parts)
-                        {
-                            return Err(SimError::BadAllocation { job: pl.job });
-                        }
-                        for (p, n) in &pl.allocation {
-                            if *n > free[p.index()] {
-                                return Err(SimError::OverCapacity { partition: *p });
-                            }
-                        }
-                        pending.remove(pos);
-                        retry_at.remove(&idx);
-                        for (p, n) in &pl.allocation {
-                            free[p.index()] -= n;
-                        }
-                        let base = spec.runtime_on(&pl.allocation);
-                        let (start, runtime) = match self.cluster.rc_fidelity {
-                            None => (now, base),
-                            Some(fid) => {
-                                let z = standard_normal(&mut rng);
-                                let jitter = (1.0 + fid.runtime_jitter_cov * z).max(0.3);
-                                (now + fid.placement_latency, base * jitter)
-                            }
-                        };
-                        let on_preferred = spec.preferred.as_ref().is_none_or(|pref| {
-                            pl.allocation
-                                .iter()
-                                .all(|(p, n)| *n == 0 || pref.contains(p))
-                        });
-                        epochs[idx] += 1;
-                        let epoch = epochs[idx];
-                        running.insert(
-                            pl.job,
-                            Running {
-                                idx,
-                                epoch,
-                                start,
-                                allocation: pl.allocation.clone(),
-                                measured_runtime: runtime,
-                                on_preferred,
-                            },
-                        );
-                        outcomes[idx].state = JobState::Running;
-                        outcomes[idx].start_time = Some(start);
-                        push(
-                            &mut queue,
-                            &mut seq,
-                            start + runtime,
-                            EventKind::Finish { job: idx, epoch },
-                        );
-                    }
-
-                    // Settle outstanding fault debt from post-decision free
-                    // capacity (preemptions above released nodes without
-                    // paying it down).
-                    for pi in 0..parts {
-                        let seized = owed[pi].min(free[pi]);
-                        owed[pi] -= seized;
-                        offline[pi] += seized;
-                        free[pi] -= seized;
-                    }
+                    let decision = decide(
+                        &self.cluster,
+                        jobs,
+                        &pending,
+                        &retry_at,
+                        &running,
+                        &free,
+                        now,
+                        scheduler,
+                    );
+                    commit(
+                        &decision,
+                        now,
+                        jobs,
+                        &self.cluster,
+                        &index_of,
+                        &mut rng,
+                        &mut free,
+                        &mut offline,
+                        &mut owed,
+                        &mut epochs,
+                        &mut outcomes,
+                        &mut pending,
+                        &mut retry_at,
+                        &mut running,
+                        &mut queue,
+                        &mut seq,
+                        &mut wasted,
+                        &mut preemption_count,
+                    )?;
 
                     {
                         let mut snapshot_running: Vec<SnapshotRunning<'_>> = running
@@ -1051,7 +1159,7 @@ impl Engine {
                         .iter()
                         .any(|e| matches!(e.kind, EventKind::Arrival { .. }));
                     if !pending.is_empty() || !running.is_empty() || arrivals_remain {
-                        push(
+                        push_event(
                             &mut queue,
                             &mut seq,
                             now + self.config.cycle_interval,
@@ -1072,6 +1180,34 @@ impl Engine {
             wasted_machine_seconds: wasted,
         })
     }
+}
+
+/// Relative tolerance for retry-backoff eligibility at a cycle boundary.
+///
+/// Cycle ticks are produced by repeated `now + cycle_interval` additions, so
+/// a tick nominally at `t` can sit a few ulps below the `kill_time + delay`
+/// retry timestamp computed for the same instant. The gate compares against
+/// `now + RETRY_TICK_TOLERANCE * max(|now|, 1)` so an on-tick expiry
+/// re-pends on that tick. The tolerance (~1 ns at t = 1 s) is far below any
+/// meaningful backoff granularity and far above accumulated f64 drift.
+const RETRY_TICK_TOLERANCE: f64 = 1e-9;
+
+/// Pushes an event with the deterministic same-time ordering class
+/// (Finish < Fault < Arrival < Cycle) and a FIFO tie-break sequence.
+fn push_event(q: &mut BinaryHeap<Event>, seq: &mut u64, time: f64, kind: EventKind) {
+    let class = match kind {
+        EventKind::Finish { .. } => 0,
+        EventKind::Fault { .. } => 1,
+        EventKind::Arrival { .. } => 2,
+        EventKind::Cycle => 3,
+    };
+    *seq += 1;
+    q.push(Event {
+        time,
+        class,
+        seq: *seq,
+        kind,
+    });
 }
 
 /// Standard normal via Box–Muller (keeps the dependency surface to `rand`).
@@ -1936,6 +2072,72 @@ mod tests {
         let m = engine.run(&jobs, &mut Fifo).unwrap();
         assert_eq!(m.kills, 0);
         assert_eq!(m.outcomes[0].state, JobState::Completed);
+    }
+
+    #[test]
+    fn retry_expiring_exactly_on_tick_repends_that_cycle() {
+        // Cycle ticks accumulate `now + 0.1` float drift: the 8th tick is
+        // 0.7999999999999999, a few ulps below the exact retry time
+        // 0.5 + 0.3 = 0.8. The eligibility gate must tolerate that drift so
+        // the retry re-pends on that tick instead of one full cycle later.
+        let engine = Engine::new(
+            ClusterSpec::uniform(1, 4),
+            EngineConfig {
+                cycle_interval: 0.1,
+                faults: vec![FaultEvent::TaskKill {
+                    at: 0.5,
+                    job: JobId(1),
+                }],
+                retry: RetryPolicy {
+                    max_retries: 3,
+                    backoff_base: 0.3,
+                    backoff_cap: 300.0,
+                },
+                ..EngineConfig::default()
+            },
+        );
+        let jobs = vec![be(1, 0.0, 2, 5.0)];
+        let m = engine.run(&jobs, &mut Fifo).unwrap();
+        let o = &m.outcomes[0];
+        assert_eq!(o.state, JobState::Completed);
+        assert_eq!(o.kills, 1);
+        let restart = o.start_time.unwrap();
+        assert!(
+            (restart - 0.8).abs() < 0.05,
+            "retry restarted at {restart}, not on the t≈0.8 tick"
+        );
+    }
+
+    #[test]
+    fn cluster_beyond_scheduler_limit_is_a_typed_error() {
+        /// FIFO with a declared 128-partition representation ceiling.
+        struct Capped;
+        impl Scheduler for Capped {
+            fn schedule(&mut self, view: &SimulationView<'_>, now: f64) -> SchedulingDecision {
+                Fifo.schedule(view, now)
+            }
+            fn max_partitions(&self) -> Option<usize> {
+                Some(128)
+            }
+        }
+        // 127 and 128 partitions are accepted and schedule normally.
+        for racks in [127, 128] {
+            let engine = Engine::new(ClusterSpec::uniform(racks, 1), EngineConfig::default());
+            let jobs = vec![be(1, 0.0, 2, 10.0)];
+            let m = engine.run(&jobs, &mut Capped).unwrap();
+            assert_eq!(m.count(JobState::Completed), 1, "{racks} racks");
+        }
+        // 129 partitions are rejected at ingest, before any event runs.
+        let engine = Engine::new(ClusterSpec::uniform(129, 1), EngineConfig::default());
+        let jobs = vec![be(1, 0.0, 2, 10.0)];
+        let err = engine.run(&jobs, &mut Capped).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::ClusterTooLarge {
+                partitions: 129,
+                max: 128
+            }
+        );
     }
 
     #[test]

@@ -175,6 +175,9 @@ pub struct CycleTraceWriter {
     /// attached; the scheduler flushes its metrics inside `schedule()`,
     /// before the engine calls `on_cycle`, so the gauge is current.
     level: Option<threesigma_obs::Gauge>,
+    /// Resolved `sched_shards` gauge; same lifecycle as `level`. Reads 0
+    /// for schedulers that never publish it (non-MILP baselines).
+    shards: Option<threesigma_obs::Gauge>,
 }
 
 impl CycleTraceWriter {
@@ -194,6 +197,10 @@ impl CycleTraceWriter {
             self.level = Some(recorder.gauge(
                 "sched_degradation_level",
                 "Current degradation-ladder level (0 = full MILP, 2 = backfill)",
+            ));
+            self.shards = Some(recorder.gauge(
+                "sched_shards",
+                "Configured worker shards for the decide stage",
             ));
         }
         self
@@ -220,11 +227,12 @@ impl CycleObserver for CycleTraceWriter {
     fn on_cycle(&mut self, snapshot: &EngineSnapshot<'_>) {
         let s = snapshot.cycle_stats();
         let level = self.level.as_ref().map_or(0.0, |g| g.get()) as u8;
+        let shards = self.shards.as_ref().map_or(0.0, |g| g.get()) as u64;
         self.lines.push(format!(
             "{{\"cycle\":{},\"now\":{},\"queue_depth\":{},\"running\":{},\"free_nodes\":{},\
              \"offline_nodes\":{},\"fault_debt_nodes\":{},\"capacity_nodes\":{},\
              \"utilization\":{},\"placements\":{},\"preemptions\":{},\"cancellations\":{},\
-             \"degradation_level\":{}}}",
+             \"shards\":{},\"degradation_level\":{}}}",
             s.cycle,
             s.now,
             s.queue_depth,
@@ -237,6 +245,7 @@ impl CycleObserver for CycleTraceWriter {
             s.placements,
             s.preemptions,
             s.cancellations,
+            shards,
             level,
         ));
     }
@@ -436,11 +445,12 @@ mod tests {
         // One trace line per cycle, and the whole run replays byte-stable.
         assert_eq!(writer.lines().len(), r.metrics.cycles);
         assert!(writer.lines()[0].starts_with("{\"cycle\":1,"));
-        // Unbudgeted run: the governor stays at level 0 on every line.
+        // Unbudgeted run: the governor stays at level 0 on every line, and
+        // the default single-shard configuration is traced alongside it.
         assert!(writer
             .lines()
             .iter()
-            .all(|l| l.ends_with("\"degradation_level\":0}")));
+            .all(|l| l.ends_with("\"shards\":1,\"degradation_level\":0}")));
         let rec2 = Recorder::enabled();
         let mut writer2 = CycleTraceWriter::new().with_recorder(&rec2);
         let r2 =

@@ -356,4 +356,24 @@ mod tests {
         assert_eq!(m.completion_rate(), 1.0);
         assert_eq!(m.slo_miss_pct(), 0.0);
     }
+
+    #[test]
+    fn mask_free_backfill_scales_past_the_rack_mask_ceiling() {
+        // Backfill plans on raw free lists, not RackMasks, so it has no
+        // 128-rack ceiling and reports no `max_partitions` limit: a
+        // 200-rack cluster must be accepted and scheduled as-is.
+        let mut s = oracle();
+        assert_eq!(
+            threesigma_cluster::Scheduler::max_partitions(&s),
+            None,
+            "backfill is mask-free — no scale ceiling to declare"
+        );
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 150, 60.0, JobKind::BestEffort),
+            JobSpec::new(2, 0.0, 10, 60.0, JobKind::Slo { deadline: 2000.0 }),
+        ];
+        let m = engine(200, 1).run(&jobs, &mut s).unwrap();
+        assert_eq!(m.completion_rate(), 1.0);
+        assert_eq!(m.slo_miss_pct(), 0.0);
+    }
 }

@@ -109,6 +109,23 @@ impl std::fmt::Display for FeasibilityViolation {
     }
 }
 
+/// Static node capacity of a group-local `mask` within the mask group that
+/// starts at partition `group_start` and spans `group_len` racks: mask bit
+/// `i` refers to partition `group_start + i`. On a single-group cluster
+/// (`group_start == 0`, `group_len == num_partitions`) this is exactly the
+/// capacity of the mask's racks.
+pub(crate) fn mask_capacity(
+    cluster: &threesigma_cluster::ClusterSpec,
+    group_start: usize,
+    group_len: usize,
+    mask: crate::sched::options::RackMask,
+) -> u32 {
+    (0..group_len)
+        .filter(|i| mask.contains(*i))
+        .map(|i| cluster.partition_size(threesigma_cluster::PartitionId(group_start + i)))
+        .sum()
+}
+
 /// Checks an extracted `decision` against the raw capacity rows of the
 /// `view` it was derived from. Returns every violation found (empty =
 /// feasible). A feasible decision is exactly one the engine will apply

@@ -11,4 +11,5 @@ pub mod clock;
 pub mod feasibility;
 pub mod options;
 pub mod prio;
+pub mod shard;
 pub mod threesigma;

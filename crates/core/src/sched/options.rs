@@ -22,13 +22,15 @@
 //!   from its equivalence set and have started by its slot — instead of
 //!   scanning every option for every (set, slot) pair.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+use std::time::Duration;
 
 use threesigma_cluster::{JobId, PartitionId};
 use threesigma_milp::VarId;
 
 use crate::dist::DiscreteDist;
+use crate::sched::clock::Stopwatch;
 use crate::utility::UtilityCurve;
 
 /// A set of rack partitions as a fixed-width (128-bit) bitmask.
@@ -433,15 +435,83 @@ pub(crate) fn generate(
     out.into_iter().flatten().collect()
 }
 
+/// Like [`generate`], but fans out over exactly `shards` deterministic
+/// worker shards behind a bounded channel, pipelining the ordered merge.
+///
+/// Each shard owns a contiguous slice of the (job-ordered) inputs and
+/// streams `(shard id, elapsed, results)` into a `sync_channel`; the
+/// consumer appends results in ascending shard id — stashing any shard that
+/// finishes early — so the merge of shard *k* overlaps the enumeration of
+/// shards *> k* instead of waiting on a full barrier. Per-job valuation is
+/// pure, the shard split is a function of `(n, shards)` alone, and the merge
+/// order is total, so the output is byte-identical to a sequential pass at
+/// every shard count.
+///
+/// Returns the merged per-job options plus each shard's enumeration wall
+/// time (budget telemetry only — never fed back into decisions).
+pub(crate) fn generate_sharded(
+    inputs: &[GenInput],
+    slots: &[f64],
+    max_options: Option<usize>,
+    shards: usize,
+) -> (Vec<JobOptions>, Vec<Duration>) {
+    let n = inputs.len();
+    if shards <= 1 || n < 2 {
+        let sw = Stopwatch::start();
+        let out = generate(inputs, slots, max_options);
+        return (out, vec![sw.elapsed()]);
+    }
+    let chunk = n.div_ceil(shards.min(n));
+    let num_shards = n.div_ceil(chunk);
+    let mut merged: Vec<JobOptions> = Vec::with_capacity(n);
+    let mut durations = vec![Duration::ZERO; num_shards];
+    std::thread::scope(|s| {
+        // Bounded: a shard racing far ahead of the merge blocks instead of
+        // buffering the whole cycle's output at once.
+        let (tx, rx) = std::sync::mpsc::sync_channel::<(usize, Duration, Vec<JobOptions>)>(2);
+        for (shard_id, ch) in inputs.chunks(chunk).enumerate() {
+            let tx = tx.clone();
+            s.spawn(move || {
+                let sw = Stopwatch::start();
+                let out: Vec<JobOptions> = ch
+                    .iter()
+                    .map(|g| generate_one(g, slots, max_options))
+                    .collect();
+                // Send fails only if the merge side panicked; nothing to
+                // salvage from a worker thread in that case.
+                let _ = tx.send((shard_id, sw.elapsed(), out));
+            });
+        }
+        drop(tx);
+        // Deterministic ordered merge: ascending shard id, which is job
+        // order because shard slices are contiguous.
+        let mut next = 0usize;
+        let mut stash: BTreeMap<usize, (Duration, Vec<JobOptions>)> = BTreeMap::new();
+        while let Ok((shard_id, took, out)) = rx.recv() {
+            stash.insert(shard_id, (took, out));
+            while let Some((took, out)) = stash.remove(&next) {
+                durations[next] = took;
+                merged.extend(out);
+                next += 1;
+            }
+        }
+    });
+    (merged, durations)
+}
+
 /// A generated option compiled into the MILP (has a binary variable).
 pub(crate) struct CompiledOption {
     /// Index into the cycle's considered-job list.
     pub job_idx: usize,
+    /// Mask group the option's coordinates live in: `mask` bit *i* means
+    /// group-local rack *i* (global partition `group_start + i`). Always 0
+    /// on clusters that fit a single [`RackMask`].
+    pub group: usize,
     /// The option's binary indicator in the MILP.
     pub var: VarId,
     /// Start-slot index.
     pub slot: usize,
-    /// Equivalence set.
+    /// Equivalence set (group-local coordinates).
     pub mask: RackMask,
     /// Scaled distribution for consumption rows.
     pub dist: Arc<DiscreteDist>,
@@ -449,40 +519,48 @@ pub(crate) struct CompiledOption {
     pub tasks: f64,
 }
 
-/// Options indexed by (equivalence-set mask, start slot), built once per
-/// cycle so each capacity row iterates only the options that can consume
-/// from its set and have started by its slot.
+/// Options indexed by (mask group, equivalence-set mask, start slot), built
+/// once per cycle so each capacity row iterates only the options that can
+/// consume from its set and have started by its slot. Masks in different
+/// groups use independent local coordinates and never mix.
 pub(crate) struct OptionBuckets {
-    masks: Vec<RackMask>,
-    /// `buckets[mask_id][slot]` → indices into the compiled-option vec.
+    keys: Vec<(usize, RackMask)>,
+    /// `buckets[key_id][slot]` → indices into the compiled-option vec.
     buckets: Vec<Vec<Vec<usize>>>,
 }
 
 impl OptionBuckets {
-    /// Groups `options` by (mask, slot).
+    /// Groups `options` by (group, mask, slot).
     pub fn build(options: &[CompiledOption], num_slots: usize) -> Self {
-        let mut masks: Vec<RackMask> = Vec::new();
+        let mut keys: Vec<(usize, RackMask)> = Vec::new();
         let mut buckets: Vec<Vec<Vec<usize>>> = Vec::new();
         for (i, opt) in options.iter().enumerate() {
-            let mid = match masks.iter().position(|&m| m == opt.mask) {
+            let key = (opt.group, opt.mask);
+            let mid = match keys.iter().position(|&k| k == key) {
                 Some(m) => m,
                 None => {
-                    masks.push(opt.mask);
+                    keys.push(key);
                     buckets.push(vec![Vec::new(); num_slots]);
-                    masks.len() - 1
+                    keys.len() - 1
                 }
             };
             buckets[mid][opt.slot].push(i);
         }
-        Self { masks, buckets }
+        Self { keys, buckets }
     }
 
-    /// Visits every option whose equivalence set is contained in `space`
-    /// and whose start slot is at most `slot` — exactly the options a
-    /// capacity row for (`space`, `slot`) must charge.
-    pub fn for_each_contained(&self, space: RackMask, slot: usize, mut f: impl FnMut(usize)) {
-        for (mid, mask) in self.masks.iter().enumerate() {
-            if !mask.is_subset_of(space) {
+    /// Visits every option in `group` whose equivalence set is contained in
+    /// `space` and whose start slot is at most `slot` — exactly the options
+    /// a capacity row for (`group`, `space`, `slot`) must charge.
+    pub fn for_each_contained(
+        &self,
+        group: usize,
+        space: RackMask,
+        slot: usize,
+        mut f: impl FnMut(usize),
+    ) {
+        for (mid, (g, mask)) in self.keys.iter().enumerate() {
+            if *g != group || !mask.is_subset_of(space) {
                 continue;
             }
             for bucket in self.buckets[mid].iter().take(slot + 1) {
@@ -776,6 +854,7 @@ mod tests {
         let mut model = threesigma_milp::Model::new();
         let mut mk = |job_idx, slot, mask| CompiledOption {
             job_idx,
+            group: 0,
             var: model.add_binary(0.0),
             slot,
             mask,
@@ -795,7 +874,7 @@ mod tests {
         let buckets = OptionBuckets::build(&options, 3);
         let collect = |space, slot| {
             let mut got = Vec::new();
-            buckets.for_each_contained(space, slot, |oi| got.push(oi));
+            buckets.for_each_contained(0, space, slot, |oi| got.push(oi));
             got.sort_unstable();
             got
         };
@@ -807,5 +886,75 @@ mod tests {
         // Full cluster: everything started by the slot.
         assert_eq!(collect(full, 0), vec![0, 2]);
         assert_eq!(collect(full, 2), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn buckets_never_mix_mask_groups() {
+        // Identical local masks in different groups address different
+        // physical racks; a capacity row for group 1 must not charge group
+        // 0's options even though the bit patterns match.
+        let d = Arc::new(DiscreteDist::point(10.0));
+        let mut model = threesigma_milp::Model::new();
+        let mut mk = |job_idx, group, mask| CompiledOption {
+            job_idx,
+            group,
+            var: model.add_binary(0.0),
+            slot: 0,
+            mask,
+            dist: d.clone(),
+            tasks: 1.0,
+        };
+        let local = RackMask::all(2);
+        let options = vec![mk(0, 0, local), mk(1, 1, local), mk(2, 1, local)];
+        let buckets = OptionBuckets::build(&options, 1);
+        let collect = |group| {
+            let mut got = Vec::new();
+            buckets.for_each_contained(group, local, 0, |oi| got.push(oi));
+            got.sort_unstable();
+            got
+        };
+        assert_eq!(collect(0), vec![0]);
+        assert_eq!(collect(1), vec![1, 2]);
+        assert_eq!(collect(2), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn sharded_generation_is_byte_identical_across_shard_counts() {
+        let slots = [0.0, 60.0, 120.0, 180.0];
+        let inputs: Vec<GenInput> = (0..23)
+            .map(|i| GenInput {
+                spaces: vec![
+                    (
+                        RackMask::single(i % 5),
+                        Arc::new(DiscreteDist::point(40.0 + i as f64)),
+                    ),
+                    (
+                        RackMask::all(8),
+                        Arc::new(DiscreteDist::point((40.0 + i as f64) * 1.5)),
+                    ),
+                ],
+                curve: UtilityCurve::SloStep {
+                    weight: 10.0,
+                    deadline: 250.0 + i as f64,
+                },
+            })
+            .collect();
+        let baseline = generate(&inputs, &slots, Some(5));
+        for shards in [1usize, 2, 3, 8, 64] {
+            let (sharded, durations) = generate_sharded(&inputs, &slots, Some(5), shards);
+            assert_eq!(sharded.len(), baseline.len(), "shards={shards}");
+            assert!(!durations.is_empty() && durations.len() <= shards.max(1));
+            for (a, b) in sharded.iter().zip(&baseline) {
+                assert_eq!(a.best_utility.to_bits(), b.best_utility.to_bits());
+                assert_eq!(a.enumerated, b.enumerated);
+                assert_eq!(a.pruned, b.pruned);
+                assert_eq!(a.options.len(), b.options.len());
+                for (x, y) in a.options.iter().zip(&b.options) {
+                    assert_eq!(x.slot, y.slot);
+                    assert_eq!(x.mask, y.mask);
+                    assert_eq!(x.utility.to_bits(), y.utility.to_bits());
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,224 @@
+//! Shard planning for the sharded decide stage.
+//!
+//! Two distinct concepts meet here:
+//!
+//! * **Worker shards** — how many threads fan out over option enumeration
+//!   ([`crate::SchedConfig::shards`]). Purely a parallelism knob: work is
+//!   split deterministically and merged back in shard order, so results are
+//!   byte-identical at every shard count.
+//! * **Mask groups** — contiguous partition (rack) ranges small enough for a
+//!   group-local [`RackMask`], i.e. at most [`RackMask::MAX_RACKS`] racks
+//!   each. Groups exist to lift the 128-rack mask ceiling: mask bit `i`
+//!   inside group `g` refers to partition `start(g) + i`.
+//!
+//! On clusters that fit a single mask group (≤ 128 racks — every corpus
+//! scenario) the plan degenerates to one group spanning every rack, local
+//! coordinates equal global coordinates, and the sharded pipeline is
+//! bit-identical to the sequential path. On larger clusters each job is
+//! *homed* to one group (first preferred rack's group, or a deterministic
+//! spread by job id) and its placement options are enumerated against that
+//! group's local mask space only.
+
+use crate::sched::options::RackMask;
+use threesigma_cluster::{JobSpec, PartitionId};
+
+/// Deterministic partition-to-group layout for one cluster size.
+///
+/// Groups are contiguous, cover every partition exactly once, and are sized
+/// as evenly as possible (larger groups first), so the layout is a pure
+/// function of `(num_partitions, shards)`.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    num_partitions: usize,
+    /// `(start, len)` per group, in ascending partition order.
+    groups: Vec<(usize, usize)>,
+}
+
+impl ShardPlan {
+    /// Builds the layout for `num_partitions` racks under `shards` workers.
+    ///
+    /// Clusters that fit one mask group get exactly one group regardless of
+    /// the worker count — sharding the *work* never changes the *mask
+    /// coordinates*, which is what keeps digests shard-invariant. Larger
+    /// clusters get `max(shards, ceil(n / MAX_RACKS))` groups (clamped to
+    /// `n`) so every group fits a `RackMask`.
+    pub fn new(num_partitions: usize, shards: usize) -> Self {
+        let n = num_partitions.max(1);
+        let num_groups = if n <= RackMask::MAX_RACKS {
+            1
+        } else {
+            shards.max(n.div_ceil(RackMask::MAX_RACKS)).min(n)
+        };
+        let base = n / num_groups;
+        let rem = n % num_groups;
+        let mut groups = Vec::with_capacity(num_groups);
+        let mut start = 0;
+        for g in 0..num_groups {
+            let len = base + usize::from(g < rem);
+            groups.push((start, len));
+            start += len;
+        }
+        debug_assert_eq!(start, n, "groups must tile the cluster");
+        Self {
+            num_partitions: n,
+            groups,
+        }
+    }
+
+    /// Number of mask groups (1 on every ≤128-rack cluster).
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// `(start, len)` of group `g` in global partition coordinates.
+    pub fn group_range(&self, g: usize) -> (usize, usize) {
+        self.groups[g]
+    }
+
+    /// The group containing global partition `p`.
+    pub fn group_of(&self, p: PartitionId) -> usize {
+        debug_assert!(p.index() < self.num_partitions, "partition out of range");
+        // Larger groups come first, so a partition at index i is in group
+        // i / (base+1) until the remainder runs out, then strides by base.
+        match self.groups.binary_search_by(|&(start, len)| {
+            if p.index() < start {
+                std::cmp::Ordering::Greater
+            } else if p.index() >= start + len {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(g) => g,
+            Err(_) => unreachable!("groups tile the cluster"),
+        }
+    }
+
+    /// The group a job's options are enumerated in: the group of its first
+    /// preferred rack, else a deterministic spread by job id.
+    pub fn home_group(&self, spec: &JobSpec) -> usize {
+        if self.groups.len() == 1 {
+            return 0;
+        }
+        if let Some(p) = spec.preferred.as_ref().and_then(|ps| ps.first()) {
+            if p.index() < self.num_partitions {
+                return self.group_of(*p);
+            }
+        }
+        (spec.id.0 % self.groups.len() as u64) as usize
+    }
+
+    /// Global partition → group-local mask bit (caller guarantees membership).
+    pub fn to_local(&self, g: usize, p: PartitionId) -> usize {
+        let (start, len) = self.groups[g];
+        debug_assert!(
+            p.index() >= start && p.index() < start + len,
+            "partition {p:?} outside group {g}"
+        );
+        p.index() - start
+    }
+
+    /// Group-local mask bit → global partition.
+    pub fn to_global(&self, g: usize, local: usize) -> PartitionId {
+        let (start, len) = self.groups[g];
+        debug_assert!(local < len, "local index {local} outside group {g}");
+        PartitionId(start + local)
+    }
+
+    /// Full mask of group `g` (all racks in the group).
+    pub fn group_mask(&self, g: usize) -> RackMask {
+        RackMask::all(self.groups[g].1)
+    }
+
+    /// Largest cluster (in racks) a scheduler configured with `shards`
+    /// workers accepts: each worker contributes one mask group of capacity
+    /// [`RackMask::MAX_RACKS`].
+    pub fn max_partitions(shards: usize) -> usize {
+        shards.max(1) * RackMask::MAX_RACKS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use threesigma_cluster::JobKind;
+
+    fn be(id: u64) -> JobSpec {
+        JobSpec::new(id, 0.0, 1, 10.0, JobKind::BestEffort)
+    }
+
+    #[test]
+    fn small_cluster_is_one_group_regardless_of_shards() {
+        for shards in [1, 2, 8, 64] {
+            let plan = ShardPlan::new(4, shards);
+            assert_eq!(plan.num_groups(), 1);
+            assert_eq!(plan.group_range(0), (0, 4));
+            assert_eq!(plan.home_group(&be(7)), 0);
+            assert_eq!(plan.to_local(0, PartitionId(3)), 3);
+            assert_eq!(plan.to_global(0, 3), PartitionId(3));
+        }
+    }
+
+    #[test]
+    fn boundary_128_is_one_group_129_splits() {
+        assert_eq!(ShardPlan::new(128, 8).num_groups(), 1);
+        let plan = ShardPlan::new(129, 2);
+        assert_eq!(plan.num_groups(), 2);
+        assert_eq!(plan.group_range(0), (0, 65));
+        assert_eq!(plan.group_range(1), (65, 64));
+    }
+
+    #[test]
+    fn groups_tile_and_fit_masks() {
+        for (n, shards) in [(129, 1), (1000, 2), (12_584, 8), (300, 300)] {
+            let plan = ShardPlan::new(n, shards);
+            let mut covered = 0;
+            for g in 0..plan.num_groups() {
+                let (start, len) = plan.group_range(g);
+                assert_eq!(start, covered, "groups must be contiguous");
+                assert!((1..=RackMask::MAX_RACKS).contains(&len));
+                covered += len;
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn group_of_agrees_with_ranges() {
+        let plan = ShardPlan::new(1000, 3);
+        for g in 0..plan.num_groups() {
+            let (start, len) = plan.group_range(g);
+            for p in [start, start + len - 1] {
+                assert_eq!(plan.group_of(PartitionId(p)), g);
+            }
+        }
+    }
+
+    #[test]
+    fn home_group_follows_preference_then_id() {
+        let plan = ShardPlan::new(256, 2);
+        assert_eq!(plan.num_groups(), 2);
+        let j = be(1).with_preference(vec![PartitionId(200)], 1.5);
+        assert_eq!(plan.home_group(&j), 1);
+        // No preference: deterministic spread by id.
+        assert_eq!(plan.home_group(&be(4)), 0);
+        assert_eq!(plan.home_group(&be(5)), 1);
+    }
+
+    #[test]
+    fn max_partitions_scales_with_shards() {
+        assert_eq!(ShardPlan::max_partitions(0), 128);
+        assert_eq!(ShardPlan::max_partitions(1), 128);
+        assert_eq!(ShardPlan::max_partitions(8), 1024);
+    }
+
+    #[test]
+    fn local_global_roundtrip() {
+        let plan = ShardPlan::new(12_584, 8);
+        for g in 0..plan.num_groups() {
+            let (start, len) = plan.group_range(g);
+            assert_eq!(plan.to_local(g, plan.to_global(g, 0)), 0);
+            assert_eq!(plan.to_local(g, PartitionId(start + len - 1)), len - 1);
+        }
+    }
+}

@@ -42,9 +42,11 @@ use threesigma_obs::{Counter, Gauge, Histogram, Recorder};
 use threesigma_predict::{AttributeSource, EstimatorKind, Predictor, PredictorConfig};
 
 use crate::dist::DiscreteDist;
+use crate::sched::feasibility::mask_capacity;
 use crate::sched::options::{
     self, CacheStats, CompiledOption, EstimateCache, GenInput, OptionBuckets, RackMask,
 };
+use crate::sched::shard::ShardPlan;
 use crate::utility::UtilityCurve;
 
 /// Where runtime estimates come from (Table 1).
@@ -168,6 +170,14 @@ pub struct SchedConfig {
     /// ladder back *down* one level (hysteresis, so a load spike straddling
     /// the budget doesn't flap between levels every cycle).
     pub budget_hysteresis: u32,
+    /// Deterministic worker shards for the decide stage. Option enumeration
+    /// fans out over exactly this many shards behind a bounded channel with
+    /// an ordered merge, so results are byte-identical at every count. Also
+    /// widens the representable cluster: each shard contributes one
+    /// ≤128-rack mask group, so the scheduler accepts up to
+    /// `shards × RackMask::MAX_RACKS` partitions (see
+    /// [`crate::ShardPlan`]).
+    pub shards: usize,
 }
 
 impl Default for SchedConfig {
@@ -195,6 +205,7 @@ impl Default for SchedConfig {
             record_plans: false,
             cycle_budget: CycleBudget::Unlimited,
             budget_hysteresis: 3,
+            shards: 1,
         }
     }
 }
@@ -265,8 +276,12 @@ pub struct CycleTiming {
     pub level: u8,
     /// Deterministic cycle cost in work units (options valued + solver
     /// nodes expanded) — what [`CycleBudget::WorkUnits`] is charged
-    /// against.
+    /// against. Shard-invariant: costs are summed after the ordered merge,
+    /// so the budget is attached to the cycle that spent the work no matter
+    /// how the enumeration was fanned out.
     pub cost_units: u64,
+    /// Configured worker shards the decide stage fanned out over.
+    pub shards: usize,
 }
 
 /// Exp-inc under-estimate state for one running attempt (§4.2.1).
@@ -383,6 +398,8 @@ struct SchedMetrics {
     solve_seconds: Histogram,
     extract_seconds: Histogram,
     cycle_seconds: Histogram,
+    shards: Gauge,
+    shard_generate_seconds: Histogram,
 }
 
 impl SchedMetrics {
@@ -476,10 +493,24 @@ impl SchedMetrics {
                 "Placement extraction stage latency per cycle",
             ),
             cycle_seconds: rec.timer("sched_cycle_seconds", "Whole scheduling cycle latency"),
+            shards: rec.gauge(
+                "sched_shards",
+                "Configured worker shards for the decide stage",
+            ),
+            shard_generate_seconds: rec.timer(
+                "sched_shard_generate_seconds",
+                "Per-shard option-enumeration latency within a cycle",
+            ),
         }
     }
 
-    fn flush(&self, stats: &SchedStats, predictor: &Predictor, timing: &CycleTiming) {
+    fn flush(
+        &self,
+        stats: &SchedStats,
+        predictor: &Predictor,
+        timing: &CycleTiming,
+        shard_durations: &[Duration],
+    ) {
         self.cycles.set_total(stats.cycles);
         self.options_enumerated.set_total(stats.options_enumerated);
         self.options_pruned.set_total(stats.options_pruned);
@@ -515,6 +546,10 @@ impl SchedMetrics {
         self.solve_seconds.observe_duration(timing.solver);
         self.extract_seconds.observe_duration(timing.extract);
         self.cycle_seconds.observe_duration(timing.total);
+        self.shards.set(timing.shards as f64);
+        for d in shard_durations {
+            self.shard_generate_seconds.observe_duration(*d);
+        }
     }
 }
 
@@ -815,6 +850,12 @@ fn slot_times(now: f64, width: f64, slots: usize) -> Vec<f64> {
 }
 
 impl Scheduler for ThreeSigmaScheduler {
+    fn max_partitions(&self) -> Option<usize> {
+        // One RackMask-sized group per configured shard; the engine rejects
+        // larger cluster specs at ingest with a typed error.
+        Some(ShardPlan::max_partitions(self.config.shards))
+    }
+
     fn on_job_submitted(&mut self, spec: &JobSpec, _now: f64) {
         let d = estimate_dist(&self.source, &self.predictor, self.config.mass_points, spec);
         // Seed the cache; the entry is lazily refreshed every time the
@@ -916,6 +957,7 @@ impl Scheduler for ThreeSigmaScheduler {
                 nodes: 0,
                 level,
                 cost_units: 0,
+                shards: cfg.shards.max(1),
             };
             governor.last_cost = Some((timing.cost_units, timing.total));
             if let Some(obs) = obs {
@@ -923,7 +965,7 @@ impl Scheduler for ThreeSigmaScheduler {
                     cache: cache.stats(),
                     ..*totals
                 };
-                obs.flush(&stats, predictor, &timing);
+                obs.flush(&stats, predictor, &timing, &[]);
             }
             timings.push(timing);
             return decision;
@@ -957,45 +999,80 @@ impl Scheduler for ThreeSigmaScheduler {
         order.truncate(max_jobs);
         let considered: Vec<&JobSpec> = order.iter().map(|&i| view.pending[i]).collect();
 
-        let full_mask = RackMask::all(view.cluster.num_partitions());
+        // Partition → mask-group layout. Clusters that fit one RackMask get
+        // a single group whose local coordinates equal global coordinates —
+        // the sharded path is then bit-identical to the sequential one.
+        // Larger clusters split into contiguous ≤128-rack groups and every
+        // job is homed to exactly one group.
+        let plan = ShardPlan::new(view.cluster.num_partitions(), cfg.shards);
+        let multi_group = plan.num_groups() > 1;
         let slots = slot_times(now, cfg.slot_width, plan_slots);
 
-        // Distinct equivalence-set masks that need capacity rows.
-        let mut space_masks: Vec<RackMask> = vec![full_mask];
+        // Distinct (group, equivalence-set mask) pairs that need capacity
+        // rows: each group's full mask first, then per-job preferred masks.
+        let mut space_masks: Vec<(usize, RackMask)> = (0..plan.num_groups())
+            .map(|g| (g, plan.group_mask(g)))
+            .collect();
         let mut gen_inputs: Vec<GenInput> = Vec::with_capacity(considered.len());
+        // Home mask group per considered job (parallel to `gen_inputs`).
+        let mut job_groups: Vec<usize> = Vec::with_capacity(considered.len());
         for spec in &considered {
+            let g = plan.home_group(spec);
+            let gmask = plan.group_mask(g);
             let base = cache.base(spec.id, || {
                 estimate_dist(source, predictor, cfg.mass_points, spec)
             });
             let curve = utility_curve(&cfg, spec, &base);
             // Equivalence sets for this job: preferred racks (unscaled
-            // runtime) and the whole cluster (slowed runtime), or just the
-            // whole cluster for indifferent jobs.
+            // runtime) and the job's whole home group (slowed runtime), or
+            // just the home group for indifferent jobs. On a single-group
+            // cluster the home group *is* the whole cluster.
             // The base() call above guarantees an entry, so scaled() cannot
             // miss; if bookkeeping ever slips, fall back to the unscaled
             // base — a degraded valuation, not a panic.
             let mut spaces = Vec::new();
             match &spec.preferred {
                 Some(pref) => {
-                    let pmask = RackMask::of(pref);
+                    // Remap preferred racks into group-local mask bits; at
+                    // scale, preferred racks outside the job's home group
+                    // are ignored (documented scale-mode trade-off).
+                    let pmask = if multi_group {
+                        pref.iter()
+                            .filter(|p| {
+                                p.index() < view.cluster.num_partitions() && plan.group_of(**p) == g
+                            })
+                            .fold(RackMask::EMPTY, |m, p| {
+                                m.with(RackMask::single(plan.to_local(g, *p)))
+                            })
+                    } else {
+                        RackMask::of(pref)
+                    };
                     let unit = cache.scaled(spec.id, 1.0).unwrap_or_else(|| base.clone());
                     let slowed = cache
                         .scaled(spec.id, spec.nonpreferred_slowdown)
                         .unwrap_or_else(|| base.clone());
-                    spaces.push((pmask, unit));
-                    spaces.push((full_mask, slowed));
-                    if !space_masks.contains(&pmask) {
-                        space_masks.push(pmask);
+                    if multi_group && pmask.is_empty() {
+                        // Every preferred rack fell outside the home group:
+                        // the job can only run off-preferred there.
+                        spaces.push((gmask, slowed));
+                    } else {
+                        spaces.push((pmask, unit));
+                        spaces.push((gmask, slowed));
+                        if !space_masks.contains(&(g, pmask)) {
+                            space_masks.push((g, pmask));
+                        }
                     }
                 }
                 None => {
                     let unit = cache.scaled(spec.id, 1.0).unwrap_or_else(|| base.clone());
-                    spaces.push((full_mask, unit));
+                    spaces.push((gmask, unit));
                 }
             }
             gen_inputs.push(GenInput { spaces, curve });
+            job_groups.push(g);
         }
-        let job_options = options::generate(&gen_inputs, &slots, max_options);
+        let (job_options, shard_durations) =
+            options::generate_sharded(&gen_inputs, &slots, max_options, cfg.shards);
         for jo in &job_options {
             totals.options_enumerated += jo.enumerated as u64;
             totals.options_pruned += jo.pruned as u64;
@@ -1009,8 +1086,21 @@ impl Scheduler for ThreeSigmaScheduler {
         let mut hopeless: Vec<JobId> = Vec::new();
         for (job_idx, jo) in job_options.iter().enumerate() {
             let spec = considered[job_idx];
+            let group = job_groups[job_idx];
+            let (group_start, group_len) = plan.group_range(group);
             let mut vars = Vec::with_capacity(jo.options.len());
             for o in &jo.options {
+                // Scale mode only: drop options whose gang cannot fit the
+                // static capacity under the mask, so a group never carries
+                // dead MILP variables. Gated on `multi_group` so the
+                // single-group path stays bit-identical to the sequential
+                // scheduler.
+                if multi_group
+                    && spec.tasks > mask_capacity(view.cluster, group_start, group_len, o.mask)
+                {
+                    totals.options_pruned += 1;
+                    continue;
+                }
                 let var = model.add_binary(o.utility);
                 compiled.push(CompiledOption {
                     job_idx,
@@ -1019,6 +1109,7 @@ impl Scheduler for ThreeSigmaScheduler {
                     mask: o.mask,
                     dist: o.dist.clone(),
                     tasks: spec.tasks as f64,
+                    group,
                 });
                 vars.push(var);
             }
@@ -1106,18 +1197,12 @@ impl Scheduler for ThreeSigmaScheduler {
         // buckets hand each row exactly the options contained in its set
         // that have started by its slot — no full-option scan per row.
         let buckets = OptionBuckets::build(&compiled, slots.len());
-        let cap_of = |mask: RackMask| -> u32 {
-            view.cluster
-                .partition_ids()
-                .filter(|p| mask.contains(p.index()))
-                .map(|p| view.cluster.partition_size(p))
-                .sum()
-        };
-        for &mask in &space_masks {
-            let cap = cap_of(mask) as f64;
+        for &(g, mask) in &space_masks {
+            let (group_start, group_len) = plan.group_range(g);
+            let cap = mask_capacity(view.cluster, group_start, group_len, mask) as f64;
             for (si, &t) in slots.iter().enumerate() {
                 let mut terms: Vec<(VarId, f64)> = Vec::new();
-                buckets.for_each_contained(mask, si, |oi| {
+                buckets.for_each_contained(g, mask, si, |oi| {
                     let opt = &compiled[oi];
                     let rc = opt.dist.survival(t - slots[opt.slot]);
                     let coeff = opt.tasks * rc;
@@ -1128,11 +1213,12 @@ impl Scheduler for ThreeSigmaScheduler {
                 // Running usage inside this set, creditable by preemption.
                 let mut used = 0.0;
                 for ri in &running_infos {
-                    let nodes_in: u32 = ri
-                        .nodes_by_part
+                    // `mask` bits are group-local: bit i ↔ global partition
+                    // group_start + i (identity on single-group clusters).
+                    let nodes_in: u32 = ri.nodes_by_part[group_start..group_start + group_len]
                         .iter()
                         .enumerate()
-                        .filter(|(p, _)| mask.contains(*p))
+                        .filter(|(i, _)| mask.contains(*i))
                         .map(|(_, n)| *n)
                         .sum();
                     if nodes_in == 0 {
@@ -1208,7 +1294,10 @@ impl Scheduler for ThreeSigmaScheduler {
             });
             for opt in chosen {
                 let spec = considered[opt.job_idx];
-                if let Some(alloc) = pack_gang(spec.tasks, opt.mask, &free) {
+                let (start, len) = plan.group_range(opt.group);
+                if let Some(alloc) =
+                    pack_gang(spec.tasks, opt.mask, &free[start..start + len], start)
+                {
                     for (p, n) in &alloc {
                         free[p.index()] -= n;
                     }
@@ -1239,7 +1328,7 @@ impl Scheduler for ThreeSigmaScheduler {
                         slot: opt.slot,
                         start: slots[opt.slot],
                         expected_utility: model.objective_coeff(opt.var),
-                        preferred_space: opt.mask != full_mask,
+                        preferred_space: opt.mask != plan.group_mask(opt.group),
                     };
                     if opt.slot == 0 && placed.contains(&spec.id) {
                         record.started.push(planned);
@@ -1285,6 +1374,7 @@ impl Scheduler for ThreeSigmaScheduler {
             nodes,
             level,
             cost_units,
+            shards: cfg.shards.max(1),
         };
         governor.last_cost = Some((timing.cost_units, timing.total));
         if let Some(obs) = obs {
@@ -1292,7 +1382,7 @@ impl Scheduler for ThreeSigmaScheduler {
                 cache: cache.stats(),
                 ..*totals
             };
-            obs.flush(&stats, predictor, &timing);
+            obs.flush(&stats, predictor, &timing, &shard_durations);
         }
         timings.push(timing);
         decision
@@ -1300,8 +1390,16 @@ impl Scheduler for ThreeSigmaScheduler {
 }
 
 /// Greedily packs a gang of `tasks` nodes into the racks of `allowed`,
-/// fullest-first. Returns `None` if the allowed racks cannot hold the gang.
-fn pack_gang(tasks: u32, allowed: RackMask, free: &[u32]) -> Option<Vec<(PartitionId, u32)>> {
+/// fullest-first. `free` is the group-local free slice and `base` its global
+/// partition offset (0 on single-group clusters), so mask bit `i` lines up
+/// with `free[i]` and yields partition `base + i`. Returns `None` if the
+/// allowed racks cannot hold the gang.
+fn pack_gang(
+    tasks: u32,
+    allowed: RackMask,
+    free: &[u32],
+    base: usize,
+) -> Option<Vec<(PartitionId, u32)>> {
     let mut racks: Vec<(usize, u32)> = free
         .iter()
         .enumerate()
@@ -1316,7 +1414,7 @@ fn pack_gang(tasks: u32, allowed: RackMask, free: &[u32]) -> Option<Vec<(Partiti
             break;
         }
         let take = remaining.min(f);
-        alloc.push((PartitionId(p), take));
+        alloc.push((PartitionId(base + p), take));
         remaining -= take;
     }
     (remaining == 0).then_some(alloc)
@@ -1666,16 +1764,19 @@ mod tests {
     fn pack_gang_fullest_first() {
         // free = [1, 4, 2]; allowed = all; gang of 5 → racks 1 then 2.
         let all = RackMask::all(3);
-        let alloc = pack_gang(5, all, &[1, 4, 2]).unwrap();
+        let alloc = pack_gang(5, all, &[1, 4, 2], 0).unwrap();
         assert_eq!(alloc[0], (PartitionId(1), 4));
         assert_eq!(alloc[1], (PartitionId(2), 1));
         // Gang of 8 overflows: None.
-        assert!(pack_gang(8, all, &[1, 4, 2]).is_none());
+        assert!(pack_gang(8, all, &[1, 4, 2], 0).is_none());
         // Mask restricts racks.
         let only0 = RackMask::of(&[PartitionId(0)]);
-        let alloc0 = pack_gang(1, only0, &[1, 4, 2]).unwrap();
+        let alloc0 = pack_gang(1, only0, &[1, 4, 2], 0).unwrap();
         assert_eq!(alloc0, vec![(PartitionId(0), 1)]);
-        assert!(pack_gang(2, only0, &[1, 4, 2]).is_none());
+        assert!(pack_gang(2, only0, &[1, 4, 2], 0).is_none());
+        // A non-zero base maps group-local racks back to global partitions.
+        let g1 = pack_gang(3, all, &[1, 4, 2], 130).unwrap();
+        assert_eq!(g1[0], (PartitionId(131), 3));
     }
 
     fn bimodal_history() -> Vec<JobSpec> {
@@ -2116,5 +2217,121 @@ mod tests {
         );
         let m = engine(2, 2).run(&[spec], &mut s).unwrap();
         assert_eq!(m.completion_rate(), 1.0);
+    }
+
+    fn sharded_scheduler(shards: usize) -> ThreeSigmaScheduler {
+        ThreeSigmaScheduler::new(
+            SchedConfig {
+                shards,
+                ..SchedConfig::default()
+            },
+            EstimateSource::OraclePoint,
+            PredictorConfig::default(),
+        )
+    }
+
+    #[test]
+    fn scale_mode_schedules_beyond_128_racks_on_preferred() {
+        // Satellite (scale ceiling): a 130-rack cluster needs two mask
+        // groups. With two shards the scheduler must accept it, home the
+        // job preferring rack 129 into the second group, remap the mask to
+        // group-local bits, and still place it on its preferred rack.
+        let mut s = sharded_scheduler(2);
+        let jobs = vec![
+            JobSpec::new(1, 0.0, 2, 100.0, JobKind::Slo { deadline: 1000.0 })
+                .with_preference(vec![PartitionId(129)], 1.5)
+                .with_weight(10.0),
+            JobSpec::new(2, 0.0, 4, 100.0, JobKind::BestEffort),
+        ];
+        let m = engine(130, 2).run(&jobs, &mut s).unwrap();
+        assert_eq!(m.outcomes[0].on_preferred, Some(true));
+        assert_eq!(m.outcomes[0].measured_runtime, Some(100.0));
+        assert_eq!(m.completion_rate(), 1.0);
+    }
+
+    #[test]
+    fn rack_mask_boundary_127_128_accepted_129_rejected() {
+        // Satellite (scale ceiling): at the default single shard the
+        // scheduler represents at most RackMask::MAX_RACKS racks, and the
+        // engine must reject a larger spec with a typed error at ingest —
+        // not wrap masks silently.
+        for racks in [127, 128] {
+            let mut s = sharded_scheduler(1);
+            let jobs = vec![JobSpec::new(1, 0.0, 1, 50.0, JobKind::BestEffort)];
+            let m = engine(racks, 1).run(&jobs, &mut s).unwrap();
+            assert_eq!(m.completion_rate(), 1.0, "{racks} racks must work");
+        }
+        let mut s = sharded_scheduler(1);
+        let jobs = vec![JobSpec::new(1, 0.0, 1, 50.0, JobKind::BestEffort)];
+        match engine(129, 1).run(&jobs, &mut s) {
+            Err(threesigma_cluster::SimError::ClusterTooLarge { partitions, max }) => {
+                assert_eq!((partitions, max), (129, 128));
+            }
+            other => panic!("expected ClusterTooLarge, got {other:?}"),
+        }
+        // Raising the shard count widens the representable cluster.
+        let mut s = sharded_scheduler(2);
+        let jobs = vec![JobSpec::new(1, 0.0, 1, 50.0, JobKind::BestEffort)];
+        let m = engine(129, 1).run(&jobs, &mut s).unwrap();
+        assert_eq!(m.completion_rate(), 1.0);
+    }
+
+    #[test]
+    fn completion_in_one_shard_group_invalidates_estimates_in_the_other() {
+        // Satellite (cache epochs under sharding): the estimate cache is
+        // one global structure — a completion handled while group 0's jobs
+        // are planned must stale-out estimates consulted for group 1's
+        // jobs in the same cycle. This test fails if epoch bumps or
+        // invalidation ever become shard-local.
+        let mut s = ThreeSigmaScheduler::new(
+            SchedConfig {
+                shards: 2,
+                ..SchedConfig::default()
+            },
+            EstimateSource::Predicted,
+            PredictorConfig::default(),
+        );
+        let attrs = threesigma_cluster::Attributes::new().with("user", "pat");
+        let a = JobSpec::new(1, 0.0, 1, 100.0, JobKind::BestEffort)
+            .with_preference(vec![PartitionId(0)], 1.5)
+            .with_attributes(attrs.clone());
+        let b = JobSpec::new(2, 0.0, 1, 100.0, JobKind::BestEffort)
+            .with_preference(vec![PartitionId(129)], 1.5)
+            .with_attributes(attrs);
+        let plan = ShardPlan::new(130, 2);
+        assert_ne!(
+            plan.home_group(&a),
+            plan.home_group(&b),
+            "precondition: the two jobs live in different mask groups"
+        );
+        s.on_job_submitted(&a, 0.0);
+        s.on_job_submitted(&b, 0.0);
+        // b's estimate is cached: the probe closure must NOT run.
+        let before = s.cache.base(b.id, || DiscreteDist::point(999.0));
+        assert!(
+            (before.mean() - 999.0).abs() > 1e-9,
+            "precondition: b's estimate is cached"
+        );
+        // a completes — the predictor learned, so every pending estimate
+        // is stale, including b's in the other group.
+        let outcome = threesigma_cluster::JobOutcome {
+            id: a.id,
+            kind: a.kind,
+            submit_time: a.submit_time,
+            tasks: a.tasks,
+            state: threesigma_cluster::JobState::Completed,
+            start_time: Some(0.0),
+            finish_time: Some(42.0),
+            measured_runtime: Some(42.0),
+            preemptions: 0,
+            kills: 0,
+            on_preferred: Some(true),
+        };
+        s.on_job_completed(&a, &outcome, 42.0);
+        let after = s.cache.base(b.id, || DiscreteDist::point(999.0));
+        assert!(
+            (after.mean() - 999.0).abs() < 1e-9,
+            "b's estimate must be re-derived after the cross-group completion"
+        );
     }
 }

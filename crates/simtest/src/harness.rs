@@ -172,6 +172,9 @@ fn run_one(
 struct DynScheduler<'a>(&'a mut dyn Scheduler);
 
 impl Scheduler for DynScheduler<'_> {
+    fn max_partitions(&self) -> Option<usize> {
+        self.0.max_partitions()
+    }
     fn on_job_submitted(&mut self, spec: &threesigma_cluster::JobSpec, now: f64) {
         self.0.on_job_submitted(spec, now);
     }
@@ -212,10 +215,16 @@ pub struct SeedOverrides {
     /// inherently nondeterministic, so reports under this override are not
     /// byte-stable and the work-unit governor acceptance checks are skipped.
     pub cycle_budget_ms: Option<f64>,
+    /// Worker shards for 3σSched's decide stage (`--shards N`). Sharding is
+    /// a pure parallelism knob — reports stay byte-identical at every shard
+    /// count, which is exactly what the cross-shard replay verifies.
+    pub shards: Option<usize>,
 }
 
 impl SeedOverrides {
     fn is_default(&self) -> bool {
+        // `shards` is deliberately ignored: work-unit cost is
+        // shard-invariant, so the governor acceptance checks still hold.
         self.max_retries.is_none() && self.cycle_budget_ms.is_none()
     }
 }
@@ -224,7 +233,11 @@ impl SeedOverrides {
 /// scripted them, oracle points otherwise. `wall_budget_ms` (from
 /// `--cycle-budget-ms`) takes precedence over the scenario's deterministic
 /// work-unit budget.
-fn three_sigma_for_with(scenario: &Scenario, wall_budget_ms: Option<f64>) -> ThreeSigmaScheduler {
+fn three_sigma_for_with(
+    scenario: &Scenario,
+    wall_budget_ms: Option<f64>,
+    shards: Option<usize>,
+) -> ThreeSigmaScheduler {
     let source = if scenario.estimates.is_empty() {
         EstimateSource::OraclePoint
     } else {
@@ -239,6 +252,7 @@ fn three_sigma_for_with(scenario: &Scenario, wall_budget_ms: Option<f64>) -> Thr
         SchedConfig {
             cycle_hint: scenario.cycle_interval,
             cycle_budget,
+            shards: shards.unwrap_or(1),
             ..SchedConfig::default()
         },
         source,
@@ -247,7 +261,7 @@ fn three_sigma_for_with(scenario: &Scenario, wall_budget_ms: Option<f64>) -> Thr
 }
 
 fn three_sigma_for(scenario: &Scenario) -> ThreeSigmaScheduler {
-    three_sigma_for_with(scenario, None)
+    three_sigma_for_with(scenario, None, None)
 }
 
 /// Cross-scheduler shared-safety checks over completed runs: every
@@ -348,7 +362,8 @@ pub fn run_seed_with(seed: u64, overrides: SeedOverrides) -> SeedReport {
     let ts_rec = Recorder::enabled();
     let prio_rec = Recorder::enabled();
     let bf_rec = Recorder::enabled();
-    let mut ts = three_sigma_for_with(&scenario, overrides.cycle_budget_ms).with_recorder(&ts_rec);
+    let mut ts = three_sigma_for_with(&scenario, overrides.cycle_budget_ms, overrides.shards)
+        .with_recorder(&ts_rec);
     let mut prio = PrioScheduler::new();
     let mut bf = BackfillScheduler::new(PointSource::Oracle, PredictorConfig::default());
     let mut ts_report = run_one(&scenario, "threesigma", &mut ts, &ts_rec);

@@ -531,6 +531,10 @@ impl<S: Scheduler> CheckedScheduler<S> {
 }
 
 impl<S: Scheduler> Scheduler for CheckedScheduler<S> {
+    fn max_partitions(&self) -> Option<usize> {
+        self.inner.max_partitions()
+    }
+
     fn on_job_submitted(&mut self, spec: &JobSpec, now: f64) {
         self.inner.on_job_submitted(spec, now);
     }

@@ -6,7 +6,7 @@
 //! locally `cargo test --release -p threesigma-simtest -- --include-ignored`
 //! runs it directly.
 
-use threesigma_simtest::{corpus_seeds, run_seed};
+use threesigma_simtest::{corpus_seeds, run_seed, run_seed_with, SeedOverrides};
 
 #[test]
 #[cfg_attr(
@@ -42,5 +42,35 @@ fn every_corpus_seed_is_deterministic_across_runs() {
             first, second,
             "SEED {seed} DIVERGED between two in-process runs\nfirst:\n{first}\nsecond:\n{second}"
         );
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "slow without optimizations; run in release or via the simtest CLI"
+)]
+fn every_corpus_seed_is_deterministic_across_shard_counts() {
+    // Sharding the decide stage is a pure parallelism knob: work is split
+    // deterministically and merged back in shard order before anything
+    // order-sensitive happens, so the rendered report — digest line
+    // included — must be byte-identical at every shard count. A mismatch
+    // here means shard boundaries leaked into scheduling decisions.
+    for seed in corpus_seeds() {
+        let baseline = run_seed(seed).render();
+        for shards in [2usize, 8] {
+            let sharded = run_seed_with(
+                seed,
+                SeedOverrides {
+                    shards: Some(shards),
+                    ..SeedOverrides::default()
+                },
+            )
+            .render();
+            assert_eq!(
+                baseline, sharded,
+                "SEED {seed} DIVERGED at {shards} shards\nbaseline:\n{baseline}\nsharded:\n{sharded}"
+            );
+        }
     }
 }
