@@ -1,0 +1,122 @@
+//! Per-tier solve latency on a representative scheduling-cycle MILP
+//! (64 jobs × 12 placement options, demand SOS1 groups, 8 set × 8 slot
+//! capacity rows — the same shape as `micro_latency`'s `cycle_solve_64jobs`).
+//!
+//! Arms:
+//! * `tier0_greedy_rounding` — LP relaxation + greedy rounding, no search;
+//! * `tier1_lp_repair`       — LP relaxation + repair, root node only;
+//! * `tier2_cold`            — full branch-and-bound from scratch;
+//! * `tier2_incremental_reuse` — the incremental wrapper replaying an
+//!   identical model, i.e. the steady-state cycle-N vs cycle-N−1 path.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use threesigma_milp::{solver_for_tier, Cmp, IncrementalSolver, Model, Solver, SolverConfig};
+
+/// A representative scheduling-cycle MILP: 64 jobs × 12 options, demand
+/// rows, and 8 set × 8 slot capacity rows.
+fn cycle_model() -> Model {
+    let mut m = Model::new();
+    let mut all = Vec::new();
+    let mut seed = 0x1234_5678_9abc_def0u64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        (seed >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for _ in 0..64 {
+        let mut vars = Vec::new();
+        for o in 0..12 {
+            let u = 10.0 * next() / (1.0 + o as f64 * 0.3);
+            vars.push(m.add_binary(u));
+        }
+        let terms: Vec<_> = vars.iter().map(|v| (*v, 1.0)).collect();
+        m.add_constraint(&terms, Cmp::Le, 1.0);
+        m.add_sos1(&vars);
+        all.push(vars);
+    }
+    for _set in 0..8 {
+        for _slot in 0..8 {
+            let mut terms = Vec::new();
+            for vars in &all {
+                for v in vars {
+                    let coeff = 8.0 * next();
+                    if coeff > 2.0 {
+                        terms.push((*v, coeff));
+                    }
+                }
+            }
+            m.add_constraint(&terms, Cmp::Le, 192.0);
+        }
+    }
+    m
+}
+
+fn config() -> SolverConfig {
+    SolverConfig {
+        node_limit: 200,
+        time_limit: Some(Duration::from_millis(100)),
+        ..SolverConfig::default()
+    }
+}
+
+/// Config for the incremental arm: node budget only. A wall-clock limit
+/// would mark the priming solve `timed_out` — a machine-dependent terminal
+/// state the cache refuses to replay — so the steady-state path is gated on
+/// the deterministic node budget instead (same rationale as the solver
+/// oracle's fixture config).
+fn untimed_config() -> SolverConfig {
+    SolverConfig {
+        node_limit: 200,
+        time_limit: None,
+        ..SolverConfig::default()
+    }
+}
+
+fn bench_tiers(c: &mut Criterion) {
+    let model = cycle_model();
+    let warm = vec![0.0; model.num_vars()];
+    let mut group = c.benchmark_group("solver_tiers");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
+
+    for (label, tier) in [
+        ("tier0_greedy_rounding", 0u8),
+        ("tier1_lp_repair", 1),
+        ("tier2_cold", 2),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut solver = solver_for_tier(tier, config());
+                black_box(solver.solve_with_warm_start(&model, Some(&warm)))
+            })
+        });
+    }
+
+    // Steady state: the incremental wrapper has already solved this exact
+    // model once, so every iteration exercises the diff + cache-hit path.
+    let mut inc = IncrementalSolver::with_config(untimed_config());
+    let first = inc.solve_with_warm_start(&model, Some(&warm));
+    black_box(&first);
+    let second = inc.solve_with_warm_start(&model, Some(&warm));
+    black_box(&second);
+    assert!(
+        inc.stats().reuses >= 1,
+        "priming solve did not arm the cache (status {:?}, timed_out {}) — \
+         the reuse arm would silently measure full re-solves",
+        first.status,
+        first.timed_out,
+    );
+    group.bench_function("tier2_incremental_reuse", |b| {
+        b.iter(|| black_box(inc.solve_with_warm_start(&model, Some(&warm))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tiers);
+criterion_main!(benches);

@@ -11,7 +11,7 @@ use std::hint::black_box;
 use threesigma::driver::{run, run_observed, CycleTraceWriter, Experiment, SchedulerKind};
 use threesigma::{DiscreteDist, UtilityCurve};
 use threesigma_histogram::{RuntimeDistribution, StreamingHistogram};
-use threesigma_milp::{Cmp, Model, Solver, SolverConfig};
+use threesigma_milp::{BranchAndBound, Cmp, Model, SolverConfig};
 use threesigma_obs::Recorder;
 use threesigma_predict::{AttributeSource, Predictor, PredictorConfig};
 use threesigma_workload::{generate, Environment, WorkloadConfig};
@@ -156,7 +156,7 @@ fn report_scan_op_reduction() {
 
 fn bench_milp(c: &mut Criterion) {
     let model = cycle_model();
-    let solver = Solver::with_config(SolverConfig {
+    let solver = BranchAndBound::with_config(SolverConfig {
         node_limit: 200,
         time_limit: Some(Duration::from_millis(100)),
         ..SolverConfig::default()

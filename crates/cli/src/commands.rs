@@ -29,11 +29,13 @@ USAGE:
   threesigma run      (--trace FILE | --env E [--hours H] [--seed N])
                       [--scheduler NAME] [--cycle SECS] [--rc] [--out FILE]
                       [--cycle-budget-ms MS] [--max-retries N] [--shards N]
+                      [--solver-tier T] [--no-incremental]
   threesigma compare  (--trace FILE | --env E [--hours H] [--seed N])
                       [--cycle SECS] [--ablations]
   threesigma analyze  (--trace FILE | --env E [--jobs N] [--seed N])
   threesigma simtest  [--seed N | --iters K [--start-seed S]]
                       [--cycle-budget-ms MS] [--max-retries N] [--shards N]
+                      [--solver-tier T] [--no-incremental]
   threesigma metrics  (--trace FILE | --env E [--hours H] [--seed N])
                       [--scheduler NAME] [--cycle SECS] [--rc]
                       [--json FILE] [--trace-out FILE]
@@ -58,6 +60,12 @@ ROBUSTNESS: degradation governor and kill/retry knobs (run + simtest).
   --shards N            worker shards for 3σSched's decide stage; also widens
                         the representable cluster to N x 128 racks. Results
                         are byte-identical at every shard count.
+  --solver-tier T       pin the MILP backend: 0 greedy rounding, 1 LP+repair,
+                        2 branch-and-bound. Default: the degradation ladder
+                        picks the tier (level 0 → tier 2, …, level 2 → tier 0)
+  --no-incremental      disable the tier-2 cycle-over-cycle solution cache.
+                        Reuse is restricted to bit-identical models, so
+                        results are byte-identical with or without it.
 
 METRICS: run one instrumented simulation and export its counters.
   Prints a Prometheus-style text exposition to stdout.
@@ -164,7 +172,24 @@ fn experiment(args: &Args) -> Result<Experiment, CliError> {
                 expected: "a worker count >= 1",
             })?;
     }
+    if let Some(raw) = args.get("solver-tier") {
+        exp.sched.solver_tier = Some(parse_solver_tier(raw)?);
+    }
+    if args.switch("no-incremental") {
+        exp.sched.incremental_solver = false;
+    }
     Ok(exp)
+}
+
+fn parse_solver_tier(raw: &str) -> Result<u8, CliError> {
+    raw.parse()
+        .ok()
+        .filter(|t: &u8| *t <= 2)
+        .ok_or_else(|| CliError::BadValue {
+            option: "solver-tier".into(),
+            value: raw.into(),
+            expected: "a tier in 0..=2",
+        })
 }
 
 fn metrics_line(kind: SchedulerKind, m: &threesigma_cluster::Metrics) -> String {
@@ -323,6 +348,10 @@ pub fn cmd_simtest(args: &Args) -> Result<String, CliError> {
             })?;
         overrides.shards = Some(shards);
     }
+    if let Some(raw) = args.get("solver-tier") {
+        overrides.solver_tier = Some(parse_solver_tier(raw)?);
+    }
+    overrides.no_incremental = args.switch("no-incremental");
     if let Some(raw) = args.get("seed") {
         let seed: u64 = raw.parse().map_err(|_| CliError::BadValue {
             option: "seed".into(),
@@ -499,6 +528,18 @@ mod tests {
         for argv in [
             ["simtest", "--seed", "1", "--shards", "0"],
             ["run", "--env", "google", "--shards", "woof"],
+        ] {
+            let args = Args::parse(argv).unwrap();
+            let err = dispatch(&args).unwrap_err();
+            assert!(matches!(err, CliError::BadValue { .. }), "{argv:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn solver_tier_must_be_zero_one_or_two() {
+        for argv in [
+            ["simtest", "--seed", "1", "--solver-tier", "3"],
+            ["run", "--env", "google", "--solver-tier", "greedy"],
         ] {
             let args = Args::parse(argv).unwrap();
             let err = dispatch(&args).unwrap_err();

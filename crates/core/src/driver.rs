@@ -178,6 +178,8 @@ pub struct CycleTraceWriter {
     /// Resolved `sched_shards` gauge; same lifecycle as `level`. Reads 0
     /// for schedulers that never publish it (non-MILP baselines).
     shards: Option<threesigma_obs::Gauge>,
+    /// Resolved `sched_solver_tier` gauge; same lifecycle as `level`.
+    tier: Option<threesigma_obs::Gauge>,
 }
 
 impl CycleTraceWriter {
@@ -196,11 +198,15 @@ impl CycleTraceWriter {
         if recorder.is_enabled() {
             self.level = Some(recorder.gauge(
                 "sched_degradation_level",
-                "Current degradation-ladder level (0 = full MILP, 2 = backfill)",
+                "Current degradation-ladder level (0 = full MILP, 2 = minimal greedy)",
             ));
             self.shards = Some(recorder.gauge(
                 "sched_shards",
                 "Configured worker shards for the decide stage",
+            ));
+            self.tier = Some(recorder.gauge(
+                "sched_solver_tier",
+                "Solver tier of the last cycle (0 greedy, 1 LP+repair, 2 B&B)",
             ));
         }
         self
@@ -228,11 +234,12 @@ impl CycleObserver for CycleTraceWriter {
         let s = snapshot.cycle_stats();
         let level = self.level.as_ref().map_or(0.0, |g| g.get()) as u8;
         let shards = self.shards.as_ref().map_or(0.0, |g| g.get()) as u64;
+        let tier = self.tier.as_ref().map_or(0.0, |g| g.get()) as u8;
         self.lines.push(format!(
             "{{\"cycle\":{},\"now\":{},\"queue_depth\":{},\"running\":{},\"free_nodes\":{},\
              \"offline_nodes\":{},\"fault_debt_nodes\":{},\"capacity_nodes\":{},\
              \"utilization\":{},\"placements\":{},\"preemptions\":{},\"cancellations\":{},\
-             \"shards\":{},\"degradation_level\":{}}}",
+             \"shards\":{},\"degradation_level\":{},\"solver_tier\":{}}}",
             s.cycle,
             s.now,
             s.queue_depth,
@@ -247,6 +254,7 @@ impl CycleObserver for CycleTraceWriter {
             s.cancellations,
             shards,
             level,
+            tier,
         ));
     }
 }
@@ -445,12 +453,13 @@ mod tests {
         // One trace line per cycle, and the whole run replays byte-stable.
         assert_eq!(writer.lines().len(), r.metrics.cycles);
         assert!(writer.lines()[0].starts_with("{\"cycle\":1,"));
-        // Unbudgeted run: the governor stays at level 0 on every line, and
-        // the default single-shard configuration is traced alongside it.
+        // Unbudgeted run: the governor stays at level 0 (solver tier 2) on
+        // every line, and the default single-shard configuration is traced
+        // alongside it.
         assert!(writer
             .lines()
             .iter()
-            .all(|l| l.ends_with("\"shards\":1,\"degradation_level\":0}")));
+            .all(|l| l.ends_with("\"shards\":1,\"degradation_level\":0,\"solver_tier\":2}")));
         let rec2 = Recorder::enabled();
         let mut writer2 = CycleTraceWriter::new().with_recorder(&rec2);
         let r2 =

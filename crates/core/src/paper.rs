@@ -20,7 +20,7 @@
 //! | §4.3.3 MILP formulation (indicators, demand, capacity) | `ThreeSigmaScheduler::schedule` compiling into `threesigma_milp::Model` |
 //! | §4.3.3 equivalence sets | capacity rows per distinct preferred rack-set (bitmasks) |
 //! | §4.3.5 preemption terms (cost `P_r`, capacity credit) | preemption indicator variables + `preemption_cost` |
-//! | §4.3.6 warm start / best-within-budget / plan-ahead bound / pruning | `threesigma_milp::Solver::solve_with_warm_start`, `SolverConfig`, `plan_slots`, zero-term pruning in `Model::add_constraint` |
+//! | §4.3.6 warm start / best-within-budget / plan-ahead bound / pruning | `threesigma_milp::BranchAndBound::solve_with_warm_start`, `SolverConfig`, `plan_slots`, zero-term pruning in `Model::add_constraint` |
 //! | Table 1 systems | [`SchedulerKind`](crate::SchedulerKind) |
 //! | §5 workloads (E2E, DEADLINE-n, LOAD-ℓ, SAMPLE-n, SCALABILITY-n) | `threesigma_workload::WorkloadConfig` (+ `with_slack`, `with_load`, `ArrivalTarget::JobsPerHour`, `PredictorConfig::sample_cap`) |
 //! | §5 cluster RC256/SC256 | `threesigma_cluster::ClusterSpec` (+ `RcFidelity`) |

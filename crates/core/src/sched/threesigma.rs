@@ -37,7 +37,9 @@ use threesigma_cluster::{
     JobId, JobSpec, PartitionId, Placement, Scheduler, SchedulingDecision, SimulationView,
 };
 use threesigma_histogram::RuntimeDistribution;
-use threesigma_milp::{Cmp, Model, Solver, SolverConfig, VarId};
+use threesigma_milp::{
+    solver_for_tier, Cmp, IncrementalSolver, Model, Solver, SolverConfig, VarId,
+};
 use threesigma_obs::{Counter, Gauge, Histogram, Recorder};
 use threesigma_predict::{AttributeSource, EstimatorKind, Predictor, PredictorConfig};
 
@@ -160,11 +162,17 @@ pub struct SchedConfig {
     /// Record a [`PlanRecord`] per cycle (debugging/introspection; costs
     /// memory proportional to cycles × planned jobs).
     pub record_plans: bool,
+    /// Record every cycle's compiled MILP in the bit-exact fixture text
+    /// format (see [`ThreeSigmaScheduler::models`]) — the source of the
+    /// differential solver-oracle corpus. Costs memory proportional to
+    /// cycles × model size; off by default.
+    pub record_models: bool,
     /// Per-cycle cost budget for the degradation governor. When a cycle
     /// overruns it, the next cycle runs one level further down the ladder:
-    /// level 0 = full plan-ahead MILP, level 1 = shrunken window plus
-    /// aggressive §4.3.6 option pruning (caps derived from the budget),
-    /// level 2 = skip the MILP entirely and run the EASY-backfill placer.
+    /// level 0 = full plan-ahead MILP (solver tier 2), level 1 = shrunken
+    /// window plus aggressive §4.3.6 option pruning at solver tier 1
+    /// (LP-relax + repair), level 2 = minimal window at solver tier 0
+    /// (greedy rounding, no branch-and-bound search).
     pub cycle_budget: CycleBudget,
     /// Consecutive on-budget cycles required before the governor steps the
     /// ladder back *down* one level (hysteresis, so a load spike straddling
@@ -178,6 +186,17 @@ pub struct SchedConfig {
     /// `shards × RackMask::MAX_RACKS` partitions (see
     /// [`crate::ShardPlan`]).
     pub shards: usize,
+    /// Pins the solver tier (0 = greedy rounding, 1 = LP-relax + repair,
+    /// 2 = full branch-and-bound) instead of deriving it from the
+    /// degradation ladder (`--solver-tier`). The governor still walks the
+    /// ladder and applies its work caps; only the solve backend is forced.
+    pub solver_tier: Option<u8>,
+    /// Enable the cycle-over-cycle incremental tier-2 path: the cycle-N
+    /// model is diffed against cycle-N−1 and a bit-identical model with a
+    /// clean previous solve returns the cached solution. Reuse is gated to
+    /// provably-identical inputs, so reports are byte-identical with this
+    /// on or off (`--no-incremental` disables it).
+    pub incremental_solver: bool,
 }
 
 impl Default for SchedConfig {
@@ -203,9 +222,12 @@ impl Default for SchedConfig {
             cancel_hopeless: true,
             cycle_hint: 2.0,
             record_plans: false,
+            record_models: false,
             cycle_budget: CycleBudget::Unlimited,
             budget_hysteresis: 3,
             shards: 1,
+            solver_tier: None,
+            incremental_solver: true,
         }
     }
 }
@@ -272,8 +294,11 @@ pub struct CycleTiming {
     /// Branch-and-bound nodes expanded.
     pub nodes: usize,
     /// Degradation-ladder level this cycle ran at (0 = full MILP,
-    /// 1 = shrunken window, 2 = backfill fallback).
+    /// 1 = shrunken window at tier 1, 2 = minimal window at tier 0).
     pub level: u8,
+    /// Solver tier the cycle's MILP ran at (0 = greedy rounding,
+    /// 1 = LP-relax + repair, 2 = full branch-and-bound).
+    pub solver_tier: u8,
     /// Deterministic cycle cost in work units (options valued + solver
     /// nodes expanded) — what [`CycleBudget::WorkUnits`] is charged
     /// against. Shard-invariant: costs are summed after the ordered merge,
@@ -365,6 +390,21 @@ pub struct SchedStats {
     pub governor_step_downs: u64,
     /// Cycles whose cost exceeded the configured [`CycleBudget`].
     pub budget_overruns: u64,
+    /// Solver tier of the most recent cycle (0/1/2; not cumulative, kept
+    /// here so the obs flush carries it with the counters).
+    pub solver_tier: u64,
+    /// Cycles solved at tier 0 (greedy rounding of the LP relaxation).
+    pub tier0_cycles: u64,
+    /// Cycles solved at tier 1 (root LP + round-and-repair).
+    pub tier1_cycles: u64,
+    /// Cycles solved at tier 2 (full branch-and-bound).
+    pub tier2_cycles: u64,
+    /// Tier-2 solves answered from the incremental cache (bit-identical
+    /// model, warm start, and budgets vs the previous cycle).
+    pub incremental_reuses: u64,
+    /// Presolve reductions across all cycles: variables fixed, rows
+    /// absorbed, dominated options removed, and bounds tightened.
+    pub presolve_reductions: u64,
 }
 
 /// Metric handles registered against the attached [`Recorder`]; kept
@@ -388,6 +428,12 @@ struct SchedMetrics {
     governor_step_ups: Counter,
     governor_step_downs: Counter,
     budget_overruns: Counter,
+    solver_tier: Gauge,
+    tier0_cycles: Counter,
+    tier1_cycles: Counter,
+    tier2_cycles: Counter,
+    incremental_reuses: Counter,
+    presolve_reductions: Counter,
     predict_tracked_values: Gauge,
     predict_censored: Counter,
     predict_observations: Counter,
@@ -441,7 +487,7 @@ impl SchedMetrics {
             ),
             degradation_level: rec.gauge(
                 "sched_degradation_level",
-                "Current degradation-ladder level (0 = full MILP, 2 = backfill)",
+                "Current degradation-ladder level (0 = full MILP, 2 = minimal greedy)",
             ),
             cycle_cost_units: rec.gauge(
                 "sched_cycle_cost_units",
@@ -458,6 +504,30 @@ impl SchedMetrics {
             budget_overruns: rec.counter(
                 "sched_budget_overruns_total",
                 "Cycles whose cost exceeded the configured budget",
+            ),
+            solver_tier: rec.gauge(
+                "sched_solver_tier",
+                "Solver tier of the last cycle (0 greedy, 1 LP+repair, 2 B&B)",
+            ),
+            tier0_cycles: rec.counter(
+                "sched_solver_tier0_cycles_total",
+                "Cycles solved at tier 0 (greedy rounding)",
+            ),
+            tier1_cycles: rec.counter(
+                "sched_solver_tier1_cycles_total",
+                "Cycles solved at tier 1 (LP-relax + repair)",
+            ),
+            tier2_cycles: rec.counter(
+                "sched_solver_tier2_cycles_total",
+                "Cycles solved at tier 2 (full branch-and-bound)",
+            ),
+            incremental_reuses: rec.counter(
+                "sched_incremental_reuses_total",
+                "Tier-2 solves answered from the incremental cache",
+            ),
+            presolve_reductions: rec.counter(
+                "sched_presolve_reductions_total",
+                "Presolve reductions (fixed vars, rows, dominated options, bounds)",
             ),
             predict_censored: rec.counter(
                 "predict_censored_observations_total",
@@ -531,6 +601,13 @@ impl SchedMetrics {
         self.governor_step_downs
             .set_total(stats.governor_step_downs);
         self.budget_overruns.set_total(stats.budget_overruns);
+        self.solver_tier.set(stats.solver_tier as f64);
+        self.tier0_cycles.set_total(stats.tier0_cycles);
+        self.tier1_cycles.set_total(stats.tier1_cycles);
+        self.tier2_cycles.set_total(stats.tier2_cycles);
+        self.incremental_reuses.set_total(stats.incremental_reuses);
+        self.presolve_reductions
+            .set_total(stats.presolve_reductions);
         // O(1): the full `predictor.stats()` scan over every tracked
         // feature value is far too slow to run once per cycle.
         let ps = predictor.quick_stats();
@@ -556,8 +633,8 @@ impl SchedMetrics {
 /// Hysteresis state of the degradation governor.
 #[derive(Debug, Clone, Copy, Default)]
 struct Governor {
-    /// Current ladder level (0 = full MILP, 1 = shrunken window,
-    /// 2 = backfill fallback).
+    /// Current ladder level (0 = full MILP, 1 = shrunken window at tier 1,
+    /// 2 = minimal window at tier 0).
     level: u8,
     /// Consecutive on-budget cycles since the last transition.
     streak: u32,
@@ -599,8 +676,8 @@ fn governor_step(cfg: &SchedConfig, gov: &mut Governor, totals: &mut SchedStats)
     gov.level
 }
 
-/// The level-1 caps on MILP work, derived from the configured budget.
-struct Level1Caps {
+/// The degraded-level caps on MILP work, derived from the configured budget.
+struct LevelCaps {
     plan_slots: usize,
     max_jobs: usize,
     solver_nodes: usize,
@@ -614,13 +691,13 @@ struct Level1Caps {
 /// budget. For a work-unit budget `b`: enumeration is capped at
 /// `max_jobs · 2 spaces · plan_slots ≤ b/2` and solver nodes at `b/8`, so
 /// the total cycle cost stays ≤ 5b/8 with slack for rounding.
-fn level1_caps(cfg: &SchedConfig) -> Level1Caps {
+fn level1_caps(cfg: &SchedConfig) -> LevelCaps {
     let plan_slots = cfg.plan_slots.clamp(2, 4);
     match cfg.cycle_budget {
         CycleBudget::WorkUnits(b) => {
             let per_job = 2 * plan_slots as u64;
             let max_jobs = ((b / 2) / per_job.max(1)).max(1) as usize;
-            Level1Caps {
+            LevelCaps {
                 plan_slots,
                 max_jobs: max_jobs.min(cfg.max_jobs_per_cycle),
                 solver_nodes: ((b / 8).max(1) as usize).min(cfg.solver_nodes),
@@ -630,11 +707,42 @@ fn level1_caps(cfg: &SchedConfig) -> Level1Caps {
         }
         // Wall-clock (or, defensively, unlimited) budgets have no exact
         // unit conversion: quarter the work and halve the solver clock.
-        CycleBudget::WallClockMs(_) | CycleBudget::Unlimited => Level1Caps {
+        CycleBudget::WallClockMs(_) | CycleBudget::Unlimited => LevelCaps {
             plan_slots,
             max_jobs: (cfg.max_jobs_per_cycle / 4).max(1),
             solver_nodes: (cfg.solver_nodes / 4).max(1),
             solver_time: cfg.solver_time / 2,
+            max_options: plan_slots,
+        },
+    }
+}
+
+/// Level-2 caps: the emergency rung runs a *minimal* plan-ahead MILP at
+/// solver tier 0 (greedy rounding, zero search nodes) instead of bypassing
+/// the MILP entirely — a principled backend rather than a special case.
+/// For a work-unit budget `b`: enumeration ≤ `max_jobs · 2 spaces ·
+/// 2 slots ≤ b/4` and tier 0 expands no nodes (nodes ≤ `b/8` even if the
+/// tier is overridden upward), so the cycle cost stays well under budget
+/// and hysteresis can step the ladder back down.
+fn level2_caps(cfg: &SchedConfig) -> LevelCaps {
+    let plan_slots = 2;
+    match cfg.cycle_budget {
+        CycleBudget::WorkUnits(b) => {
+            let per_job = 2 * plan_slots as u64;
+            let max_jobs = ((b / 4) / per_job.max(1)).max(1) as usize;
+            LevelCaps {
+                plan_slots,
+                max_jobs: max_jobs.min(cfg.max_jobs_per_cycle),
+                solver_nodes: ((b / 8).max(1) as usize).min(cfg.solver_nodes),
+                solver_time: cfg.solver_time,
+                max_options: plan_slots,
+            }
+        }
+        CycleBudget::WallClockMs(_) | CycleBudget::Unlimited => LevelCaps {
+            plan_slots,
+            max_jobs: (cfg.max_jobs_per_cycle / 8).max(1),
+            solver_nodes: (cfg.solver_nodes / 8).max(1),
+            solver_time: cfg.solver_time / 4,
             max_options: plan_slots,
         },
     }
@@ -654,6 +762,8 @@ pub struct ThreeSigmaScheduler {
     underest: BTreeMap<(JobId, u64), UnderEst>,
     timings: Vec<CycleTiming>,
     plans: Vec<PlanRecord>,
+    /// Per-cycle MILP dumps in fixture text (empty unless `record_models`).
+    models: Vec<String>,
     /// Cumulative deterministic counters (excluding cache stats, which
     /// live on the cache itself).
     totals: SchedStats,
@@ -661,6 +771,10 @@ pub struct ThreeSigmaScheduler {
     last_expert: Option<(&'static str, EstimatorKind)>,
     /// Degradation-governor state (level, hysteresis streak, last cost).
     governor: Governor,
+    /// Persistent tier-2 incremental solver, tagged with the budgets it
+    /// was built for. Rebuilt (dropping the cycle-N−1 cache — a budget
+    /// change invalidates the reuse contract) whenever the caps change.
+    incremental: Option<(SolverConfig, IncrementalSolver)>,
     /// Registered metric handles when a recorder is attached.
     obs: Option<SchedMetrics>,
 }
@@ -680,16 +794,24 @@ impl ThreeSigmaScheduler {
             underest: BTreeMap::new(),
             timings: Vec::new(),
             plans: Vec::new(),
+            models: Vec::new(),
             totals: SchedStats::default(),
             last_expert: None,
             governor: Governor::default(),
+            incremental: None,
             obs: None,
         }
     }
 
-    /// Current degradation-ladder level (0 = full MILP, 2 = backfill).
+    /// Current degradation-ladder level (0 = full MILP at tier 2, 1 =
+    /// capped MILP at tier 1, 2 = minimal window at tier 0).
     pub fn degradation_level(&self) -> u8 {
         self.governor.level
+    }
+
+    /// Solver tier the most recent cycle ran at (2 until a cycle runs).
+    pub fn solver_tier(&self) -> u8 {
+        self.timings.last().map(|t| t.solver_tier).unwrap_or(2)
     }
 
     /// Attaches a metrics recorder; cumulative counters and stage timers
@@ -730,6 +852,13 @@ impl ThreeSigmaScheduler {
     /// Per-cycle plan records (empty unless `record_plans` is set).
     pub fn plans(&self) -> &[PlanRecord] {
         &self.plans
+    }
+
+    /// Per-cycle MILP dumps in the bit-exact fixture text format (empty
+    /// unless `record_models` is set). Feed these to
+    /// `threesigma_milp::Model::from_text` to replay a cycle's solve.
+    pub fn models(&self) -> &[String] {
+        &self.models
     }
 
     /// The estimate distribution for a job, per the configured source
@@ -921,62 +1050,23 @@ impl Scheduler for ThreeSigmaScheduler {
             underest,
             timings,
             plans,
+            models,
             totals,
             governor,
+            incremental,
             obs,
             ..
         } = self;
         totals.cycles += 1;
 
-        // ---- Level 2: emergency fallback. Skip option generation and the
-        // MILP entirely; run the EASY-backfill placer on cached point
-        // estimates. Cost ≈ 0 work units, so hysteresis can step back. ----
-        if level == 2 {
-            let plan = crate::sched::backfill::backfill_plan(view, now, |spec| {
-                cache
-                    .base(spec.id, || {
-                        estimate_dist(source, predictor, cfg.mass_points, spec)
-                    })
-                    .mean()
-            });
-            decision.placements = plan.placements;
-            for p in &decision.placements {
-                cache.pin(p.job);
-            }
-            totals.options_placed += decision.placements.len() as u64;
-            let timing = CycleTiming {
-                pending: view.pending.len(),
-                considered: 0,
-                milp_vars: 0,
-                milp_rows: 0,
-                total: cycle_start.elapsed(),
-                generate: Duration::ZERO,
-                compile: Duration::ZERO,
-                solver: Duration::ZERO,
-                extract: Duration::ZERO,
-                nodes: 0,
-                level,
-                cost_units: 0,
-                shards: cfg.shards.max(1),
-            };
-            governor.last_cost = Some((timing.cost_units, timing.total));
-            if let Some(obs) = obs {
-                let stats = SchedStats {
-                    cache: cache.stats(),
-                    ..*totals
-                };
-                obs.flush(&stats, predictor, &timing, &[]);
-            }
-            timings.push(timing);
-            return decision;
-        }
-
-        // Level 1 shrinks the plan-ahead window and caps MILP work to fit
-        // the budget; level 0 runs the configured full plan.
-        let caps = if level >= 1 {
-            Some(level1_caps(&cfg))
-        } else {
-            None
+        // Each ladder rung maps to a solver tier (tier = 2 − level): level 1
+        // shrinks the plan-ahead window and caps MILP work to fit the
+        // budget; level 2 runs a minimal window through the tier-0 greedy
+        // backend. Level 0 runs the configured full plan at tier 2.
+        let caps = match level {
+            0 => None,
+            1 => Some(level1_caps(&cfg)),
+            _ => Some(level2_caps(&cfg)),
         };
         let plan_slots = caps.as_ref().map_or(cfg.plan_slots, |c| c.plan_slots);
         let max_jobs = caps.as_ref().map_or(cfg.max_jobs_per_cycle, |c| c.max_jobs);
@@ -1240,22 +1330,58 @@ impl Scheduler for ThreeSigmaScheduler {
             }
         }
         let compile_elapsed = compile_start.elapsed();
+        if cfg.record_models {
+            models.push(model.to_text());
+        }
 
-        // ---- Stage 3: solve (status-quo warm start is always feasible). ----
-        let solver = Solver::with_config(SolverConfig {
+        // ---- Stage 3: solve (status-quo warm start is always feasible).
+        // The backend is picked by tier (tier = 2 − level unless pinned by
+        // `solver_tier`); tier 2 additionally routes through the persistent
+        // incremental wrapper so a bit-identical consecutive cycle is
+        // answered from cache. ----
+        let tier = cfg.solver_tier.unwrap_or(2 - level.min(2)).min(2);
+        let milp_config = SolverConfig {
             node_limit: solver_nodes,
             time_limit: Some(solver_time),
             gap_tolerance: 1e-4,
             ..SolverConfig::default()
-        });
+        };
         let warm = vec![0.0; model.num_vars()];
         let solve_start = Stopwatch::start();
-        let solution = solver.solve_with_warm_start(&model, Some(&warm));
+        let solution = if tier == 2 && cfg.incremental_solver {
+            // Rebuild the persistent solver when the budgets change —
+            // dropping the cycle-N−1 cache, since the reuse contract is
+            // config-exact.
+            let stale = !matches!(incremental, Some((c, _)) if *c == milp_config);
+            if stale {
+                *incremental = None;
+            }
+            let (_, solver) = incremental.get_or_insert_with(|| {
+                (
+                    milp_config.clone(),
+                    IncrementalSolver::with_config(milp_config),
+                )
+            });
+            let reuses_before = solver.stats().reuses;
+            let solution = solver.solve_with_warm_start(&model, Some(&warm));
+            totals.incremental_reuses += solver.stats().reuses - reuses_before;
+            solution
+        } else {
+            let mut solver = solver_for_tier(tier, milp_config);
+            solver.solve_with_warm_start(&model, Some(&warm))
+        };
         let solver_elapsed = solve_start.elapsed();
 
         let milp_vars = model.num_vars();
         let milp_rows = model.num_constraints();
         let nodes = solution.nodes;
+        totals.solver_tier = tier as u64;
+        match tier {
+            0 => totals.tier0_cycles += 1,
+            1 => totals.tier1_cycles += 1,
+            _ => totals.tier2_cycles += 1,
+        }
+        totals.presolve_reductions += solution.presolve.total() as u64;
         totals.milp_nodes += solution.nodes as u64;
         totals.milp_pivots += solution.lp_iterations as u64;
         totals.milp_incumbent_updates += solution.incumbent_updates as u64;
@@ -1373,6 +1499,7 @@ impl Scheduler for ThreeSigmaScheduler {
             extract: extract_elapsed,
             nodes,
             level,
+            solver_tier: tier,
             cost_units,
             shards: cfg.shards.max(1),
         };
@@ -2107,11 +2234,11 @@ mod tests {
     }
 
     #[test]
-    fn level_two_places_jobs_through_backfill() {
+    fn level_two_places_jobs_through_tier_zero() {
         // Budget 0: every non-trivial cycle overruns, so the ladder climbs
-        // to level 2, where the MILP is skipped and the backfill placer
-        // still starts jobs (cost 0 then satisfies the budget, so the
-        // governor oscillates near the top — never above ±1 per cycle).
+        // to level 2, where a *minimal* plan-ahead window (one job, two
+        // slots) is solved by the tier-0 greedy backend — zero search
+        // nodes — and jobs still start.
         let mut s = ThreeSigmaScheduler::new(
             SchedConfig {
                 cycle_budget: CycleBudget::WorkUnits(0),
@@ -2124,16 +2251,60 @@ mod tests {
             .map(|i| JobSpec::new(i + 1, i as f64 * 3.0, 1, 40.0, JobKind::BestEffort))
             .collect();
         let m = engine(1, 2).run(&jobs, &mut s).unwrap();
-        assert_eq!(m.completion_rate(), 1.0, "backfill fallback still works");
+        assert_eq!(m.completion_rate(), 1.0, "tier-0 fallback still places");
         let reached_two = s.timings().iter().any(|t| t.level == 2);
-        assert!(reached_two, "ladder reached the backfill level");
+        assert!(reached_two, "ladder reached the emergency level");
         for t in s.timings() {
             if t.level == 2 {
-                assert_eq!(t.milp_vars, 0, "level 2 skips the MILP");
-                assert_eq!(t.cost_units, 0);
+                assert_eq!(t.solver_tier, 0, "level 2 maps to solver tier 0");
+                assert_eq!(t.nodes, 0, "tier 0 expands no search nodes");
+                assert!(t.considered <= 1, "level 2 plans a minimal window");
             }
         }
         assert!(s.stats().budget_overruns >= 2);
+        let stats = s.stats();
+        assert!(stats.tier0_cycles >= 1, "tier-0 cycles were counted");
+        assert_eq!(s.solver_tier(), s.timings().last().unwrap().solver_tier);
+    }
+
+    #[test]
+    fn solver_tier_override_pins_the_backend() {
+        // `solver_tier: Some(0)` forces the greedy backend even at level 0;
+        // jobs still complete and no branch-and-bound nodes are expanded.
+        let mut s = ThreeSigmaScheduler::new(
+            SchedConfig {
+                solver_tier: Some(0),
+                ..SchedConfig::default()
+            },
+            EstimateSource::OraclePoint,
+            PredictorConfig::default(),
+        );
+        let jobs: Vec<JobSpec> = (0..6)
+            .map(|i| JobSpec::new(i + 1, i as f64 * 2.0, 1, 30.0, JobKind::BestEffort))
+            .collect();
+        let m = engine(1, 4).run(&jobs, &mut s).unwrap();
+        assert_eq!(m.completion_rate(), 1.0);
+        let stats = s.stats();
+        assert_eq!(stats.tier1_cycles + stats.tier2_cycles, 0);
+        assert!(stats.tier0_cycles >= 1);
+        for t in s.timings() {
+            assert_eq!(t.solver_tier, 0);
+            assert_eq!(t.nodes, 0);
+        }
+    }
+
+    #[test]
+    fn incremental_reuses_stay_within_cycle_count() {
+        // Identical consecutive cycles (no pending churn) may be answered
+        // from the incremental cache; the counter can never exceed cycles.
+        let mut s = scheduler(EstimateSource::OraclePoint);
+        let jobs: Vec<JobSpec> = (0..4)
+            .map(|i| JobSpec::new(i + 1, 0.0, 1, 50.0, JobKind::BestEffort))
+            .collect();
+        engine(1, 4).run(&jobs, &mut s).unwrap();
+        let stats = s.stats();
+        assert!(stats.incremental_reuses <= stats.cycles);
+        assert_eq!(stats.tier2_cycles, stats.cycles);
     }
 
     #[test]

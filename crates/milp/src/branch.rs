@@ -14,7 +14,8 @@ use std::time::Duration;
 use crate::clock::Stopwatch;
 
 use crate::model::{Model, VarKind};
-use crate::simplex::{solve_lp_with_bounds, LpOutcome};
+use crate::presolve::{Presolve, PresolveStats};
+use crate::simplex::{solve_lp_warm, solve_lp_with_bounds, Basis, LpOutcome};
 
 /// Terminal status of a MIP solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +53,8 @@ pub struct MipSolution {
     pub incumbent_updates: usize,
     /// True when the wall-clock budget ended the search.
     pub timed_out: bool,
+    /// What the shared presolve pass eliminated before the search.
+    pub presolve: PresolveStats,
 }
 
 impl MipSolution {
@@ -61,8 +64,8 @@ impl MipSolution {
     }
 }
 
-/// Budgets and tolerances for [`Solver`].
-#[derive(Debug, Clone)]
+/// Budgets and tolerances for [`BranchAndBound`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct SolverConfig {
     /// Wall-clock budget; best incumbent so far is returned when exceeded.
     pub time_limit: Option<Duration>,
@@ -88,9 +91,9 @@ impl Default for SolverConfig {
     }
 }
 
-/// Branch-and-bound MIP solver.
+/// Branch-and-bound MIP solver (the tier-2 backend; see [`crate::tiers`]).
 #[derive(Debug, Clone, Default)]
-pub struct Solver {
+pub struct BranchAndBound {
     config: SolverConfig,
 }
 
@@ -105,6 +108,10 @@ struct Node {
     bound: f64,
     changes: Option<Rc<NodeChanges>>,
     depth: usize,
+    /// Optimal basis of the parent's LP relaxation; the child LP differs
+    /// only in a handful of bounds, so dual simplex reoptimises from here
+    /// instead of running phase 1 from scratch.
+    basis: Option<Rc<Basis>>,
 }
 
 impl PartialEq for Node {
@@ -128,7 +135,7 @@ impl Ord for Node {
     }
 }
 
-impl Solver {
+impl BranchAndBound {
     /// Solver with default budgets.
     pub fn new() -> Self {
         Self::default()
@@ -153,7 +160,46 @@ impl Solver {
     /// Solves `model`, optionally seeding the incumbent from `warm` — a full
     /// assignment whose binary components are fixed and repaired via an LP
     /// solve (the previous scheduling cycle's solution, §4.3.6).
+    ///
+    /// A presolve pass ([`Presolve`]) runs first; the search operates on the
+    /// reduced model and the solution is restored to the original variable
+    /// space before returning.
     pub fn solve_with_warm_start(&self, model: &Model, warm: Option<&[f64]>) -> MipSolution {
+        let pre = Presolve::run(model);
+        if pre.is_infeasible() {
+            return MipSolution {
+                status: MipStatus::Infeasible,
+                objective: f64::NEG_INFINITY,
+                values: Vec::new(),
+                best_bound: f64::NEG_INFINITY,
+                nodes: 0,
+                lp_iterations: 0,
+                incumbent_updates: 0,
+                timed_out: false,
+                presolve: pre.stats(),
+            };
+        }
+        if pre.stats().total() == 0 {
+            let mut sol = self.solve_reduced(model, warm);
+            sol.presolve = pre.stats();
+            return sol;
+        }
+        let projected = warm.map(|w| pre.project_warm(w));
+        let mut sol = self.solve_reduced(pre.reduced(), projected.as_deref());
+        // Restore any reduced-space assignment (including a fully-reduced
+        // model's empty one) to original variable indices; statuses with no
+        // assignment keep their empty `values`.
+        if sol.has_solution() || !sol.values.is_empty() {
+            sol.values = pre.restore(&sol.values);
+        }
+        sol.objective += pre.offset();
+        sol.best_bound += pre.offset();
+        sol.presolve = pre.stats();
+        sol
+    }
+
+    /// Branch-and-bound search proper, on an already-presolved model.
+    fn solve_reduced(&self, model: &Model, warm: Option<&[f64]>) -> MipSolution {
         let started = Stopwatch::start();
         let base: Vec<(f64, f64)> = model.vars.iter().map(|v| (v.lower, v.upper)).collect();
         let binaries: Vec<usize> = model
@@ -183,7 +229,7 @@ impl Solver {
         }
 
         // Root relaxation.
-        let root = solve_lp_with_bounds(model, Some(&base));
+        let (root, root_basis) = solve_lp_warm(model, Some(&base), None);
         lp_iterations += root.iterations;
         match root.outcome {
             LpOutcome::Infeasible => {
@@ -196,6 +242,7 @@ impl Solver {
                     lp_iterations,
                     incumbent_updates,
                     timed_out: false,
+                    presolve: PresolveStats::default(),
                 };
             }
             LpOutcome::Unbounded => {
@@ -208,6 +255,7 @@ impl Solver {
                     lp_iterations,
                     incumbent_updates,
                     timed_out: false,
+                    presolve: PresolveStats::default(),
                 };
             }
             LpOutcome::Optimal | LpOutcome::IterationLimit => {}
@@ -218,6 +266,7 @@ impl Solver {
             bound: root.objective,
             changes: None,
             depth: 0,
+            basis: Some(Rc::new(root_basis)),
         });
 
         let mut nodes = 0usize;
@@ -258,7 +307,7 @@ impl Solver {
             nodes += 1;
 
             let bounds = materialise(&base, node.changes.as_deref());
-            let lp = solve_lp_with_bounds(model, Some(&bounds));
+            let (lp, lp_basis) = solve_lp_warm(model, Some(&bounds), node.basis.as_deref());
             lp_iterations += lp.iterations;
             match lp.outcome {
                 LpOutcome::Infeasible => continue,
@@ -272,6 +321,7 @@ impl Solver {
                         lp_iterations,
                         incumbent_updates,
                         timed_out: false,
+                        presolve: PresolveStats::default(),
                     };
                 }
                 LpOutcome::Optimal | LpOutcome::IterationLimit => {}
@@ -313,11 +363,13 @@ impl Solver {
                     // several fractional members; variable dichotomy
                     // otherwise.
                     let children = self.branch_children(model, &lp.values, branch_var, tol, &node);
+                    let parent_basis = Rc::new(lp_basis);
                     for changes in children {
                         let child = Node {
                             bound: lp.objective,
                             changes: Some(Rc::new(changes)),
                             depth: node.depth + 1,
+                            basis: Some(Rc::clone(&parent_basis)),
                         };
                         heap.push(child);
                     }
@@ -375,6 +427,7 @@ impl Solver {
                     lp_iterations,
                     incumbent_updates,
                     timed_out,
+                    presolve: PresolveStats::default(),
                 }
             }
             None => MipSolution {
@@ -386,14 +439,15 @@ impl Solver {
                 lp_iterations,
                 incumbent_updates,
                 timed_out,
+                presolve: PresolveStats::default(),
             },
         }
     }
 
     /// Fixes every binary to its rounding in `reference`, solves the LP for
     /// the continuous variables, and repairs infeasibility by unsetting the
-    /// most weakly selected binaries.
-    fn fix_and_solve(
+    /// most weakly selected binaries. Shared with the tier-0 greedy backend.
+    pub(crate) fn fix_and_solve(
         &self,
         model: &Model,
         bounds: &[(f64, f64)],
@@ -485,7 +539,7 @@ impl Solver {
     }
 }
 
-fn gap_slack(obj: f64, gap: f64) -> f64 {
+pub(crate) fn gap_slack(obj: f64, gap: f64) -> f64 {
     gap * obj.abs().max(1.0)
 }
 
@@ -544,7 +598,7 @@ mod tests {
     fn pure_lp_passes_through() {
         let mut m = Model::new();
         m.add_continuous(0.0, 4.0, 2.0);
-        let s = Solver::new().solve(&m);
+        let s = BranchAndBound::new().solve(&m);
         assert_eq!(s.status, MipStatus::Optimal);
         assert_near(s.objective, 8.0);
     }
@@ -557,7 +611,7 @@ mod tests {
         let b = m.add_binary(6.0);
         let c = m.add_binary(4.0);
         m.add_constraint(&[(a, 5.0), (b, 4.0), (c, 3.0)], Cmp::Le, 10.0);
-        let s = Solver::new().solve(&m);
+        let s = BranchAndBound::new().solve(&m);
         assert_eq!(s.status, MipStatus::Optimal);
         assert_near(s.objective, 16.0);
         assert_near(s.values[a.index()], 1.0);
@@ -570,7 +624,7 @@ mod tests {
         let mut m = Model::new();
         let a = m.add_binary(1.0);
         m.add_constraint(&[(a, 1.0)], Cmp::Ge, 2.0);
-        let s = Solver::new().solve(&m);
+        let s = BranchAndBound::new().solve(&m);
         assert_eq!(s.status, MipStatus::Infeasible);
         assert!(!s.has_solution());
     }
@@ -588,7 +642,7 @@ mod tests {
         m.add_sos1(&b);
         // Option 0 of both jobs collide on a unit resource.
         m.add_constraint(&[(a[0], 1.0), (b[0], 1.0)], Cmp::Le, 1.0);
-        let s = Solver::new().solve(&m);
+        let s = BranchAndBound::new().solve(&m);
         assert_eq!(s.status, MipStatus::Optimal);
         assert_near(s.objective, 9.0);
     }
@@ -600,7 +654,7 @@ mod tests {
         let b = m.add_binary(6.0);
         m.add_constraint(&[(a, 5.0), (b, 4.0)], Cmp::Le, 7.0);
         let warm = vec![0.0, 1.0]; // feasible but suboptimal
-        let s = Solver::new().solve_with_warm_start(&m, Some(&warm));
+        let s = BranchAndBound::new().solve_with_warm_start(&m, Some(&warm));
         assert_eq!(s.status, MipStatus::Optimal);
         assert_near(s.objective, 10.0);
     }
@@ -623,7 +677,7 @@ mod tests {
             node_limit: 1,
             ..SolverConfig::default()
         };
-        let s = Solver::with_config(cfg).solve(&m);
+        let s = BranchAndBound::with_config(cfg).solve(&m);
         assert!(s.has_solution());
         assert!(m.is_feasible(&s.values, 1e-5));
         assert!(s.best_bound + 1e-6 >= s.objective);
@@ -636,7 +690,7 @@ mod tests {
         let i = m.add_binary(3.0);
         let y = m.add_continuous(0.0, 3.0, 1.0);
         m.add_constraint(&[(y, 1.0), (i, -4.0)], Cmp::Le, 0.0);
-        let s = Solver::new().solve(&m);
+        let s = BranchAndBound::new().solve(&m);
         assert_eq!(s.status, MipStatus::Optimal);
         assert_near(s.objective, 6.0);
         assert_near(s.values[i.index()], 1.0);
@@ -653,7 +707,7 @@ mod tests {
         m.add_constraint(&[(a1, 1.0), (a2, 1.0), (i, -2.0)], Cmp::Eq, 0.0);
         m.add_constraint(&[(a1, 1.0)], Cmp::Le, 1.5);
         m.add_constraint(&[(a2, 1.0)], Cmp::Le, 1.5);
-        let s = Solver::new().solve(&m);
+        let s = BranchAndBound::new().solve(&m);
         assert_eq!(s.status, MipStatus::Optimal);
         assert_near(s.objective, 5.0);
         let total = s.values[a1.index()] + s.values[a2.index()];
@@ -666,7 +720,7 @@ mod tests {
         for _ in 0..6 {
             m.add_binary(-1.0 - 0.5);
         }
-        let s = Solver::new().solve(&m);
+        let s = BranchAndBound::new().solve(&m);
         assert_eq!(s.status, MipStatus::Optimal);
         assert_near(s.objective, 0.0);
         assert!(s.values.iter().all(|v| v.abs() < 1e-9));
@@ -683,7 +737,7 @@ mod tests {
             ..SolverConfig::default()
         };
         let warm = vec![1.0, 0.0];
-        let s = Solver::with_config(cfg).solve_with_warm_start(&m, Some(&warm));
+        let s = BranchAndBound::with_config(cfg).solve_with_warm_start(&m, Some(&warm));
         assert!(s.has_solution());
         assert!(s.objective >= 1.0 - 1e-6);
         assert!(m.is_feasible(&s.values, 1e-6));
@@ -697,7 +751,7 @@ mod tests {
         m.add_constraint(&[(a, 1.0), (b, 1.0)], Cmp::Le, 1.0);
         // Warm start violates the row; the repair drops the weaker binary.
         let warm = vec![1.0, 1.0];
-        let s = Solver::new().solve_with_warm_start(&m, Some(&warm));
+        let s = BranchAndBound::new().solve_with_warm_start(&m, Some(&warm));
         assert_eq!(s.status, MipStatus::Optimal);
         assert_near(s.objective, 3.0);
     }
@@ -708,7 +762,7 @@ mod tests {
         let a = m.add_binary(10.0);
         let b = m.add_binary(6.0);
         m.add_constraint(&[(a, 5.0), (b, 4.0)], Cmp::Le, 7.0);
-        let s = Solver::new().solve(&m);
+        let s = BranchAndBound::new().solve(&m);
         assert_eq!(s.status, MipStatus::Optimal);
         assert!(s.incumbent_updates >= 1);
         assert!(!s.timed_out);
@@ -719,7 +773,7 @@ mod tests {
             ..SolverConfig::default()
         };
         let warm = vec![0.0, 1.0];
-        let s = Solver::with_config(cfg).solve_with_warm_start(&m, Some(&warm));
+        let s = BranchAndBound::with_config(cfg).solve_with_warm_start(&m, Some(&warm));
         assert!(s.timed_out);
         assert!(s.incumbent_updates >= 1); // warm-start seed counted
     }
@@ -728,7 +782,7 @@ mod tests {
     fn wrong_length_warm_start_is_ignored() {
         let mut m = Model::new();
         m.add_binary(1.0);
-        let s = Solver::new().solve_with_warm_start(&m, Some(&[1.0, 0.0, 0.0]));
+        let s = BranchAndBound::new().solve_with_warm_start(&m, Some(&[1.0, 0.0, 0.0]));
         assert_eq!(s.status, MipStatus::Optimal);
         assert_near(s.objective, 1.0);
     }
@@ -739,7 +793,7 @@ mod tests {
         let vars: Vec<_> = (0..8).map(|i| m.add_binary(1.0 + i as f64)).collect();
         let terms: Vec<_> = vars.iter().map(|v| (*v, 2.0)).collect();
         m.add_constraint(&terms, Cmp::Le, 5.0);
-        let s = Solver::new().solve(&m);
+        let s = BranchAndBound::new().solve(&m);
         assert!(s.has_solution());
         assert!(s.best_bound + 1e-6 >= s.objective);
     }
@@ -754,7 +808,7 @@ mod tests {
             .collect();
         let terms: Vec<_> = vars.iter().map(|v| (*v, 1.0)).collect();
         m.add_constraint(&terms, Cmp::Eq, 2.0);
-        let s = Solver::new().solve(&m);
+        let s = BranchAndBound::new().solve(&m);
         assert_eq!(s.status, MipStatus::Optimal);
         assert_near(s.objective, 7.0);
         assert_near(s.values[vars[0].index()], 1.0);
@@ -768,7 +822,7 @@ mod tests {
         let x = m.add_continuous(0.0, 10.0, -1.0);
         let y = m.add_continuous(0.0, 10.0, -1.0);
         m.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Ge, 3.0);
-        let s = Solver::new().solve(&m);
+        let s = BranchAndBound::new().solve(&m);
         assert_eq!(s.status, MipStatus::Optimal);
         assert_near(s.objective, -3.0);
     }
@@ -791,7 +845,7 @@ mod tests {
             }
         }
         m.add_constraint(&cap_terms, Cmp::Le, 12.0);
-        let s = Solver::new().solve(&m);
+        let s = BranchAndBound::new().solve(&m);
         assert!(s.has_solution());
         assert!(m.is_feasible(&s.values, 1e-5));
     }
@@ -814,7 +868,7 @@ mod tests {
             node_limit: 1_000,
             ..SolverConfig::default()
         };
-        let s = Solver::with_config(cfg).solve(&m);
+        let s = BranchAndBound::with_config(cfg).solve(&m);
         assert!(s.nodes <= 1_000, "budget respected: {} nodes", s.nodes);
         // Any terminal status is acceptable under a poisoned objective; what
         // matters is that one is reached and reported coherently.
@@ -852,7 +906,7 @@ mod tests {
                     best = best.max(m.objective_value(&x));
                 }
             }
-            let s = Solver::new().solve(&m);
+            let s = BranchAndBound::new().solve(&m);
             if best == f64::NEG_INFINITY {
                 assert_eq!(s.status, MipStatus::Infeasible, "trial {trial}");
             } else {

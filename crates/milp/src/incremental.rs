@@ -1,0 +1,370 @@
+//! Cycle-to-cycle incremental solving.
+//!
+//! A scheduling cycle's MILP usually resembles the previous cycle's: the
+//! same jobs, the same options, slightly different capacities. This module
+//! wraps the tier-2 backend with a diff of the cycle-N model against
+//! cycle-N−1 and short-circuits the provably-identical case.
+//!
+//! The reuse contract is deliberately narrow so that the scheduler's
+//! byte-identity guarantee survives (DESIGN.md §9): a cached solution is
+//! returned **only** when the model, warm start, and budgets are bit-for-bit
+//! identical to the previous solve *and* the cached terminal state is
+//! deterministic — `Optimal`, or `Feasible` cut off by the *node* budget.
+//! Both are pure functions of (model, warm start, config), so a fresh
+//! rebuild is guaranteed to reproduce them bit-for-bit. A **timed-out**
+//! solve is the one outcome that is not: it depends on the wall clock, so
+//! caching it would leak a machine-dependent result into a later cycle.
+//! Anything dirty — changed coefficients, a timed-out cached result —
+//! re-solves from scratch, where the branch-and-bound tree already
+//! reoptimises every node LP via dual simplex from its parent's basis.
+//! Classifying non-identical diffs ([`ModelDiff`]) is exported for
+//! observability and for the differential solver-oracle suite, not used to
+//! cut corners.
+
+use crate::branch::{BranchAndBound, MipSolution, MipStatus, SolverConfig};
+use crate::model::Model;
+use crate::tiers::Solver;
+
+/// How a model differs from the previous cycle's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelDiff {
+    /// Bit-for-bit the same model.
+    Identical,
+    /// Same structure; only objective coefficients changed.
+    ObjectiveOnly,
+    /// Same structure; only row right-hand sides changed.
+    RhsOnly,
+    /// Same structure; only variable bounds changed.
+    BoundsOnly,
+    /// Same structure; several coefficient classes changed.
+    Mixed,
+    /// Different variables, rows, sparsity pattern, or SOS1 groups.
+    Structural,
+}
+
+/// Compares two models bit-exactly and classifies the difference.
+pub fn diff_models(prev: &Model, next: &Model) -> ModelDiff {
+    if prev.num_vars() != next.num_vars()
+        || prev.num_constraints() != next.num_constraints()
+        || prev.sos1 != next.sos1
+    {
+        return ModelDiff::Structural;
+    }
+    let mut objective = false;
+    let mut bounds = false;
+    let mut rhs = false;
+    for (a, b) in prev.vars.iter().zip(&next.vars) {
+        if a.kind != b.kind {
+            return ModelDiff::Structural;
+        }
+        if a.objective.to_bits() != b.objective.to_bits() {
+            objective = true;
+        }
+        if a.lower.to_bits() != b.lower.to_bits() || a.upper.to_bits() != b.upper.to_bits() {
+            bounds = true;
+        }
+    }
+    for (a, b) in prev.constraints.iter().zip(&next.constraints) {
+        if a.cmp != b.cmp || a.terms.len() != b.terms.len() {
+            return ModelDiff::Structural;
+        }
+        for ((ja, ca), (jb, cb)) in a.terms.iter().zip(&b.terms) {
+            if ja != jb {
+                return ModelDiff::Structural;
+            }
+            if ca.to_bits() != cb.to_bits() {
+                // A body-coefficient change reshapes the constraint matrix.
+                return ModelDiff::Structural;
+            }
+        }
+        if a.rhs.to_bits() != b.rhs.to_bits() {
+            rhs = true;
+        }
+    }
+    match (objective, bounds, rhs) {
+        (false, false, false) => ModelDiff::Identical,
+        (true, false, false) => ModelDiff::ObjectiveOnly,
+        (false, true, false) => ModelDiff::BoundsOnly,
+        (false, false, true) => ModelDiff::RhsOnly,
+        _ => ModelDiff::Mixed,
+    }
+}
+
+/// Counters describing what the incremental wrapper did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Total `solve_with_warm_start` calls.
+    pub solves: u64,
+    /// Calls answered from the previous cycle's cached solution.
+    pub reuses: u64,
+    /// Calls classified as same-structure (a re-solve still ran).
+    pub same_structure: u64,
+    /// Calls classified as structural changes.
+    pub structural: u64,
+}
+
+struct CacheEntry {
+    model: Model,
+    warm: Option<Vec<f64>>,
+    solution: MipSolution,
+}
+
+/// Tier-2 branch-and-bound with cycle-over-cycle memoization.
+pub struct IncrementalSolver {
+    inner: BranchAndBound,
+    cache: Option<CacheEntry>,
+    stats: IncrementalStats,
+    last_diff: Option<ModelDiff>,
+}
+
+impl IncrementalSolver {
+    /// Incremental wrapper with default budgets.
+    pub fn new() -> Self {
+        Self::with_config(SolverConfig::default())
+    }
+
+    /// Incremental wrapper with explicit budgets.
+    pub fn with_config(config: SolverConfig) -> Self {
+        Self {
+            inner: BranchAndBound::with_config(config),
+            cache: None,
+            stats: IncrementalStats::default(),
+            last_diff: None,
+        }
+    }
+
+    /// What the wrapper has reused/re-solved so far.
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+
+    /// Classification of the most recent solve's model vs its predecessor.
+    pub fn last_diff(&self) -> Option<ModelDiff> {
+        self.last_diff
+    }
+
+    /// Drops the cached previous cycle (e.g. after a config change).
+    pub fn reset(&mut self) {
+        self.cache = None;
+        self.last_diff = None;
+    }
+
+    /// True when a terminal state is a pure function of the solve's inputs
+    /// and therefore safe to replay: a wall-clock timeout is the only
+    /// machine-dependent outcome.
+    fn reusable(solution: &MipSolution) -> bool {
+        matches!(solution.status, MipStatus::Optimal | MipStatus::Feasible) && !solution.timed_out
+    }
+
+    fn warm_matches(cached: &Option<Vec<f64>>, warm: Option<&[f64]>) -> bool {
+        match (cached, warm) {
+            (None, None) => true,
+            (Some(a), Some(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Default for IncrementalSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver for IncrementalSolver {
+    fn tier(&self) -> u8 {
+        2
+    }
+    fn name(&self) -> &'static str {
+        "branch-and-bound-incremental"
+    }
+    fn solve_with_warm_start(&mut self, model: &Model, warm: Option<&[f64]>) -> MipSolution {
+        self.stats.solves += 1;
+        let diff = self
+            .cache
+            .as_ref()
+            .map(|c| diff_models(&c.model, model))
+            .unwrap_or(ModelDiff::Structural);
+        self.last_diff = Some(diff);
+        match diff {
+            ModelDiff::Structural => self.stats.structural += 1,
+            _ => self.stats.same_structure += 1,
+        }
+        if diff == ModelDiff::Identical {
+            if let Some(cache) = &self.cache {
+                // Reuse demands bit-identical inputs AND a deterministic
+                // cached terminal state. Optimal and node-budget Feasible
+                // qualify (pure functions of the inputs); a timed-out solve
+                // does not — its status depends on the wall clock and must
+                // never leak into a later cycle.
+                if Self::warm_matches(&cache.warm, warm) && Self::reusable(&cache.solution) {
+                    self.stats.reuses += 1;
+                    return cache.solution.clone();
+                }
+            }
+        }
+        let solution = BranchAndBound::solve_with_warm_start(&self.inner, model, warm);
+        if Self::reusable(&solution) {
+            self.cache = Some(CacheEntry {
+                model: model.clone(),
+                warm: warm.map(|w| w.to_vec()),
+                solution: solution.clone(),
+            });
+        } else {
+            // A dirty terminal state is not a safe baseline for reuse.
+            self.cache = None;
+        }
+        solution
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, Model};
+    use std::time::Duration;
+
+    fn knapsack(weights_rhs: f64) -> Model {
+        let mut m = Model::new();
+        let a = m.add_binary(10.0);
+        let b = m.add_binary(6.0);
+        let c = m.add_binary(4.0);
+        m.add_constraint(&[(a, 5.0), (b, 4.0), (c, 3.0)], Cmp::Le, weights_rhs);
+        m
+    }
+
+    #[test]
+    fn identical_models_reuse_the_cached_solution() {
+        let m = knapsack(10.0);
+        let mut s = IncrementalSolver::new();
+        let first = s.solve(&m);
+        let second = s.solve(&m);
+        assert_eq!(s.stats().reuses, 1);
+        assert_eq!(first.status, second.status);
+        assert_eq!(first.objective.to_bits(), second.objective.to_bits());
+        assert_eq!(first.nodes, second.nodes);
+        assert_eq!(first.lp_iterations, second.lp_iterations);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&first.values), bits(&second.values));
+    }
+
+    #[test]
+    fn changed_rhs_re_solves() {
+        let mut s = IncrementalSolver::new();
+        s.solve(&knapsack(10.0));
+        let second = s.solve(&knapsack(7.0));
+        assert_eq!(s.stats().reuses, 0);
+        assert_eq!(s.last_diff(), Some(ModelDiff::RhsOnly));
+        assert!((second.objective - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn changed_warm_start_re_solves() {
+        let m = knapsack(10.0);
+        let mut s = IncrementalSolver::new();
+        s.solve_with_warm_start(&m, Some(&[0.0, 0.0, 0.0]));
+        s.solve_with_warm_start(&m, Some(&[1.0, 0.0, 0.0]));
+        assert_eq!(s.stats().reuses, 0);
+    }
+
+    #[test]
+    fn node_budget_feasible_results_are_reused_byte_for_byte() {
+        // A node-limit cutoff is deterministic (unlike a wall-clock one), so
+        // the merely-Feasible incumbent is a safe baseline: replaying it is
+        // bit-identical to what a fresh re-solve would compute.
+        let m = knapsack(10.0);
+        let config = SolverConfig {
+            node_limit: 1,
+            ..SolverConfig::default()
+        };
+        let warm = vec![0.0, 0.0, 0.0];
+        let mut s = IncrementalSolver::with_config(config.clone());
+        let first = s.solve_with_warm_start(&m, Some(&warm));
+        assert_eq!(first.status, MipStatus::Feasible);
+        assert!(!first.timed_out);
+        let second = s.solve_with_warm_start(&m, Some(&warm));
+        assert_eq!(s.stats().reuses, 1, "deterministic Feasible should reuse");
+        let fresh = BranchAndBound::with_config(config).solve_with_warm_start(&m, Some(&warm));
+        for (a, b) in [(&first, &second), (&first, &fresh)] {
+            assert_eq!(a.status, b.status);
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+            assert_eq!(a.nodes, b.nodes);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a.values), bits(&b.values));
+        }
+    }
+
+    #[test]
+    fn timed_out_status_never_leaks_into_a_later_solve() {
+        // Regression: a zero wall-clock budget marks the first solve
+        // timed_out; an identical follow-up must re-solve rather than echo
+        // the stale terminal state.
+        let m = knapsack(10.0);
+        let config = SolverConfig {
+            time_limit: Some(Duration::from_millis(0)),
+            ..SolverConfig::default()
+        };
+        let mut s = IncrementalSolver::with_config(config);
+        let warm = vec![0.0, 0.0, 0.0];
+        let first = s.solve_with_warm_start(&m, Some(&warm));
+        assert!(first.timed_out);
+        let second = s.solve_with_warm_start(&m, Some(&warm));
+        assert_eq!(s.stats().reuses, 0, "timed-out result must not be reused");
+        // The second result's status was computed fresh, not carried over.
+        assert_eq!(s.stats().solves, 2);
+        assert_eq!(second.timed_out, first.timed_out);
+    }
+
+    #[test]
+    fn diff_classification_covers_all_axes() {
+        let base = knapsack(10.0);
+        assert_eq!(diff_models(&base, &knapsack(10.0)), ModelDiff::Identical);
+        assert_eq!(diff_models(&base, &knapsack(9.0)), ModelDiff::RhsOnly);
+
+        let mut obj = knapsack(10.0);
+        obj.vars[0].objective = 11.0;
+        assert_eq!(diff_models(&base, &obj), ModelDiff::ObjectiveOnly);
+
+        let mut bounds = knapsack(10.0);
+        bounds.vars[2].upper = 0.0;
+        assert_eq!(diff_models(&base, &bounds), ModelDiff::BoundsOnly);
+
+        let mut mixed = knapsack(9.0);
+        mixed.vars[0].objective = 11.0;
+        assert_eq!(diff_models(&base, &mixed), ModelDiff::Mixed);
+
+        let mut extra = knapsack(10.0);
+        extra.add_binary(1.0);
+        assert_eq!(diff_models(&base, &extra), ModelDiff::Structural);
+
+        let mut coef = Model::new();
+        let a = coef.add_binary(10.0);
+        let b = coef.add_binary(6.0);
+        let c = coef.add_binary(4.0);
+        coef.add_constraint(&[(a, 5.5), (b, 4.0), (c, 3.0)], Cmp::Le, 10.0);
+        assert_eq!(diff_models(&base, &coef), ModelDiff::Structural);
+    }
+
+    #[test]
+    fn reset_forgets_the_cache() {
+        let m = knapsack(10.0);
+        let mut s = IncrementalSolver::new();
+        s.solve(&m);
+        s.reset();
+        s.solve(&m);
+        assert_eq!(s.stats().reuses, 0);
+        assert_eq!(s.stats().structural, 2);
+    }
+
+    #[test]
+    fn negative_zero_rhs_is_distinguished_from_zero() {
+        // Bit-exact comparison: -0.0 and 0.0 differ, so no reuse happens.
+        let mut s = IncrementalSolver::new();
+        s.solve(&knapsack(0.0));
+        s.solve(&knapsack(-0.0));
+        assert_eq!(s.stats().reuses, 0);
+        assert_eq!(s.last_diff(), Some(ModelDiff::RhsOnly));
+    }
+}

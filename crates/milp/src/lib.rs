@@ -14,6 +14,15 @@
 //!   fix-and-repair rounding incumbents, warm-start seeding from the previous
 //!   cycle's schedule, and node/time budgets that return the best incumbent
 //!   found so far (the solver contract §4.3.6 relies on).
+//! * [`presolve`] — equivalence-preserving reductions (bound tightening,
+//!   fixed-variable elimination, dominated-option removal) shared by all
+//!   solver tiers.
+//! * [`tiers`] — the [`Solver`] trait plus the cheap tier-0/1 backends that
+//!   mirror the scheduler's degradation ladder.
+//! * [`incremental`] — cycle-over-cycle model diffing and provably-safe
+//!   solution reuse for the tier-2 path.
+//! * [`text`] — bit-exact fixture serialisation for the differential
+//!   solver-oracle suite.
 //!
 //! The solver maximises by convention (scheduling maximises expected
 //! utility); minimisation is a caller-side negation.
@@ -21,7 +30,7 @@
 //! # Example
 //!
 //! ```
-//! use threesigma_milp::{Cmp, Model, Solver};
+//! use threesigma_milp::{BranchAndBound, Cmp, Model};
 //!
 //! // max 10a + 6b + 4c  s.t.  5a + 4b + 3c ≤ 10, a,b,c ∈ {0,1}
 //! let mut m = Model::new();
@@ -29,15 +38,22 @@
 //! let b = m.add_binary(6.0);
 //! let c = m.add_binary(4.0);
 //! m.add_constraint(&[(a, 5.0), (b, 4.0), (c, 3.0)], Cmp::Le, 10.0);
-//! let solution = Solver::new().solve(&m);
+//! let solution = BranchAndBound::new().solve(&m);
 //! assert!((solution.objective - 16.0).abs() < 1e-6); // a + b
 //! ```
 
 pub mod branch;
 pub mod clock;
+pub mod incremental;
 pub mod model;
+pub mod presolve;
 pub mod simplex;
+pub mod text;
+pub mod tiers;
 
-pub use branch::{MipSolution, MipStatus, Solver, SolverConfig};
+pub use branch::{BranchAndBound, MipSolution, MipStatus, SolverConfig};
+pub use incremental::{diff_models, IncrementalSolver, IncrementalStats, ModelDiff};
 pub use model::{Cmp, Model, VarId, VarKind};
-pub use simplex::{LpOutcome, LpSolution};
+pub use presolve::{Presolve, PresolveStats};
+pub use simplex::{Basis, LpOutcome, LpSolution};
+pub use tiers::{solver_for_tier, GreedyRounding, LpRepair, Solver};

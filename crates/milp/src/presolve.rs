@@ -1,0 +1,631 @@
+//! Equivalence-preserving model reduction shared by every solver tier.
+//!
+//! Three deterministic transformations run to a fixpoint before the simplex
+//! matrix is ever built:
+//!
+//! 1. **Bound tightening** — constant and singleton rows become variable
+//!    bounds (rounded inward for binaries) and are dropped.
+//! 2. **Fixed-variable elimination** — variables whose bounds have collapsed
+//!    are substituted into every row and the objective (tracked as an
+//!    objective offset) and removed from the column space.
+//! 3. **Dominated-option removal** — inside an SOS1 group protected by its
+//!    `Σ ≤ 1` demand row, an option that is *strictly* worse than a
+//!    groupmate in the objective and no less constraining in *every* row it
+//!    touches can be fixed to zero: swapping it for the dominator strictly
+//!    improves any solution using it, so it appears in no optimal solution.
+//!
+//! Every transformation preserves the optimal objective value and every
+//! eliminated variable has a recorded assignment, so a reduced-space solution
+//! restores to a full-space one via [`Presolve::restore`]. Reductions iterate
+//! in index order only — the pass is bit-deterministic.
+
+use crate::model::{Cmp, Model, VarKind};
+
+/// Feasibility slack used when a row collapses to a constant.
+const TOL: f64 = 1e-9;
+
+/// Counts of what a presolve pass removed (mirrored into
+/// [`crate::MipSolution`] so schedulers can export them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PresolveStats {
+    /// Variables eliminated because their bounds collapsed to a point.
+    pub fixed_vars: usize,
+    /// Constant and singleton rows absorbed into bounds.
+    pub rows_removed: usize,
+    /// SOS1 options fixed to zero by strict domination.
+    pub dominated: usize,
+    /// Variable bounds tightened by singleton rows.
+    pub bounds_tightened: usize,
+}
+
+impl PresolveStats {
+    /// Sum of all reductions — zero means presolve was a no-op.
+    pub fn total(&self) -> usize {
+        self.fixed_vars + self.rows_removed + self.dominated + self.bounds_tightened
+    }
+}
+
+/// Where each original variable went.
+#[derive(Debug, Clone, Copy)]
+enum VarMap {
+    /// Kept, at this column index in the reduced model.
+    Kept(usize),
+    /// Eliminated at this value.
+    Fixed(f64),
+}
+
+/// The result of presolving a [`Model`]: the reduced model plus the mapping
+/// back to the original variable space.
+#[derive(Debug, Clone)]
+pub struct Presolve {
+    reduced: Model,
+    map: Vec<VarMap>,
+    offset: f64,
+    infeasible: bool,
+    stats: PresolveStats,
+}
+
+/// Working row representation during reduction.
+struct WorkRow {
+    terms: Vec<(usize, f64)>,
+    cmp: Cmp,
+    rhs: f64,
+    removed: bool,
+}
+
+impl Presolve {
+    /// Runs the presolve passes on `model`.
+    pub fn run(model: &Model) -> Presolve {
+        let n = model.num_vars();
+        let mut lower: Vec<f64> = model.vars.iter().map(|v| v.lower).collect();
+        let mut upper: Vec<f64> = model.vars.iter().map(|v| v.upper).collect();
+        let kinds: Vec<VarKind> = model.vars.iter().map(|v| v.kind).collect();
+        let objective: Vec<f64> = model.vars.iter().map(|v| v.objective).collect();
+        let mut rows: Vec<WorkRow> = model
+            .constraints
+            .iter()
+            .map(|c| WorkRow {
+                terms: c.terms.clone(),
+                cmp: c.cmp,
+                rhs: c.rhs,
+                removed: false,
+            })
+            .collect();
+        let mut stats = PresolveStats::default();
+        let mut infeasible = false;
+        // A variable is "absorbed" once its fixed value has been substituted
+        // into the rows; its (equal) bounds carry the value.
+        let mut absorbed = vec![false; n];
+
+        let fixpoint = |lower: &mut Vec<f64>,
+                        upper: &mut Vec<f64>,
+                        rows: &mut Vec<WorkRow>,
+                        absorbed: &mut Vec<bool>,
+                        stats: &mut PresolveStats|
+         -> bool {
+            // Alternate bound tightening and fixed-variable substitution
+            // until neither changes anything (bounded pass count for
+            // safety; real models settle in two or three).
+            for _pass in 0..16 {
+                let mut changed = false;
+                for row in rows.iter_mut() {
+                    if row.removed {
+                        continue;
+                    }
+                    if row.terms.is_empty() {
+                        // Constant row: feasible or the whole model dies.
+                        let ok = match row.cmp {
+                            Cmp::Le => 0.0 <= row.rhs + TOL,
+                            Cmp::Ge => 0.0 >= row.rhs - TOL,
+                            Cmp::Eq => row.rhs.abs() <= TOL,
+                        };
+                        if !ok {
+                            return false;
+                        }
+                        row.removed = true;
+                        stats.rows_removed += 1;
+                        changed = true;
+                        continue;
+                    }
+                    if row.terms.len() == 1 {
+                        let (j, a) = row.terms[0];
+                        if a == 0.0 || a.is_nan() || row.rhs.is_nan() {
+                            continue;
+                        }
+                        let bound = row.rhs / a;
+                        // a·x ≤ rhs tightens an upper bound when a > 0 and a
+                        // lower bound when a < 0 (mirrored for ≥; = does
+                        // both).
+                        let (new_lo, new_hi) = match (row.cmp, a > 0.0) {
+                            (Cmp::Le, true) | (Cmp::Ge, false) => (f64::NEG_INFINITY, bound),
+                            (Cmp::Le, false) | (Cmp::Ge, true) => (bound, f64::INFINITY),
+                            (Cmp::Eq, _) => (bound, bound),
+                        };
+                        let mut lo = lower[j].max(new_lo);
+                        let mut hi = upper[j].min(new_hi);
+                        if kinds[j] == VarKind::Binary {
+                            // Round inward WITHOUT clamping to {0, 1}: a bound
+                            // like `I ≥ 2` must stay visible as infeasible.
+                            // `+ 0.0` normalises a `-0.0` from `ceil`.
+                            lo = (lo - 1e-6).ceil() + 0.0;
+                            hi = (hi + 1e-6).floor() + 0.0;
+                        }
+                        if lo > hi + TOL {
+                            return false;
+                        }
+                        // Guard against an inverted continuous interval from
+                        // rounding: collapse to the midpoint-free exact fix.
+                        if lo > hi {
+                            hi = lo;
+                        }
+                        if lo > lower[j] || hi < upper[j] {
+                            stats.bounds_tightened += 1;
+                        }
+                        lower[j] = lo;
+                        upper[j] = hi;
+                        row.removed = true;
+                        stats.rows_removed += 1;
+                        changed = true;
+                        continue;
+                    }
+                }
+                // Substitute any newly fixed variables into the live rows.
+                for j in 0..n {
+                    if absorbed[j] || lower[j] != upper[j] || lower[j].is_nan() {
+                        continue;
+                    }
+                    let value = lower[j];
+                    for row in rows.iter_mut() {
+                        if row.removed {
+                            continue;
+                        }
+                        if let Some(pos) = row.terms.iter().position(|(k, _)| *k == j) {
+                            let (_, coef) = row.terms.remove(pos);
+                            row.rhs -= coef * value;
+                        }
+                    }
+                    absorbed[j] = true;
+                    changed = true;
+                }
+                if !changed {
+                    break;
+                }
+            }
+            true
+        };
+
+        if !fixpoint(&mut lower, &mut upper, &mut rows, &mut absorbed, &mut stats) {
+            infeasible = true;
+        }
+
+        // Dominated-option removal, then another fixpoint to absorb the
+        // zero-fixed options.
+        if !infeasible {
+            let dominated = dominated_options(model, &lower, &upper, &rows);
+            if !dominated.is_empty() {
+                for j in dominated {
+                    upper[j] = 0.0;
+                    stats.dominated += 1;
+                }
+                if !fixpoint(&mut lower, &mut upper, &mut rows, &mut absorbed, &mut stats) {
+                    infeasible = true;
+                }
+            }
+        }
+
+        // Materialise the reduced model.
+        let mut map = vec![VarMap::Fixed(0.0); n];
+        let mut reduced = Model::new();
+        let mut offset = 0.0;
+        let mut fixed_vars = 0usize;
+        for j in 0..n {
+            if absorbed[j] {
+                let value = lower[j];
+                map[j] = VarMap::Fixed(value);
+                offset += objective[j] * value;
+                fixed_vars += 1;
+                continue;
+            }
+            let idx = reduced.num_vars();
+            map[j] = VarMap::Kept(idx);
+            match kinds[j] {
+                VarKind::Binary => {
+                    let v = reduced.add_binary(objective[j]);
+                    // Tightened-but-not-collapsed binary bounds survive the
+                    // rebuild (e.g. a [1, 1] pair is absorbed above, so only
+                    // genuine [0, 1] binaries reach here).
+                    reduced.set_bounds(v, lower[j], upper[j]);
+                }
+                VarKind::Continuous => {
+                    reduced.add_continuous(lower[j], upper[j], objective[j]);
+                }
+            }
+        }
+        stats.fixed_vars = fixed_vars;
+        if !infeasible {
+            for row in &rows {
+                if row.removed {
+                    continue;
+                }
+                if row.terms.is_empty() {
+                    let ok = match row.cmp {
+                        Cmp::Le => 0.0 <= row.rhs + TOL,
+                        Cmp::Ge => 0.0 >= row.rhs - TOL,
+                        Cmp::Eq => row.rhs.abs() <= TOL,
+                    };
+                    if !ok {
+                        infeasible = true;
+                        break;
+                    }
+                    continue;
+                }
+                let terms: Vec<(crate::model::VarId, f64)> = row
+                    .terms
+                    .iter()
+                    .map(|(j, coef)| match map[*j] {
+                        VarMap::Kept(idx) => (crate::model::VarId(idx), *coef),
+                        VarMap::Fixed(_) => unreachable!("fixed vars were substituted"),
+                    })
+                    .collect();
+                reduced.add_constraint(&terms, row.cmp, row.rhs);
+            }
+            for group in &model.sos1 {
+                let members: Vec<crate::model::VarId> = group
+                    .iter()
+                    .filter_map(|j| match map[*j] {
+                        VarMap::Kept(idx) => Some(crate::model::VarId(idx)),
+                        VarMap::Fixed(_) => None,
+                    })
+                    .collect();
+                reduced.add_sos1(&members);
+            }
+        }
+
+        Presolve {
+            reduced,
+            map,
+            offset,
+            infeasible,
+            stats,
+        }
+    }
+
+    /// The reduced model (empty when [`Presolve::is_infeasible`]).
+    pub fn reduced(&self) -> &Model {
+        &self.reduced
+    }
+
+    /// True when presolve proved the original model infeasible.
+    pub fn is_infeasible(&self) -> bool {
+        self.infeasible
+    }
+
+    /// Objective contribution of the eliminated variables; add to a
+    /// reduced-space objective to recover the full-space one.
+    pub fn offset(&self) -> f64 {
+        self.offset
+    }
+
+    /// What presolve removed.
+    pub fn stats(&self) -> PresolveStats {
+        self.stats
+    }
+
+    /// Maps a reduced-space assignment back to the original variable space;
+    /// eliminated variables take their recorded fixed values.
+    pub fn restore(&self, reduced_values: &[f64]) -> Vec<f64> {
+        self.map
+            .iter()
+            .map(|m| match m {
+                VarMap::Kept(idx) => reduced_values.get(*idx).copied().unwrap_or(0.0),
+                VarMap::Fixed(v) => *v,
+            })
+            .collect()
+    }
+
+    /// Projects a full-space warm start into the reduced space (fixed
+    /// entries are dropped; the solver repairs any conflict with a fix the
+    /// same way it repairs any other infeasible seed).
+    pub fn project_warm(&self, warm: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.reduced.num_vars()];
+        for (j, m) in self.map.iter().enumerate() {
+            if let VarMap::Kept(idx) = m {
+                if let Some(v) = warm.get(j) {
+                    out[*idx] = *v;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Finds SOS1 members that are strictly dominated by a groupmate.
+///
+/// Domination is only sound when the group carries its `Σ members ≤ 1`
+/// demand row (the scheduler always emits one): swapping a used dominated
+/// option `b` for its dominator `a` is then guaranteed not to collide with
+/// `a` already being selected. `a` dominates `b` when `obj(a) > obj(b)`
+/// **strictly** and in every live row `a`'s coefficient is no more
+/// constraining than `b`'s (`≤` for `Le`, `≥` for `Ge`, `=` for `Eq`).
+///
+/// Strictness is load-bearing: with `obj(a) > obj(b)` the swap improves any
+/// solution using `b`, so `b` appears in *no* optimal solution and removing
+/// it preserves the optimal solution **set**, not just the optimal value.
+/// An objective tie would preserve the value but could flip which
+/// assignment the solver returns — and callers (the scheduler reads the
+/// chosen option's placement mask off the assignment) care about the
+/// solution itself, so ties are never removed. The dominator must also
+/// belong to no other SOS1 group: a second, branching-enforced group could
+/// make the swap infeasible without any row revealing it.
+fn dominated_options(model: &Model, lower: &[f64], upper: &[f64], rows: &[WorkRow]) -> Vec<usize> {
+    let n = model.num_vars();
+    // Per-variable row membership with coefficients, for live rows only.
+    // Rows are visited in index order, so each list is sorted by row; a
+    // duplicate term in one row keeps its first coefficient.
+    let mut occurs: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for (r, row) in rows.iter().enumerate() {
+        if row.removed {
+            continue;
+        }
+        for (j, coef) in &row.terms {
+            if occurs[*j].last().is_none_or(|(last, _)| *last != r) {
+                occurs[*j].push((r, *coef));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let mut gone = vec![false; n];
+    // SOS1 membership counts: a dominator gets set to 1 by the swap, which
+    // could violate a second (row-less, branching-enforced) group.
+    let mut membership = vec![0usize; n];
+    for group in &model.sos1 {
+        for &j in group {
+            membership[j] += 1;
+        }
+    }
+    for group in &model.sos1 {
+        // Only groups protected by their demand row qualify.
+        let has_demand_row = rows.iter().any(|row| {
+            !row.removed
+                && row.cmp == Cmp::Le
+                && (row.rhs - 1.0).abs() <= TOL
+                && row.terms.len() == group.len()
+                && row
+                    .terms
+                    .iter()
+                    .all(|(j, c)| (*c - 1.0).abs() <= TOL && group.contains(j))
+        });
+        if !has_demand_row {
+            continue;
+        }
+        let free =
+            |j: usize| model.vars[j].kind == VarKind::Binary && lower[j] <= 0.0 && upper[j] >= 1.0;
+        for &b in group {
+            if gone[b] || !free(b) {
+                continue;
+            }
+            'dominators: for &a in group {
+                if a == b || gone[a] || !free(a) || membership[a] != 1 {
+                    continue;
+                }
+                let oa = model.vars[a].objective;
+                let ob = model.vars[b].objective;
+                // Strict improvement only; NaN-safe (unordered never
+                // dominates). See the function doc for why a tie must
+                // keep both options alive.
+                if oa <= ob || oa.is_nan() || ob.is_nan() {
+                    continue;
+                }
+                // Every live row touching either variable must prefer `a`.
+                // Both occurrence lists are sorted by row, so a single
+                // merge-walk visits each touched row once (an absent
+                // variable contributes coefficient 0).
+                let (la, lb) = (&occurs[a], &occurs[b]);
+                let (mut ia, mut ib) = (0usize, 0usize);
+                while ia < la.len() || ib < lb.len() {
+                    let ra = la.get(ia).map_or(usize::MAX, |(r, _)| *r);
+                    let rb = lb.get(ib).map_or(usize::MAX, |(r, _)| *r);
+                    let r = ra.min(rb);
+                    let mut ca = 0.0;
+                    let mut cb = 0.0;
+                    if ra == r {
+                        ca = la[ia].1;
+                        ia += 1;
+                    }
+                    if rb == r {
+                        cb = lb[ib].1;
+                        ib += 1;
+                    }
+                    let ok = match rows[r].cmp {
+                        Cmp::Le => ca <= cb,
+                        Cmp::Ge => ca >= cb,
+                        Cmp::Eq => ca == cb,
+                    };
+                    if !ok {
+                        continue 'dominators;
+                    }
+                }
+                gone[b] = true;
+                out.push(b);
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Cmp, Model};
+
+    #[test]
+    fn singleton_rows_become_bounds() {
+        // x ≤ 3 as a row collapses into the bound and the row disappears.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 10.0, 1.0);
+        m.add_constraint(&[(x, 1.0)], Cmp::Le, 3.0);
+        let p = Presolve::run(&m);
+        assert!(!p.is_infeasible());
+        assert_eq!(p.reduced().num_constraints(), 0);
+        assert_eq!(p.reduced().num_vars(), 1);
+        assert_eq!(p.stats().rows_removed, 1);
+        assert_eq!(p.stats().bounds_tightened, 1);
+    }
+
+    #[test]
+    fn binary_singleton_rounds_inward_and_fixes() {
+        // I ≥ 0.4 with I binary means I = 1; the variable is eliminated.
+        let mut m = Model::new();
+        let i = m.add_binary(5.0);
+        m.add_constraint(&[(i, 1.0)], Cmp::Ge, 0.4);
+        let p = Presolve::run(&m);
+        assert!(!p.is_infeasible());
+        assert_eq!(p.reduced().num_vars(), 0);
+        assert_eq!(p.offset(), 5.0);
+        let restored = p.restore(&[]);
+        assert_eq!(restored, vec![1.0]);
+    }
+
+    #[test]
+    fn conflicting_singletons_prove_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 10.0, 1.0);
+        m.add_constraint(&[(x, 1.0)], Cmp::Ge, 7.0);
+        m.add_constraint(&[(x, 1.0)], Cmp::Le, 3.0);
+        assert!(Presolve::run(&m).is_infeasible());
+    }
+
+    #[test]
+    fn binary_above_one_is_infeasible() {
+        let mut m = Model::new();
+        let i = m.add_binary(1.0);
+        m.add_constraint(&[(i, 1.0)], Cmp::Ge, 2.0);
+        assert!(Presolve::run(&m).is_infeasible());
+    }
+
+    #[test]
+    fn fixed_variable_substitutes_into_rows() {
+        // x fixed at 2 by equal bounds; x + y ≤ 5 becomes y ≤ 3.
+        let mut m = Model::new();
+        let x = m.add_continuous(2.0, 2.0, 3.0);
+        let y = m.add_continuous(0.0, 10.0, 1.0);
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Le, 5.0);
+        let p = Presolve::run(&m);
+        assert!(!p.is_infeasible());
+        assert_eq!(p.reduced().num_vars(), 1);
+        assert_eq!(p.offset(), 6.0);
+        let restored = p.restore(&[3.0]);
+        assert_eq!(restored, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn dominated_option_is_fixed_to_zero() {
+        // Two options of one job: equal capacity use, worse utility → the
+        // weaker one is dominated and eliminated.
+        let mut m = Model::new();
+        let a = m.add_binary(5.0);
+        let b = m.add_binary(3.0);
+        m.add_constraint(&[(a, 1.0), (b, 1.0)], Cmp::Le, 1.0);
+        m.add_sos1(&[a, b]);
+        m.add_constraint(&[(a, 2.0), (b, 2.0)], Cmp::Le, 4.0);
+        let p = Presolve::run(&m);
+        assert!(!p.is_infeasible());
+        assert_eq!(p.stats().dominated, 1);
+        let restored = p.restore(&vec![0.0; p.reduced().num_vars()]);
+        assert_eq!(restored[b.index()], 0.0);
+    }
+
+    #[test]
+    fn cheaper_capacity_does_not_dominate() {
+        // b uses less capacity than a, so neither dominates: b survives.
+        let mut m = Model::new();
+        let a = m.add_binary(5.0);
+        let b = m.add_binary(3.0);
+        m.add_constraint(&[(a, 1.0), (b, 1.0)], Cmp::Le, 1.0);
+        m.add_sos1(&[a, b]);
+        m.add_constraint(&[(a, 3.0), (b, 1.0)], Cmp::Le, 4.0);
+        let p = Presolve::run(&m);
+        assert_eq!(p.stats().dominated, 0);
+    }
+
+    #[test]
+    fn exact_ties_are_never_removed() {
+        // Equal objective and equal rows: removing either side would
+        // preserve the optimal value but shrink the optimal solution set —
+        // callers read the assignment, so both options must survive.
+        let mut m = Model::new();
+        let a = m.add_binary(4.0);
+        let b = m.add_binary(4.0);
+        m.add_constraint(&[(a, 1.0), (b, 1.0)], Cmp::Le, 1.0);
+        m.add_sos1(&[a, b]);
+        let p = Presolve::run(&m);
+        assert_eq!(p.stats().dominated, 0);
+        assert_eq!(p.reduced().num_vars(), 2);
+    }
+
+    #[test]
+    fn dominator_in_a_second_sos1_group_is_disqualified() {
+        // `a` strictly beats `b`, but `a` also sits in another SOS1 group
+        // with no demand row: the swap b→a could violate that group via
+        // branching alone, so nothing may be removed.
+        let mut m = Model::new();
+        let a = m.add_binary(5.0);
+        let b = m.add_binary(3.0);
+        let c = m.add_binary(1.0);
+        m.add_constraint(&[(a, 1.0), (b, 1.0)], Cmp::Le, 1.0);
+        m.add_sos1(&[a, b]);
+        m.add_sos1(&[a, c]);
+        let p = Presolve::run(&m);
+        assert_eq!(p.stats().dominated, 0);
+    }
+
+    #[test]
+    fn domination_requires_the_demand_row() {
+        // Same shape but no Σ ≤ 1 row: the swap argument doesn't hold, so
+        // nothing may be removed.
+        let mut m = Model::new();
+        let a = m.add_binary(5.0);
+        let b = m.add_binary(3.0);
+        m.add_sos1(&[a, b]);
+        m.add_constraint(&[(a, 2.0), (b, 2.0)], Cmp::Le, 4.0);
+        let p = Presolve::run(&m);
+        assert_eq!(p.stats().dominated, 0);
+    }
+
+    #[test]
+    fn constant_rows_check_feasibility() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 1.0, 1.0);
+        m.add_constraint(&[(x, 0.0)], Cmp::Le, 1.0);
+        assert!(!Presolve::run(&m).is_infeasible());
+        let mut bad = Model::new();
+        let y = bad.add_continuous(0.0, 1.0, 1.0);
+        bad.add_constraint(&[(y, 0.0)], Cmp::Ge, 1.0);
+        assert!(Presolve::run(&bad).is_infeasible());
+    }
+
+    #[test]
+    fn warm_start_projection_drops_fixed_entries() {
+        let mut m = Model::new();
+        let _x = m.add_continuous(2.0, 2.0, 0.0);
+        let y = m.add_continuous(0.0, 10.0, 1.0);
+        m.add_constraint(&[(_x, 1.0), (y, 1.0)], Cmp::Le, 5.0);
+        let p = Presolve::run(&m);
+        let projected = p.project_warm(&[2.0, 7.5]);
+        assert_eq!(projected, vec![7.5]);
+    }
+
+    #[test]
+    fn noop_presolve_keeps_the_model_intact() {
+        let mut m = Model::new();
+        let a = m.add_binary(1.0);
+        let b = m.add_binary(2.0);
+        m.add_constraint(&[(a, 2.0), (b, 3.0)], Cmp::Le, 4.0);
+        let p = Presolve::run(&m);
+        assert_eq!(p.stats().total(), 0);
+        assert_eq!(p.reduced().num_vars(), 2);
+        assert_eq!(p.reduced().num_constraints(), 1);
+        assert_eq!(p.offset(), 0.0);
+    }
+}

@@ -60,6 +60,39 @@ enum VarState {
     AtUpper,
 }
 
+/// A snapshot of a simplex basis: which variable occupies each basis row and
+/// which bound every nonbasic variable rests on.
+///
+/// Opaque to callers — obtain one from [`solve_lp_warm`] and feed it back to
+/// a later [`solve_lp_warm`] call on a model with the *same* variable and row
+/// counts to reoptimise from that vertex (dual simplex first, then primal)
+/// instead of restarting from the all-slack basis. An incompatible or
+/// singular snapshot is ignored and the solve falls back to a cold start, so
+/// reuse is always safe.
+#[derive(Debug, Clone)]
+pub struct Basis {
+    state: Vec<VarState>,
+    basis: Vec<usize>,
+}
+
+impl Basis {
+    /// True when the snapshot's dimensions match an (n structural, m rows)
+    /// tableau — the precondition for installing it.
+    pub fn fits(&self, num_vars: usize, num_constraints: usize) -> bool {
+        self.state.len() == num_vars + num_constraints && self.basis.len() == num_constraints
+    }
+}
+
+/// Outcome of the dual-simplex reoptimisation loop.
+enum DualResult {
+    /// Primal feasibility restored; continue with primal phase 2.
+    Feasible,
+    /// Dual unbounded: the LP is primal infeasible.
+    Infeasible,
+    /// Numerical trouble or iteration cap; fall back to composite phase 1.
+    Stalled,
+}
+
 struct Tableau {
     /// Sparse columns, structural then slack: `(row, coefficient)`.
     cols: Vec<Vec<(usize, f64)>>,
@@ -155,6 +188,259 @@ impl Tableau {
         };
         t.recompute_xb();
         t
+    }
+
+    /// Discards the current basis and returns to the all-slack cold start
+    /// (the escape hatch when a warm basis leads phase 1 into a degenerate
+    /// cycle that even Bland's rule cannot break — the composite phase-1
+    /// cost changes every iteration, so no pivoting rule guarantees
+    /// termination from an arbitrary starting basis).
+    fn reset_cold(&mut self) {
+        let n = self.n_structural;
+        for j in 0..n {
+            if self.lower[j].is_finite() {
+                self.state[j] = VarState::AtLower;
+                self.xn[j] = self.lower[j];
+            } else {
+                self.state[j] = VarState::AtUpper;
+                self.xn[j] = self.upper[j];
+            }
+        }
+        for r in 0..self.m {
+            self.state[n + r] = VarState::Basic(r);
+            self.basis[r] = n + r;
+            self.xn[n + r] = 0.0;
+        }
+        self.binv = identity(self.m);
+        self.pivots_since_refactor = 0;
+        self.recompute_xb();
+    }
+
+    /// Replaces the all-slack start with a previously captured basis. The
+    /// nonbasic resting values are recomputed from the *current* bounds (a
+    /// branch-and-bound child tightens bounds between solves), resting each
+    /// variable on a finite bound. Returns `false` — leaving the tableau in
+    /// its valid cold-start state — when the snapshot does not fit or its
+    /// basis matrix is singular under the current column set.
+    fn install(&mut self, b: &Basis) -> bool {
+        if !b.fits(self.n_structural, self.m) {
+            return false;
+        }
+        // Validate consistency: every basis row names a column marked Basic
+        // for that row, and states/rows agree in count.
+        let mut basic_seen = 0usize;
+        for (j, s) in b.state.iter().enumerate() {
+            if let VarState::Basic(r) = s {
+                if *r >= self.m || b.basis[*r] != j {
+                    return false;
+                }
+                basic_seen += 1;
+            }
+        }
+        if basic_seen != self.m {
+            return false;
+        }
+        let saved_state = std::mem::replace(&mut self.state, b.state.clone());
+        let saved_basis = std::mem::replace(&mut self.basis, b.basis.clone());
+        let saved_binv = self.binv.clone();
+        if !self.refactorize() {
+            self.state = saved_state;
+            self.basis = saved_basis;
+            self.binv = saved_binv;
+            return false;
+        }
+        for j in 0..self.state.len() {
+            match self.state[j] {
+                VarState::Basic(_) => {}
+                VarState::AtLower => {
+                    if self.lower[j].is_finite() {
+                        self.xn[j] = self.lower[j];
+                    } else {
+                        self.state[j] = VarState::AtUpper;
+                        self.xn[j] = self.upper[j];
+                    }
+                }
+                VarState::AtUpper => {
+                    if self.upper[j].is_finite() {
+                        self.xn[j] = self.upper[j];
+                    } else {
+                        self.state[j] = VarState::AtLower;
+                        self.xn[j] = self.lower[j];
+                    }
+                }
+            }
+        }
+        self.recompute_xb();
+        true
+    }
+
+    fn snapshot(&self) -> Basis {
+        Basis {
+            state: self.state.clone(),
+            basis: self.basis.clone(),
+        }
+    }
+
+    /// True when no nonbasic column prices out as improving for `cost` — the
+    /// precondition for dual-simplex reoptimisation.
+    fn dual_feasible(&self, cost: &[f64]) -> bool {
+        let y = self.duals(cost);
+        for j in 0..self.cols.len() {
+            let sigma = match self.state[j] {
+                VarState::Basic(_) => continue,
+                VarState::AtLower => 1.0,
+                VarState::AtUpper => -1.0,
+            };
+            if self.upper[j] - self.lower[j] <= 0.0 {
+                continue;
+            }
+            let d = self.reduced_cost(j, cost, &y);
+            if sigma > 0.0 && d > OPT_TOL {
+                return false;
+            }
+            if sigma < 0.0 && d < -OPT_TOL {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Dual-simplex reoptimisation: starting from a dual-feasible basis with
+    /// primal violations (the warm-start case after bound/rhs changes),
+    /// drives the most-violated basic variable to its bound per iteration
+    /// while the ratio test preserves dual feasibility.
+    fn dual_loop(&mut self, cost: &[f64], iter_limit: usize) -> DualResult {
+        loop {
+            // Leaving row: largest bound violation among basic variables.
+            let mut leaving: Option<(usize, f64, f64)> = None; // (row, violation, target)
+            for i in 0..self.m {
+                let j = self.basis[i];
+                let x = self.xb[i];
+                let (viol, target) = if x < self.lower[j] - FEAS_TOL {
+                    (self.lower[j] - x, self.lower[j])
+                } else if x > self.upper[j] + FEAS_TOL {
+                    (x - self.upper[j], self.upper[j])
+                } else {
+                    continue;
+                };
+                if leaving.is_none_or(|(_, v, _)| viol > v) {
+                    leaving = Some((i, viol, target));
+                }
+            }
+            let Some((r, _, target)) = leaving else {
+                return DualResult::Feasible;
+            };
+            if self.iterations >= iter_limit {
+                return DualResult::Stalled;
+            }
+
+            let delta_r = target - self.xb[r];
+            let y = self.duals(cost);
+            // Row r of Binv·A for every nonbasic column, priced lazily.
+            let m = self.m;
+            let mut entering: Option<(usize, f64, f64)> = None; // (col, ratio, sigma)
+            for j in 0..self.cols.len() {
+                let sigma = match self.state[j] {
+                    VarState::Basic(_) => continue,
+                    VarState::AtLower => 1.0,
+                    VarState::AtUpper => -1.0,
+                };
+                if self.upper[j] - self.lower[j] <= 0.0 {
+                    continue;
+                }
+                let mut alpha = 0.0;
+                for (row, coef) in &self.cols[j] {
+                    alpha += self.binv[r * m + row] * coef;
+                }
+                // xb[r] moves at rate −sigma·alpha per unit step of x_j; the
+                // candidate must move it toward the violated bound.
+                let rate = -sigma * alpha;
+                if rate * delta_r.signum() <= PIVOT_TOL {
+                    continue;
+                }
+                let d = self.reduced_cost(j, cost, &y);
+                let ratio = d.abs() / alpha.abs();
+                if entering
+                    .is_none_or(|(ej, er, _)| ratio < er - 1e-12 || (ratio < er + 1e-12 && j < ej))
+                {
+                    entering = Some((j, ratio, sigma));
+                }
+            }
+            let Some((q, _, sigma)) = entering else {
+                // No column can reduce the violation: dual unbounded, primal
+                // infeasible.
+                return DualResult::Infeasible;
+            };
+
+            let w = self.ftran(q);
+            let alpha_r = w[r];
+            let rate = -sigma * alpha_r;
+            if rate.abs() <= PIVOT_TOL {
+                return DualResult::Stalled;
+            }
+            let t_needed = delta_r / rate;
+            let own_range = self.upper[q] - self.lower[q];
+            self.iterations += 1;
+            if t_needed > own_range {
+                // Entering variable hits its opposite bound first: bound
+                // flip; the violated row stays leaving next iteration.
+                let t = own_range;
+                for i in 0..m {
+                    self.xb[i] += -sigma * w[i] * t;
+                }
+                let new_state = match self.state[q] {
+                    VarState::AtLower => VarState::AtUpper,
+                    VarState::AtUpper => VarState::AtLower,
+                    VarState::Basic(_) => return DualResult::Stalled,
+                };
+                self.state[q] = new_state;
+                self.xn[q] = match new_state {
+                    VarState::AtLower => self.lower[q],
+                    VarState::AtUpper => self.upper[q],
+                    VarState::Basic(_) => return DualResult::Stalled,
+                };
+                continue;
+            }
+            let t = t_needed;
+            let entering_value = self.xn[q] + sigma * t;
+            for i in 0..m {
+                self.xb[i] += -sigma * w[i] * t;
+            }
+            let leaving_var = self.basis[r];
+            self.state[leaving_var] = if target == self.upper[leaving_var] {
+                VarState::AtUpper
+            } else {
+                VarState::AtLower
+            };
+            self.xn[leaving_var] = target;
+            let piv = w[r];
+            if piv.abs() < PIVOT_TOL {
+                self.refactorize();
+                self.recompute_xb();
+                return DualResult::Stalled;
+            }
+            let pivot_row: Vec<f64> = (0..m).map(|k| self.binv[r * m + k] / piv).collect();
+            for i in 0..m {
+                if i == r {
+                    continue;
+                }
+                let f = w[i];
+                if f != 0.0 {
+                    for k in 0..m {
+                        self.binv[i * m + k] -= f * pivot_row[k];
+                    }
+                }
+            }
+            self.binv[r * m..(r + 1) * m].copy_from_slice(&pivot_row);
+            self.basis[r] = q;
+            self.state[q] = VarState::Basic(r);
+            self.xb[r] = entering_value;
+            self.pivots_since_refactor += 1;
+            if self.pivots_since_refactor >= REFACTOR_EVERY {
+                self.refactorize();
+                self.recompute_xb();
+            }
+        }
     }
 
     fn recompute_xb(&mut self) {
@@ -412,6 +698,17 @@ impl Tableau {
                 Ok(true)
             }
             Some(r) => {
+                // Check the pivot element BEFORE mutating any state: bailing
+                // out after the leaving variable has been marked nonbasic
+                // (while `basis[r]` still holds it) leaves the tableau
+                // inconsistent and pricing chases phantom columns forever.
+                let piv = w[r];
+                if piv.abs() < PIVOT_TOL {
+                    // Numerically hopeless pivot; refactorise and retry later.
+                    self.refactorize();
+                    self.recompute_xb();
+                    return Ok(true);
+                }
                 let t = t_max;
                 let entering_value = self.xn[q] + sigma * t;
                 for i in 0..self.m {
@@ -433,13 +730,6 @@ impl Tableau {
                     self.lower[leaving_var]
                 };
                 // Pivot: update Binv with the eta transformation.
-                let piv = w[r];
-                if piv.abs() < PIVOT_TOL {
-                    // Numerically hopeless pivot; refactorise and retry later.
-                    self.refactorize();
-                    self.recompute_xb();
-                    return Ok(true);
-                }
                 let m = self.m;
                 let pivot_row: Vec<f64> = (0..m).map(|k| self.binv[r * m + k] / piv).collect();
                 for i in 0..m {
@@ -495,31 +785,79 @@ pub fn solve_lp(model: &Model) -> LpSolution {
 /// Solves the LP relaxation with per-variable bound overrides (used by
 /// branch-and-bound node fixing; `bounds[j]` replaces variable `j`'s bounds).
 pub fn solve_lp_with_bounds(model: &Model, bounds: Option<&[(f64, f64)]>) -> LpSolution {
+    solve_lp_warm(model, bounds, None).0
+}
+
+/// Solves the LP relaxation, optionally reoptimising from a previous
+/// [`Basis`] instead of the all-slack cold start.
+///
+/// When `warm` fits and is dual feasible for the current objective, primal
+/// feasibility is restored by dual simplex (the textbook reoptimisation after
+/// bound or rhs changes — exactly what branch-and-bound children and
+/// cycle-over-cycle model diffs produce); otherwise the composite phase-1
+/// runs from the installed basis, which still tends to be far closer to
+/// optimal than the all-slack start. The returned basis snapshot seeds the
+/// next solve. Warm and cold solves may finish on *different* optimal
+/// vertices of a degenerate face, so callers that require bit-identical
+/// results must not mix warm and cold paths (see DESIGN.md §9).
+pub fn solve_lp_warm(
+    model: &Model,
+    bounds: Option<&[(f64, f64)]>,
+    warm: Option<&Basis>,
+) -> (LpSolution, Basis) {
     if let Some(b) = bounds {
         debug_assert_eq!(b.len(), model.num_vars());
         if b.iter().any(|(lo, hi)| lo > hi) {
-            return LpSolution {
-                outcome: LpOutcome::Infeasible,
-                objective: f64::NEG_INFINITY,
-                values: Vec::new(),
-                iterations: 0,
-            };
+            let t = Tableau::new(model, bounds);
+            return (
+                LpSolution {
+                    outcome: LpOutcome::Infeasible,
+                    objective: f64::NEG_INFINITY,
+                    values: Vec::new(),
+                    iterations: 0,
+                },
+                t.snapshot(),
+            );
         }
     }
     let mut t = Tableau::new(model, bounds);
     let iter_limit = 200 * (t.m + t.n_structural) + 2000;
 
+    // Warm path: a pure accelerator. Either it finishes with a clean,
+    // trustworthy outcome (optimal / unbounded / dual-proven infeasible), or
+    // it gives up and the solve restarts below from the all-slack basis with
+    // cold-start semantics — a clipped or drifted warm result never escapes,
+    // so warm starts can only change *which* optimal vertex is reported,
+    // never the solution quality (see DESIGN.md §9).
+    if let Some(basis) = warm {
+        if t.install(basis) {
+            match warm_attempt(model, &mut t, iter_limit) {
+                Some(sol) => {
+                    let snapshot = t.snapshot();
+                    return (sol, snapshot);
+                }
+                None => t.reset_cold(),
+            }
+        }
+    }
+
+    // Cold path. The budget is relative to the iterations already spent so
+    // an abandoned warm attempt cannot starve the solve that actually
+    // produces the answer.
+    let budget = t.iterations + iter_limit;
+
     // Phase 1: drive infeasibility to zero with dynamically recomputed costs.
     let mut stall = 0usize;
     let mut last_inf = f64::INFINITY;
     while t.infeasibility() > FEAS_TOL {
-        if t.iterations >= iter_limit {
-            return LpSolution {
+        if t.iterations >= budget {
+            let sol = LpSolution {
                 outcome: LpOutcome::IterationLimit,
                 objective: f64::NEG_INFINITY,
                 values: t.extract(),
                 iterations: t.iterations,
             };
+            return (sol, t.snapshot());
         }
         let c1 = t.phase1_cost();
         let bland = stall > 2 * (t.m + 10);
@@ -534,12 +872,13 @@ pub fn solve_lp_with_bounds(model: &Model, bounds: Option<&[(f64, f64)]>) -> LpS
                 }
             }
             Ok(false) => {
-                return LpSolution {
+                let sol = LpSolution {
                     outcome: LpOutcome::Infeasible,
                     objective: f64::NEG_INFINITY,
                     values: Vec::new(),
                     iterations: t.iterations,
                 };
+                return (sol, t.snapshot());
             }
             Err(()) => unreachable!("phase 1 reported unbounded"),
         }
@@ -550,15 +889,16 @@ pub fn solve_lp_with_bounds(model: &Model, bounds: Option<&[(f64, f64)]>) -> LpS
     let mut stall = 0usize;
     let mut last_obj = f64::NEG_INFINITY;
     loop {
-        if t.iterations >= iter_limit {
+        if t.iterations >= budget {
             let values = t.extract();
             let objective = model.objective_value(&values);
-            return LpSolution {
+            let sol = LpSolution {
                 outcome: LpOutcome::IterationLimit,
                 objective,
                 values,
                 iterations: t.iterations,
             };
+            return (sol, t.snapshot());
         }
         let bland = stall > 2 * (t.m + 10);
         match t.step(&cost, bland, false) {
@@ -584,20 +924,137 @@ pub fn solve_lp_with_bounds(model: &Model, bounds: Option<&[(f64, f64)]>) -> LpS
             Ok(false) => {
                 let values = t.extract();
                 let objective = model.objective_value(&values);
-                return LpSolution {
+                let sol = LpSolution {
                     outcome: LpOutcome::Optimal,
                     objective,
                     values,
                     iterations: t.iterations,
                 };
+                return (sol, t.snapshot());
             }
             Err(()) => {
-                return LpSolution {
+                let sol = LpSolution {
                     outcome: LpOutcome::Unbounded,
                     objective: f64::INFINITY,
                     values: t.extract(),
                     iterations: t.iterations,
                 };
+                return (sol, t.snapshot());
+            }
+        }
+    }
+}
+
+/// Runs the warm-start fast path from an installed basis: dual-simplex
+/// reoptimisation, then tightly-capped primal cleanup. Returns `Some` only
+/// for clean terminal outcomes (optimal, unbounded, or dual-proven
+/// infeasible); `None` means the basis led into degenerate cycling or
+/// numerical drift and the caller must redo the solve from the all-slack
+/// basis — so a warm start can never degrade solution quality, it can only
+/// pick a different optimal vertex or waste its bounded effort budget.
+fn warm_attempt(model: &Model, t: &mut Tableau, iter_limit: usize) -> Option<LpSolution> {
+    let cost = t.cost.clone();
+    if t.dual_feasible(&cost) {
+        // Dual reoptimisation normally needs a handful of pivots (one per
+        // changed bound), but on degenerate faces it can cycle — the leaving
+        // rule has no anti-cycling guarantee. Cap its effort.
+        let dual_budget = (t.iterations + 2 * t.m + 100).min(iter_limit);
+        match t.dual_loop(&cost, dual_budget) {
+            DualResult::Feasible => {}
+            DualResult::Infeasible => {
+                // Dual unboundedness proves primal infeasibility from any
+                // starting basis.
+                return Some(LpSolution {
+                    outcome: LpOutcome::Infeasible,
+                    objective: f64::NEG_INFINITY,
+                    values: Vec::new(),
+                    iterations: t.iterations,
+                });
+            }
+            DualResult::Stalled => return None,
+        }
+    }
+
+    // Primal cleanup. The stall caps are deliberately tight: a warm basis
+    // that needs a long degenerate primal phase is no better than a cold
+    // start, and the cold path has the proven convergence behaviour.
+    let cap = 4 * (t.m + 10);
+
+    let mut stall = 0usize;
+    let mut last_inf = f64::INFINITY;
+    while t.infeasibility() > FEAS_TOL {
+        if t.iterations >= iter_limit || stall > cap {
+            return None;
+        }
+        let c1 = t.phase1_cost();
+        let bland = stall > 2 * (t.m + 10);
+        match t.step(&c1, bland, true) {
+            Ok(true) => {
+                let inf = t.infeasibility();
+                if inf < last_inf - FEAS_TOL {
+                    stall = 0;
+                    last_inf = inf;
+                } else {
+                    stall += 1;
+                }
+            }
+            // Phase-1 optimality with residual infeasibility is an
+            // infeasibility certificate, but let the cold path confirm it
+            // rather than trusting one derived from a reused basis.
+            Ok(false) => return None,
+            Err(()) => unreachable!("phase 1 reported unbounded"),
+        }
+    }
+
+    let mut stall = 0usize;
+    let mut last_obj = f64::NEG_INFINITY;
+    loop {
+        if t.iterations >= iter_limit || stall > cap {
+            return None;
+        }
+        let bland = stall > 2 * (t.m + 10);
+        match t.step(&cost, bland, false) {
+            Ok(true) => {
+                let obj = model.objective_value(&t.extract());
+                if obj > last_obj + OPT_TOL {
+                    stall = 0;
+                    last_obj = obj;
+                } else {
+                    stall += 1;
+                }
+                // Reused bases drift more than cold ones; on material
+                // infeasibility try one refactorisation, then hand the solve
+                // back to the cold path rather than repairing in place.
+                if t.infeasibility() > 1e3 * FEAS_TOL {
+                    t.refactorize();
+                    t.recompute_xb();
+                    if t.infeasibility() > 1e3 * FEAS_TOL {
+                        return None;
+                    }
+                }
+            }
+            Ok(false) => {
+                if t.infeasibility() > FEAS_TOL {
+                    // "Optimal" on a drifted, slightly infeasible point is
+                    // not a clean outcome — redo cold.
+                    return None;
+                }
+                let values = t.extract();
+                let objective = model.objective_value(&values);
+                return Some(LpSolution {
+                    outcome: LpOutcome::Optimal,
+                    objective,
+                    values,
+                    iterations: t.iterations,
+                });
+            }
+            Err(()) => {
+                return Some(LpSolution {
+                    outcome: LpOutcome::Unbounded,
+                    objective: f64::INFINITY,
+                    values: t.extract(),
+                    iterations: t.iterations,
+                });
             }
         }
     }
@@ -875,5 +1332,123 @@ mod tests {
             1e-5
         ));
         assert_near(s.objective, m.objective_value(&s.values));
+    }
+
+    fn two_var_model() -> (Model, crate::model::VarId, crate::model::VarId) {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), obj 36.
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, f64::INFINITY, 3.0);
+        let y = m.add_continuous(0.0, f64::INFINITY, 5.0);
+        m.add_constraint(&[(x, 1.0)], Cmp::Le, 4.0);
+        m.add_constraint(&[(y, 2.0)], Cmp::Le, 12.0);
+        m.add_constraint(&[(x, 3.0), (y, 2.0)], Cmp::Le, 18.0);
+        (m, x, y)
+    }
+
+    #[test]
+    fn warm_basis_reoptimises_after_bound_tightening() {
+        let (m, _, _) = two_var_model();
+        let (cold, basis) = solve_lp_warm(&m, None, None);
+        assert_eq!(cold.outcome, LpOutcome::Optimal);
+        // Tighten x ≤ 1 via bound overrides and reoptimise from the optimal
+        // basis: dual simplex should need far fewer pivots than a cold solve
+        // and land on the same optimum the cold path finds.
+        let bounds = [(0.0, 1.0), (0.0, f64::INFINITY)];
+        let (warm, _) = solve_lp_warm(&m, Some(&bounds), Some(&basis));
+        let cold2 = solve_lp_with_bounds(&m, Some(&bounds));
+        assert_eq!(warm.outcome, LpOutcome::Optimal);
+        assert_near(warm.objective, cold2.objective);
+        assert!(
+            warm.iterations <= cold2.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold2.iterations
+        );
+    }
+
+    #[test]
+    fn warm_basis_detects_infeasibility_after_bound_change() {
+        let mut m = Model::new();
+        let x = m.add_continuous(0.0, 10.0, 1.0);
+        m.add_constraint(&[(x, 1.0)], Cmp::Ge, 5.0);
+        let (cold, basis) = solve_lp_warm(&m, None, None);
+        assert_eq!(cold.outcome, LpOutcome::Optimal);
+        // x ∈ [0, 2] conflicts with x ≥ 5: the dual loop must certify
+        // infeasibility from the warm basis.
+        let (warm, _) = solve_lp_warm(&m, Some(&[(0.0, 2.0)]), Some(&basis));
+        assert_eq!(warm.outcome, LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn incompatible_basis_falls_back_to_cold_start() {
+        let (m, _, _) = two_var_model();
+        let (_, basis) = solve_lp_warm(&m, None, None);
+        // A different model shape must ignore the stale snapshot entirely.
+        let mut other = Model::new();
+        other.add_continuous(0.0, 4.0, 2.0);
+        assert!(!basis.fits(other.num_vars(), other.num_constraints()));
+        let (s, _) = solve_lp_warm(&other, None, Some(&basis));
+        assert_eq!(s.outcome, LpOutcome::Optimal);
+        assert_near(s.objective, 8.0);
+    }
+
+    #[test]
+    fn warm_basis_roundtrip_matches_on_identical_model() {
+        let (m, _, _) = two_var_model();
+        let (cold, basis) = solve_lp_warm(&m, None, None);
+        // Re-solving the identical model from its own optimal basis is a
+        // no-pivot dual/primal pass at the same vertex.
+        let (warm, _) = solve_lp_warm(&m, None, Some(&basis));
+        assert_eq!(warm.outcome, LpOutcome::Optimal);
+        assert_near(warm.objective, cold.objective);
+        for (a, b) in warm.values.iter().zip(&cold.values) {
+            assert_near(*a, *b);
+        }
+        assert_eq!(warm.iterations, 0, "optimal basis needs no pivots");
+    }
+
+    #[test]
+    fn warm_basis_survives_random_bound_flips() {
+        // Fuzz warm-vs-cold agreement across random bound overrides of a
+        // dense LP: objectives must agree to tolerance at every step.
+        let mut seed = 0xabcdef1234567890u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..10)
+            .map(|_| m.add_continuous(0.0, 2.0 + 2.0 * next(), next() * 3.0 - 0.5))
+            .collect();
+        for _ in 0..6 {
+            let terms: Vec<_> = vars.iter().map(|v| (*v, next())).collect();
+            m.add_constraint(&terms, Cmp::Le, 2.0 + 2.0 * next());
+        }
+        let (_, mut basis) = solve_lp_warm(&m, None, None);
+        for _ in 0..12 {
+            let bounds: Vec<(f64, f64)> = (0..vars.len())
+                .map(|j| {
+                    if next() < 0.3 {
+                        (0.0, next())
+                    } else {
+                        (0.0, m.vars[j].upper)
+                    }
+                })
+                .collect();
+            let (warm, next_basis) = solve_lp_warm(&m, Some(&bounds), Some(&basis));
+            let cold = solve_lp_with_bounds(&m, Some(&bounds));
+            assert_eq!(warm.outcome, cold.outcome);
+            if warm.outcome == LpOutcome::Optimal {
+                assert!(
+                    (warm.objective - cold.objective).abs() < 1e-6,
+                    "warm {} vs cold {}",
+                    warm.objective,
+                    cold.objective
+                );
+            }
+            basis = next_basis;
+        }
     }
 }

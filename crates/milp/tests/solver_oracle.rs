@@ -1,0 +1,170 @@
+//! Differential solver-oracle suite over the checked-in fixture corpus.
+//!
+//! Every `tests/fixtures/*.milp` file is a real scheduling-cycle MILP
+//! dumped by `cargo run --example dump_milp_fixtures` (bit-exact text
+//! format). Each fixture is replayed through all three solver tiers and
+//! the incremental wrapper, and the tiers are held to their contracts:
+//!
+//! * tier 2 is deterministic: two cold solves are bit-for-bit identical;
+//! * the incremental wrapper is invisible: with or without a cache hit,
+//!   its answer is bit-for-bit the answer a fresh rebuild produces;
+//! * tiers 0 and 1 are sound: whenever they claim a solution it is
+//!   feasible and its objective never exceeds tier 2's (maximisation).
+
+use std::path::PathBuf;
+
+use threesigma_milp::{
+    solver_for_tier, BranchAndBound, IncrementalSolver, MipStatus, Model, Solver, SolverConfig,
+};
+
+/// The scheduler's stage-3 budgets, minus the wall clock (a wall-clock
+/// limit would make `timed_out` — and thus cache behaviour — machine-
+/// dependent; the node budget alone keeps every replay deterministic).
+fn oracle_config() -> SolverConfig {
+    SolverConfig {
+        node_limit: 150,
+        time_limit: None,
+        gap_tolerance: 1e-4,
+        ..SolverConfig::default()
+    }
+}
+
+fn fixtures() -> Vec<(String, Model)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut names: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("fixture dir exists; regenerate with `cargo run --example dump_milp_fixtures`")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "milp"))
+        .collect();
+    names.sort();
+    assert!(
+        names.len() >= 16,
+        "fixture corpus suspiciously small ({} files)",
+        names.len()
+    );
+    names
+        .into_iter()
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&p).expect("read fixture");
+            let model = Model::from_text(&text)
+                .unwrap_or_else(|e| panic!("fixture {name} failed to parse: {e}"));
+            // The corpus must round-trip bit-exactly, or the fixture on
+            // disk is not the model we are testing.
+            assert_eq!(model.to_text(), text, "fixture {name} round-trip drift");
+            (name, model)
+        })
+        .collect()
+}
+
+fn bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn tier2_cold_solves_are_bit_for_bit_deterministic() {
+    for (name, model) in fixtures() {
+        let warm = vec![0.0; model.num_vars()];
+        let a =
+            BranchAndBound::with_config(oracle_config()).solve_with_warm_start(&model, Some(&warm));
+        let b =
+            BranchAndBound::with_config(oracle_config()).solve_with_warm_start(&model, Some(&warm));
+        assert_eq!(a.status, b.status, "{name}");
+        assert_eq!(a.objective.to_bits(), b.objective.to_bits(), "{name}");
+        assert_eq!(bits(&a.values), bits(&b.values), "{name}");
+        assert_eq!(a.nodes, b.nodes, "{name}");
+        assert_eq!(a.lp_iterations, b.lp_iterations, "{name}");
+        assert!(
+            a.has_solution(),
+            "{name}: the all-zero warm start is always feasible, got {:?}",
+            a.status
+        );
+    }
+}
+
+#[test]
+fn incremental_reuse_matches_a_tier2_rebuild_bit_for_bit() {
+    for (name, model) in fixtures() {
+        let warm = vec![0.0; model.num_vars()];
+        let rebuild =
+            BranchAndBound::with_config(oracle_config()).solve_with_warm_start(&model, Some(&warm));
+
+        let mut inc = IncrementalSolver::with_config(oracle_config());
+        let first = inc.solve_with_warm_start(&model, Some(&warm));
+        let second = inc.solve_with_warm_start(&model, Some(&warm));
+        if rebuild.status == MipStatus::Optimal {
+            assert_eq!(
+                inc.stats().reuses,
+                1,
+                "{name}: clean optimal solve must be cached"
+            );
+        }
+        for (label, sol) in [("first", &first), ("second", &second)] {
+            assert_eq!(sol.status, rebuild.status, "{name} {label}");
+            assert_eq!(
+                sol.objective.to_bits(),
+                rebuild.objective.to_bits(),
+                "{name} {label}"
+            );
+            assert_eq!(bits(&sol.values), bits(&rebuild.values), "{name} {label}");
+            assert_eq!(sol.nodes, rebuild.nodes, "{name} {label}");
+            assert_eq!(sol.lp_iterations, rebuild.lp_iterations, "{name} {label}");
+        }
+    }
+}
+
+#[test]
+fn cheap_tiers_are_sound_and_never_beat_tier2() {
+    for (name, model) in fixtures() {
+        let warm = vec![0.0; model.num_vars()];
+        let reference =
+            BranchAndBound::with_config(oracle_config()).solve_with_warm_start(&model, Some(&warm));
+        assert!(
+            reference.has_solution(),
+            "{name}: tier 2 must solve the corpus"
+        );
+
+        for tier in [0u8, 1] {
+            let mut solver = solver_for_tier(tier, oracle_config());
+            assert_eq!(solver.tier(), tier);
+            let sol = solver.solve_with_warm_start(&model, Some(&warm));
+            assert!(
+                sol.has_solution(),
+                "{name}: tier {tier} found nothing despite a feasible warm start"
+            );
+            assert!(
+                model.is_feasible(&sol.values, 1e-6),
+                "{name}: tier {tier} returned an infeasible assignment"
+            );
+            // The returned objective must be the objective of the returned
+            // values, and a cheap tier can at best match the exact tier.
+            assert!(
+                (model.objective_value(&sol.values) - sol.objective).abs() <= 1e-6,
+                "{name}: tier {tier} mislabeled its own objective"
+            );
+            assert!(
+                sol.objective <= reference.objective + 1e-6,
+                "{name}: tier {tier} objective {} beats tier 2's {}",
+                sol.objective,
+                reference.objective
+            );
+        }
+
+        // Tier 0 never branches; tier 1 stops at the root.
+        let t0 = solver_for_tier(0, oracle_config()).solve_with_warm_start(&model, Some(&warm));
+        assert_eq!(t0.nodes, 0, "{name}: tier 0 expanded search nodes");
+        let t1 = solver_for_tier(1, oracle_config()).solve_with_warm_start(&model, Some(&warm));
+        assert!(t1.nodes <= 1, "{name}: tier 1 expanded {} nodes", t1.nodes);
+    }
+}
+
+#[test]
+fn tier_metadata_is_stable() {
+    let names: Vec<&str> = (0..=2)
+        .map(|t| solver_for_tier(t, SolverConfig::default()).name())
+        .collect();
+    assert_eq!(names, ["greedy-rounding", "lp-repair", "branch-and-bound"]);
+    for t in 0..=2u8 {
+        assert_eq!(solver_for_tier(t, SolverConfig::default()).tier(), t);
+    }
+}

@@ -219,13 +219,23 @@ pub struct SeedOverrides {
     /// a pure parallelism knob — reports stay byte-identical at every shard
     /// count, which is exactly what the cross-shard replay verifies.
     pub shards: Option<usize>,
+    /// Pins the MILP backend (`--solver-tier 0|1|2`) regardless of the
+    /// degradation level. Tiers 0/1 change which plan is chosen, so reports
+    /// are tier-specific — but still byte-stable per tier.
+    pub solver_tier: Option<u8>,
+    /// Disables the tier-2 incremental solution cache (`--no-incremental`).
+    /// Reuse is restricted to bit-identical consecutive models, so reports
+    /// must stay byte-identical either way — the corpus replay proves it.
+    pub no_incremental: bool,
 }
 
 impl SeedOverrides {
     fn is_default(&self) -> bool {
-        // `shards` is deliberately ignored: work-unit cost is
-        // shard-invariant, so the governor acceptance checks still hold.
-        self.max_retries.is_none() && self.cycle_budget_ms.is_none()
+        // `shards` and `no_incremental` are deliberately ignored: work-unit
+        // cost is shard- and reuse-invariant, so the governor acceptance
+        // checks still hold. A pinned solver tier, however, changes which
+        // ladder rung does the work, so it disarms acceptance.
+        self.max_retries.is_none() && self.cycle_budget_ms.is_none() && self.solver_tier.is_none()
     }
 }
 
@@ -233,17 +243,13 @@ impl SeedOverrides {
 /// scripted them, oracle points otherwise. `wall_budget_ms` (from
 /// `--cycle-budget-ms`) takes precedence over the scenario's deterministic
 /// work-unit budget.
-fn three_sigma_for_with(
-    scenario: &Scenario,
-    wall_budget_ms: Option<f64>,
-    shards: Option<usize>,
-) -> ThreeSigmaScheduler {
+fn three_sigma_for_with(scenario: &Scenario, overrides: &SeedOverrides) -> ThreeSigmaScheduler {
     let source = if scenario.estimates.is_empty() {
         EstimateSource::OraclePoint
     } else {
         EstimateSource::Injected(Arc::new(scenario.estimates.clone()))
     };
-    let cycle_budget = match (wall_budget_ms, scenario.cycle_budget) {
+    let cycle_budget = match (overrides.cycle_budget_ms, scenario.cycle_budget) {
         (Some(ms), _) => CycleBudget::WallClockMs(ms),
         (None, Some(units)) => CycleBudget::WorkUnits(units),
         (None, None) => CycleBudget::Unlimited,
@@ -252,7 +258,9 @@ fn three_sigma_for_with(
         SchedConfig {
             cycle_hint: scenario.cycle_interval,
             cycle_budget,
-            shards: shards.unwrap_or(1),
+            shards: overrides.shards.unwrap_or(1),
+            solver_tier: overrides.solver_tier,
+            incremental_solver: !overrides.no_incremental,
             ..SchedConfig::default()
         },
         source,
@@ -261,7 +269,7 @@ fn three_sigma_for_with(
 }
 
 fn three_sigma_for(scenario: &Scenario) -> ThreeSigmaScheduler {
-    three_sigma_for_with(scenario, None, None)
+    three_sigma_for_with(scenario, &SeedOverrides::default())
 }
 
 /// Cross-scheduler shared-safety checks over completed runs: every
@@ -362,8 +370,7 @@ pub fn run_seed_with(seed: u64, overrides: SeedOverrides) -> SeedReport {
     let ts_rec = Recorder::enabled();
     let prio_rec = Recorder::enabled();
     let bf_rec = Recorder::enabled();
-    let mut ts = three_sigma_for_with(&scenario, overrides.cycle_budget_ms, overrides.shards)
-        .with_recorder(&ts_rec);
+    let mut ts = three_sigma_for_with(&scenario, &overrides).with_recorder(&ts_rec);
     let mut prio = PrioScheduler::new();
     let mut bf = BackfillScheduler::new(PointSource::Oracle, PredictorConfig::default());
     let mut ts_report = run_one(&scenario, "threesigma", &mut ts, &ts_rec);

@@ -27,7 +27,7 @@ use threesigma_cluster::{
 use threesigma_obs::{Counter, Gauge, Recorder};
 
 /// Names of every invariant checked per cycle, in report order.
-pub const INVARIANTS: [&str; 12] = [
+pub const INVARIANTS: [&str; 13] = [
     "capacity-conservation",
     "clock-monotonic",
     "counter-consistency",
@@ -39,6 +39,7 @@ pub const INVARIANTS: [&str; 12] = [
     "metrics-sanity",
     "no-oversubscription",
     "retry-accounting",
+    "solver-tier-sanity",
     "terminal-immutability",
 ];
 
@@ -68,6 +69,8 @@ pub struct InvariantChecker {
     budget: Option<u64>,
     /// Degradation level at the previous cycle (from the published gauge).
     last_level: Option<f64>,
+    /// Solver tier at the previous cycle (from the published gauge).
+    last_tier: Option<f64>,
 }
 
 /// Resolved handles to the published counters the `counter-consistency`
@@ -88,6 +91,13 @@ struct CounterProbe {
     level: Gauge,
     /// Work-unit cost of the last cycle (`governor-sanity` budget bound).
     cost: Gauge,
+    /// Solver tier of the last cycle (`solver-tier-sanity`). Reads 0 for
+    /// schedulers without a MILP stage.
+    tier: Gauge,
+    /// Tier-2 incremental-cache reuses (`solver-tier-sanity` reuse bound).
+    incremental_reuses: Counter,
+    /// Scheduler cycle counter, the ceiling for `incremental_reuses`.
+    sched_cycles: Counter,
 }
 
 impl CounterProbe {
@@ -104,6 +114,9 @@ impl CounterProbe {
             cache_lookups: c("sched_cache_lookups_total"),
             level: g("sched_degradation_level"),
             cost: g("sched_cycle_cost_units"),
+            tier: g("sched_solver_tier"),
+            incremental_reuses: c("sched_incremental_reuses_total"),
+            sched_cycles: c("sched_cycles_total"),
         }
     }
 }
@@ -134,6 +147,7 @@ impl InvariantChecker {
             retry: None,
             budget: None,
             last_level: None,
+            last_tier: None,
         }
     }
 
@@ -400,6 +414,35 @@ impl CycleObserver for InvariantChecker {
         };
         self.check("governor-sanity", governor_ok, || {
             format!("t={now}: degradation governor misbehaved: {detail}")
+        });
+
+        // solver-tier-sanity: the published solver tier is an integer in
+        // {0, 1, 2}, moves at most one step per cycle (the ladder-mapped
+        // tier inherits the governor's hysteresis; a pinned tier is
+        // constant), and the incremental cache can never claim more reuses
+        // than cycles run. Schedulers without a MILP stage leave the gauge
+        // at 0, so the checks hold vacuously.
+        let (tier_ok, detail) = match &self.probe {
+            Some(p) => {
+                let tier = p.tier.get();
+                let prev = self.last_tier;
+                let reuses = p.incremental_reuses.get();
+                let cycles = p.sched_cycles.get();
+                let mut ok = tier.fract() == 0.0 && (0.0..=2.0).contains(&tier);
+                if let Some(last) = prev {
+                    ok &= (tier - last).abs() <= 1.0;
+                }
+                ok &= reuses <= cycles;
+                self.last_tier = Some(tier);
+                (
+                    ok,
+                    format!("tier={tier} (prev {prev:?}) reuses={reuses} cycles={cycles}"),
+                )
+            }
+            None => (true, String::new()),
+        };
+        self.check("solver-tier-sanity", tier_ok, || {
+            format!("t={now}: solver tier misbehaved: {detail}")
         });
 
         // metrics-sanity: aggregate metrics stay in-unit mid-run too.

@@ -6,7 +6,7 @@ use threesigma_repro::core::{DiscreteDist, UtilityCurve};
 use threesigma_repro::histogram::{
     quantile_sorted, RuntimeDistribution, StreamingHistogram, StreamingMoments,
 };
-use threesigma_repro::milp::{Cmp, Model, Solver};
+use threesigma_repro::milp::{BranchAndBound, Cmp, Model};
 
 proptest! {
     /// The streaming histogram's CDF estimate stays within a coarse band of
@@ -126,7 +126,7 @@ proptest! {
                 best = best.max(m.objective_value(&x));
             }
         }
-        let s = Solver::new().solve(&m);
+        let s = BranchAndBound::new().solve(&m);
         // All-zero is always feasible here (non-negative coefficients).
         prop_assert!(s.has_solution());
         prop_assert!(m.is_feasible(&s.values, 1e-5));
