@@ -39,6 +39,12 @@ USAGE:
   threesigma metrics  (--trace FILE | --env E [--hours H] [--seed N])
                       [--scheduler NAME] [--cycle SECS] [--rc]
                       [--json FILE] [--trace-out FILE]
+  threesigma serve    [--input FILE|- | --listen ADDR]
+                      [--racks N] [--nodes-per-rack N] [--cycle SECS]
+                      [--seed N] [--retention SECS] [--max-retries N]
+                      [--predictor-cap N] [--predictor-ttl N] [--cache-cap N]
+                      [--max-timings N] [--snapshot-out FILE] [--restore FILE]
+                      [--metrics-json FILE] [--summary-json FILE]
   threesigma help
 
 ENVIRONMENTS: google (default), hedgefund, mustang
@@ -71,6 +77,25 @@ METRICS: run one instrumented simulation and export its counters.
   Prints a Prometheus-style text exposition to stdout.
   --json FILE       also write the byte-stable JSON metrics dump
   --trace-out FILE  also write the per-cycle trace (one JSON line per cycle)
+
+SERVE: long-running bounded-memory scheduling over a JSONL job stream.
+  One job per line: {\"id\":1, \"tenant\":\"acme\", \"submit_time\":0.0,
+  \"tasks\":4, \"duration\":120.0, \"deadline\":600.0, \"job_name\":\"etl\"}.
+  `deadline` is optional (absent = best-effort); extra string fields become
+  predictor attributes; `tenant` doubles as the `user` feature key unless a
+  `user` field is given. Lines must arrive in submit_time order.
+  --input FILE|-      read the stream from FILE or stdin (default: stdin)
+  --listen ADDR       accept ONE TCP connection and stream from it instead
+  --retention SECS    retire terminal job records after SECS (default 3600)
+  --predictor-cap N   max tracked (feature,value) states, 0 = unbounded
+  --predictor-ttl N   evict states untouched for N observations, 0 = never
+  --cache-cap N       estimate-cache capacity, 0 = unbounded (default 4096)
+  --max-timings N     per-cycle timing records kept, 0 = unbounded
+  --snapshot-out FILE write a quiescent engine+scheduler snapshot at EOF
+  --restore FILE      resume from a snapshot; the resumed run reproduces the
+                      uninterrupted run's digest and metrics byte-for-byte
+  --metrics-json FILE write the byte-stable metrics dump at EOF
+  --summary-json FILE write the session summary (incl. outcome digest)
 ";
 
 fn parse_env(args: &Args) -> Result<Environment, CliError> {
@@ -438,6 +463,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         "analyze" => cmd_analyze(args),
         "simtest" => cmd_simtest(args),
         "metrics" => cmd_metrics(args),
+        "serve" => crate::serve::cmd_serve(args),
         "help" => Ok(USAGE.to_owned()),
         other => Err(CliError::UnknownCommand(other.to_owned())),
     }

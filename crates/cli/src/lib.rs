@@ -15,6 +15,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod serve;
 
 pub use args::{Args, CliError};
 pub use commands::dispatch;

@@ -1,0 +1,452 @@
+//! `threesigma serve` — a long-running scheduling service over a JSONL
+//! job stream.
+//!
+//! Jobs arrive one per line (stdin, a file, or a single TCP connection),
+//! tagged with a `tenant`. The session schedules them with the full
+//! 3σPredict → 3σSched pipeline under *bounded* memory: the predictor's
+//! per-feature-value state, the estimate cache, and the per-job outcome
+//! tables are all capped, and every cap is exported as an obs gauge.
+//!
+//! `--snapshot-out` writes a quiescent [`FullSnapshot`] (engine session +
+//! scheduler/predictor state); `--restore` resumes from one. A restored
+//! process that streams the remainder of an input reproduces the
+//! uninterrupted run's summary digest and stable metrics JSON byte for
+//! byte — that equivalence is this mode's correctness contract (and the
+//! CI `serve-smoke` check).
+
+use std::io::BufRead;
+
+use serde::{Deserialize, Serialize};
+use threesigma::{EstimateSource, SchedConfig, SchedSnapshot, ThreeSigmaScheduler};
+use threesigma_cluster::{
+    Attributes, ClusterSpec, JobKind, JobSpec, ServeConfig, ServeSession, ServeSnapshot,
+};
+use threesigma_obs::Recorder;
+use threesigma_predict::PredictorConfig;
+
+use crate::args::{Args, CliError};
+
+/// On-disk `--snapshot-out` / `--restore` format: the engine-side session
+/// snapshot and the scheduler/predictor snapshot, composed at the CLI
+/// layer so both halves restart from the same quiescent instant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FullSnapshot {
+    /// Cluster/session state (`threesigma_cluster::serve`).
+    pub engine: ServeSnapshot,
+    /// Predictor sketches, expert scores, cache bookkeeping, totals.
+    pub sched: SchedSnapshot,
+}
+
+/// Keys of the wire format that are job fields rather than attributes.
+const WIRE_FIELDS: &[&str] = &[
+    "id",
+    "tenant",
+    "submit_time",
+    "tasks",
+    "duration",
+    "deadline",
+];
+
+fn bad_line(line_no: usize, why: impl std::fmt::Display) -> CliError {
+    CliError::Failed(format!("input line {line_no}: {why}"))
+}
+
+/// Parses one JSONL wire job into a [`JobSpec`].
+///
+/// Required fields: `id` (u64), `tenant` (string), `submit_time` (seconds,
+/// finite ≥ 0), `tasks` (u32 ≥ 1), `duration` (seconds, finite > 0).
+/// Optional: `deadline` (absolute seconds → SLO job; absent → best-effort)
+/// and any further *string* fields, which become predictor attributes.
+/// `tenant` is stored as the `tenant` attribute and also mirrored into
+/// `user` (the feature set's per-principal key) unless the line sets an
+/// explicit `user`.
+fn parse_wire_job(line: &str, line_no: usize) -> Result<JobSpec, CliError> {
+    let value: serde_json::Value =
+        serde_json::from_str(line).map_err(|e| bad_line(line_no, format!("not JSON: {e}")))?;
+    let obj = value
+        .as_object()
+        .ok_or_else(|| bad_line(line_no, "expected a JSON object"))?;
+    let field = |key: &'static str| {
+        obj.get(key)
+            .ok_or_else(|| bad_line(line_no, format!("missing required field `{key}`")))
+    };
+    let id = field("id")?
+        .as_u64()
+        .ok_or_else(|| bad_line(line_no, "`id` must be a non-negative integer"))?;
+    let tenant = field("tenant")?
+        .as_str()
+        .ok_or_else(|| bad_line(line_no, "`tenant` must be a string"))?;
+    let submit_time = field("submit_time")?
+        .as_f64()
+        .filter(|t| t.is_finite() && *t >= 0.0)
+        .ok_or_else(|| bad_line(line_no, "`submit_time` must be a finite number >= 0"))?;
+    let tasks = field("tasks")?
+        .as_u64()
+        .filter(|n| *n >= 1 && *n <= u64::from(u32::MAX))
+        .ok_or_else(|| bad_line(line_no, "`tasks` must be an integer >= 1"))?;
+    let duration = field("duration")?
+        .as_f64()
+        .filter(|d| d.is_finite() && *d > 0.0)
+        .ok_or_else(|| bad_line(line_no, "`duration` must be a finite number > 0"))?;
+    let kind = match obj.get("deadline") {
+        Some(v) => {
+            let deadline = v
+                .as_f64()
+                .filter(|d| d.is_finite() && *d > submit_time)
+                .ok_or_else(|| {
+                    bad_line(line_no, "`deadline` must be a finite number > submit_time")
+                })?;
+            JobKind::Slo { deadline }
+        }
+        None => JobKind::BestEffort,
+    };
+    let mut attrs = Attributes::new().with("tenant", tenant);
+    for (key, value) in obj.iter() {
+        if WIRE_FIELDS.contains(&key.as_str()) {
+            continue;
+        }
+        let text = value
+            .as_str()
+            .ok_or_else(|| bad_line(line_no, format!("attribute `{key}` must be a string")))?;
+        attrs.set(key, text);
+    }
+    if attrs.get("user").is_none() {
+        attrs.set("user", tenant);
+    }
+    Ok(JobSpec::new(id, submit_time, tasks as u32, duration, kind).with_attributes(attrs))
+}
+
+fn positive_dim(args: &Args, key: &'static str, default: usize) -> Result<usize, CliError> {
+    let n: usize = args.parse_or(key, default)?;
+    if n == 0 {
+        return Err(CliError::BadValue {
+            option: key.into(),
+            value: "0".into(),
+            expected: "a count >= 1",
+        });
+    }
+    Ok(n)
+}
+
+/// `0 = unbounded` knob convention shared by the serve caps.
+fn cap(args: &Args, key: &str, default: usize) -> Result<Option<usize>, CliError> {
+    let n: usize = args.parse_or(key, default)?;
+    Ok((n > 0).then_some(n))
+}
+
+fn io_err(e: impl std::fmt::Display) -> CliError {
+    CliError::Io(e.to_string())
+}
+
+fn sim_err(e: threesigma_cluster::SimError) -> CliError {
+    CliError::Failed(e.to_string())
+}
+
+/// The line source: stdin, a file, or one accepted TCP connection.
+fn open_input(args: &Args) -> Result<Box<dyn BufRead>, CliError> {
+    if let Some(addr) = args.get("listen") {
+        let listener = std::net::TcpListener::bind(addr).map_err(io_err)?;
+        // One connection per process: the client streams JSONL and closes;
+        // EOF drains the session, writes the snapshot, and exits. A
+        // supervisor restarting the binary with `--restore` gives the
+        // continuous-service loop.
+        let (conn, _peer) = listener.accept().map_err(io_err)?;
+        return Ok(Box::new(std::io::BufReader::new(conn)));
+    }
+    match args.get_or("input", "-") {
+        "-" => Ok(Box::new(std::io::BufReader::new(std::io::stdin()))),
+        path => {
+            let file = std::fs::File::open(path).map_err(io_err)?;
+            Ok(Box::new(std::io::BufReader::new(file)))
+        }
+    }
+}
+
+/// `serve` — stream JSONL jobs through a bounded-memory scheduling session.
+pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    let racks = positive_dim(args, "racks", 8)?;
+    let nodes_per_rack = positive_dim(args, "nodes-per-rack", 32)?;
+    let cluster = ClusterSpec::uniform(racks, nodes_per_rack as u32);
+
+    let mut serve_cfg = ServeConfig::default();
+    serve_cfg.cycle_interval = args.parse_or("cycle", serve_cfg.cycle_interval)?;
+    serve_cfg.seed = args.parse_or("seed", serve_cfg.seed)?;
+    serve_cfg.retention = args.parse_or("retention", 3600.0)?;
+    if args.get("max-retries").is_some() {
+        serve_cfg.retry.max_retries = args.parse_or("max-retries", 0u32)?;
+    }
+
+    let sched_cfg = SchedConfig {
+        cycle_hint: serve_cfg.cycle_interval,
+        cache_capacity: cap(args, "cache-cap", 4096)?,
+        max_timings: cap(args, "max-timings", 256)?,
+        ..SchedConfig::default()
+    };
+    let pred_cfg = PredictorConfig {
+        max_tracked_values: cap(args, "predictor-cap", 4096)?,
+        value_ttl: cap(args, "predictor-ttl", 0)?.map(|n| n as u64),
+        ..PredictorConfig::default()
+    };
+
+    let recorder = Recorder::enabled();
+    let mut sched = ThreeSigmaScheduler::new(sched_cfg, EstimateSource::Predicted, pred_cfg)
+        .with_recorder(&recorder);
+
+    let mut session = match args.get("restore") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(io_err)?;
+            let snap: FullSnapshot = serde_json::from_str(&text)
+                .map_err(|e| CliError::Failed(format!("--restore {path}: {e}")))?;
+            sched
+                .serve_restore(snap.sched)
+                .map_err(|e| CliError::Failed(format!("--restore {path}: {e}")))?;
+            ServeSession::restore(cluster, serve_cfg, &recorder, &snap.engine)
+                .map_err(|e| CliError::Failed(format!("--restore {path}: {e}")))?
+        }
+        None => ServeSession::new(cluster, serve_cfg, &recorder).map_err(sim_err)?,
+    };
+
+    let reader = open_input(args)?;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.map_err(io_err)?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let spec = parse_wire_job(line, i + 1)?;
+        session
+            .pump_until(spec.submit_time, &mut sched)
+            .map_err(sim_err)?;
+        session
+            .submit(spec)
+            .map_err(|e| bad_line(i + 1, format!("rejected: {e}")))?;
+    }
+    // EOF: run the backlog to quiescence. `drain(∞)` always empties the
+    // queue, so the snapshot below cannot fail the quiescence check.
+    session.drain(f64::INFINITY, &mut sched).map_err(sim_err)?;
+
+    if let Some(path) = args.get("snapshot-out") {
+        let snap = FullSnapshot {
+            engine: session.snapshot().map_err(sim_err)?,
+            sched: sched.serve_snapshot(),
+        };
+        let json = serde_json::to_string_pretty(&snap).map_err(io_err)?;
+        std::fs::write(path, json).map_err(io_err)?;
+    }
+    let summary = session.summary();
+    if let Some(path) = args.get("summary-json") {
+        let json = serde_json::to_string_pretty(&summary).map_err(io_err)?;
+        std::fs::write(path, json).map_err(io_err)?;
+    }
+    if let Some(path) = args.get("metrics-json") {
+        std::fs::write(path, recorder.snapshot().to_stable_json()).map_err(io_err)?;
+    }
+    Ok(format!(
+        "serve: submitted={} completed={} canceled={} retired={} live={} \
+         cycles={} now={:.1}s slo_miss={:.1}% digest={:016x}",
+        summary.submitted,
+        summary.completed,
+        summary.canceled,
+        summary.retired,
+        summary.live,
+        summary.cycles,
+        summary.now,
+        summary.slo_miss_pct,
+        summary.digest,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::dispatch;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "threesigma_serve_{name}_{}.json",
+            std::process::id()
+        ))
+    }
+
+    /// The checked-in serve-smoke fixtures: six jobs early (with comment
+    /// and blank lines), an idle gap long enough for them all to finish
+    /// and retire, then four more at t = 2000. CI streams these same
+    /// files through the release binary and `cmp`s the outputs.
+    fn part1() -> String {
+        fixture("serve_part1.jsonl")
+    }
+
+    fn part2() -> String {
+        fixture("serve_part2.jsonl")
+    }
+
+    fn fixture(name: &str) -> String {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests/fixtures")
+            .join(name);
+        std::fs::read_to_string(path).unwrap()
+    }
+
+    fn serve(extra: &[&str]) -> Result<String, CliError> {
+        let mut argv: Vec<String> = vec!["serve".into(), "--retention".into(), "50".into()];
+        argv.extend(extra.iter().map(|s| (*s).to_owned()));
+        dispatch(&Args::parse(argv).unwrap())
+    }
+
+    #[test]
+    fn serve_streams_jobs_and_reports_summary() {
+        let input = tmp("stream_in");
+        std::fs::write(&input, format!("{}{}", part1(), part2())).unwrap();
+        let out = serve(&["--input", input.to_str().unwrap()]).unwrap();
+        assert!(out.contains("submitted=10"), "{out}");
+        assert!(out.contains("completed=10"), "{out}");
+        assert!(out.contains("retired="), "{out}");
+        assert!(out.contains("digest="), "{out}");
+        let _ = std::fs::remove_file(input);
+    }
+
+    #[test]
+    fn serve_snapshot_restore_reproduces_the_uninterrupted_run() {
+        let files: Vec<_> = [
+            "full_in",
+            "p1_in",
+            "p2_in",
+            "snap",
+            "m_full",
+            "m_resumed",
+            "s_full",
+            "s_resumed",
+        ]
+        .iter()
+        .map(|n| tmp(&format!("equiv_{n}")))
+        .collect();
+        let [full_in, p1_in, p2_in, snap, m_full, m_resumed, s_full, s_resumed] =
+            <[_; 8]>::try_from(files.clone()).unwrap();
+        std::fs::write(&full_in, format!("{}{}", part1(), part2())).unwrap();
+        std::fs::write(&p1_in, part1()).unwrap();
+        std::fs::write(&p2_in, part2()).unwrap();
+
+        // Uninterrupted run.
+        serve(&[
+            "--input",
+            full_in.to_str().unwrap(),
+            "--metrics-json",
+            m_full.to_str().unwrap(),
+            "--summary-json",
+            s_full.to_str().unwrap(),
+        ])
+        .unwrap();
+        // Stream part 1, snapshot at the idle gap, "crash".
+        serve(&[
+            "--input",
+            p1_in.to_str().unwrap(),
+            "--snapshot-out",
+            snap.to_str().unwrap(),
+        ])
+        .unwrap();
+        // Restore in a fresh process image and stream the remainder.
+        serve(&[
+            "--input",
+            p2_in.to_str().unwrap(),
+            "--restore",
+            snap.to_str().unwrap(),
+            "--metrics-json",
+            m_resumed.to_str().unwrap(),
+            "--summary-json",
+            s_resumed.to_str().unwrap(),
+        ])
+        .unwrap();
+
+        let metrics_full = std::fs::read(&m_full).unwrap();
+        let metrics_resumed = std::fs::read(&m_resumed).unwrap();
+        assert_eq!(
+            metrics_full, metrics_resumed,
+            "restored run must reproduce the uninterrupted metrics dump byte-for-byte"
+        );
+        let summary_full = std::fs::read(&s_full).unwrap();
+        let summary_resumed = std::fs::read(&s_resumed).unwrap();
+        assert_eq!(
+            summary_full, summary_resumed,
+            "restored run must reproduce the uninterrupted summary (incl. digest)"
+        );
+        for p in &files {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn serve_rejects_malformed_lines_with_line_numbers() {
+        for (line, needle) in [
+            ("not json", "line 1"),
+            (
+                "{\"id\":1,\"submit_time\":0,\"tasks\":1,\"duration\":5}",
+                "tenant",
+            ),
+            (
+                "{\"id\":1,\"tenant\":\"t\",\"submit_time\":0,\"tasks\":0,\"duration\":5}",
+                "tasks",
+            ),
+            (
+                "{\"id\":1,\"tenant\":\"t\",\"submit_time\":0,\"tasks\":1,\"duration\":5,\
+                 \"deadline\":-1}",
+                "deadline",
+            ),
+        ] {
+            let input = tmp("reject");
+            std::fs::write(&input, format!("{line}\n")).unwrap();
+            let err = serve(&["--input", input.to_str().unwrap()]).unwrap_err();
+            let text = err.to_string();
+            assert!(text.contains(needle), "{line}: {text}");
+            let _ = std::fs::remove_file(input);
+        }
+    }
+
+    #[test]
+    fn wire_jobs_mirror_tenant_into_the_user_feature_unless_overridden() {
+        let spec = parse_wire_job(
+            "{\"id\":7,\"tenant\":\"acme\",\"submit_time\":1,\"tasks\":2,\"duration\":9}",
+            1,
+        )
+        .unwrap();
+        assert_eq!(spec.attributes.get("tenant"), Some("acme"));
+        assert_eq!(spec.attributes.get("user"), Some("acme"));
+        let spec = parse_wire_job(
+            "{\"id\":8,\"tenant\":\"acme\",\"user\":\"alice\",\"submit_time\":1,\
+             \"tasks\":2,\"duration\":9}",
+            1,
+        )
+        .unwrap();
+        assert_eq!(spec.attributes.get("tenant"), Some("acme"));
+        assert_eq!(spec.attributes.get("user"), Some("alice"));
+    }
+
+    #[test]
+    fn serve_accepts_one_tcp_connection() {
+        use std::io::Write;
+        // Pick a free port, then hand it to --listen. The probe listener is
+        // dropped first; nothing else in this process binds ports.
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap().to_string();
+        drop(probe);
+        let server = {
+            let addr = addr.clone();
+            std::thread::spawn(move || serve(&["--listen", &addr]).unwrap())
+        };
+        // Retry until the server thread is accepting.
+        let mut conn = None;
+        for _ in 0..200 {
+            match std::net::TcpStream::connect(&addr) {
+                Ok(c) => {
+                    conn = Some(c);
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        }
+        let mut conn = conn.expect("server did not start listening");
+        conn.write_all(part1().as_bytes()).unwrap();
+        drop(conn);
+        let out = server.join().unwrap();
+        assert!(out.contains("submitted=6"), "{out}");
+    }
+}

@@ -8,7 +8,7 @@
 //! finish event.
 
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -289,6 +289,22 @@ pub enum SimError {
         /// The scheduler's representable maximum.
         max: usize,
     },
+    /// A serve-session configuration or snapshot is unusable (see
+    /// [`ServeSession`](crate::serve::ServeSession)).
+    BadServeConfig {
+        /// What is wrong with it.
+        reason: &'static str,
+    },
+    /// A streamed job arrived with a submit time earlier than a previously
+    /// accepted submission or earlier than the session's current simulated
+    /// time. The serve boundary requires time-ordered input.
+    OutOfOrderSubmit {
+        /// The offending id.
+        job: JobId,
+    },
+    /// A serve-session snapshot was requested while events, pending jobs,
+    /// or running jobs were still in flight.
+    SnapshotNotQuiescent,
 }
 
 impl std::fmt::Display for SimError {
@@ -314,6 +330,23 @@ impl std::fmt::Display for SimError {
                     f,
                     "cluster has {partitions} partitions but the scheduler \
                      represents at most {max} (raise --shards to widen it)"
+                )
+            }
+            SimError::BadServeConfig { reason } => {
+                write!(f, "serve configuration rejected: {reason}")
+            }
+            SimError::OutOfOrderSubmit { job } => {
+                write!(
+                    f,
+                    "job {job:?} submitted out of order (serve input must be \
+                     sorted by submit time)"
+                )
+            }
+            SimError::SnapshotNotQuiescent => {
+                write!(
+                    f,
+                    "snapshot requires a quiescent session (no queued events, \
+                     nothing pending, nothing running)"
                 )
             }
         }
@@ -441,7 +474,7 @@ impl CycleObserver for NoopObserver {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum EventKind {
+pub(crate) enum EventKind {
     Finish { job: usize, epoch: u32 },
     Fault { fault: usize },
     Arrival { job: usize },
@@ -449,13 +482,13 @@ enum EventKind {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
-struct Event {
-    time: f64,
+pub(crate) struct Event {
+    pub(crate) time: f64,
     /// Tie-break: finishes before arrivals before cycles at equal times, so
     /// a cycle sees freed capacity and fresh arrivals.
-    class: u8,
-    seq: u64,
-    kind: EventKind,
+    pub(crate) class: u8,
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind,
 }
 
 impl Eq for Event {}
@@ -476,13 +509,13 @@ impl Ord for Event {
 }
 
 #[derive(Debug)]
-struct Running {
-    idx: usize,
-    epoch: u32,
-    start: f64,
-    allocation: Vec<(PartitionId, u32)>,
-    measured_runtime: f64,
-    on_preferred: bool,
+pub(crate) struct Running {
+    pub(crate) idx: usize,
+    pub(crate) epoch: u32,
+    pub(crate) start: f64,
+    pub(crate) allocation: Vec<(PartitionId, u32)>,
+    pub(crate) measured_runtime: f64,
+    pub(crate) on_preferred: bool,
 }
 
 /// The discrete-event engine.
@@ -618,313 +651,6 @@ impl Engine {
         // partition throughout the run.
         let mut offline: Vec<u32> = vec![0; parts];
         let mut owed: Vec<u32> = vec![0; parts];
-        // Moves released nodes back to `free`, paying down owed fault
-        // capacity first.
-        fn release(
-            free: &mut [u32],
-            offline: &mut [u32],
-            owed: &mut [u32],
-            allocation: &[(PartitionId, u32)],
-        ) {
-            for (p, n) in allocation {
-                let pi = p.index();
-                let seized = (*n).min(owed[pi]);
-                owed[pi] -= seized;
-                offline[pi] += seized;
-                free[pi] += n - seized;
-            }
-        }
-
-        /// Bookkeeping shared by the fault-kill paths: releases the dead
-        /// gang, invalidates its finish event, charges the lost work, and
-        /// either requeues the job under retry backoff or cancels it once
-        /// the retry budget is exhausted. The scheduler hears about the
-        /// kill through its censored-observation callback.
-        #[allow(clippy::too_many_arguments)]
-        fn kill_attempt(
-            r: Running,
-            now: f64,
-            jobs: &[JobSpec],
-            retry: &RetryPolicy,
-            free: &mut [u32],
-            offline: &mut [u32],
-            owed: &mut [u32],
-            epochs: &mut [u32],
-            outcomes: &mut [JobOutcome],
-            pending: &mut Vec<usize>,
-            retry_at: &mut HashMap<usize, f64>,
-            wasted: &mut f64,
-            kill_count: &mut usize,
-            retry_cancellations: &mut usize,
-            scheduler: &mut dyn Scheduler,
-        ) {
-            release(free, offline, owed, &r.allocation);
-            epochs[r.idx] += 1;
-            let tasks: u32 = r.allocation.iter().map(|(_, n)| n).sum();
-            let elapsed = (now - r.start).max(0.0);
-            *wasted += elapsed * f64::from(tasks);
-            *kill_count += 1;
-            let o = &mut outcomes[r.idx];
-            o.kills += 1;
-            let will_retry = o.kills <= retry.max_retries;
-            if will_retry {
-                o.state = JobState::Pending;
-                retry_at.insert(r.idx, now + retry.delay_for(o.kills));
-                pending.push(r.idx);
-            } else {
-                o.state = JobState::Canceled;
-                *retry_cancellations += 1;
-            }
-            scheduler.on_job_killed(&jobs[r.idx], elapsed, will_retry, now);
-        }
-
-        /// Ingest stage: validates the trace and the cluster against the
-        /// scheduler's representable size and builds the outcome table plus
-        /// the id → trace-index map. Every typed rejection that does not
-        /// depend on a decision happens here, before any event is processed.
-        fn ingest(
-            jobs: &[JobSpec],
-            parts: usize,
-            scheduler: &dyn Scheduler,
-        ) -> Result<(Vec<JobOutcome>, HashMap<JobId, usize>), SimError> {
-            if let Some(max) = scheduler.max_partitions() {
-                if parts > max {
-                    return Err(SimError::ClusterTooLarge {
-                        partitions: parts,
-                        max,
-                    });
-                }
-            }
-            let outcomes: Vec<JobOutcome> = jobs
-                .iter()
-                .map(|j| JobOutcome {
-                    id: j.id,
-                    kind: j.kind,
-                    submit_time: j.submit_time,
-                    tasks: j.tasks,
-                    state: JobState::Pending,
-                    start_time: None,
-                    finish_time: None,
-                    measured_runtime: None,
-                    preemptions: 0,
-                    kills: 0,
-                    on_preferred: None,
-                })
-                .collect();
-            let mut index_of: HashMap<JobId, usize> = HashMap::with_capacity(jobs.len());
-            for (i, j) in jobs.iter().enumerate() {
-                if index_of.insert(j.id, i).is_some() {
-                    return Err(SimError::DuplicateJobId { job: j.id });
-                }
-                let reason = if !j.submit_time.is_finite() || j.submit_time < 0.0 {
-                    Some("submit time must be finite and non-negative")
-                } else if !j.duration.is_finite() || j.duration < 0.0 {
-                    Some("duration must be finite and non-negative")
-                } else if j.tasks == 0 {
-                    Some("task count must be positive")
-                } else {
-                    None
-                };
-                if let Some(reason) = reason {
-                    return Err(SimError::MalformedJobSpec { job: j.id, reason });
-                }
-            }
-            Ok((outcomes, index_of))
-        }
-
-        /// Decide stage: builds the deterministic scheduler-facing view
-        /// (running jobs sorted by id, backoff-gated pending set) and asks
-        /// the scheduler for a decision. Reads engine state, mutates none.
-        #[allow(clippy::too_many_arguments)]
-        fn decide(
-            cluster: &ClusterSpec,
-            jobs: &[JobSpec],
-            pending: &[usize],
-            retry_at: &HashMap<usize, f64>,
-            running: &BTreeMap<JobId, Running>,
-            free: &[u32],
-            now: f64,
-            scheduler: &mut dyn Scheduler,
-        ) -> SchedulingDecision {
-            // Deterministic view: running jobs sorted by id so scheduler
-            // decisions (and float summation order) never depend on
-            // hash-map iteration order.
-            let mut running_view: Vec<RunningJob<'_>> = running
-                .values()
-                .map(|r| RunningJob {
-                    spec: &jobs[r.idx],
-                    start_time: r.start,
-                    allocation: &r.allocation,
-                })
-                .collect();
-            running_view.sort_by_key(|r| r.spec.id);
-            // Retry eligibility tolerates the float drift that repeated
-            // `now + cycle_interval` additions accumulate in the cycle
-            // clock: a backoff expiring exactly on a cycle boundary must
-            // re-pend on that cycle, not one cycle late because the tick
-            // sits a few ulps below the retry time.
-            let eps = RETRY_TICK_TOLERANCE * now.abs().max(1.0);
-            let view = SimulationView {
-                cluster,
-                // Jobs backing off after a kill are withheld from the
-                // scheduler until their retry time.
-                pending: pending
-                    .iter()
-                    .filter(|&&i| retry_at.get(&i).is_none_or(|&t| t <= now + eps))
-                    .map(|&i| &jobs[i])
-                    .collect(),
-                running: running_view,
-                free,
-                now,
-            };
-            scheduler.schedule(&view, now)
-        }
-
-        /// Commit stage: validates and applies a decision — cancellations,
-        /// then preemptions, then placements — and settles outstanding
-        /// fault debt from post-decision free capacity.
-        #[allow(clippy::too_many_arguments)]
-        fn commit(
-            decision: &SchedulingDecision,
-            now: f64,
-            jobs: &[JobSpec],
-            cluster: &ClusterSpec,
-            index_of: &HashMap<JobId, usize>,
-            rng: &mut StdRng,
-            free: &mut [u32],
-            offline: &mut [u32],
-            owed: &mut [u32],
-            epochs: &mut [u32],
-            outcomes: &mut [JobOutcome],
-            pending: &mut Vec<usize>,
-            retry_at: &mut HashMap<usize, f64>,
-            running: &mut BTreeMap<JobId, Running>,
-            queue: &mut BinaryHeap<Event>,
-            seq: &mut u64,
-            wasted: &mut f64,
-            preemption_count: &mut usize,
-        ) -> Result<(), SimError> {
-            let parts = free.len();
-            // 1. Cancellations.
-            for id in &decision.cancellations {
-                let idx = *index_of.get(id).ok_or(SimError::BadJobReference {
-                    job: *id,
-                    action: "cancel",
-                })?;
-                let pos =
-                    pending
-                        .iter()
-                        .position(|&i| i == idx)
-                        .ok_or(SimError::BadJobReference {
-                            job: *id,
-                            action: "cancel",
-                        })?;
-                pending.remove(pos);
-                retry_at.remove(&idx);
-                outcomes[idx].state = JobState::Canceled;
-            }
-
-            // 2. Preemptions: free capacity, requeue the job.
-            //
-            // Reclaimed capacity is fully spendable by this same decision's
-            // placements: `SimulationView` cannot expose `owed`, so
-            // schedulers (and the feasibility oracle) necessarily assume
-            // preempted nodes are reusable. Outstanding fault debt is
-            // settled from whatever is still free *after* the decision is
-            // applied.
-            for id in &decision.preemptions {
-                let r = running.remove(id).ok_or(SimError::BadJobReference {
-                    job: *id,
-                    action: "preempt",
-                })?;
-                for (p, n) in &r.allocation {
-                    free[p.index()] += n;
-                }
-                epochs[r.idx] += 1;
-                outcomes[r.idx].preemptions += 1;
-                outcomes[r.idx].state = JobState::Pending;
-                let tasks: u32 = r.allocation.iter().map(|(_, n)| n).sum();
-                *wasted += (now - r.start).max(0.0) * tasks as f64;
-                pending.push(r.idx);
-                *preemption_count += 1;
-            }
-
-            // 3. Placements.
-            for pl in &decision.placements {
-                let idx = *index_of.get(&pl.job).ok_or(SimError::BadJobReference {
-                    job: pl.job,
-                    action: "place",
-                })?;
-                let pos =
-                    pending
-                        .iter()
-                        .position(|&i| i == idx)
-                        .ok_or(SimError::BadJobReference {
-                            job: pl.job,
-                            action: "place",
-                        })?;
-                let spec = &jobs[idx];
-                let total: u32 = pl.allocation.iter().map(|(_, n)| n).sum();
-                if total != spec.tasks || pl.allocation.iter().any(|(p, _)| p.index() >= parts) {
-                    return Err(SimError::BadAllocation { job: pl.job });
-                }
-                for (p, n) in &pl.allocation {
-                    if *n > free[p.index()] {
-                        return Err(SimError::OverCapacity { partition: *p });
-                    }
-                }
-                pending.remove(pos);
-                retry_at.remove(&idx);
-                for (p, n) in &pl.allocation {
-                    free[p.index()] -= n;
-                }
-                let base = spec.runtime_on(&pl.allocation);
-                let (start, runtime) = match cluster.rc_fidelity {
-                    None => (now, base),
-                    Some(fid) => {
-                        let z = standard_normal(rng);
-                        let jitter = (1.0 + fid.runtime_jitter_cov * z).max(0.3);
-                        (now + fid.placement_latency, base * jitter)
-                    }
-                };
-                let on_preferred = spec.preferred.as_ref().is_none_or(|pref| {
-                    pl.allocation
-                        .iter()
-                        .all(|(p, n)| *n == 0 || pref.contains(p))
-                });
-                epochs[idx] += 1;
-                let epoch = epochs[idx];
-                running.insert(
-                    pl.job,
-                    Running {
-                        idx,
-                        epoch,
-                        start,
-                        allocation: pl.allocation.clone(),
-                        measured_runtime: runtime,
-                        on_preferred,
-                    },
-                );
-                outcomes[idx].state = JobState::Running;
-                outcomes[idx].start_time = Some(start);
-                push_event(
-                    queue,
-                    seq,
-                    start + runtime,
-                    EventKind::Finish { job: idx, epoch },
-                );
-            }
-
-            // Settle outstanding fault debt from post-decision free capacity
-            // (preemptions above released nodes without paying it down).
-            for pi in 0..parts {
-                let seized = owed[pi].min(free[pi]);
-                owed[pi] -= seized;
-                offline[pi] += seized;
-                free[pi] -= seized;
-            }
-            Ok(())
-        }
 
         let (mut outcomes, index_of) = ingest(jobs, parts, scheduler)?;
 
@@ -960,7 +686,9 @@ impl Engine {
         // may be offered for placement again. The job stays in `pending`
         // (conservation: arrived == pending + running + terminal) but is
         // withheld from the scheduler's view until the backoff elapses.
-        let mut retry_at: HashMap<usize, f64> = HashMap::new();
+        // Ordered map by the engine's no-hash-container rule: the serve
+        // loop shares this state and must never see hash order.
+        let mut retry_at: BTreeMap<usize, f64> = BTreeMap::new();
         let mut cycles = 0usize;
         let mut preemption_count = 0usize;
         let mut kill_count = 0usize;
@@ -1048,6 +776,7 @@ impl Engine {
                             kill_attempt(
                                 r,
                                 now,
+                                0,
                                 jobs,
                                 &self.config.retry,
                                 &mut free,
@@ -1078,6 +807,7 @@ impl Engine {
                             kill_attempt(
                                 r,
                                 now,
+                                0,
                                 jobs,
                                 &self.config.retry,
                                 &mut free,
@@ -1099,6 +829,8 @@ impl Engine {
                     cycles += 1;
                     let decision = decide(
                         &self.cluster,
+                        self.config.cycle_interval,
+                        0,
                         jobs,
                         &pending,
                         &retry_at,
@@ -1110,6 +842,7 @@ impl Engine {
                     commit(
                         &decision,
                         now,
+                        0,
                         jobs,
                         &self.cluster,
                         &index_of,
@@ -1182,19 +915,359 @@ impl Engine {
     }
 }
 
-/// Relative tolerance for retry-backoff eligibility at a cycle boundary.
+// ---------------------------------------------------------------------------
+// Shared engine stages.
+//
+// These are the building blocks of one scheduling step, shared by the batch
+// run ([`Engine::run_observed`]) and the long-running serve session
+// ([`crate::serve::ServeSession`]). Per-job state lives in parallel arrays
+// indexed by *ingest index*; `base` is the ingest index of slot 0, so a
+// serve session can retire a prefix of completed jobs and keep indexing
+// stable (`base` is always 0 for batch runs, where nothing retires).
+// ---------------------------------------------------------------------------
+
+/// Moves released nodes back to `free`, paying down owed fault
+/// capacity first.
+pub(crate) fn release(
+    free: &mut [u32],
+    offline: &mut [u32],
+    owed: &mut [u32],
+    allocation: &[(PartitionId, u32)],
+) {
+    for (p, n) in allocation {
+        let pi = p.index();
+        let seized = (*n).min(owed[pi]);
+        owed[pi] -= seized;
+        offline[pi] += seized;
+        free[pi] += n - seized;
+    }
+}
+
+/// Bookkeeping shared by the fault-kill paths: releases the dead
+/// gang, invalidates its finish event, charges the lost work, and
+/// either requeues the job under retry backoff or cancels it once
+/// the retry budget is exhausted. The scheduler hears about the
+/// kill through its censored-observation callback.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn kill_attempt(
+    r: Running,
+    now: f64,
+    base: usize,
+    jobs: &[JobSpec],
+    retry: &RetryPolicy,
+    free: &mut [u32],
+    offline: &mut [u32],
+    owed: &mut [u32],
+    epochs: &mut [u32],
+    outcomes: &mut [JobOutcome],
+    pending: &mut Vec<usize>,
+    retry_at: &mut BTreeMap<usize, f64>,
+    wasted: &mut f64,
+    kill_count: &mut usize,
+    retry_cancellations: &mut usize,
+    scheduler: &mut dyn Scheduler,
+) {
+    release(free, offline, owed, &r.allocation);
+    epochs[r.idx - base] += 1;
+    let tasks: u32 = r.allocation.iter().map(|(_, n)| n).sum();
+    let elapsed = (now - r.start).max(0.0);
+    *wasted += elapsed * f64::from(tasks);
+    *kill_count += 1;
+    let o = &mut outcomes[r.idx - base];
+    o.kills += 1;
+    let will_retry = o.kills <= retry.max_retries;
+    if will_retry {
+        o.state = JobState::Pending;
+        retry_at.insert(r.idx, now + retry.delay_for(o.kills));
+        pending.push(r.idx);
+    } else {
+        o.state = JobState::Canceled;
+        *retry_cancellations += 1;
+    }
+    scheduler.on_job_killed(&jobs[r.idx - base], elapsed, will_retry, now);
+}
+
+/// Why a job spec is unusable, if it is: non-finite/negative submit time or
+/// duration, or a zero-task gang. Shared by batch ingest and the serve
+/// boundary, so a streamed job is held to exactly the trace contract.
+pub(crate) fn spec_problem(j: &JobSpec) -> Option<&'static str> {
+    if !j.submit_time.is_finite() || j.submit_time < 0.0 {
+        Some("submit time must be finite and non-negative")
+    } else if !j.duration.is_finite() || j.duration < 0.0 {
+        Some("duration must be finite and non-negative")
+    } else if j.tasks == 0 {
+        Some("task count must be positive")
+    } else {
+        None
+    }
+}
+
+/// A fresh (pre-arrival) outcome record for a job.
+pub(crate) fn blank_outcome(j: &JobSpec) -> JobOutcome {
+    JobOutcome {
+        id: j.id,
+        kind: j.kind,
+        submit_time: j.submit_time,
+        tasks: j.tasks,
+        state: JobState::Pending,
+        start_time: None,
+        finish_time: None,
+        measured_runtime: None,
+        preemptions: 0,
+        kills: 0,
+        on_preferred: None,
+    }
+}
+
+/// Ingest stage: validates the trace and the cluster against the
+/// scheduler's representable size and builds the outcome table plus
+/// the id → trace-index map. Every typed rejection that does not
+/// depend on a decision happens here, before any event is processed.
+fn ingest(
+    jobs: &[JobSpec],
+    parts: usize,
+    scheduler: &dyn Scheduler,
+) -> Result<(Vec<JobOutcome>, BTreeMap<JobId, usize>), SimError> {
+    if let Some(max) = scheduler.max_partitions() {
+        if parts > max {
+            return Err(SimError::ClusterTooLarge {
+                partitions: parts,
+                max,
+            });
+        }
+    }
+    let outcomes: Vec<JobOutcome> = jobs.iter().map(blank_outcome).collect();
+    let mut index_of: BTreeMap<JobId, usize> = BTreeMap::new();
+    for (i, j) in jobs.iter().enumerate() {
+        if index_of.insert(j.id, i).is_some() {
+            return Err(SimError::DuplicateJobId { job: j.id });
+        }
+        if let Some(reason) = spec_problem(j) {
+            return Err(SimError::MalformedJobSpec { job: j.id, reason });
+        }
+    }
+    Ok((outcomes, index_of))
+}
+
+/// Decide stage: builds the deterministic scheduler-facing view
+/// (running jobs sorted by id, backoff-gated pending set) and asks
+/// the scheduler for a decision. Reads engine state, mutates none.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn decide(
+    cluster: &ClusterSpec,
+    cycle_interval: f64,
+    base: usize,
+    jobs: &[JobSpec],
+    pending: &[usize],
+    retry_at: &BTreeMap<usize, f64>,
+    running: &BTreeMap<JobId, Running>,
+    free: &[u32],
+    now: f64,
+    scheduler: &mut dyn Scheduler,
+) -> SchedulingDecision {
+    // Deterministic view: running jobs sorted by id so scheduler
+    // decisions (and float summation order) never depend on
+    // hash-map iteration order.
+    let mut running_view: Vec<RunningJob<'_>> = running
+        .values()
+        .map(|r| RunningJob {
+            spec: &jobs[r.idx - base],
+            start_time: r.start,
+            allocation: &r.allocation,
+        })
+        .collect();
+    running_view.sort_by_key(|r| r.spec.id);
+    let eps = retry_tick_eps(now, cycle_interval);
+    let view = SimulationView {
+        cluster,
+        // Jobs backing off after a kill are withheld from the
+        // scheduler until their retry time.
+        pending: pending
+            .iter()
+            .filter(|&&i| retry_at.get(&i).is_none_or(|&t| t <= now + eps))
+            .map(|&i| &jobs[i - base])
+            .collect(),
+        running: running_view,
+        free,
+        now,
+    };
+    scheduler.schedule(&view, now)
+}
+
+/// Commit stage: validates and applies a decision — cancellations,
+/// then preemptions, then placements — and settles outstanding
+/// fault debt from post-decision free capacity.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn commit(
+    decision: &SchedulingDecision,
+    now: f64,
+    base: usize,
+    jobs: &[JobSpec],
+    cluster: &ClusterSpec,
+    index_of: &BTreeMap<JobId, usize>,
+    rng: &mut StdRng,
+    free: &mut [u32],
+    offline: &mut [u32],
+    owed: &mut [u32],
+    epochs: &mut [u32],
+    outcomes: &mut [JobOutcome],
+    pending: &mut Vec<usize>,
+    retry_at: &mut BTreeMap<usize, f64>,
+    running: &mut BTreeMap<JobId, Running>,
+    queue: &mut BinaryHeap<Event>,
+    seq: &mut u64,
+    wasted: &mut f64,
+    preemption_count: &mut usize,
+) -> Result<(), SimError> {
+    let parts = free.len();
+    // 1. Cancellations.
+    for id in &decision.cancellations {
+        let idx = *index_of.get(id).ok_or(SimError::BadJobReference {
+            job: *id,
+            action: "cancel",
+        })?;
+        let pos = pending
+            .iter()
+            .position(|&i| i == idx)
+            .ok_or(SimError::BadJobReference {
+                job: *id,
+                action: "cancel",
+            })?;
+        pending.remove(pos);
+        retry_at.remove(&idx);
+        outcomes[idx - base].state = JobState::Canceled;
+    }
+
+    // 2. Preemptions: free capacity, requeue the job.
+    //
+    // Reclaimed capacity is fully spendable by this same decision's
+    // placements: `SimulationView` cannot expose `owed`, so
+    // schedulers (and the feasibility oracle) necessarily assume
+    // preempted nodes are reusable. Outstanding fault debt is
+    // settled from whatever is still free *after* the decision is
+    // applied.
+    for id in &decision.preemptions {
+        let r = running.remove(id).ok_or(SimError::BadJobReference {
+            job: *id,
+            action: "preempt",
+        })?;
+        for (p, n) in &r.allocation {
+            free[p.index()] += n;
+        }
+        epochs[r.idx - base] += 1;
+        outcomes[r.idx - base].preemptions += 1;
+        outcomes[r.idx - base].state = JobState::Pending;
+        let tasks: u32 = r.allocation.iter().map(|(_, n)| n).sum();
+        *wasted += (now - r.start).max(0.0) * tasks as f64;
+        pending.push(r.idx);
+        *preemption_count += 1;
+    }
+
+    // 3. Placements.
+    for pl in &decision.placements {
+        let idx = *index_of.get(&pl.job).ok_or(SimError::BadJobReference {
+            job: pl.job,
+            action: "place",
+        })?;
+        let pos = pending
+            .iter()
+            .position(|&i| i == idx)
+            .ok_or(SimError::BadJobReference {
+                job: pl.job,
+                action: "place",
+            })?;
+        let spec = &jobs[idx - base];
+        let total: u32 = pl.allocation.iter().map(|(_, n)| n).sum();
+        if total != spec.tasks || pl.allocation.iter().any(|(p, _)| p.index() >= parts) {
+            return Err(SimError::BadAllocation { job: pl.job });
+        }
+        for (p, n) in &pl.allocation {
+            if *n > free[p.index()] {
+                return Err(SimError::OverCapacity { partition: *p });
+            }
+        }
+        pending.remove(pos);
+        retry_at.remove(&idx);
+        for (p, n) in &pl.allocation {
+            free[p.index()] -= n;
+        }
+        let nominal = spec.runtime_on(&pl.allocation);
+        let (start, runtime) = match cluster.rc_fidelity {
+            None => (now, nominal),
+            Some(fid) => {
+                let z = standard_normal(rng);
+                let jitter = (1.0 + fid.runtime_jitter_cov * z).max(0.3);
+                (now + fid.placement_latency, nominal * jitter)
+            }
+        };
+        let on_preferred = spec.preferred.as_ref().is_none_or(|pref| {
+            pl.allocation
+                .iter()
+                .all(|(p, n)| *n == 0 || pref.contains(p))
+        });
+        epochs[idx - base] += 1;
+        let epoch = epochs[idx - base];
+        running.insert(
+            pl.job,
+            Running {
+                idx,
+                epoch,
+                start,
+                allocation: pl.allocation.clone(),
+                measured_runtime: runtime,
+                on_preferred,
+            },
+        );
+        outcomes[idx - base].state = JobState::Running;
+        outcomes[idx - base].start_time = Some(start);
+        push_event(
+            queue,
+            seq,
+            start + runtime,
+            EventKind::Finish { job: idx, epoch },
+        );
+    }
+
+    // Settle outstanding fault debt from post-decision free capacity
+    // (preemptions above released nodes without paying it down).
+    for pi in 0..parts {
+        let seized = owed[pi].min(free[pi]);
+        owed[pi] -= seized;
+        offline[pi] += seized;
+        free[pi] -= seized;
+    }
+    Ok(())
+}
+
+/// Retry-backoff eligibility tolerance at a cycle boundary.
 ///
 /// Cycle ticks are produced by repeated `now + cycle_interval` additions, so
 /// a tick nominally at `t` can sit a few ulps below the `kill_time + delay`
-/// retry timestamp computed for the same instant. The gate compares against
-/// `now + RETRY_TICK_TOLERANCE * max(|now|, 1)` so an on-tick expiry
-/// re-pends on that tick. The tolerance (~1 ns at t = 1 s) is far below any
-/// meaningful backoff granularity and far above accumulated f64 drift.
+/// retry timestamp computed for the same instant, and the eligibility gate
+/// must tolerate that drift: a backoff expiring exactly on a cycle boundary
+/// re-pends on that cycle, not one cycle late.
+///
+/// The tolerance is relative and ulp-aware. The base term
+/// `RETRY_TICK_TOLERANCE * max(|now|, 1)` (~1 ns at t = 1 s) covers the
+/// short-horizon regime. At long service horizons (`now ≳ 2^46` s) that term
+/// alone would grow to tens of thousands of seconds — collapsing every
+/// backoff — so it is capped at a quarter cycle. The cap in turn is floored
+/// at 64 ulps of `now`, because once a single ulp exceeds the nominal
+/// tolerance (one ulp of 2^46 is ~0.016 s), drift must still be forgiven or
+/// an on-tick expiry is skipped for a full cycle.
+fn retry_tick_eps(now: f64, cycle_interval: f64) -> f64 {
+    (RETRY_TICK_TOLERANCE * now.abs().max(1.0))
+        .min(0.25 * cycle_interval)
+        .max(64.0 * f64::EPSILON * now.abs())
+}
+
+/// Relative tolerance for retry-backoff eligibility at a cycle boundary
+/// (see [`retry_tick_eps`]).
 const RETRY_TICK_TOLERANCE: f64 = 1e-9;
 
 /// Pushes an event with the deterministic same-time ordering class
 /// (Finish < Fault < Arrival < Cycle) and a FIFO tie-break sequence.
-fn push_event(q: &mut BinaryHeap<Event>, seq: &mut u64, time: f64, kind: EventKind) {
+pub(crate) fn push_event(q: &mut BinaryHeap<Event>, seq: &mut u64, time: f64, kind: EventKind) {
     let class = match kind {
         EventKind::Finish { .. } => 0,
         EventKind::Fault { .. } => 1,
@@ -2106,6 +2179,31 @@ mod tests {
             (restart - 0.8).abs() < 0.05,
             "retry restarted at {restart}, not on the t≈0.8 tick"
         );
+    }
+
+    #[test]
+    fn retry_eps_is_ulp_aware_at_long_service_horizons() {
+        // At now = 2^46 one ulp is ~0.016 s. The old gate scaled a fixed
+        // 1e-9 by |now|, yielding a ~7×10^4 s tolerance that made every
+        // backoff shorter than ~19 hours eligible immediately. The
+        // ulp-aware gate forgives boundary drift (at least 1 ulp) but is
+        // capped at a quarter cycle / floored at 64 ulps of now.
+        let now = (1u64 << 46) as f64;
+        let ulp = f64::EPSILON * now; // exactly 2^-6 at 2^46
+        let eps = retry_tick_eps(now, 2.0);
+        assert!(eps >= ulp, "on-tick drift must be forgiven: {eps} < {ulp}");
+        assert!(
+            eps <= 64.0 * ulp + 1e-12,
+            "tolerance must not collapse backoffs: {eps}"
+        );
+        assert!(
+            eps < 5.0,
+            "a default 5 s backoff must survive the gate: {eps}"
+        );
+        // Short horizons keep the historical tolerance exactly, so existing
+        // traces replay byte-identically.
+        assert_eq!(retry_tick_eps(0.8, 0.1), 1e-9);
+        assert_eq!(retry_tick_eps(100.0, 2.0), 1e-9 * 100.0);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 pub mod engine;
 pub mod job;
 pub mod metrics;
+pub mod serve;
 pub mod spec;
 
 pub use engine::{
@@ -31,4 +32,7 @@ pub use engine::{
 };
 pub use job::{Attributes, JobId, JobKind, JobSpec, RetryPolicy};
 pub use metrics::{JobOutcome, JobState, Metrics};
+pub use serve::{
+    RetiredAggregate, ServeConfig, ServeSession, ServeSnapshot, ServeSummary, SNAPSHOT_VERSION,
+};
 pub use spec::{ClusterSpec, PartitionId, RcFidelity};

@@ -1,0 +1,1328 @@
+//! Long-running serve session: the streaming counterpart of [`Engine`].
+//!
+//! [`Engine::run`](crate::Engine::run) is batch-run-to-completion: it holds
+//! every job record for the whole run and returns one [`Metrics`] at the
+//! end. A [`ServeSession`] instead accepts jobs one at a time over an open
+//! boundary ([`ServeSession::submit`]), pumps the same discrete-event loop
+//! on the same shared ingest → decide → commit stages, and keeps memory
+//! bounded by **retiring** completed-job state once a configurable
+//! retention window has passed. Retired outcomes are folded into running
+//! aggregates plus an order-sensitive FNV-1a digest, so two sessions that
+//! processed the same stream agree on a single `u64` even after all per-job
+//! state is gone.
+//!
+//! # Determinism and restart equivalence
+//!
+//! The session is deterministic: the same submissions produce the same
+//! decisions, aggregates, and digest. A **quiescent** session (no queued
+//! events, nothing pending, nothing running) can be serialized to a
+//! [`ServeSnapshot`] and a fresh process can [`ServeSession::restore`] it
+//! and continue the stream; the continued session is state-identical to one
+//! that never restarted. Quiescence is reached whenever the job stream goes
+//! idle long enough for in-flight work to drain — the natural snapshot
+//! point for a daemon (the scheduler's own learned state is snapshotted
+//! alongside by the caller).
+//!
+//! # Bounded structures
+//!
+//! * per-job records (spec, outcome, epoch) — retired after `retention`
+//!   seconds past the terminal event (prefix order, so indices stay dense);
+//! * `index_of` — entries removed at retirement (duplicate-id detection
+//!   therefore covers live jobs only);
+//! * the event queue — holds only in-flight finishes, scripted faults, the
+//!   cycle tick, and not-yet-arrived submissions.
+//!
+//! Every bound is exported as an obs gauge (`serve_live_jobs`,
+//! `serve_retired_jobs_total`, `serve_retention_seconds`, …) so saturation
+//! is visible in the Prometheus exposition.
+
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use threesigma_obs::{Counter, Gauge, Recorder};
+
+use crate::engine::{
+    blank_outcome, commit, decide, kill_attempt, push_event, release, spec_problem, Event,
+    EventKind, FaultEvent, Running, Scheduler, SimError,
+};
+use crate::job::{JobId, JobSpec, RetryPolicy};
+use crate::metrics::{JobOutcome, JobState};
+use crate::spec::ClusterSpec;
+
+/// Serve-session configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Seconds between scheduling cycles.
+    pub cycle_interval: f64,
+    /// RNG seed (reserved; the serve loop rejects RC-fidelity clusters, so
+    /// no draws are taken and restarts need no RNG replay).
+    pub seed: u64,
+    /// Retry policy for fault-killed jobs.
+    pub retry: RetryPolicy,
+    /// Seconds a terminal job record is kept before it is retired into the
+    /// running aggregates. `f64::INFINITY` disables retirement.
+    pub retention: f64,
+    /// Scripted capacity faults (empty in production; used by soak and
+    /// regression scenarios).
+    pub faults: Vec<FaultEvent>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            cycle_interval: 2.0,
+            seed: 0x3516,
+            retry: RetryPolicy::default(),
+            retention: 3600.0,
+            faults: Vec::new(),
+        }
+    }
+}
+
+/// Aggregates folded out of retired job records. Mirrors the formulas of
+/// [`Metrics`](crate::Metrics) so a serve summary over a fully retired
+/// stream equals the batch metrics over the same trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RetiredAggregate {
+    /// Jobs retired.
+    pub jobs: u64,
+    /// Retired jobs that completed.
+    pub completed: u64,
+    /// Retired jobs that were cancelled.
+    pub canceled: u64,
+    /// Retired SLO jobs.
+    pub slo_jobs: u64,
+    /// Retired SLO jobs that missed their deadline.
+    pub slo_misses: u64,
+    /// Machine-seconds of SLO work completed within deadline.
+    pub slo_goodput_machine_seconds: f64,
+    /// Machine-seconds of completed best-effort work.
+    pub be_goodput_machine_seconds: f64,
+    /// Sum of best-effort response times (completion − submission).
+    pub be_latency_sum: f64,
+    /// Completed best-effort jobs (denominator for the latency mean).
+    pub be_completed: u64,
+}
+
+impl RetiredAggregate {
+    fn fold(&mut self, o: &JobOutcome) {
+        self.jobs += 1;
+        match o.state {
+            JobState::Completed => self.completed += 1,
+            JobState::Canceled => self.canceled += 1,
+            // Prefix retirement only removes terminal records.
+            JobState::Pending | JobState::Running => {}
+        }
+        if o.is_slo() {
+            self.slo_jobs += 1;
+            if o.deadline_met() == Some(false) {
+                self.slo_misses += 1;
+            }
+            if o.deadline_met() == Some(true) {
+                self.slo_goodput_machine_seconds += o.machine_seconds();
+            }
+        } else if o.state == JobState::Completed {
+            self.be_goodput_machine_seconds += o.machine_seconds();
+            if let Some(lat) = o.latency() {
+                self.be_latency_sum += lat;
+                self.be_completed += 1;
+            }
+        }
+    }
+}
+
+/// Deterministic summary of everything a session has processed: retired
+/// aggregates plus the still-live records, combined. Two sessions that
+/// consumed the same stream produce identical summaries (including the
+/// digest), whether or not one of them snapshotted and restarted in the
+/// middle — that is the restart-equivalence contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeSummary {
+    /// Simulated time of the last processed event.
+    pub now: f64,
+    /// Scheduling cycles executed.
+    pub cycles: usize,
+    /// Jobs accepted over the boundary.
+    pub submitted: u64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Jobs cancelled (decision or retry exhaustion).
+    pub canceled: u64,
+    /// Jobs retired out of per-job state.
+    pub retired: u64,
+    /// Jobs currently live (terminal-but-retained + pending + running).
+    pub live: usize,
+    /// Fault kills applied.
+    pub kills: usize,
+    /// Preemptions applied.
+    pub preemptions: usize,
+    /// Retry-budget cancellations (subset of `canceled`).
+    pub retry_cancellations: usize,
+    /// Machine-seconds destroyed by kills/preemptions.
+    pub wasted_machine_seconds: f64,
+    /// Percentage (0–100) of SLO jobs that missed their deadline.
+    pub slo_miss_pct: f64,
+    /// Goodput (SLO-within-deadline + completed BE), machine-hours.
+    pub goodput_hours: f64,
+    /// Order-sensitive FNV-1a digest over every job outcome the session has
+    /// produced (retired first, then live, in ingest order).
+    pub digest: u64,
+}
+
+/// Serialized form of a quiescent session. Byte-stable: serializing the
+/// same session state always produces identical JSON (all floats are finite
+/// and serde_json's shortest-roundtrip formatting is deterministic).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeSnapshot {
+    /// Format version (see [`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Simulated time of the last processed event.
+    pub now: f64,
+    /// Latest accepted submission time.
+    pub last_submit: f64,
+    /// Cycles executed so far.
+    pub cycles: usize,
+    /// Event sequence counter (FIFO tie-break continuity).
+    pub seq: u64,
+    /// Ingest index of the first live record.
+    pub base: usize,
+    /// Counters.
+    pub submitted: u64,
+    /// Completed jobs.
+    pub completed: u64,
+    /// Placements applied.
+    pub placements: u64,
+    /// Decision cancellations applied.
+    pub cancellations: u64,
+    /// Preemptions applied.
+    pub preemptions: usize,
+    /// Fault kills applied.
+    pub kills: usize,
+    /// Retry-budget cancellations.
+    pub retry_cancellations: usize,
+    /// Machine-seconds destroyed by kills/preemptions.
+    pub wasted_machine_seconds: f64,
+    /// Aggregates of retired records.
+    pub retired: RetiredAggregate,
+    /// Digest over retired records.
+    pub retired_digest: u64,
+    /// Free nodes per partition.
+    pub free: Vec<u32>,
+    /// Fault-offline nodes per partition.
+    pub offline: Vec<u32>,
+    /// Fault debt per partition.
+    pub owed: Vec<u32>,
+    /// Live records: `(spec, outcome, epoch)` in ingest order. At
+    /// quiescence every live record is terminal (retained, not yet past the
+    /// retention window).
+    pub live: Vec<(JobSpec, JobOutcome, u32)>,
+}
+
+/// Current [`ServeSnapshot::version`].
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Serve metric handles (all totals published with `set_total`, so a
+/// restored session reports stream-lifetime totals, not process totals).
+struct ServeMetrics {
+    cycles: Counter,
+    placements: Counter,
+    preemptions: Counter,
+    cancellations: Counter,
+    kills: Counter,
+    retry_cancellations: Counter,
+    submitted: Counter,
+    completed: Counter,
+    retired: Counter,
+    live_jobs: Gauge,
+    queue_depth: Gauge,
+    running_jobs: Gauge,
+    free_nodes: Gauge,
+    retention: Gauge,
+}
+
+impl ServeMetrics {
+    fn register(rec: &Recorder) -> Self {
+        Self {
+            cycles: rec.counter("serve_cycles_total", "Scheduling cycles executed"),
+            placements: rec.counter("serve_placements_total", "Job placements applied"),
+            preemptions: rec.counter("serve_preemptions_total", "Jobs preempted mid-run"),
+            cancellations: rec.counter(
+                "serve_cancellations_total",
+                "Jobs cancelled by scheduler decision",
+            ),
+            kills: rec.counter("serve_kills_total", "Running attempts killed by faults"),
+            retry_cancellations: rec.counter(
+                "serve_retry_cancellations_total",
+                "Jobs cancelled after exhausting the retry budget",
+            ),
+            submitted: rec.counter("serve_jobs_submitted_total", "Jobs accepted for scheduling"),
+            completed: rec.counter("serve_jobs_completed_total", "Jobs run to completion"),
+            retired: rec.counter(
+                "serve_jobs_retired_total",
+                "Terminal job records retired into aggregates",
+            ),
+            live_jobs: rec.gauge(
+                "serve_live_jobs",
+                "Per-job records currently held (bounded by retention)",
+            ),
+            queue_depth: rec.gauge("serve_queue_depth", "Pending jobs after the last cycle"),
+            running_jobs: rec.gauge("serve_running_jobs", "Running jobs after the last cycle"),
+            free_nodes: rec.gauge("serve_free_nodes", "Free nodes across all partitions"),
+            retention: rec.gauge(
+                "serve_retention_seconds",
+                "Configured retention window for terminal job records",
+            ),
+        }
+    }
+}
+
+/// A long-running scheduling session over a streaming job boundary.
+pub struct ServeSession {
+    cluster: ClusterSpec,
+    config: ServeConfig,
+    metrics: ServeMetrics,
+
+    // Cluster capacity state (see engine.rs invariants).
+    free: Vec<u32>,
+    offline: Vec<u32>,
+    owed: Vec<u32>,
+
+    // Event loop state.
+    queue: BinaryHeap<Event>,
+    seq: u64,
+    arrivals_queued: usize,
+    cycle_scheduled: bool,
+    now: f64,
+    last_submit: f64,
+
+    // Per-job state, indexed by `ingest index − base`. The three deques
+    // move in lockstep; `base` advances as the terminal prefix retires.
+    base: usize,
+    jobs: VecDeque<JobSpec>,
+    outcomes: VecDeque<JobOutcome>,
+    epochs: VecDeque<u32>,
+    index_of: BTreeMap<JobId, usize>,
+
+    pending: Vec<usize>,
+    running: BTreeMap<JobId, Running>,
+    retry_at: BTreeMap<usize, f64>,
+    rng: StdRng,
+
+    // Counters.
+    cycles: usize,
+    submitted: u64,
+    completed: u64,
+    placements_total: u64,
+    cancellations_total: u64,
+    preemptions: usize,
+    kills: usize,
+    retry_cancellations: usize,
+    wasted: f64,
+
+    // Retired state.
+    retired: RetiredAggregate,
+    retired_digest: u64,
+}
+
+impl ServeSession {
+    /// Creates a fresh session.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive cycle intervals, negative/non-finite retention,
+    /// RC-fidelity clusters (their runtime jitter draws would make restarts
+    /// depend on RNG replay), and malformed fault scripts — all as typed
+    /// [`SimError::BadServeConfig`] values, since a daemon must refuse bad
+    /// config instead of panicking.
+    pub fn new(
+        cluster: ClusterSpec,
+        config: ServeConfig,
+        recorder: &Recorder,
+    ) -> Result<Self, SimError> {
+        if config.cycle_interval.is_nan() || config.cycle_interval <= 0.0 {
+            return Err(SimError::BadServeConfig {
+                reason: "cycle interval must be positive",
+            });
+        }
+        if config.retention.is_nan() || config.retention < 0.0 {
+            return Err(SimError::BadServeConfig {
+                reason: "retention must be non-negative",
+            });
+        }
+        if cluster.rc_fidelity.is_some() {
+            return Err(SimError::BadServeConfig {
+                reason: "serve sessions do not support RC-fidelity clusters",
+            });
+        }
+        for f in &config.faults {
+            if let Some(p) = f.partition() {
+                if p.index() >= cluster.num_partitions() {
+                    return Err(SimError::BadServeConfig {
+                        reason: "fault references unknown partition",
+                    });
+                }
+            }
+            if !f.at().is_finite() || f.at() < 0.0 {
+                return Err(SimError::BadServeConfig {
+                    reason: "fault time must be finite and non-negative",
+                });
+            }
+        }
+        let parts = cluster.num_partitions();
+        let capacity: Vec<u32> = cluster
+            .partition_ids()
+            .map(|p| cluster.partition_size(p))
+            .collect();
+        let metrics = ServeMetrics::register(recorder);
+        let mut session = Self {
+            free: capacity,
+            offline: vec![0; parts],
+            owed: vec![0; parts],
+            queue: BinaryHeap::new(),
+            seq: 0,
+            arrivals_queued: 0,
+            cycle_scheduled: false,
+            now: 0.0,
+            last_submit: 0.0,
+            base: 0,
+            jobs: VecDeque::new(),
+            outcomes: VecDeque::new(),
+            epochs: VecDeque::new(),
+            index_of: BTreeMap::new(),
+            pending: Vec::new(),
+            running: BTreeMap::new(),
+            retry_at: BTreeMap::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            cycles: 0,
+            submitted: 0,
+            completed: 0,
+            placements_total: 0,
+            cancellations_total: 0,
+            preemptions: 0,
+            kills: 0,
+            retry_cancellations: 0,
+            wasted: 0.0,
+            retired: RetiredAggregate::default(),
+            retired_digest: FNV_OFFSET,
+            metrics,
+            cluster,
+            config,
+        };
+        for i in 0..session.config.faults.len() {
+            let at = session.config.faults[i].at();
+            push_event(
+                &mut session.queue,
+                &mut session.seq,
+                at,
+                EventKind::Fault { fault: i },
+            );
+        }
+        Ok(session)
+    }
+
+    /// Rebuilds a session from a [`ServeSnapshot`] taken by
+    /// [`ServeSession::snapshot`]. Scripted faults dated after the snapshot
+    /// time are re-queued; earlier ones already acted on the captured
+    /// capacity state.
+    pub fn restore(
+        cluster: ClusterSpec,
+        config: ServeConfig,
+        recorder: &Recorder,
+        snap: &ServeSnapshot,
+    ) -> Result<Self, SimError> {
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(SimError::BadServeConfig {
+                reason: "snapshot version mismatch",
+            });
+        }
+        let mut session = Self::new(cluster, config, recorder)?;
+        let parts = session.cluster.num_partitions();
+        if snap.free.len() != parts || snap.offline.len() != parts || snap.owed.len() != parts {
+            return Err(SimError::BadServeConfig {
+                reason: "snapshot partition count does not match the cluster",
+            });
+        }
+        // Drop the fault events new() queued; only future-dated ones return.
+        session.queue.clear();
+        session.seq = snap.seq;
+        for i in 0..session.config.faults.len() {
+            let at = session.config.faults[i].at();
+            if at > snap.now {
+                push_event(
+                    &mut session.queue,
+                    &mut session.seq,
+                    at,
+                    EventKind::Fault { fault: i },
+                );
+            }
+        }
+        session.now = snap.now;
+        session.last_submit = snap.last_submit;
+        session.cycles = snap.cycles;
+        session.base = snap.base;
+        session.free.copy_from_slice(&snap.free);
+        session.offline.copy_from_slice(&snap.offline);
+        session.owed.copy_from_slice(&snap.owed);
+        session.submitted = snap.submitted;
+        session.completed = snap.completed;
+        session.placements_total = snap.placements;
+        session.cancellations_total = snap.cancellations;
+        session.preemptions = snap.preemptions;
+        session.kills = snap.kills;
+        session.retry_cancellations = snap.retry_cancellations;
+        session.wasted = snap.wasted_machine_seconds;
+        session.retired = snap.retired;
+        session.retired_digest = snap.retired_digest;
+        for (i, (spec, outcome, epoch)) in snap.live.iter().enumerate() {
+            let idx = snap.base + i;
+            if session.index_of.insert(spec.id, idx).is_some() {
+                return Err(SimError::BadServeConfig {
+                    reason: "snapshot contains duplicate live job ids",
+                });
+            }
+            session.jobs.push_back(spec.clone());
+            session.outcomes.push_back(outcome.clone());
+            session.epochs.push_back(*epoch);
+        }
+        session.publish_gauges();
+        Ok(session)
+    }
+
+    /// Accepts a job for scheduling. Jobs must arrive in non-decreasing
+    /// `submit_time` order, at or after the session's current time; the
+    /// arrival itself is processed when the event loop reaches that time
+    /// ([`ServeSession::pump_until`]/[`ServeSession::drain`]).
+    pub fn submit(&mut self, spec: JobSpec) -> Result<(), SimError> {
+        if let Some(reason) = spec_problem(&spec) {
+            return Err(SimError::MalformedJobSpec {
+                job: spec.id,
+                reason,
+            });
+        }
+        if spec.submit_time < self.last_submit || spec.submit_time < self.now {
+            return Err(SimError::OutOfOrderSubmit { job: spec.id });
+        }
+        if self.index_of.contains_key(&spec.id) {
+            return Err(SimError::DuplicateJobId { job: spec.id });
+        }
+        let idx = self.base + self.jobs.len();
+        // Revive the cycle chain if it went idle: the first cycle that can
+        // see this job runs at its arrival time (arrivals order before
+        // cycles at equal timestamps).
+        if !self.cycle_scheduled {
+            push_event(
+                &mut self.queue,
+                &mut self.seq,
+                spec.submit_time,
+                EventKind::Cycle,
+            );
+            self.cycle_scheduled = true;
+        }
+        push_event(
+            &mut self.queue,
+            &mut self.seq,
+            spec.submit_time,
+            EventKind::Arrival { job: idx },
+        );
+        self.arrivals_queued += 1;
+        self.last_submit = spec.submit_time;
+        self.index_of.insert(spec.id, idx);
+        self.outcomes.push_back(blank_outcome(&spec));
+        self.epochs.push_back(0);
+        self.jobs.push_back(spec);
+        self.submitted += 1;
+        Ok(())
+    }
+
+    /// Processes every queued event strictly before `limit`. Call with the
+    /// next submission's time before submitting it, so simulated time never
+    /// runs ahead of the stream.
+    pub fn pump_until(
+        &mut self,
+        limit: f64,
+        scheduler: &mut dyn Scheduler,
+    ) -> Result<(), SimError> {
+        while self.queue.peek().is_some_and(|ev| ev.time < limit) {
+            let Some(ev) = self.queue.pop() else { break };
+            self.step(ev, scheduler)?;
+        }
+        Ok(())
+    }
+
+    /// Processes queued events until the queue is empty or the next event
+    /// lies beyond `horizon`. Returns `true` when the session reached
+    /// quiescence (queue empty — which implies nothing pending and nothing
+    /// running, since the cycle chain stays alive while work remains).
+    pub fn drain(&mut self, horizon: f64, scheduler: &mut dyn Scheduler) -> Result<bool, SimError> {
+        loop {
+            match self.queue.peek() {
+                None => return Ok(self.is_quiescent()),
+                Some(ev) if ev.time > horizon => return Ok(false),
+                Some(_) => {
+                    let Some(ev) = self.queue.pop() else {
+                        return Ok(self.is_quiescent());
+                    };
+                    self.step(ev, scheduler)?;
+                }
+            }
+        }
+    }
+
+    /// True when no event is queued, nothing is pending, and nothing runs —
+    /// the only state a snapshot may be taken in.
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty() && self.pending.is_empty() && self.running.is_empty()
+    }
+
+    /// Serializes the session. Fails unless the session
+    /// [is quiescent](Self::is_quiescent).
+    pub fn snapshot(&self) -> Result<ServeSnapshot, SimError> {
+        if !self.is_quiescent() {
+            return Err(SimError::SnapshotNotQuiescent);
+        }
+        let live: Vec<(JobSpec, JobOutcome, u32)> = self
+            .jobs
+            .iter()
+            .zip(self.outcomes.iter())
+            .zip(self.epochs.iter())
+            .map(|((j, o), e)| (j.clone(), o.clone(), *e))
+            .collect();
+        Ok(ServeSnapshot {
+            version: SNAPSHOT_VERSION,
+            now: self.now,
+            last_submit: self.last_submit,
+            cycles: self.cycles,
+            seq: self.seq,
+            base: self.base,
+            submitted: self.submitted,
+            completed: self.completed,
+            placements: self.placements_total,
+            cancellations: self.cancellations_total,
+            preemptions: self.preemptions,
+            kills: self.kills,
+            retry_cancellations: self.retry_cancellations,
+            wasted_machine_seconds: self.wasted,
+            retired: self.retired,
+            retired_digest: self.retired_digest,
+            free: self.free.clone(),
+            offline: self.offline.clone(),
+            owed: self.owed.clone(),
+            live,
+        })
+    }
+
+    /// The deterministic stream summary (retired aggregates + live records).
+    pub fn summary(&self) -> ServeSummary {
+        let mut agg = self.retired;
+        let mut digest = self.retired_digest;
+        for o in &self.outcomes {
+            agg.fold(o);
+            digest = fold_outcome(digest, o);
+        }
+        let canceled = agg.canceled;
+        let slo_miss_pct = if agg.slo_jobs == 0 {
+            0.0
+        } else {
+            100.0 * agg.slo_misses as f64 / agg.slo_jobs as f64
+        };
+        let goodput_hours =
+            (agg.slo_goodput_machine_seconds + agg.be_goodput_machine_seconds) / 3600.0;
+        ServeSummary {
+            now: self.now,
+            cycles: self.cycles,
+            submitted: self.submitted,
+            completed: self.completed,
+            canceled,
+            retired: self.retired.jobs,
+            live: self.outcomes.len(),
+            kills: self.kills,
+            preemptions: self.preemptions,
+            retry_cancellations: self.retry_cancellations,
+            wasted_machine_seconds: self.wasted,
+            slo_miss_pct,
+            goodput_hours,
+            digest,
+        }
+    }
+
+    /// Simulated time of the last processed event.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Scheduling cycles executed so far.
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// Per-job records currently held.
+    pub fn live_jobs(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Jobs retired into the aggregates.
+    pub fn retired_jobs(&self) -> u64 {
+        self.retired.jobs
+    }
+
+    /// Live job outcomes in ingest order (terminal records awaiting
+    /// retirement, plus pending/running jobs mid-stream).
+    pub fn live_outcomes(&self) -> impl Iterator<Item = &JobOutcome> {
+        self.outcomes.iter()
+    }
+
+    fn step(&mut self, ev: Event, scheduler: &mut dyn Scheduler) -> Result<(), SimError> {
+        self.now = ev.time;
+        // Keep the deques contiguous so the shared stages can view them as
+        // plain slices (amortized O(1): only pop_front/push_back occur).
+        self.jobs.make_contiguous();
+        self.outcomes.make_contiguous();
+        self.epochs.make_contiguous();
+        let base = self.base;
+        match ev.kind {
+            EventKind::Arrival { job } => {
+                self.arrivals_queued -= 1;
+                self.pending.push(job);
+                scheduler.on_job_submitted(&self.jobs.as_slices().0[job - base], self.now);
+            }
+            EventKind::Finish { job, epoch } => {
+                let id = self.jobs.as_slices().0[job - base].id;
+                let valid = self.running.get(&id).is_some_and(|r| r.epoch == epoch);
+                if !valid {
+                    return Ok(()); // stale completion of a preempted/killed attempt
+                }
+                let Some(r) = self.running.remove(&id) else {
+                    return Ok(());
+                };
+                release(
+                    &mut self.free,
+                    &mut self.offline,
+                    &mut self.owed,
+                    &r.allocation,
+                );
+                let o = &mut self.outcomes.as_mut_slices().0[job - base];
+                o.state = JobState::Completed;
+                o.start_time = Some(r.start);
+                o.finish_time = Some(self.now);
+                o.measured_runtime = Some(r.measured_runtime);
+                o.on_preferred = Some(r.on_preferred);
+                self.completed += 1;
+                scheduler.on_job_completed(
+                    &self.jobs.as_slices().0[job - base],
+                    &self.outcomes.as_slices().0[job - base],
+                    self.now,
+                );
+            }
+            EventKind::Fault { fault } => self.apply_fault(fault, scheduler),
+            EventKind::Cycle => {
+                self.cycle_scheduled = false;
+                self.cycles += 1;
+                let decision = decide(
+                    &self.cluster,
+                    self.config.cycle_interval,
+                    base,
+                    self.jobs.as_slices().0,
+                    &self.pending,
+                    &self.retry_at,
+                    &self.running,
+                    &self.free,
+                    self.now,
+                    scheduler,
+                );
+                commit(
+                    &decision,
+                    self.now,
+                    base,
+                    self.jobs.as_slices().0,
+                    &self.cluster,
+                    &self.index_of,
+                    &mut self.rng,
+                    &mut self.free,
+                    &mut self.offline,
+                    &mut self.owed,
+                    self.epochs.as_mut_slices().0,
+                    self.outcomes.as_mut_slices().0,
+                    &mut self.pending,
+                    &mut self.retry_at,
+                    &mut self.running,
+                    &mut self.queue,
+                    &mut self.seq,
+                    &mut self.wasted,
+                    &mut self.preemptions,
+                )?;
+                self.placements_total += decision.placements.len() as u64;
+                self.cancellations_total += decision.cancellations.len() as u64;
+                self.retire_eligible();
+                self.publish_gauges();
+                if !self.pending.is_empty() || !self.running.is_empty() || self.arrivals_queued > 0
+                {
+                    push_event(
+                        &mut self.queue,
+                        &mut self.seq,
+                        self.now + self.config.cycle_interval,
+                        EventKind::Cycle,
+                    );
+                    self.cycle_scheduled = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_fault(&mut self, fault: usize, scheduler: &mut dyn Scheduler) {
+        let base = self.base;
+        match self.config.faults[fault] {
+            FaultEvent::PartitionDown {
+                partition, nodes, ..
+            } => {
+                let pi = partition.index();
+                let taken = nodes.min(self.free[pi]);
+                self.free[pi] -= taken;
+                self.offline[pi] += taken;
+                self.owed[pi] += nodes - taken;
+            }
+            FaultEvent::PartitionUp {
+                partition, nodes, ..
+            } => {
+                let pi = partition.index();
+                let cancelled = nodes.min(self.owed[pi]);
+                self.owed[pi] -= cancelled;
+                let restored = (nodes - cancelled).min(self.offline[pi]);
+                self.offline[pi] -= restored;
+                self.free[pi] += restored;
+            }
+            FaultEvent::NodeCrash {
+                partition, nodes, ..
+            } => {
+                let pi = partition.index();
+                let taken = nodes.min(self.free[pi]);
+                self.free[pi] -= taken;
+                self.offline[pi] += taken;
+                let mut remaining = nodes - taken;
+                let mut victims: Vec<JobId> = self
+                    .running
+                    .iter()
+                    .filter(|(_, r)| r.allocation.iter().any(|(p, n)| p.index() == pi && *n > 0))
+                    .map(|(id, _)| *id)
+                    .collect();
+                victims.sort_unstable();
+                for id in victims {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let Some(r) = self.running.remove(&id) else {
+                        continue;
+                    };
+                    kill_attempt(
+                        r,
+                        self.now,
+                        base,
+                        self.jobs.as_slices().0,
+                        &self.config.retry,
+                        &mut self.free,
+                        &mut self.offline,
+                        &mut self.owed,
+                        self.epochs.as_mut_slices().0,
+                        self.outcomes.as_mut_slices().0,
+                        &mut self.pending,
+                        &mut self.retry_at,
+                        &mut self.wasted,
+                        &mut self.kills,
+                        &mut self.retry_cancellations,
+                        scheduler,
+                    );
+                    let seized = remaining.min(self.free[pi]);
+                    self.free[pi] -= seized;
+                    self.offline[pi] += seized;
+                    remaining -= seized;
+                }
+                self.owed[pi] += remaining;
+            }
+            FaultEvent::TaskKill { job, .. } => {
+                if let Some(r) = self.running.remove(&job) {
+                    kill_attempt(
+                        r,
+                        self.now,
+                        base,
+                        self.jobs.as_slices().0,
+                        &self.config.retry,
+                        &mut self.free,
+                        &mut self.offline,
+                        &mut self.owed,
+                        self.epochs.as_mut_slices().0,
+                        self.outcomes.as_mut_slices().0,
+                        &mut self.pending,
+                        &mut self.retry_at,
+                        &mut self.wasted,
+                        &mut self.kills,
+                        &mut self.retry_cancellations,
+                        scheduler,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Retires the terminal prefix of per-job state once its retention
+    /// window has passed, folding each record into the aggregates and the
+    /// digest chain. Prefix-only retirement keeps ingest indices dense and
+    /// preserves the summary's fold order.
+    fn retire_eligible(&mut self) {
+        if self.config.retention.is_infinite() {
+            return;
+        }
+        let cutoff = self.now - self.config.retention;
+        while let Some(front) = self.outcomes.front() {
+            let terminal = matches!(front.state, JobState::Completed | JobState::Canceled);
+            // Cancelled records have no finish time; their submit time is a
+            // conservative (earlier) stand-in, so they retire no later than
+            // a completion would.
+            let done_at = front.finish_time.unwrap_or(front.submit_time);
+            if !terminal || done_at > cutoff {
+                break;
+            }
+            let Some(o) = self.outcomes.pop_front() else {
+                break;
+            };
+            let Some(spec) = self.jobs.pop_front() else {
+                break;
+            };
+            self.epochs.pop_front();
+            self.index_of.remove(&spec.id);
+            self.retired.fold(&o);
+            self.retired_digest = fold_outcome(self.retired_digest, &o);
+            self.base += 1;
+        }
+    }
+
+    fn publish_gauges(&self) {
+        let m = &self.metrics;
+        m.cycles.set_total(self.cycles as u64);
+        m.placements.set_total(self.placements_total);
+        m.preemptions.set_total(self.preemptions as u64);
+        m.cancellations.set_total(self.cancellations_total);
+        m.kills.set_total(self.kills as u64);
+        m.retry_cancellations
+            .set_total(self.retry_cancellations as u64);
+        m.submitted.set_total(self.submitted);
+        m.completed.set_total(self.completed);
+        m.retired.set_total(self.retired.jobs);
+        m.live_jobs.set(self.outcomes.len() as f64);
+        m.queue_depth.set(self.pending.len() as f64);
+        m.running_jobs.set(self.running.len() as f64);
+        m.free_nodes.set(f64::from(self.free.iter().sum::<u32>()));
+        m.retention.set(self.config.retention);
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+fn fold_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fold_u64(h: u64, v: u64) -> u64 {
+    fold_bytes(h, &v.to_le_bytes())
+}
+
+fn fold_f64_opt(h: u64, v: Option<f64>) -> u64 {
+    match v {
+        None => fold_u64(h, 0),
+        Some(x) => fold_u64(fold_u64(h, 1), x.to_bits()),
+    }
+}
+
+/// Folds one outcome into the digest chain: every field, bit-exact, in a
+/// fixed order. Two streams agree on the digest iff they produced the same
+/// outcomes in the same ingest order.
+fn fold_outcome(mut h: u64, o: &JobOutcome) -> u64 {
+    h = fold_u64(h, o.id.0);
+    h = match o.kind.deadline() {
+        None => fold_u64(h, 0),
+        Some(d) => fold_u64(fold_u64(h, 1), d.to_bits()),
+    };
+    h = fold_u64(h, o.submit_time.to_bits());
+    h = fold_u64(h, u64::from(o.tasks));
+    h = fold_u64(
+        h,
+        match o.state {
+            JobState::Pending => 0,
+            JobState::Running => 1,
+            JobState::Completed => 2,
+            JobState::Canceled => 3,
+        },
+    );
+    h = fold_f64_opt(h, o.start_time);
+    h = fold_f64_opt(h, o.finish_time);
+    h = fold_f64_opt(h, o.measured_runtime);
+    h = fold_u64(h, u64::from(o.preemptions));
+    h = fold_u64(h, u64::from(o.kills));
+    h = fold_u64(
+        h,
+        match o.on_preferred {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        },
+    );
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig, Placement, SchedulingDecision, SimulationView};
+    use crate::job::JobKind;
+    use crate::spec::{PartitionId, RcFidelity};
+
+    /// Greedy FIFO scheduler (mirrors the engine test double).
+    struct Fifo;
+
+    impl Scheduler for Fifo {
+        fn schedule(&mut self, view: &SimulationView<'_>, _now: f64) -> SchedulingDecision {
+            let mut free = view.free.to_vec();
+            let mut placements = Vec::new();
+            for job in &view.pending {
+                let mut remaining = job.tasks;
+                let mut alloc = Vec::new();
+                for (p, f) in free.iter_mut().enumerate() {
+                    if remaining == 0 {
+                        break;
+                    }
+                    let take = remaining.min(*f);
+                    if take > 0 {
+                        alloc.push((PartitionId(p), take));
+                        remaining -= take;
+                        *f -= take;
+                    }
+                }
+                if remaining == 0 {
+                    placements.push(Placement {
+                        job: job.id,
+                        allocation: alloc,
+                    });
+                } else {
+                    for (p, n) in alloc {
+                        free[p.index()] += n;
+                    }
+                }
+            }
+            SchedulingDecision {
+                placements,
+                ..SchedulingDecision::noop()
+            }
+        }
+    }
+
+    fn be(id: u64, submit: f64, tasks: u32, duration: f64) -> JobSpec {
+        JobSpec::new(id, submit, tasks, duration, JobKind::BestEffort)
+    }
+
+    fn slo(id: u64, submit: f64, tasks: u32, duration: f64, deadline: f64) -> JobSpec {
+        JobSpec::new(id, submit, tasks, duration, JobKind::Slo { deadline })
+    }
+
+    fn config(retention: f64, faults: Vec<FaultEvent>) -> ServeConfig {
+        ServeConfig {
+            retention,
+            faults,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn mixed_trace() -> Vec<JobSpec> {
+        let mut jobs = Vec::new();
+        for i in 0..40u64 {
+            let t = i as f64 * 7.0;
+            if i % 3 == 0 {
+                jobs.push(slo(i + 1, t, 2, 30.0, t + 90.0));
+            } else {
+                jobs.push(be(i + 1, t, 1, 20.0));
+            }
+        }
+        jobs
+    }
+
+    /// With the whole trace submitted up front, the serve loop is
+    /// event-for-event identical to the batch engine: same arrival queue,
+    /// same cycle chain, same fault ordering.
+    #[test]
+    fn streaming_session_matches_batch_engine() {
+        let faults = vec![
+            FaultEvent::NodeCrash {
+                at: 31.0,
+                partition: PartitionId(0),
+                nodes: 3,
+            },
+            FaultEvent::PartitionUp {
+                at: 61.0,
+                partition: PartitionId(0),
+                nodes: 3,
+            },
+            FaultEvent::TaskKill {
+                at: 45.0,
+                job: JobId(7),
+            },
+        ];
+        let jobs = mixed_trace();
+
+        let engine = Engine::new(
+            ClusterSpec::uniform(2, 4),
+            EngineConfig {
+                faults: faults.clone(),
+                ..EngineConfig::default()
+            },
+        );
+        let batch = engine.run(&jobs, &mut Fifo).unwrap();
+
+        let rec = Recorder::enabled();
+        let mut session = ServeSession::new(
+            ClusterSpec::uniform(2, 4),
+            config(f64::INFINITY, faults),
+            &rec,
+        )
+        .unwrap();
+        for j in &jobs {
+            session.submit(j.clone()).unwrap();
+        }
+        assert!(session.drain(f64::INFINITY, &mut Fifo).unwrap());
+
+        let live: Vec<JobOutcome> = session.live_outcomes().cloned().collect();
+        assert_eq!(live.len(), batch.outcomes.len());
+        for (s, b) in live.iter().zip(batch.outcomes.iter()) {
+            assert_eq!(s, b, "serve and batch outcomes diverged for {:?}", s.id);
+        }
+        assert_eq!(session.cycles(), batch.cycles);
+        let summary = session.summary();
+        assert_eq!(summary.kills, batch.kills);
+        assert_eq!(summary.preemptions, batch.preemptions);
+        assert_eq!(summary.retry_cancellations, batch.retry_cancellations);
+        assert!((summary.wasted_machine_seconds - batch.wasted_machine_seconds).abs() < 1e-9);
+    }
+
+    /// Retirement bounds live per-job state without changing the stream
+    /// summary: a short-retention session plateaus well below the total job
+    /// count yet agrees digest-for-digest with an unbounded one.
+    #[test]
+    fn retirement_bounds_live_state_and_preserves_the_digest() {
+        let jobs = mixed_trace();
+
+        let run = |retention: f64| {
+            let rec = Recorder::enabled();
+            let mut session =
+                ServeSession::new(ClusterSpec::uniform(2, 4), config(retention, vec![]), &rec)
+                    .unwrap();
+            let mut peak_live = 0usize;
+            for j in &jobs {
+                session.pump_until(j.submit_time, &mut Fifo).unwrap();
+                session.submit(j.clone()).unwrap();
+                peak_live = peak_live.max(session.live_jobs());
+            }
+            assert!(session.drain(f64::INFINITY, &mut Fifo).unwrap());
+            let gauge_live = rec.snapshot().gauge("serve_live_jobs").unwrap();
+            assert_eq!(gauge_live as usize, session.live_jobs());
+            (session.summary(), peak_live, session.retired_jobs())
+        };
+
+        let (unbounded, unbounded_peak, unbounded_retired) = run(f64::INFINITY);
+        let (bounded, bounded_peak, bounded_retired) = run(40.0);
+
+        assert_eq!(unbounded_retired, 0);
+        assert_eq!(unbounded_peak, jobs.len());
+        assert!(
+            bounded_peak < jobs.len() / 2,
+            "short retention must bound live state (peak {bounded_peak} of {})",
+            jobs.len()
+        );
+        assert!(bounded_retired > 0);
+        // The stream summary — including the order-sensitive digest — is
+        // identical: retirement folds records in ingest order, exactly as
+        // summary() does. Only the live/retired bookkeeping split differs.
+        let normalize = |mut s: ServeSummary| {
+            s.retired = 0;
+            s.live = 0;
+            s
+        };
+        assert_eq!(normalize(unbounded), normalize(bounded));
+    }
+
+    /// Snapshot at quiescence, restore in a "new process", continue the
+    /// stream: state-identical to a session that never restarted, and the
+    /// snapshot serialization is byte-stable and roundtrip-exact.
+    #[test]
+    fn snapshot_restart_is_equivalent_to_an_uninterrupted_run() {
+        let cluster = || ClusterSpec::uniform(2, 4);
+        let cfg = || config(50.0, vec![]);
+        let part_a: Vec<JobSpec> = (0..20u64)
+            .map(|i| be(i + 1, i as f64 * 5.0, 2, 15.0))
+            .collect();
+        // Idle gap: part B starts long after part A drains.
+        let part_b: Vec<JobSpec> = (0..20u64)
+            .map(|i| be(100 + i, 500.0 + i as f64 * 5.0, 2, 15.0))
+            .collect();
+
+        // Straight-through run.
+        let rec = Recorder::enabled();
+        let mut straight = ServeSession::new(cluster(), cfg(), &rec).unwrap();
+        for j in part_a.iter().chain(part_b.iter()) {
+            straight.pump_until(j.submit_time, &mut Fifo).unwrap();
+            straight.submit(j.clone()).unwrap();
+        }
+        assert!(straight.drain(f64::INFINITY, &mut Fifo).unwrap());
+
+        // Interrupted run: drain part A, snapshot, "restart", stream part B.
+        let rec1 = Recorder::enabled();
+        let mut first = ServeSession::new(cluster(), cfg(), &rec1).unwrap();
+        for j in &part_a {
+            first.pump_until(j.submit_time, &mut Fifo).unwrap();
+            first.submit(j.clone()).unwrap();
+        }
+        assert!(first.drain(f64::INFINITY, &mut Fifo).unwrap());
+        let snap = first.snapshot().unwrap();
+
+        // Byte-stable: serializing the same state twice is identical, and a
+        // restored session re-snapshots to the same bytes.
+        let bytes1 = serde_json::to_string(&snap).unwrap();
+        let bytes2 = serde_json::to_string(&first.snapshot().unwrap()).unwrap();
+        assert_eq!(bytes1, bytes2);
+
+        let decoded: ServeSnapshot = serde_json::from_str(&bytes1).unwrap();
+        let rec2 = Recorder::enabled();
+        let mut second = ServeSession::restore(cluster(), cfg(), &rec2, &decoded).unwrap();
+        assert_eq!(
+            serde_json::to_string(&second.snapshot().unwrap()).unwrap(),
+            bytes1,
+            "restore → snapshot must reproduce the original bytes"
+        );
+        for j in &part_b {
+            second.pump_until(j.submit_time, &mut Fifo).unwrap();
+            second.submit(j.clone()).unwrap();
+        }
+        assert!(second.drain(f64::INFINITY, &mut Fifo).unwrap());
+
+        let a = straight.summary();
+        let b = second.summary();
+        assert_eq!(a, b, "restarted stream must match the uninterrupted one");
+        assert!(a.digest != FNV_OFFSET, "digest must have folded outcomes");
+    }
+
+    /// Satellite regression: at service horizons around 2^46 simulated
+    /// seconds, the old fixed retry tolerance (1e-6) was smaller than one
+    /// f64 ulp, so a backoff expiring between cycles was withheld for extra
+    /// cycles. The ulp-aware tolerance admits the retry on the first cycle
+    /// within 64 ulps (here 1.0 s) of expiry.
+    #[test]
+    fn huge_now_backoff_is_not_skipped_for_extra_cycles() {
+        let t0 = (1u64 << 46) as f64; // ulp = 2^-6 s; 64 ulps = 1.0 s
+        let cfg = ServeConfig {
+            faults: vec![FaultEvent::TaskKill {
+                at: t0 + 10.0,
+                job: JobId(1),
+            }],
+            ..ServeConfig::default()
+        };
+        let rec = Recorder::enabled();
+        let mut session = ServeSession::new(ClusterSpec::uniform(1, 4), cfg, &rec).unwrap();
+        session.submit(be(1, t0, 2, 50.0)).unwrap();
+        assert!(session.drain(f64::INFINITY, &mut Fifo).unwrap());
+
+        let o = session.live_outcomes().next().unwrap().clone();
+        assert_eq!(o.state, JobState::Completed);
+        assert_eq!(o.kills, 1);
+        // Kill at t0+10 ⇒ retry_at = t0+15 (5 s backoff). Cycles tick at
+        // t0+2k; eps = 64 ulps = 1.0 s, so the retry is admitted at t0+14.
+        // The old fixed 1e-6 tolerance (≪ one ulp here) delayed it to t0+16.
+        assert_eq!(o.start_time, Some(t0 + 14.0));
+        assert_eq!(o.finish_time, Some(t0 + 64.0));
+    }
+
+    #[test]
+    fn out_of_order_and_duplicate_submissions_are_typed_errors() {
+        let rec = Recorder::enabled();
+        let mut session =
+            ServeSession::new(ClusterSpec::uniform(1, 4), ServeConfig::default(), &rec).unwrap();
+        session.submit(be(1, 10.0, 1, 5.0)).unwrap();
+        assert_eq!(
+            session.submit(be(2, 9.0, 1, 5.0)),
+            Err(SimError::OutOfOrderSubmit { job: JobId(2) })
+        );
+        assert_eq!(
+            session.submit(be(1, 11.0, 1, 5.0)),
+            Err(SimError::DuplicateJobId { job: JobId(1) })
+        );
+        // Malformed specs are rejected before entering the session.
+        let mut bad = be(3, 12.0, 1, 5.0);
+        bad.duration = f64::NAN;
+        assert!(matches!(
+            session.submit(bad),
+            Err(SimError::MalformedJobSpec { job: JobId(3), .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_requires_quiescence() {
+        let rec = Recorder::enabled();
+        let mut session =
+            ServeSession::new(ClusterSpec::uniform(1, 4), ServeConfig::default(), &rec).unwrap();
+        session.submit(be(1, 0.0, 1, 100.0)).unwrap();
+        session.pump_until(50.0, &mut Fifo).unwrap();
+        assert!(!session.is_quiescent());
+        assert_eq!(
+            session.snapshot().unwrap_err(),
+            SimError::SnapshotNotQuiescent
+        );
+        assert!(session.drain(f64::INFINITY, &mut Fifo).unwrap());
+        assert!(session.snapshot().is_ok());
+    }
+
+    #[test]
+    fn serve_rejects_rc_fidelity_and_bad_config() {
+        let rec = Recorder::enabled();
+        let rc = ClusterSpec::uniform(1, 4).with_rc_fidelity(RcFidelity::default());
+        assert!(matches!(
+            ServeSession::new(rc, ServeConfig::default(), &rec),
+            Err(SimError::BadServeConfig { .. })
+        ));
+        let bad_retention = ServeConfig {
+            retention: -1.0,
+            ..ServeConfig::default()
+        };
+        assert!(matches!(
+            ServeSession::new(ClusterSpec::uniform(1, 4), bad_retention, &rec),
+            Err(SimError::BadServeConfig { .. })
+        ));
+        let bad_fault = ServeConfig {
+            faults: vec![FaultEvent::PartitionDown {
+                at: 1.0,
+                partition: PartitionId(9),
+                nodes: 1,
+            }],
+            ..ServeConfig::default()
+        };
+        assert!(matches!(
+            ServeSession::new(ClusterSpec::uniform(1, 4), bad_fault, &rec),
+            Err(SimError::BadServeConfig { .. })
+        ));
+    }
+
+    /// `pump_until` is strictly exclusive of its limit so a cycle at
+    /// exactly a new job's submit time still sees the arrival.
+    #[test]
+    fn pump_until_is_exclusive_of_the_limit() {
+        let rec = Recorder::enabled();
+        let mut session =
+            ServeSession::new(ClusterSpec::uniform(1, 4), ServeConfig::default(), &rec).unwrap();
+        session.submit(be(1, 5.0, 1, 10.0)).unwrap();
+        session.pump_until(5.0, &mut Fifo).unwrap();
+        assert_eq!(session.now(), 0.0, "events at the limit stay queued");
+        session.pump_until(6.0, &mut Fifo).unwrap();
+        assert!(session.now() >= 5.0);
+    }
+}

@@ -57,6 +57,6 @@ pub use sched::prio::PrioScheduler;
 pub use sched::shard::ShardPlan;
 pub use sched::threesigma::{
     CycleBudget, CycleTiming, EstimateSource, OverestimateMode, PlanRecord, PlannedJob,
-    SchedConfig, SchedStats, ThreeSigmaScheduler,
+    SchedConfig, SchedSnapshot, SchedStats, ThreeSigmaScheduler,
 };
 pub use utility::UtilityCurve;

@@ -22,9 +22,11 @@
 //!   from its equivalence set and have started by its slot — instead of
 //!   scanning every option for every (set, slot) pair.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
 
 use threesigma_cluster::{JobId, PartitionId};
 use threesigma_milp::VarId;
@@ -109,7 +111,9 @@ struct CacheEntry {
     /// Unscaled discretised distribution.
     base: Arc<DiscreteDist>,
     /// Slowdown-scaled variants, keyed by the scale factor's bit pattern.
-    scaled: HashMap<u64, Arc<DiscreteDist>>,
+    /// Ordered map by the scheduler's no-hash-container rule (eviction and
+    /// serve-mode bookkeeping must never observe hash order).
+    scaled: BTreeMap<u64, Arc<DiscreteDist>>,
     /// History epoch `base` was estimated at.
     epoch: u64,
     /// Pinned while the job's current attempt is running: the conditional
@@ -132,11 +136,16 @@ struct CacheEntry {
 /// * [`EstimateCache::invalidate`] drops a job's entry outright
 ///   (completion, preemption, cancellation).
 pub struct EstimateCache {
-    entries: HashMap<JobId, CacheEntry>,
+    /// Ordered map: capacity eviction scans this smallest-id-first, so its
+    /// victim choice must be independent of hash order.
+    entries: BTreeMap<JobId, CacheEntry>,
+    /// Optional entry cap (see [`EstimateCache::with_capacity`]).
+    capacity: Option<usize>,
     epoch: u64,
     hits: u64,
     misses: u64,
     lookups: u64,
+    evictions: u64,
 }
 
 /// Deterministic hit/miss counters for the [`EstimateCache`].
@@ -144,7 +153,7 @@ pub struct EstimateCache {
 /// `lookups` is maintained independently of `hits` and `misses` so the
 /// simtest counter-consistency invariant (`hits + misses == lookups`) checks
 /// real bookkeeping rather than an identity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Accesses served from a cached entry (base or scaled variant).
     pub hits: u64,
@@ -152,6 +161,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Total accesses.
     pub lookups: u64,
+    /// Entries evicted by the capacity cap (0 when unbounded).
+    pub evictions: u64,
 }
 
 impl Default for EstimateCache {
@@ -161,14 +172,66 @@ impl Default for EstimateCache {
 }
 
 impl EstimateCache {
-    /// An empty cache at epoch zero.
+    /// An empty cache at epoch zero, unbounded (batch runs hold one entry
+    /// per live job, which the run length already bounds).
     pub fn new() -> Self {
         Self {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
+            capacity: None,
             epoch: 0,
             hits: 0,
             misses: 0,
             lookups: 0,
+            evictions: 0,
+        }
+    }
+
+    /// An empty cache holding at most `capacity` entries. When an insert
+    /// would exceed the cap, *stale unpinned* entries (epoch older than
+    /// current) are evicted smallest job id first. Pinned entries (running
+    /// attempts) and current-epoch entries (estimated this cycle, possibly
+    /// for still-pending jobs) are never evicted, so the cache may
+    /// temporarily overflow rather than drop an estimate the current cycle
+    /// relies on.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity: Some(capacity.max(1)),
+            ..Self::new()
+        }
+    }
+
+    /// The configured entry cap, if any (bound gauge).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Entries evicted by the capacity cap so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Evicts stale unpinned entries, smallest job id first, until the cap
+    /// is met or no safe victim remains.
+    fn enforce_capacity(&mut self) {
+        let Some(cap) = self.capacity else { return };
+        if self.entries.len() <= cap {
+            return;
+        }
+        let epoch = self.epoch;
+        let mut victims: Vec<JobId> = Vec::new();
+        let mut excess = self.entries.len() - cap;
+        for (id, e) in &self.entries {
+            if excess == 0 {
+                break;
+            }
+            if !e.pinned && e.epoch < epoch {
+                victims.push(*id);
+                excess -= 1;
+            }
+        }
+        for id in victims {
+            self.entries.remove(&id);
+            self.evictions += 1;
         }
     }
 
@@ -178,7 +241,18 @@ impl EstimateCache {
             hits: self.hits,
             misses: self.misses,
             lookups: self.lookups,
+            evictions: self.evictions,
         }
+    }
+
+    /// Overwrites the lifetime counters (serve-mode restore: a restarted
+    /// service reports stream-lifetime totals, not process totals).
+    pub fn restore_stats(&mut self, stats: CacheStats, epoch: u64) {
+        self.hits = stats.hits;
+        self.misses = stats.misses;
+        self.lookups = stats.lookups;
+        self.evictions = stats.evictions;
+        self.epoch = epoch;
     }
 
     /// Records that the estimation history changed (e.g. the predictor
@@ -221,11 +295,12 @@ impl EstimateCache {
                     job,
                     CacheEntry {
                         base: base.clone(),
-                        scaled: HashMap::new(),
+                        scaled: BTreeMap::new(),
                         epoch,
                         pinned: false,
                     },
                 );
+                self.enforce_capacity();
                 base
             }
         }
@@ -760,6 +835,63 @@ mod tests {
         assert_eq!(s.misses, 3);
         assert_eq!(s.lookups, 6);
         assert_eq!(s.hits + s.misses, s.lookups);
+    }
+
+    #[test]
+    fn estimate_cache_never_evicts_current_cycle_entries() {
+        // Every entry estimated this epoch may belong to a still-pending
+        // job the in-flight cycle will consult again; the cap must overflow
+        // rather than drop one.
+        let mut cache = EstimateCache::with_capacity(4);
+        for i in 0..10 {
+            let _ = cache.base(JobId(i), || DiscreteDist::point(100.0));
+        }
+        assert_eq!(cache.len(), 10, "current-epoch entries are safe");
+        assert_eq!(cache.evictions(), 0);
+        for i in 0..10 {
+            let d = cache.base(JobId(i), || unreachable!("entry {i} must survive"));
+            assert_eq!(d.mean(), 100.0);
+        }
+        // Next cycle: the backlog is stale and fair game, except for pinned
+        // (running) entries, which survive any number of epochs.
+        cache.pin(JobId(2));
+        cache.bump_epoch();
+        let _ = cache.base(JobId(10), || DiscreteDist::point(50.0));
+        assert_eq!(cache.len(), 4, "evicted down to the cap");
+        assert_eq!(cache.evictions(), 7, "exactly the excess over the cap");
+        assert!(cache.is_pinned(JobId(2)), "pinned entry spared");
+        let d = cache.base(JobId(2), || unreachable!("pinned entry must survive"));
+        assert_eq!(d.mean(), 100.0);
+        let d = cache.base(JobId(10), || {
+            unreachable!("current-epoch entry must survive")
+        });
+        assert_eq!(d.mean(), 50.0);
+    }
+
+    #[test]
+    fn estimate_cache_epoch_bump_after_eviction_does_not_resurrect() {
+        // Regression shape: evict a stale entry, bump the epoch (history
+        // changed again), then touch the job. The access must re-estimate
+        // from current history — never replay the evicted distribution.
+        let mut cache = EstimateCache::with_capacity(1);
+        let victim = JobId(1);
+        let _ = cache.base(victim, || DiscreteDist::point(100.0));
+        cache.bump_epoch();
+        let _ = cache.base(JobId(2), || DiscreteDist::point(10.0));
+        assert_eq!(cache.evictions(), 1, "victim evicted by the cap");
+        assert_eq!(cache.len(), 1);
+        cache.bump_epoch();
+        let mut calls = 0;
+        let d = cache.base(victim, || {
+            calls += 1;
+            DiscreteDist::point(30.0)
+        });
+        assert_eq!(calls, 1, "evicted entry re-estimates as a fresh miss");
+        assert_eq!(d.mean(), 30.0, "the pre-eviction estimate must not return");
+        // Scaled variants of the evicted entry are gone too.
+        assert_eq!(cache.scaled(victim, 2.0).unwrap().mean(), 60.0);
+        let s = cache.stats();
+        assert_eq!(s.evictions, cache.evictions());
     }
 
     #[test]

@@ -33,6 +33,8 @@ use std::time::Duration;
 
 use super::clock::Stopwatch;
 
+use serde::{Deserialize, Serialize};
+
 use threesigma_cluster::{
     JobId, JobSpec, PartitionId, Placement, Scheduler, SchedulingDecision, SimulationView,
 };
@@ -197,6 +199,14 @@ pub struct SchedConfig {
     /// provably-identical inputs, so reports are byte-identical with this
     /// on or off (`--no-incremental` disables it).
     pub incremental_solver: bool,
+    /// Entry cap for the cross-cycle [`EstimateCache`] (serve mode; see
+    /// [`EstimateCache::with_capacity`] for the eviction contract). `None`
+    /// leaves the cache unbounded, which batch run lengths already bound.
+    pub cache_capacity: Option<usize>,
+    /// Cap on retained per-cycle [`CycleTiming`] records, oldest dropped
+    /// first. A long-running service must set this: the default unbounded
+    /// `Vec` grows one record per cycle forever.
+    pub max_timings: Option<usize>,
 }
 
 impl Default for SchedConfig {
@@ -228,6 +238,8 @@ impl Default for SchedConfig {
             shards: 1,
             solver_tier: None,
             incremental_solver: true,
+            cache_capacity: None,
+            max_timings: None,
         }
     }
 }
@@ -355,7 +367,7 @@ impl AttributeSource for Attrs<'_> {
 
 /// Deterministic cumulative scheduler counters, kept as plain integers on
 /// the hot path and mirrored into the metrics [`Recorder`] once per cycle.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SchedStats {
     /// Scheduling cycles executed.
     pub cycles: u64,
@@ -407,6 +419,37 @@ pub struct SchedStats {
     pub presolve_reductions: u64,
 }
 
+/// Serialisable scheduler state for serve-mode restarts: the predictor's
+/// sketches and NMAE expert accounts, the cumulative counters, the
+/// degradation-governor ladder position, and the estimate-cache epoch and
+/// lifetime stats. Cache *entries* are deliberately absent — snapshots are
+/// taken at quiescence, when every live job's entry has been invalidated by
+/// completion — as is the incremental-solver state, whose reuse contract
+/// already guarantees byte-identical decisions with or without it.
+///
+/// Field order is the byte-stability contract: serialisation is
+/// `serde_json` over this struct in declaration order, so the same state
+/// always produces the same bytes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SchedSnapshot {
+    /// Predictor sketches, expert scores, and LRU touch order.
+    pub predictor: threesigma_predict::Snapshot,
+    /// Cumulative counters (the `cache` field inside is ignored; see
+    /// `cache_stats`).
+    pub totals: SchedStats,
+    /// Estimate-cache lifetime counters.
+    pub cache_stats: CacheStats,
+    /// Estimate-cache history epoch.
+    pub cache_epoch: u64,
+    /// Degradation-ladder level at snapshot time.
+    pub governor_level: u8,
+    /// Governor on-budget streak at snapshot time.
+    pub governor_streak: u32,
+    /// Last (feature, estimator) expert chosen before the snapshot, by
+    /// feature name.
+    pub last_expert: Option<(String, EstimatorKind)>,
+}
+
 /// Metric handles registered against the attached [`Recorder`]; kept
 /// alongside the scheduler so the per-cycle flush only touches atomics.
 struct SchedMetrics {
@@ -417,6 +460,9 @@ struct SchedMetrics {
     cache_hits: Counter,
     cache_misses: Counter,
     cache_lookups: Counter,
+    cache_entries: Gauge,
+    cache_capacity: Gauge,
+    cache_evictions: Counter,
     milp_nodes: Counter,
     milp_pivots: Counter,
     incumbent_updates: Counter,
@@ -435,6 +481,8 @@ struct SchedMetrics {
     incremental_reuses: Counter,
     presolve_reductions: Counter,
     predict_tracked_values: Gauge,
+    predict_tracked_values_limit: Gauge,
+    predict_evicted_values: Counter,
     predict_censored: Counter,
     predict_observations: Counter,
     predict_bin_merges: Counter,
@@ -467,6 +515,18 @@ impl SchedMetrics {
             cache_hits: rec.counter("sched_cache_hits_total", "Estimate-cache hits"),
             cache_misses: rec.counter("sched_cache_misses_total", "Estimate-cache misses"),
             cache_lookups: rec.counter("sched_cache_lookups_total", "Estimate-cache lookups"),
+            cache_entries: rec.gauge(
+                "sched_cache_entries",
+                "Estimate-cache entries currently held",
+            ),
+            cache_capacity: rec.gauge(
+                "sched_cache_capacity",
+                "Configured estimate-cache entry cap (0 = unbounded)",
+            ),
+            cache_evictions: rec.counter(
+                "sched_cache_evictions_total",
+                "Estimate-cache entries evicted by the capacity cap",
+            ),
             milp_nodes: rec.counter("sched_milp_nodes_total", "Branch-and-bound nodes expanded"),
             milp_pivots: rec.counter("sched_milp_pivots_total", "Simplex pivots (LP iterations)"),
             incumbent_updates: rec.counter(
@@ -537,6 +597,14 @@ impl SchedMetrics {
                 "predict_tracked_values",
                 "Attribute values with per-value runtime history",
             ),
+            predict_tracked_values_limit: rec.gauge(
+                "predict_tracked_values_limit",
+                "Configured cap on tracked feature values (0 = unbounded)",
+            ),
+            predict_evicted_values: rec.counter(
+                "predict_evicted_values_total",
+                "Feature-value states evicted by the LRU/TTL bound",
+            ),
             predict_observations: rec.counter(
                 "predict_observations_total",
                 "Runtime observations folded into the predictor",
@@ -578,6 +646,7 @@ impl SchedMetrics {
         &self,
         stats: &SchedStats,
         predictor: &Predictor,
+        cache: &EstimateCache,
         timing: &CycleTiming,
         shard_durations: &[Duration],
     ) {
@@ -588,6 +657,10 @@ impl SchedMetrics {
         self.cache_hits.set_total(stats.cache.hits);
         self.cache_misses.set_total(stats.cache.misses);
         self.cache_lookups.set_total(stats.cache.lookups);
+        self.cache_entries.set(cache.len() as f64);
+        self.cache_capacity
+            .set(cache.capacity().unwrap_or(0) as f64);
+        self.cache_evictions.set_total(stats.cache.evictions);
         self.milp_nodes.set_total(stats.milp_nodes);
         self.milp_pivots.set_total(stats.milp_pivots);
         self.incumbent_updates
@@ -612,6 +685,9 @@ impl SchedMetrics {
         // feature value is far too slow to run once per cycle.
         let ps = predictor.quick_stats();
         self.predict_tracked_values.set(ps.tracked_values as f64);
+        self.predict_tracked_values_limit
+            .set(predictor.tracked_values_limit().unwrap_or(0) as f64);
+        self.predict_evicted_values.set_total(ps.evictions);
         self.predict_observations.set_total(ps.observations);
         self.predict_bin_merges.set_total(ps.bin_merges);
         self.predict_censored.set_total(ps.censored);
@@ -786,11 +862,15 @@ impl ThreeSigmaScheduler {
         source: EstimateSource,
         predictor_config: PredictorConfig,
     ) -> Self {
+        let cache = match config.cache_capacity {
+            Some(cap) => EstimateCache::with_capacity(cap),
+            None => EstimateCache::new(),
+        };
         Self {
             config,
             source,
             predictor: Predictor::new(predictor_config),
-            cache: EstimateCache::new(),
+            cache,
             underest: BTreeMap::new(),
             timings: Vec::new(),
             plans: Vec::new(),
@@ -833,6 +913,51 @@ impl ThreeSigmaScheduler {
             cache: self.cache.stats(),
             ..self.totals
         }
+    }
+
+    /// Captures the scheduler state a serve-mode restart must carry (see
+    /// [`SchedSnapshot`]). Meant to be taken at engine quiescence: running
+    /// attempts' exp-inc state and pinned cache entries are transient
+    /// per-attempt bookkeeping that an idle scheduler does not hold.
+    pub fn serve_snapshot(&self) -> SchedSnapshot {
+        SchedSnapshot {
+            predictor: self.predictor.snapshot(),
+            totals: self.totals,
+            cache_stats: self.cache.stats(),
+            cache_epoch: self.cache.epoch(),
+            governor_level: self.governor.level,
+            governor_streak: self.governor.streak,
+            last_expert: self.last_expert.map(|(f, k)| (f.to_string(), k)),
+        }
+    }
+
+    /// Restores state captured by [`Self::serve_snapshot`] into a freshly
+    /// constructed scheduler (same config). The governor's previous-cycle
+    /// cost restores as "unknown", so the first cycle after a restart is
+    /// never judged against the budget — identical to the very first cycle
+    /// of any run.
+    pub fn serve_restore(&mut self, snapshot: SchedSnapshot) -> Result<(), String> {
+        self.predictor
+            .restore(snapshot.predictor)
+            .map_err(|i| format!("predictor snapshot entry {i} references an unknown feature"))?;
+        self.totals = snapshot.totals;
+        self.cache
+            .restore_stats(snapshot.cache_stats, snapshot.cache_epoch);
+        self.governor = Governor {
+            level: snapshot.governor_level,
+            streak: snapshot.governor_streak,
+            last_cost: None,
+        };
+        self.last_expert = match snapshot.last_expert {
+            Some((name, kind)) => {
+                let feature = self.predictor.canonical_feature(&name).ok_or_else(|| {
+                    format!("snapshot expert feature {name:?} is not in the feature set")
+                })?;
+                Some((feature, kind))
+            }
+            None => None,
+        };
+        Ok(())
     }
 
     /// Feeds completed history jobs to the predictor (the §5 pre-training
@@ -1509,9 +1634,15 @@ impl Scheduler for ThreeSigmaScheduler {
                 cache: cache.stats(),
                 ..*totals
             };
-            obs.flush(&stats, predictor, &timing, &shard_durations);
+            obs.flush(&stats, predictor, cache, &timing, &shard_durations);
         }
         timings.push(timing);
+        if let Some(cap) = cfg.max_timings {
+            if timings.len() > cap {
+                let excess = timings.len() - cap;
+                timings.drain(..excess);
+            }
+        }
         decision
     }
 }
@@ -2504,5 +2635,131 @@ mod tests {
             (after.mean() - 999.0).abs() < 1e-9,
             "b's estimate must be re-derived after the cross-group completion"
         );
+    }
+
+    fn completed(spec: &JobSpec, runtime: f64) -> threesigma_cluster::JobOutcome {
+        threesigma_cluster::JobOutcome {
+            id: spec.id,
+            kind: spec.kind,
+            submit_time: spec.submit_time,
+            tasks: spec.tasks,
+            state: threesigma_cluster::JobState::Completed,
+            start_time: Some(spec.submit_time),
+            finish_time: Some(spec.submit_time + runtime),
+            measured_runtime: Some(runtime),
+            preemptions: 0,
+            kills: 0,
+            on_preferred: Some(true),
+        }
+    }
+
+    #[test]
+    fn capped_cache_spares_pending_jobs_and_never_resurrects_evicted_estimates() {
+        // Satellite (serve-mode cache bounds), at the scheduler level: a
+        // capped cache must (a) keep every entry estimated in the current
+        // epoch — those belong to still-pending jobs the in-flight cycle
+        // consults — and (b) after an eviction plus further epoch bumps,
+        // re-derive the evicted job's estimate from *current* history, never
+        // replay the evicted distribution.
+        let attrs = threesigma_cluster::Attributes::new().with("user", "u");
+        let mut s = ThreeSigmaScheduler::new(
+            SchedConfig {
+                cache_capacity: Some(4),
+                ..SchedConfig::default()
+            },
+            EstimateSource::Predicted,
+            PredictorConfig::default(),
+        );
+        let spec = |id: u64| {
+            JobSpec::new(id, 0.0, 1, 100.0, JobKind::BestEffort).with_attributes(attrs.clone())
+        };
+        let jobs: Vec<JobSpec> = (1..=12).map(spec).collect();
+        for j in &jobs {
+            s.on_job_submitted(j, 0.0);
+        }
+        assert_eq!(s.cache.len(), 12, "current-epoch entries all survive");
+        assert_eq!(s.stats().cache.evictions, 0);
+        // Job 1 completes: the epoch moves, the backlog goes stale, and the
+        // next insert evicts down toward the cap (smallest id first).
+        s.on_job_completed(&jobs[0], &completed(&jobs[0], 42.0), 42.0);
+        s.on_job_submitted(&spec(13), 42.0);
+        assert_eq!(s.cache.len(), 4, "stale backlog evicted down to the cap");
+        assert_eq!(s.stats().cache.evictions, 8);
+        // Another completion bumps the epoch past the eviction. Touching an
+        // evicted job must now run the estimator afresh — the pre-eviction
+        // distribution is gone for good.
+        s.on_job_completed(&jobs[9], &completed(&jobs[9], 42.0), 84.0);
+        let d = s.cache.base(JobId(2), || DiscreteDist::point(777.0));
+        assert!(
+            (d.mean() - 777.0).abs() < 1e-9,
+            "evicted entry re-estimates as a fresh miss, got mean {}",
+            d.mean()
+        );
+    }
+
+    #[test]
+    fn serve_snapshot_restore_is_byte_stable_and_preserves_predictions() {
+        // A restored scheduler must serialize back to the identical bytes
+        // and predict identically — the scheduler-side half of the serve
+        // restart-equivalence contract.
+        let attrs = || {
+            threesigma_cluster::Attributes::new()
+                .with("user", "u")
+                .with("job_name", "j")
+        };
+        let config = SchedConfig {
+            cache_capacity: Some(64),
+            max_timings: Some(16),
+            ..SchedConfig::default()
+        };
+        let mut s = ThreeSigmaScheduler::new(
+            config.clone(),
+            EstimateSource::Predicted,
+            PredictorConfig::default(),
+        );
+        let history: Vec<JobSpec> = (0..5)
+            .map(|i| {
+                JobSpec::new(
+                    100 + i,
+                    0.0,
+                    1,
+                    200.0 + 10.0 * i as f64,
+                    JobKind::BestEffort,
+                )
+                .with_attributes(attrs())
+            })
+            .collect();
+        s.pretrain(&history);
+        let probe = JobSpec::new(1, 0.0, 1, 100.0, JobKind::BestEffort).with_attributes(attrs());
+        s.on_job_submitted(&probe, 0.0);
+        s.on_job_completed(&probe, &completed(&probe, 150.0), 150.0);
+        let snap = s.serve_snapshot();
+        let bytes = serde_json::to_string(&snap).unwrap();
+        assert_eq!(
+            bytes,
+            serde_json::to_string(&s.serve_snapshot()).unwrap(),
+            "snapshotting twice yields identical bytes"
+        );
+
+        let mut r = ThreeSigmaScheduler::new(
+            config,
+            EstimateSource::Predicted,
+            PredictorConfig::default(),
+        );
+        r.serve_restore(serde_json::from_str(&bytes).unwrap())
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&r.serve_snapshot()).unwrap(),
+            bytes,
+            "restore followed by snapshot reproduces the bytes"
+        );
+        assert_eq!(r.stats(), s.stats(), "counters carry across the restart");
+        assert_eq!(r.cache.epoch(), s.cache.epoch());
+        assert_eq!(r.last_expert, s.last_expert);
+        let a = s
+            .estimate(&JobSpec::new(2, 0.0, 1, 50.0, JobKind::BestEffort).with_attributes(attrs()));
+        let b = r
+            .estimate(&JobSpec::new(2, 0.0, 1, 50.0, JobKind::BestEffort).with_attributes(attrs()));
+        assert_eq!(a, b, "restored predictor predicts identically");
     }
 }

@@ -21,6 +21,17 @@ pub const DECISION_SCOPES: &[&str] = &[
 /// rule applies here.
 pub const HOT_PATH_SCOPES: &[&str] = &["crates/cluster/src", "crates/core/src/sched"];
 
+/// Service-loop scopes: the long-running engine/serve modules, where hash
+/// containers are banned outright — not just their iteration. The serve
+/// loop's retirement digest and snapshot restart-equivalence contract
+/// require every container it touches to have a total iteration order, so
+/// the no-hash-container rule applies here with no justification escape
+/// hatch.
+pub const NO_HASH_CONTAINER_SCOPES: &[&str] = &[
+    "crates/cluster/src/engine.rs",
+    "crates/cluster/src/serve.rs",
+];
+
 /// The only modules allowed to read wall-clock time (`Instant::now`). Both
 /// wrap the clock behind a `Stopwatch` so budget checks stay greppable and
 /// mockable; `milp` gets its own copy because it is a zero-dependency leaf.

@@ -8,6 +8,8 @@
 //!
 //! * **hash-iter** — no `HashMap`/`HashSet` iteration in decision-path
 //!   crates unless justified with `// lint: sorted`.
+//! * **no-hash-container** — no `HashMap`/`HashSet` at all in the
+//!   engine/serve service-loop modules, with no escape hatch.
 //! * **time-source** — no `Instant::now`/`SystemTime` outside the clock
 //!   modules.
 //! * **thread-rng** — no OS-seeded RNG anywhere.
@@ -31,8 +33,8 @@ pub mod scan;
 /// allowlist key).
 #[derive(Debug, Clone)]
 pub struct Violation {
-    /// Rule name (`hash-iter`, `time-source`, `thread-rng`, `panic`,
-    /// `float-ord`, `layering`).
+    /// Rule name (`hash-iter`, `no-hash-container`, `time-source`,
+    /// `thread-rng`, `panic`, `float-ord`, `layering`).
     pub rule: &'static str,
     /// Workspace-relative file path.
     pub file: String,
@@ -81,6 +83,9 @@ pub fn check_file(parsed: &scan::ParsedFile) -> Vec<Violation> {
         out.extend(rules::hash_iter(parsed));
         out.extend(rules::time_source(parsed));
         out.extend(rules::float_ordering(parsed));
+    }
+    if config::in_scope(&parsed.rel, config::NO_HASH_CONTAINER_SCOPES) {
+        out.extend(rules::no_hash_container(parsed));
     }
     if config::in_scope(&parsed.rel, config::HOT_PATH_SCOPES) {
         out.extend(rules::panic_safety(parsed));

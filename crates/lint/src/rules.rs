@@ -228,6 +228,51 @@ pub fn os_seeded_rng(file: &ParsedFile) -> Vec<Violation> {
     out
 }
 
+/// Service-loop strictness: `HashMap`/`HashSet` may not appear at all in
+/// the engine/serve modules — not as an import, field, local, parameter, or
+/// turbofished constructor. The softer [`hash_iter`] rule only flags
+/// iteration and accepts a `// lint: sorted` justification; the serve
+/// loop's retirement digest and snapshot restart-equivalence contract
+/// cannot tolerate either loophole, so this rule bans the identifiers
+/// outright with no escape hatch.
+pub fn no_hash_container(file: &ParsedFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let flag = |id: &str, line: usize, func: &str, out: &mut Vec<Violation>| {
+        out.push(violation(
+            "no-hash-container",
+            &file.rel,
+            line,
+            func,
+            id.to_string(),
+            format!(
+                "{id} is banned in the service loop (unordered iteration breaks the \
+                 serve digest and snapshot equivalence); use BTreeMap/BTreeSet"
+            ),
+        ));
+    };
+    let scan = |toks: &[Tok], func: &str, out: &mut Vec<Violation>| {
+        for t in toks {
+            if let Tok::Ident(id, span) = t {
+                if id == "HashMap" || id == "HashSet" {
+                    flag(id, span.line, func, out);
+                }
+            }
+        }
+    };
+    for f in file.fns.iter().filter(|f| !f.is_test) {
+        scan(&f.sig, &f.func, &mut out);
+        scan(&f.body, &f.func, &mut out);
+    }
+    scan(&file.item_toks, "<file>", &mut out);
+    // Struct fields are not flattened into `item_toks`; the walker records
+    // hash-typed field names separately, so report those too.
+    for field in &file.hash_fields {
+        flag("HashMap/HashSet", 1, &format!("<field {field}>"), &mut out);
+    }
+    out.sort_by_key(|v| v.line);
+    out
+}
+
 /// Panic-safety: hot-path code must degrade through typed errors, never
 /// panic. Sites the team has audited live in the checked-in allowlist.
 pub fn panic_safety(file: &ParsedFile) -> Vec<Violation> {

@@ -41,6 +41,49 @@ fn hash_iter_passes_good_fixture() {
 }
 
 #[test]
+fn no_hash_container_trips_on_every_position_despite_justification() {
+    let p = parse(
+        "crates/cluster/src/serve.rs",
+        include_str!("fixtures/no_hash_container_bad.rs"),
+    );
+    let found = rules::no_hash_container(&p);
+    // One each for: the `use` import, the struct field, the fn signature,
+    // and two in the body (`retries` type + `HashMap::new()`). The
+    // `// lint: sorted` comment above `decide` must not clear anything.
+    assert_eq!(found.len(), 5, "{found:?}");
+    assert!(found.iter().all(|v| v.rule == "no-hash-container"));
+    let pats = patterns(&found);
+    assert!(pats.contains(&"HashMap"), "{pats:?}");
+    assert!(pats.contains(&"HashSet"), "{pats:?}");
+    assert!(
+        found.iter().any(|v| v.func == "<field index_of>"),
+        "{found:?}"
+    );
+    assert!(found.iter().any(|v| v.func == "decide"), "{found:?}");
+}
+
+#[test]
+fn no_hash_container_passes_good_fixture_and_only_runs_in_serve_scope() {
+    let src = include_str!("fixtures/no_hash_container_good.rs");
+    let p = parse("crates/cluster/src/engine.rs", src);
+    let found = rules::no_hash_container(&p);
+    assert!(found.is_empty(), "{found:?}");
+    // The bad fixture parsed outside the engine/serve scope is only subject
+    // to the softer hash-iter rule, which the driver applies separately.
+    let bad = include_str!("fixtures/no_hash_container_bad.rs");
+    let elsewhere = check_file(&parse("crates/core/src/sched/fx.rs", bad));
+    assert!(
+        elsewhere.iter().all(|v| v.rule != "no-hash-container"),
+        "{elsewhere:?}"
+    );
+    let in_scope = check_file(&parse("crates/cluster/src/engine.rs", bad));
+    assert!(
+        in_scope.iter().any(|v| v.rule == "no-hash-container"),
+        "{in_scope:?}"
+    );
+}
+
+#[test]
 fn time_source_trips_on_bad_fixture() {
     let p = parse(
         "crates/core/src/sched/fx.rs",

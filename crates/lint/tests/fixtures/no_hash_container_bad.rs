@@ -1,0 +1,15 @@
+//! Bad: hash containers in the service loop, in every position the scanner
+//! covers — import, struct field, fn signature, local binding.
+
+use std::collections::HashMap;
+
+pub struct Session {
+    index_of: HashMap<u64, usize>,
+}
+
+// lint: sorted
+pub fn decide(live: HashSet<u64>) -> usize {
+    let mut retries: HashMap<usize, f64> = HashMap::new();
+    retries.insert(0, 1.0);
+    live.len() + retries.len()
+}

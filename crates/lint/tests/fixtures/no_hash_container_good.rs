@@ -1,0 +1,24 @@
+//! Good: the ordered rewrite — BTreeMap/BTreeSet everywhere, plus hash
+//! containers inside test code, which the rule never scans.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Session {
+    index_of: BTreeMap<u64, usize>,
+}
+
+pub fn decide(live: BTreeSet<u64>) -> usize {
+    let mut retries: BTreeMap<usize, f64> = BTreeMap::new();
+    retries.insert(0, 1.0);
+    live.len() + retries.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scratch_state_may_hash() {
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(1u64);
+        assert_eq!(seen.len(), 1);
+    }
+}

@@ -498,6 +498,21 @@ impl Snapshot {
         out.push_str("\n}\n");
         out
     }
+
+    /// FNV-1a digest over the [`Self::to_stable_json`] bytes: a compact
+    /// fingerprint of the deterministic metrics, made for the serve-mode
+    /// restart-equivalence check (a restarted run must reproduce the
+    /// uninterrupted run's digest exactly).
+    pub fn stable_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+        const FNV_PRIME: u64 = 0x100000001b3;
+        let mut h = FNV_OFFSET;
+        for b in self.to_stable_json().as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
 }
 
 /// Formats an `f64` as a valid JSON / Prometheus number: shortest
@@ -690,6 +705,26 @@ mod tests {
         assert!(json.contains("\"b_total\": 2"));
         assert!(json.contains("\"d\": {\"count\": 1"));
         assert!(!json.contains("t_seconds"));
+    }
+
+    #[test]
+    fn stable_digest_tracks_deterministic_metrics_only() {
+        let build = |count: u64, wall: f64| {
+            let rec = Recorder::enabled();
+            rec.counter("jobs_total", "jobs").add(count);
+            rec.timer("t_seconds", "t").observe(wall);
+            rec.snapshot()
+        };
+        assert_eq!(
+            build(3, 0.1).stable_digest(),
+            build(3, 9.9).stable_digest(),
+            "same deterministic metrics, same digest (timers ignored)"
+        );
+        assert_ne!(
+            build(3, 0.1).stable_digest(),
+            build(4, 0.1).stable_digest(),
+            "a counter change moves the digest"
+        );
     }
 
     #[test]

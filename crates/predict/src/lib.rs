@@ -42,5 +42,5 @@ pub mod predictor;
 pub use expert::{EstimatorKind, ValueState, ESTIMATORS};
 pub use feature::{extract, AttributeSource, Feature, FeatureSet};
 pub use predictor::{
-    FeatureStats, Prediction, Predictor, PredictorConfig, PredictorStats, QuickStats,
+    FeatureStats, Prediction, Predictor, PredictorConfig, PredictorStats, QuickStats, Snapshot,
 };

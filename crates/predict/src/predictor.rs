@@ -5,7 +5,7 @@
 //! its feature value's histogram becomes the job's distribution estimate and
 //! its point estimate is the JVuPredict-style point prediction (§4.1).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 use threesigma_histogram::RuntimeDistribution;
@@ -26,6 +26,15 @@ pub struct PredictorConfig {
     pub sample_cap: Option<usize>,
     /// Minimum scored predictions before an expert's NMAE is trusted.
     pub min_expert_evals: u64,
+    /// Optional cap on distinct `(feature, value)` states tracked. When a
+    /// new value would exceed it, the least-recently-*observed* state is
+    /// evicted (prediction reads do not refresh recency, keeping `predict`
+    /// immutable and deterministic). `None` = unbounded (batch runs).
+    pub max_tracked_values: Option<usize>,
+    /// Optional TTL, in *observations* (the predictor's logical clock): a
+    /// state untouched for more than this many observation-touches is
+    /// evicted on the next observe. `None` = no expiry.
+    pub value_ttl: Option<u64>,
 }
 
 impl Default for PredictorConfig {
@@ -36,6 +45,8 @@ impl Default for PredictorConfig {
             ewma_alpha: 0.6,
             sample_cap: None,
             min_expert_evals: 3,
+            max_tracked_values: None,
+            value_ttl: None,
         }
     }
 }
@@ -64,6 +75,19 @@ pub struct Predictor {
     /// Ordered map: `stats`/`snapshot`/`restore` iterate it, and both
     /// expert scoring and snapshot bytes must not depend on hash order.
     state: BTreeMap<(usize, String), ValueState>,
+    /// Logical observation clock: advances once per feature-value touch in
+    /// [`observe`](Self::observe). Drives LRU/TTL eviction and is persisted
+    /// in snapshots so eviction order survives restarts bit-for-bit.
+    clock: u64,
+    /// Last touch per tracked key (same keys as `state`).
+    touch: BTreeMap<(usize, String), u64>,
+    /// Recency index: `(touch, feature index, value)` ascending, so the
+    /// least-recently-observed entry is always `first()`. Ties (legacy
+    /// snapshots with no recorded touches) break on the key, keeping
+    /// eviction deterministic.
+    by_touch: BTreeSet<(u64, usize, String)>,
+    /// Feature-value states evicted by the LRU cap or TTL (memory gauge).
+    evictions: u64,
     /// Running totals maintained by [`observe`](Self::observe) so
     /// [`quick_stats`](Self::quick_stats) is O(1); [`stats`](Self::stats)
     /// recomputes the same sums exactly by scanning.
@@ -89,6 +113,10 @@ impl Predictor {
             config,
             features,
             state: BTreeMap::new(),
+            clock: 0,
+            touch: BTreeMap::new(),
+            by_touch: BTreeSet::new(),
+            evictions: 0,
             observations: 0,
             bin_merges: 0,
             censored: 0,
@@ -101,6 +129,17 @@ impl Predictor {
         self.state.len()
     }
 
+    /// The canonical `&'static str` for a feature name this predictor
+    /// tracks, or `None` for an unknown feature. Lets callers rehydrate
+    /// borrowed feature names from serialized state (serve-mode restore).
+    pub fn canonical_feature(&self, name: &str) -> Option<&'static str> {
+        self.features
+            .features
+            .iter()
+            .map(|f| f.name)
+            .find(|n| *n == name)
+    }
+
     /// Records a completed job's measured runtime against all its features.
     pub fn observe(&mut self, attrs: &impl AttributeSource, runtime: f64) {
         if !(runtime.is_finite() && runtime > 0.0) {
@@ -111,6 +150,12 @@ impl Predictor {
             let Some(value) = extract(feature, attrs) else {
                 continue;
             };
+            self.clock += 1;
+            let now = self.clock;
+            if let Some(prev) = self.touch.insert((fi, value.clone()), now) {
+                self.by_touch.remove(&(prev, fi, value.clone()));
+            }
+            self.by_touch.insert((now, fi, value.clone()));
             let state = self.state.entry((fi, value)).or_insert_with(|| {
                 ValueState::new(
                     cfg.max_bins,
@@ -129,6 +174,50 @@ impl Predictor {
                 self.best_nmae_seen = Some(self.best_nmae_seen.map_or(n, |cur| cur.min(n)));
             }
         }
+        self.enforce_bounds();
+    }
+
+    /// Applies the LRU cap and TTL (see [`PredictorConfig`]), evicting
+    /// least-recently-observed states first. Running totals shrink with the
+    /// evicted history so `quick_stats` keeps agreeing with a full scan.
+    fn enforce_bounds(&mut self) {
+        if let Some(ttl) = self.config.value_ttl {
+            while let Some(oldest) = self.by_touch.first().cloned() {
+                if self.clock.saturating_sub(oldest.0) <= ttl {
+                    break;
+                }
+                self.evict(oldest);
+            }
+        }
+        if let Some(cap) = self.config.max_tracked_values {
+            while self.state.len() > cap {
+                let Some(oldest) = self.by_touch.first().cloned() else {
+                    break;
+                };
+                self.evict(oldest);
+            }
+        }
+    }
+
+    fn evict(&mut self, entry: (u64, usize, String)) {
+        self.by_touch.remove(&entry);
+        let key = (entry.1, entry.2);
+        self.touch.remove(&key);
+        if let Some(state) = self.state.remove(&key) {
+            self.observations = self.observations.saturating_sub(state.count());
+            self.bin_merges = self.bin_merges.saturating_sub(state.bin_merges());
+            self.evictions += 1;
+        }
+    }
+
+    /// Feature-value states evicted so far by the LRU cap or TTL.
+    pub fn evicted_values(&self) -> u64 {
+        self.evictions
+    }
+
+    /// The configured cap on tracked values, if any (bound gauge).
+    pub fn tracked_values_limit(&self) -> Option<usize> {
+        self.config.max_tracked_values
     }
 
     /// Records a *censored* observation: a run that was killed after
@@ -281,6 +370,7 @@ impl Predictor {
             observations: self.observations,
             bin_merges: self.bin_merges,
             censored: self.censored,
+            evictions: self.evictions,
             best_nmae: self.best_nmae_seen,
         }
     }
@@ -291,6 +381,15 @@ impl Predictor {
     /// long-lived deployment persists its history database across restarts.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
+            touches: self
+                .state
+                .keys()
+                .map(|key| self.touch.get(key).copied().unwrap_or(0))
+                .collect(),
+            clock: self.clock,
+            evictions: self.evictions,
+            censored: self.censored,
+            best_nmae: self.best_nmae_seen,
             entries: self
                 .state
                 .iter()
@@ -310,20 +409,41 @@ impl Predictor {
                 return Err(*fi);
             }
         }
+        self.touch = BTreeMap::new();
+        self.by_touch = BTreeSet::new();
+        let mut max_touch = 0u64;
+        for (i, (fi, value, _)) in snapshot.entries.iter().enumerate() {
+            // Legacy snapshots carry no touches; those entries restore as
+            // touch 0 and evict first, tie-broken on the key.
+            let t = snapshot.touches.get(i).copied().unwrap_or(0);
+            max_touch = max_touch.max(t);
+            self.touch.insert((*fi, value.clone()), t);
+            self.by_touch.insert((t, *fi, value.clone()));
+        }
+        self.clock = snapshot.clock.max(max_touch);
+        self.evictions = snapshot.evictions;
+        self.censored = snapshot.censored;
         self.state = snapshot
             .entries
             .into_iter()
             .map(|(fi, value, state)| ((fi, value), state))
             .collect();
-        // Rebuild the running totals from the restored state (one-off scan;
-        // the historical-best NMAE restarts from the current minimum).
+        // Rebuild the running totals from the restored state (one-off scan —
+        // exact, since eviction subtracts the departing history from both).
         self.observations = self.state.values().map(ValueState::count).sum();
         self.bin_merges = self.state.values().map(ValueState::bin_merges).sum();
-        self.best_nmae_seen = self
+        // The historical-best NMAE travels in the snapshot (a restarted
+        // serve session must republish the same gauge); legacy snapshots
+        // without it fall back to the current minimum.
+        let current_min = self
             .state
             .values()
             .filter_map(ValueState::best_nmae)
             .min_by(f64::total_cmp);
+        self.best_nmae_seen = match (snapshot.best_nmae, current_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         Ok(())
     }
 }
@@ -333,6 +453,20 @@ impl Predictor {
 pub struct Snapshot {
     /// `(feature index, feature value, state)` triples.
     entries: Vec<(usize, String, ValueState)>,
+    /// Last-touch clock per entry (same order as `entries`); restoring
+    /// entries with no recorded touch treats them as 0 (evicted first
+    /// under a cap).
+    touches: Vec<u64>,
+    /// Logical observation clock at snapshot time.
+    clock: u64,
+    /// Evictions performed before the snapshot (gauge continuity).
+    evictions: u64,
+    /// Censored observations recorded before the snapshot.
+    censored: u64,
+    /// Lowest scored-expert NMAE ever seen (including evicted states and
+    /// past scores); `Null` in legacy snapshots, which restore from the
+    /// current minimum instead.
+    best_nmae: Option<f64>,
 }
 
 /// Telemetry for one feature (see [`Predictor::stats`]).
@@ -363,6 +497,9 @@ pub struct QuickStats {
     /// Censored (killed/failed) runs recorded as lower bounds only — never
     /// folded into the histories, so disjoint from `observations`.
     pub censored: u64,
+    /// Feature-value states evicted by the LRU cap or TTL (memory gauge;
+    /// their history left `observations`/`bin_merges` when they went).
+    pub evictions: u64,
     /// Lowest scored-expert NMAE seen so far, `None` before any expert
     /// evaluation.
     pub best_nmae: Option<f64>,
@@ -696,6 +833,88 @@ mod tests {
         assert_eq!(fresh.quick_stats().observations, p.stats().observations);
         assert_eq!(fresh.quick_stats().bin_merges, p.stats().bin_merges);
         assert_eq!(fresh.quick_stats().tracked_values, p.tracked_values());
+    }
+
+    #[test]
+    fn lru_cap_bounds_tracked_values() {
+        let mut p = Predictor::new(PredictorConfig {
+            max_tracked_values: Some(12),
+            ..PredictorConfig::default()
+        });
+        for i in 0..200u32 {
+            p.observe(&attrs(&format!("user{i}"), &format!("job{i}")), 50.0);
+            assert!(
+                p.tracked_values() <= 12,
+                "cap exceeded at i={i}: {}",
+                p.tracked_values()
+            );
+        }
+        assert!(p.evicted_values() > 0);
+        assert_eq!(p.quick_stats().evictions, p.evicted_values());
+        // Totals shrank with the evicted history: the O(1) counters still
+        // agree with a full scan of what remains.
+        assert_eq!(p.quick_stats().observations, p.stats().observations);
+        assert_eq!(p.quick_stats().bin_merges, p.stats().bin_merges);
+        // The most recent user survived; ancient ones are gone.
+        assert!(p.predict(&attrs("user199", "job199")).is_some());
+    }
+
+    #[test]
+    fn ttl_evicts_stale_values() {
+        // Each observe touches 5 features (4 attrs + global). TTL of 40
+        // touches ≈ 8 observes: a value untouched for longer expires.
+        let mut p = Predictor::new(PredictorConfig {
+            value_ttl: Some(40),
+            ..PredictorConfig::default()
+        });
+        p.observe(&attrs("old", "old_job"), 100.0);
+        for i in 0..30u32 {
+            p.observe(&attrs("fresh", &format!("job{i}")), 50.0);
+        }
+        assert!(p.evicted_values() > 0);
+        // The stale user-specific history is gone; fresh history remains.
+        let pred = p.predict(&attrs("old", "old_job")).unwrap();
+        assert_ne!(pred.feature, "user", "stale per-user state must expire");
+        assert!(p.predict(&attrs("fresh", "job0")).is_some());
+    }
+
+    #[test]
+    fn snapshot_preserves_lru_order_across_restore() {
+        let cfg = || PredictorConfig {
+            max_tracked_values: Some(10),
+            ..PredictorConfig::default()
+        };
+        let mut a = Predictor::new(cfg());
+        for i in 0..40u32 {
+            a.observe(&attrs(&format!("u{i}"), "shared"), 60.0);
+        }
+        let snap = a.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let mut b = Predictor::new(cfg());
+        b.restore(serde_json::from_str(&json).unwrap()).unwrap();
+        assert_eq!(b.tracked_values(), a.tracked_values());
+        assert_eq!(b.quick_stats().evictions, a.quick_stats().evictions);
+        // Continue both identically: eviction decisions must match because
+        // the touch order was persisted, not reconstructed.
+        for i in 100..120u32 {
+            a.observe(&attrs(&format!("u{i}"), "shared"), 60.0);
+            b.observe(&attrs(&format!("u{i}"), "shared"), 60.0);
+        }
+        assert_eq!(
+            serde_json::to_string(&a.snapshot()).unwrap(),
+            serde_json::to_string(&b.snapshot()).unwrap(),
+            "restored predictor must evolve byte-identically"
+        );
+    }
+
+    #[test]
+    fn snapshot_carries_censored_count() {
+        let mut p = Predictor::new(PredictorConfig::default());
+        p.observe(&attrs("a", "b"), 10.0);
+        p.observe_censored(&attrs("a", "b"), 3.0);
+        let mut fresh = Predictor::new(PredictorConfig::default());
+        fresh.restore(p.snapshot()).unwrap();
+        assert_eq!(fresh.censored_observations(), 1);
     }
 
     #[test]
