@@ -31,6 +31,16 @@ pub enum CliError {
         /// What was expected.
         expected: &'static str,
     },
+    /// A snapshot (or data-dir) file was produced by a newer build than
+    /// this one; restoring it could silently misread committed state.
+    SnapshotVersion {
+        /// Offending snapshot file or data directory.
+        path: String,
+        /// Format version recorded in the file.
+        found: u32,
+        /// Newest format version this build reads.
+        supported: u32,
+    },
     /// Underlying I/O failure.
     Io(String),
     /// A check-style subcommand (e.g. `simtest`) found a failure; the
@@ -51,6 +61,15 @@ impl fmt::Display for CliError {
                 value,
                 expected,
             } => write!(f, "--{option} {value}: expected {expected}"),
+            CliError::SnapshotVersion {
+                path,
+                found,
+                supported,
+            } => write!(
+                f,
+                "snapshot {path}: format version {found} is newer than the newest \
+                 supported version {supported}; refusing to restore"
+            ),
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Failed(msg) => write!(f, "{msg}"),
         }

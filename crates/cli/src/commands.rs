@@ -36,6 +36,7 @@ USAGE:
   threesigma simtest  [--seed N | --iters K [--start-seed S]]
                       [--cycle-budget-ms MS] [--max-retries N] [--shards N]
                       [--solver-tier T] [--no-incremental]
+                      [--crash [--crash-jobs N] [--kill-points K]]
   threesigma metrics  (--trace FILE | --env E [--hours H] [--seed N])
                       [--scheduler NAME] [--cycle SECS] [--rc]
                       [--json FILE] [--trace-out FILE]
@@ -44,6 +45,10 @@ USAGE:
                       [--seed N] [--retention SECS] [--max-retries N]
                       [--predictor-cap N] [--predictor-ttl N] [--cache-cap N]
                       [--max-timings N] [--snapshot-out FILE] [--restore FILE]
+                      [--data-dir DIR] [--snapshot-every-jobs N]
+                      [--snapshot-every-secs S] [--no-fsync]
+                      [--max-queue N] [--tenant-quota N]
+                      [--quarantine FILE] [--quarantine-sample N]
                       [--metrics-json FILE] [--summary-json FILE]
   threesigma help
 
@@ -94,6 +99,31 @@ SERVE: long-running bounded-memory scheduling over a JSONL job stream.
   --snapshot-out FILE write a quiescent engine+scheduler snapshot at EOF
   --restore FILE      resume from a snapshot; the resumed run reproduces the
                       uninterrupted run's digest and metrics byte-for-byte
+
+CRASH SAFETY (serve --data-dir): journaled, crash-only operation.
+  Accepted jobs are appended to a CRC32-framed write-ahead journal (fsynced
+  before they are acknowledged); quiescent idle gaps trigger automatic
+  snapshots that truncate the journal. On startup the newest valid snapshot
+  is loaded (torn tails tolerated) and the journal suffix is replayed, so a
+  killed process recovers digest-identically to a never-crashed run.
+  --data-dir DIR            journal + snapshots + quarantine live here
+                            (mutually exclusive with --restore)
+  --snapshot-every-jobs N   snapshot after N journaled records (default 256,
+                            0 = only at EOF); quiescent moments only
+  --snapshot-every-secs S   also snapshot after S simulated seconds (0 = off)
+  --no-fsync                skip fsync on journal appends (faster, weaker)
+
+ADMISSION CONTROL (serve): typed rejections, never a process exit.
+  Rejected lines get {\"status\":\"rejected\",\"line\":N,\"reason\":R,...} on the
+  wire (reasons: malformed, queue_full, tenant_quota, duplicate,
+  out_of_order) and per-reason serve_rejected_* counters. Malformed lines
+  are sampled into a quarantine file. Partial tails and abrupt disconnects
+  on --listen are absorbed with typed warnings.
+  --max-queue N             bound on non-terminal jobs (0 = unbounded)
+  --tenant-quota N          per-tenant in-flight bound (0 = unbounded)
+  --quarantine FILE         poison-line sink (default: DIR/quarantine.jsonl
+                            under --data-dir, else disabled)
+  --quarantine-sample N     max quarantined lines written (default 100)
   --metrics-json FILE write the byte-stable metrics dump at EOF
   --summary-json FILE write the session summary (incl. outcome digest)
 ";
@@ -344,7 +374,22 @@ pub fn cmd_analyze(args: &Args) -> Result<String, CliError> {
 /// `--iters K [--start-seed S]` smoke-runs K fresh seeds; with no flags the
 /// checked-in corpus is run. Failures return [`CliError::Failed`] echoing
 /// `FAILING SEED: N` so any failure replays from one integer.
+///
+/// `--crash` instead runs the durable-serve crash-injection campaign:
+/// seeded kill points (with torn journal tails) must all recover to a
+/// state digest-identical to the straight-through run. `--crash-jobs`
+/// sizes the stream, `--kill-points` the number of injected crashes, and
+/// `--seed` reseeds both the stream and the kill offsets.
 pub fn cmd_simtest(args: &Args) -> Result<String, CliError> {
+    if args.switch("crash") {
+        let defaults = threesigma_simtest::CrashConfig::default();
+        let cfg = threesigma_simtest::CrashConfig {
+            total_jobs: args.parse_or("crash-jobs", defaults.total_jobs)?,
+            kill_points: args.parse_or("kill-points", defaults.kill_points)?,
+            seed: args.parse_or("seed", defaults.seed)?,
+        };
+        return threesigma_simtest::run_crash_campaign(&cfg).map_err(CliError::Failed);
+    }
     let mut overrides = threesigma_simtest::SeedOverrides::default();
     if args.get("max-retries").is_some() {
         overrides.max_retries = Some(args.parse_or("max-retries", 0u32)?);

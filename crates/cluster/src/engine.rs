@@ -12,6 +12,7 @@ use std::collections::{BTreeMap, BinaryHeap};
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
 use threesigma_obs::{Counter, Gauge, Recorder};
 
 use crate::job::{JobId, JobSpec, RetryPolicy};
@@ -69,7 +70,7 @@ impl Default for EngineConfig {
 /// cancellation), and the scheduler is told via
 /// [`Scheduler::on_job_killed`] so predictors can record the truncated run
 /// as a censored observation rather than a completion.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum FaultEvent {
     /// `nodes` of `partition` drain gracefully at time `at` (busy nodes are
     /// owed; no gang is killed).
@@ -305,6 +306,36 @@ pub enum SimError {
     /// A serve-session snapshot was requested while events, pending jobs,
     /// or running jobs were still in flight.
     SnapshotNotQuiescent,
+    /// Admission control: the session's bounded queue of non-terminal jobs
+    /// is full, so the submission is rejected (typed, echoed on the wire).
+    QueueFull {
+        /// The rejected id.
+        job: JobId,
+        /// Non-terminal jobs currently held.
+        depth: usize,
+        /// The configured bound.
+        limit: usize,
+    },
+    /// Admission control: the submitting tenant already has its quota of
+    /// in-flight (non-terminal) jobs.
+    TenantQuotaExceeded {
+        /// The rejected id.
+        job: JobId,
+        /// The tenant at quota.
+        tenant: String,
+        /// The tenant's current in-flight count.
+        in_flight: u64,
+        /// The configured per-tenant quota.
+        quota: u64,
+    },
+    /// A serve snapshot was produced by a newer build than this one and
+    /// cannot be restored safely.
+    UnsupportedSnapshotVersion {
+        /// Version recorded in the snapshot.
+        found: u32,
+        /// Newest version this build reads.
+        supported: u32,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -347,6 +378,32 @@ impl std::fmt::Display for SimError {
                     f,
                     "snapshot requires a quiescent session (no queued events, \
                      nothing pending, nothing running)"
+                )
+            }
+            SimError::QueueFull { job, depth, limit } => {
+                write!(
+                    f,
+                    "job {job:?} rejected: submit queue full ({depth} \
+                     non-terminal jobs at limit {limit})"
+                )
+            }
+            SimError::TenantQuotaExceeded {
+                job,
+                tenant,
+                in_flight,
+                quota,
+            } => {
+                write!(
+                    f,
+                    "job {job:?} rejected: tenant {tenant:?} has {in_flight} \
+                     jobs in flight at quota {quota}"
+                )
+            }
+            SimError::UnsupportedSnapshotVersion { found, supported } => {
+                write!(
+                    f,
+                    "snapshot format version {found} is newer than the newest \
+                     supported version {supported}; refusing to restore"
                 )
             }
         }

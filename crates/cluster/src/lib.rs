@@ -25,6 +25,7 @@ pub mod job;
 pub mod metrics;
 pub mod serve;
 pub mod spec;
+pub mod wal;
 
 pub use engine::{
     CycleObserver, CycleStats, Engine, EngineConfig, EngineSnapshot, FaultEvent, Placement,
@@ -36,3 +37,7 @@ pub use serve::{
     RetiredAggregate, ServeConfig, ServeSession, ServeSnapshot, ServeSummary, SNAPSHOT_VERSION,
 };
 pub use spec::{ClusterSpec, PartitionId, RcFidelity};
+pub use wal::{
+    DataDir, FrameDefect, JournalDecode, Recovered, SnapshotFile, Wal, WalEntry, WalError,
+    WalMetrics, WalRecord, WalRecovery, SNAPSHOT_FORMAT_VERSION, WAL_MAGIC,
+};

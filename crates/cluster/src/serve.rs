@@ -41,7 +41,7 @@ use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
-use threesigma_obs::{Counter, Gauge, Recorder};
+use threesigma_obs::{sanitize, Counter, Gauge, Recorder};
 
 use crate::engine::{
     blank_outcome, commit, decide, kill_attempt, push_event, release, spec_problem, Event,
@@ -67,6 +67,15 @@ pub struct ServeConfig {
     /// Scripted capacity faults (empty in production; used by soak and
     /// regression scenarios).
     pub faults: Vec<FaultEvent>,
+    /// Admission bound on non-terminal jobs held by the session (queued,
+    /// pending, or running). `None` disables the bound. Submissions over
+    /// the bound are rejected with [`SimError::QueueFull`].
+    pub max_queue: Option<usize>,
+    /// Admission bound on non-terminal jobs per tenant (the `tenant` job
+    /// attribute; jobs without one are exempt). `None` disables the bound.
+    /// Submissions over the bound are rejected with
+    /// [`SimError::TenantQuotaExceeded`].
+    pub tenant_quota: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +86,8 @@ impl Default for ServeConfig {
             retry: RetryPolicy::default(),
             retention: 3600.0,
             faults: Vec::new(),
+            max_queue: None,
+            tenant_quota: None,
         }
     }
 }
@@ -218,10 +229,19 @@ pub struct ServeSnapshot {
     /// quiescence every live record is terminal (retained, not yet past the
     /// retention window).
     pub live: Vec<(JobSpec, JobOutcome, u32)>,
+    /// Every tenant the session has seen (version ≥ 2), so a restored
+    /// session re-registers the same per-tenant in-flight gauges and its
+    /// metrics dump stays byte-identical to a never-restarted run. At
+    /// quiescence every in-flight count is zero, so only names persist.
+    /// `None` in version-1 snapshots (the field did not exist; a missing
+    /// key deserializes as `None`, the legacy-accepting fallback).
+    pub tenants: Option<Vec<String>>,
 }
 
-/// Current [`ServeSnapshot::version`].
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current [`ServeSnapshot::version`]. Version 1 lacked the `tenants`
+/// registry and is still accepted; versions newer than this are rejected
+/// with [`SimError::UnsupportedSnapshotVersion`].
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Serve metric handles (all totals published with `set_total`, so a
 /// restored session reports stream-lifetime totals, not process totals).
@@ -283,6 +303,9 @@ pub struct ServeSession {
     cluster: ClusterSpec,
     config: ServeConfig,
     metrics: ServeMetrics,
+    // Kept for lazily registering per-tenant in-flight gauges; cheap
+    // (Arc-backed) clone of the recorder passed to `new`/`restore`.
+    recorder: Recorder,
 
     // Cluster capacity state (see engine.rs invariants).
     free: Vec<u32>,
@@ -309,6 +332,12 @@ pub struct ServeSession {
     running: BTreeMap<JobId, Running>,
     retry_at: BTreeMap<usize, f64>,
     rng: StdRng,
+
+    // Admission state: non-terminal jobs per tenant. Entries persist at
+    // zero once seen, so the per-tenant gauge set (and the byte-stable
+    // metrics dump) is a function of the stream, not of restart timing.
+    in_flight: BTreeMap<String, u64>,
+    tenant_gauges: BTreeMap<String, Gauge>,
 
     // Counters.
     cycles: usize,
@@ -395,6 +424,9 @@ impl ServeSession {
             running: BTreeMap::new(),
             retry_at: BTreeMap::new(),
             rng: StdRng::seed_from_u64(config.seed),
+            in_flight: BTreeMap::new(),
+            tenant_gauges: BTreeMap::new(),
+            recorder: recorder.clone(),
             cycles: 0,
             submitted: 0,
             completed: 0,
@@ -432,7 +464,13 @@ impl ServeSession {
         recorder: &Recorder,
         snap: &ServeSnapshot,
     ) -> Result<Self, SimError> {
-        if snap.version != SNAPSHOT_VERSION {
+        if snap.version > SNAPSHOT_VERSION {
+            return Err(SimError::UnsupportedSnapshotVersion {
+                found: snap.version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        if snap.version == 0 {
             return Err(SimError::BadServeConfig {
                 reason: "snapshot version mismatch",
             });
@@ -486,16 +524,29 @@ impl ServeSession {
             session.outcomes.push_back(outcome.clone());
             session.epochs.push_back(*epoch);
         }
+        // Re-register every tenant the stream has seen (all at zero: the
+        // snapshot was quiescent), so restored gauge sets match a
+        // never-restarted run byte for byte.
+        for tenant in snap.tenants.iter().flatten() {
+            session.tenant_gauge(tenant);
+            session.in_flight.entry(tenant.clone()).or_insert(0);
+        }
         session.publish_gauges();
         Ok(session)
     }
 
-    /// Accepts a job for scheduling. Jobs must arrive in non-decreasing
-    /// `submit_time` order, at or after the session's current time; the
-    /// arrival itself is processed when the event loop reaches that time
-    /// ([`ServeSession::pump_until`]/[`ServeSession::drain`]).
-    pub fn submit(&mut self, spec: JobSpec) -> Result<(), SimError> {
-        if let Some(reason) = spec_problem(&spec) {
+    /// Checks whether a job would be accepted by [`submit`](Self::submit)
+    /// right now, without mutating the session. The check is deterministic
+    /// (a pure function of session state), so a caller that journals
+    /// accepted jobs between `admit` and `submit` replays to the identical
+    /// accept/reject sequence. Validation order: spec, submit-time order,
+    /// duplicate id, queue bound, tenant quota.
+    ///
+    /// # Errors
+    ///
+    /// The typed rejection `submit` would return.
+    pub fn admit(&self, spec: &JobSpec) -> Result<(), SimError> {
+        if let Some(reason) = spec_problem(spec) {
             return Err(SimError::MalformedJobSpec {
                 job: spec.id,
                 reason,
@@ -506,6 +557,62 @@ impl ServeSession {
         }
         if self.index_of.contains_key(&spec.id) {
             return Err(SimError::DuplicateJobId { job: spec.id });
+        }
+        if let Some(limit) = self.config.max_queue {
+            let depth = self.non_terminal();
+            if depth >= limit {
+                return Err(SimError::QueueFull {
+                    job: spec.id,
+                    depth,
+                    limit,
+                });
+            }
+        }
+        if let Some(quota) = self.config.tenant_quota {
+            if let Some(tenant) = spec.attributes.get("tenant") {
+                let in_flight = self.in_flight.get(tenant).copied().unwrap_or(0);
+                if in_flight >= quota {
+                    return Err(SimError::TenantQuotaExceeded {
+                        job: spec.id,
+                        tenant: tenant.to_owned(),
+                        in_flight,
+                        quota,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Jobs accepted but not yet terminal (queued arrivals + pending +
+    /// running + retained records still mid-retry) — the depth the
+    /// [`ServeConfig::max_queue`] admission bound applies to.
+    pub fn non_terminal(&self) -> usize {
+        let terminal = self.completed + self.cancellations_total + self.retry_cancellations as u64;
+        usize::try_from(self.submitted - terminal).unwrap_or(usize::MAX)
+    }
+
+    /// Accepts a job for scheduling. Jobs must arrive in non-decreasing
+    /// `submit_time` order, at or after the session's current time; the
+    /// arrival itself is processed when the event loop reaches that time
+    /// ([`ServeSession::pump_until`]/[`ServeSession::drain`]).
+    ///
+    /// # Errors
+    ///
+    /// Any typed rejection from [`admit`](Self::admit): malformed spec,
+    /// out-of-order submission, duplicate id, or an admission-control
+    /// bound ([`SimError::QueueFull`], [`SimError::TenantQuotaExceeded`]).
+    pub fn submit(&mut self, spec: JobSpec) -> Result<(), SimError> {
+        self.admit(&spec)?;
+        if let Some(tenant) = spec.attributes.get("tenant") {
+            let tenant = tenant.to_owned();
+            self.tenant_gauge(&tenant);
+            let n = self.in_flight.entry(tenant.clone()).or_insert(0);
+            *n += 1;
+            let v = *n;
+            if let Some(g) = self.tenant_gauges.get(&tenant) {
+                g.set(v as f64);
+            }
         }
         let idx = self.base + self.jobs.len();
         // Revive the cycle chain if it went idle: the first cycle that can
@@ -570,6 +677,41 @@ impl ServeSession {
         }
     }
 
+    /// Injects a runtime fault into the live session — the serve-boundary
+    /// counterpart of scripted [`ServeConfig::faults`]. The fault must
+    /// reference a known partition and be dated (finite) at or after the
+    /// session's current time; it fires through the normal event loop.
+    /// Injected faults are not part of a snapshot (a quiescent session has
+    /// no queued events, so every injected fault has already fired), which
+    /// is why a durable caller journals them and re-injects on replay.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadServeConfig`] for unknown partitions or invalid times.
+    pub fn inject_fault(&mut self, fault: FaultEvent) -> Result<(), SimError> {
+        if let Some(p) = fault.partition() {
+            if p.index() >= self.cluster.num_partitions() {
+                return Err(SimError::BadServeConfig {
+                    reason: "fault references unknown partition",
+                });
+            }
+        }
+        if !fault.at().is_finite() || fault.at() < self.now || fault.at() < 0.0 {
+            return Err(SimError::BadServeConfig {
+                reason: "injected fault must be finite and dated at or after the current time",
+            });
+        }
+        let i = self.config.faults.len();
+        self.config.faults.push(fault);
+        push_event(
+            &mut self.queue,
+            &mut self.seq,
+            fault.at(),
+            EventKind::Fault { fault: i },
+        );
+        Ok(())
+    }
+
     /// True when no event is queued, nothing is pending, and nothing runs —
     /// the only state a snapshot may be taken in.
     pub fn is_quiescent(&self) -> bool {
@@ -610,6 +752,7 @@ impl ServeSession {
             offline: self.offline.clone(),
             owed: self.owed.clone(),
             live,
+            tenants: Some(self.in_flight.keys().cloned().collect()),
         })
     }
 
@@ -714,6 +857,7 @@ impl ServeSession {
                     &self.outcomes.as_slices().0[job - base],
                     self.now,
                 );
+                self.note_terminal(job);
             }
             EventKind::Fault { fault } => self.apply_fault(fault, scheduler),
             EventKind::Cycle => {
@@ -754,6 +898,11 @@ impl ServeSession {
                 )?;
                 self.placements_total += decision.placements.len() as u64;
                 self.cancellations_total += decision.cancellations.len() as u64;
+                for id in &decision.cancellations {
+                    if let Some(&idx) = self.index_of.get(id) {
+                        self.note_terminal(idx);
+                    }
+                }
                 self.retire_eligible();
                 self.publish_gauges();
                 if !self.pending.is_empty() || !self.running.is_empty() || self.arrivals_queued > 0
@@ -815,6 +964,7 @@ impl ServeSession {
                     let Some(r) = self.running.remove(&id) else {
                         continue;
                     };
+                    let idx = r.idx;
                     kill_attempt(
                         r,
                         self.now,
@@ -833,6 +983,7 @@ impl ServeSession {
                         &mut self.retry_cancellations,
                         scheduler,
                     );
+                    self.note_terminal_if_canceled(idx);
                     let seized = remaining.min(self.free[pi]);
                     self.free[pi] -= seized;
                     self.offline[pi] += seized;
@@ -842,6 +993,7 @@ impl ServeSession {
             }
             FaultEvent::TaskKill { job, .. } => {
                 if let Some(r) = self.running.remove(&job) {
+                    let idx = r.idx;
                     kill_attempt(
                         r,
                         self.now,
@@ -860,8 +1012,58 @@ impl ServeSession {
                         &mut self.retry_cancellations,
                         scheduler,
                     );
+                    self.note_terminal_if_canceled(idx);
                 }
             }
+        }
+    }
+
+    /// Registers (idempotently) the in-flight gauge for `tenant`.
+    fn tenant_gauge(&mut self, tenant: &str) {
+        if !self.tenant_gauges.contains_key(tenant) {
+            let name = format!("serve_tenant_in_flight_{}", sanitize(tenant));
+            let gauge = self
+                .recorder
+                .gauge(&name, "Non-terminal jobs in flight for one tenant");
+            self.tenant_gauges.insert(tenant.to_owned(), gauge);
+        }
+    }
+
+    /// Admission bookkeeping for a job that just reached a terminal state
+    /// (completed or cancelled): decrements its tenant's in-flight count.
+    fn note_terminal(&mut self, idx: usize) {
+        let Some(i) = idx.checked_sub(self.base) else {
+            return;
+        };
+        let Some(tenant) = self
+            .jobs
+            .as_slices()
+            .0
+            .get(i)
+            .and_then(|spec| spec.attributes.get("tenant"))
+        else {
+            return;
+        };
+        let tenant = tenant.to_owned();
+        if let Some(n) = self.in_flight.get_mut(&tenant) {
+            *n = n.saturating_sub(1);
+            let v = *n;
+            if let Some(g) = self.tenant_gauges.get(&tenant) {
+                g.set(v as f64);
+            }
+        }
+    }
+
+    /// [`note_terminal`](Self::note_terminal), but only when a kill
+    /// exhausted the retry budget and cancelled the job (a retried kill
+    /// leaves the job non-terminal).
+    fn note_terminal_if_canceled(&mut self, idx: usize) {
+        let canceled = idx
+            .checked_sub(self.base)
+            .and_then(|i| self.outcomes.as_slices().0.get(i))
+            .is_some_and(|o| o.state == JobState::Canceled);
+        if canceled {
+            self.note_terminal(idx);
         }
     }
 
@@ -914,6 +1116,11 @@ impl ServeSession {
         m.running_jobs.set(self.running.len() as f64);
         m.free_nodes.set(f64::from(self.free.iter().sum::<u32>()));
         m.retention.set(self.config.retention);
+        for (tenant, n) in &self.in_flight {
+            if let Some(g) = self.tenant_gauges.get(tenant) {
+                g.set(*n as f64);
+            }
+        }
     }
 }
 

@@ -35,10 +35,12 @@
 //! checked-in seed corpus ([`corpus_seeds`]) is the regression suite CI
 //! runs on every push.
 
+pub mod crash;
 pub mod harness;
 pub mod invariants;
 pub mod scenario;
 
+pub use crash::{run_crash_campaign, CrashConfig};
 pub use harness::{
     dominance_violations, run_seed, run_seed_with, SchedulerReport, SeedOverrides, SeedReport,
 };
