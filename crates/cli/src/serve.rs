@@ -570,6 +570,9 @@ fn reject(
         }
     }
     wire_metrics.publish(wire);
+    // Typed rejections admit nothing, so there is no record to replay;
+    // only accepted jobs are journaled before their ack.
+    // lint: no-journal
     responder.rejected(line_no, id, reason, detail);
 }
 

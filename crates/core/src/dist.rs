@@ -80,7 +80,7 @@ impl DiscreteDist {
     /// mass points.
     pub fn from_distribution(dist: &RuntimeDistribution, max_points: usize) -> Self {
         let mut points = dist.mass_points(max_points.max(1));
-        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite runtimes"));
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
         let d = Self::with_points(points);
         debug_assert!(d.is_normalised());
         d

@@ -110,10 +110,7 @@ impl StreamingHistogram {
         self.count += 1;
         self.min = self.min.min(value);
         self.max = self.max.max(value);
-        match self
-            .bins
-            .binary_search_by(|b| b.centroid.partial_cmp(&value).expect("finite"))
-        {
+        match self.bins.binary_search_by(|b| b.centroid.total_cmp(&value)) {
             Ok(i) => self.bins[i].count += 1.0,
             Err(i) => {
                 self.bins.insert(
@@ -142,7 +139,7 @@ impl StreamingHistogram {
         for bin in &other.bins {
             match self
                 .bins
-                .binary_search_by(|b| b.centroid.partial_cmp(&bin.centroid).expect("finite"))
+                .binary_search_by(|b| b.centroid.total_cmp(&bin.centroid))
             {
                 Ok(i) => self.bins[i].count += bin.count,
                 Err(i) => self.bins.insert(i, *bin),

@@ -65,6 +65,45 @@ fn matches(entry: &Entry, v: &Violation) -> bool {
         && v.pattern.contains(&entry.pattern)
 }
 
+fn matches_exclusion(entry: &Entry, v: &Violation) -> bool {
+    // Exclusion lines are `rule | scope | name | rationale`: `scope` is the
+    // pairing struct name or the doc file, `name` the field/metric, and the
+    // rationale is free text (the audit record, not a matching key).
+    v.rule == entry.rule
+        && (v.func == entry.file || v.file.ends_with(&entry.file))
+        && v.pattern == entry.func
+}
+
+/// Filters excluded snapshot/metrics findings out; same stale-entry
+/// semantics as [`apply`], but matched against the exclusion-file key shape
+/// (`rule | scope | name | rationale`).
+pub fn apply_exclusions(
+    entries: &[Entry],
+    violations: Vec<Violation>,
+) -> (Vec<Violation>, Vec<Entry>) {
+    let mut used = vec![false; entries.len()];
+    let mut kept = Vec::new();
+    for v in violations {
+        let mut excluded = false;
+        for (i, e) in entries.iter().enumerate() {
+            if matches_exclusion(e, &v) {
+                used[i] = true;
+                excluded = true;
+            }
+        }
+        if !excluded {
+            kept.push(v);
+        }
+    }
+    let stale = entries
+        .iter()
+        .zip(&used)
+        .filter(|(_, u)| !**u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    (kept, stale)
+}
+
 /// Filters allowlisted violations out; returns the surviving violations and
 /// any entries that matched nothing (stale).
 pub fn apply(entries: &[Entry], violations: Vec<Violation>) -> (Vec<Violation>, Vec<Entry>) {

@@ -42,6 +42,145 @@ pub const CLOCK_ALLOWLIST: &[&str] =
 /// the offending line or the line directly above it.
 pub const JUSTIFICATION: &str = "lint: sorted";
 
+/// Escape-hatch comment for wire acknowledgments that are deliberately not
+/// journaled (typed rejections: nothing was admitted, so there is nothing
+/// to replay). Placed on the ack line or the line directly above it.
+pub const NO_JOURNAL_JUSTIFICATION: &str = "lint: no-journal";
+
+/// A decision-path root: an entry point whose transitive callees form the
+/// scope of the reachability-driven rules (hash-iter, float-ord, panic,
+/// time-source).
+pub struct RootSpec {
+    /// The function's name.
+    pub func: &'static str,
+    /// Required workspace-relative file suffix, if the root is file-bound.
+    pub file_suffix: Option<&'static str>,
+    /// Required word in the enclosing `impl`/`trait` header, if trait-bound.
+    pub impl_word: Option<&'static str>,
+}
+
+/// The decision-path roots: every `Scheduler::schedule` impl, every milp
+/// `Solver` impl, the option generators, and the engine/serve pumps. The
+/// reachability rules apply to everything these can transitively call.
+pub const DECISION_ROOTS: &[RootSpec] = &[
+    RootSpec {
+        func: "schedule",
+        file_suffix: None,
+        impl_word: Some("Scheduler"),
+    },
+    RootSpec {
+        func: "solve",
+        file_suffix: None,
+        impl_word: Some("Solver"),
+    },
+    RootSpec {
+        func: "solve_with_warm_start",
+        file_suffix: None,
+        impl_word: Some("Solver"),
+    },
+    RootSpec {
+        func: "generate",
+        file_suffix: Some("core/src/sched/options.rs"),
+        impl_word: None,
+    },
+    RootSpec {
+        func: "generate_sharded",
+        file_suffix: Some("core/src/sched/options.rs"),
+        impl_word: None,
+    },
+    RootSpec {
+        func: "run_observed",
+        file_suffix: Some("cluster/src/engine.rs"),
+        impl_word: None,
+    },
+    RootSpec {
+        func: "pump_until",
+        file_suffix: Some("cluster/src/serve.rs"),
+        impl_word: None,
+    },
+];
+
+/// Crates whose reachable functions the panic rule covers (typed-error
+/// discipline); the solver and leaf crates keep their own error idioms.
+pub const PANIC_DOMAINS: &[&str] = &["crates/cluster/src", "crates/core/src"];
+
+/// True when `rel` participates in the reachability-driven determinism rules
+/// (everything but the linter itself, whose sources quote rule patterns).
+pub fn in_reach_domain(rel: &str) -> bool {
+    rel.starts_with("crates/") && !rel.starts_with("crates/lint/")
+}
+
+/// One state-struct/snapshot pairing for the snapshot-exhaustiveness rule:
+/// every named field of `strukt` (in the file ending with `file_suffix`)
+/// must be mentioned in at least one read fn and one write fn, or carry an
+/// audited entry in the exclusions file.
+pub struct SnapshotPair {
+    /// The state struct's name.
+    pub strukt: &'static str,
+    /// Workspace-relative suffix of the file declaring the struct.
+    pub file_suffix: &'static str,
+    /// Snapshot-side fns as (fn name, enclosing impl word).
+    pub reads: &'static [(&'static str, &'static str)],
+    /// Restore-side fns as (fn name, enclosing impl word).
+    pub writes: &'static [(&'static str, &'static str)],
+}
+
+/// The audited snapshot/restore pairings. `WireStats` is a republish pair:
+/// its counters must all reach the exposition in `WireMetrics::publish`
+/// (the PR 8 delta-vs-`set_total` bug class).
+pub const SNAPSHOT_PAIRS: &[SnapshotPair] = &[
+    SnapshotPair {
+        strukt: "Predictor",
+        file_suffix: "crates/predict/src/predictor.rs",
+        reads: &[("snapshot", "Predictor")],
+        writes: &[("restore", "Predictor")],
+    },
+    SnapshotPair {
+        strukt: "EstimateCache",
+        file_suffix: "crates/core/src/sched/options.rs",
+        reads: &[("stats", "EstimateCache"), ("epoch", "EstimateCache")],
+        writes: &[("restore_stats", "EstimateCache")],
+    },
+    SnapshotPair {
+        strukt: "ThreeSigmaScheduler",
+        file_suffix: "crates/core/src/sched/threesigma.rs",
+        reads: &[("serve_snapshot", "ThreeSigmaScheduler")],
+        writes: &[("serve_restore", "ThreeSigmaScheduler")],
+    },
+    SnapshotPair {
+        strukt: "ServeSession",
+        file_suffix: "crates/cluster/src/serve.rs",
+        reads: &[("snapshot", "ServeSession")],
+        writes: &[("restore", "ServeSession")],
+    },
+    SnapshotPair {
+        strukt: "WireStats",
+        file_suffix: "crates/cli/src/serve.rs",
+        reads: &[("publish", "WireMetrics")],
+        writes: &[("publish", "WireMetrics")],
+    },
+];
+
+/// Workspace-relative path of the audited exclusions file for the
+/// snapshot-exhaustiveness and metrics-consistency rules.
+pub const SNAPSHOT_EXCLUSIONS_PATH: &str = "crates/lint/snapshot_exclusions.txt";
+
+/// The file whose wire acknowledgments the wal-ack-ordering rule audits.
+pub const ACK_FILE_SUFFIX: &str = "crates/cli/src/serve.rs";
+
+/// Methods that emit a wire acknowledgment.
+pub const ACK_METHODS: &[&str] = &["accepted", "rejected"];
+
+/// The journal-append method that must dominate every acknowledgment.
+pub const JOURNAL_METHOD: &str = "append";
+
+/// Docs scanned by the metrics-consistency citation check (workspace-root
+/// relative). Missing files are skipped (synthetic fixture trees).
+pub const METRIC_DOC_FILES: &[&str] = &["DESIGN.md", "README.md"];
+
+/// Prefixes that mark a documentation token as a metric-name citation.
+pub const METRIC_DOC_PREFIXES: &[&str] = &["sched_", "serve_", "wal_", "predict_"];
+
 /// A leaf crate's dependency contract, checked from its `Cargo.toml`.
 pub struct LeafContract {
     /// Workspace-relative manifest path.

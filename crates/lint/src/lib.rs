@@ -1,31 +1,42 @@
-//! `threesigma-lint`: AST-based determinism, panic-safety, float-ordering,
-//! and layering lints for the workspace.
+//! `threesigma-lint`: a two-phase workspace analyzer for determinism,
+//! panic-safety, snapshot/WAL protocol, and metrics invariants.
 //!
 //! The binary (`cargo run -p threesigma-lint -- check`) parses every
-//! non-test source file under `crates/*/src` with the vendored `syn`,
-//! flattens fn bodies into token vectors, and pattern-matches the invariants
-//! grep cannot see (receiver types, test context, enclosing functions):
+//! non-test source file under `crates/*/src` with the vendored `syn`.
+//! Phase 1 builds a symbol table and crate-level call graph ([`graph`]) and
+//! computes the functions reachable from the decision-path roots
+//! (`Scheduler::schedule` impls, milp `Solver::solve` impls, the option
+//! generators, and the engine/serve pumps). Phase 2 runs the rules:
 //!
 //! * **hash-iter** — no `HashMap`/`HashSet` iteration in decision-path
-//!   crates unless justified with `// lint: sorted`.
+//!   reachable code unless justified with `// lint: sorted`.
 //! * **no-hash-container** — no `HashMap`/`HashSet` at all in the
 //!   engine/serve service-loop modules, with no escape hatch.
-//! * **time-source** — no `Instant::now`/`SystemTime` outside the clock
-//!   modules.
+//! * **time-source** — no `Instant::now`/`SystemTime` in reachable code
+//!   outside the clock modules.
 //! * **thread-rng** — no OS-seeded RNG anywhere.
 //! * **panic** — no `unwrap`/`expect`/`panic!`-family/slice-indexing in
-//!   hot-path code, modulo the checked-in allowlist.
-//! * **float-ord** — no `partial_cmp` in decision-path comparisons.
+//!   reachable cluster/core code, modulo the checked-in allowlist.
+//! * **float-ord** — no `partial_cmp` in reachable comparisons.
 //! * **layering** — leaf crates keep their dependency contracts.
+//! * **snapshot-exhaustiveness** — paired state structs serialize and
+//!   restore every field, modulo `snapshot_exclusions.txt`.
+//! * **wal-ack-ordering** — journal-append dominates every wire ack in the
+//!   serve front-end, modulo `// lint: no-journal`.
+//! * **metrics-consistency** — metric names register exactly once, are
+//!   snake_case, and doc-cited names exist.
 //!
-//! See `DESIGN.md` ("Static analysis") for rule rationale and the escape
-//! hatches.
+//! The reachability rules fall back to the legacy path-prefix scopes when a
+//! tree declares no roots (synthetic fixture workspaces). See `DESIGN.md`
+//! §12 for rule rationale and the escape hatches.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 pub mod allowlist;
 pub mod config;
+pub mod facts;
+pub mod graph;
 pub mod rules;
 pub mod scan;
 
@@ -63,17 +74,109 @@ impl fmt::Display for Violation {
 pub struct Report {
     /// Violations that survived the allowlist, sorted by (file, line, rule).
     pub violations: Vec<Violation>,
-    /// Allowlist entries that matched no site (treated as failures).
+    /// Panic-allowlist entries that matched no site (treated as failures).
     pub stale_allowlist: Vec<allowlist::Entry>,
+    /// Snapshot/metrics exclusion entries that matched no raw finding
+    /// (treated as failures; the exclusion file can only shrink).
+    pub stale_exclusions: Vec<allowlist::Entry>,
     /// Number of source files parsed.
     pub files_scanned: usize,
+    /// Number of functions reachable from the decision-path roots, or
+    /// `None` when the tree declared no roots (legacy path scoping used).
+    pub reachable_fns: Option<usize>,
 }
 
 impl Report {
     /// True when there is nothing to report.
     pub fn clean(&self) -> bool {
-        self.violations.is_empty() && self.stale_allowlist.is_empty()
+        self.violations.is_empty()
+            && self.stale_allowlist.is_empty()
+            && self.stale_exclusions.is_empty()
     }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the report as deterministic machine-readable JSON (the CI
+/// `lint-findings.json` artifact). Iteration order is the report's own
+/// sorted order, so two runs over the same tree are byte-identical.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    match report.reachable_fns {
+        Some(n) => out.push_str(&format!("  \"reachable_fns\": {n},\n")),
+        None => out.push_str("  \"reachable_fns\": null,\n"),
+    }
+    out.push_str(&format!("  \"clean\": {},\n", report.clean()));
+    out.push_str("  \"violations\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"func\": \"{}\", \
+             \"pattern\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(v.rule),
+            json_escape(&v.file),
+            v.line,
+            json_escape(&v.func),
+            json_escape(&v.pattern),
+            json_escape(&v.message),
+        ));
+    }
+    if !report.violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+    for (key, source, entries) in [
+        (
+            "stale_allowlist",
+            config::PANIC_ALLOWLIST_PATH,
+            &report.stale_allowlist,
+        ),
+        (
+            "stale_exclusions",
+            config::SNAPSHOT_EXCLUSIONS_PATH,
+            &report.stale_exclusions,
+        ),
+    ] {
+        out.push_str(&format!("  \"{key}\": ["));
+        for (i, e) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"source\": \"{}\", \"line\": {}, \"entry\": \"{}\"}}",
+                json_escape(source),
+                e.line,
+                json_escape(&e.to_string()),
+            ));
+        }
+        if !entries.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push(']');
+        if key == "stale_allowlist" {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    out
 }
 
 /// Runs every rule over one parsed file, applying the scope config.
@@ -142,6 +245,7 @@ pub fn check_workspace(root: &Path) -> Result<Report, String> {
     }
 
     let mut report = Report::default();
+    let mut parsed_files: Vec<scan::ParsedFile> = Vec::new();
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -152,8 +256,60 @@ pub fn check_workspace(root: &Path) -> Result<Report, String> {
             std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
         let parsed = scan::parse_source(&rel, &src).map_err(|e| format!("parse {rel}: {e}"))?;
         report.files_scanned += 1;
-        report.violations.extend(check_file(&parsed));
+        parsed_files.push(parsed);
     }
+
+    // Phase 1: call graph + reachability from the decision-path roots.
+    let cg = graph::build(&parsed_files, config::DECISION_ROOTS);
+
+    // Phase 2a: the reachability-driven determinism/panic rules. Trees
+    // without any root (synthetic fixture workspaces) keep the legacy
+    // path-prefix scoping so partial trees still get checked.
+    if cg.has_roots() {
+        report.reachable_fns = Some(cg.reachable_len());
+        for parsed in &parsed_files {
+            let reach = parsed.filtered(|f| cg.is_reachable(&parsed.rel, f));
+            if config::in_reach_domain(&parsed.rel) {
+                report.violations.extend(rules::hash_iter(&reach));
+                report.violations.extend(rules::time_source(&reach));
+                report.violations.extend(rules::float_ordering(&reach));
+            }
+            if config::in_scope(&parsed.rel, config::PANIC_DOMAINS) {
+                report.violations.extend(rules::panic_safety(&reach));
+            }
+            // The structural rules keep their path scoping: banned
+            // containers and OS-seeded RNG are wrong wherever they appear,
+            // not just on paths a scheduler can currently reach.
+            if config::in_scope(&parsed.rel, config::NO_HASH_CONTAINER_SCOPES) {
+                report.violations.extend(rules::no_hash_container(parsed));
+            }
+            if config::in_scope(&parsed.rel, &["crates/"]) {
+                report.violations.extend(rules::os_seeded_rng(parsed));
+            }
+        }
+    } else {
+        for parsed in &parsed_files {
+            report.violations.extend(check_file(parsed));
+        }
+    }
+
+    // Phase 2b: cross-item facts rules.
+    report.violations.extend(facts::snapshot_exhaustiveness(
+        &parsed_files,
+        config::SNAPSHOT_PAIRS,
+    ));
+    report
+        .violations
+        .extend(facts::wal_ack_ordering(&parsed_files));
+    let mut docs = Vec::new();
+    for doc in config::METRIC_DOC_FILES {
+        if let Ok(text) = std::fs::read_to_string(root.join(doc)) {
+            docs.push((doc.to_string(), text));
+        }
+    }
+    report
+        .violations
+        .extend(facts::metrics_consistency(&parsed_files, &docs));
 
     for contract in config::LEAF_CONTRACTS {
         let path = root.join(contract.manifest);
@@ -173,8 +329,19 @@ pub fn check_workspace(root: &Path) -> Result<Report, String> {
     report.violations = kept;
     report.stale_allowlist = stale;
 
-    report
-        .violations
-        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    let exclusions_path = root.join(config::SNAPSHOT_EXCLUSIONS_PATH);
+    let exclusions = match std::fs::read_to_string(&exclusions_path) {
+        Ok(src) => allowlist::parse(&src)?,
+        Err(_) => Vec::new(), // missing exclusions = empty exclusions
+    };
+    let (kept, stale) =
+        allowlist::apply_exclusions(&exclusions, std::mem::take(&mut report.violations));
+    report.violations = kept;
+    report.stale_exclusions = stale;
+
+    report.violations.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.pattern, &a.message)
+            .cmp(&(&b.file, b.line, b.rule, &b.pattern, &b.message))
+    });
     Ok(report)
 }

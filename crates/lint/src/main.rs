@@ -18,10 +18,13 @@ fn workspace_root(override_path: Option<&str>) -> PathBuf {
     }
 }
 
+const USAGE: &str = "usage: threesigma-lint check [--root <workspace>] [--format human|json]";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut root_override = None;
     let mut command = None;
+    let mut format = "human";
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -35,28 +38,54 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("human") => format = "human",
+                    Some("json") => format = "json",
+                    _ => {
+                        eprintln!("--format requires `human` or `json`");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "check" if command.is_none() => command = Some("check"),
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: threesigma-lint check [--root <workspace>]");
+                eprintln!("{USAGE}");
                 return ExitCode::from(2);
             }
         }
         i += 1;
     }
     if command != Some("check") {
-        eprintln!("usage: threesigma-lint check [--root <workspace>]");
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     }
 
     let root = workspace_root(root_override);
     match threesigma_lint::check_workspace(&root) {
         Ok(report) => {
+            if format == "json" {
+                print!("{}", threesigma_lint::render_json(&report));
+                return if report.clean() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::from(1)
+                };
+            }
             if report.clean() {
-                println!(
-                    "threesigma-lint: {} files scanned, no violations",
-                    report.files_scanned
-                );
+                match report.reachable_fns {
+                    Some(n) => println!(
+                        "threesigma-lint: {} files scanned, {n} reachable fns, no violations",
+                        report.files_scanned
+                    ),
+                    None => println!(
+                        "threesigma-lint: {} files scanned (no decision roots; legacy path \
+                         scoping), no violations",
+                        report.files_scanned
+                    ),
+                }
                 ExitCode::SUCCESS
             } else {
                 for v in &report.violations {
@@ -64,15 +93,24 @@ fn main() -> ExitCode {
                 }
                 for e in &report.stale_allowlist {
                     println!(
-                        "[stale-allowlist] crates/lint/panic_allowlist.txt:{}: entry `{e}` \
-                         matches no site; remove it",
+                        "[stale-allowlist] {}:{}: entry `{e}` matches no site; remove it",
+                        threesigma_lint::config::PANIC_ALLOWLIST_PATH,
+                        e.line
+                    );
+                }
+                for e in &report.stale_exclusions {
+                    println!(
+                        "[stale-exclusion] {}:{}: entry `{e}` matches no finding; remove it",
+                        threesigma_lint::config::SNAPSHOT_EXCLUSIONS_PATH,
                         e.line
                     );
                 }
                 println!(
-                    "threesigma-lint: {} violation(s), {} stale allowlist entr(ies) across {} files",
+                    "threesigma-lint: {} violation(s), {} stale allowlist entr(ies), {} stale \
+                     exclusion(s) across {} files",
                     report.violations.len(),
                     report.stale_allowlist.len(),
+                    report.stale_exclusions.len(),
                     report.files_scanned
                 );
                 ExitCode::from(1)

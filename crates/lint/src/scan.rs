@@ -61,31 +61,51 @@ pub fn flatten(trees: &[TokenTree], out: &mut Vec<Tok>) {
 }
 
 /// One function's worth of scannable tokens.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FnSite {
     /// The function's name (allowlist key).
     pub func: String,
     /// True when the fn is `#[test]` or inside `#[cfg(test)]` context.
     pub is_test: bool,
+    /// 1-based line of the `fn` keyword (call-graph node key).
+    pub line: usize,
+    /// The enclosing `impl`/`trait` header text (`Scheduler for Fifo`,
+    /// `Predictor`), or `None` for free functions.
+    pub impl_ctx: Option<String>,
     /// Flattened signature tokens (params, return type).
     pub sig: Vec<Tok>,
     /// Flattened body tokens; empty for bodiless declarations.
     pub body: Vec<Tok>,
 }
 
+/// A non-test struct definition with its named fields (snapshot pairing).
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// The struct's name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: usize,
+    /// Named fields in declaration order: (name, 1-based line).
+    pub fields: Vec<(String, usize)>,
+}
+
 /// A parsed, walked source file ready for rule scans.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ParsedFile {
     /// Workspace-relative path, `/`-separated.
     pub rel: String,
     /// Every function (at any nesting depth) with its test context.
     pub fns: Vec<FnSite>,
+    /// Non-test struct definitions with their named fields.
+    pub structs: Vec<StructDef>,
     /// Names of struct fields typed `HashMap`/`HashSet` in non-test code.
     pub hash_fields: BTreeSet<String>,
     /// Flattened tokens of non-fn, non-test items (`use`, `const`, macros).
     pub item_toks: Vec<Tok>,
     /// Lines carrying a `lint: sorted` justification comment.
     pub justified_lines: BTreeSet<usize>,
+    /// Lines carrying a `lint: no-journal` escape-hatch comment.
+    pub no_journal_lines: BTreeSet<usize>,
 }
 
 impl ParsedFile {
@@ -95,24 +115,53 @@ impl ParsedFile {
         self.justified_lines.contains(&line)
             || (line > 0 && self.justified_lines.contains(&(line - 1)))
     }
+
+    /// True when `line` carries a `lint: no-journal` escape hatch on it or
+    /// directly above it.
+    pub fn is_no_journal(&self, line: usize) -> bool {
+        self.no_journal_lines.contains(&line)
+            || (line > 0 && self.no_journal_lines.contains(&(line - 1)))
+    }
+
+    /// A copy keeping only the functions `keep` accepts (scope filtering for
+    /// the reachability-driven rules); item-level tokens are preserved.
+    pub fn filtered(&self, keep: impl Fn(&FnSite) -> bool) -> ParsedFile {
+        ParsedFile {
+            rel: self.rel.clone(),
+            fns: self.fns.iter().filter(|f| keep(f)).cloned().collect(),
+            structs: self.structs.clone(),
+            hash_fields: self.hash_fields.clone(),
+            item_toks: self.item_toks.clone(),
+            justified_lines: self.justified_lines.clone(),
+            no_journal_lines: self.no_journal_lines.clone(),
+        }
+    }
 }
 
 /// Parses `src` (at workspace-relative path `rel`) into a [`ParsedFile`].
 pub fn parse_source(rel: &str, src: &str) -> Result<ParsedFile, syn::Error> {
     let file = syn::parse_file(src)?;
-    let justified_lines = proc_macro2::lex_comments(src)
-        .into_iter()
+    let comments = proc_macro2::lex_comments(src);
+    let justified_lines = comments
+        .iter()
         .filter(|c| c.text.contains(crate::config::JUSTIFICATION))
+        .map(|c| c.line)
+        .collect();
+    let no_journal_lines = comments
+        .iter()
+        .filter(|c| c.text.contains(crate::config::NO_JOURNAL_JUSTIFICATION))
         .map(|c| c.line)
         .collect();
     let mut parsed = ParsedFile {
         rel: rel.to_string(),
         fns: Vec::new(),
+        structs: Vec::new(),
         hash_fields: BTreeSet::new(),
         item_toks: Vec::new(),
         justified_lines,
+        no_journal_lines,
     };
-    walk_items(&file.items, false, &mut parsed);
+    walk_items(&file.items, false, None, &mut parsed);
     Ok(parsed)
 }
 
@@ -120,7 +169,7 @@ fn attrs_mark_test(attrs: &[Attribute]) -> bool {
     attrs.iter().any(|a| a.is_test() || a.is_cfg_test())
 }
 
-fn walk_items(items: &[Item], in_test: bool, out: &mut ParsedFile) {
+fn walk_items(items: &[Item], in_test: bool, impl_ctx: Option<&str>, out: &mut ParsedFile) {
     for item in items {
         match item {
             Item::Fn(f) => {
@@ -134,20 +183,32 @@ fn walk_items(items: &[Item], in_test: bool, out: &mut ParsedFile) {
                 out.fns.push(FnSite {
                     func: f.name.clone(),
                     is_test,
+                    line: f.span.line,
+                    impl_ctx: impl_ctx.map(str::to_string),
                     sig,
                     body,
                 });
             }
             Item::Mod(m) => {
                 if let Some(content) = &m.content {
-                    walk_items(content, in_test || attrs_mark_test(&m.attrs), out);
+                    walk_items(content, in_test || attrs_mark_test(&m.attrs), None, out);
                 }
             }
             Item::Impl(i) => {
-                walk_items(&i.items, in_test || attrs_mark_test(&i.attrs), out);
+                walk_items(
+                    &i.items,
+                    in_test || attrs_mark_test(&i.attrs),
+                    Some(&i.header),
+                    out,
+                );
             }
             Item::Trait(t) => {
-                walk_items(&t.items, in_test || attrs_mark_test(&t.attrs), out);
+                walk_items(
+                    &t.items,
+                    in_test || attrs_mark_test(&t.attrs),
+                    Some(&t.name),
+                    out,
+                );
             }
             Item::Struct(s) => {
                 if !(in_test || attrs_mark_test(&s.attrs)) {
@@ -157,6 +218,11 @@ fn walk_items(items: &[Item], in_test: bool, out: &mut ParsedFile) {
                         for name in colon_typed_hash_names(&toks) {
                             out.hash_fields.insert(name);
                         }
+                        out.structs.push(StructDef {
+                            name: s.name.clone(),
+                            line: s.span.line,
+                            fields: named_fields(&toks),
+                        });
                     }
                 }
             }
@@ -168,6 +234,53 @@ fn walk_items(items: &[Item], in_test: bool, out: &mut ParsedFile) {
             }
         }
     }
+}
+
+/// Extracts named fields from a struct's flattened field tokens: each
+/// top-level comma-separated segment contributes the ident directly before
+/// its first top-level `:`. Tuple-struct segments (no top-level `:`) yield
+/// nothing.
+pub fn named_fields(toks: &[Tok]) -> Vec<(String, usize)> {
+    let mut fields = Vec::new();
+    let mut group_depth = 0i32;
+    let mut angle_depth = 0i32;
+    let mut last_ident: Option<(String, usize)> = None;
+    let mut in_type = false; // past the segment's `name :`
+    for (i, t) in toks.iter().enumerate() {
+        match t {
+            Tok::Open(..) => group_depth += 1,
+            Tok::Close(..) => group_depth -= 1,
+            Tok::Punct('<', _) if group_depth == 0 => angle_depth += 1,
+            // `->` in fn-pointer types is not a closing angle.
+            Tok::Punct('>', _)
+                if group_depth == 0
+                    && angle_depth > 0
+                    && !matches!(toks.get(i.wrapping_sub(1)), Some(Tok::Punct('-', _))) =>
+            {
+                angle_depth -= 1;
+            }
+            Tok::Punct(',', _) if group_depth == 0 && angle_depth == 0 => {
+                in_type = false;
+                last_ident = None;
+            }
+            Tok::Punct(':', _) if group_depth == 0 && angle_depth == 0 && !in_type => {
+                // Skip `::` path separators.
+                let double = matches!(toks.get(i + 1), Some(Tok::Punct(':', _)))
+                    || matches!(toks.get(i.wrapping_sub(1)), Some(Tok::Punct(':', _)));
+                if !double {
+                    if let Some((name, line)) = last_ident.take() {
+                        fields.push((name, line));
+                        in_type = true;
+                    }
+                }
+            }
+            Tok::Ident(name, span) if group_depth == 0 && !in_type => {
+                last_ident = Some((name.clone(), span.line));
+            }
+            _ => {}
+        }
+    }
+    fields
 }
 
 /// Scans `name : Type` segments (struct fields, fn params) and returns the

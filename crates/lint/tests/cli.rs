@@ -34,9 +34,14 @@ impl TempRoot {
     }
 
     fn check(&self) -> (i32, String) {
+        self.check_args(&[])
+    }
+
+    fn check_args(&self, extra: &[&str]) -> (i32, String) {
         let out = Command::new(BIN)
             .args(["check", "--root"])
             .arg(&self.0)
+            .args(extra)
             .output()
             .expect("binary runs");
         (
@@ -70,7 +75,7 @@ fn clean_workspace_exits_zero() {
 
 #[test]
 fn each_bad_fixture_exits_nonzero() {
-    let cases: [(&str, &str, &str, &str); 6] = [
+    let cases: [(&str, &str, &str, &str); 9] = [
         (
             "hash-iter",
             include_str!("fixtures/hash_iter_bad.rs"),
@@ -107,6 +112,24 @@ fn each_bad_fixture_exits_nonzero() {
             "crates/histogram/Cargo.toml",
             "layering",
         ),
+        (
+            "snapshot-exhaustiveness",
+            include_str!("fixtures/snapshot_pair_bad.rs"),
+            "crates/predict/src/predictor.rs",
+            "snapshot_pair",
+        ),
+        (
+            "wal-ack-ordering",
+            include_str!("fixtures/wal_ack_bad.rs"),
+            "crates/cli/src/serve.rs",
+            "wal_ack",
+        ),
+        (
+            "metrics-consistency",
+            include_str!("fixtures/metrics_bad.rs"),
+            "crates/obs/src/fx.rs",
+            "metrics",
+        ),
     ];
     for (rule, fixture, rel, tag) in cases {
         let root = TempRoot::new(tag);
@@ -121,6 +144,68 @@ fn each_bad_fixture_exits_nonzero() {
             "fixture {tag} should report rule {rule}; stdout:\n{stdout}"
         );
     }
+}
+
+#[test]
+fn good_protocol_fixtures_exit_zero() {
+    let root = TempRoot::new("protocol-good");
+    root.write(
+        "crates/predict/src/predictor.rs",
+        include_str!("fixtures/snapshot_pair_good.rs"),
+    );
+    root.write(
+        "crates/cli/src/serve.rs",
+        include_str!("fixtures/wal_ack_good.rs"),
+    );
+    root.write(
+        "crates/obs/src/fx.rs",
+        include_str!("fixtures/metrics_good.rs"),
+    );
+    let (code, stdout) = root.check();
+    assert_eq!(code, 0, "stdout:\n{stdout}");
+    assert!(stdout.contains("no violations"), "{stdout}");
+}
+
+#[test]
+fn json_format_renders_findings_and_keeps_exit_codes() {
+    let root = TempRoot::new("json");
+    root.write(
+        "crates/cli/src/serve.rs",
+        include_str!("fixtures/wal_ack_bad.rs"),
+    );
+    let (code, stdout) = root.check_args(&["--format", "json"]);
+    assert_eq!(code, 1, "stdout:\n{stdout}");
+    assert!(
+        stdout.starts_with('{') && stdout.ends_with("}\n"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"clean\": false"), "{stdout}");
+    assert!(
+        stdout.contains("\"rule\": \"wal-ack-ordering\""),
+        "{stdout}"
+    );
+
+    let clean = TempRoot::new("json-clean");
+    clean.write(
+        "crates/cli/src/serve.rs",
+        include_str!("fixtures/wal_ack_good.rs"),
+    );
+    let (code, stdout) = clean.check_args(&["--format", "json"]);
+    assert_eq!(code, 0, "stdout:\n{stdout}");
+    assert!(stdout.contains("\"clean\": true"), "{stdout}");
+    assert!(stdout.contains("\"violations\": []"), "{stdout}");
+}
+
+#[test]
+fn stale_exclusion_entry_exits_nonzero() {
+    let root = TempRoot::new("stale-exclusion");
+    root.write(
+        "crates/lint/snapshot_exclusions.txt",
+        "snapshot-exhaustiveness | Predictor | vanished_field | was audited once\n",
+    );
+    let (code, stdout) = root.check();
+    assert_eq!(code, 1, "stdout:\n{stdout}");
+    assert!(stdout.contains("[stale-exclusion]"), "{stdout}");
 }
 
 #[test]

@@ -2,9 +2,17 @@
 //! silent on the idiomatic rewrite, scope filtering must hold, and the
 //! shipped workspace (including its allowlist) must check clean.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-use threesigma_lint::{allowlist, check_file, check_workspace, rules, scan};
+use threesigma_lint::{allowlist, check_file, check_workspace, config, facts, rules, scan};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+fn read_workspace_file(rel: &str) -> String {
+    std::fs::read_to_string(workspace_root().join(rel)).expect("workspace file reads")
+}
 
 fn parse(rel: &str, src: &str) -> scan::ParsedFile {
     scan::parse_source(rel, src).expect("fixture must parse")
@@ -218,14 +226,164 @@ fn allowlist_suppresses_matches_and_reports_stale_entries() {
 }
 
 #[test]
+fn named_fields_survive_generics_and_fn_pointer_types() {
+    let p = parse(
+        "crates/core/src/x.rs",
+        "pub struct S<T: Ord> {\n\
+         \x20   pub map: BTreeMap<String, Vec<(u64, T)>>,\n\
+         \x20   hook: fn(usize) -> bool,\n\
+         \x20   pub tail: f64,\n\
+         }\n",
+    );
+    let s = p.structs.iter().find(|s| s.name == "S").expect("struct S");
+    let names: Vec<&str> = s.fields.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(names, vec!["map", "hook", "tail"], "{:?}", s.fields);
+    // Lines are 1-based and point at the field, not the struct keyword.
+    assert_eq!(s.fields[0].1, 2, "{:?}", s.fields);
+    assert_eq!(s.fields[2].1, 4, "{:?}", s.fields);
+}
+
+#[test]
+fn snapshot_exhaustiveness_trips_on_bad_pair_fixture_only() {
+    let bad = vec![parse(
+        "crates/predict/src/predictor.rs",
+        include_str!("fixtures/snapshot_pair_bad.rs"),
+    )];
+    let found = facts::snapshot_exhaustiveness(&bad, config::SNAPSHOT_PAIRS);
+    // One read-side and one write-side finding for the dropped field.
+    assert_eq!(found.len(), 2, "{found:?}");
+    assert!(found.iter().all(|v| v.rule == "snapshot-exhaustiveness"));
+    assert!(
+        found.iter().all(|v| v.pattern == "best_nmae_seen"),
+        "{found:?}"
+    );
+    let good = vec![parse(
+        "crates/predict/src/predictor.rs",
+        include_str!("fixtures/snapshot_pair_good.rs"),
+    )];
+    let found = facts::snapshot_exhaustiveness(&good, config::SNAPSHOT_PAIRS);
+    assert!(found.is_empty(), "{found:?}");
+}
+
+#[test]
+fn wal_ack_ordering_trips_on_bad_fixture_only() {
+    let bad = vec![parse(
+        "crates/cli/src/serve.rs",
+        include_str!("fixtures/wal_ack_bad.rs"),
+    )];
+    let found = facts::wal_ack_ordering(&bad);
+    // `accepted` fires before the append; `rejected` has no escape hatch.
+    assert_eq!(found.len(), 2, "{found:?}");
+    assert!(found.iter().all(|v| v.rule == "wal-ack-ordering"));
+    let pats = patterns(&found);
+    assert!(pats.contains(&"accepted("), "{pats:?}");
+    assert!(pats.contains(&"rejected("), "{pats:?}");
+    let good = vec![parse(
+        "crates/cli/src/serve.rs",
+        include_str!("fixtures/wal_ack_good.rs"),
+    )];
+    assert!(facts::wal_ack_ordering(&good).is_empty());
+}
+
+#[test]
+fn metrics_consistency_trips_on_bad_fixture_only() {
+    let bad = vec![parse(
+        "crates/obs/src/fx.rs",
+        include_str!("fixtures/metrics_bad.rs"),
+    )];
+    let found = facts::metrics_consistency(&bad, &[]);
+    assert_eq!(found.len(), 2, "{found:?}");
+    assert!(found.iter().all(|v| v.rule == "metrics-consistency"));
+    let pats = patterns(&found);
+    assert!(pats.contains(&"serve_cycles_total"), "duplicate: {pats:?}");
+    assert!(pats.contains(&"servQueueDepth"), "snake_case: {pats:?}");
+    let good = vec![parse(
+        "crates/obs/src/fx.rs",
+        include_str!("fixtures/metrics_good.rs"),
+    )];
+    assert!(facts::metrics_consistency(&good, &[]).is_empty());
+}
+
+#[test]
+fn every_shipped_snapshot_pair_resolves() {
+    // The rule must go red (not silent) if a pair's struct or fns are
+    // renamed; here we prove the shipped pair table still resolves, so the
+    // only findings on the real tree are field-level (all audited in the
+    // exclusions file).
+    let files: Vec<scan::ParsedFile> = config::SNAPSHOT_PAIRS
+        .iter()
+        .map(|pair| parse(pair.file_suffix, &read_workspace_file(pair.file_suffix)))
+        .collect();
+    let found = facts::snapshot_exhaustiveness(&files, config::SNAPSHOT_PAIRS);
+    let unresolved: Vec<_> = found
+        .iter()
+        .filter(|v| v.pattern.starts_with("struct ") || v.pattern.starts_with("fns for "))
+        .collect();
+    assert!(unresolved.is_empty(), "{unresolved:?}");
+}
+
+#[test]
+fn deleting_a_snapshot_field_read_turns_the_real_tree_red() {
+    let rel = "crates/predict/src/predictor.rs";
+    let src = read_workspace_file(rel);
+    let clean = facts::snapshot_exhaustiveness(&[parse(rel, &src)], config::SNAPSHOT_PAIRS);
+    assert!(
+        clean.iter().all(|v| v.pattern != "best_nmae_seen"),
+        "{clean:?}"
+    );
+    // The PR 8 regression shape: the field read silently vanishes from
+    // `snapshot()` while the struct keeps the field.
+    let mutated = src.replace("best_nmae: self.best_nmae_seen,", "best_nmae: None,");
+    assert_ne!(src, mutated, "mutation target must exist");
+    let found = facts::snapshot_exhaustiveness(&[parse(rel, &mutated)], config::SNAPSHOT_PAIRS);
+    assert!(
+        found.iter().any(|v| v.pattern == "best_nmae_seen"),
+        "{found:?}"
+    );
+}
+
+#[test]
+fn reordering_journal_append_after_ack_turns_the_real_tree_red() {
+    let rel = "crates/cli/src/serve.rs";
+    let src = read_workspace_file(rel);
+    assert!(facts::wal_ack_ordering(&[parse(rel, &src)]).is_empty());
+    // Renaming the append is ordering-equivalent to moving it after the
+    // ack: the ack is no longer dominated by a journal write.
+    let mutated = src.replace(".append(WalRecord::Job", ".append_later(WalRecord::Job");
+    assert_ne!(src, mutated, "mutation target must exist");
+    let found = facts::wal_ack_ordering(&[parse(rel, &mutated)]);
+    assert!(found.iter().any(|v| v.pattern == "accepted("), "{found:?}");
+}
+
+#[test]
+fn workspace_json_report_is_byte_deterministic() {
+    let root = workspace_root();
+    let a = check_workspace(&root).expect("first run");
+    let b = check_workspace(&root).expect("second run");
+    assert_eq!(
+        threesigma_lint::render_json(&a),
+        threesigma_lint::render_json(&b)
+    );
+}
+
+#[test]
 fn shipped_workspace_checks_clean_with_no_stale_allowlist() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let root = workspace_root();
     let report = check_workspace(&root).expect("workspace check runs");
     assert!(report.files_scanned > 40, "{} files", report.files_scanned);
     assert!(
         report.stale_allowlist.is_empty(),
         "stale allowlist entries: {:?}",
         report.stale_allowlist
+    );
+    assert!(
+        report.stale_exclusions.is_empty(),
+        "stale exclusion entries: {:?}",
+        report.stale_exclusions
+    );
+    assert!(
+        report.reachable_fns.is_some(),
+        "the real tree must declare decision roots"
     );
     assert!(
         report.violations.is_empty(),

@@ -1,0 +1,18 @@
+//! Known-bad: `serve_cycles_total` is registered twice, and the queue-depth
+//! gauge name is not snake_case.
+
+pub struct Metrics {
+    cycles: Counter,
+    cycles_again: Counter,
+    depth: Gauge,
+}
+
+impl Metrics {
+    pub fn register(rec: &Recorder) -> Self {
+        Self {
+            cycles: rec.counter("serve_cycles_total", "Completed serve cycles"),
+            cycles_again: rec.counter("serve_cycles_total", "Registered a second time"),
+            depth: rec.gauge("servQueueDepth", "Pending jobs after the last cycle"),
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Known-good: every metric name is snake_case and registered exactly once.
+
+pub struct Metrics {
+    cycles: Counter,
+    depth: Gauge,
+}
+
+impl Metrics {
+    pub fn register(rec: &Recorder) -> Self {
+        Self {
+            cycles: rec.counter("serve_cycles_total", "Completed serve cycles"),
+            depth: rec.gauge("serve_queue_depth", "Pending jobs after the last cycle"),
+        }
+    }
+}

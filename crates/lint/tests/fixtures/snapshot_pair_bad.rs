@@ -1,0 +1,28 @@
+//! Known-bad: `best_nmae_seen` is learned state but is neither serialized
+//! by `snapshot` nor rebuilt by `restore` — the PR 8 "best-NMAE silently
+//! missing from `Snapshot`" regression shape.
+
+pub struct Snapshot {
+    pub clock: u64,
+    pub entries: Vec<(usize, String)>,
+}
+
+pub struct Predictor {
+    clock: u64,
+    entries: Vec<(usize, String)>,
+    best_nmae_seen: f64,
+}
+
+impl Predictor {
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            clock: self.clock,
+            entries: self.entries.clone(),
+        }
+    }
+
+    pub fn restore(&mut self, snapshot: Snapshot) {
+        self.clock = snapshot.clock;
+        self.entries = snapshot.entries;
+    }
+}

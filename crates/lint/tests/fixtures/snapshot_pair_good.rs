@@ -1,0 +1,30 @@
+//! Known-good: every `Predictor` field crosses the snapshot/restore
+//! boundary, including the historical-best NMAE.
+
+pub struct Snapshot {
+    pub clock: u64,
+    pub best_nmae: f64,
+    pub entries: Vec<(usize, String)>,
+}
+
+pub struct Predictor {
+    clock: u64,
+    entries: Vec<(usize, String)>,
+    best_nmae_seen: f64,
+}
+
+impl Predictor {
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            clock: self.clock,
+            best_nmae: self.best_nmae_seen,
+            entries: self.entries.clone(),
+        }
+    }
+
+    pub fn restore(&mut self, snapshot: Snapshot) {
+        self.clock = snapshot.clock;
+        self.best_nmae_seen = snapshot.best_nmae;
+        self.entries = snapshot.entries;
+    }
+}

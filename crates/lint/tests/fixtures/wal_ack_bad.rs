@@ -1,0 +1,29 @@
+//! Known-bad: the wire is acknowledged before the journal append lands
+//! (`accepted` precedes `.append(..)`), and a rejection goes unjournaled
+//! with no `// lint: no-journal` escape hatch.
+
+pub struct WireStats {
+    rejected_parse: u64,
+}
+
+pub struct WireMetrics {
+    rejected_parse: Gauge,
+}
+
+impl WireMetrics {
+    pub fn publish(&self, wire: &WireStats) {
+        self.rejected_parse.set(wire.rejected_parse);
+    }
+}
+
+impl Frontend {
+    pub fn handle_line(&mut self, line_no: u64, spec: JobSpec) -> Result<(), WalError> {
+        self.responder.accepted(line_no, spec.id);
+        self.durable.append(WalRecord::Job(spec))?;
+        Ok(())
+    }
+
+    pub fn reject(&mut self, line_no: u64, reason: RejectReason) {
+        self.responder.rejected(line_no, reason);
+    }
+}

@@ -1,0 +1,29 @@
+//! Known-good: the journal append dominates the acceptance ack, and the
+//! typed-rejection path carries the `// lint: no-journal` escape hatch.
+
+pub struct WireStats {
+    rejected_parse: u64,
+}
+
+pub struct WireMetrics {
+    rejected_parse: Gauge,
+}
+
+impl WireMetrics {
+    pub fn publish(&self, wire: &WireStats) {
+        self.rejected_parse.set(wire.rejected_parse);
+    }
+}
+
+impl Frontend {
+    pub fn handle_line(&mut self, line_no: u64, spec: JobSpec) -> Result<(), WalError> {
+        self.durable.append(WalRecord::Job(spec.clone()))?;
+        self.responder.accepted(line_no, spec.id);
+        Ok(())
+    }
+
+    pub fn reject(&mut self, line_no: u64, reason: RejectReason) {
+        // lint: no-journal
+        self.responder.rejected(line_no, reason);
+    }
+}
